@@ -1,0 +1,53 @@
+//! Criterion entry point for Figure 1: static vs config vs input-aware
+//! ordering strategies for GCN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granii_bench::grid::{EvalConfig, Mode, Record};
+use granii_bench::policies::{geomean_speedup, Policy};
+use granii_bench::runner::evaluate_config;
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_gnn::system::System;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+
+fn records(granii: &Granii) -> Vec<Record> {
+    let mut out = Vec::new();
+    for dataset in [Dataset::Reddit, Dataset::BelgiumOsm, Dataset::Mycielskian17] {
+        let graph = dataset.load(Scale::Tiny).unwrap();
+        for (k1, k2) in [(32usize, 32usize), (1024, 1024)] {
+            let cfg = EvalConfig {
+                system: System::Dgl,
+                device: DeviceKind::H100,
+                model: ModelKind::Gcn,
+                dataset,
+                k1,
+                k2,
+                mode: Mode::Inference,
+            };
+            out.push(evaluate_config(&cfg, &graph, granii).unwrap());
+        }
+    }
+    out
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap();
+    let recs = records(&granii);
+    for policy in [Policy::Static, Policy::Config, Policy::Granii] {
+        println!("fig1[{}] geomean speedup = {:.2}x", policy.name(), geomean_speedup(policy, &recs));
+    }
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("policy_evaluation", |b| {
+        b.iter(|| {
+            for policy in [Policy::Static, Policy::Config, Policy::Granii] {
+                geomean_speedup(policy, &recs);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

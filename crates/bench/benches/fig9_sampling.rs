@@ -1,0 +1,39 @@
+//! Criterion entry point for Figure 9: neighborhood sampling and GRANII's
+//! decision stability across samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_graph::sampling;
+use granii_matrix::device::DeviceKind;
+
+fn bench_fig9(c: &mut Criterion) {
+    let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap();
+    let graph = Dataset::Mycielskian17.load(Scale::Tiny).unwrap();
+    let full = granii.select(ModelKind::Gcn, &graph, 32, 32).unwrap();
+    let mut agree = 0;
+    for seed in 0..10 {
+        let sampled = sampling::sample_neighbors(&graph, 10, seed).unwrap();
+        let sel = granii.select(ModelKind::Gcn, &sampled, 32, 32).unwrap();
+        if sel.composition == full.composition {
+            agree += 1;
+        }
+    }
+    println!("fig9: decision on samples agrees with full graph {agree}/10");
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("sample_and_select", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let sampled = sampling::sample_neighbors(&graph, 10, seed).unwrap();
+            granii.select(ModelKind::Gcn, &sampled, 32, 32).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion entry point for the offline stage (counts / Fig 6 / Fig 3):
+//! IR construction, association-tree enumeration, pruning, and lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granii_core::complexity::complexity_table;
+use granii_core::plan::CompiledModel;
+use granii_gnn::spec::{LayerConfig, ModelKind};
+
+fn bench_offline(c: &mut Criterion) {
+    for model in ModelKind::EVAL {
+        let plan = CompiledModel::compile(model, LayerConfig::new(32, 256)).unwrap();
+        println!(
+            "counts[{model}] enumerated {} / pruned {} / promoted {}",
+            plan.enumerated,
+            plan.pruned,
+            plan.candidates.len()
+        );
+    }
+    let mut group = c.benchmark_group("offline_compile");
+    group.sample_size(20);
+    for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Sgc] {
+        group.bench_function(format!("compile_{model}"), |b| {
+            b.iter(|| CompiledModel::compile(model, LayerConfig::new(32, 256)).unwrap())
+        });
+        group.bench_function(format!("complexity_{model}"), |b| {
+            b.iter(|| complexity_table(model, LayerConfig::new(32, 256)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion entry point for Table III: times one grid-cell evaluation
+//! (baseline + all compositions + GRANII selection) and prints the measured
+//! speedups for a representative sample of the grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granii_bench::grid::{EvalConfig, Mode};
+use granii_bench::runner::evaluate_config;
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_gnn::system::System;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+
+fn bench_table3(c: &mut Criterion) {
+    let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap();
+    let graph = Dataset::Reddit.load(Scale::Tiny).unwrap();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+
+    for (model, mode) in [
+        (ModelKind::Gcn, Mode::Inference),
+        (ModelKind::Gcn, Mode::Training),
+        (ModelKind::Gat, Mode::Inference),
+    ] {
+        let cfg = EvalConfig {
+            system: System::WiseGraph,
+            device: DeviceKind::H100,
+            model,
+            dataset: Dataset::Reddit,
+            k1: 32,
+            k2: 256,
+            mode,
+        };
+        let rec = evaluate_config(&cfg, &graph, &granii).unwrap();
+        println!("table3[{model}/{mode}] RD speedup = {:.2}x", rec.speedup());
+        group.bench_function(format!("evaluate_{model}_{mode}"), |b| {
+            b.iter(|| evaluate_config(&cfg, &graph, &granii).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

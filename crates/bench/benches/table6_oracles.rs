@@ -1,0 +1,50 @@
+//! Criterion entry point for Table VI: GRANII vs the per-factor oracles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granii_bench::grid::{EvalConfig, Mode, Record};
+use granii_bench::policies::{geomean_speedup, Policy};
+use granii_bench::runner::evaluate_config;
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_gnn::system::System;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+
+fn bench_table6(c: &mut Criterion) {
+    let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap();
+    let mut records: Vec<Record> = Vec::new();
+    for dataset in [Dataset::Reddit, Dataset::BelgiumOsm] {
+        let graph = dataset.load(Scale::Tiny).unwrap();
+        for model in [ModelKind::Gcn, ModelKind::Gat] {
+            for (k1, k2) in [(32usize, 256usize), (128, 1024)] {
+                let cfg = EvalConfig {
+                    system: System::Dgl,
+                    device: DeviceKind::H100,
+                    model,
+                    dataset,
+                    k1,
+                    k2,
+                    mode: Mode::Inference,
+                };
+                records.push(evaluate_config(&cfg, &graph, &granii).unwrap());
+            }
+        }
+    }
+    for policy in Policy::TABLE6 {
+        println!("table6[{}] = {:.2}x", policy.name(), geomean_speedup(policy, &records));
+    }
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("oracle_evaluation", |b| {
+        b.iter(|| {
+            Policy::TABLE6
+                .iter()
+                .map(|&p| geomean_speedup(p, &records))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

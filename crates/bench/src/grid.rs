@@ -1,0 +1,162 @@
+//! The evaluation grid (paper §VI-B) and the per-configuration record.
+
+use granii_gnn::spec::{Composition, ModelKind};
+use granii_gnn::system::System;
+use granii_graph::datasets::Dataset;
+use granii_matrix::device::DeviceKind;
+use serde::{Deserialize, Serialize};
+
+/// Inference (forward only) or training (forward + backward + update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Forward pass only.
+    Inference,
+    /// Full training iteration via the autodiff tape.
+    Training,
+}
+
+impl Mode {
+    /// Both modes, inference first (Table III order).
+    pub const ALL: [Mode; 2] = [Mode::Inference, Mode::Training];
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Inference => "I",
+            Mode::Training => "T",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cell of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Baseline system.
+    pub system: System,
+    /// Target hardware.
+    pub device: DeviceKind,
+    /// GNN model.
+    pub model: ModelKind,
+    /// Input graph.
+    pub dataset: Dataset,
+    /// Input embedding size.
+    pub k1: usize,
+    /// Output embedding size.
+    pub k2: usize,
+    /// Inference or training.
+    pub mode: Mode,
+}
+
+/// The embedding-size combinations of the main evaluation. GAT uses only the
+/// increasing combinations (§VI-B: "we only evaluate increasing embedding
+/// sizes for GAT, as this is the scenario in which the primitive composition
+/// choice is non-trivial").
+pub fn embed_combos(model: ModelKind) -> Vec<(usize, usize)> {
+    match model {
+        ModelKind::Gat => vec![(32, 256), (128, 1024), (1024, 2048)],
+        _ => vec![(32, 32), (256, 64), (64, 512), (1024, 1024), (2048, 256)],
+    }
+}
+
+/// System × device combinations evaluated in Table III (WiseGraph is
+/// GPU-only; DGL additionally runs on CPU).
+pub fn system_devices() -> Vec<(System, DeviceKind)> {
+    vec![
+        (System::WiseGraph, DeviceKind::H100),
+        (System::WiseGraph, DeviceKind::A100),
+        (System::Dgl, DeviceKind::H100),
+        (System::Dgl, DeviceKind::A100),
+        (System::Dgl, DeviceKind::Cpu),
+    ]
+}
+
+/// The full Table III grid over the given datasets.
+pub fn full_grid(datasets: &[Dataset]) -> Vec<EvalConfig> {
+    let mut out = Vec::new();
+    for (system, device) in system_devices() {
+        for model in ModelKind::EVAL {
+            for &dataset in datasets {
+                for (k1, k2) in embed_combos(model) {
+                    for mode in Mode::ALL {
+                        out.push(EvalConfig { system, device, model, dataset, k1, k2, mode });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Measured outcome for one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// The configuration measured.
+    pub config: EvalConfig,
+    /// The system's default composition.
+    pub baseline_composition: Composition,
+    /// Baseline latency for the full run (default composition + the system's
+    /// per-iteration normalization path), in seconds.
+    pub baseline_seconds: f64,
+    /// Ground-truth latency per composition when run under GRANII's generated
+    /// code (normalization hoisted), cheapest first.
+    pub composition_seconds: Vec<(Composition, f64)>,
+    /// GRANII's online choice.
+    pub granii_composition: Composition,
+    /// Latency of the GRANII run: selection overhead + chosen composition.
+    pub granii_seconds: f64,
+    /// One-time selection overhead (featurization + cost-model evaluation).
+    pub overhead_seconds: f64,
+    /// Whether the decision used the cost models (vs a pure embedding-size
+    /// condition).
+    pub used_cost_models: bool,
+}
+
+impl Record {
+    /// GRANII's speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_seconds / self.granii_seconds
+    }
+
+    /// Speedup of the best composition (the `Optimal` oracle).
+    pub fn optimal_speedup(&self) -> f64 {
+        let best = self.composition_seconds.first().expect("nonempty").1;
+        self.baseline_seconds / (best + self.overhead_seconds)
+    }
+
+    /// Ground-truth latency of a specific composition, if recorded.
+    pub fn seconds_of(&self, comp: Composition) -> Option<f64> {
+        self.composition_seconds.iter().find(|(c, _)| *c == comp).map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gat_only_evaluates_increasing_sizes() {
+        for (k1, k2) in embed_combos(ModelKind::Gat) {
+            assert!(k1 < k2);
+        }
+        assert!(embed_combos(ModelKind::Gcn).len() >= 5);
+    }
+
+    #[test]
+    fn grid_covers_expected_cell_count() {
+        let grid = full_grid(&[Dataset::Reddit, Dataset::BelgiumOsm]);
+        // 5 system-device combos × (4 models × 5 sizes + GAT × 3 sizes) × 2
+        // graphs × 2 modes.
+        assert_eq!(grid.len(), 5 * (4 * 5 + 3) * 2 * 2);
+    }
+
+    #[test]
+    fn wisegraph_is_gpu_only() {
+        assert!(!system_devices().contains(&(System::WiseGraph, DeviceKind::Cpu)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduction harness for the GRANII paper's evaluation (§VI).
+//!
+//! The harness measures every (system, device, model, graph, embedding-size,
+//! mode) configuration of the paper's grid:
+//!
+//! - baselines run their system's default composition plus its per-iteration
+//!   normalization path (WiseGraph's binning, DGL's scan),
+//! - GRANII runs its online selection once, then the chosen composition,
+//! - ground-truth per-composition latencies are recorded for the oracle
+//!   comparisons of Table VI and the `Optimal` row.
+//!
+//! All latencies come from the analytical device models through the same
+//! [`granii_gnn::Exec`] path the correctness tests exercise (see `DESIGN.md`
+//! §2 for the GPU substitution); kernels run in *virtual* mode so the full
+//! grid sweeps in seconds. One iteration is charged and scaled to the run
+//! length, which is exact because modeled per-iteration charges are
+//! deterministic.
+//!
+//! Binary: `cargo run -p granii-bench --bin repro -- <experiment>` with one
+//! subcommand per table/figure (see `repro --help`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod grid;
+pub mod policies;
+pub mod report;
+pub mod runner;
+
+pub use grid::{EvalConfig, Mode, Record};
+pub use runner::evaluate_config;

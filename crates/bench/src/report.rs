@@ -1,0 +1,103 @@
+//! Small reporting helpers: geometric means and aligned text tables.
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Formats a speedup as the paper prints them (e.g. `1.56x`).
+pub fn speedup(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// Formats seconds with a sensible unit.
+pub fn seconds(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2}s")
+    } else if v >= 1e-3 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
+}
+
+/// Renders rows as an aligned text table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(cell);
+            if i + 1 < row.len() {
+                for _ in 0..widths[i].saturating_sub(cell.chars().count()) + 2 {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(1.556), "1.56x");
+        assert_eq!(speedup(123.4), "123x");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(2.5), "2.50s");
+        assert_eq!(seconds(0.0025), "2.50ms");
+        assert_eq!(seconds(2.5e-6), "2.5us");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["name".to_string(), "value".to_string()],
+            vec!["x".to_string(), "1".to_string()],
+        ];
+        let t = table(&rows);
+        assert!(t.contains("name  value"));
+        assert!(t.contains("----  -----"));
+    }
+}

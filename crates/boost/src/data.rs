@@ -1,0 +1,161 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{BoostError, Result};
+
+/// A dense regression dataset: row-major features plus one label per row.
+///
+/// # Example
+///
+/// ```
+/// use granii_boost::Dataset;
+///
+/// # fn main() -> Result<(), granii_boost::BoostError> {
+/// let d = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]], &[0.5, 1.5])?;
+/// assert_eq!(d.num_rows(), 2);
+/// assert_eq!(d.num_features(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f64>,
+    labels: Vec<f64>,
+    num_features: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from feature rows and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::EmptyDataset`] for zero rows,
+    /// [`BoostError::RaggedRow`] for inconsistent row lengths,
+    /// [`BoostError::LabelMismatch`] if `labels.len() != rows.len()`, and
+    /// [`BoostError::NonFinite`] if any value is NaN/infinite.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R], labels: &[f64]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(BoostError::EmptyDataset);
+        }
+        if rows.len() != labels.len() {
+            return Err(BoostError::LabelMismatch { rows: rows.len(), labels: labels.len() });
+        }
+        let num_features = rows[0].as_ref().len();
+        let mut features = Vec::with_capacity(rows.len() * num_features);
+        for (i, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
+            if r.len() != num_features {
+                return Err(BoostError::RaggedRow { row: i, len: r.len(), expected: num_features });
+            }
+            if r.iter().any(|v| !v.is_finite()) {
+                return Err(BoostError::NonFinite);
+            }
+            features.extend_from_slice(r);
+        }
+        if labels.iter().any(|v| !v.is_finite()) {
+            return Err(BoostError::NonFinite);
+        }
+        Ok(Self { features, labels: labels.to_vec(), num_features })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features per row.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Feature row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.num_features..(i + 1) * self.num_features]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Splits into `(train, valid)` with `valid_fraction` of the rows (taken
+    /// with stride to stay distribution-representative without an RNG).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::InvalidParameter`] if the fraction is not in
+    /// `(0, 1)` or either side would be empty.
+    pub fn split(&self, valid_fraction: f64) -> Result<(Dataset, Dataset)> {
+        if !(0.0..1.0).contains(&valid_fraction) || valid_fraction == 0.0 {
+            return Err(BoostError::InvalidParameter(format!(
+                "valid_fraction {valid_fraction} must be in (0, 1)"
+            )));
+        }
+        let n = self.num_rows();
+        let stride = (1.0 / valid_fraction).round().max(2.0) as usize;
+        let mut train_rows: Vec<&[f64]> = Vec::new();
+        let mut train_labels = Vec::new();
+        let mut valid_rows: Vec<&[f64]> = Vec::new();
+        let mut valid_labels = Vec::new();
+        for i in 0..n {
+            if i % stride == stride - 1 {
+                valid_rows.push(self.row(i));
+                valid_labels.push(self.labels[i]);
+            } else {
+                train_rows.push(self.row(i));
+                train_labels.push(self.labels[i]);
+            }
+        }
+        if train_rows.is_empty() || valid_rows.is_empty() {
+            return Err(BoostError::InvalidParameter(
+                "split produced an empty train or validation set".into(),
+            ));
+        }
+        Ok((
+            Dataset::from_rows(&train_rows, &train_labels)?,
+            Dataset::from_rows(&valid_rows, &valid_labels)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        let empty: &[Vec<f64>] = &[];
+        assert_eq!(Dataset::from_rows(empty, &[]).unwrap_err(), BoostError::EmptyDataset);
+        let err = Dataset::from_rows(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, BoostError::RaggedRow { row: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_label_mismatch_and_nonfinite() {
+        let err = Dataset::from_rows(&[vec![1.0]], &[0.0, 1.0]).unwrap_err();
+        assert!(matches!(err, BoostError::LabelMismatch { .. }));
+        assert_eq!(
+            Dataset::from_rows(&[vec![f64::NAN]], &[0.0]).unwrap_err(),
+            BoostError::NonFinite
+        );
+        assert_eq!(
+            Dataset::from_rows(&[vec![1.0]], &[f64::INFINITY]).unwrap_err(),
+            BoostError::NonFinite
+        );
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Dataset::from_rows(&rows, &labels).unwrap();
+        let (train, valid) = d.split(0.2).unwrap();
+        assert_eq!(train.num_rows() + valid.num_rows(), 100);
+        assert_eq!(valid.num_rows(), 20);
+        assert!(d.split(0.0).is_err());
+        assert!(d.split(1.0).is_err());
+    }
+}

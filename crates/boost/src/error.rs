@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoostError {
+    /// The dataset had no rows.
+    EmptyDataset,
+    /// A feature row had the wrong number of columns.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// Expected number of features.
+        expected: usize,
+    },
+    /// Labels and features had different lengths.
+    LabelMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A non-finite value appeared in features or labels.
+    NonFinite,
+    /// A hyperparameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for BoostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoostError::EmptyDataset => write!(f, "dataset has no rows"),
+            BoostError::RaggedRow { row, len, expected } => {
+                write!(f, "row {row} has {len} features, expected {expected}")
+            }
+            BoostError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            BoostError::NonFinite => write!(f, "features and labels must be finite"),
+            BoostError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BoostError {}

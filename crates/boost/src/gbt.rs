@@ -1,0 +1,290 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{RegressionTree, TreeParams};
+use crate::{BoostError, Dataset, Result};
+
+/// Hyperparameters of the boosted ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Maximum number of boosting rounds.
+    pub num_rounds: usize,
+    /// Shrinkage (learning rate) applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree hyperparameters.
+    pub tree: TreeParams,
+    /// Fraction of rows sampled (without replacement) per round.
+    pub subsample: f64,
+    /// Fraction of features considered per round.
+    pub colsample: f64,
+    /// Stop if validation RMSE has not improved for this many rounds
+    /// (0 disables early stopping).
+    pub early_stopping_rounds: usize,
+    /// RNG seed for row/feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self {
+            num_rounds: 100,
+            learning_rate: 0.15,
+            tree: TreeParams::default(),
+            subsample: 1.0,
+            colsample: 1.0,
+            early_stopping_rounds: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl GbtParams {
+    /// Validates hyperparameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::InvalidParameter`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_rounds == 0 {
+            return Err(BoostError::InvalidParameter("num_rounds must be > 0".into()));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(BoostError::InvalidParameter("learning_rate must be in (0, 1]".into()));
+        }
+        for (name, v) in [("subsample", self.subsample), ("colsample", self.colsample)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(BoostError::InvalidParameter(format!("{name} must be in (0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A gradient-boosted regression-tree ensemble (squared-error objective).
+///
+/// This is the model class GRANII uses for its per-primitive latency cost
+/// models (paper §IV-E2). Serializable with serde so the offline stage can
+/// persist trained models for the online runtime.
+///
+/// # Example
+///
+/// ```
+/// use granii_boost::{Dataset, GbtParams, GbtRegressor};
+///
+/// # fn main() -> Result<(), granii_boost::BoostError> {
+/// let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+/// let model = GbtRegressor::fit(&Dataset::from_rows(&xs, &ys)?, &GbtParams::default())?;
+/// assert!((model.predict(&[5.0, 3.0]) - 13.0).abs() < 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbtRegressor {
+    base_score: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GbtRegressor {
+    /// Fits an ensemble on `train`, without a validation set (early stopping
+    /// disabled unless `params.early_stopping_rounds` is 0 anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::InvalidParameter`] for bad hyperparameters.
+    pub fn fit(train: &Dataset, params: &GbtParams) -> Result<Self> {
+        Self::fit_with_validation(train, None, params)
+    }
+
+    /// Fits an ensemble, optionally early-stopping on a validation set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::InvalidParameter`] for bad hyperparameters.
+    pub fn fit_with_validation(
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        params: &GbtParams,
+    ) -> Result<Self> {
+        params.validate()?;
+        let n = train.num_rows();
+        let nf = train.num_features();
+        let base_score = train.labels().iter().sum::<f64>() / n as f64;
+        let mut model =
+            Self { base_score, learning_rate: params.learning_rate, trees: Vec::new() };
+
+        let mut preds = vec![base_score; n];
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut best_rmse = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut since_best = 0usize;
+
+        for _round in 0..params.num_rounds {
+            // Squared loss: g = pred - y, h = 1.
+            let grads: Vec<f64> =
+                preds.iter().zip(train.labels()).map(|(p, y)| p - y).collect();
+            let hess = vec![1.0f64; n];
+
+            let rows = sample_indices(n, params.subsample, &mut rng);
+            let features = sample_indices(nf, params.colsample, &mut rng);
+            let tree = RegressionTree::fit(train, &grads, &hess, params.tree, &rows, &features);
+
+            for (i, pred) in preds.iter_mut().enumerate() {
+                *pred += params.learning_rate * tree.predict(train.row(i));
+            }
+            model.trees.push(tree);
+
+            if let (Some(valid), true) = (valid, params.early_stopping_rounds > 0) {
+                let rmse = crate::metrics::rmse(
+                    &(0..valid.num_rows()).map(|i| model.predict(valid.row(i))).collect::<Vec<_>>(),
+                    valid.labels(),
+                );
+                // Require a relative improvement; asymptotic 1e-9 gains should
+                // not keep the ensemble growing.
+                if rmse < best_rmse * (1.0 - 1e-4) {
+                    best_rmse = rmse;
+                    best_len = model.trees.len();
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= params.early_stopping_rounds {
+                        model.trees.truncate(best_len);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    /// Predicts the label for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Number of trees in the fitted ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Samples `ceil(fraction * n)` distinct indices (all of them when
+/// `fraction == 1.0`, keeping determinism and order).
+fn sample_indices(n: usize, fraction: f64, rng: &mut StdRng) -> Vec<usize> {
+    if fraction >= 1.0 {
+        return (0..n).collect();
+    }
+    let take = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in 0..take {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(take);
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn synthetic(n: usize, f: impl Fn(f64, f64) -> f64) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 17) as f64, ((i * 7) % 13) as f64]).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| f(r[0], r[1])).collect();
+        Dataset::from_rows(&rows, &labels).unwrap()
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let data = synthetic(400, |a, b| 3.0 * a - 2.0 * b + 1.0);
+        let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
+        let preds: Vec<f64> = (0..data.num_rows()).map(|i| model.predict(data.row(i))).collect();
+        assert!(metrics::rmse(&preds, data.labels()) < 1.0);
+    }
+
+    #[test]
+    fn fits_multiplicative_interaction() {
+        // Latency-like target: product of sizes (cost models face this shape).
+        let data = synthetic(400, |a, b| a * b);
+        let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
+        let preds: Vec<f64> = (0..data.num_rows()).map(|i| model.predict(data.row(i))).collect();
+        let spearman = metrics::spearman(&preds, data.labels());
+        assert!(spearman > 0.95, "rank correlation {spearman} too low");
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let data = synthetic(300, |a, b| (a - b).abs());
+        let small = GbtRegressor::fit(
+            &data,
+            &GbtParams { num_rounds: 3, early_stopping_rounds: 0, ..GbtParams::default() },
+        )
+        .unwrap();
+        let large = GbtRegressor::fit(
+            &data,
+            &GbtParams { num_rounds: 60, early_stopping_rounds: 0, ..GbtParams::default() },
+        )
+        .unwrap();
+        let err = |m: &GbtRegressor| {
+            let preds: Vec<f64> = (0..data.num_rows()).map(|i| m.predict(data.row(i))).collect();
+            metrics::rmse(&preds, data.labels())
+        };
+        assert!(err(&large) < err(&small));
+    }
+
+    #[test]
+    fn early_stopping_truncates_ensemble() {
+        // A noisy target: once the signal is learned, further rounds chase
+        // noise and validation error stops improving.
+        let noise = |a: f64, b: f64| (((a * 31.0 + b * 17.0) as u64 * 2654435761) % 97) as f64 / 10.0;
+        let data = synthetic(200, |a, b| a + noise(a, b));
+        let (train, valid) = data.split(0.25).unwrap();
+        let params = GbtParams { num_rounds: 200, early_stopping_rounds: 5, ..GbtParams::default() };
+        let model = GbtRegressor::fit_with_validation(&train, Some(&valid), &params).unwrap();
+        assert!(model.num_trees() < 200, "early stopping should kick in");
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_per_seed() {
+        let data = synthetic(200, |a, b| a + b);
+        let params = GbtParams { subsample: 0.7, colsample: 0.5, ..GbtParams::default() };
+        let m1 = GbtRegressor::fit(&data, &params).unwrap();
+        let m2 = GbtRegressor::fit(&data, &params).unwrap();
+        assert_eq!(m1, m2);
+        let m3 = GbtRegressor::fit(&data, &GbtParams { seed: 99, ..params }).unwrap();
+        assert!(m1 != m3 || m1.num_trees() == 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let data = synthetic(10, |a, _| a);
+        for bad in [
+            GbtParams { num_rounds: 0, ..GbtParams::default() },
+            GbtParams { learning_rate: 0.0, ..GbtParams::default() },
+            GbtParams { learning_rate: 1.5, ..GbtParams::default() },
+            GbtParams { subsample: 0.0, ..GbtParams::default() },
+            GbtParams { colsample: 1.5, ..GbtParams::default() },
+        ] {
+            assert!(GbtRegressor::fit(&data, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = synthetic(100, |a, b| a * 2.0 + b);
+        let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: GbtRegressor = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.num_trees(), back.num_trees());
+        for i in 0..data.num_rows() {
+            let (a, b) = (model.predict(data.row(i)), back.predict(data.row(i)));
+            assert!((a - b).abs() < 1e-12, "prediction drift after round trip: {a} vs {b}");
+        }
+    }
+}

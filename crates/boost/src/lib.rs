@@ -1,0 +1,44 @@
+//! Gradient-boosted regression trees: the XGBoost substitute behind GRANII's
+//! learned cost models (paper §IV-E2).
+//!
+//! The paper trains "simple XGBoost-based cost models", one per matrix
+//! primitive and target hardware. This crate reimplements the required model
+//! class from scratch: regression trees grown by exact greedy split search on
+//! a second-order (gradient/hessian) objective with the usual XGBoost
+//! regularizers (`lambda` L2 on leaf weights, `gamma` minimum gain, depth and
+//! leaf-size limits), combined by gradient boosting with shrinkage, feature
+//! and row subsampling, and validation-based early stopping.
+//!
+//! # Example
+//!
+//! ```
+//! use granii_boost::{Dataset, GbtParams, GbtRegressor};
+//!
+//! # fn main() -> Result<(), granii_boost::BoostError> {
+//! // y = 3 * x0; a stump ensemble can fit this.
+//! let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = (0..64).map(|i| 3.0 * i as f64).collect();
+//! let data = Dataset::from_rows(&xs, &ys)?;
+//! let model = GbtRegressor::fit(&data, &GbtParams::default())?;
+//! let pred = model.predict(&[10.0]);
+//! assert!((pred - 30.0).abs() < 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod data;
+mod error;
+mod gbt;
+pub mod metrics;
+mod tree;
+
+pub use data::Dataset;
+pub use error::BoostError;
+pub use gbt::{GbtParams, GbtRegressor};
+pub use tree::{RegressionTree, TreeParams};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, BoostError>;

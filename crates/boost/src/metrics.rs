@@ -1,0 +1,134 @@
+//! Regression quality metrics used to evaluate the cost models.
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(preds: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    assert!(!preds.is_empty(), "empty inputs");
+    let mse =
+        preds.iter().zip(labels).map(|(p, y)| (p - y) * (p - y)).sum::<f64>() / preds.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error, skipping zero labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(preds: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (p, y) in preds.iter().zip(labels) {
+        if *y != 0.0 {
+            sum += ((p - y) / y).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Spearman rank correlation.
+///
+/// The metric that matters for GRANII: cost models only need to *rank*
+/// candidate compositions correctly, not predict absolute latency.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 elements.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least two points");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite values"));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Average ranks over ties.
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_fit_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_labels() {
+        let m = mape(&[1.1, 5.0], &[1.0, 0.0]);
+        assert!((m - 0.1).abs() < 1e-9);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_constant_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// Hyperparameters of a single regression tree (XGBoost nomenclature).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum hessian mass in a child for a split to be considered.
+    pub min_child_weight: f64,
+    /// L2 regularization on leaf weights (`lambda`).
+    pub lambda: f64,
+    /// Minimum gain for a split to be kept (`gamma`).
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 5, min_child_weight: 1.0, lambda: 1.0, gamma: 0.0 }
+    }
+}
+
+/// A node of a fitted tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node carrying the leaf weight.
+    Leaf {
+        /// Additive contribution of this leaf.
+        weight: f64,
+    },
+    /// Binary split: `row[feature] < threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (midpoint of adjacent sorted values).
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: u32,
+        /// Index of the right child in the node arena.
+        right: u32,
+    },
+}
+
+/// A regression tree fitted to a second-order (gradient/hessian) objective by
+/// exact greedy split search.
+///
+/// Trees are normally grown by [`crate::GbtRegressor`]; fitting one directly
+/// is useful for tests and diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    grads: &'a [f64],
+    hess: &'a [f64],
+    params: TreeParams,
+    features: &'a [usize],
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to the given gradients/hessians over `rows`, considering
+    /// only `features` for splits (row/feature subsampling happens upstream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads`/`hess` lengths differ from the dataset row count or a
+    /// row index is out of bounds (internal misuse; the boosting driver always
+    /// passes consistent arrays).
+    pub fn fit(
+        data: &Dataset,
+        grads: &[f64],
+        hess: &[f64],
+        params: TreeParams,
+        rows: &[usize],
+        features: &[usize],
+    ) -> Self {
+        assert_eq!(grads.len(), data.num_rows(), "gradient array length mismatch");
+        assert_eq!(hess.len(), data.num_rows(), "hessian array length mismatch");
+        let mut b = Builder { data, grads, hess, params, features, nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        b.build(&mut rows, 0);
+        Self { nodes: b.nodes }
+    }
+
+    /// Predicts the additive contribution of this tree for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match self.nodes[idx] {
+                Node::Leaf { weight } => return weight,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[feature] < threshold { left as usize } else { right as usize };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], idx: usize) -> usize {
+            match nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + rec(nodes, left as usize).max(rec(nodes, right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `rows`, returning its node index.
+    fn build(&mut self, rows: &mut [usize], depth: usize) -> u32 {
+        let (g_sum, h_sum) = rows
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &r| (g + self.grads[r], h + self.hess[r]));
+        let leaf_weight = -g_sum / (h_sum + self.params.lambda);
+
+        if depth >= self.params.max_depth || rows.len() < 2 {
+            return self.push(Node::Leaf { weight: leaf_weight });
+        }
+        let Some((feature, threshold)) = self.best_split(rows, g_sum, h_sum) else {
+            return self.push(Node::Leaf { weight: leaf_weight });
+        };
+
+        // Partition in place: rows with value < threshold go first.
+        let mut mid = 0usize;
+        for i in 0..rows.len() {
+            if self.data.row(rows[i])[feature] < threshold {
+                rows.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < rows.len(), "split must be non-trivial");
+
+        let node = self.push(Node::Leaf { weight: 0.0 }); // placeholder
+        let (left_rows, right_rows) = rows.split_at_mut(mid);
+        let left = self.build(left_rows, depth + 1);
+        let right = self.build(right_rows, depth + 1);
+        self.nodes[node as usize] = Node::Split { feature, threshold, left, right };
+        node
+    }
+
+    fn push(&mut self, node: Node) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Exact greedy split search: for every candidate feature, sort the rows
+    /// by value and scan the prefix gradient/hessian sums.
+    fn best_split(&self, rows: &[usize], g_sum: f64, h_sum: f64) -> Option<(usize, f64)> {
+        let lambda = self.params.lambda;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(rows.len());
+        for &f in self.features {
+            order.clear();
+            order.extend_from_slice(rows);
+            order.sort_unstable_by(|&a, &b| {
+                self.data.row(a)[f].partial_cmp(&self.data.row(b)[f]).expect("finite features")
+            });
+            let (mut gl, mut hl) = (0.0f64, 0.0f64);
+            for w in 0..order.len() - 1 {
+                let r = order[w];
+                gl += self.grads[r];
+                hl += self.hess[r];
+                let v = self.data.row(r)[f];
+                let v_next = self.data.row(order[w + 1])[f];
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let (gr, hr) = (g_sum - gl, h_sum - hl);
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                    - self.params.gamma;
+                if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, 0.5 * (v + v_next)));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gradients for squared loss starting from prediction 0: g = -y, h = 1.
+    fn sq_grads(labels: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        (labels.iter().map(|y| -y).collect(), vec![1.0; labels.len()])
+    }
+
+    fn fit_all(data: &Dataset, params: TreeParams) -> RegressionTree {
+        let (g, h) = sq_grads(data.labels());
+        let rows: Vec<usize> = (0..data.num_rows()).collect();
+        let features: Vec<usize> = (0..data.num_features()).collect();
+        RegressionTree::fit(data, &g, &h, params, &rows, &features)
+    }
+
+    #[test]
+    fn splits_a_step_function() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let tree = fit_all(&data, TreeParams { lambda: 0.0, ..TreeParams::default() });
+        assert!((tree.predict(&[3.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[15.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf_mean() {
+        let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let labels = vec![1.0, 2.0, 3.0, 4.0];
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let tree = fit_all(&data, TreeParams { max_depth: 0, lambda: 0.0, ..TreeParams::default() });
+        assert_eq!(tree.num_nodes(), 1);
+        assert!((tree.predict(&[0.0]) - 2.5).abs() < 1e-9); // mean of labels
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_weights() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![4.0, 4.0];
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let t0 = fit_all(&data, TreeParams { max_depth: 0, lambda: 0.0, ..TreeParams::default() });
+        let t1 = fit_all(&data, TreeParams { max_depth: 0, lambda: 2.0, ..TreeParams::default() });
+        assert!((t0.predict(&[0.0]) - 4.0).abs() < 1e-9);
+        assert!((t1.predict(&[0.0]) - 2.0).abs() < 1e-9); // 8 / (2 + 2)
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        // Tiny signal.
+        let labels: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 0.01 }).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let strict = fit_all(&data, TreeParams { gamma: 10.0, ..TreeParams::default() });
+        assert_eq!(strict.num_nodes(), 1, "gamma should suppress the split");
+        let loose = fit_all(&data, TreeParams { gamma: 0.0, lambda: 0.0, ..TreeParams::default() });
+        assert!(loose.num_nodes() > 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        for depth in [1usize, 2, 3] {
+            let tree = fit_all(
+                &data,
+                TreeParams { max_depth: depth, lambda: 0.0, min_child_weight: 0.0, gamma: 0.0 },
+            );
+            assert!(tree.depth() <= depth, "depth {} > limit {depth}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn constant_feature_cannot_split() {
+        let rows = vec![vec![1.0]; 8];
+        let labels: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let tree = fit_all(&data, TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y depends on feature 1 only; the tree must pick it over feature 0.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 4) as f64, if i % 2 == 0 { 0.0 } else { 1.0 }])
+            .collect();
+        let labels: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { -5.0 } else { 5.0 }).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let tree = fit_all(&data, TreeParams { lambda: 0.0, ..TreeParams::default() });
+        assert!((tree.predict(&[0.0, 0.0]) + 5.0).abs() < 1e-6);
+        assert!((tree.predict(&[0.0, 1.0]) - 5.0).abs() < 1e-6);
+    }
+}

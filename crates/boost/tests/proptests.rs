@@ -1,0 +1,62 @@
+//! Property-based tests for the gradient-boosted-tree learner.
+
+use granii_boost::{metrics, Dataset, GbtParams, GbtRegressor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fitting never fails on well-formed data, and predictions are finite.
+    #[test]
+    fn predictions_are_finite(
+        labels in proptest::collection::vec(-100.0f64..100.0, 8..60),
+        slope in -5.0f64..5.0,
+    ) {
+        let rows: Vec<Vec<f64>> = labels.iter().enumerate()
+            .map(|(i, _)| vec![i as f64, (i as f64 * slope).sin()])
+            .collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let model = GbtRegressor::fit(&data, &GbtParams { num_rounds: 10, ..GbtParams::default() }).unwrap();
+        for i in 0..data.num_rows() {
+            prop_assert!(model.predict(data.row(i)).is_finite());
+        }
+    }
+
+    /// On constant labels, the model predicts (close to) that constant.
+    #[test]
+    fn constant_labels_predicted_exactly(c in -50.0f64..50.0, n in 4usize..40) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels = vec![c; n];
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let model = GbtRegressor::fit(&data, &GbtParams { num_rounds: 5, ..GbtParams::default() }).unwrap();
+        prop_assert!((model.predict(&[0.0]) - c).abs() < 1e-6);
+    }
+
+    /// Training error on a monotone target gives near-perfect rank order.
+    #[test]
+    fn ranks_monotone_targets(scale in 0.1f64..20.0, n in 20usize..80) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..n).map(|i| scale * (i as f64).powi(2)).collect();
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
+        let preds: Vec<f64> = (0..n).map(|i| model.predict(data.row(i))).collect();
+        prop_assert!(metrics::spearman(&preds, &labels) > 0.98);
+    }
+
+    /// Spearman is invariant under strictly monotone transforms.
+    #[test]
+    fn spearman_monotone_invariance(values in proptest::collection::vec(-100.0f64..100.0, 3..40)) {
+        let transformed: Vec<f64> = values.iter().map(|v| v.exp().min(1e300)).collect();
+        let s = metrics::spearman(&values, &transformed);
+        prop_assert!((s - 1.0).abs() < 1e-9, "spearman {s}");
+    }
+
+    /// RMSE is zero iff predictions equal labels.
+    #[test]
+    fn rmse_zero_iff_equal(labels in proptest::collection::vec(-10.0f64..10.0, 1..30)) {
+        prop_assert_eq!(metrics::rmse(&labels, &labels), 0.0);
+        let mut shifted = labels.clone();
+        shifted[0] += 1.0;
+        prop_assert!(metrics::rmse(&shifted, &labels) > 0.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Library backing the `granii` command-line tool.
+//!
+//! The CLI wraps the two-stage workflow of the paper's Fig 4/5 for shell use:
+//!
+//! - `granii train` — the offline stage: profile primitives for a device and
+//!   persist the trained cost models as JSON,
+//! - `granii select` — the online stage: load cost models, featurize a graph,
+//!   and print the selected composition with predicted costs,
+//! - `granii compile` — show a model's offline compilation (counts, promoted
+//!   trees, complexities),
+//! - `granii generate` — write synthetic graphs / dataset stand-ins as edge
+//!   lists,
+//! - `granii inspect` — print a graph's featurizer view,
+//! - `granii bench` — execute a model's compositions with real CPU kernels
+//!   and report measured per-iteration times alongside GRANII's choice.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use granii_core::cost::training::TrainingConfig;
+use granii_core::cost::CostModelSet;
+use granii_core::plan::CompiledModel;
+use granii_core::Granii;
+use granii_gnn::spec::{LayerConfig, ModelKind};
+use granii_graph::datasets::{Dataset, Scale};
+use granii_graph::{generators, io, Graph, GraphFeatures};
+use granii_matrix::device::DeviceKind;
+
+/// Errors surfaced to the CLI user (message + exit code 1).
+pub type CliError = String;
+
+/// Parsed command-line arguments: positional command plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` flags, in order of appearance (later wins).
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for flags without values or extra positionals.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut out = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?
+                    .clone();
+                out.flags.insert(key.to_string(), value);
+            } else if out.command.is_empty() {
+                out.command = tok.clone();
+            } else {
+                return Err(format!("unexpected positional argument {tok}"));
+            }
+        }
+        if out.command.is_empty() {
+            return Err(usage());
+        }
+        Ok(out)
+    }
+
+    /// A flag's value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// A flag parsed as `usize` with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unparsable values.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+        }
+    }
+}
+
+/// The CLI usage string.
+pub fn usage() -> String {
+    "usage: granii <command> [flags]\n\
+     commands:\n\
+       train     --device cpu|a100|h100 --out FILE [--fast true] [--measured true]\n\
+       select    --models FILE --model gcn|gin|sgc|tagcn|gat|sage --k1 N --k2 N\n\
+                 (--graph FILE | --dataset RD|CA|MC|BL|AU|OP [--scale tiny|small])\n\
+                 [--iters N]\n\
+       compile   --model NAME [--k1 N --k2 N] [--hops N]\n\
+       generate  --kind power-law|erdos-renyi|grid|mycielskian|community|ring|star\n\
+                 --out FILE [--nodes N] [--param N] [--seed N]\n\
+       inspect   (--graph FILE | --dataset CODE [--scale tiny|small])\n\
+       bench     --models FILE --model NAME --k1 N --k2 N [--iters N]\n\
+                 (--graph FILE | --dataset CODE [--scale tiny|small])"
+        .to_string()
+}
+
+/// Parses a device name.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown names.
+pub fn parse_device(name: &str) -> Result<DeviceKind, CliError> {
+    match name {
+        "cpu" => Ok(DeviceKind::Cpu),
+        "a100" => Ok(DeviceKind::A100),
+        "h100" => Ok(DeviceKind::H100),
+        other => Err(format!("unknown device {other} (cpu|a100|h100)")),
+    }
+}
+
+/// Parses a model name.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown names.
+pub fn parse_model(name: &str) -> Result<ModelKind, CliError> {
+    match name {
+        "gcn" => Ok(ModelKind::Gcn),
+        "gin" => Ok(ModelKind::Gin),
+        "sgc" => Ok(ModelKind::Sgc),
+        "tagcn" => Ok(ModelKind::Tagcn),
+        "gat" => Ok(ModelKind::Gat),
+        "sage" => Ok(ModelKind::Sage),
+        other => Err(format!("unknown model {other}")),
+    }
+}
+
+/// Parses a Table II dataset code.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown codes.
+pub fn parse_dataset(code: &str) -> Result<Dataset, CliError> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.code().eq_ignore_ascii_case(code))
+        .ok_or_else(|| format!("unknown dataset code {code} (RD|CA|MC|BL|AU|OP)"))
+}
+
+/// Loads the graph named by `--graph` or `--dataset`.
+///
+/// # Errors
+///
+/// Returns IO/parse errors and usage errors.
+pub fn load_graph(args: &Args) -> Result<Graph, CliError> {
+    match (args.get("graph"), args.get("dataset")) {
+        (Some(path), None) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            if path.ends_with(".mtx") {
+                io::read_matrix_market(file).map_err(|e| format!("parse {path}: {e}"))
+            } else {
+                io::read_edge_list(file).map_err(|e| format!("parse {path}: {e}"))
+            }
+        }
+        (None, Some(code)) => {
+            let scale = match args.get("scale").unwrap_or("tiny") {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                other => return Err(format!("unknown scale {other}")),
+            };
+            parse_dataset(code)?.load(scale).map_err(|e| e.to_string())
+        }
+        _ => Err("provide exactly one of --graph FILE or --dataset CODE".to_string()),
+    }
+}
+
+/// Runs a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing error message.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "train" => cmd_train(args),
+        "select" => cmd_select(args),
+        "compile" => cmd_compile(args),
+        "generate" => cmd_generate(args),
+        "inspect" => cmd_inspect(args),
+        "bench" => cmd_bench(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let device = parse_device(args.require("device")?)?;
+    let out_path = args.require("out")?;
+    let fast = args.get("fast") == Some("true");
+    let measured = args.get("measured") == Some("true");
+    let cfg = if fast { TrainingConfig::fast() } else { TrainingConfig::default() };
+    let models = if measured {
+        if device != DeviceKind::Cpu {
+            return Err("--measured true profiles real kernels and requires --device cpu".into());
+        }
+        granii_core::cost::training::train_measured_cpu(&cfg, 2_000_000, 512)
+            .map_err(|e| e.to_string())?
+    } else {
+        granii_core::cost::training::train(device, &cfg).map_err(|e| e.to_string())?
+    };
+    let json = models.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    let mut report = format!("trained cost models for {device} -> {out_path}\n");
+    for (kind, (rmse, spearman)) in &models.validation {
+        writeln!(report, "  {kind}: rmse(log) {rmse:.3}, spearman {spearman:.3}").expect("fmt");
+    }
+    Ok(report)
+}
+
+fn cmd_select(args: &Args) -> Result<String, CliError> {
+    let path = args.require("models")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let models = CostModelSet::from_json(&json).map_err(|e| e.to_string())?;
+    let granii = Granii::with_cost_models(models);
+    let model = parse_model(args.require("model")?)?;
+    let k1 = args.require("k1")?.parse::<usize>().map_err(|e| format!("--k1: {e}"))?;
+    let k2 = args.require("k2")?.parse::<usize>().map_err(|e| format!("--k2: {e}"))?;
+    let iters = args.usize_or("iters", 100)?;
+    let graph = load_graph(args)?;
+    let sel = granii
+        .select_with_config(model, &graph, LayerConfig::new(k1, k2), iters)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "graph: {} ({} nodes, {} edges)\nselected: {}\ncost models used: {}\noverhead: {:.3} ms\n",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        sel.composition_name(),
+        sel.used_cost_models,
+        sel.overhead_seconds() * 1e3
+    );
+    for (comp, cost) in &sel.predicted {
+        writeln!(out, "  predicted {:>10.3} ms  {comp}", cost * 1e3).expect("fmt");
+    }
+    Ok(out)
+}
+
+fn cmd_compile(args: &Args) -> Result<String, CliError> {
+    let model = parse_model(args.require("model")?)?;
+    let k1 = args.usize_or("k1", 32)?;
+    let k2 = args.usize_or("k2", 256)?;
+    let hops = args.usize_or("hops", 2)?;
+    let plan = CompiledModel::compile(model, LayerConfig { k_in: k1, k_out: k2, hops })
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{model}: {} enumerated, {} pruned, {} promoted\n",
+        plan.enumerated,
+        plan.pruned,
+        plan.candidates.len()
+    );
+    for c in &plan.candidates {
+        let scen = match (c.shrink, c.grow) {
+            (true, true) => "<>",
+            (true, false) => ">",
+            (false, true) => "<",
+            _ => "-",
+        };
+        writeln!(out, "  [{scen}] {} => {}", c.program.expr, c.composition).expect("fmt");
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let kind = args.require("kind")?;
+    let out_path = args.require("out")?;
+    let nodes = args.usize_or("nodes", 1_000)?;
+    let param = args.usize_or("param", 8)?;
+    let seed = args.usize_or("seed", 0)? as u64;
+    let graph = match kind {
+        "power-law" => generators::power_law(nodes, param, seed),
+        "erdos-renyi" => generators::erdos_renyi(nodes, param as f64, seed),
+        "grid" => generators::grid_2d(nodes, param),
+        "mycielskian" => generators::mycielskian(param as u32),
+        "community" => generators::community((nodes / 50).max(1), 50, 0.2, param, seed),
+        "ring" => generators::ring(nodes),
+        "star" => generators::star(nodes),
+        other => return Err(format!("unknown generator {other}")),
+    }
+    .map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    io::write_edge_list(&graph, file).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({} nodes, {} edges) -> {out_path}",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    ))
+}
+
+/// Measured execution: runs every composition of a model on the host CPU and
+/// reports per-iteration times next to GRANII's selection.
+fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    use granii_gnn::models::GnnLayer;
+    use granii_gnn::spec::Composition;
+    use granii_gnn::{Exec, GraphCtx};
+    use granii_matrix::device::Engine;
+    use granii_matrix::DenseMatrix;
+
+    let path = args.require("models")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let models = CostModelSet::from_json(&json).map_err(|e| e.to_string())?;
+    let granii = Granii::with_cost_models(models);
+    let model = parse_model(args.require("model")?)?;
+    let k1 = args.require("k1")?.parse::<usize>().map_err(|e| format!("--k1: {e}"))?;
+    let k2 = args.require("k2")?.parse::<usize>().map_err(|e| format!("--k2: {e}"))?;
+    let iters = args.usize_or("iters", 10)?;
+    let graph = load_graph(args)?;
+    let cfg = LayerConfig::new(k1, k2);
+
+    let ctx = GraphCtx::new(&graph).map_err(|e| e.to_string())?;
+    let engine = Engine::cpu_measured();
+    let exec = Exec::real(&engine);
+    let layer = GnnLayer::new(model, cfg, 7).map_err(|e| e.to_string())?;
+    let h = DenseMatrix::random(ctx.num_nodes(), k1, 1.0, 1);
+    let selection =
+        granii.select_with_config(model, &graph, cfg, iters).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "measured CPU execution on {} ({} nodes, {} edges), {iters} iterations each
+",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    for comp in Composition::all_for(model) {
+        let prepared = layer.prepare(&exec, &ctx, comp).map_err(|e| e.to_string())?;
+        engine.take_profile();
+        for _ in 0..iters {
+            layer.forward(&exec, &ctx, &prepared, &h, comp).map_err(|e| e.to_string())?;
+        }
+        let per_iter = engine.take_profile().total_seconds() / iters as f64;
+        let marker = if comp == selection.composition { "  <- GRANII's choice" } else { "" };
+        writeln!(out, "  {:>10.3} ms/iter  {comp}{marker}", per_iter * 1e3).expect("fmt");
+    }
+    Ok(out)
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    let graph = load_graph(args)?;
+    let f = GraphFeatures::extract(&graph);
+    let mut out = format!("graph {}\n", graph.name());
+    for (name, value) in GraphFeatures::NAMES.iter().zip(f.to_vec()) {
+        writeln!(out, "  {name:<20} {value:.4}").expect("fmt");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_accepts_command_and_flags() {
+        let a = args(&["select", "--k1", "32", "--k2", "64"]);
+        assert_eq!(a.command, "select");
+        assert_eq!(a.get("k1"), Some("32"));
+        assert_eq!(a.usize_or("k2", 0).unwrap(), 64);
+        assert_eq!(a.usize_or("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag_and_extra_positional() {
+        assert!(Args::parse(&["x".into(), "--k1".into()]).is_err());
+        assert!(Args::parse(&["x".into(), "y".into()]).is_err());
+        assert!(Args::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn name_parsers() {
+        assert_eq!(parse_device("a100").unwrap(), DeviceKind::A100);
+        assert!(parse_device("tpu").is_err());
+        assert_eq!(parse_model("gat").unwrap(), ModelKind::Gat);
+        assert!(parse_model("transformer").is_err());
+        assert_eq!(parse_dataset("rd").unwrap(), Dataset::Reddit);
+        assert!(parse_dataset("XX").is_err());
+    }
+
+    #[test]
+    fn compile_command_reports_counts() {
+        let out = run(&args(&["compile", "--model", "gcn"])).unwrap();
+        assert!(out.contains("12 enumerated, 8 pruned, 4 promoted"), "{out}");
+    }
+
+    #[test]
+    fn generate_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("granii-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let path_s = path.to_str().unwrap();
+        let out = run(&args(&["generate", "--kind", "ring", "--nodes", "12", "--out", path_s]))
+            .unwrap();
+        assert!(out.contains("12 nodes"), "{out}");
+        let out = run(&args(&["inspect", "--graph", path_s])).unwrap();
+        assert!(out.contains("avg_degree"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn select_requires_model_file() {
+        let err = run(&args(&[
+            "select", "--models", "/nonexistent.json", "--model", "gcn", "--k1", "8", "--k2", "8",
+            "--dataset", "RD",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("read /nonexistent.json"), "{err}");
+    }
+
+    #[test]
+    fn bench_requires_models_file() {
+        let err = run(&args(&[
+            "bench", "--models", "/missing.json", "--model", "gcn", "--k1", "8", "--k2", "8",
+            "--dataset", "BL",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("read /missing.json"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+    }
+}

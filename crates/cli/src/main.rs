@@ -1,0 +1,19 @@
+//! The `granii` command-line tool. See [`granii_cli::usage`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match granii_cli::Args::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match granii_cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

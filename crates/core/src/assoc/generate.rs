@@ -1,0 +1,587 @@
+//! Algorithm 1: exhaustive enumeration of association trees.
+//!
+//! The enumerator recursively reduces each n-ary multiplication chain by every
+//! rule-matching adjacent pair, spawning one branch per candidate (the paper's
+//! `getCandidates` / `apply` loop). The rule table (Appendix D substitute):
+//!
+//! | left × right | primitive | result |
+//! |---|---|---|
+//! | diag × diag | element-wise merge | diag |
+//! | diag × sparse, sparse × diag | SDDMM edge scaling | sparse (weighted) |
+//! | diag × dense | row-broadcast | dense |
+//! | dense × diag | column-broadcast | dense |
+//! | sparse × dense | g-SpMM (weighted per sparse sub-attribute) | dense |
+//! | dense × dense | GEMM | dense |
+//! | sparse × sparse | — (no SpGEMM primitive; branch dies) | |
+//!
+//! Consecutive diagonal absorptions into the same sparse operand fuse into a
+//! single SDDMM (`(D·A)·D` and `D·(A·D)` both canonicalize to `D·A·D`), which
+//! is what makes the GCN forest count 12 instead of Catalan(4) = 14.
+//! Completed trees are deduplicated by canonical expression, and equal step
+//! signatures are computed once (common-subexpression reuse).
+
+use std::collections::BTreeMap;
+
+use granii_matrix::PrimitiveKind;
+
+use crate::ir::{Attr, Dim, Expr};
+use crate::{CoreError, Result};
+
+use super::{CandidateProgram, PrimStep};
+
+/// A working element of a chain during reduction.
+#[derive(Debug, Clone)]
+struct Elem {
+    rows: Dim,
+    cols: Dim,
+    kind: ElemKind,
+    expr: String,
+    /// Index (into the step list) of the step that produced this element, for
+    /// SDDMM fusion.
+    produced_by: Option<usize>,
+    /// Whether the element depends on iteration-varying data (features or
+    /// weights) as opposed to graph structure only; graph-only steps are
+    /// hoisted (`PrimStep::once`).
+    data: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ElemKind {
+    Diag,
+    Sparse { weighted: bool },
+    Dense,
+}
+
+/// Hard bound on intermediate enumeration results. Algorithm 1 is
+/// exponential in chain length (deep TAGCN/SGC hop counts multiply terms
+/// combinatorially); beyond this budget enumeration reports a typed error
+/// instead of exhausting memory.
+pub const ENUMERATION_BUDGET: usize = 250_000;
+
+/// Enumerates all association trees of an IR expression.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidIr`] for malformed expressions or when the
+/// forest exceeds [`ENUMERATION_BUDGET`] intermediate results, and
+/// [`CoreError::NoCandidates`] if no complete tree exists.
+pub fn enumerate(expr: &Expr) -> Result<Vec<CandidateProgram>> {
+    let mut budget = ENUMERATION_BUDGET;
+    let results = enumerate_expr(expr, &mut budget)?;
+    let mut out: BTreeMap<String, CandidateProgram> = BTreeMap::new();
+    for (elem, steps) in results {
+        let steps = dedupe_by_signature(steps);
+        out.entry(elem.expr.clone()).or_insert(CandidateProgram { expr: elem.expr, steps });
+    }
+    if out.is_empty() {
+        return Err(CoreError::NoCandidates { model: expr.render() });
+    }
+    Ok(out.into_values().collect())
+}
+
+/// Common-subexpression reuse: a step whose signature was already computed is
+/// dropped (its value is reused).
+fn dedupe_by_signature(steps: Vec<PrimStep>) -> Vec<PrimStep> {
+    let mut seen = std::collections::HashSet::new();
+    steps.into_iter().filter(|s| seen.insert(s.signature.clone())).collect()
+}
+
+/// Decrements the enumeration budget, erroring when exhausted.
+fn spend(budget: &mut usize, amount: usize) -> Result<()> {
+    if *budget < amount {
+        return Err(CoreError::InvalidIr(format!(
+            "association enumeration exceeds the {ENUMERATION_BUDGET}-result budget \
+             (reduce the hop count; the forest grows exponentially with chain length)"
+        )));
+    }
+    *budget -= amount;
+    Ok(())
+}
+
+/// Recursively enumerates an expression into `(result element, steps)` pairs.
+fn enumerate_expr(expr: &Expr, budget: &mut usize) -> Result<Vec<(Elem, Vec<PrimStep>)>> {
+    match expr {
+        Expr::Mat(m) => {
+            let kind = match m.attr {
+                Attr::Diagonal => ElemKind::Diag,
+                Attr::SparseWeighted => ElemKind::Sparse { weighted: true },
+                Attr::SparseUnweighted => ElemKind::Sparse { weighted: false },
+                Attr::DenseData | Attr::DenseWeight => ElemKind::Dense,
+            };
+            let data = matches!(m.attr, Attr::DenseData | Attr::DenseWeight);
+            Ok(vec![(
+                Elem {
+                    rows: m.rows,
+                    cols: m.cols,
+                    kind,
+                    expr: m.name.clone(),
+                    produced_by: None,
+                    data,
+                },
+                Vec::new(),
+            )])
+        }
+        Expr::Chain(es) => {
+            if es.is_empty() {
+                return Err(CoreError::InvalidIr("empty chain".into()));
+            }
+            // Cartesian product over the children's enumerations, then reduce
+            // the resulting element chain in every rule-compatible order.
+            let children: Vec<Vec<(Elem, Vec<PrimStep>)>> = es
+                .iter()
+                .map(|e| enumerate_expr(e, budget))
+                .collect::<Result<_>>()?;
+            let mut out = Vec::new();
+            for combo in cartesian(&children) {
+                let mut steps = Vec::new();
+                let mut elems = Vec::with_capacity(combo.len());
+                for (elem, child_steps) in combo {
+                    let offset = steps.len();
+                    let mut elem = elem.clone();
+                    if let Some(p) = elem.produced_by {
+                        elem.produced_by = Some(p + offset);
+                    }
+                    steps.extend(child_steps.iter().cloned());
+                    elems.push(elem);
+                }
+                // Different reduction orders reaching the same chain state
+                // produce identical futures (an element's expression fully
+                // determines the steps that built it), so states are visited
+                // once.
+                let mut visited = std::collections::HashSet::new();
+                reduce_chain(&elems, &steps, &mut out, budget, &mut visited)?;
+            }
+            Ok(out)
+        }
+        Expr::Add(es) => {
+            if es.is_empty() {
+                return Err(CoreError::InvalidIr("empty add".into()));
+            }
+            let children: Vec<Vec<(Elem, Vec<PrimStep>)>> = es
+                .iter()
+                .map(|e| enumerate_expr(e, budget))
+                .collect::<Result<_>>()?;
+            let mut out = Vec::new();
+            for combo in cartesian(&children) {
+                spend(budget, 1)?;
+                let mut steps: Vec<PrimStep> = Vec::new();
+                let mut exprs = Vec::new();
+                let (mut rows, mut cols) = (Dim::N, Dim::K2);
+                for (elem, child_steps) in &combo {
+                    if elem.kind != ElemKind::Dense {
+                        return Err(CoreError::InvalidIr("add of non-dense operands".into()));
+                    }
+                    steps.extend(child_steps.iter().cloned());
+                    exprs.push(elem.expr.clone());
+                    rows = elem.rows;
+                    cols = elem.cols;
+                }
+                let expr = format!("({})", exprs.join(" + "));
+                // One element-wise pass per extra operand.
+                for i in 1..combo.len() {
+                    steps.push(PrimStep {
+                        kind: PrimitiveKind::Elementwise,
+                        rows,
+                        inner: Dim::One,
+                        cols,
+                        signature: format!("add{i}:{expr}"),
+                        once: false,
+                    });
+                }
+                out.push((
+                    Elem { rows, cols, kind: ElemKind::Dense, expr, produced_by: None, data: true },
+                    steps,
+                ));
+            }
+            Ok(out)
+        }
+        Expr::Nonlinear(x) => {
+            let inner = enumerate_expr(x, budget)?;
+            Ok(inner
+                .into_iter()
+                .map(|(elem, mut steps)| {
+                    let expr = format!("σ{}", wrap(&elem.expr));
+                    steps.push(PrimStep {
+                        kind: PrimitiveKind::Elementwise,
+                        rows: elem.rows,
+                        inner: Dim::One,
+                        cols: elem.cols,
+                        signature: expr.clone(),
+                        once: false,
+                    });
+                    (
+                        Elem {
+                            rows: elem.rows,
+                            cols: elem.cols,
+                            kind: ElemKind::Dense,
+                            expr,
+                            produced_by: None,
+                            data: true,
+                        },
+                        steps,
+                    )
+                })
+                .collect())
+        }
+        Expr::Attention { theta } => {
+            // Fixed sub-program (softmax barrier inside): Θ's own chain is
+            // enumerable, then the score computation is a fixed primitive
+            // sequence producing the sparse attention matrix α.
+            let inner = enumerate_expr(theta, budget)?;
+            Ok(inner
+                .into_iter()
+                .map(|(elem, mut steps)| {
+                    let t = elem.expr.clone();
+                    for (kind, rows, inner_d, cols, sig) in [
+                        (PrimitiveKind::Gemm, Dim::N, Dim::K2, Dim::One, format!("({t}·a_l)")),
+                        (PrimitiveKind::Gemm, Dim::N, Dim::K2, Dim::One, format!("({t}·a_r)")),
+                        (PrimitiveKind::Sddmm, Dim::N, Dim::Nnz, Dim::One, format!("att-logits:{t}")),
+                        (PrimitiveKind::Elementwise, Dim::Nnz, Dim::One, Dim::One, format!("att-leaky:{t}")),
+                        (PrimitiveKind::EdgeSoftmax, Dim::N, Dim::Nnz, Dim::One, format!("att-softmax:{t}")),
+                    ] {
+                        steps.push(PrimStep {
+                            kind,
+                            rows,
+                            inner: inner_d,
+                            cols,
+                            signature: sig,
+                            once: false,
+                        });
+                    }
+                    (
+                        Elem {
+                            rows: Dim::N,
+                            cols: Dim::N,
+                            kind: ElemKind::Sparse { weighted: true },
+                            expr: "α".into(),
+                            produced_by: None,
+                            data: true,
+                        },
+                        steps,
+                    )
+                })
+                .collect())
+        }
+        Expr::RowBroadcast { .. } => Err(CoreError::InvalidIr(
+            "row-broadcasts must be rewritten before enumeration (run ir::rewrite::canonicalize)"
+                .into(),
+        )),
+    }
+}
+
+/// All combinations picking one enumeration per child.
+fn cartesian<T>(children: &[Vec<T>]) -> Vec<Vec<&T>> {
+    let mut out: Vec<Vec<&T>> = vec![Vec::new()];
+    for child in children {
+        let mut next = Vec::with_capacity(out.len() * child.len());
+        for prefix in &out {
+            for item in child {
+                let mut v = prefix.clone();
+                v.push(item);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Depth-first reduction of an element chain by every applicable rule.
+fn reduce_chain(
+    elems: &[Elem],
+    steps: &[PrimStep],
+    out: &mut Vec<(Elem, Vec<PrimStep>)>,
+    budget: &mut usize,
+    visited: &mut std::collections::HashSet<String>,
+) -> Result<()> {
+    if elems.len() == 1 {
+        spend(budget, 1)?;
+        out.push((elems[0].clone(), steps.to_vec()));
+        return Ok(());
+    }
+    let key = elems.iter().map(|e| e.expr.as_str()).collect::<Vec<_>>().join("\u{1f}");
+    if !visited.insert(key) {
+        return Ok(());
+    }
+    spend(budget, 1)?;
+    for i in 0..elems.len() - 1 {
+        if let Some((elem, new_steps)) = apply_rule(&elems[i], &elems[i + 1], steps) {
+            let mut next: Vec<Elem> = Vec::with_capacity(elems.len() - 1);
+            next.extend_from_slice(&elems[..i]);
+            next.push(elem);
+            next.extend_from_slice(&elems[i + 2..]);
+            reduce_chain(&next, &new_steps, out, budget, visited)?;
+        }
+    }
+    Ok(())
+}
+
+fn wrap(s: &str) -> String {
+    if s.starts_with('(') && s.ends_with(')') {
+        s.to_string()
+    } else {
+        format!("({s})")
+    }
+}
+
+fn strip(s: &str) -> &str {
+    s.strip_prefix('(').and_then(|s| s.strip_suffix(')')).unwrap_or(s)
+}
+
+/// Applies the primitive-assignment rule for an adjacent pair; returns the
+/// produced element and the updated step list.
+fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimStep>)> {
+    use ElemKind::*;
+    let mut steps = steps.to_vec();
+    let once = !l.data && !r.data;
+    let data = l.data || r.data;
+    match (l.kind, r.kind) {
+        // diag · diag: merge the per-node vectors (element-wise).
+        (Diag, Diag) => {
+            let expr = format!("({}·{})", strip(&l.expr), strip(&r.expr));
+            steps.push(PrimStep {
+                kind: PrimitiveKind::Elementwise,
+                rows: Dim::N,
+                inner: Dim::One,
+                cols: Dim::One,
+                signature: expr.clone(),
+                once,
+            });
+            let idx = steps.len() - 1;
+            Some((
+                Elem { rows: l.rows, cols: r.cols, kind: Diag, expr, produced_by: Some(idx), data },
+                steps,
+            ))
+        }
+        // diag · sparse / sparse · diag: SDDMM edge scaling. Consecutive
+        // absorptions into the same sparse fuse into one SDDMM.
+        (Diag, Sparse { .. }) | (Sparse { .. }, Diag) => {
+            let (sparse, absorb_left) =
+                if l.kind == Diag { (r, true) } else { (l, false) };
+            let diag = if absorb_left { l } else { r };
+            let expr = if absorb_left {
+                format!("({}·{})", diag.expr, strip(&sparse.expr))
+            } else {
+                format!("({}·{})", strip(&sparse.expr), diag.expr)
+            };
+            let fused = sparse
+                .produced_by
+                .filter(|&k| steps[k].kind == PrimitiveKind::Sddmm && steps[k].signature == sparse.expr);
+            let idx = match fused {
+                Some(k) => {
+                    steps[k].signature = expr.clone();
+                    k
+                }
+                None => {
+                    steps.push(PrimStep {
+                        kind: PrimitiveKind::Sddmm,
+                        rows: Dim::N,
+                        inner: Dim::Nnz,
+                        cols: Dim::One,
+                        signature: expr.clone(),
+                        once,
+                    });
+                    steps.len() - 1
+                }
+            };
+            Some((
+                Elem {
+                    rows: Dim::N,
+                    cols: Dim::N,
+                    kind: Sparse { weighted: true },
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
+                steps,
+            ))
+        }
+        // diag · dense: row-broadcast.
+        (Diag, Dense) => {
+            let expr = format!("({}·{})", l.expr, r.expr);
+            steps.push(PrimStep {
+                kind: PrimitiveKind::RowBroadcast,
+                rows: r.rows,
+                inner: Dim::One,
+                cols: r.cols,
+                signature: expr.clone(),
+                once,
+            });
+            let idx = steps.len() - 1;
+            Some((
+                Elem { rows: r.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                steps,
+            ))
+        }
+        // dense · diag: column-broadcast.
+        (Dense, Diag) => {
+            let expr = format!("({}·{})", l.expr, r.expr);
+            steps.push(PrimStep {
+                kind: PrimitiveKind::ColBroadcast,
+                rows: l.rows,
+                inner: Dim::One,
+                cols: l.cols,
+                signature: expr.clone(),
+                once,
+            });
+            let idx = steps.len() - 1;
+            Some((
+                Elem { rows: l.rows, cols: l.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                steps,
+            ))
+        }
+        // sparse · dense: g-SpMM, weighted per the sparse sub-attribute.
+        (Sparse { weighted }, Dense) => {
+            let expr = format!("({}·{})", l.expr, r.expr);
+            let kind = if weighted {
+                PrimitiveKind::SpmmWeighted
+            } else {
+                PrimitiveKind::SpmmUnweighted
+            };
+            steps.push(PrimStep {
+                kind,
+                rows: l.rows,
+                inner: Dim::Nnz,
+                cols: r.cols,
+                signature: expr.clone(),
+                once,
+            });
+            let idx = steps.len() - 1;
+            Some((
+                Elem { rows: l.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                steps,
+            ))
+        }
+        // dense · dense: GEMM.
+        (Dense, Dense) => {
+            let expr = format!("({}·{})", l.expr, r.expr);
+            steps.push(PrimStep {
+                kind: PrimitiveKind::Gemm,
+                rows: l.rows,
+                inner: l.cols,
+                cols: r.cols,
+                signature: expr.clone(),
+                once,
+            });
+            let idx = steps.len() - 1;
+            Some((
+                Elem { rows: l.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                steps,
+            ))
+        }
+        // sparse · sparse: no SpGEMM primitive — the branch dies.
+        (Sparse { .. }, Sparse { .. }) | (Dense, Sparse { .. }) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{builder, rewrite};
+    use granii_gnn::spec::{LayerConfig, ModelKind};
+
+    fn enumerate_model(kind: ModelKind, cfg: LayerConfig) -> Vec<CandidateProgram> {
+        let ir = builder::build(kind, cfg);
+        let mut all: BTreeMap<String, CandidateProgram> = BTreeMap::new();
+        for variant in rewrite::variants(&ir) {
+            for cand in enumerate(&variant).unwrap() {
+                all.entry(cand.expr.clone()).or_insert(cand);
+            }
+        }
+        all.into_values().collect()
+    }
+
+    /// The §VI-B count: GCN has 12 compositions through re-association.
+    #[test]
+    fn gcn_enumerates_twelve_trees() {
+        let cands = enumerate_model(ModelKind::Gcn, LayerConfig::new(8, 4));
+        assert_eq!(cands.len(), 12, "{:#?}", cands.iter().map(|c| &c.expr).collect::<Vec<_>>());
+    }
+
+    /// The §VI-B count: GAT has 2 compositions (reuse vs recompute).
+    #[test]
+    fn gat_enumerates_two_trees() {
+        let cands = enumerate_model(ModelKind::Gat, LayerConfig::new(8, 16));
+        assert_eq!(cands.len(), 2, "{:#?}", cands.iter().map(|c| &c.expr).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gat_reuse_tree_has_one_fewer_gemm() {
+        let cands = enumerate_model(ModelKind::Gat, LayerConfig::new(8, 16));
+        let gemm_counts: Vec<usize> = cands
+            .iter()
+            .map(|c| c.steps.iter().filter(|s| s.kind == PrimitiveKind::Gemm).count())
+            .collect();
+        let min = gemm_counts.iter().min().unwrap();
+        let max = gemm_counts.iter().max().unwrap();
+        assert_eq!(max - min, 1, "CSE must remove the reused Θ GEMM: {gemm_counts:?}");
+    }
+
+    #[test]
+    fn gcn_contains_both_normalization_families() {
+        let cands = enumerate_model(ModelKind::Gcn, LayerConfig::new(8, 4));
+        let with_sddmm = cands
+            .iter()
+            .filter(|c| c.steps.iter().any(|s| s.kind == PrimitiveKind::Sddmm))
+            .count();
+        let with_broadcast = cands
+            .iter()
+            .filter(|c| c.steps.iter().any(|s| s.kind == PrimitiveKind::RowBroadcast))
+            .count();
+        assert!(with_sddmm > 0 && with_broadcast > 0);
+        // The fused D·A·D tree exists.
+        assert!(cands.iter().any(|c| c.expr.contains("(D·A·D)")));
+    }
+
+    #[test]
+    fn sddmm_fusion_produces_single_step() {
+        let cands = enumerate_model(ModelKind::Gcn, LayerConfig::new(8, 4));
+        let fused = cands.iter().find(|c| c.expr.contains("(D·A·D)")).unwrap();
+        let sddmms = fused.steps.iter().filter(|s| s.kind == PrimitiveKind::Sddmm).count();
+        assert_eq!(sddmms, 1);
+    }
+
+    #[test]
+    fn gin_and_sage_enumerate_multiple_orders() {
+        for kind in [ModelKind::Gin, ModelKind::Sage] {
+            let cands = enumerate_model(kind, LayerConfig::new(8, 4));
+            assert!(cands.len() >= 2, "{kind}: {}", cands.len());
+        }
+    }
+
+    #[test]
+    fn sgc_enumeration_grows_with_hops() {
+        let one = enumerate_model(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 1 });
+        let two = enumerate_model(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        assert!(two.len() > one.len());
+        assert_eq!(one.len(), 12, "1-hop SGC matches the GCN chain (no σ barrier changes count)");
+    }
+
+    /// Deep TAGCN chains exceed the enumeration budget with a typed error
+    /// instead of exhausting memory.
+    #[test]
+    fn enumeration_budget_guards_deep_hops() {
+        let ir = builder::build(ModelKind::Tagcn, LayerConfig { k_in: 8, k_out: 4, hops: 3 });
+        let mut hit_budget = false;
+        for v in rewrite::variants(&ir) {
+            match enumerate(&v) {
+                Ok(_) => {}
+                Err(CoreError::InvalidIr(msg)) => {
+                    assert!(msg.contains("budget"), "{msg}");
+                    hit_budget = true;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(hit_budget, "3-hop TAGCN should trip the budget");
+    }
+
+    #[test]
+    fn every_candidate_ends_reduced() {
+        for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Sage] {
+            for c in enumerate_model(kind, LayerConfig::new(8, 4)) {
+                assert!(!c.steps.is_empty(), "{kind}: {c:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Association trees: concrete primitive assignments for matrix
+//! re-associations (paper §IV-C).
+
+mod generate;
+mod lower;
+mod prune;
+
+pub use generate::enumerate;
+pub use lower::lower;
+pub use prune::{prune, Scenario};
+
+use granii_matrix::{PrimitiveKind, WorkStats};
+use serde::{Deserialize, Serialize};
+
+use crate::ir::Dim;
+
+/// One primitive invocation inside a candidate program.
+///
+/// `rows`/`inner`/`cols` are the symbolic operation sizes:
+/// GEMM `rows × inner · inner × cols`; sparse primitives use `inner = Nnz`
+/// (the adjacency work dimension) and `cols` = feature width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrimStep {
+    /// The assigned sparse/dense primitive.
+    pub kind: PrimitiveKind,
+    /// Symbolic output-row count.
+    pub rows: Dim,
+    /// Symbolic inner/work dimension.
+    pub inner: Dim,
+    /// Symbolic output-column count.
+    pub cols: Dim,
+    /// Canonical expression of the produced value; equal signatures are
+    /// computed once (common-subexpression reuse, §IV-C).
+    pub signature: String,
+    /// Whether the step depends only on the graph structure (adjacency and
+    /// degree operands) and is therefore hoisted out of the iteration loop —
+    /// GCN's precomputed normalization (Eq. 3) is the canonical case. Its
+    /// cost amortizes over the run's iterations.
+    pub once: bool,
+}
+
+impl PrimStep {
+    /// The size token used by the pruner (kind + symbolic sizes + hoisting,
+    /// no signature).
+    pub fn token(&self) -> (PrimitiveKind, Dim, Dim, Dim, bool) {
+        (self.kind, self.rows, self.inner, self.cols, self.once)
+    }
+
+    /// Builds the [`WorkStats`] for this step at concrete sizes.
+    ///
+    /// `irregularity` is the adjacency degree CV (used by sparse primitives).
+    pub fn work_stats(
+        &self,
+        n: usize,
+        nnz: usize,
+        k1: usize,
+        k2: usize,
+        irregularity: f64,
+    ) -> WorkStats {
+        let rows = self.rows.resolve(n, nnz, k1, k2);
+        let inner = self.inner.resolve(n, nnz, k1, k2);
+        let cols = self.cols.resolve(n, nnz, k1, k2);
+        match self.kind {
+            PrimitiveKind::Gemm => WorkStats::gemm(rows, inner, cols),
+            PrimitiveKind::SpmmWeighted => WorkStats::spmm(rows, inner, cols, true, irregularity),
+            PrimitiveKind::SpmmUnweighted => WorkStats::spmm(rows, inner, cols, false, irregularity),
+            PrimitiveKind::Sddmm => WorkStats::sddmm(rows, inner, cols, irregularity),
+            PrimitiveKind::RowBroadcast => WorkStats::row_broadcast(rows, cols),
+            PrimitiveKind::ColBroadcast => WorkStats::col_broadcast(rows, cols),
+            PrimitiveKind::Elementwise => WorkStats::elementwise(rows * cols, 1),
+            PrimitiveKind::EdgeSoftmax => WorkStats::edge_softmax(rows, inner, irregularity),
+            PrimitiveKind::Binning => WorkStats::binning(inner, rows),
+        }
+    }
+
+    /// Symbolic complexity of the step (`O(...)` string for Fig 3 style
+    /// tables).
+    pub fn complexity(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        for d in [self.rows, self.inner, self.cols] {
+            if d != Dim::One {
+                parts.push(d.symbol());
+            }
+        }
+        // Sparse primitives' row dimension is covered by the nnz scan.
+        if matches!(
+            self.kind,
+            PrimitiveKind::SpmmWeighted
+                | PrimitiveKind::SpmmUnweighted
+                | PrimitiveKind::Sddmm
+                | PrimitiveKind::EdgeSoftmax
+        ) && parts.first() == Some(&"N")
+        {
+            parts.remove(0);
+        }
+        format!("O({})", parts.join("·"))
+    }
+}
+
+/// A complete association tree rendered as an executable primitive program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateProgram {
+    /// Canonical parenthesized form (one association of the IR).
+    pub expr: String,
+    /// Primitive steps in execution order, after common-subexpression reuse.
+    pub steps: Vec<PrimStep>,
+}
+
+impl CandidateProgram {
+    /// Multiset of pruning tokens.
+    pub fn tokens(&self) -> Vec<(PrimitiveKind, Dim, Dim, Dim, bool)> {
+        let mut t: Vec<_> = self.steps.iter().map(PrimStep::token).collect();
+        t.sort();
+        t
+    }
+}
+
+/// A candidate that survived input-oblivious pruning, annotated with the
+/// embedding-size scenarios in which it can be optimal (§IV-C "It also
+/// annotates the candidates when they were profitable (<, >)").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Promoted {
+    /// The surviving program.
+    pub program: CandidateProgram,
+    /// Can win when `K1 > K2` (shrinking embeddings).
+    pub shrink: bool,
+    /// Can win when `K1 < K2` (growing embeddings).
+    pub grow: bool,
+}

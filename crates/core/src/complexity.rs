@@ -1,0 +1,94 @@
+//! Symbolic per-operation complexity tables (paper Fig 3).
+//!
+//! Figure 3 lists, for GCN's and GAT's composition pairs, each primitive with
+//! its asymptotic complexity in `N`, `E`, `K1`, `K2`. This module regenerates
+//! that table from the *promoted* association trees, so the reported
+//! complexities are derived from the same programs the runtime selects among.
+
+use granii_gnn::spec::{Composition, LayerConfig, ModelKind};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::CompiledModel;
+use crate::Result;
+
+/// One composition's complexity breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityRow {
+    /// The executable composition.
+    pub composition: Composition,
+    /// `(primitive name, O(...))` per step, in execution order.
+    pub operations: Vec<(String, String)>,
+}
+
+/// Builds the Fig 3-style table for a model.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub fn complexity_table(model: ModelKind, cfg: LayerConfig) -> Result<Vec<ComplexityRow>> {
+    let plan = CompiledModel::compile(model, cfg)?;
+    Ok(plan
+        .candidates
+        .iter()
+        .map(|c| ComplexityRow {
+            composition: c.composition,
+            operations: c
+                .program
+                .steps
+                .iter()
+                .map(|s| (s.kind.name().to_string(), s.complexity()))
+                .collect(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granii_gnn::spec::{GatStrategy, NormStrategy, OpOrder};
+
+    #[test]
+    fn gcn_complexities_match_fig3() {
+        let rows = complexity_table(ModelKind::Gcn, LayerConfig::new(32, 256)).unwrap();
+        // Precompute + aggregate-first: SDDMM O(E), SpMM O(E·K1), GEMM O(N·K1·K2).
+        let pre = rows
+            .iter()
+            .find(|r| {
+                r.composition
+                    == Composition::Gcn(NormStrategy::Precompute, OpOrder::AggregateFirst)
+            })
+            .unwrap();
+        let ops: Vec<&str> = pre.operations.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(ops.contains(&"O(E)"), "{ops:?}");
+        assert!(ops.contains(&"O(E·K1)"), "{ops:?}");
+        assert!(ops.contains(&"O(N·K1·K2)"), "{ops:?}");
+        // Dynamic + update-first: row-broadcasts O(N·K2), SpMM O(E·K2).
+        let dyn_up = rows
+            .iter()
+            .find(|r| r.composition == Composition::Gcn(NormStrategy::Dynamic, OpOrder::UpdateFirst))
+            .unwrap();
+        let ops: Vec<&str> = dyn_up.operations.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(ops.contains(&"O(N·K2)"), "{ops:?}");
+        assert!(ops.contains(&"O(E·K2)"), "{ops:?}");
+    }
+
+    #[test]
+    fn gat_complexities_show_the_tradeoff() {
+        let rows = complexity_table(ModelKind::Gat, LayerConfig::new(32, 256)).unwrap();
+        let reuse = rows
+            .iter()
+            .find(|r| r.composition == Composition::Gat(GatStrategy::Reuse))
+            .unwrap();
+        let recompute = rows
+            .iter()
+            .find(|r| r.composition == Composition::Gat(GatStrategy::Recompute))
+            .unwrap();
+        // Recompute aggregates at K1 but pays one more GEMM.
+        let gemms = |r: &ComplexityRow| {
+            r.operations.iter().filter(|(n, _)| n == "gemm").count()
+        };
+        assert_eq!(gemms(recompute), gemms(reuse) + 1);
+        assert!(recompute.operations.iter().any(|(_, c)| c == "O(E·K1)"));
+        assert!(reuse.operations.iter().any(|(_, c)| c == "O(E·K2)"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Input featurization and learned per-primitive cost models (paper §IV-E).
+
+mod featurizer;
+mod models;
+pub mod training;
+
+pub use featurizer::FeaturizedInput;
+pub use models::CostModelSet;

@@ -1,0 +1,89 @@
+use std::fmt;
+
+use granii_boost::BoostError;
+use granii_gnn::GnnError;
+use granii_graph::GraphError;
+use granii_matrix::MatrixError;
+
+/// Errors produced by the GRANII compiler and runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The IR was malformed (e.g. a chain with incompatible shapes).
+    InvalidIr(String),
+    /// Enumeration produced no executable candidate for a model.
+    NoCandidates {
+        /// The model whose enumeration came up empty.
+        model: String,
+    },
+    /// A cost model was requested for a primitive/device that has none.
+    MissingCostModel {
+        /// Primitive name.
+        primitive: String,
+    },
+    /// Cost-model training failed.
+    Boost(BoostError),
+    /// A GNN-layer operation failed.
+    Gnn(GnnError),
+    /// A graph operation failed.
+    Graph(GraphError),
+    /// A matrix kernel failed.
+    Matrix(MatrixError),
+    /// Model (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidIr(msg) => write!(f, "invalid matrix IR: {msg}"),
+            CoreError::NoCandidates { model } => {
+                write!(f, "association enumeration produced no candidates for {model}")
+            }
+            CoreError::MissingCostModel { primitive } => {
+                write!(f, "no trained cost model for primitive {primitive}")
+            }
+            CoreError::Boost(e) => write!(f, "cost-model training error: {e}"),
+            CoreError::Gnn(e) => write!(f, "gnn error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Matrix(e) => write!(f, "matrix error: {e}"),
+            CoreError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Boost(e) => Some(e),
+            CoreError::Gnn(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoostError> for CoreError {
+    fn from(e: BoostError) -> Self {
+        CoreError::Boost(e)
+    }
+}
+
+impl From<GnnError> for CoreError {
+    fn from(e: GnnError) -> Self {
+        CoreError::Gnn(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<MatrixError> for CoreError {
+    fn from(e: MatrixError) -> Self {
+        CoreError::Matrix(e)
+    }
+}

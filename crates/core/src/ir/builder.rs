@@ -1,0 +1,166 @@
+//! The GRANII front end: translates GNN models from the message-passing form
+//! (the `granii-gnn` spec) into the matrix IR (paper §IV-B "Code
+//! Translation").
+//!
+//! The paper's implementation parses Python ASTs; here the rule-based mapping
+//! consumes the typed model description instead (see `DESIGN.md` §2). The
+//! mapping is the same: `update_all(copy_u, sum)` becomes a multiplication by
+//! the adjacency, per-node normalization becomes a row-broadcast, dense
+//! `matmul` becomes a chain entry, and nonlinearities become barriers.
+
+use granii_gnn::spec::{LayerConfig, ModelKind};
+
+use super::{Attr, Dim, Expr, MatRef};
+
+/// Leaf constructors shared by the model builders.
+fn adj() -> Expr {
+    Expr::Mat(MatRef::new("A", Dim::N, Dim::N, Attr::SparseUnweighted))
+}
+fn feats() -> Expr {
+    Expr::Mat(MatRef::new("H", Dim::N, Dim::K1, Attr::DenseData))
+}
+fn weight(name: &str) -> Expr {
+    Expr::Mat(MatRef::new(name, Dim::K1, Dim::K2, Attr::DenseWeight))
+}
+fn deg() -> MatRef {
+    MatRef::new("D", Dim::N, Dim::N, Attr::Diagonal)
+}
+
+/// Builds the message-passing-level matrix IR of a model (pre-rewrite, with
+/// explicit row-broadcasts as in Fig 6(b)).
+///
+/// `cfg.hops` controls the propagation depth of SGC/TAGCN.
+pub fn build(model: ModelKind, cfg: LayerConfig) -> Expr {
+    match model {
+        // σ( D ⊗ (A · (D ⊗ H) · W) )  — Eq. 2.
+        ModelKind::Gcn => Expr::Nonlinear(Box::new(Expr::RowBroadcast {
+            d: deg(),
+            x: Box::new(Expr::Chain(vec![
+                adj(),
+                Expr::RowBroadcast { d: deg(), x: Box::new(feats()) },
+                weight("W"),
+            ])),
+        })),
+        // (Ñ^k · H) · W with Ñ applied as broadcasts per hop; no nonlinearity.
+        ModelKind::Sgc => {
+            let mut x = feats();
+            for _ in 0..cfg.hops {
+                x = Expr::RowBroadcast {
+                    d: deg(),
+                    x: Box::new(Expr::Chain(vec![
+                        adj(),
+                        Expr::RowBroadcast { d: deg(), x: Box::new(x) },
+                    ])),
+                };
+            }
+            Expr::Chain(vec![x, weight("W")])
+        }
+        // σ( Σ_k (Ñ^k · H) · W_k ).
+        ModelKind::Tagcn => {
+            let mut terms = Vec::with_capacity(cfg.hops + 1);
+            let mut x = feats();
+            terms.push(Expr::Chain(vec![x.clone(), weight("W0")]));
+            for k in 1..=cfg.hops {
+                x = Expr::RowBroadcast {
+                    d: deg(),
+                    x: Box::new(Expr::Chain(vec![
+                        adj(),
+                        Expr::RowBroadcast { d: deg(), x: Box::new(x) },
+                    ])),
+                };
+                terms.push(Expr::Chain(vec![x.clone(), weight(&format!("W{k}"))]));
+            }
+            Expr::Nonlinear(Box::new(Expr::Add(terms)))
+        }
+        // ( σ( ((1+ε)I ⊗ H + A·H) · W1 ) ) · W2.
+        ModelKind::Gin => {
+            let eps = MatRef::new("(1+ε)I", Dim::N, Dim::N, Attr::Diagonal);
+            let sum = Expr::Add(vec![
+                Expr::RowBroadcast { d: eps, x: Box::new(feats()) },
+                Expr::Chain(vec![adj(), feats()]),
+            ]);
+            let hidden = Expr::Nonlinear(Box::new(Expr::Chain(vec![sum, weight("W1")])));
+            Expr::Chain(vec![
+                hidden,
+                Expr::Mat(MatRef::new("W2", Dim::K2, Dim::K2, Attr::DenseWeight)),
+            ])
+        }
+        // σ( Atten(Ã, H·W, W_A) · H · W )  — Eqs. 4-6; the shared `W` leaf
+        // makes Θ = H·W a common subexpression between attention and
+        // aggregation.
+        ModelKind::Gat => Expr::Nonlinear(Box::new(Expr::Chain(vec![
+            Expr::Attention {
+                theta: Box::new(Expr::Chain(vec![feats(), weight("W")])),
+            },
+            feats(),
+            weight("W"),
+        ]))),
+        // σ( H·W_self + (D^{-1} ⊗ (A·H)) · W_neigh )  — mean aggregation as a
+        // diagonal scaling.
+        ModelKind::Sage => {
+            let dinv = MatRef::new("D^{-1}", Dim::N, Dim::N, Attr::Diagonal);
+            Expr::Nonlinear(Box::new(Expr::Add(vec![
+                Expr::Chain(vec![feats(), weight("W_self")]),
+                Expr::Chain(vec![
+                    Expr::RowBroadcast {
+                        d: dinv,
+                        x: Box::new(Expr::Chain(vec![adj(), feats()])),
+                    },
+                    weight("W_neigh"),
+                ]),
+            ])))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_renders_like_fig6() {
+        let e = build(ModelKind::Gcn, LayerConfig::new(8, 4));
+        assert_eq!(e.render(), "σ(D ⊗ (A·(D ⊗ H)·W))");
+        assert_eq!(e.shape(), (Dim::N, Dim::K2));
+    }
+
+    #[test]
+    fn sgc_nests_hops() {
+        let e = build(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let r = e.render();
+        assert_eq!(r.matches('⊗').count(), 4); // two broadcasts per hop
+        assert_eq!(e.shape(), (Dim::N, Dim::K2));
+    }
+
+    #[test]
+    fn tagcn_has_hops_plus_one_terms() {
+        let e = build(ModelKind::Tagcn, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        match &e {
+            Expr::Nonlinear(inner) => match inner.as_ref() {
+                Expr::Add(terms) => assert_eq!(terms.len(), 3),
+                other => panic!("expected Add, got {other:?}"),
+            },
+            other => panic!("expected Nonlinear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gat_shares_theta_between_attention_and_aggregation() {
+        let e = build(ModelKind::Gat, LayerConfig::new(8, 4));
+        let r = e.render();
+        // Θ = (H·W) appears inside Atten and the aggregation chain ends ·H·W.
+        assert!(r.contains("Atten(Ã, (H·W), W_A)"), "{r}");
+        assert!(r.ends_with("·H·W)"), "{r}");
+    }
+
+    #[test]
+    fn all_models_have_output_shape_n_by_k2() {
+        for kind in [ModelKind::Gcn, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat, ModelKind::Sage] {
+            let e = build(kind, LayerConfig::new(8, 4));
+            assert_eq!(e.shape(), (Dim::N, Dim::K2), "{kind}");
+        }
+        // GIN's second MLP layer is K2 x K2.
+        let gin = build(ModelKind::Gin, LayerConfig::new(8, 4));
+        assert_eq!(gin.shape(), (Dim::N, Dim::K2));
+    }
+}

@@ -1,0 +1,214 @@
+//! The matrix intermediate representation (paper §IV-B).
+//!
+//! The IR is a tree whose leaves are matrices annotated with the Table I
+//! attributes and whose interior nodes are matrix operations. Crucially —
+//! and unlike a framework computation graph — *adjacent multiplications live
+//! in one n-ary [`Expr::Chain`] level*, so the associativity information
+//! needed for re-association is never lost. Nonlinear functions are barriers
+//! ([`Expr::Nonlinear`]); GAT's attention-score computation is an opaque
+//! sparse-producing sub-program ([`Expr::Attention`]).
+
+pub mod builder;
+pub mod rewrite;
+
+use serde::{Deserialize, Serialize};
+
+/// Symbolic matrix dimensions.
+///
+/// All shapes occurring in single-layer GNN programs are expressible over the
+/// node count `N`, the input/output embedding sizes `K1`/`K2`, and `1`.
+/// The adjacency's nonzero count `E` appears as the *work* dimension of
+/// sparse primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dim {
+    /// Number of graph nodes.
+    N,
+    /// Number of adjacency nonzeros (sparse work dimension).
+    Nnz,
+    /// Input embedding size.
+    K1,
+    /// Output embedding size.
+    K2,
+    /// Scalar / vector dimension 1.
+    One,
+}
+
+impl Dim {
+    /// Resolves the symbol against concrete sizes.
+    pub fn resolve(self, n: usize, nnz: usize, k1: usize, k2: usize) -> usize {
+        match self {
+            Dim::N => n,
+            Dim::Nnz => nnz,
+            Dim::K1 => k1,
+            Dim::K2 => k2,
+            Dim::One => 1,
+        }
+    }
+
+    /// Symbol name as used in complexity tables.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Dim::N => "N",
+            Dim::Nnz => "E",
+            Dim::K1 => "K1",
+            Dim::K2 => "K2",
+            Dim::One => "1",
+        }
+    }
+}
+
+/// Leaf-matrix attributes (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attr {
+    /// Dense matrix holding data (features, intermediate embeddings).
+    DenseData,
+    /// Dense matrix holding learnable weights.
+    DenseWeight,
+    /// Sparse matrix using edge values.
+    SparseWeighted,
+    /// Sparse matrix storing only nonzero positions.
+    SparseUnweighted,
+    /// Diagonal matrix (per-node scalars such as `D^{-1/2}`).
+    Diagonal,
+}
+
+impl Attr {
+    /// Whether the attribute denotes a sparse representation (including
+    /// diagonal, which Table I lists as a sparse sub-attribute).
+    pub fn is_sparse(self) -> bool {
+        matches!(self, Attr::SparseWeighted | Attr::SparseUnweighted | Attr::Diagonal)
+    }
+}
+
+/// A leaf matrix reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatRef {
+    /// Display name (`A`, `H`, `W`, `D`, ...).
+    pub name: String,
+    /// Symbolic row count.
+    pub rows: Dim,
+    /// Symbolic column count.
+    pub cols: Dim,
+    /// Table I attribute.
+    pub attr: Attr,
+}
+
+impl MatRef {
+    /// Creates a leaf reference.
+    pub fn new(name: impl Into<String>, rows: Dim, cols: Dim, attr: Attr) -> Self {
+        Self { name: name.into(), rows, cols, attr }
+    }
+}
+
+/// A matrix-IR expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A leaf matrix.
+    Mat(MatRef),
+    /// An n-ary associative multiplication level. All adjacent
+    /// multiplications are flattened into one `Chain`, preserving the freedom
+    /// to re-associate (Fig 6(b)).
+    Chain(Vec<Expr>),
+    /// Element-wise sum of equally-shaped operands.
+    Add(Vec<Expr>),
+    /// Row-broadcast `d ⊗ x` where `d` is a per-node vector (Eq. 1).
+    /// Rewritable into `diag(d) · x` by [`rewrite::eliminate_broadcasts`].
+    RowBroadcast {
+        /// The per-node scaling vector (a diagonal leaf).
+        d: MatRef,
+        /// The broadcast target.
+        x: Box<Expr>,
+    },
+    /// A nonlinear function — a re-association barrier (§IV-B: "we consider
+    /// non-linear operations such as ReLU and SoftMax as barriers").
+    Nonlinear(Box<Expr>),
+    /// GAT's attention computation `Atten(Ã, Θ, W_A)` (Eq. 4): consumes the
+    /// updated embeddings `Θ` and produces the sparse attention matrix `α`.
+    /// Internally fixed (softmax barrier); externally a sparse-weighted
+    /// operand whose inner `Θ` is a reusable common subexpression.
+    Attention {
+        /// The updated-embedding sub-expression `Θ = H · W`.
+        theta: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// The symbolic shape of this expression's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain/add (never produced by the builder).
+    pub fn shape(&self) -> (Dim, Dim) {
+        match self {
+            Expr::Mat(m) => (m.rows, m.cols),
+            Expr::Chain(es) => {
+                let first = es.first().expect("nonempty chain").shape();
+                let last = es.last().expect("nonempty chain").shape();
+                (first.0, last.1)
+            }
+            Expr::Add(es) => es.first().expect("nonempty add").shape(),
+            Expr::RowBroadcast { x, .. } => x.shape(),
+            Expr::Nonlinear(x) => x.shape(),
+            Expr::Attention { .. } => (Dim::N, Dim::N),
+        }
+    }
+
+    /// Renders the flattened textual form used in reports (e.g.
+    /// `σ((D·A·D·H·W))` for the rewritten GCN).
+    pub fn render(&self) -> String {
+        match self {
+            Expr::Mat(m) => m.name.clone(),
+            Expr::Chain(es) => {
+                let parts: Vec<String> = es.iter().map(Expr::render).collect();
+                format!("({})", parts.join("·"))
+            }
+            Expr::Add(es) => {
+                let parts: Vec<String> = es.iter().map(Expr::render).collect();
+                format!("({})", parts.join(" + "))
+            }
+            Expr::RowBroadcast { d, x } => format!("({} ⊗ {})", d.name, x.render()),
+            Expr::Nonlinear(x) => format!("σ{}", x.render()),
+            Expr::Attention { theta } => format!("Atten(Ã, {}, W_A)", theta.render()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> MatRef {
+        MatRef::new("H", Dim::N, Dim::K1, Attr::DenseData)
+    }
+    fn w() -> MatRef {
+        MatRef::new("W", Dim::K1, Dim::K2, Attr::DenseWeight)
+    }
+
+    #[test]
+    fn dim_resolution() {
+        assert_eq!(Dim::N.resolve(10, 20, 3, 4), 10);
+        assert_eq!(Dim::Nnz.resolve(10, 20, 3, 4), 20);
+        assert_eq!(Dim::K1.resolve(10, 20, 3, 4), 3);
+        assert_eq!(Dim::K2.resolve(10, 20, 3, 4), 4);
+        assert_eq!(Dim::One.resolve(10, 20, 3, 4), 1);
+    }
+
+    #[test]
+    fn chain_shape_spans_ends() {
+        let e = Expr::Chain(vec![Expr::Mat(h()), Expr::Mat(w())]);
+        assert_eq!(e.shape(), (Dim::N, Dim::K2));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let e = Expr::Nonlinear(Box::new(Expr::Chain(vec![Expr::Mat(h()), Expr::Mat(w())])));
+        assert_eq!(e.render(), "σ(H·W)");
+    }
+
+    #[test]
+    fn diagonal_counts_as_sparse_attribute() {
+        assert!(Attr::Diagonal.is_sparse());
+        assert!(Attr::SparseUnweighted.is_sparse());
+        assert!(!Attr::DenseData.is_sparse());
+    }
+}

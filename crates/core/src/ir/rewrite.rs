@@ -1,0 +1,223 @@
+//! IR rewrite passes (paper §IV-B, Fig 6(c), Appendix C).
+//!
+//! 1. [`eliminate_broadcasts`] — row-broadcasts act as re-association
+//!    barriers; rewriting `d ⊗ x` into `diag(d) · x` lets the normalization
+//!    participate in the multiplication chain.
+//! 2. [`flatten`] — merges nested chains into single n-ary levels so every
+//!    adjacent multiplication is visible to the enumerator.
+//! 3. [`variants`] — additionally distributes a trailing weight over a sum
+//!    (`(a + b)·W → a·W + b·W`), the reordering that moves GIN/SAGE's update
+//!    GEMM across the aggregation.
+
+use super::{Expr, MatRef};
+
+/// Rewrites every row-broadcast into a diagonal-matrix multiplication.
+pub fn eliminate_broadcasts(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Mat(m) => Expr::Mat(m.clone()),
+        Expr::Chain(es) => Expr::Chain(es.iter().map(eliminate_broadcasts).collect()),
+        Expr::Add(es) => Expr::Add(es.iter().map(eliminate_broadcasts).collect()),
+        Expr::RowBroadcast { d, x } => {
+            Expr::Chain(vec![Expr::Mat(d.clone()), eliminate_broadcasts(x)])
+        }
+        Expr::Nonlinear(x) => Expr::Nonlinear(Box::new(eliminate_broadcasts(x))),
+        Expr::Attention { theta } => {
+            Expr::Attention { theta: Box::new(eliminate_broadcasts(theta)) }
+        }
+    }
+}
+
+/// Flattens nested chains into single n-ary levels.
+pub fn flatten(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Mat(m) => Expr::Mat(m.clone()),
+        Expr::Chain(es) => {
+            let mut out: Vec<Expr> = Vec::new();
+            for e in es {
+                match flatten(e) {
+                    Expr::Chain(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().expect("one element")
+            } else {
+                Expr::Chain(out)
+            }
+        }
+        Expr::Add(es) => Expr::Add(es.iter().map(flatten).collect()),
+        Expr::RowBroadcast { d, x } => {
+            Expr::RowBroadcast { d: d.clone(), x: Box::new(flatten(x)) }
+        }
+        Expr::Nonlinear(x) => Expr::Nonlinear(Box::new(flatten(x))),
+        Expr::Attention { theta } => Expr::Attention { theta: Box::new(flatten(theta)) },
+    }
+}
+
+/// Canonicalizes an IR for enumeration: broadcast elimination then flattening.
+pub fn canonicalize(expr: &Expr) -> Expr {
+    flatten(&eliminate_broadcasts(expr))
+}
+
+/// Produces the set of algebraic variants to enumerate over: the canonical
+/// form plus every way of distributing chain factors over sums.
+/// Variants are deduplicated by their rendering.
+pub fn variants(expr: &Expr) -> Vec<Expr> {
+    let canon = canonicalize(expr);
+    let mut out = expand(&canon);
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|e| seen.insert(e.render()));
+    out
+}
+
+/// Recursively expands an expression into its distribution variants,
+/// rebuilding every surrounding context.
+fn expand(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Mat(_) => vec![expr.clone()],
+        Expr::Nonlinear(x) => {
+            expand(x).into_iter().map(|v| Expr::Nonlinear(Box::new(v))).collect()
+        }
+        Expr::Attention { theta } => expand(theta)
+            .into_iter()
+            .map(|v| Expr::Attention { theta: Box::new(v) })
+            .collect(),
+        Expr::RowBroadcast { d, x } => expand(x)
+            .into_iter()
+            .map(|v| Expr::RowBroadcast { d: d.clone(), x: Box::new(v) })
+            .collect(),
+        Expr::Add(es) => cartesian_exprs(es)
+            .into_iter()
+            .map(Expr::Add)
+            .collect(),
+        Expr::Chain(es) => {
+            let mut out = Vec::new();
+            for combo in cartesian_exprs(es) {
+                let chain = flatten(&Expr::Chain(combo));
+                // The undistributed form.
+                out.push(chain.clone());
+                // Plus distributing head/tail factors over any Add child.
+                if let Expr::Chain(parts) = &chain {
+                    for (i, part) in parts.iter().enumerate() {
+                        if let Expr::Add(terms) = part {
+                            let head = &parts[..i];
+                            let tail = &parts[i + 1..];
+                            if head.is_empty() && tail.is_empty() {
+                                continue;
+                            }
+                            let new_terms: Vec<Expr> = terms
+                                .iter()
+                                .map(|t| {
+                                    let mut v = head.to_vec();
+                                    v.push(t.clone());
+                                    v.extend_from_slice(tail);
+                                    flatten(&Expr::Chain(v))
+                                })
+                                .collect();
+                            out.push(Expr::Add(new_terms));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// All combinations picking one variant per child expression.
+fn cartesian_exprs(es: &[Expr]) -> Vec<Vec<Expr>> {
+    let mut out: Vec<Vec<Expr>> = vec![Vec::new()];
+    for e in es {
+        let vs = expand(e);
+        let mut next = Vec::with_capacity(out.len() * vs.len());
+        for prefix in &out {
+            for v in &vs {
+                let mut p = prefix.clone();
+                p.push(v.clone());
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Collects the diagonal leaves of an expression (used by tests and the
+/// complexity reporter).
+pub fn diagonal_leaves(expr: &Expr) -> Vec<MatRef> {
+    let mut out = Vec::new();
+    fn rec(e: &Expr, out: &mut Vec<MatRef>) {
+        match e {
+            Expr::Mat(m) => {
+                if m.attr == super::Attr::Diagonal {
+                    out.push(m.clone());
+                }
+            }
+            Expr::Chain(es) | Expr::Add(es) => es.iter().for_each(|e| rec(e, out)),
+            Expr::RowBroadcast { d, x } => {
+                out.push(d.clone());
+                rec(x, out);
+            }
+            Expr::Nonlinear(x) | Expr::Attention { theta: x } => rec(x, out),
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::build;
+    use granii_gnn::spec::{LayerConfig, ModelKind};
+
+    #[test]
+    fn gcn_rewrites_to_five_element_chain() {
+        let e = build(ModelKind::Gcn, LayerConfig::new(8, 4));
+        let canon = canonicalize(&e);
+        assert_eq!(canon.render(), "σ(D·A·D·H·W)");
+        match &canon {
+            Expr::Nonlinear(inner) => match inner.as_ref() {
+                Expr::Chain(es) => assert_eq!(es.len(), 5),
+                other => panic!("expected chain, got {other:?}"),
+            },
+            other => panic!("expected nonlinear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sgc_two_hops_is_eight_element_chain() {
+        let e = build(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let canon = canonicalize(&e);
+        assert_eq!(canon.render(), "(D·A·D·D·A·D·H·W)");
+    }
+
+    #[test]
+    fn gin_distribution_moves_the_update() {
+        let e = build(ModelKind::Gin, LayerConfig::new(8, 4));
+        let vs = variants(&e);
+        assert!(vs.len() >= 2, "expected distributed variant, got {}", vs.len());
+        let rendered: Vec<String> = vs.iter().map(Expr::render).collect();
+        // The distributed form pushes W1 into both terms of the sum.
+        assert!(
+            rendered.iter().any(|r| r.contains("H·W1") && r.contains("A·H·W1")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn variants_are_deduplicated() {
+        let e = build(ModelKind::Gcn, LayerConfig::new(8, 4));
+        let vs = variants(&e);
+        let mut renders: Vec<_> = vs.iter().map(Expr::render).collect();
+        renders.sort();
+        renders.dedup();
+        assert_eq!(renders.len(), vs.len());
+    }
+
+    #[test]
+    fn diagonal_leaves_found() {
+        let e = build(ModelKind::Gcn, LayerConfig::new(8, 4));
+        assert_eq!(diagonal_leaves(&e).len(), 2);
+    }
+}

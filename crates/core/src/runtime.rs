@@ -1,0 +1,160 @@
+//! The online runtime stage (paper §IV, Fig 5 right half).
+//!
+//! Given the compiled plan, the concrete input graph, and the embedding
+//! sizes, the runtime featurizes the input, evaluates the eligible
+//! candidates' costs with the per-primitive models, and selects the cheapest
+//! composition. Featurization and selection wall times are recorded — the
+//! overheads reported in §VI-C1 ("at most 7 ms on GPU, 0.42 s on CPU,
+//! incurred only once during runtime").
+
+use std::time::Instant;
+
+use granii_gnn::spec::Composition;
+use granii_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostModelSet, FeaturizedInput};
+use crate::plan::CompiledModel;
+use crate::{CoreError, Result};
+
+/// The outcome of one online selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// The chosen composition.
+    pub composition: Composition,
+    /// Predicted cost (seconds) per eligible candidate, cheapest first.
+    pub predicted: Vec<(Composition, f64)>,
+    /// Wall time of input featurization.
+    pub featurize_seconds: f64,
+    /// Wall time of candidate cost evaluation + argmin.
+    pub select_seconds: f64,
+    /// Whether the decision needed the cost models (false when a pure
+    /// embedding-size condition resolved it — Fig 7's cheap branch).
+    pub used_cost_models: bool,
+}
+
+impl Selection {
+    /// The selected composition's short name.
+    pub fn composition_name(&self) -> String {
+        self.composition.name()
+    }
+
+    /// Total one-time selection overhead.
+    pub fn overhead_seconds(&self) -> f64 {
+        self.featurize_seconds + self.select_seconds
+    }
+}
+
+/// The iteration count GRANII amortizes hoisted precomputation over by
+/// default — the paper evaluates 100-iteration runs (§VI-C).
+pub const DEFAULT_ITERATIONS: usize = 100;
+
+/// Runs the online stage for one (graph, embedding-size) input. `iterations`
+/// is the expected run length hoisted steps amortize over.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoCandidates`] if no candidate is eligible for the
+/// sizes (cannot happen for plans compiled by this crate) and propagates
+/// missing-cost-model errors.
+pub fn select(
+    plan: &CompiledModel,
+    graph: &Graph,
+    k1: usize,
+    k2: usize,
+    models: &CostModelSet,
+    iterations: usize,
+) -> Result<Selection> {
+    let eligible = plan.eligible(k1, k2);
+    if eligible.is_empty() {
+        return Err(CoreError::NoCandidates { model: plan.model.name().into() });
+    }
+    if eligible.len() == 1 {
+        // Pure embedding-size condition: no featurization, no cost models.
+        return Ok(Selection {
+            composition: eligible[0].composition,
+            predicted: vec![(eligible[0].composition, 0.0)],
+            featurize_seconds: 0.0,
+            select_seconds: 0.0,
+            used_cost_models: false,
+        });
+    }
+
+    let t0 = Instant::now();
+    let input = FeaturizedInput::extract(graph, k1, k2);
+    let featurize_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut predicted: Vec<(Composition, f64)> = Vec::with_capacity(eligible.len());
+    for cand in &eligible {
+        let cost = models.predict_program(&cand.program, &input, iterations)?;
+        predicted.push((cand.composition, cost));
+    }
+    predicted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    let select_seconds = t1.elapsed().as_secs_f64();
+
+    Ok(Selection {
+        composition: predicted[0].0,
+        predicted,
+        featurize_seconds,
+        select_seconds,
+        used_cost_models: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::training::{self, TrainingConfig};
+    use crate::plan::CompiledModel;
+    use granii_gnn::spec::{Composition, GatStrategy, LayerConfig, ModelKind, NormStrategy};
+    use granii_graph::datasets::{Dataset, Scale};
+    use granii_matrix::device::DeviceKind;
+
+    fn models(device: DeviceKind) -> CostModelSet {
+        training::train(device, &TrainingConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn selection_reports_costs_and_overheads() {
+        let set = models(DeviceKind::H100);
+        let plan = CompiledModel::compile(ModelKind::Gcn, LayerConfig::new(64, 64)).unwrap();
+        let g = Dataset::Reddit.load(Scale::Tiny).unwrap();
+        let sel = select(&plan, &g, 64, 64, &set, DEFAULT_ITERATIONS).unwrap();
+        assert!(sel.used_cost_models);
+        assert_eq!(sel.predicted.len(), 2);
+        assert!(sel.predicted[0].1 <= sel.predicted[1].1);
+        assert!(sel.overhead_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn single_candidate_scenarios_skip_cost_models() {
+        let set = models(DeviceKind::H100);
+        let plan = CompiledModel::compile(ModelKind::Gat, LayerConfig::new(256, 32)).unwrap();
+        let g = Dataset::BelgiumOsm.load(Scale::Tiny).unwrap();
+        let sel = select(&plan, &g, 256, 32, &set, DEFAULT_ITERATIONS).unwrap();
+        assert!(!sel.used_cost_models);
+        assert_eq!(sel.composition, Composition::Gat(GatStrategy::Reuse));
+        assert_eq!(sel.overhead_seconds(), 0.0);
+    }
+
+    /// The paper's §III-A intuition must emerge from the learned models:
+    /// dense graphs pick the dynamic normalization, sparse graphs pick the
+    /// precompute composition (at widths where per-iteration work dominates
+    /// kernel-launch overhead).
+    #[test]
+    fn gcn_choice_is_graph_dependent() {
+        let set = models(DeviceKind::H100);
+        let plan = CompiledModel::compile(ModelKind::Gcn, LayerConfig::new(1024, 1024)).unwrap();
+        let dense = Dataset::Mycielskian17.load(Scale::Small).unwrap();
+        let sparse = Dataset::BelgiumOsm.load(Scale::Small).unwrap();
+        let dense_sel = select(&plan, &dense, 1024, 1024, &set, DEFAULT_ITERATIONS).unwrap();
+        let sparse_sel = select(&plan, &sparse, 1024, 1024, &set, DEFAULT_ITERATIONS).unwrap();
+        let norm = |c: Composition| match c {
+            Composition::Gcn(n, _) => n,
+            other => panic!("unexpected {other}"),
+        };
+        assert_eq!(norm(sparse_sel.composition), NormStrategy::Precompute, "{sparse_sel:?}");
+        assert_eq!(norm(dense_sel.composition), NormStrategy::Dynamic, "{dense_sel:?}");
+    }
+}

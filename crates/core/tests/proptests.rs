@@ -1,0 +1,95 @@
+//! Property-based tests for the GRANII compiler pipeline.
+
+use granii_core::assoc;
+use granii_core::ir::{builder, rewrite};
+use granii_core::plan::CompiledModel;
+use granii_gnn::spec::{LayerConfig, ModelKind};
+use proptest::prelude::*;
+
+const MODELS: [ModelKind; 6] = [
+    ModelKind::Gcn,
+    ModelKind::Gin,
+    ModelKind::Sgc,
+    ModelKind::Tagcn,
+    ModelKind::Gat,
+    ModelKind::Sage,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Compilation succeeds for every model over arbitrary valid configs, and
+    /// pruning bookkeeping is consistent. Hops are capped at 2: Algorithm 1's
+    /// forest grows exponentially with the hop count, and deeper TAGCN chains
+    /// trip the enumeration budget (tested separately).
+    #[test]
+    fn compilation_is_total_and_consistent(
+        k_in in 1usize..2048,
+        k_out in 1usize..2048,
+        hops in 1usize..3,
+        model_idx in 0usize..6,
+    ) {
+        let model = MODELS[model_idx];
+        let cfg = LayerConfig { k_in, k_out, hops };
+        let plan = CompiledModel::compile(model, cfg).unwrap();
+        prop_assert!(plan.enumerated >= plan.candidates.len());
+        prop_assert!(plan.pruned < plan.enumerated);
+        // Every candidate must be eligible in at least one scenario.
+        for c in &plan.candidates {
+            prop_assert!(c.shrink || c.grow);
+            prop_assert_eq!(c.composition.model(), model);
+        }
+        // Both scenarios must have at least one eligible candidate.
+        prop_assert!(!plan.eligible(k_in.max(k_out), k_in.min(k_out).max(1)).is_empty());
+        prop_assert!(!plan.eligible(k_in.min(k_out), k_in.max(k_out)).is_empty());
+    }
+
+    /// Enumeration is deterministic and independent of the embedding sizes
+    /// (sizes are symbolic at this stage).
+    #[test]
+    fn enumeration_is_config_independent(
+        k_a in 1usize..512,
+        k_b in 1usize..512,
+        model_idx in 0usize..6,
+    ) {
+        let model = MODELS[model_idx];
+        let a = CompiledModel::compile(model, LayerConfig::new(k_a, k_b)).unwrap();
+        let b = CompiledModel::compile(model, LayerConfig::new(k_b, k_a)).unwrap();
+        prop_assert_eq!(a.enumerated, b.enumerated);
+        prop_assert_eq!(a.pruned, b.pruned);
+        prop_assert_eq!(a.candidates.len(), b.candidates.len());
+    }
+
+    /// Every enumerated tree of every model variant reduces to a complete
+    /// program whose flattened operand multiset matches the IR's leaves —
+    /// re-association must not drop or duplicate matrices.
+    #[test]
+    fn trees_preserve_leaf_multiset(model_idx in 0usize..6, hops in 1usize..3) {
+        let model = MODELS[model_idx];
+        // GAT's attention sub-program renders as the opaque `α` operand in
+        // candidate expressions, so the leaf-count property does not apply.
+        prop_assume!(model != ModelKind::Gat);
+        let ir = builder::build(model, LayerConfig { k_in: 8, k_out: 4, hops });
+        for variant in rewrite::variants(&ir) {
+            let leaves = count_names(&variant.render());
+            for cand in assoc::enumerate(&variant).unwrap() {
+                // The candidate expression contains exactly the same leaf
+                // names (CSE may drop *steps* but never operands).
+                prop_assert_eq!(count_names(&cand.expr), leaves.clone(), "{}", cand.expr);
+            }
+        }
+    }
+}
+
+/// Multiset of leaf names (A, H, W, D, ...) appearing in a rendered
+/// expression.
+fn count_names(s: &str) -> std::collections::BTreeMap<String, usize> {
+    let mut out = std::collections::BTreeMap::new();
+    for token in s
+        .split(|c: char| "()·+⊗ ".contains(c) || c == 'σ')
+        .filter(|t| !t.is_empty())
+    {
+        *out.entry(token.to_string()).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+use granii_graph::GraphError;
+use granii_matrix::MatrixError;
+
+/// Errors produced by GNN model construction and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GnnError {
+    /// Node-feature matrix rows did not match the graph's node count.
+    FeatureMismatch {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// Rows in the feature matrix.
+        rows: usize,
+    },
+    /// Layer input width did not match the layer's configured input size.
+    DimensionMismatch {
+        /// Expected input embedding size.
+        expected: usize,
+        /// Observed input embedding size.
+        got: usize,
+    },
+    /// A model configuration was invalid (e.g. zero embedding size).
+    InvalidConfig(String),
+    /// An underlying matrix kernel failed.
+    Matrix(MatrixError),
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::FeatureMismatch { nodes, rows } => {
+                write!(f, "feature matrix has {rows} rows but the graph has {nodes} nodes")
+            }
+            GnnError::DimensionMismatch { expected, got } => {
+                write!(f, "layer expects input embedding size {expected}, got {got}")
+            }
+            GnnError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            GnnError::Matrix(e) => write!(f, "matrix error: {e}"),
+            GnnError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GnnError::Matrix(e) => Some(e),
+            GnnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for GnnError {
+    fn from(e: MatrixError) -> Self {
+        GnnError::Matrix(e)
+    }
+}
+
+impl From<GraphError> for GnnError {
+    fn from(e: GraphError) -> Self {
+        GnnError::Graph(e)
+    }
+}

@@ -1,0 +1,378 @@
+//! The profiled primitive executor.
+//!
+//! Every primitive a model runs goes through [`Exec`], which (1) validates
+//! shapes, (2) builds the [`WorkStats`] record for the invocation, and
+//! (3) charges it to the underlying [`Engine`] — measuring wall time or
+//! modeling device latency depending on the engine's policy.
+//!
+//! `Exec` has two value modes:
+//!
+//! - **real**: kernels compute actual values (correctness tests, examples,
+//!   small-scale runs),
+//! - **virtual**: kernels are skipped; outputs are zero-filled with the right
+//!   shape/pattern. Latency charges are identical (they depend only on shapes
+//!   and sparsity structure), which is what lets the evaluation harness sweep
+//!   the paper's full configuration grid in seconds.
+
+use granii_matrix::device::Engine;
+use granii_matrix::ops::{self, BroadcastOp};
+use granii_matrix::{CsrMatrix, DenseMatrix, MatrixError, Semiring, WorkStats};
+
+use crate::Result;
+
+/// Primitive executor bound to a device engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Exec<'e> {
+    engine: &'e Engine,
+    compute: bool,
+}
+
+impl<'e> Exec<'e> {
+    /// An executor that computes real values.
+    pub fn real(engine: &'e Engine) -> Self {
+        Self { engine, compute: true }
+    }
+
+    /// An executor that only propagates shapes/patterns (zero values) but
+    /// charges the same latencies.
+    pub fn virtual_only(engine: &'e Engine) -> Self {
+        Self { engine, compute: false }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// Whether kernels compute real values.
+    pub fn computes_values(&self) -> bool {
+        self.compute
+    }
+
+    /// Dense matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn gemm(&self, a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+        let stats = WorkStats::gemm(a.rows(), a.cols(), b.cols());
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::gemm(a, b))?)
+        } else {
+            if a.cols() != b.rows() {
+                return Err(MatrixError::ShapeMismatch { op: "gemm", lhs: a.shape(), rhs: b.shape() }.into());
+            }
+            self.engine.charge(stats);
+            Ok(DenseMatrix::zeros(a.rows(), b.cols())?)
+        }
+    }
+
+    /// Generalized SpMM; `irregularity` is the adjacency's degree CV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn spmm(
+        &self,
+        adj: &CsrMatrix,
+        x: &DenseMatrix,
+        semiring: Semiring,
+        irregularity: f64,
+    ) -> Result<DenseMatrix> {
+        let weighted = semiring.mul.reads_edge() && adj.is_weighted();
+        let stats = WorkStats::spmm(adj.rows(), adj.nnz(), x.cols(), weighted, irregularity);
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::spmm(adj, x, semiring))?)
+        } else {
+            if adj.cols() != x.rows() {
+                return Err(MatrixError::ShapeMismatch { op: "spmm", lhs: adj.shape(), rhs: x.shape() }.into());
+            }
+            self.engine.charge(stats);
+            Ok(DenseMatrix::zeros(adj.rows(), x.cols())?)
+        }
+    }
+
+    /// Generalized SDDMM (`mask ∘ (U · Vᵀ)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn sddmm(
+        &self,
+        mask: &CsrMatrix,
+        u: &DenseMatrix,
+        v: &DenseMatrix,
+        irregularity: f64,
+    ) -> Result<CsrMatrix> {
+        let stats = WorkStats::sddmm(mask.rows(), mask.nnz(), u.cols(), irregularity);
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::sddmm(mask, u, v))?)
+        } else {
+            if u.cols() != v.cols() || u.rows() != mask.rows() || v.rows() != mask.cols() {
+                return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: u.shape(), rhs: v.shape() }.into());
+            }
+            self.engine.charge(stats);
+            Ok(mask.clone().drop_values().with_values(vec![0.0; mask.nnz()])?)
+        }
+    }
+
+    /// SDDMM with `u_add_v` on per-node scalars (GAT logits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn sddmm_u_add_v(
+        &self,
+        mask: &CsrMatrix,
+        ul: &[f32],
+        vr: &[f32],
+        irregularity: f64,
+    ) -> Result<CsrMatrix> {
+        let stats = WorkStats::sddmm(mask.rows(), mask.nnz(), 1, irregularity);
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::sddmm_u_add_v(mask, ul, vr))?)
+        } else {
+            if ul.len() != mask.rows() || vr.len() != mask.cols() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "sddmm_u_add_v",
+                    lhs: mask.shape(),
+                    rhs: (ul.len(), vr.len()),
+                }
+                .into());
+            }
+            self.engine.charge(stats);
+            Ok(mask.clone().drop_values().with_values(vec![0.0; mask.nnz()])?)
+        }
+    }
+
+    /// `diag(dl) · a · diag(dr)` edge scaling, charged as an SDDMM with k = 1
+    /// (it is the sampled product of two rank-1 factors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn scale_csr(
+        &self,
+        dl: Option<&[f32]>,
+        a: &CsrMatrix,
+        dr: Option<&[f32]>,
+        irregularity: f64,
+    ) -> Result<CsrMatrix> {
+        let stats = WorkStats::sddmm(a.rows(), a.nnz(), 1, irregularity);
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::scale_csr(dl, a, dr))?)
+        } else {
+            if dl.is_some_and(|d| d.len() != a.rows()) || dr.is_some_and(|d| d.len() != a.cols()) {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "scale_csr",
+                    lhs: a.shape(),
+                    rhs: (dl.map_or(0, <[f32]>::len), dr.map_or(0, <[f32]>::len)),
+                }
+                .into());
+            }
+            self.engine.charge(stats);
+            Ok(a.clone().drop_values().with_values(vec![0.0; a.nnz()])?)
+        }
+    }
+
+    /// Row-broadcast (`d[i] ⊙ row i`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn row_broadcast(&self, d: &[f32], m: &DenseMatrix, op: BroadcastOp) -> Result<DenseMatrix> {
+        let stats = WorkStats::row_broadcast(m.rows(), m.cols());
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::row_broadcast(d, m, op))?)
+        } else {
+            if d.len() != m.rows() {
+                return Err(MatrixError::ShapeMismatch { op: "row_broadcast", lhs: (d.len(), 1), rhs: m.shape() }.into());
+            }
+            self.engine.charge(stats);
+            Ok(DenseMatrix::zeros(m.rows(), m.cols())?)
+        }
+    }
+
+    /// Column-broadcast (`d[j] ⊙ column j`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn col_broadcast(&self, m: &DenseMatrix, d: &[f32], op: BroadcastOp) -> Result<DenseMatrix> {
+        let stats = WorkStats::col_broadcast(m.rows(), m.cols());
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::col_broadcast(m, d, op))?)
+        } else {
+            if d.len() != m.cols() {
+                return Err(MatrixError::ShapeMismatch { op: "col_broadcast", lhs: m.shape(), rhs: (d.len(), 1) }.into());
+            }
+            self.engine.charge(stats);
+            Ok(DenseMatrix::zeros(m.rows(), m.cols())?)
+        }
+    }
+
+    /// Element-wise map over a dense matrix (ReLU and friends).
+    pub fn map(&self, m: &DenseMatrix, flops_per_elem: u32, f: impl Fn(f32) -> f32) -> DenseMatrix {
+        let stats = WorkStats::elementwise(m.rows() * m.cols(), flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || m.map(f))
+        } else {
+            self.engine.charge(stats);
+            DenseMatrix::zeros(m.rows(), m.cols()).expect("same shape as input")
+        }
+    }
+
+    /// Element-wise combination of two dense matrices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn zip(
+        &self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        flops_per_elem: u32,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<DenseMatrix> {
+        let stats = WorkStats::elementwise(a.rows() * a.cols(), flops_per_elem);
+        if self.compute {
+            Ok(self.engine.run(stats, || a.zip_with(b, f))?)
+        } else {
+            if a.shape() != b.shape() {
+                return Err(MatrixError::ShapeMismatch { op: "zip_with", lhs: a.shape(), rhs: b.shape() }.into());
+            }
+            self.engine.charge(stats);
+            Ok(DenseMatrix::zeros(a.rows(), a.cols())?)
+        }
+    }
+
+    /// Element-wise map over sparse values (leaky-ReLU on attention logits).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is unweighted.
+    pub fn map_csr_values(&self, a: &CsrMatrix, f: impl Fn(f32) -> f32) -> Result<CsrMatrix> {
+        let stats = WorkStats::elementwise(a.nnz(), 1);
+        let vals = a.values().ok_or(MatrixError::MissingValues("map_csr_values"))?;
+        if self.compute {
+            let out = self.engine.run(stats, || vals.iter().map(|&v| f(v)).collect::<Vec<_>>());
+            Ok(a.clone().drop_values().with_values(out)?)
+        } else {
+            self.engine.charge(stats);
+            Ok(a.clone().drop_values().with_values(vec![0.0; a.nnz()])?)
+        }
+    }
+
+    /// Edge softmax (attention normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is unweighted.
+    pub fn edge_softmax(&self, a: &CsrMatrix, irregularity: f64) -> Result<CsrMatrix> {
+        let stats = WorkStats::edge_softmax(a.rows(), a.nnz(), irregularity);
+        if self.compute {
+            Ok(self.engine.run(stats, || ops::edge_softmax(a))?)
+        } else {
+            if !a.is_weighted() {
+                return Err(MatrixError::MissingValues("edge_softmax").into());
+            }
+            self.engine.charge(stats);
+            Ok(a.clone().drop_values().with_values(vec![0.0; a.nnz()])?)
+        }
+    }
+
+    /// Degree computation by scatter-add binning (WiseGraph's normalization
+    /// path; pays atomic contention on dense graphs).
+    pub fn degrees_by_binning(&self, a: &CsrMatrix) -> Vec<f32> {
+        let stats = WorkStats::binning(a.nnz(), a.cols());
+        if self.compute {
+            self.engine.run(stats, || ops::degrees_by_binning(a))
+        } else {
+            self.engine.charge(stats);
+            vec![0.0; a.cols()]
+        }
+    }
+
+    /// Degree computation by a row-pointer scan (the cheap path), charged as
+    /// an element-wise pass over the rows.
+    pub fn degrees_by_scan(&self, a: &CsrMatrix) -> Vec<f32> {
+        let stats = WorkStats::elementwise(a.rows(), 1);
+        self.engine.run(stats, || a.out_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granii_matrix::device::{DeviceKind, Engine};
+    use granii_matrix::CooMatrix;
+
+    fn adj() -> CsrMatrix {
+        CooMatrix::from_entries(3, 3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn real_and_virtual_charge_identical_stats() {
+        let e1 = Engine::modeled(DeviceKind::H100);
+        let e2 = Engine::modeled(DeviceKind::H100);
+        let a = adj();
+        let x = DenseMatrix::random(3, 4, 1.0, 1);
+        let w = DenseMatrix::random(4, 2, 1.0, 2);
+
+        let run = |exec: Exec| {
+            let agg = exec.spmm(&a, &x, Semiring::plus_mul(), 0.0).unwrap();
+            let up = exec.gemm(&agg, &w).unwrap();
+            exec.map(&up, 1, |v| v.max(0.0))
+        };
+        let real_out = run(Exec::real(&e1));
+        let virt_out = run(Exec::virtual_only(&e2));
+
+        assert_eq!(real_out.shape(), virt_out.shape());
+        let p1 = e1.take_profile();
+        let p2 = e2.take_profile();
+        assert_eq!(p1.entries.len(), p2.entries.len());
+        for (a, b) in p1.entries.iter().zip(&p2.entries) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.seconds, b.seconds);
+        }
+    }
+
+    #[test]
+    fn virtual_mode_still_validates_shapes() {
+        let e = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::virtual_only(&e);
+        let a = DenseMatrix::zeros(2, 3).unwrap();
+        let b = DenseMatrix::zeros(4, 2).unwrap();
+        assert!(exec.gemm(&a, &b).is_err());
+        assert!(exec.spmm(&adj(), &b, Semiring::plus_mul(), 0.0).is_err());
+        assert!(exec.row_broadcast(&[1.0], &a, BroadcastOp::Mul).is_err());
+    }
+
+    #[test]
+    fn unweighted_spmm_charged_as_unweighted() {
+        use granii_matrix::PrimitiveKind;
+        let e = Engine::modeled(DeviceKind::H100);
+        let exec = Exec::virtual_only(&e);
+        let x = DenseMatrix::zeros(3, 4).unwrap();
+        let unweighted = adj().drop_values();
+        exec.spmm(&unweighted, &x, Semiring::plus_copy_rhs(), 0.0).unwrap();
+        exec.spmm(&adj(), &x, Semiring::plus_mul(), 0.0).unwrap();
+        let p = e.take_profile();
+        assert_eq!(p.entries[0].kind, PrimitiveKind::SpmmUnweighted);
+        assert_eq!(p.entries[1].kind, PrimitiveKind::SpmmWeighted);
+    }
+
+    #[test]
+    fn binning_is_costlier_than_scan_on_dense_inputs() {
+        let e = Engine::modeled(DeviceKind::A100);
+        let exec = Exec::virtual_only(&e);
+        let dense_adj = granii_graph::generators::mycielskian(10).unwrap();
+        exec.degrees_by_scan(dense_adj.adj());
+        let scan_time = e.take_profile().total_seconds();
+        exec.degrees_by_binning(dense_adj.adj());
+        let bin_time = e.take_profile().total_seconds();
+        assert!(bin_time > 10.0 * scan_time, "binning {bin_time} vs scan {scan_time}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the GNN substrate: composition equivalence on
+//! random graphs and configurations — the correctness foundation GRANII's
+//! re-association selection stands on.
+
+use granii_gnn::models::GnnLayer;
+use granii_gnn::spec::{Composition, LayerConfig, ModelKind};
+use granii_gnn::{Exec, GraphCtx};
+use granii_graph::Graph;
+use granii_matrix::device::{DeviceKind, Engine};
+use granii_matrix::DenseMatrix;
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (3usize..25, proptest::collection::vec((0usize..25, 0usize..25), 1..60)).prop_map(
+        |(n, edges)| {
+            let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            Graph::undirected_from_edges(n, &edges).expect("in range")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every composition of every model computes the same function on random
+    /// undirected graphs and random embedding sizes.
+    #[test]
+    fn compositions_equivalent_on_random_graphs(
+        g in random_graph(),
+        k_in in 1usize..8,
+        k_out in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let ctx = GraphCtx::new(&g).unwrap();
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        let h = DenseMatrix::random(g.num_nodes(), k_in, 1.0, seed);
+        for kind in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat, ModelKind::Sage] {
+            let layer = GnnLayer::new(kind, LayerConfig::new(k_in, k_out), seed + 1).unwrap();
+            let comps = Composition::all_for(kind);
+            let reference = {
+                let p = layer.prepare(&exec, &ctx, comps[0]).unwrap();
+                layer.forward(&exec, &ctx, &p, &h, comps[0]).unwrap()
+            };
+            for &comp in &comps[1..] {
+                let p = layer.prepare(&exec, &ctx, comp).unwrap();
+                let out = layer.forward(&exec, &ctx, &p, &h, comp).unwrap();
+                let diff = out.max_abs_diff(&reference).unwrap();
+                // Scale tolerance with magnitude: deep chains amplify rounding.
+                let tol = 1e-3 * (1.0 + reference.frobenius_norm());
+                prop_assert!(diff < tol, "{comp}: diff {diff} (tol {tol})");
+            }
+        }
+    }
+
+    /// Virtual execution charges exactly the same modeled latency as real
+    /// execution for every model/composition (this is what makes the
+    /// benchmark sweeps trustworthy).
+    #[test]
+    fn virtual_and_real_latencies_match(
+        g in random_graph(),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(g.num_nodes(), k, 1.0, seed);
+        for kind in ModelKind::EVAL {
+            for comp in Composition::all_for(kind) {
+                let layer = GnnLayer::new(kind, LayerConfig::new(k, k), seed).unwrap();
+                let time = |virtual_mode: bool| {
+                    let engine = Engine::modeled(DeviceKind::A100);
+                    let exec = if virtual_mode { Exec::virtual_only(&engine) } else { Exec::real(&engine) };
+                    let p = layer.prepare(&exec, &ctx, comp).unwrap();
+                    layer.forward(&exec, &ctx, &p, &h, comp).unwrap();
+                    engine.elapsed_seconds()
+                };
+                let (real, virt) = (time(false), time(true));
+                prop_assert!((real - virt).abs() < 1e-12, "{comp}: {real} vs {virt}");
+            }
+        }
+    }
+}

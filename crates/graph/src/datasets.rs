@@ -1,0 +1,167 @@
+//! Synthetic stand-ins for the paper's evaluation graphs (Table II).
+//!
+//! The paper evaluates on six graphs downloaded from DGL, SuiteSparse, and
+//! OGB. Those datasets are not available offline, so each is replaced by a
+//! deterministic generator matching its structural class, with node counts
+//! scaled down so that CPU-side work stays tractable (see `DESIGN.md` §2).
+//! The property GRANII's decisions key on — the *relative density ordering*
+//! across the suite (MC > RD > OP > AU > CA > BL) — is preserved at every
+//! scale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{generators, Graph, Result};
+
+/// The evaluation graphs of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dataset {
+    /// `RD` — Reddit (DGL): dense power-law social graph.
+    Reddit,
+    /// `CA` — com-Amazon (SuiteSparse): sparse community graph.
+    ComAmazon,
+    /// `MC` — mycielskian17 (SuiteSparse): extremely dense, triangle-free.
+    Mycielskian17,
+    /// `BL` — belgium_osm (SuiteSparse): road network, degree ≤ 4.
+    BelgiumOsm,
+    /// `AU` — coAuthorsCiteseer (SuiteSparse): co-authorship communities.
+    CoAuthorsCiteseer,
+    /// `OP` — ogbn-products (OGB): large power-law co-purchase graph.
+    OgbnProducts,
+}
+
+/// How large a stand-in to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// A few hundred nodes — unit/integration tests.
+    Tiny,
+    /// Tens of thousands of nodes — the benchmark harness default.
+    Small,
+}
+
+impl Dataset {
+    /// All datasets in the paper's Table II order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Reddit,
+        Dataset::ComAmazon,
+        Dataset::Mycielskian17,
+        Dataset::BelgiumOsm,
+        Dataset::CoAuthorsCiteseer,
+        Dataset::OgbnProducts,
+    ];
+
+    /// The two-letter code used in the paper's figures.
+    pub fn code(self) -> &'static str {
+        match self {
+            Dataset::Reddit => "RD",
+            Dataset::ComAmazon => "CA",
+            Dataset::Mycielskian17 => "MC",
+            Dataset::BelgiumOsm => "BL",
+            Dataset::CoAuthorsCiteseer => "AU",
+            Dataset::OgbnProducts => "OP",
+        }
+    }
+
+    /// Full name as listed in Table II.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Dataset::Reddit => "Reddit",
+            Dataset::ComAmazon => "com-Amazon",
+            Dataset::Mycielskian17 => "mycielskian17",
+            Dataset::BelgiumOsm => "belgium_osm",
+            Dataset::CoAuthorsCiteseer => "coAuthorsCiteseer",
+            Dataset::OgbnProducts => "ogbn-products",
+        }
+    }
+
+    /// Node and edge counts of the *original* dataset (Table II), for
+    /// documentation and scale-factor reporting.
+    pub fn paper_size(self) -> (usize, usize) {
+        match self {
+            Dataset::Reddit => (232_965, 114_615_892),
+            Dataset::ComAmazon => (334_863, 2_186_607),
+            Dataset::Mycielskian17 => (98_303, 100_245_742),
+            Dataset::BelgiumOsm => (1_441_295, 4_541_235),
+            Dataset::CoAuthorsCiteseer => (227_320, 1_855_588),
+            Dataset::OgbnProducts => (2_449_029, 126_167_053),
+        }
+    }
+
+    /// Generates the stand-in graph at the requested scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (parameter validation only; the built-in
+    /// parameters are valid).
+    pub fn load(self, scale: Scale) -> Result<Graph> {
+        let seed = 0xC60_u64 + self as u64;
+        let g = match (self, scale) {
+            (Dataset::Reddit, Scale::Small) => generators::power_law(16_384, 60, seed)?,
+            (Dataset::Reddit, Scale::Tiny) => generators::power_law(512, 16, seed)?,
+            (Dataset::ComAmazon, Scale::Small) => generators::community(400, 50, 0.10, 3, seed)?,
+            (Dataset::ComAmazon, Scale::Tiny) => generators::community(16, 20, 0.30, 2, seed)?,
+            (Dataset::Mycielskian17, Scale::Small) => generators::mycielskian(13)?,
+            (Dataset::Mycielskian17, Scale::Tiny) => generators::mycielskian(9)?,
+            (Dataset::BelgiumOsm, Scale::Small) => generators::grid_2d(200, 160)?,
+            (Dataset::BelgiumOsm, Scale::Tiny) => generators::grid_2d(20, 16)?,
+            (Dataset::CoAuthorsCiteseer, Scale::Small) => generators::community(800, 25, 0.30, 4, seed)?,
+            (Dataset::CoAuthorsCiteseer, Scale::Tiny) => generators::community(25, 12, 0.35, 2, seed)?,
+            (Dataset::OgbnProducts, Scale::Small) => generators::power_law(40_000, 25, seed)?,
+            (Dataset::OgbnProducts, Scale::Tiny) => generators::power_law(1024, 12, seed)?,
+        };
+        Ok(g.with_name(format!("{}-sim", self.code())))
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_datasets_load_and_are_named() {
+        for d in Dataset::ALL {
+            let g = d.load(Scale::Tiny).unwrap();
+            assert!(g.num_nodes() > 0, "{d}");
+            assert!(g.num_edges() > 0, "{d}");
+            assert!(g.name().contains(d.code()));
+            assert!(g.adj().is_pattern_symmetric(), "{d} must be undirected");
+        }
+    }
+
+    #[test]
+    fn density_ordering_matches_paper_at_tiny_scale() {
+        // Paper avg degrees: MC 1020 > RD 492 > OP 51 > AU 8.2 > CA 6.5 > BL 3.2.
+        let avg = |d: Dataset| d.load(Scale::Tiny).unwrap().avg_degree();
+        let (mc, rd, op, au, ca, bl) = (
+            avg(Dataset::Mycielskian17),
+            avg(Dataset::Reddit),
+            avg(Dataset::OgbnProducts),
+            avg(Dataset::CoAuthorsCiteseer),
+            avg(Dataset::ComAmazon),
+            avg(Dataset::BelgiumOsm),
+        );
+        assert!(mc > rd, "MC {mc} vs RD {rd}");
+        assert!(rd > op, "RD {rd} vs OP {op}");
+        assert!(op > bl, "OP {op} vs BL {bl}");
+        assert!(au > bl, "AU {au} vs BL {bl}");
+        assert!(ca > bl, "CA {ca} vs BL {bl}");
+    }
+
+    #[test]
+    fn small_scale_is_larger_than_tiny() {
+        let t = Dataset::Reddit.load(Scale::Tiny).unwrap();
+        let s = Dataset::Reddit.load(Scale::Small).unwrap();
+        assert!(s.num_nodes() > 10 * t.num_nodes());
+    }
+
+    #[test]
+    fn paper_sizes_are_table_ii() {
+        assert_eq!(Dataset::Reddit.paper_size(), (232_965, 114_615_892));
+        assert_eq!(Dataset::OgbnProducts.paper_size().1, 126_167_053);
+    }
+}

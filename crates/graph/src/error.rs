@@ -1,0 +1,73 @@
+use std::fmt;
+
+use granii_matrix::MatrixError;
+
+/// Errors produced by graph construction, generation, and IO.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The adjacency matrix is not square.
+    NotSquare {
+        /// Observed shape.
+        shape: (usize, usize),
+    },
+    /// An edge referenced a node outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A generator received an invalid parameter.
+    InvalidParameter(String),
+    /// An underlying matrix operation failed.
+    Matrix(MatrixError),
+    /// An IO operation failed.
+    Io(std::io::Error),
+    /// A file being parsed was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotSquare { shape } => {
+                write!(f, "adjacency matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid generator parameter: {msg}"),
+            GraphError::Matrix(e) => write!(f, "matrix error: {e}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Matrix(e) => Some(e),
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for GraphError {
+    fn from(e: MatrixError) -> Self {
+        GraphError::Matrix(e)
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

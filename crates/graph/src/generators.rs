@@ -1,0 +1,413 @@
+//! Deterministic graph generators.
+//!
+//! These cover the structural classes of the paper's evaluation suite
+//! (Table II): power-law social graphs (Reddit, ogbn-products), road networks
+//! (belgium_osm), extremely dense Mycielskian graphs (mycielskian17),
+//! community graphs (com-Amazon, coAuthorsCiteseer), plus the uniform and
+//! synthetic shapes used to train GRANII's cost models (§V sources its
+//! training corpus from SuiteSparse with varied sampling; here the corpus is
+//! generated with varied parameters instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphError, Result};
+
+/// Erdős–Rényi `G(n, p)` with expected average out-degree `avg_degree`
+/// (undirected: both orientations stored).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or the requested
+/// degree is not achievable (`avg_degree >= n`).
+pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("erdos_renyi: n must be > 0".into()));
+    }
+    if avg_degree < 0.0 || avg_degree >= n as f64 {
+        return Err(GraphError::InvalidParameter(format!(
+            "erdos_renyi: avg_degree {avg_degree} must be in [0, n)"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Expected undirected edges: n * avg_degree / 2. Sample by geometric
+    // skipping over the upper triangle for O(m) generation.
+    let p = avg_degree / (n as f64 - 1.0).max(1.0);
+    let mut edges = Vec::new();
+    if p > 0.0 {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        loop {
+            // Skip ~Geometric(p) positions in the strict upper triangle.
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / (1.0 - p).ln()).floor() as usize + 1;
+            let mut rem = skip;
+            while rem > 0 {
+                let row_left = n - 1 - v;
+                if rem <= row_left {
+                    v += rem;
+                    rem = 0;
+                } else {
+                    rem -= row_left;
+                    u += 1;
+                    v = u;
+                    if u >= n - 1 {
+                        return finish_undirected(n, edges, "erdos_renyi", seed);
+                    }
+                }
+            }
+            edges.push((u, v));
+        }
+    }
+    finish_undirected(n, edges, "erdos_renyi", seed)
+}
+
+fn finish_undirected(n: usize, edges: Vec<(usize, usize)>, name: &str, seed: u64) -> Result<Graph> {
+    Ok(Graph::undirected_from_edges(n, &edges)?.with_name(format!("{name}(n={n},seed={seed})")))
+}
+
+/// Preferential-attachment (Barabási–Albert style) power-law graph: each new
+/// node attaches to `m` existing nodes with probability proportional to
+/// degree. Produces the skewed degree distributions of social graphs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2` or `m == 0`.
+pub fn power_law(n: usize, m: usize, seed: u64) -> Result<Graph> {
+    if n < 2 || m == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "power_law: need n >= 2 (got {n}) and m >= 1 (got {m})"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per half-edge; uniform sampling from it is
+    // degree-proportional sampling.
+    let mut targets: Vec<usize> = vec![0, 1];
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    for u in 2..n {
+        let attach = m.min(u);
+        let mut chosen = Vec::with_capacity(attach);
+        while chosen.len() < attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &v in &chosen {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    finish_undirected(n, edges, "power_law", seed)
+}
+
+/// RMAT-style recursive matrix generator with partition probabilities
+/// `(a, b, c)` (and `d = 1 - a - b - c`). Skewed, clustered non-zero
+/// distributions; used for cost-model training diversity.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for invalid probabilities or a
+/// zero scale.
+pub fn rmat(scale: u32, edges_per_node: usize, a: f64, b: f64, c: f64, seed: u64) -> Result<Graph> {
+    if scale == 0 || scale > 24 {
+        return Err(GraphError::InvalidParameter("rmat: scale must be in 1..=24".into()));
+    }
+    let d = 1.0 - a - b - c;
+    if a < 0.0 || b < 0.0 || c < 0.0 || d < 0.0 {
+        return Err(GraphError::InvalidParameter("rmat: probabilities must be nonnegative and sum <= 1".into()));
+    }
+    let n = 1usize << scale;
+    let m = n * edges_per_node;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    finish_undirected(n, edges, "rmat", seed)
+}
+
+/// A `w x h` 2-D grid with 4-neighbor connectivity: the road-network stand-in
+/// (max degree 4, no skew, huge diameter — the belgium_osm class).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is zero.
+pub fn grid_2d(w: usize, h: usize) -> Result<Graph> {
+    if w == 0 || h == 0 {
+        return Err(GraphError::InvalidParameter("grid_2d: dimensions must be > 0".into()));
+    }
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::with_capacity(2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    Ok(Graph::undirected_from_edges(w * h, &edges)?.with_name(format!("grid_2d({w}x{h})")))
+}
+
+/// The Mycielskian construction iterated to `order` (`order = 2` is `K_2`).
+///
+/// `mycielskian(k)` is exactly the SuiteSparse `mycielskianK` graph family the
+/// paper's densest evaluation graph comes from: triangle-free but with
+/// quadratically growing edge density.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `order < 2` or `order > 16`
+/// (node count doubles per step).
+pub fn mycielskian(order: u32) -> Result<Graph> {
+    if !(2..=16).contains(&order) {
+        return Err(GraphError::InvalidParameter("mycielskian: order must be in 2..=16".into()));
+    }
+    // Start from K2.
+    let mut n = 2usize;
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    for _ in 2..order {
+        // Mycielskian step: nodes v_i (0..n), shadows u_i (n..2n), apex z (2n).
+        let mut next = Vec::with_capacity(edges.len() * 3 + n);
+        for &(a, b) in &edges {
+            next.push((a, b)); // original
+            next.push((n + a, b)); // shadow-original
+            next.push((a, n + b)); // original-shadow
+        }
+        for i in 0..n {
+            next.push((n + i, 2 * n)); // shadow-apex
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    Ok(Graph::undirected_from_edges(n, &edges)?.with_name(format!("mycielskian({order})")))
+}
+
+/// Community graph: `communities` dense Erdős–Rényi cliques of size
+/// `community_size` with sparse random inter-community bridges. The
+/// com-Amazon / coAuthorsCiteseer stand-in.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for zero sizes or an
+/// unsatisfiable intra-community probability.
+pub fn community(
+    communities: usize,
+    community_size: usize,
+    intra_p: f64,
+    bridges_per_community: usize,
+    seed: u64,
+) -> Result<Graph> {
+    if communities == 0 || community_size == 0 {
+        return Err(GraphError::InvalidParameter("community: sizes must be > 0".into()));
+    }
+    if !(0.0..=1.0).contains(&intra_p) {
+        return Err(GraphError::InvalidParameter("community: intra_p must be in [0, 1]".into()));
+    }
+    let n = communities * community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for comm in 0..communities {
+        let base = comm * community_size;
+        for i in 0..community_size {
+            for j in (i + 1)..community_size {
+                if rng.gen::<f64>() < intra_p {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        for _ in 0..bridges_per_community {
+            let u = base + rng.gen_range(0..community_size);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    finish_undirected(n, edges, "community", seed)
+}
+
+/// The complete graph `K_n` (without self-loops).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or `n > 4096` (the
+/// edge count is quadratic).
+pub fn complete(n: usize) -> Result<Graph> {
+    if n == 0 || n > 4096 {
+        return Err(GraphError::InvalidParameter("complete: n must be in 1..=4096".into()));
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    Ok(Graph::undirected_from_edges(n, &edges)?.with_name(format!("complete({n})")))
+}
+
+/// A star: node 0 connected to all others (maximum degree skew).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter("star: n must be >= 2".into()));
+    }
+    let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+    Ok(Graph::undirected_from_edges(n, &edges)?.with_name(format!("star({n})")))
+}
+
+/// A cycle of `n` nodes (uniform degree 2).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn ring(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter("ring: n must be >= 3".into()));
+    }
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Ok(Graph::undirected_from_edges(n, &edges)?.with_name(format!("ring({n})")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_hits_target_degree() {
+        let g = erdos_renyi(2000, 10.0, 7).unwrap();
+        let avg = g.avg_degree();
+        assert!((avg - 10.0).abs() < 1.5, "avg degree {avg} too far from 10");
+        assert!(g.adj().is_pattern_symmetric());
+    }
+
+    #[test]
+    fn erdos_renyi_zero_degree_is_empty() {
+        let g = erdos_renyi(50, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(200, 5.0, 9).unwrap();
+        let b = erdos_renyi(200, 5.0, 9).unwrap();
+        assert_eq!(a.adj(), b.adj());
+    }
+
+    #[test]
+    fn power_law_has_skewed_degrees() {
+        let g = power_law(2000, 4, 3).unwrap();
+        let stats = g.row_stats();
+        // Power-law graphs have CV well above an ER graph of the same density.
+        assert!(stats.cv > 0.8, "cv = {}", stats.cv);
+        assert!(stats.max as f64 > 8.0 * stats.mean);
+    }
+
+    #[test]
+    fn grid_degrees_bounded_by_four() {
+        let g = grid_2d(10, 7).unwrap();
+        assert_eq!(g.num_nodes(), 70);
+        assert_eq!(g.row_stats().max, 4);
+        assert!(g.adj().is_pattern_symmetric());
+    }
+
+    #[test]
+    fn mycielskian_counts_follow_recurrence() {
+        // n_{k+1} = 2 n_k + 1, m_{k+1} = 3 m_k + n_k (undirected edges).
+        let (mut n, mut m) = (2usize, 1usize);
+        for order in 3..=8u32 {
+            let g = mycielskian(order).unwrap();
+            m = 3 * m + n;
+            n = 2 * n + 1;
+            assert_eq!(g.num_nodes(), n, "nodes at order {order}");
+            assert_eq!(g.num_edges(), 2 * m, "directed edges at order {order}");
+        }
+    }
+
+    #[test]
+    fn mycielskian_is_dense_relative_to_suite() {
+        let mc = mycielskian(10).unwrap();
+        let road = grid_2d(28, 28).unwrap(); // similar node count
+        assert!(mc.avg_degree() > 10.0 * road.avg_degree());
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.num_edges(), 20); // 2 * C(5,2)
+        assert_eq!(g.row_stats().max, 4);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        let g = star(100).unwrap();
+        let s = g.row_stats();
+        assert_eq!(s.max, 99);
+        assert!(s.cv > 4.0);
+    }
+
+    #[test]
+    fn ring_is_uniform() {
+        let g = ring(10).unwrap();
+        let s = g.row_stats();
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn rmat_generates_within_bounds() {
+        let g = rmat(8, 8, 0.55, 0.2, 0.2, 11).unwrap();
+        assert_eq!(g.num_nodes(), 256);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn community_builds_requested_shape() {
+        let g = community(10, 20, 0.4, 2, 5).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        assert!(g.avg_degree() > 3.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(erdos_renyi(0, 1.0, 0).is_err());
+        assert!(erdos_renyi(10, 20.0, 0).is_err());
+        assert!(power_law(1, 2, 0).is_err());
+        assert!(power_law(10, 0, 0).is_err());
+        assert!(grid_2d(0, 5).is_err());
+        assert!(mycielskian(1).is_err());
+        assert!(mycielskian(17).is_err());
+        assert!(complete(0).is_err());
+        assert!(star(1).is_err());
+        assert!(ring(2).is_err());
+        assert!(rmat(0, 1, 0.25, 0.25, 0.25, 0).is_err());
+        assert!(rmat(4, 1, 0.6, 0.3, 0.3, 0).is_err());
+        assert!(community(0, 1, 0.5, 0, 0).is_err());
+        assert!(community(1, 1, 1.5, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+use granii_matrix::{CooMatrix, CsrMatrix, DiagMatrix, RowStats};
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, Result};
+
+/// A graph backed by a square CSR adjacency matrix.
+///
+/// Edges are directed in storage; undirected graphs store both orientations
+/// (the convention of DGL and SuiteSparse symmetric matrices). The adjacency
+/// may be weighted or unweighted — an unweighted adjacency is what lets GRANII
+/// select the cheaper `copy_u` aggregation (paper §III-A).
+///
+/// # Example
+///
+/// ```
+/// use granii_graph::Graph;
+///
+/// # fn main() -> Result<(), granii_graph::GraphError> {
+/// let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)])?;
+/// assert_eq!(g.num_edges(), 4); // both orientations stored
+/// assert_eq!(g.out_degrees(), vec![1.0, 2.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: CsrMatrix,
+    name: String,
+}
+
+impl Graph {
+    /// Wraps a CSR adjacency matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSquare`] if the matrix is not square.
+    pub fn from_csr(adj: CsrMatrix) -> Result<Self> {
+        if adj.rows() != adj.cols() {
+            return Err(GraphError::NotSquare { shape: adj.shape() });
+        }
+        Ok(Self { adj, name: String::from("graph") })
+    }
+
+    /// Builds an unweighted directed graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0).map_err(|_| GraphError::NodeOutOfRange {
+                node: u.max(v),
+                num_nodes: n,
+            })?;
+        }
+        Ok(Self { adj: coo.to_csr_unweighted(), name: String::from("graph") })
+    }
+
+    /// Builds an unweighted undirected graph: each listed edge is stored in
+    /// both orientations (self-loops once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn undirected_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0).map_err(|_| GraphError::NodeOutOfRange {
+                node: u.max(v),
+                num_nodes: n,
+            })?;
+            if u != v {
+                coo.push(v, u, 1.0).expect("validated above");
+            }
+        }
+        Ok(Self { adj: coo.to_csr_unweighted(), name: String::from("graph") })
+    }
+
+    /// Sets a human-readable name (dataset id) on the graph.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of stored directed edges (nonzeros of the adjacency).
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// The adjacency matrix.
+    pub fn adj(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Whether the adjacency stores edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.adj.is_weighted()
+    }
+
+    /// Average degree (`edges / nodes`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Adjacency density (`nnz / n^2`).
+    pub fn density(&self) -> f64 {
+        self.adj.density()
+    }
+
+    /// Out-degrees as `f32`.
+    pub fn out_degrees(&self) -> Vec<f32> {
+        self.adj.out_degrees()
+    }
+
+    /// In-degrees as `f32`.
+    pub fn in_degrees(&self) -> Vec<f32> {
+        self.adj.in_degrees()
+    }
+
+    /// Row-length distribution statistics of the adjacency.
+    pub fn row_stats(&self) -> RowStats {
+        self.adj.row_stats()
+    }
+
+    /// Returns `Ã`: this graph with self-loops added on every node (GCN's
+    /// convention). Existing self-loops are not duplicated.
+    pub fn add_self_loops(&self) -> Graph {
+        let n = self.num_nodes();
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let row = self.adj.row_indices(i);
+            let vals = self.adj.row_values(i);
+            for (off, &j) in row.iter().enumerate() {
+                let v = vals.map_or(1.0, |v| v[off]);
+                coo.push(i, j as usize, v).expect("in range");
+            }
+            if !row.contains(&(i as u32)) {
+                coo.push(i, i, 1.0).expect("in range");
+            }
+        }
+        let csr = if self.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
+        Graph { adj: csr, name: format!("{}+I", self.name) }
+    }
+
+    /// The GCN degree normalizer `D̃^{-1/2}` of this graph (out-degrees).
+    pub fn deg_inv_sqrt(&self) -> DiagMatrix {
+        DiagMatrix::from_vec(self.out_degrees()).inv_sqrt()
+    }
+
+    /// The induced subgraph on `nodes` (relabelled 0..len), used by sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for invalid node ids.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Result<Graph> {
+        let n = self.num_nodes();
+        let mut remap = vec![usize::MAX; n];
+        for (new, &old) in nodes.iter().enumerate() {
+            if old >= n {
+                return Err(GraphError::NodeOutOfRange { node: old, num_nodes: n });
+            }
+            remap[old] = new;
+        }
+        let mut coo = CooMatrix::new(nodes.len(), nodes.len());
+        for (new_u, &old_u) in nodes.iter().enumerate() {
+            let row = self.adj.row_indices(old_u);
+            let vals = self.adj.row_values(old_u);
+            for (off, &old_v) in row.iter().enumerate() {
+                let new_v = remap[old_v as usize];
+                if new_v != usize::MAX {
+                    let v = vals.map_or(1.0, |v| v[off]);
+                    coo.push(new_u, new_v, v).expect("in range");
+                }
+            }
+        }
+        let csr = if self.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
+        Ok(Graph { adj: csr, name: format!("{}[sub]", self.name) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_csr_requires_square() {
+        let m = CooMatrix::from_entries(2, 3, &[(0, 1, 1.0)]).unwrap().to_csr();
+        assert!(matches!(Graph::from_csr(m), Err(GraphError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn from_edges_validates_range() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn undirected_stores_both_orientations_once() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 3); // (0,1), (1,0), (1,1)
+        assert!(g.adj().is_pattern_symmetric());
+    }
+
+    #[test]
+    fn add_self_loops_is_idempotent_on_pattern() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1)]).unwrap();
+        let g1 = g.add_self_loops();
+        assert_eq!(g1.num_edges(), 2 + 3);
+        let g2 = g1.add_self_loops();
+        assert_eq!(g2.num_edges(), g1.num_edges());
+    }
+
+    #[test]
+    fn deg_inv_sqrt_matches_degrees() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let d = g.deg_inv_sqrt();
+        assert!((d.values()[0] - 1.0 / (2.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(d.values()[1], 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sub = g.induced_subgraph(&[1, 2]).unwrap();
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 2); // 1-2 in both directions
+        assert_eq!(sub.adj().get(0, 1), 1.0);
+        assert!(g.induced_subgraph(&[9]).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_norm() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let d = g.deg_inv_sqrt();
+        assert_eq!(d.values()[2], 0.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Graph IO: a text edge-list format and a compact binary format.
+//!
+//! The text format matches the common SNAP/SuiteSparse export shape (one
+//! `src dst` pair per line, `#` comments), so real datasets can be dropped in
+//! when available. The binary format is a length-prefixed `u32` pair stream
+//! used to cache generated stand-ins between benchmark runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Graph, GraphError, Result};
+
+/// Magic bytes of the binary graph format.
+const MAGIC: &[u8; 4] = b"GRN1";
+
+/// Writes a graph as a text edge list (`src dst` per line, with a header
+/// comment carrying the node count).
+///
+/// # Errors
+///
+/// Propagates IO errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
+    writeln!(w, "# granii edge list")?;
+    writeln!(w, "# nodes {}", graph.num_nodes())?;
+    for u in 0..graph.num_nodes() {
+        for &v in graph.adj().row_indices(u) {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a text edge list produced by [`write_edge_list`] (or any `src dst`
+/// file; node count defaults to `1 + max id` when no header is present).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and propagates IO errors.
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut nodes: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                if let Some(n) = it.next().and_then(|s| s.parse().ok()) {
+                    nodes = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse { line: lineno + 1, message: "invalid node id".into() })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = nodes.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    Graph::from_edges(n, &edges)
+}
+
+/// Reads a MatrixMarket `coordinate` file (the SuiteSparse exchange format,
+/// the source of the paper's training and evaluation graphs). Supports
+/// `general` and `symmetric` pattern/real/integer matrices; `symmetric`
+/// entries are mirrored. Values are kept (a weighted graph) for `real` /
+/// `integer` fields and dropped for `pattern`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed headers/entries and
+/// [`GraphError::NotSquare`] for rectangular matrices.
+pub fn read_matrix_market<R: Read>(r: R) -> Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().enumerate();
+
+    let (first_no, first) = lines
+        .next()
+        .ok_or(GraphError::Parse { line: 1, message: "empty file".into() })?;
+    let first = first?;
+    let header: Vec<String> =
+        first.trim().to_ascii_lowercase().split_whitespace().map(String::from).collect();
+    let bad = |line: usize, message: &str| GraphError::Parse { line, message: message.into() };
+    if header.len() < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+        return Err(bad(first_no + 1, "expected a %%MatrixMarket matrix header"));
+    }
+    if header[2] != "coordinate" {
+        return Err(bad(first_no + 1, "only coordinate (sparse) matrices are supported"));
+    }
+    let pattern = match header[3].as_str() {
+        "pattern" => true,
+        "real" | "integer" => false,
+        other => {
+            return Err(GraphError::Parse {
+                line: first_no + 1,
+                message: format!("unsupported field type {other}"),
+            })
+        }
+    };
+    let symmetric = match header[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(GraphError::Parse {
+                line: first_no + 1,
+                message: format!("unsupported symmetry {other}"),
+            })
+        }
+    };
+
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut coo: Option<CooForMm> = None;
+    for (lineno, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse_usize = |tok: Option<&str>, lineno: usize| -> Result<usize> {
+            tok.ok_or(bad(lineno + 1, "missing field"))?
+                .parse()
+                .map_err(|_| bad(lineno + 1, "invalid integer"))
+        };
+        match (&size, &mut coo) {
+            (None, _) => {
+                let rows = parse_usize(it.next(), lineno)?;
+                let cols = parse_usize(it.next(), lineno)?;
+                let nnz = parse_usize(it.next(), lineno)?;
+                if rows != cols {
+                    return Err(GraphError::NotSquare { shape: (rows, cols) });
+                }
+                size = Some((rows, cols, nnz));
+                coo = Some(CooForMm::new(rows, pattern));
+            }
+            (Some(_), Some(builder)) => {
+                let i = parse_usize(it.next(), lineno)?;
+                let j = parse_usize(it.next(), lineno)?;
+                if i == 0 || j == 0 {
+                    return Err(bad(lineno + 1, "MatrixMarket indices are 1-based"));
+                }
+                let v = if pattern {
+                    1.0
+                } else {
+                    it.next()
+                        .ok_or(bad(lineno + 1, "missing value"))?
+                        .parse::<f32>()
+                        .map_err(|_| bad(lineno + 1, "invalid value"))?
+                };
+                builder.push(i - 1, j - 1, v, lineno + 1)?;
+                if symmetric && i != j {
+                    builder.push(j - 1, i - 1, v, lineno + 1)?;
+                }
+            }
+            _ => unreachable!("coo initialized with size"),
+        }
+    }
+    let builder = coo.ok_or(bad(0, "missing size line"))?;
+    builder.finish()
+}
+
+/// Internal COO accumulator for the MatrixMarket reader.
+struct CooForMm {
+    coo: granii_matrix::CooMatrix,
+    pattern: bool,
+}
+
+impl CooForMm {
+    fn new(n: usize, pattern: bool) -> Self {
+        Self { coo: granii_matrix::CooMatrix::new(n, n), pattern }
+    }
+
+    fn push(&mut self, i: usize, j: usize, v: f32, line: usize) -> Result<()> {
+        self.coo.push(i, j, v).map_err(|_| GraphError::Parse {
+            line,
+            message: format!("entry ({i}, {j}) out of bounds"),
+        })
+    }
+
+    fn finish(self) -> Result<Graph> {
+        let csr = if self.pattern { self.coo.to_csr_unweighted() } else { self.coo.to_csr() };
+        Graph::from_csr(csr)
+    }
+}
+
+/// Writes a graph in MatrixMarket coordinate format (`general` symmetry;
+/// `pattern` for unweighted graphs, `real` otherwise).
+///
+/// # Errors
+///
+/// Propagates IO errors from the writer.
+pub fn write_matrix_market<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
+    let field = if graph.is_weighted() { "real" } else { "pattern" };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field} general")?;
+    writeln!(w, "% exported by granii")?;
+    writeln!(w, "{} {} {}", graph.num_nodes(), graph.num_nodes(), graph.num_edges())?;
+    for u in 0..graph.num_nodes() {
+        let row = graph.adj().row_indices(u);
+        let vals = graph.adj().row_values(u);
+        for (off, &v) in row.iter().enumerate() {
+            match vals {
+                Some(vs) => writeln!(w, "{} {} {}", u + 1, v + 1, vs[off])?,
+                None => writeln!(w, "{} {}", u + 1, v + 1)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a graph into the compact binary format.
+pub fn to_bytes(graph: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + graph.num_edges() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(graph.num_nodes() as u32);
+    buf.put_u32_le(graph.num_edges() as u32);
+    for u in 0..graph.num_nodes() {
+        for &v in graph.adj().row_indices(u) {
+            buf.put_u32_le(u as u32);
+            buf.put_u32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] if the magic, length, or node ids are
+/// inconsistent.
+pub fn from_bytes(mut data: Bytes) -> Result<Graph> {
+    let bad = |message: &str| GraphError::Parse { line: 0, message: message.into() };
+    if data.remaining() < 12 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = data.get_u32_le() as usize;
+    let m = data.get_u32_le() as usize;
+    if data.remaining() < m * 8 {
+        return Err(bad("truncated edge data"));
+    }
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = data.get_u32_le() as usize;
+        let v = data.get_u32_le() as usize;
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn text_round_trip() {
+        let g = generators::power_law(50, 3, 2).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back.adj().indices(), g.adj().indices());
+        assert_eq!(back.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn text_without_header_infers_node_count() {
+        let back = read_edge_list("0 1\n2 0\n".as_bytes()).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(read_edge_list("0 x\n".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(read_edge_list("42\n".as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = generators::mycielskian(6).unwrap();
+        let bytes = to_bytes(&g);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(back.adj().indptr(), g.adj().indptr());
+        assert_eq!(back.adj().indices(), g.adj().indices());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = generators::ring(5).unwrap();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(bytes.slice(0..4)).is_err());
+        let mut corrupted = bytes.to_vec();
+        corrupted[0] = b'X';
+        assert!(from_bytes(Bytes::from(corrupted)).is_err());
+        let truncated = bytes.slice(0..bytes.len() - 4);
+        assert!(from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let g = generators::power_law(30, 3, 6).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.adj().indptr(), g.adj().indptr());
+        assert_eq!(back.adj().indices(), g.adj().indices());
+        assert!(!back.is_weighted());
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.adj().is_pattern_symmetric());
+    }
+
+    #[test]
+    fn matrix_market_reads_weighted_values() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.adj().get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn matrix_market_rejects_malformed_input() {
+        assert!(read_matrix_market("no header\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let back = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(buf.as_slice()).unwrap().num_nodes(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Neighborhood sampling (paper §VI-E).
+//!
+//! GraphSAGE-style sampling caps each node's neighborhood at a fanout; the
+//! paper evaluates GRANII's sensitivity to it with 10 random samples per
+//! fanout in {1000, 100, 10} (Figure 9) and uses it to support GraphSAGE with
+//! GCN aggregation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use granii_matrix::CooMatrix;
+
+use crate::{Graph, GraphError, Result};
+
+/// Uniformly samples up to `fanout` out-neighbors per node, keeping all nodes.
+///
+/// Nodes with degree ≤ `fanout` keep their full neighborhood (sampling
+/// without replacement, matching `dgl.sampling.sample_neighbors`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `fanout == 0`.
+///
+/// # Example
+///
+/// ```
+/// use granii_graph::{generators, sampling};
+///
+/// # fn main() -> Result<(), granii_graph::GraphError> {
+/// let g = generators::power_law(200, 8, 1)?;
+/// let s = sampling::sample_neighbors(&g, 4, 7)?;
+/// assert!(s.row_stats().max <= 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_neighbors(graph: &Graph, fanout: usize, seed: u64) -> Result<Graph> {
+    if fanout == 0 {
+        return Err(GraphError::InvalidParameter("sample_neighbors: fanout must be > 0".into()));
+    }
+    let n = graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    let adj = graph.adj();
+    let mut pool: Vec<usize> = Vec::new();
+    for u in 0..n {
+        let row = adj.row_indices(u);
+        let vals = adj.row_values(u);
+        if row.len() <= fanout {
+            for (off, &v) in row.iter().enumerate() {
+                let w = vals.map_or(1.0, |vs| vs[off]);
+                coo.push(u, v as usize, w).expect("in range");
+            }
+        } else {
+            pool.clear();
+            pool.extend(0..row.len());
+            pool.shuffle(&mut rng);
+            for &off in pool.iter().take(fanout) {
+                let w = vals.map_or(1.0, |vs| vs[off]);
+                coo.push(u, row[off] as usize, w).expect("in range");
+            }
+        }
+    }
+    let csr = if graph.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
+    Ok(Graph::from_csr(csr)?.with_name(format!("{}~fanout{fanout}", graph.name())))
+}
+
+/// Samples a node-induced subgraph of `num_nodes` uniformly random nodes
+/// (the mini-batch subgraph shape used in sampled training).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `num_nodes` is zero or exceeds
+/// the graph's node count.
+pub fn sample_node_subgraph(graph: &Graph, num_nodes: usize, seed: u64) -> Result<Graph> {
+    let n = graph.num_nodes();
+    if num_nodes == 0 || num_nodes > n {
+        return Err(GraphError::InvalidParameter(format!(
+            "sample_node_subgraph: num_nodes {num_nodes} must be in 1..={n}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates for a uniform sample without replacement.
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in 0..num_nodes {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    let mut sample = ids[..num_nodes].to_vec();
+    sample.sort_unstable();
+    graph.induced_subgraph(&sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn fanout_caps_degree() {
+        let g = generators::star(100).unwrap();
+        let s = sample_neighbors(&g, 10, 3).unwrap();
+        assert_eq!(s.row_stats().max, 10); // hub capped
+        assert_eq!(s.num_nodes(), 100);
+    }
+
+    #[test]
+    fn low_degree_rows_are_kept_whole() {
+        let g = generators::ring(20).unwrap();
+        let s = sample_neighbors(&g, 5, 3).unwrap();
+        assert_eq!(s.num_edges(), g.num_edges());
+        assert_eq!(s.adj(), g.adj());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = generators::power_law(300, 6, 5).unwrap();
+        let a = sample_neighbors(&g, 3, 11).unwrap();
+        let b = sample_neighbors(&g, 3, 11).unwrap();
+        let c = sample_neighbors(&g, 3, 12).unwrap();
+        assert_eq!(a.adj(), b.adj());
+        assert_ne!(a.adj(), c.adj());
+    }
+
+    #[test]
+    fn sampled_edges_are_subset() {
+        let g = generators::power_law(200, 8, 2).unwrap();
+        let s = sample_neighbors(&g, 2, 9).unwrap();
+        for u in 0..s.num_nodes() {
+            for &v in s.adj().row_indices(u) {
+                assert!(g.adj().row_indices(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn node_subgraph_has_requested_size() {
+        let g = generators::power_law(500, 5, 4).unwrap();
+        let s = sample_node_subgraph(&g, 100, 21).unwrap();
+        assert_eq!(s.num_nodes(), 100);
+        assert!(s.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let g = generators::ring(10).unwrap();
+        assert!(sample_neighbors(&g, 0, 0).is_err());
+        assert!(sample_node_subgraph(&g, 0, 0).is_err());
+        assert!(sample_node_subgraph(&g, 11, 0).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the graph substrate.
+
+use granii_graph::{generators, io, sampling, Graph, GraphFeatures};
+use proptest::prelude::*;
+
+proptest! {
+    /// Undirected construction always yields a symmetric pattern.
+    #[test]
+    fn undirected_is_symmetric(n in 2usize..40, edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60)) {
+        let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::undirected_from_edges(n, &edges).unwrap();
+        prop_assert!(g.adj().is_pattern_symmetric());
+    }
+
+    /// Self-loop insertion adds exactly the missing diagonal entries.
+    #[test]
+    fn self_loops_add_diagonal(n in 1usize..30, edges in proptest::collection::vec((0usize..30, 0usize..30), 0..40)) {
+        let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let with = g.add_self_loops();
+        for i in 0..n {
+            prop_assert!(with.adj().get(i, i) != 0.0, "missing self loop at {i}");
+        }
+        let diag_present = (0..n).filter(|&i| g.adj().get(i, i) != 0.0).count();
+        prop_assert_eq!(with.num_edges(), g.num_edges() + (n - diag_present));
+    }
+
+    /// Neighbor sampling never exceeds the fanout and only keeps real edges.
+    #[test]
+    fn sampling_respects_fanout(seed in 0u64..500, fanout in 1usize..6) {
+        let g = generators::power_law(120, 5, 7).unwrap();
+        let s = sampling::sample_neighbors(&g, fanout, seed).unwrap();
+        prop_assert!(s.row_stats().max as usize <= fanout.max(1));
+        for u in 0..s.num_nodes() {
+            for &v in s.adj().row_indices(u) {
+                prop_assert!(g.adj().row_indices(u).contains(&v));
+            }
+        }
+    }
+
+    /// Induced subgraphs keep degrees bounded by the original.
+    #[test]
+    fn subgraph_degrees_bounded(seed in 0u64..500, size in 1usize..60) {
+        let g = generators::power_law(80, 4, 3).unwrap();
+        let size = size.min(g.num_nodes());
+        let s = sampling::sample_node_subgraph(&g, size, seed).unwrap();
+        prop_assert_eq!(s.num_nodes(), size);
+        prop_assert!(s.num_edges() <= g.num_edges());
+    }
+
+    /// Text and binary IO round-trip arbitrary generated graphs.
+    #[test]
+    fn io_round_trips(n in 2usize..30, edges in proptest::collection::vec((0usize..30, 0usize..30), 0..50)) {
+        let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        let t = io::read_edge_list(text.as_slice()).unwrap();
+        prop_assert_eq!(t.adj().indices(), g.adj().indices());
+        let b = io::from_bytes(io::to_bytes(&g)).unwrap();
+        prop_assert_eq!(b.adj().indptr(), g.adj().indptr());
+    }
+
+    /// Feature extraction is total and produces finite values.
+    #[test]
+    fn features_are_finite(n in 1usize..50, edges in proptest::collection::vec((0usize..50, 0usize..50), 0..80)) {
+        let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let f = GraphFeatures::extract(&g).to_vec();
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(f.len(), GraphFeatures::LEN);
+    }
+}

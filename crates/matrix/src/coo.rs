@@ -1,0 +1,187 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrMatrix, MatrixError, Result};
+
+/// A sparse matrix in coordinate (triplet) form.
+///
+/// COO is the builder format: graph generators and IO produce COO, and
+/// [`CooMatrix::to_csr`] converts to the execution format. Duplicate entries
+/// are summed during conversion, matching SciPy/DGL semantics.
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::CooMatrix;
+///
+/// # fn main() -> Result<(), granii_matrix::MatrixError> {
+/// let coo = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)])?;
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates a COO matrix from `(row, col, value)` triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any triplet lies outside
+    /// the declared shape.
+    pub fn from_entries(rows: usize, cols: usize, entries: &[(usize, usize, f32)]) -> Result<Self> {
+        let mut coo = Self::new(rows, cols);
+        for &(r, c, v) in entries {
+            coo.push(r, c, v)?;
+        }
+        Ok(coo)
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if `(row, col)` is outside the
+    /// declared shape.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds { index: (row, col), shape: (self.rows, self.cols) });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over stored triplets as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort columns within each row.
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut slots = counts.clone();
+        let mut col_buf = vec![0u32; self.entries.len()];
+        let mut val_buf = vec![0f32; self.entries.len()];
+        for &(r, c, v) in &self.entries {
+            let slot = slots[r as usize];
+            col_buf[slot] = c;
+            val_buf[slot] = v;
+            slots[r as usize] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0u64);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.rows {
+            scratch.clear();
+            scratch.extend(
+                col_buf[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(val_buf[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len() as u64);
+        }
+        CsrMatrix::from_parts_unchecked(self.rows, self.cols, indptr, indices, Some(values))
+    }
+
+    /// Converts to CSR discarding values (an *unweighted* sparse matrix whose
+    /// implicit entries are all 1), still merging duplicate positions.
+    pub fn to_csr_unweighted(&self) -> CsrMatrix {
+        self.to_csr().drop_values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+        assert!(coo.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn to_csr_sorts_and_merges_duplicates() {
+        let coo =
+            CooMatrix::from_entries(2, 3, &[(1, 2, 1.0), (0, 1, 2.0), (1, 0, 3.0), (0, 1, 4.0)])
+                .unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_indices(0), &[1]);
+        assert_eq!(csr.row_values(0).unwrap(), &[6.0]);
+        assert_eq!(csr.row_indices(1), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_rows_are_represented() {
+        let coo = CooMatrix::from_entries(3, 3, &[(2, 0, 1.0)]).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_indices(0), &[] as &[u32]);
+        assert_eq!(csr.row_indices(1), &[] as &[u32]);
+        assert_eq!(csr.row_indices(2), &[0]);
+    }
+
+    #[test]
+    fn unweighted_conversion_drops_values() {
+        let coo = CooMatrix::from_entries(2, 2, &[(0, 0, 5.0)]).unwrap();
+        let csr = coo.to_csr_unweighted();
+        assert!(csr.values().is_none());
+        assert_eq!(csr.nnz(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrMatrix, MatrixError, Result};
+
+/// A diagonal matrix stored as its diagonal vector.
+///
+/// GCN's degree normalizer `D^{-1/2}` is the canonical instance. GRANII's IR
+/// tracks diagonality as a sparse sub-attribute (paper Table I) because a
+/// diagonal operand unlocks cheaper primitives: `diag · dense` lowers to a
+/// row-broadcast instead of an SpMM, and `diag · sparse · diag` lowers to an
+/// SDDMM-style edge scaling (paper §III-A, Eq. 3).
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::DiagMatrix;
+///
+/// let d = DiagMatrix::from_vec(vec![1.0, 4.0]);
+/// let inv_sqrt = d.inv_sqrt();
+/// assert_eq!(inv_sqrt.values(), &[1.0, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagMatrix {
+    values: Vec<f32>,
+}
+
+impl DiagMatrix {
+    /// Creates a diagonal matrix from its diagonal entries.
+    pub fn from_vec(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
+    /// Dimension `n` of the `n x n` matrix.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The diagonal entries.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Consumes the matrix and returns the diagonal entries.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.values
+    }
+
+    /// Element-wise `d_i^{-1/2}`, with `0^{-1/2}` defined as 0 (isolated nodes
+    /// contribute nothing, matching DGL's GraphConv convention).
+    pub fn inv_sqrt(&self) -> DiagMatrix {
+        DiagMatrix {
+            values: self
+                .values
+                .iter()
+                .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Element-wise reciprocal, with `1/0` defined as 0.
+    pub fn inv(&self) -> DiagMatrix {
+        DiagMatrix {
+            values: self.values.iter().map(|&v| if v != 0.0 { 1.0 / v } else { 0.0 }).collect(),
+        }
+    }
+
+    /// Converts to an equivalent weighted CSR matrix.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.values.len();
+        CsrMatrix::from_parts(
+            n,
+            n,
+            (0..=n as u64).collect(),
+            (0..n as u32).collect(),
+            Some(self.values.clone()),
+        )
+        .expect("diagonal CSR is valid by construction")
+    }
+
+    /// Multiplies two diagonal matrices (element-wise product of diagonals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if dimensions differ.
+    pub fn mul_diag(&self, other: &DiagMatrix) -> Result<DiagMatrix> {
+        if self.dim() != other.dim() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "diag_mul",
+                lhs: (self.dim(), self.dim()),
+                rhs: (other.dim(), other.dim()),
+            });
+        }
+        Ok(DiagMatrix {
+            values: self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect(),
+        })
+    }
+}
+
+impl From<Vec<f32>> for DiagMatrix {
+    fn from(values: Vec<f32>) -> Self {
+        Self::from_vec(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inv_sqrt_handles_zero() {
+        let d = DiagMatrix::from_vec(vec![0.0, 9.0]);
+        assert_eq!(d.inv_sqrt().values(), &[0.0, 1.0 / 3.0]);
+    }
+
+    #[test]
+    fn inv_handles_zero() {
+        let d = DiagMatrix::from_vec(vec![0.0, 2.0]);
+        assert_eq!(d.inv().values(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn to_csr_is_diagonal() {
+        let d = DiagMatrix::from_vec(vec![2.0, 3.0]);
+        let csr = d.to_csr();
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(1, 1), 3.0);
+        assert_eq!(csr.get(0, 1), 0.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn mul_diag_multiplies_entrywise() {
+        let a = DiagMatrix::from_vec(vec![2.0, 3.0]);
+        let b = DiagMatrix::from_vec(vec![5.0, 7.0]);
+        assert_eq!(a.mul_diag(&b).unwrap().values(), &[10.0, 21.0]);
+        let c = DiagMatrix::from_vec(vec![1.0]);
+        assert!(a.mul_diag(&c).is_err());
+    }
+}

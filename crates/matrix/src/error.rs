@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"gemm"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A matrix entry referenced a row or column outside the declared shape.
+    IndexOutOfBounds {
+        /// The offending (row, col) pair.
+        index: (usize, usize),
+        /// The declared shape.
+        shape: (usize, usize),
+    },
+    /// Raw CSR arrays did not satisfy the CSR invariants.
+    InvalidCsr(String),
+    /// The operation requires edge values but the sparse matrix is unweighted.
+    MissingValues(&'static str),
+    /// The requested allocation exceeds the configured guard limit.
+    ///
+    /// This models the out-of-memory / illegal-memory-access failures reported
+    /// for some baseline configurations in the paper's Figure 8 and Table IV.
+    AllocationTooLarge {
+        /// Number of `f32` elements requested.
+        elements: usize,
+        /// Allowed maximum.
+        limit: usize,
+    },
+    /// The dense buffer length did not match `rows * cols`.
+    InvalidDenseLength {
+        /// Length provided.
+        len: usize,
+        /// Expected length.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
+            MatrixError::MissingValues(op) => {
+                write!(f, "{op} requires edge values but the matrix is unweighted")
+            }
+            MatrixError::AllocationTooLarge { elements, limit } => write!(
+                f,
+                "allocation of {elements} elements exceeds guard limit of {limit}"
+            ),
+            MatrixError::InvalidDenseLength { len, expected } => {
+                write!(f, "dense buffer length {len} does not match rows*cols = {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}

@@ -1,0 +1,57 @@
+//! Sparse and dense matrix primitives for GNN computations.
+//!
+//! This crate is the kernel substrate of the GRANII reproduction. It provides:
+//!
+//! - [`DenseMatrix`]: row-major dense `f32` matrices and element-wise operations,
+//! - [`CsrMatrix`] / [`CooMatrix`]: sparse matrices in CSR/COO form,
+//! - [`DiagMatrix`]: diagonal matrices (e.g. degree normalizers),
+//! - the generalized matrix primitives used by GNN frameworks (see the paper's
+//!   §II): [`ops::gemm`], [`ops::spmm`] (g-SpMM), [`ops::sddmm`] (g-SDDMM),
+//!   row/column broadcasts, and edge softmax,
+//! - [`stats::WorkStats`]: per-primitive work accounting (flops, bytes, atomics),
+//! - [`device`]: analytical device performance models (CPU / A100 / H100) and the
+//!   [`device::Engine`] that either measures wall-clock time or converts work
+//!   statistics into modeled latencies. The device models substitute for the
+//!   GPUs used in the paper's evaluation (see `DESIGN.md` §2).
+//!
+//! # Example
+//!
+//! ```
+//! use granii_matrix::{CooMatrix, DenseMatrix, ops, Semiring};
+//!
+//! # fn main() -> Result<(), granii_matrix::MatrixError> {
+//! // A tiny 3-node path graph: 0 - 1 - 2 (undirected).
+//! let adj = CooMatrix::from_entries(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])?
+//!     .to_csr();
+//! let feats = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], [2.0, 2.0].as_slice()])?;
+//! // Aggregate neighbor features: g-SpMM with the (+, copy-rhs) semiring.
+//! let agg = ops::spmm(&adj, &feats, Semiring::plus_copy_rhs())?;
+//! assert_eq!(agg.get(0, 1), 1.0); // node 0 sees node 1's features
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coo;
+mod csr;
+mod dense;
+mod diag;
+mod error;
+pub mod device;
+pub mod ops;
+pub mod parallel;
+mod semiring;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::{CsrMatrix, RowStats};
+pub use dense::{DenseMatrix, DENSE_ALLOC_LIMIT};
+pub use diag::DiagMatrix;
+pub use error::MatrixError;
+pub use semiring::{MulOp, ReduceOp, Semiring};
+pub use stats::{PrimitiveKind, WorkStats};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,26 @@
+//! The sparse and dense matrix primitives GNN computations decompose into.
+//!
+//! Following the paper's §II, every GNN stage lowers to a composition of:
+//!
+//! - [`gemm`] — dense matrix multiplication (update stage),
+//! - [`spmm`] — generalized SpMM (node-wise aggregation),
+//! - [`sddmm`] / [`sddmm_u_add_v`] — generalized SDDMM (edge-wise computation),
+//! - [`row_broadcast`] / [`col_broadcast`] — per-node scaling (normalization),
+//! - [`edge_softmax`] — attention-score normalization,
+//! - [`scale_csr`] — `diag · sparse · diag` edge scaling (the SDDMM lowering
+//!   of GCN's pre-computed normalization, Eq. 3),
+//! - [`degrees_by_binning`] — WiseGraph's scatter-add degree computation.
+//!
+//! All kernels are deterministic: parallelism is over disjoint output rows.
+
+mod broadcast;
+mod edge;
+mod gemm;
+mod sddmm;
+mod spmm;
+
+pub use broadcast::{col_broadcast, row_broadcast, BroadcastOp};
+pub use edge::{degrees_by_binning, edge_softmax, scale_csr};
+pub use gemm::gemm;
+pub use sddmm::{sddmm, sddmm_u_add_v};
+pub use spmm::spmm;

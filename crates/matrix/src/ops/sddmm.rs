@@ -1,0 +1,144 @@
+use crate::{CsrMatrix, DenseMatrix, MatrixError, Result};
+
+/// Generalized sampled dense-dense matrix multiplication (g-SDDMM, §II-B).
+///
+/// For every stored position `(i, j)` of `mask`, computes
+///
+/// ```text
+/// out[i, j] = mask[i, j] * ( u[i, :] · v[j, :] )
+/// ```
+///
+/// i.e. the dense product `U · Vᵀ` *sampled* at the sparsity pattern of `mask`
+/// and scaled by the mask's values (implicitly `1.0` when the mask is
+/// unweighted). The result is a weighted CSR matrix with the same pattern.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `u.cols() != v.cols()`,
+/// `u.rows() != mask.rows()`, or `v.rows() != mask.cols()`.
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::{ops, CooMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), granii_matrix::MatrixError> {
+/// let mask = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)])?.to_csr();
+/// let u = DenseMatrix::from_rows(&[[1.0, 2.0].as_slice(), [0.0, 0.0].as_slice()])?;
+/// let v = DenseMatrix::from_rows(&[[0.0, 0.0].as_slice(), [3.0, 4.0].as_slice()])?;
+/// let out = ops::sddmm(&mask, &u, &v)?;
+/// assert_eq!(out.get(0, 1), 11.0); // 1*3 + 2*4
+/// # Ok(())
+/// # }
+/// ```
+pub fn sddmm(mask: &CsrMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<CsrMatrix> {
+    if u.cols() != v.cols() {
+        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: u.shape(), rhs: v.shape() });
+    }
+    if u.rows() != mask.rows() {
+        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: mask.shape(), rhs: u.shape() });
+    }
+    if v.rows() != mask.cols() {
+        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: mask.shape(), rhs: v.shape() });
+    }
+    let mut out_vals = vec![0f32; mask.nnz()];
+    for i in 0..mask.rows() {
+        let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
+        let urow = u.row(i);
+        let mvals = mask.row_values(i);
+        for (off, k) in (s..e).enumerate() {
+            let j = mask.indices()[k] as usize;
+            let vrow = v.row(j);
+            let dot: f32 = urow.iter().zip(vrow).map(|(a, b)| a * b).sum();
+            let m = mvals.map_or(1.0, |vs| vs[off]);
+            out_vals[k] = m * dot;
+        }
+    }
+    mask.clone().drop_values().with_values(out_vals)
+}
+
+/// SDDMM with the `u_add_v` operator on per-node scalars (GAT's raw attention
+/// logits): `out[i, j] = ul[i] + vr[j]` at every stored position of `mask`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `ul.len() != mask.rows()` or
+/// `vr.len() != mask.cols()`.
+pub fn sddmm_u_add_v(mask: &CsrMatrix, ul: &[f32], vr: &[f32]) -> Result<CsrMatrix> {
+    if ul.len() != mask.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm_u_add_v",
+            lhs: mask.shape(),
+            rhs: (ul.len(), 1),
+        });
+    }
+    if vr.len() != mask.cols() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm_u_add_v",
+            lhs: mask.shape(),
+            rhs: (vr.len(), 1),
+        });
+    }
+    let mut out_vals = vec![0f32; mask.nnz()];
+    for (i, &ui) in ul.iter().enumerate() {
+        let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
+        for (v, &j) in out_vals[s..e].iter_mut().zip(&mask.indices()[s..e]) {
+            *v = ui + vr[j as usize];
+        }
+    }
+    mask.clone().drop_values().with_values(out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops::gemm, CooMatrix};
+
+    #[test]
+    fn sddmm_matches_masked_dense_product() {
+        let mask = CooMatrix::from_entries(3, 3, &[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 0.5)])
+            .unwrap()
+            .to_csr();
+        let u = DenseMatrix::random(3, 4, 1.0, 8);
+        let v = DenseMatrix::random(3, 4, 1.0, 9);
+        let out = sddmm(&mask, &u, &v).unwrap();
+        let full = gemm(&u, &v.transpose()).unwrap();
+        for (i, j, m) in [(0usize, 1usize, 2.0f32), (1, 2, 1.0), (2, 0, 0.5)] {
+            assert!((out.get(i, j) - m * full.get(i, j)).abs() < 1e-5);
+        }
+        // Pattern is preserved: unsampled entries stay zero.
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.nnz(), mask.nnz());
+    }
+
+    #[test]
+    fn unweighted_mask_uses_implicit_one() {
+        let mask = CooMatrix::from_entries(2, 2, &[(0, 1, 7.0)]).unwrap().to_csr_unweighted();
+        let u = DenseMatrix::from_rows(&[[2.0].as_slice(), [0.0].as_slice()]).unwrap();
+        let v = DenseMatrix::from_rows(&[[0.0].as_slice(), [5.0].as_slice()]).unwrap();
+        let out = sddmm(&mask, &u, &v).unwrap();
+        assert_eq!(out.get(0, 1), 10.0);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let mask = CsrMatrix::identity(2);
+        let u = DenseMatrix::zeros(2, 3).unwrap();
+        let v = DenseMatrix::zeros(2, 4).unwrap();
+        assert!(sddmm(&mask, &u, &v).is_err());
+        let w = DenseMatrix::zeros(3, 3).unwrap();
+        assert!(sddmm(&mask, &w, &u).is_err());
+    }
+
+    #[test]
+    fn u_add_v_adds_endpoint_scalars() {
+        let mask = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr_unweighted();
+        let out = sddmm_u_add_v(&mask, &[1.0, 2.0], &[10.0, 20.0]).unwrap();
+        assert_eq!(out.get(0, 1), 21.0);
+        assert_eq!(out.get(1, 0), 12.0);
+        assert!(sddmm_u_add_v(&mask, &[1.0], &[10.0, 20.0]).is_err());
+        assert!(sddmm_u_add_v(&mask, &[1.0, 2.0], &[10.0]).is_err());
+    }
+}

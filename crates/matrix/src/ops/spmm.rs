@@ -1,0 +1,159 @@
+use crate::parallel::par_rows;
+use crate::{CsrMatrix, DenseMatrix, MatrixError, ReduceOp, Result, Semiring};
+
+/// Generalized sparse-dense matrix multiplication (g-SpMM, paper §II-B).
+///
+/// Computes, for every row `i` of the sparse matrix `adj` and every feature
+/// column `c`:
+///
+/// ```text
+/// out[i, c] = ⊕_{(i,j) ∈ adj} ( adj[i, j] ⊗ feats[j, c] )
+/// ```
+///
+/// where `⊕`/`⊗` come from `semiring`. With [`Semiring::plus_mul`] this is the
+/// standard weighted SpMM; with [`Semiring::plus_copy_rhs`] it is the cheaper
+/// unweighted aggregation that never loads edge values. Unweighted matrices
+/// (no value array) use an implicit edge value of `1.0` when `⊗` reads it.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `adj.cols() != feats.rows()`, and
+/// [`MatrixError::AllocationTooLarge`] if the output exceeds the guard.
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::{ops, CooMatrix, DenseMatrix, Semiring};
+///
+/// # fn main() -> Result<(), granii_matrix::MatrixError> {
+/// let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 2.0)])?.to_csr();
+/// let x = DenseMatrix::from_rows(&[[1.0].as_slice(), [3.0].as_slice()])?;
+/// let y = ops::spmm(&adj, &x, Semiring::plus_mul())?;
+/// assert_eq!(y.get(0, 0), 6.0); // 2.0 * 3.0
+/// # Ok(())
+/// # }
+/// ```
+pub fn spmm(adj: &CsrMatrix, feats: &DenseMatrix, semiring: Semiring) -> Result<DenseMatrix> {
+    if adj.cols() != feats.rows() {
+        return Err(MatrixError::ShapeMismatch { op: "spmm", lhs: adj.shape(), rhs: feats.shape() });
+    }
+    let k = feats.cols();
+    let mut out = DenseMatrix::zeros(adj.rows(), k)?;
+    let reduce = semiring.reduce;
+    let mul = semiring.mul;
+    par_rows(out.as_mut_slice(), k.max(1), |i, out_row| {
+        if k == 0 {
+            return;
+        }
+        let cols = adj.row_indices(i);
+        let vals = adj.row_values(i);
+        let count = cols.len();
+        if count == 0 {
+            // Identity-finished empty rows (0 for every reduce op).
+            for v in out_row.iter_mut() {
+                *v = reduce.finish(reduce.identity(), 0);
+            }
+            return;
+        }
+        let ident = reduce.identity();
+        for v in out_row.iter_mut() {
+            *v = ident;
+        }
+        for (e, &j) in cols.iter().enumerate() {
+            let edge = vals.map_or(1.0, |v| v[e]);
+            let frow = feats.row(j as usize);
+            for (c, v) in out_row.iter_mut().enumerate() {
+                *v = reduce.fold(*v, mul.apply(edge, frow[c]));
+            }
+        }
+        if matches!(reduce, ReduceOp::Mean) {
+            for v in out_row.iter_mut() {
+                *v = reduce.finish(*v, count);
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops::gemm, CooMatrix, MulOp};
+
+    fn sample_adj() -> CsrMatrix {
+        CooMatrix::from_entries(3, 3, &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 1.0), (2, 2, 4.0)])
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn weighted_spmm_matches_dense_gemm() {
+        let adj = sample_adj();
+        let x = DenseMatrix::random(3, 4, 1.0, 5);
+        let sparse = spmm(&adj, &x, Semiring::plus_mul()).unwrap();
+        let dense = gemm(&adj.to_dense().unwrap(), &x).unwrap();
+        assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn unweighted_spmm_ignores_values() {
+        let adj = sample_adj();
+        let x = DenseMatrix::random(3, 2, 1.0, 6);
+        let copy = spmm(&adj, &x, Semiring::plus_copy_rhs()).unwrap();
+        let ones = spmm(&adj.clone().drop_values(), &x, Semiring::plus_mul()).unwrap();
+        assert!(copy.max_abs_diff(&ones).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn max_reduce_takes_row_max() {
+        let adj = sample_adj().drop_values();
+        let x = DenseMatrix::from_rows(&[[5.0].as_slice(), [-1.0].as_slice(), [2.0].as_slice()])
+            .unwrap();
+        let y = spmm(&adj, &x, Semiring::max_copy_rhs()).unwrap();
+        assert_eq!(y.get(0, 0), 2.0); // max of rows 1, 2
+        assert_eq!(y.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn mean_reduce_divides_by_degree() {
+        let adj = sample_adj().drop_values();
+        let x = DenseMatrix::from_rows(&[[4.0].as_slice(), [2.0].as_slice(), [6.0].as_slice()])
+            .unwrap();
+        let y = spmm(&adj, &x, Semiring::mean_copy_rhs()).unwrap();
+        assert_eq!(y.get(0, 0), 4.0); // (2 + 6) / 2
+    }
+
+    #[test]
+    fn empty_rows_yield_zero() {
+        let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)]).unwrap().to_csr();
+        let x = DenseMatrix::from_rows(&[[7.0].as_slice(), [9.0].as_slice()]).unwrap();
+        for s in [Semiring::plus_mul(), Semiring::max_copy_rhs(), Semiring::mean_copy_rhs()] {
+            let y = spmm(&adj, &x, s).unwrap();
+            assert_eq!(y.get(1, 0), 0.0, "empty row must be 0 for {s:?}");
+        }
+    }
+
+    #[test]
+    fn copy_edge_broadcasts_edge_value() {
+        let adj = sample_adj();
+        let x = DenseMatrix::zeros(3, 2).unwrap();
+        let y = spmm(
+            &adj,
+            &x,
+            Semiring { reduce: ReduceOp::Sum, mul: MulOp::CopyEdge },
+        )
+        .unwrap();
+        assert_eq!(y.get(0, 0), 5.0); // 2.0 + 3.0
+        assert_eq!(y.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let adj = sample_adj();
+        let x = DenseMatrix::zeros(4, 2).unwrap();
+        assert!(matches!(
+            spmm(&adj, &x, Semiring::plus_mul()),
+            Err(MatrixError::ShapeMismatch { op: "spmm", .. })
+        ));
+    }
+}

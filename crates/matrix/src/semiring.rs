@@ -1,0 +1,184 @@
+use serde::{Deserialize, Serialize};
+
+/// Generalized multiplication operator `⊗` combining an edge value with a
+/// source-node feature inside g-SpMM / g-SDDMM (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MulOp {
+    /// `edge * feature` — the standard weighted aggregation (`u_mul_e` in DGL).
+    Mul,
+    /// Ignore the edge value, forward the feature (`copy_u` in DGL).
+    ///
+    /// This is the "computationally less expensive aggregation operation that
+    /// does not use the edge values" the paper exploits for unweighted graphs.
+    CopyRhs,
+    /// Ignore the feature, forward the edge value (`copy_e` in DGL).
+    CopyEdge,
+    /// `edge + feature` (`u_add_e` in DGL).
+    Add,
+}
+
+impl MulOp {
+    /// Applies the operator to an edge value and a feature value.
+    #[inline]
+    pub fn apply(self, edge: f32, feat: f32) -> f32 {
+        match self {
+            MulOp::Mul => edge * feat,
+            MulOp::CopyRhs => feat,
+            MulOp::CopyEdge => edge,
+            MulOp::Add => edge + feat,
+        }
+    }
+
+    /// Whether the operator reads the edge value at all. Kernels skip loading
+    /// the value array when it does not.
+    pub fn reads_edge(self) -> bool {
+        !matches!(self, MulOp::CopyRhs)
+    }
+}
+
+/// Generalized reduction operator `⊕` accumulating messages at a destination
+/// node (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Sum of incoming messages.
+    Sum,
+    /// Maximum of incoming messages (identity `-inf`; rows with no neighbors
+    /// produce 0, matching DGL's masked-max convention).
+    Max,
+    /// Minimum of incoming messages (same empty-row convention as `Max`).
+    Min,
+    /// Arithmetic mean of incoming messages (GraphSAGE's mean aggregator).
+    Mean,
+}
+
+impl ReduceOp {
+    /// Identity element for the reduction.
+    #[inline]
+    pub fn identity(self) -> f32 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Mean => 0.0,
+            ReduceOp::Max => f32::NEG_INFINITY,
+            ReduceOp::Min => f32::INFINITY,
+        }
+    }
+
+    /// Folds one message into the accumulator.
+    #[inline]
+    pub fn fold(self, acc: f32, v: f32) -> f32 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Mean => acc + v,
+            ReduceOp::Max => acc.max(v),
+            ReduceOp::Min => acc.min(v),
+        }
+    }
+
+    /// Finalizes an accumulator given the number of folded messages.
+    #[inline]
+    pub fn finish(self, acc: f32, count: usize) -> f32 {
+        match self {
+            ReduceOp::Sum => acc,
+            ReduceOp::Mean => {
+                if count > 0 {
+                    acc / count as f32
+                } else {
+                    0.0
+                }
+            }
+            ReduceOp::Max | ReduceOp::Min => {
+                if count > 0 {
+                    acc
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A `(⊕, ⊗)` pair parameterizing the generalized sparse primitives.
+///
+/// The paper (§II-B, citing GraphBLAS) writes g-SpMM as `SpMM(⊕, ⊗)`; this
+/// struct is that pair.
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::{MulOp, ReduceOp, Semiring};
+///
+/// let weighted = Semiring::plus_mul();
+/// assert_eq!(weighted.mul, MulOp::Mul);
+/// assert_eq!(weighted.reduce, ReduceOp::Sum);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Semiring {
+    /// The reduction (`⊕`).
+    pub reduce: ReduceOp,
+    /// The edge-feature combination (`⊗`).
+    pub mul: MulOp,
+}
+
+impl Semiring {
+    /// Standard weighted aggregation: `(+, ×)`.
+    pub fn plus_mul() -> Self {
+        Self { reduce: ReduceOp::Sum, mul: MulOp::Mul }
+    }
+
+    /// Unweighted aggregation: `(+, copy_u)`; never touches edge values.
+    pub fn plus_copy_rhs() -> Self {
+        Self { reduce: ReduceOp::Sum, mul: MulOp::CopyRhs }
+    }
+
+    /// Max pooling over neighbors: `(max, copy_u)`.
+    pub fn max_copy_rhs() -> Self {
+        Self { reduce: ReduceOp::Max, mul: MulOp::CopyRhs }
+    }
+
+    /// Mean aggregation over neighbors: `(mean, copy_u)` (GraphSAGE).
+    pub fn mean_copy_rhs() -> Self {
+        Self { reduce: ReduceOp::Mean, mul: MulOp::CopyRhs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_op_semantics() {
+        assert_eq!(MulOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(MulOp::CopyRhs.apply(2.0, 3.0), 3.0);
+        assert_eq!(MulOp::CopyEdge.apply(2.0, 3.0), 2.0);
+        assert_eq!(MulOp::Add.apply(2.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn copy_rhs_skips_edge_loads() {
+        assert!(!MulOp::CopyRhs.reads_edge());
+        assert!(MulOp::Mul.reads_edge());
+        assert!(MulOp::CopyEdge.reads_edge());
+    }
+
+    #[test]
+    fn reduce_identities_and_finish() {
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Mean.finish(6.0, 3), 2.0);
+        assert_eq!(ReduceOp::Mean.finish(0.0, 0), 0.0);
+        assert_eq!(ReduceOp::Max.finish(f32::NEG_INFINITY, 0), 0.0);
+        assert_eq!(ReduceOp::Min.finish(f32::INFINITY, 0), 0.0);
+        let folded = ReduceOp::Max.fold(ReduceOp::Max.identity(), -2.0);
+        assert_eq!(ReduceOp::Max.finish(folded, 1), -2.0);
+    }
+
+    #[test]
+    fn reduce_fold_is_associative_for_sum_max_min() {
+        let vals = [1.0f32, -3.5, 2.0, 7.25];
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            let left = vals.iter().fold(op.identity(), |a, &v| op.fold(a, v));
+            let right = {
+                let l = vals[..2].iter().fold(op.identity(), |a, &v| op.fold(a, v));
+                vals[2..].iter().fold(l, |a, &v| op.fold(a, v))
+            };
+            assert_eq!(left, right);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Work accounting for matrix primitives.
+//!
+//! Every kernel in [`crate::ops`] can describe the work it performs as a
+//! [`WorkStats`] record. The analytical device models (see [`crate::device`])
+//! convert these records into modeled latencies, and GRANII's cost-model
+//! training pipeline uses them as ground-truth features.
+
+use serde::{Deserialize, Serialize};
+
+/// The sparse/dense matrix primitive taxonomy used throughout GRANII.
+///
+/// One learned cost model is trained per variant and device (paper §IV-E2:
+/// "GRANII trains these models for each dense and sparse matrix primitive,
+/// and target hardware architecture").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrimitiveKind {
+    /// Dense-dense matrix multiplication.
+    Gemm,
+    /// Sparse-dense multiplication reading edge values (`g-SpMM(⊕, ×)`).
+    SpmmWeighted,
+    /// Sparse-dense multiplication ignoring edge values (`g-SpMM(⊕, copy_u)`).
+    SpmmUnweighted,
+    /// Sampled dense-dense multiplication (output on a sparse mask).
+    Sddmm,
+    /// Per-row scaling of a dense matrix by a vector (Eq. 1 in the paper).
+    RowBroadcast,
+    /// Per-column scaling of a dense matrix by a vector.
+    ColBroadcast,
+    /// Element-wise dense map (ReLU, bias add, ...).
+    Elementwise,
+    /// Softmax over each node's incident edges (GAT attention normalization).
+    EdgeSoftmax,
+    /// Scatter-add edge binning used by WiseGraph's normalization (§VI-C1).
+    Binning,
+}
+
+impl PrimitiveKind {
+    /// All variants, in a stable order (used to train one cost model each).
+    pub const ALL: [PrimitiveKind; 9] = [
+        PrimitiveKind::Gemm,
+        PrimitiveKind::SpmmWeighted,
+        PrimitiveKind::SpmmUnweighted,
+        PrimitiveKind::Sddmm,
+        PrimitiveKind::RowBroadcast,
+        PrimitiveKind::ColBroadcast,
+        PrimitiveKind::Elementwise,
+        PrimitiveKind::EdgeSoftmax,
+        PrimitiveKind::Binning,
+    ];
+
+    /// Whether the primitive's access pattern is sparse (graph-dependent).
+    pub fn is_sparse(self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::SpmmWeighted
+                | PrimitiveKind::SpmmUnweighted
+                | PrimitiveKind::Sddmm
+                | PrimitiveKind::EdgeSoftmax
+                | PrimitiveKind::Binning
+        )
+    }
+
+    /// Short stable name, used in reports and on-disk cost-model files.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimitiveKind::Gemm => "gemm",
+            PrimitiveKind::SpmmWeighted => "spmm_weighted",
+            PrimitiveKind::SpmmUnweighted => "spmm_unweighted",
+            PrimitiveKind::Sddmm => "sddmm",
+            PrimitiveKind::RowBroadcast => "row_broadcast",
+            PrimitiveKind::ColBroadcast => "col_broadcast",
+            PrimitiveKind::Elementwise => "elementwise",
+            PrimitiveKind::EdgeSoftmax => "edge_softmax",
+            PrimitiveKind::Binning => "binning",
+        }
+    }
+}
+
+impl std::fmt::Display for PrimitiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Work performed by one primitive invocation.
+///
+/// # Example
+///
+/// ```
+/// use granii_matrix::WorkStats;
+///
+/// let a = WorkStats::gemm(128, 64, 32);
+/// assert_eq!(a.flops, 2 * 128 * 64 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkStats {
+    /// Which primitive produced this record.
+    pub kind: PrimitiveKind,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes read from memory (modeled, assuming cold operands).
+    pub bytes_read: u64,
+    /// Bytes written to memory.
+    pub bytes_written: u64,
+    /// Atomic read-modify-write operations issued.
+    pub atomic_ops: u64,
+    /// Expected collisions per atomic target (contention factor ≥ 1).
+    pub atomic_contention: f64,
+    /// Irregularity of the access pattern: coefficient of variation of the
+    /// per-row work distribution (0 for dense primitives).
+    pub irregularity: f64,
+    /// Kernel launches (a composition of primitives pays one launch each).
+    pub launches: u32,
+}
+
+const F32: u64 = 4;
+const IDX: u64 = 4;
+
+impl WorkStats {
+    fn base(kind: PrimitiveKind) -> Self {
+        Self {
+            kind,
+            flops: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            atomic_ops: 0,
+            atomic_contention: 1.0,
+            irregularity: 0.0,
+            launches: 1,
+        }
+    }
+
+    /// GEMM of an `n x k1` by a `k1 x k2` matrix.
+    pub fn gemm(n: usize, k1: usize, k2: usize) -> Self {
+        let (n, k1, k2) = (n as u64, k1 as u64, k2 as u64);
+        Self {
+            flops: 2 * n * k1 * k2,
+            bytes_read: F32 * (n * k1 + k1 * k2),
+            bytes_written: F32 * n * k2,
+            ..Self::base(PrimitiveKind::Gemm)
+        }
+    }
+
+    /// g-SpMM over `nnz` edges producing an `n x k` output.
+    ///
+    /// `weighted` selects the cost of streaming the edge-value array and
+    /// `irregularity` is the degree coefficient of variation of the sparse
+    /// operand.
+    pub fn spmm(n: usize, nnz: usize, k: usize, weighted: bool, irregularity: f64) -> Self {
+        let (n, nnz, k) = (n as u64, nnz as u64, k as u64);
+        let kind = if weighted { PrimitiveKind::SpmmWeighted } else { PrimitiveKind::SpmmUnweighted };
+        let value_bytes = if weighted { F32 * nnz } else { 0 };
+        Self {
+            flops: if weighted { 2 * nnz * k } else { nnz * k },
+            // Column indices + edge values + gathered feature rows + indptr.
+            bytes_read: IDX * nnz + value_bytes + F32 * nnz * k + 8 * (n + 1),
+            bytes_written: F32 * n * k,
+            irregularity,
+            ..Self::base(kind)
+        }
+    }
+
+    /// g-SDDMM over `nnz` sampled positions with `k`-dim dense operands.
+    pub fn sddmm(n: usize, nnz: usize, k: usize, irregularity: f64) -> Self {
+        let (n, nnz, k) = (n as u64, nnz as u64, k as u64);
+        Self {
+            flops: 2 * nnz * k,
+            bytes_read: IDX * nnz + 2 * F32 * nnz * k + 8 * (n + 1),
+            bytes_written: F32 * nnz,
+            irregularity,
+            ..Self::base(PrimitiveKind::Sddmm)
+        }
+    }
+
+    /// Row-broadcast over an `n x k` dense matrix.
+    pub fn row_broadcast(n: usize, k: usize) -> Self {
+        let (n, k) = (n as u64, k as u64);
+        Self {
+            flops: n * k,
+            bytes_read: F32 * (n * k + n),
+            bytes_written: F32 * n * k,
+            ..Self::base(PrimitiveKind::RowBroadcast)
+        }
+    }
+
+    /// Column-broadcast over an `n x k` dense matrix.
+    pub fn col_broadcast(n: usize, k: usize) -> Self {
+        let s = Self::row_broadcast(n, k);
+        Self { kind: PrimitiveKind::ColBroadcast, ..s }
+    }
+
+    /// Element-wise map over `elems` values with `flops_per_elem` operations.
+    pub fn elementwise(elems: usize, flops_per_elem: u32) -> Self {
+        let elems = elems as u64;
+        Self {
+            flops: elems * flops_per_elem as u64,
+            bytes_read: F32 * elems,
+            bytes_written: F32 * elems,
+            ..Self::base(PrimitiveKind::Elementwise)
+        }
+    }
+
+    /// Edge softmax over `nnz` edges grouped into `n` destination rows.
+    pub fn edge_softmax(n: usize, nnz: usize, irregularity: f64) -> Self {
+        let (n, nnz) = (n as u64, nnz as u64);
+        Self {
+            flops: 5 * nnz,
+            // Three passes over edge values (max, exp-sum, divide).
+            bytes_read: 3 * F32 * nnz + 8 * (n + 1),
+            bytes_written: F32 * nnz,
+            irregularity,
+            ..Self::base(PrimitiveKind::EdgeSoftmax)
+        }
+    }
+
+    /// Scatter-add binning of `nnz` items into `bins` targets (WiseGraph's
+    /// normalization path). Contention grows as items per bin (`nnz / bins`),
+    /// which is what makes this primitive pathological on dense graphs
+    /// (paper §VI-C1).
+    pub fn binning(nnz: usize, bins: usize) -> Self {
+        let contention = if bins > 0 { (nnz as f64 / bins as f64).max(1.0) } else { 1.0 };
+        let (nnz, bins) = (nnz as u64, bins as u64);
+        Self {
+            flops: nnz,
+            bytes_read: IDX * nnz,
+            bytes_written: F32 * bins,
+            atomic_ops: nnz,
+            atomic_contention: contention,
+            ..Self::base(PrimitiveKind::Binning)
+        }
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity (flops per byte moved).
+    pub fn intensity(&self) -> f64 {
+        let b = self.bytes_total();
+        if b == 0 {
+            0.0
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        let s = WorkStats::gemm(10, 20, 30);
+        assert_eq!(s.flops, 2 * 10 * 20 * 30);
+        assert_eq!(s.kind, PrimitiveKind::Gemm);
+        assert!(!s.kind.is_sparse());
+    }
+
+    #[test]
+    fn spmm_weighted_reads_values() {
+        let w = WorkStats::spmm(100, 1000, 16, true, 0.5);
+        let u = WorkStats::spmm(100, 1000, 16, false, 0.5);
+        assert!(w.bytes_read > u.bytes_read);
+        assert!(w.flops > u.flops);
+        assert_eq!(w.kind, PrimitiveKind::SpmmWeighted);
+        assert_eq!(u.kind, PrimitiveKind::SpmmUnweighted);
+        assert!(w.kind.is_sparse());
+    }
+
+    #[test]
+    fn binning_contention_scales_with_density() {
+        let sparse = WorkStats::binning(1000, 1000);
+        let dense = WorkStats::binning(100_000, 1000);
+        assert!(dense.atomic_contention > sparse.atomic_contention);
+        assert_eq!(sparse.atomic_contention, 1.0);
+    }
+
+    #[test]
+    fn intensity_is_flops_per_byte() {
+        let s = WorkStats::gemm(64, 64, 64);
+        let expect = s.flops as f64 / s.bytes_total() as f64;
+        assert!((s.intensity() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let mut names: Vec<_> = PrimitiveKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PrimitiveKind::ALL.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the kernel substrate.
+//!
+//! These check the algebraic identities GRANII's re-association machinery
+//! relies on: every composition of primitives that is algebraically equal must
+//! be numerically equal (up to fp tolerance) on arbitrary inputs.
+
+use granii_matrix::ops::{self, BroadcastOp};
+use granii_matrix::{CooMatrix, CsrMatrix, DenseMatrix, Semiring};
+use proptest::prelude::*;
+
+const TOL: f32 = 2e-3;
+
+/// Strategy: a random sparse matrix (as COO entries) plus its shape.
+fn sparse_matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
+    (2usize..max_dim, 2usize..max_dim).prop_flat_map(|(r, c)| {
+        let entry = (0..r, 0..c, -2.0f32..2.0);
+        (Just(r), Just(c), proptest::collection::vec(entry, 0..40))
+    })
+}
+
+fn dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::random(rows, cols, 1.0, seed)
+}
+
+fn to_csr(r: usize, c: usize, entries: &[(usize, usize, f32)]) -> CsrMatrix {
+    CooMatrix::from_entries(r, c, entries).unwrap().to_csr()
+}
+
+proptest! {
+    /// SpMM against the dense reference: A_s · X == dense(A) · X.
+    #[test]
+    fn spmm_equals_dense_gemm((r, c, entries) in sparse_matrix(12), k in 1usize..6, seed in 0u64..1000) {
+        let a = to_csr(r, c, &entries);
+        let x = dense(c, k, seed);
+        let sparse = ops::spmm(&a, &x, Semiring::plus_mul()).unwrap();
+        let dense_ref = ops::gemm(&a.to_dense().unwrap(), &x).unwrap();
+        prop_assert!(sparse.max_abs_diff(&dense_ref).unwrap() < TOL);
+    }
+
+    /// The GCN identity: row_broadcast(d, X) == diag(d) · X.
+    #[test]
+    fn row_broadcast_is_diag_mul(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
+        let x = dense(rows, cols, seed);
+        let d: Vec<f32> = (0..rows).map(|i| (i as f32) * 0.37 - 1.0).collect();
+        let broad = ops::row_broadcast(&d, &x, BroadcastOp::Mul).unwrap();
+        let diag = granii_matrix::DiagMatrix::from_vec(d).to_csr();
+        let mul = ops::spmm(&diag, &x, Semiring::plus_mul()).unwrap();
+        prop_assert!(broad.max_abs_diff(&mul).unwrap() < TOL);
+    }
+
+    /// The re-association at the heart of GCN's two compositions:
+    /// (D·A·D)·X == D ⊗ (A · (D ⊗ X)) — SDDMM-then-SpMM equals
+    /// broadcast-SpMM-broadcast.
+    #[test]
+    fn gcn_normalization_reassociation((n, _c, entries) in sparse_matrix(10), k in 1usize..5, seed in 0u64..1000) {
+        // Make the matrix square for this identity.
+        let square: Vec<_> = entries.iter().map(|&(i, j, v)| (i % n, j % n, v)).collect();
+        let a = to_csr(n, n, &square);
+        let x = dense(n, k, seed);
+        let d: Vec<f32> = (0..n).map(|i| 0.1 + (i as f32) * 0.29).collect();
+
+        // Composition 1 (precompute, Eq. 3): N = D·A·D, then N·X.
+        let norm = ops::scale_csr(Some(&d), &a, Some(&d)).unwrap();
+        let via_sddmm = ops::spmm(&norm, &x, Semiring::plus_mul()).unwrap();
+
+        // Composition 2 (dynamic, Eq. 2): D ⊗ (A · (D ⊗ X)).
+        let dx = ops::row_broadcast(&d, &x, BroadcastOp::Mul).unwrap();
+        let adx = ops::spmm(&a, &dx, Semiring::plus_mul()).unwrap();
+        let via_broadcast = ops::row_broadcast(&d, &adx, BroadcastOp::Mul).unwrap();
+
+        prop_assert!(via_sddmm.max_abs_diff(&via_broadcast).unwrap() < TOL);
+    }
+
+    /// GEMM chain associativity on random shapes: (A·B)·C == A·(B·C).
+    #[test]
+    fn gemm_chain_associativity(n in 1usize..8, k1 in 1usize..8, k2 in 1usize..8, k3 in 1usize..8, seed in 0u64..1000) {
+        let a = dense(n, k1, seed);
+        let b = dense(k1, k2, seed + 1);
+        let c = dense(k2, k3, seed + 2);
+        let left = ops::gemm(&ops::gemm(&a, &b).unwrap(), &c).unwrap();
+        let right = ops::gemm(&a, &ops::gemm(&b, &c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right).unwrap() < TOL);
+    }
+
+    /// GAT's reuse/recompute equivalence: α · (H · W) == (α · H) · W.
+    #[test]
+    fn gat_reuse_recompute_equivalence((n, _c, entries) in sparse_matrix(10), k1 in 1usize..5, k2 in 1usize..5, seed in 0u64..1000) {
+        let square: Vec<_> = entries.iter().map(|&(i, j, v)| (i % n, j % n, v)).collect();
+        let alpha = to_csr(n, n, &square);
+        let h = dense(n, k1, seed);
+        let w = dense(k1, k2, seed + 7);
+        let theta = ops::gemm(&h, &w).unwrap();
+        let reuse = ops::spmm(&alpha, &theta, Semiring::plus_mul()).unwrap();
+        let ah = ops::spmm(&alpha, &h, Semiring::plus_mul()).unwrap();
+        let recompute = ops::gemm(&ah, &w).unwrap();
+        prop_assert!(reuse.max_abs_diff(&recompute).unwrap() < TOL);
+    }
+
+    /// CSR transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution((r, c, entries) in sparse_matrix(15)) {
+        let a = to_csr(r, c, &entries);
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(a, tt);
+    }
+
+    /// COO → CSR merges duplicates: total value mass is preserved.
+    #[test]
+    fn coo_to_csr_preserves_mass((r, c, entries) in sparse_matrix(15)) {
+        let coo = CooMatrix::from_entries(r, c, &entries).unwrap();
+        let csr = coo.to_csr();
+        let coo_sum: f32 = entries.iter().map(|e| e.2).sum();
+        let csr_sum: f32 = csr.values().unwrap_or(&[]).iter().sum();
+        prop_assert!((coo_sum - csr_sum).abs() < TOL);
+        prop_assert!(csr.nnz() <= entries.len());
+    }
+
+    /// Edge softmax output is a row-stochastic reweighting of the pattern.
+    #[test]
+    fn edge_softmax_row_stochastic((r, c, entries) in sparse_matrix(12)) {
+        let a = to_csr(r, c, &entries);
+        prop_assume!(a.nnz() > 0);
+        let sm = ops::edge_softmax(&a).unwrap();
+        for i in 0..sm.rows() {
+            let row = sm.row_values(i).unwrap();
+            if !row.is_empty() {
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(row.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    /// Modeled latencies are positive and monotone in flops for dense work.
+    #[test]
+    fn device_model_monotone_in_work(n in 1usize..256, k in 1usize..64) {
+        use granii_matrix::device::DeviceSpec;
+        use granii_matrix::WorkStats;
+        for spec in [DeviceSpec::cpu(), DeviceSpec::a100(), DeviceSpec::h100()] {
+            let small = spec.estimate_seconds(&WorkStats::gemm(n, k, k));
+            let large = spec.estimate_seconds(&WorkStats::gemm(2 * n, k, k));
+            prop_assert!(small > 0.0);
+            prop_assert!(large >= small);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Financial-fraud detection with GAT — one of the application domains the
+//! paper's introduction motivates (heterogeneous account graphs, attention
+//! over suspicious neighborhoods).
+//!
+//! A synthetic account-transaction graph (power-law: few hub merchants, many
+//! leaf accounts) is labelled with a planted anomaly pattern; a single-head
+//! GAT layer is trained on it, with GRANII choosing the attention
+//! aggregation composition (reuse vs recompute) per configuration.
+//!
+//! Run with `cargo run --release --example fraud_detection`.
+
+use granii::core::{Granii, GraniiOptions};
+use granii::gnn::spec::{Composition, LayerConfig, ModelKind};
+use granii::gnn::train::Trainer;
+use granii::gnn::{Exec, GraphCtx};
+use granii::graph::generators;
+use granii::matrix::device::{DeviceKind, Engine};
+use granii::matrix::DenseMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Account graph: hubs are merchants, leaves are customer accounts.
+    let graph = generators::power_law(1_500, 6, 99)?;
+    let ctx = GraphCtx::new(&graph)?;
+    let n = graph.num_nodes();
+
+    // 16 behavioral features per account; fraud score target correlated with
+    // degree (hub-adjacent rings) plus feature noise.
+    let feats = DenseMatrix::random(n, 16, 1.0, 3);
+    let degrees = graph.out_degrees();
+    let max_deg = degrees.iter().cloned().fold(1.0f32, f32::max);
+    let target = DenseMatrix::from_fn(n, 8, |i, j| {
+        (degrees[i] / max_deg) * ((j + 1) as f32 / 8.0) + feats.get(i, j % 16) * 0.05
+    });
+
+    // GRANII decides reuse-vs-recompute for the growing 16 -> 8... note this
+    // config shrinks, so the embedding-size condition alone resolves it; try
+    // a growing configuration as well to exercise the cost models.
+    let granii = Granii::train_for_device(DeviceKind::A100, GraniiOptions::fast())?;
+    for (k1, k2) in [(16usize, 8usize), (16, 64)] {
+        let sel = granii.select(ModelKind::Gat, &graph, k1, k2)?;
+        println!(
+            "GAT {k1}->{k2}: GRANII picked {} (cost models used: {})",
+            sel.composition_name(),
+            sel.used_cost_models
+        );
+    }
+
+    // Train the 16 -> 8 head for a few epochs with the selected composition.
+    let sel = granii.select(ModelKind::Gat, &graph, 16, 8)?;
+    let comp: Composition = sel.composition;
+    let engine = Engine::cpu_measured();
+    let exec = Exec::real(&engine);
+    let mut trainer = Trainer::new(ModelKind::Gat, LayerConfig::new(16, 8), 5, 0.5)?;
+    let mut first = None;
+    let mut last = 0.0;
+    for epoch in 0..40 {
+        last = trainer.step(&exec, &ctx, &feats, &target, comp)?;
+        if first.is_none() {
+            first = Some(last);
+        }
+        if epoch % 10 == 0 {
+            println!("epoch {epoch:2}: loss {last:.5}");
+        }
+    }
+    let first = first.expect("at least one epoch");
+    println!(
+        "loss {first:.5} -> {last:.5} ({}% reduction), wall time {:.1} ms",
+        ((1.0 - last / first) * 100.0) as i32,
+        engine.elapsed_seconds() * 1e3
+    );
+    assert!(last < first, "training must reduce the loss");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The offline/online split across a process boundary (paper Fig 5).
+//!
+//! The offline stage (profiling + cost-model training) runs once per device
+//! and persists its models as JSON; the online stage loads them and makes
+//! per-input decisions — the `granii train` / `granii select` CLI workflow,
+//! shown here as a library user.
+//!
+//! Run with `cargo run --release --example two_stage`.
+
+use granii::core::cost::training::{self, TrainingConfig};
+use granii::core::cost::CostModelSet;
+use granii::core::Granii;
+use granii::gnn::spec::ModelKind;
+use granii::graph::datasets::{Dataset, Scale};
+use granii::matrix::device::DeviceKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("granii-cost-models-a100.json");
+
+    // ---- Offline stage (once per device; in production a separate process).
+    println!("[offline] profiling primitives and training cost models for the A100 model...");
+    let models = training::train(DeviceKind::A100, &TrainingConfig::fast())?;
+    for (kind, (rmse, spearman)) in &models.validation {
+        println!("[offline]   {kind}: rmse(log) {rmse:.3}, spearman {spearman:.3}");
+    }
+    std::fs::write(&path, models.to_json()?)?;
+    println!("[offline] persisted to {}", path.display());
+
+    // ---- Online stage (every run: load models, decide per input).
+    let restored = CostModelSet::from_json(&std::fs::read_to_string(&path)?)?;
+    let granii = Granii::with_cost_models(restored);
+    println!("[online] loaded cost models for {}", granii.device());
+
+    for dataset in [Dataset::Mycielskian17, Dataset::BelgiumOsm, Dataset::Reddit] {
+        let graph = dataset.load(Scale::Tiny)?;
+        for (k1, k2) in [(32usize, 32usize), (1024, 1024)] {
+            let sel = granii.select(ModelKind::Gcn, &graph, k1, k2)?;
+            println!(
+                "[online] {dataset} GCN ({k1},{k2}): {} ({} candidates compared, {:.2} ms overhead)",
+                sel.composition_name(),
+                sel.predicted.len(),
+                sel.overhead_seconds() * 1e3
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
