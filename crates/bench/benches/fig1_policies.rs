@@ -35,7 +35,11 @@ fn bench_fig1(c: &mut Criterion) {
     let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap();
     let recs = records(&granii);
     for policy in [Policy::Static, Policy::Config, Policy::Granii] {
-        println!("fig1[{}] geomean speedup = {:.2}x", policy.name(), geomean_speedup(policy, &recs));
+        println!(
+            "fig1[{}] geomean speedup = {:.2}x",
+            policy.name(),
+            geomean_speedup(policy, &recs)
+        );
     }
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);

@@ -20,8 +20,13 @@ fn bench_table4(c: &mut Criterion) {
     let mut layers = Vec::new();
     for (k1, k2) in dims {
         let cfg = LayerConfig::new(k1, k2);
-        let sel = granii.select_with_config(ModelKind::Gcn, &graph, cfg, 1).unwrap();
-        layers.push((GnnLayer::new(ModelKind::Gcn, cfg, 7).unwrap(), sel.composition));
+        let sel = granii
+            .select_with_config(ModelKind::Gcn, &graph, cfg, 1)
+            .unwrap();
+        layers.push((
+            GnnLayer::new(ModelKind::Gcn, cfg, 7).unwrap(),
+            sel.composition,
+        ));
     }
 
     let mut group = c.benchmark_group("table4");

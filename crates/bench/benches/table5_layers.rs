@@ -19,7 +19,9 @@ fn bench_table5(c: &mut Criterion) {
     group.sample_size(10);
     for layers in [1usize, 2, 4] {
         let dims: Vec<usize> = std::iter::repeat_n(64usize, layers + 1).collect();
-        let selections = granii.select_model(ModelKind::Gcn, &graph, &dims, 100).unwrap();
+        let selections = granii
+            .select_model(ModelKind::Gcn, &graph, &dims, 100)
+            .unwrap();
         let comps: Vec<_> = selections.iter().map(|s| s.composition).collect();
         println!(
             "table5[{layers} layers] selections: {:?}",

@@ -31,7 +31,11 @@ fn bench_table6(c: &mut Criterion) {
         }
     }
     for policy in Policy::TABLE6 {
-        println!("table6[{}] = {:.2}x", policy.name(), geomean_speedup(policy, &records));
+        println!(
+            "table6[{}] = {:.2}x",
+            policy.name(),
+            geomean_speedup(policy, &records)
+        );
     }
     let mut group = c.benchmark_group("table6");
     group.sample_size(10);

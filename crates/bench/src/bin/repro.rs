@@ -37,13 +37,16 @@ use granii_gnn::system::{BaselineRunner, System};
 use granii_gnn::{Exec, GraphCtx};
 use granii_graph::datasets::{Dataset, Scale};
 use granii_graph::{sampling, Graph};
-use granii_matrix::device::{DeviceKind, Engine};
+use granii_matrix::device::{DeviceKind, Engine, Profile};
 use granii_matrix::DenseMatrix;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut records_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_summary = false;
     let mut cmd = None;
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +59,23 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace-out" => {
+                i += 1;
+                trace_path = args.get(i).cloned();
+                if trace_path.is_none() {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+                if metrics_path.is_none() {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--trace-summary" => trace_summary = true,
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(String::as_str) {
@@ -76,11 +96,15 @@ fn main() {
         i += 1;
     }
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro [--scale tiny|small] <experiment>");
+        eprintln!("usage: repro [--scale tiny|small] [--trace-out FILE] [--metrics-out FILE] [--trace-summary] <experiment>");
         eprintln!("experiments: counts fig6 fig3 fig1 fig2 table3 fig8 table4 fig9 table5 table6 overheads all");
         std::process::exit(2);
     };
 
+    let tracing = trace_path.is_some() || metrics_path.is_some() || trace_summary;
+    if tracing {
+        granii_telemetry::enable();
+    }
     let mut ctx = ReproContext::new(scale);
     ctx.records_path = records_path;
     match cmd.as_str() {
@@ -117,6 +141,33 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
+        }
+    }
+
+    if tracing {
+        granii_telemetry::disable();
+        let spans = granii_telemetry::take_spans();
+        if let Some(path) = &trace_path {
+            let json = granii_telemetry::export::chrome_trace(&spans);
+            match std::fs::write(path, json) {
+                Ok(()) => eprintln!("[trace] {} spans -> {path}", spans.len()),
+                Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
+            }
+        }
+        if let Some(path) = &metrics_path {
+            let snapshot = granii_telemetry::metrics_snapshot();
+            match std::fs::write(path, granii_telemetry::export::metrics_json(&snapshot)) {
+                Ok(()) => eprintln!(
+                    "[metrics] {} counters, {} histograms -> {path}",
+                    snapshot.counters.len(),
+                    snapshot.histograms.len()
+                ),
+                Err(e) => eprintln!("[metrics] failed to write {path}: {e}"),
+            }
+        }
+        if trace_summary {
+            println!("\n== Span summary ==");
+            print!("{}", granii_telemetry::export::summary(&spans));
         }
     }
 }
@@ -265,8 +316,11 @@ fn fig3() {
     for model in [ModelKind::Gcn, ModelKind::Gat] {
         println!("-- {model} --");
         for row in complexity_table(model, LayerConfig::new(32, 256)).expect("compile") {
-            let ops: Vec<String> =
-                row.operations.iter().map(|(k, c)| format!("{k} {c}")).collect();
+            let ops: Vec<String> = row
+                .operations
+                .iter()
+                .map(|(k, c)| format!("{k} {c}"))
+                .collect();
             println!("  {}: {}", row.composition, ops.join(", "));
         }
     }
@@ -281,11 +335,18 @@ fn fig1(ctx: &mut ReproContext) {
         .cloned()
         .collect();
     println!("\n== Fig 1: GCN speedups by ordering strategy ==");
-    let mut rows =
-        vec![vec!["graph".into(), "static".into(), "config".into(), "all (GRANII)".into()]];
+    let mut rows = vec![vec![
+        "graph".into(),
+        "static".into(),
+        "config".into(),
+        "all (GRANII)".into(),
+    ]];
     for dataset in Dataset::ALL {
-        let subset: Vec<Record> =
-            records.iter().filter(|r| r.config.dataset == dataset).cloned().collect();
+        let subset: Vec<Record> = records
+            .iter()
+            .filter(|r| r.config.dataset == dataset)
+            .cloned()
+            .collect();
         rows.push(vec![
             dataset.to_string(),
             speedup(policies::geomean_speedup(Policy::Static, &subset)),
@@ -312,6 +373,7 @@ fn fig2(ctx: &mut ReproContext) {
         "sparse".into(),
         "dense".into(),
     ]];
+    let mut merged: BTreeMap<DeviceKind, Profile> = BTreeMap::new();
     for dataset in Dataset::ALL {
         let graph = ctx.graph(dataset).clone();
         for (k1, k2) in [(32, 32), (1024, 1024)] {
@@ -325,10 +387,15 @@ fn fig2(ctx: &mut ReproContext) {
                     format!("{:.0}%", f * 100.0),
                     format!("{:.0}%", (1.0 - f) * 100.0),
                 ]);
+                merged.entry(device).or_default().merge(p);
             }
         }
     }
     print!("{}", table(&rows));
+    for (device, profile) in merged {
+        println!("\n-- aggregate primitive breakdown, all graphs/widths on {device} --");
+        println!("{profile}");
+    }
 }
 
 /// Table III: geomean speedups.
@@ -357,7 +424,9 @@ fn table3(ctx: &mut ReproContext) {
                 })
                 .collect();
             let mut row = vec![system.to_string(), device.to_string(), mode.to_string()];
-            row.push(speedup(geomean(&subset.iter().map(|r| r.speedup()).collect::<Vec<_>>())));
+            row.push(speedup(geomean(
+                &subset.iter().map(|r| r.speedup()).collect::<Vec<_>>(),
+            )));
             for model in ModelKind::EVAL {
                 let per: Vec<f64> = subset
                     .iter()
@@ -372,7 +441,9 @@ fn table3(ctx: &mut ReproContext) {
     for mode in Mode::ALL {
         let subset: Vec<&Record> = records.iter().filter(|r| r.config.mode == mode).collect();
         let mut row = vec!["Overall".into(), "-".into(), mode.to_string()];
-        row.push(speedup(geomean(&subset.iter().map(|r| r.speedup()).collect::<Vec<_>>())));
+        row.push(speedup(geomean(
+            &subset.iter().map(|r| r.speedup()).collect::<Vec<_>>(),
+        )));
         for model in ModelKind::EVAL {
             let per: Vec<f64> = subset
                 .iter()
@@ -437,9 +508,10 @@ fn table4(ctx: &mut ReproContext) {
         "DGL default".into(),
         "DGL GRANII".into(),
     ]];
-    for (dataset, feats, classes) in
-        [(Dataset::Reddit, 602usize, 41usize), (Dataset::OgbnProducts, 100, 47)]
-    {
+    for (dataset, feats, classes) in [
+        (Dataset::Reddit, 602usize, 41usize),
+        (Dataset::OgbnProducts, 100, 47),
+    ] {
         ctx.graph(dataset);
         for model in [ModelKind::Gcn, ModelKind::Gat] {
             for hidden in [32usize, 256, 1024] {
@@ -495,10 +567,14 @@ fn end_to_end(
             .select_with_config(model, graph, cfg, granii_bench::runner::ITERATIONS)
             .expect("select");
         let layer = GnnLayer::new(model, cfg, 7).expect("layer");
-        let prepared = layer.prepare(&exec, &ctx, sel.composition).expect("prepare");
+        let prepared = layer
+            .prepare(&exec, &ctx, sel.composition)
+            .expect("prepare");
         engine.take_profile();
         let h = DenseMatrix::zeros(ctx.num_nodes(), k1).expect("alloc");
-        layer.forward(&exec, &ctx, &prepared, &h, sel.composition).expect("forward");
+        layer
+            .forward(&exec, &ctx, &prepared, &h, sel.composition)
+            .expect("forward");
         optimized += engine.take_profile().total_seconds();
     }
     (baseline, optimized)
@@ -527,7 +603,10 @@ fn fig9(ctx: &mut ReproContext) {
             ModelKind::Gat,
             1024,
             2048,
-            vec![Composition::Gat(GatStrategy::Reuse), Composition::Gat(GatStrategy::Recompute)],
+            vec![
+                Composition::Gat(GatStrategy::Reuse),
+                Composition::Gat(GatStrategy::Recompute),
+            ],
         ),
     ] {
         println!("-- {model} ({k1},{k2}) --");
@@ -556,7 +635,9 @@ fn fig9(ctx: &mut ReproContext) {
                     engine.take_profile();
                     let prepared = layer.prepare(&exec, &sctx, *comp).expect("prepare");
                     let prep = engine.take_profile().total_seconds();
-                    layer.forward(&exec, &sctx, &prepared, &h, *comp).expect("forward");
+                    layer
+                        .forward(&exec, &sctx, &prepared, &h, *comp)
+                        .expect("forward");
                     let iter = engine.take_profile().total_seconds();
                     per.push(prep + ITERATIONS as f64 * iter);
                 }
@@ -630,7 +711,9 @@ fn table5(ctx: &mut ReproContext) {
                 let prepared = layer.prepare(&exec, &gctx, sel.composition).expect("prep");
                 once += engine.take_profile().total_seconds();
                 let h = DenseMatrix::zeros(gctx.num_nodes(), k1).expect("alloc");
-                layer.forward(&exec, &gctx, &prepared, &h, sel.composition).expect("fwd");
+                layer
+                    .forward(&exec, &gctx, &prepared, &h, sel.composition)
+                    .expect("fwd");
                 opt += engine.take_profile().total_seconds();
             }
             let n = ITERATIONS as f64;
@@ -651,8 +734,11 @@ fn table6(ctx: &mut ReproContext) {
         h
     }];
     for model in ModelKind::EVAL {
-        let subset: Vec<Record> =
-            records.iter().filter(|r| r.config.model == model).cloned().collect();
+        let subset: Vec<Record> = records
+            .iter()
+            .filter(|r| r.config.model == model)
+            .cloned()
+            .collect();
         let mut row = vec![model.to_string().to_uppercase()];
         for policy in Policy::TABLE6 {
             row.push(speedup(policies::geomean_speedup(policy, &subset)));
@@ -666,15 +752,23 @@ fn table6(ctx: &mut ReproContext) {
 fn overheads(ctx: &mut ReproContext) {
     let records = ctx.records().to_vec();
     println!("\n== Overheads: featurization + selection (once per runtime) ==");
-    let mut rows =
-        vec![vec!["device".into(), "max overhead".into(), "max vs one iteration".into()]];
+    let mut rows = vec![vec![
+        "device".into(),
+        "max overhead".into(),
+        "max vs one iteration".into(),
+    ]];
     for device in DeviceKind::ALL {
-        let subset: Vec<&Record> =
-            records.iter().filter(|r| r.config.device == device && r.used_cost_models).collect();
+        let subset: Vec<&Record> = records
+            .iter()
+            .filter(|r| r.config.device == device && r.used_cost_models)
+            .collect();
         if subset.is_empty() {
             continue;
         }
-        let max = subset.iter().map(|r| r.overhead_seconds).fold(0.0, f64::max);
+        let max = subset
+            .iter()
+            .map(|r| r.overhead_seconds)
+            .fold(0.0, f64::max);
         let rel = subset
             .iter()
             .map(|r| r.overhead_seconds / (r.granii_seconds / ITERATIONS as f64))
@@ -707,7 +801,9 @@ fn ablations(ctx: &mut ReproContext) {
         let plan = CompiledModel::compile(model, cfg).expect("compile");
         // Selection over the pruned (promoted) set — the production path.
         let t0 = std::time::Instant::now();
-        let _ = granii.select_with_config(model, &graph, cfg, ITERATIONS).expect("select");
+        let _ = granii
+            .select_with_config(model, &graph, cfg, ITERATIONS)
+            .expect("select");
         let pruned_time = t0.elapsed().as_secs_f64();
         // Selection over the *whole* enumerated forest (pruning disabled):
         // featurize once, predict every tree.
@@ -765,7 +861,6 @@ fn ablations(ctx: &mut ReproContext) {
     }
     print!("{}", table(&rows));
 }
-
 
 /// Validates the CPU device model against real measured kernels: the
 /// substitution argument of `DESIGN.md` §2 requires the model to *rank*
@@ -834,10 +929,14 @@ fn calibrate() {
             push("gemm", WorkStats::gemm(adj.rows(), k, k), &mut || {
                 ops::gemm(&x, &w).expect("gemm");
             });
-            push("row_broadcast", WorkStats::row_broadcast(adj.rows(), k), &mut || {
-                ops::row_broadcast(&d, &x, granii_matrix::ops::BroadcastOp::Mul)
-                    .expect("broadcast");
-            });
+            push(
+                "row_broadcast",
+                WorkStats::row_broadcast(adj.rows(), k),
+                &mut || {
+                    ops::row_broadcast(&d, &x, granii_matrix::ops::BroadcastOp::Mul)
+                        .expect("broadcast");
+                },
+            );
         }
     }
     let _ = engine; // the Engine API is exercised elsewhere; timing is direct here

@@ -84,7 +84,15 @@ pub fn full_grid(datasets: &[Dataset]) -> Vec<EvalConfig> {
             for &dataset in datasets {
                 for (k1, k2) in embed_combos(model) {
                     for mode in Mode::ALL {
-                        out.push(EvalConfig { system, device, model, dataset, k1, k2, mode });
+                        out.push(EvalConfig {
+                            system,
+                            device,
+                            model,
+                            dataset,
+                            k1,
+                            k2,
+                            mode,
+                        });
                     }
                 }
             }
@@ -131,7 +139,10 @@ impl Record {
 
     /// Ground-truth latency of a specific composition, if recorded.
     pub fn seconds_of(&self, comp: Composition) -> Option<f64> {
-        self.composition_seconds.iter().find(|(c, _)| *c == comp).map(|(_, s)| *s)
+        self.composition_seconds
+            .iter()
+            .find(|(c, _)| *c == comp)
+            .map(|(_, s)| *s)
     }
 }
 

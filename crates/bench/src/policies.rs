@@ -37,8 +37,14 @@ pub enum Policy {
 
 impl Policy {
     /// The Table VI column order.
-    pub const TABLE6: [Policy; 6] =
-        [Policy::Optimal, Policy::Granii, Policy::Config, Policy::Hw, Policy::Graph, Policy::Sys];
+    pub const TABLE6: [Policy; 6] = [
+        Policy::Optimal,
+        Policy::Granii,
+        Policy::Config,
+        Policy::Hw,
+        Policy::Graph,
+        Policy::Sys,
+    ];
 
     /// Display name as in the paper.
     pub fn name(self) -> &'static str {
@@ -87,9 +93,7 @@ fn oracle_choices(policy: Policy, records: &[Record]) -> BTreeMap<String, Compos
         .map(|(key, comps)| {
             let (_, &(comp, _, _)) = comps
                 .iter()
-                .max_by(|(_, a), (_, b)| {
-                    a.1.cmp(&b.1).then(b.2.partial_cmp(&a.2).expect("finite"))
-                })
+                .max_by(|(_, a), (_, b)| a.1.cmp(&b.1).then(b.2.partial_cmp(&a.2).expect("finite")))
                 .expect("nonempty group");
             (key, comp)
         })

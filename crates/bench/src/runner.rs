@@ -30,7 +30,19 @@ pub fn evaluate_config(
     graph: &Graph,
     granii: &Granii,
 ) -> Result<Record, CoreError> {
-    assert_eq!(granii.device(), cfg.device, "cost models must match the device");
+    assert_eq!(
+        granii.device(),
+        cfg.device,
+        "cost models must match the device"
+    );
+    let _span = granii_telemetry::span!(
+        "bench.evaluate_config",
+        system = cfg.system.name(),
+        model = cfg.model.name(),
+        device = cfg.device.name(),
+        k1 = cfg.k1,
+        k2 = cfg.k2,
+    );
     let ctx = GraphCtx::new(graph)?;
     let layer_cfg = LayerConfig::new(cfg.k1, cfg.k2);
     let engine = Engine::modeled(cfg.device);
@@ -195,7 +207,15 @@ mod tests {
             mode: Mode::Inference,
         };
         let inf = evaluate_config(&base, &graph, &g).unwrap();
-        let tr = evaluate_config(&EvalConfig { mode: Mode::Training, ..base }, &graph, &g).unwrap();
+        let tr = evaluate_config(
+            &EvalConfig {
+                mode: Mode::Training,
+                ..base
+            },
+            &graph,
+            &g,
+        )
+        .unwrap();
         assert!(tr.baseline_seconds > inf.baseline_seconds);
         assert!(tr.granii_seconds > inf.granii_seconds);
     }

@@ -37,14 +37,21 @@ impl Dataset {
             return Err(BoostError::EmptyDataset);
         }
         if rows.len() != labels.len() {
-            return Err(BoostError::LabelMismatch { rows: rows.len(), labels: labels.len() });
+            return Err(BoostError::LabelMismatch {
+                rows: rows.len(),
+                labels: labels.len(),
+            });
         }
         let num_features = rows[0].as_ref().len();
         let mut features = Vec::with_capacity(rows.len() * num_features);
         for (i, r) in rows.iter().enumerate() {
             let r = r.as_ref();
             if r.len() != num_features {
-                return Err(BoostError::RaggedRow { row: i, len: r.len(), expected: num_features });
+                return Err(BoostError::RaggedRow {
+                    row: i,
+                    len: r.len(),
+                    expected: num_features,
+                });
             }
             if r.iter().any(|v| !v.is_finite()) {
                 return Err(BoostError::NonFinite);
@@ -54,7 +61,11 @@ impl Dataset {
         if labels.iter().any(|v| !v.is_finite()) {
             return Err(BoostError::NonFinite);
         }
-        Ok(Self { features, labels: labels.to_vec(), num_features })
+        Ok(Self {
+            features,
+            labels: labels.to_vec(),
+            num_features,
+        })
     }
 
     /// Number of rows.
@@ -128,7 +139,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_ragged() {
         let empty: &[Vec<f64>] = &[];
-        assert_eq!(Dataset::from_rows(empty, &[]).unwrap_err(), BoostError::EmptyDataset);
+        assert_eq!(
+            Dataset::from_rows(empty, &[]).unwrap_err(),
+            BoostError::EmptyDataset
+        );
         let err = Dataset::from_rows(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0]).unwrap_err();
         assert!(matches!(err, BoostError::RaggedRow { row: 1, .. }));
     }

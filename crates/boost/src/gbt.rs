@@ -47,14 +47,20 @@ impl GbtParams {
     /// Returns [`BoostError::InvalidParameter`] for out-of-range values.
     pub fn validate(&self) -> Result<()> {
         if self.num_rounds == 0 {
-            return Err(BoostError::InvalidParameter("num_rounds must be > 0".into()));
+            return Err(BoostError::InvalidParameter(
+                "num_rounds must be > 0".into(),
+            ));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
-            return Err(BoostError::InvalidParameter("learning_rate must be in (0, 1]".into()));
+            return Err(BoostError::InvalidParameter(
+                "learning_rate must be in (0, 1]".into(),
+            ));
         }
         for (name, v) in [("subsample", self.subsample), ("colsample", self.colsample)] {
             if !(v > 0.0 && v <= 1.0) {
-                return Err(BoostError::InvalidParameter(format!("{name} must be in (0, 1]")));
+                return Err(BoostError::InvalidParameter(format!(
+                    "{name} must be in (0, 1]"
+                )));
             }
         }
         Ok(())
@@ -111,9 +117,13 @@ impl GbtRegressor {
         params.validate()?;
         let n = train.num_rows();
         let nf = train.num_features();
+        let _span = granii_telemetry::span!("boost.fit", rows = n, features = nf);
         let base_score = train.labels().iter().sum::<f64>() / n as f64;
-        let mut model =
-            Self { base_score, learning_rate: params.learning_rate, trees: Vec::new() };
+        let mut model = Self {
+            base_score,
+            learning_rate: params.learning_rate,
+            trees: Vec::new(),
+        };
 
         let mut preds = vec![base_score; n];
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -123,8 +133,11 @@ impl GbtRegressor {
 
         for _round in 0..params.num_rounds {
             // Squared loss: g = pred - y, h = 1.
-            let grads: Vec<f64> =
-                preds.iter().zip(train.labels()).map(|(p, y)| p - y).collect();
+            let grads: Vec<f64> = preds
+                .iter()
+                .zip(train.labels())
+                .map(|(p, y)| p - y)
+                .collect();
             let hess = vec![1.0f64; n];
 
             let rows = sample_indices(n, params.subsample, &mut rng);
@@ -138,7 +151,9 @@ impl GbtRegressor {
 
             if let (Some(valid), true) = (valid, params.early_stopping_rounds > 0) {
                 let rmse = crate::metrics::rmse(
-                    &(0..valid.num_rows()).map(|i| model.predict(valid.row(i))).collect::<Vec<_>>(),
+                    &(0..valid.num_rows())
+                        .map(|i| model.predict(valid.row(i)))
+                        .collect::<Vec<_>>(),
                     valid.labels(),
                 );
                 // Require a relative improvement; asymptotic 1e-9 gains should
@@ -194,8 +209,9 @@ mod tests {
     use crate::metrics;
 
     fn synthetic(n: usize, f: impl Fn(f64, f64) -> f64) -> Dataset {
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![(i % 17) as f64, ((i * 7) % 13) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64, ((i * 7) % 13) as f64])
+            .collect();
         let labels: Vec<f64> = rows.iter().map(|r| f(r[0], r[1])).collect();
         Dataset::from_rows(&rows, &labels).unwrap()
     }
@@ -204,7 +220,9 @@ mod tests {
     fn fits_linear_function() {
         let data = synthetic(400, |a, b| 3.0 * a - 2.0 * b + 1.0);
         let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
-        let preds: Vec<f64> = (0..data.num_rows()).map(|i| model.predict(data.row(i))).collect();
+        let preds: Vec<f64> = (0..data.num_rows())
+            .map(|i| model.predict(data.row(i)))
+            .collect();
         assert!(metrics::rmse(&preds, data.labels()) < 1.0);
     }
 
@@ -213,7 +231,9 @@ mod tests {
         // Latency-like target: product of sizes (cost models face this shape).
         let data = synthetic(400, |a, b| a * b);
         let model = GbtRegressor::fit(&data, &GbtParams::default()).unwrap();
-        let preds: Vec<f64> = (0..data.num_rows()).map(|i| model.predict(data.row(i))).collect();
+        let preds: Vec<f64> = (0..data.num_rows())
+            .map(|i| model.predict(data.row(i)))
+            .collect();
         let spearman = metrics::spearman(&preds, data.labels());
         assert!(spearman > 0.95, "rank correlation {spearman} too low");
     }
@@ -223,16 +243,26 @@ mod tests {
         let data = synthetic(300, |a, b| (a - b).abs());
         let small = GbtRegressor::fit(
             &data,
-            &GbtParams { num_rounds: 3, early_stopping_rounds: 0, ..GbtParams::default() },
+            &GbtParams {
+                num_rounds: 3,
+                early_stopping_rounds: 0,
+                ..GbtParams::default()
+            },
         )
         .unwrap();
         let large = GbtRegressor::fit(
             &data,
-            &GbtParams { num_rounds: 60, early_stopping_rounds: 0, ..GbtParams::default() },
+            &GbtParams {
+                num_rounds: 60,
+                early_stopping_rounds: 0,
+                ..GbtParams::default()
+            },
         )
         .unwrap();
         let err = |m: &GbtRegressor| {
-            let preds: Vec<f64> = (0..data.num_rows()).map(|i| m.predict(data.row(i))).collect();
+            let preds: Vec<f64> = (0..data.num_rows())
+                .map(|i| m.predict(data.row(i)))
+                .collect();
             metrics::rmse(&preds, data.labels())
         };
         assert!(err(&large) < err(&small));
@@ -242,10 +272,15 @@ mod tests {
     fn early_stopping_truncates_ensemble() {
         // A noisy target: once the signal is learned, further rounds chase
         // noise and validation error stops improving.
-        let noise = |a: f64, b: f64| (((a * 31.0 + b * 17.0) as u64 * 2654435761) % 97) as f64 / 10.0;
+        let noise =
+            |a: f64, b: f64| (((a * 31.0 + b * 17.0) as u64 * 2654435761) % 97) as f64 / 10.0;
         let data = synthetic(200, |a, b| a + noise(a, b));
         let (train, valid) = data.split(0.25).unwrap();
-        let params = GbtParams { num_rounds: 200, early_stopping_rounds: 5, ..GbtParams::default() };
+        let params = GbtParams {
+            num_rounds: 200,
+            early_stopping_rounds: 5,
+            ..GbtParams::default()
+        };
         let model = GbtRegressor::fit_with_validation(&train, Some(&valid), &params).unwrap();
         assert!(model.num_trees() < 200, "early stopping should kick in");
     }
@@ -253,7 +288,11 @@ mod tests {
     #[test]
     fn subsampling_is_deterministic_per_seed() {
         let data = synthetic(200, |a, b| a + b);
-        let params = GbtParams { subsample: 0.7, colsample: 0.5, ..GbtParams::default() };
+        let params = GbtParams {
+            subsample: 0.7,
+            colsample: 0.5,
+            ..GbtParams::default()
+        };
         let m1 = GbtRegressor::fit(&data, &params).unwrap();
         let m2 = GbtRegressor::fit(&data, &params).unwrap();
         assert_eq!(m1, m2);
@@ -265,11 +304,26 @@ mod tests {
     fn parameter_validation() {
         let data = synthetic(10, |a, _| a);
         for bad in [
-            GbtParams { num_rounds: 0, ..GbtParams::default() },
-            GbtParams { learning_rate: 0.0, ..GbtParams::default() },
-            GbtParams { learning_rate: 1.5, ..GbtParams::default() },
-            GbtParams { subsample: 0.0, ..GbtParams::default() },
-            GbtParams { colsample: 1.5, ..GbtParams::default() },
+            GbtParams {
+                num_rounds: 0,
+                ..GbtParams::default()
+            },
+            GbtParams {
+                learning_rate: 0.0,
+                ..GbtParams::default()
+            },
+            GbtParams {
+                learning_rate: 1.5,
+                ..GbtParams::default()
+            },
+            GbtParams {
+                subsample: 0.0,
+                ..GbtParams::default()
+            },
+            GbtParams {
+                colsample: 1.5,
+                ..GbtParams::default()
+            },
         ] {
             assert!(GbtRegressor::fit(&data, &bad).is_err());
         }
@@ -284,7 +338,10 @@ mod tests {
         assert_eq!(model.num_trees(), back.num_trees());
         for i in 0..data.num_rows() {
             let (a, b) = (model.predict(data.row(i)), back.predict(data.row(i)));
-            assert!((a - b).abs() < 1e-12, "prediction drift after round trip: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "prediction drift after round trip: {a} vs {b}"
+            );
         }
     }
 }

@@ -8,8 +8,12 @@
 pub fn rmse(preds: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(preds.len(), labels.len(), "length mismatch");
     assert!(!preds.is_empty(), "empty inputs");
-    let mse =
-        preds.iter().zip(labels).map(|(p, y)| (p - y) * (p - y)).sum::<f64>() / preds.len() as f64;
+    let mse = preds
+        .iter()
+        .zip(labels)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / preds.len() as f64;
     mse.sqrt()
 }
 

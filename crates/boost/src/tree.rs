@@ -17,7 +17,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 5, min_child_weight: 1.0, lambda: 1.0, gamma: 0.0 }
+        Self {
+            max_depth: 5,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        }
     }
 }
 
@@ -78,9 +83,20 @@ impl RegressionTree {
         rows: &[usize],
         features: &[usize],
     ) -> Self {
-        assert_eq!(grads.len(), data.num_rows(), "gradient array length mismatch");
+        assert_eq!(
+            grads.len(),
+            data.num_rows(),
+            "gradient array length mismatch"
+        );
         assert_eq!(hess.len(), data.num_rows(), "hessian array length mismatch");
-        let mut b = Builder { data, grads, hess, params, features, nodes: Vec::new() };
+        let mut b = Builder {
+            data,
+            grads,
+            hess,
+            params,
+            features,
+            nodes: Vec::new(),
+        };
         let mut rows = rows.to_vec();
         b.build(&mut rows, 0);
         Self { nodes: b.nodes }
@@ -92,8 +108,17 @@ impl RegressionTree {
         loop {
             match self.nodes[idx] {
                 Node::Leaf { weight } => return weight,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if row[feature] < threshold { left as usize } else { right as usize };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[feature] < threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
                 }
             }
         }
@@ -125,16 +150,20 @@ impl RegressionTree {
 impl Builder<'_> {
     /// Builds the subtree over `rows`, returning its node index.
     fn build(&mut self, rows: &mut [usize], depth: usize) -> u32 {
-        let (g_sum, h_sum) = rows
-            .iter()
-            .fold((0.0, 0.0), |(g, h), &r| (g + self.grads[r], h + self.hess[r]));
+        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
+            (g + self.grads[r], h + self.hess[r])
+        });
         let leaf_weight = -g_sum / (h_sum + self.params.lambda);
 
         if depth >= self.params.max_depth || rows.len() < 2 {
-            return self.push(Node::Leaf { weight: leaf_weight });
+            return self.push(Node::Leaf {
+                weight: leaf_weight,
+            });
         }
         let Some((feature, threshold)) = self.best_split(rows, g_sum, h_sum) else {
-            return self.push(Node::Leaf { weight: leaf_weight });
+            return self.push(Node::Leaf {
+                weight: leaf_weight,
+            });
         };
 
         // Partition in place: rows with value < threshold go first.
@@ -151,7 +180,12 @@ impl Builder<'_> {
         let (left_rows, right_rows) = rows.split_at_mut(mid);
         let left = self.build(left_rows, depth + 1);
         let right = self.build(right_rows, depth + 1);
-        self.nodes[node as usize] = Node::Split { feature, threshold, left, right };
+        self.nodes[node as usize] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node
     }
 
@@ -171,7 +205,9 @@ impl Builder<'_> {
             order.clear();
             order.extend_from_slice(rows);
             order.sort_unstable_by(|&a, &b| {
-                self.data.row(a)[f].partial_cmp(&self.data.row(b)[f]).expect("finite features")
+                self.data.row(a)[f]
+                    .partial_cmp(&self.data.row(b)[f])
+                    .expect("finite features")
             });
             let (mut gl, mut hl) = (0.0f64, 0.0f64);
             for w in 0..order.len() - 1 {
@@ -187,8 +223,7 @@ impl Builder<'_> {
                 if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
                     continue;
                 }
-                let gain = 0.5
-                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
                     - self.params.gamma;
                 if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, f, 0.5 * (v + v_next)));
@@ -220,7 +255,13 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let labels: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
         let data = Dataset::from_rows(&rows, &labels).unwrap();
-        let tree = fit_all(&data, TreeParams { lambda: 0.0, ..TreeParams::default() });
+        let tree = fit_all(
+            &data,
+            TreeParams {
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
         assert!((tree.predict(&[3.0]) - 0.0).abs() < 1e-9);
         assert!((tree.predict(&[15.0]) - 10.0).abs() < 1e-9);
     }
@@ -230,7 +271,14 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
         let labels = vec![1.0, 2.0, 3.0, 4.0];
         let data = Dataset::from_rows(&rows, &labels).unwrap();
-        let tree = fit_all(&data, TreeParams { max_depth: 0, lambda: 0.0, ..TreeParams::default() });
+        let tree = fit_all(
+            &data,
+            TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
         assert_eq!(tree.num_nodes(), 1);
         assert!((tree.predict(&[0.0]) - 2.5).abs() < 1e-9); // mean of labels
     }
@@ -240,8 +288,22 @@ mod tests {
         let rows = vec![vec![0.0], vec![1.0]];
         let labels = vec![4.0, 4.0];
         let data = Dataset::from_rows(&rows, &labels).unwrap();
-        let t0 = fit_all(&data, TreeParams { max_depth: 0, lambda: 0.0, ..TreeParams::default() });
-        let t1 = fit_all(&data, TreeParams { max_depth: 0, lambda: 2.0, ..TreeParams::default() });
+        let t0 = fit_all(
+            &data,
+            TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let t1 = fit_all(
+            &data,
+            TreeParams {
+                max_depth: 0,
+                lambda: 2.0,
+                ..TreeParams::default()
+            },
+        );
         assert!((t0.predict(&[0.0]) - 4.0).abs() < 1e-9);
         assert!((t1.predict(&[0.0]) - 2.0).abs() < 1e-9); // 8 / (2 + 2)
     }
@@ -252,9 +314,22 @@ mod tests {
         // Tiny signal.
         let labels: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 0.01 }).collect();
         let data = Dataset::from_rows(&rows, &labels).unwrap();
-        let strict = fit_all(&data, TreeParams { gamma: 10.0, ..TreeParams::default() });
+        let strict = fit_all(
+            &data,
+            TreeParams {
+                gamma: 10.0,
+                ..TreeParams::default()
+            },
+        );
         assert_eq!(strict.num_nodes(), 1, "gamma should suppress the split");
-        let loose = fit_all(&data, TreeParams { gamma: 0.0, lambda: 0.0, ..TreeParams::default() });
+        let loose = fit_all(
+            &data,
+            TreeParams {
+                gamma: 0.0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
         assert!(loose.num_nodes() > 1);
     }
 
@@ -266,9 +341,18 @@ mod tests {
         for depth in [1usize, 2, 3] {
             let tree = fit_all(
                 &data,
-                TreeParams { max_depth: depth, lambda: 0.0, min_child_weight: 0.0, gamma: 0.0 },
+                TreeParams {
+                    max_depth: depth,
+                    lambda: 0.0,
+                    min_child_weight: 0.0,
+                    gamma: 0.0,
+                },
             );
-            assert!(tree.depth() <= depth, "depth {} > limit {depth}", tree.depth());
+            assert!(
+                tree.depth() <= depth,
+                "depth {} > limit {depth}",
+                tree.depth()
+            );
         }
     }
 
@@ -287,9 +371,17 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..40)
             .map(|i| vec![(i % 4) as f64, if i % 2 == 0 { 0.0 } else { 1.0 }])
             .collect();
-        let labels: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { -5.0 } else { 5.0 }).collect();
+        let labels: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { -5.0 } else { 5.0 })
+            .collect();
         let data = Dataset::from_rows(&rows, &labels).unwrap();
-        let tree = fit_all(&data, TreeParams { lambda: 0.0, ..TreeParams::default() });
+        let tree = fit_all(
+            &data,
+            TreeParams {
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
         assert!((tree.predict(&[0.0, 0.0]) + 5.0).abs() < 1e-6);
         assert!((tree.predict(&[0.0, 1.0]) - 5.0).abs() < 1e-6);
     }

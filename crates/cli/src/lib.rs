@@ -48,10 +48,16 @@ impl Args {
     ///
     /// Returns an error for flags without values or extra positionals.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        // Flags that take no value (presence means "true").
+        const BOOLEAN_FLAGS: &[&str] = &["trace-summary"];
         let mut out = Args::default();
         let mut it = raw.iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&key) {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?
@@ -80,7 +86,8 @@ impl Args {
     ///
     /// Returns a usage error naming the missing flag.
     pub fn require(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// A flag parsed as `usize` with a default.
@@ -91,7 +98,9 @@ impl Args {
     pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v}")),
         }
     }
 }
@@ -109,7 +118,11 @@ pub fn usage() -> String {
                  --out FILE [--nodes N] [--param N] [--seed N]\n\
        inspect   (--graph FILE | --dataset CODE [--scale tiny|small])\n\
        bench     --models FILE --model NAME --k1 N --k2 N [--iters N]\n\
-                 (--graph FILE | --dataset CODE [--scale tiny|small])"
+                 (--graph FILE | --dataset CODE [--scale tiny|small])\n\
+     global observability flags (any command):\n\
+       --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
+       --metrics-out FILE   write counters + latency histograms as JSON\n\
+       --trace-summary      append a hierarchical span summary to the output"
         .to_string()
 }
 
@@ -183,12 +196,53 @@ pub fn load_graph(args: &Args) -> Result<Graph, CliError> {
     }
 }
 
-/// Runs a parsed command, returning the text to print.
+/// Runs a parsed command, returning the text to print. When any of the
+/// observability flags (`--trace-out`, `--metrics-out`, `--trace-summary`) is
+/// present, telemetry is enabled for the duration of the command and the
+/// requested exports are produced afterwards.
 ///
 /// # Errors
 ///
 /// Returns a user-facing error message.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    let tracing = args.get("trace-out").is_some()
+        || args.get("metrics-out").is_some()
+        || args.get("trace-summary").is_some();
+    if !tracing {
+        return dispatch(args);
+    }
+    granii_telemetry::reset();
+    granii_telemetry::enable();
+    let result = dispatch(args);
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    let snapshot = granii_telemetry::metrics_snapshot();
+    granii_telemetry::reset();
+    let mut out = result?;
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, granii_telemetry::export::chrome_trace(&spans))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        writeln!(out, "trace: {} spans -> {path}", spans.len()).expect("fmt");
+    }
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, granii_telemetry::export::metrics_json(&snapshot))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        writeln!(
+            out,
+            "metrics: {} counters, {} histograms -> {path}",
+            snapshot.counters.len(),
+            snapshot.histograms.len()
+        )
+        .expect("fmt");
+    }
+    if args.get("trace-summary").is_some() {
+        out.push('\n');
+        out.push_str(&granii_telemetry::export::summary(&spans));
+    }
+    Ok(out)
+}
+
+fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "train" => cmd_train(args),
         "select" => cmd_select(args),
@@ -206,7 +260,11 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
     let out_path = args.require("out")?;
     let fast = args.get("fast") == Some("true");
     let measured = args.get("measured") == Some("true");
-    let cfg = if fast { TrainingConfig::fast() } else { TrainingConfig::default() };
+    let cfg = if fast {
+        TrainingConfig::fast()
+    } else {
+        TrainingConfig::default()
+    };
     let models = if measured {
         if device != DeviceKind::Cpu {
             return Err("--measured true profiles real kernels and requires --device cpu".into());
@@ -220,7 +278,11 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
     std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     let mut report = format!("trained cost models for {device} -> {out_path}\n");
     for (kind, (rmse, spearman)) in &models.validation {
-        writeln!(report, "  {kind}: rmse(log) {rmse:.3}, spearman {spearman:.3}").expect("fmt");
+        writeln!(
+            report,
+            "  {kind}: rmse(log) {rmse:.3}, spearman {spearman:.3}"
+        )
+        .expect("fmt");
     }
     Ok(report)
 }
@@ -231,8 +293,14 @@ fn cmd_select(args: &Args) -> Result<String, CliError> {
     let models = CostModelSet::from_json(&json).map_err(|e| e.to_string())?;
     let granii = Granii::with_cost_models(models);
     let model = parse_model(args.require("model")?)?;
-    let k1 = args.require("k1")?.parse::<usize>().map_err(|e| format!("--k1: {e}"))?;
-    let k2 = args.require("k2")?.parse::<usize>().map_err(|e| format!("--k2: {e}"))?;
+    let k1 = args
+        .require("k1")?
+        .parse::<usize>()
+        .map_err(|e| format!("--k1: {e}"))?;
+    let k2 = args
+        .require("k2")?
+        .parse::<usize>()
+        .map_err(|e| format!("--k2: {e}"))?;
     let iters = args.usize_or("iters", 100)?;
     let graph = load_graph(args)?;
     let sel = granii
@@ -258,8 +326,15 @@ fn cmd_compile(args: &Args) -> Result<String, CliError> {
     let k1 = args.usize_or("k1", 32)?;
     let k2 = args.usize_or("k2", 256)?;
     let hops = args.usize_or("hops", 2)?;
-    let plan = CompiledModel::compile(model, LayerConfig { k_in: k1, k_out: k2, hops })
-        .map_err(|e| e.to_string())?;
+    let plan = CompiledModel::compile(
+        model,
+        LayerConfig {
+            k_in: k1,
+            k_out: k2,
+            hops,
+        },
+    )
+    .map_err(|e| e.to_string())?;
     let mut out = format!(
         "{model}: {} enumerated, {} pruned, {} promoted\n",
         plan.enumerated,
@@ -319,8 +394,14 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     let models = CostModelSet::from_json(&json).map_err(|e| e.to_string())?;
     let granii = Granii::with_cost_models(models);
     let model = parse_model(args.require("model")?)?;
-    let k1 = args.require("k1")?.parse::<usize>().map_err(|e| format!("--k1: {e}"))?;
-    let k2 = args.require("k2")?.parse::<usize>().map_err(|e| format!("--k2: {e}"))?;
+    let k1 = args
+        .require("k1")?
+        .parse::<usize>()
+        .map_err(|e| format!("--k1: {e}"))?;
+    let k2 = args
+        .require("k2")?
+        .parse::<usize>()
+        .map_err(|e| format!("--k2: {e}"))?;
     let iters = args.usize_or("iters", 10)?;
     let graph = load_graph(args)?;
     let cfg = LayerConfig::new(k1, k2);
@@ -330,8 +411,9 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     let exec = Exec::real(&engine);
     let layer = GnnLayer::new(model, cfg, 7).map_err(|e| e.to_string())?;
     let h = DenseMatrix::random(ctx.num_nodes(), k1, 1.0, 1);
-    let selection =
-        granii.select_with_config(model, &graph, cfg, iters).map_err(|e| e.to_string())?;
+    let selection = granii
+        .select_with_config(model, &graph, cfg, iters)
+        .map_err(|e| e.to_string())?;
 
     let mut out = format!(
         "measured CPU execution on {} ({} nodes, {} edges), {iters} iterations each
@@ -341,15 +423,41 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         graph.num_edges()
     );
     for comp in Composition::all_for(model) {
-        let prepared = layer.prepare(&exec, &ctx, comp).map_err(|e| e.to_string())?;
+        let prepared = layer
+            .prepare(&exec, &ctx, comp)
+            .map_err(|e| e.to_string())?;
         engine.take_profile();
         for _ in 0..iters {
-            layer.forward(&exec, &ctx, &prepared, &h, comp).map_err(|e| e.to_string())?;
+            layer
+                .forward(&exec, &ctx, &prepared, &h, comp)
+                .map_err(|e| e.to_string())?;
         }
         let per_iter = engine.take_profile().total_seconds() / iters as f64;
-        let marker = if comp == selection.composition { "  <- GRANII's choice" } else { "" };
+        let marker = if comp == selection.composition {
+            "  <- GRANII's choice"
+        } else {
+            ""
+        };
         writeln!(out, "  {:>10.3} ms/iter  {comp}{marker}", per_iter * 1e3).expect("fmt");
     }
+
+    // One measured training step under the selected composition, so the bench
+    // report (and its trace) covers the training path as well.
+    let mut trainer =
+        granii_gnn::train::Trainer::new(model, cfg, 7, 0.01).map_err(|e| e.to_string())?;
+    let target = DenseMatrix::random(ctx.num_nodes(), k2, 1.0, 2);
+    engine.take_profile();
+    let loss = trainer
+        .step(&exec, &ctx, &h, &target, selection.composition)
+        .map_err(|e| e.to_string())?;
+    let step_seconds = engine.take_profile().total_seconds();
+    writeln!(
+        out,
+        "  {:>10.3} ms/step  training step (loss {loss:.4}, {})",
+        step_seconds * 1e3,
+        selection.composition
+    )
+    .expect("fmt");
     Ok(out)
 }
 
@@ -409,8 +517,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("g.txt");
         let path_s = path.to_str().unwrap();
-        let out = run(&args(&["generate", "--kind", "ring", "--nodes", "12", "--out", path_s]))
-            .unwrap();
+        let out = run(&args(&[
+            "generate", "--kind", "ring", "--nodes", "12", "--out", path_s,
+        ]))
+        .unwrap();
         assert!(out.contains("12 nodes"), "{out}");
         let out = run(&args(&["inspect", "--graph", path_s])).unwrap();
         assert!(out.contains("avg_degree"), "{out}");
@@ -420,8 +530,17 @@ mod tests {
     #[test]
     fn select_requires_model_file() {
         let err = run(&args(&[
-            "select", "--models", "/nonexistent.json", "--model", "gcn", "--k1", "8", "--k2", "8",
-            "--dataset", "RD",
+            "select",
+            "--models",
+            "/nonexistent.json",
+            "--model",
+            "gcn",
+            "--k1",
+            "8",
+            "--k2",
+            "8",
+            "--dataset",
+            "RD",
         ]))
         .unwrap_err();
         assert!(err.contains("read /nonexistent.json"), "{err}");
@@ -430,8 +549,17 @@ mod tests {
     #[test]
     fn bench_requires_models_file() {
         let err = run(&args(&[
-            "bench", "--models", "/missing.json", "--model", "gcn", "--k1", "8", "--k2", "8",
-            "--dataset", "BL",
+            "bench",
+            "--models",
+            "/missing.json",
+            "--model",
+            "gcn",
+            "--k1",
+            "8",
+            "--k2",
+            "8",
+            "--dataset",
+            "BL",
         ]))
         .unwrap_err();
         assert!(err.contains("read /missing.json"), "{err}");

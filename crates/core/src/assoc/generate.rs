@@ -71,10 +71,15 @@ pub fn enumerate(expr: &Expr) -> Result<Vec<CandidateProgram>> {
     let mut out: BTreeMap<String, CandidateProgram> = BTreeMap::new();
     for (elem, steps) in results {
         let steps = dedupe_by_signature(steps);
-        out.entry(elem.expr.clone()).or_insert(CandidateProgram { expr: elem.expr, steps });
+        out.entry(elem.expr.clone()).or_insert(CandidateProgram {
+            expr: elem.expr,
+            steps,
+        });
     }
     if out.is_empty() {
-        return Err(CoreError::NoCandidates { model: expr.render() });
+        return Err(CoreError::NoCandidates {
+            model: expr.render(),
+        });
     }
     Ok(out.into_values().collect())
 }
@@ -83,7 +88,10 @@ pub fn enumerate(expr: &Expr) -> Result<Vec<CandidateProgram>> {
 /// dropped (its value is reused).
 fn dedupe_by_signature(steps: Vec<PrimStep>) -> Vec<PrimStep> {
     let mut seen = std::collections::HashSet::new();
-    steps.into_iter().filter(|s| seen.insert(s.signature.clone())).collect()
+    steps
+        .into_iter()
+        .filter(|s| seen.insert(s.signature.clone()))
+        .collect()
 }
 
 /// Decrements the enumeration budget, erroring when exhausted.
@@ -189,7 +197,14 @@ fn enumerate_expr(expr: &Expr, budget: &mut usize) -> Result<Vec<(Elem, Vec<Prim
                     });
                 }
                 out.push((
-                    Elem { rows, cols, kind: ElemKind::Dense, expr, produced_by: None, data: true },
+                    Elem {
+                        rows,
+                        cols,
+                        kind: ElemKind::Dense,
+                        expr,
+                        produced_by: None,
+                        data: true,
+                    },
                     steps,
                 ));
             }
@@ -233,11 +248,41 @@ fn enumerate_expr(expr: &Expr, budget: &mut usize) -> Result<Vec<(Elem, Vec<Prim
                 .map(|(elem, mut steps)| {
                     let t = elem.expr.clone();
                     for (kind, rows, inner_d, cols, sig) in [
-                        (PrimitiveKind::Gemm, Dim::N, Dim::K2, Dim::One, format!("({t}·a_l)")),
-                        (PrimitiveKind::Gemm, Dim::N, Dim::K2, Dim::One, format!("({t}·a_r)")),
-                        (PrimitiveKind::Sddmm, Dim::N, Dim::Nnz, Dim::One, format!("att-logits:{t}")),
-                        (PrimitiveKind::Elementwise, Dim::Nnz, Dim::One, Dim::One, format!("att-leaky:{t}")),
-                        (PrimitiveKind::EdgeSoftmax, Dim::N, Dim::Nnz, Dim::One, format!("att-softmax:{t}")),
+                        (
+                            PrimitiveKind::Gemm,
+                            Dim::N,
+                            Dim::K2,
+                            Dim::One,
+                            format!("({t}·a_l)"),
+                        ),
+                        (
+                            PrimitiveKind::Gemm,
+                            Dim::N,
+                            Dim::K2,
+                            Dim::One,
+                            format!("({t}·a_r)"),
+                        ),
+                        (
+                            PrimitiveKind::Sddmm,
+                            Dim::N,
+                            Dim::Nnz,
+                            Dim::One,
+                            format!("att-logits:{t}"),
+                        ),
+                        (
+                            PrimitiveKind::Elementwise,
+                            Dim::Nnz,
+                            Dim::One,
+                            Dim::One,
+                            format!("att-leaky:{t}"),
+                        ),
+                        (
+                            PrimitiveKind::EdgeSoftmax,
+                            Dim::N,
+                            Dim::Nnz,
+                            Dim::One,
+                            format!("att-softmax:{t}"),
+                        ),
                     ] {
                         steps.push(PrimStep {
                             kind,
@@ -299,7 +344,11 @@ fn reduce_chain(
         out.push((elems[0].clone(), steps.to_vec()));
         return Ok(());
     }
-    let key = elems.iter().map(|e| e.expr.as_str()).collect::<Vec<_>>().join("\u{1f}");
+    let key = elems
+        .iter()
+        .map(|e| e.expr.as_str())
+        .collect::<Vec<_>>()
+        .join("\u{1f}");
     if !visited.insert(key) {
         return Ok(());
     }
@@ -325,7 +374,9 @@ fn wrap(s: &str) -> String {
 }
 
 fn strip(s: &str) -> &str {
-    s.strip_prefix('(').and_then(|s| s.strip_suffix(')')).unwrap_or(s)
+    s.strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .unwrap_or(s)
 }
 
 /// Applies the primitive-assignment rule for an adjacent pair; returns the
@@ -349,24 +400,34 @@ fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimS
             });
             let idx = steps.len() - 1;
             Some((
-                Elem { rows: l.rows, cols: r.cols, kind: Diag, expr, produced_by: Some(idx), data },
+                Elem {
+                    rows: l.rows,
+                    cols: r.cols,
+                    kind: Diag,
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
                 steps,
             ))
         }
         // diag · sparse / sparse · diag: SDDMM edge scaling. Consecutive
         // absorptions into the same sparse fuse into one SDDMM.
         (Diag, Sparse { .. }) | (Sparse { .. }, Diag) => {
-            let (sparse, absorb_left) =
-                if l.kind == Diag { (r, true) } else { (l, false) };
+            let (sparse, absorb_left) = if l.kind == Diag {
+                (r, true)
+            } else {
+                (l, false)
+            };
             let diag = if absorb_left { l } else { r };
             let expr = if absorb_left {
                 format!("({}·{})", diag.expr, strip(&sparse.expr))
             } else {
                 format!("({}·{})", strip(&sparse.expr), diag.expr)
             };
-            let fused = sparse
-                .produced_by
-                .filter(|&k| steps[k].kind == PrimitiveKind::Sddmm && steps[k].signature == sparse.expr);
+            let fused = sparse.produced_by.filter(|&k| {
+                steps[k].kind == PrimitiveKind::Sddmm && steps[k].signature == sparse.expr
+            });
             let idx = match fused {
                 Some(k) => {
                     steps[k].signature = expr.clone();
@@ -409,7 +470,14 @@ fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimS
             });
             let idx = steps.len() - 1;
             Some((
-                Elem { rows: r.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                Elem {
+                    rows: r.rows,
+                    cols: r.cols,
+                    kind: Dense,
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
                 steps,
             ))
         }
@@ -426,7 +494,14 @@ fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimS
             });
             let idx = steps.len() - 1;
             Some((
-                Elem { rows: l.rows, cols: l.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                Elem {
+                    rows: l.rows,
+                    cols: l.cols,
+                    kind: Dense,
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
                 steps,
             ))
         }
@@ -448,7 +523,14 @@ fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimS
             });
             let idx = steps.len() - 1;
             Some((
-                Elem { rows: l.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                Elem {
+                    rows: l.rows,
+                    cols: r.cols,
+                    kind: Dense,
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
                 steps,
             ))
         }
@@ -465,7 +547,14 @@ fn apply_rule(l: &Elem, r: &Elem, steps: &[PrimStep]) -> Option<(Elem, Vec<PrimS
             });
             let idx = steps.len() - 1;
             Some((
-                Elem { rows: l.rows, cols: r.cols, kind: Dense, expr, produced_by: Some(idx), data },
+                Elem {
+                    rows: l.rows,
+                    cols: r.cols,
+                    kind: Dense,
+                    expr,
+                    produced_by: Some(idx),
+                    data,
+                },
                 steps,
             ))
         }
@@ -495,14 +584,24 @@ mod tests {
     #[test]
     fn gcn_enumerates_twelve_trees() {
         let cands = enumerate_model(ModelKind::Gcn, LayerConfig::new(8, 4));
-        assert_eq!(cands.len(), 12, "{:#?}", cands.iter().map(|c| &c.expr).collect::<Vec<_>>());
+        assert_eq!(
+            cands.len(),
+            12,
+            "{:#?}",
+            cands.iter().map(|c| &c.expr).collect::<Vec<_>>()
+        );
     }
 
     /// The §VI-B count: GAT has 2 compositions (reuse vs recompute).
     #[test]
     fn gat_enumerates_two_trees() {
         let cands = enumerate_model(ModelKind::Gat, LayerConfig::new(8, 16));
-        assert_eq!(cands.len(), 2, "{:#?}", cands.iter().map(|c| &c.expr).collect::<Vec<_>>());
+        assert_eq!(
+            cands.len(),
+            2,
+            "{:#?}",
+            cands.iter().map(|c| &c.expr).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -510,11 +609,20 @@ mod tests {
         let cands = enumerate_model(ModelKind::Gat, LayerConfig::new(8, 16));
         let gemm_counts: Vec<usize> = cands
             .iter()
-            .map(|c| c.steps.iter().filter(|s| s.kind == PrimitiveKind::Gemm).count())
+            .map(|c| {
+                c.steps
+                    .iter()
+                    .filter(|s| s.kind == PrimitiveKind::Gemm)
+                    .count()
+            })
             .collect();
         let min = gemm_counts.iter().min().unwrap();
         let max = gemm_counts.iter().max().unwrap();
-        assert_eq!(max - min, 1, "CSE must remove the reused Θ GEMM: {gemm_counts:?}");
+        assert_eq!(
+            max - min,
+            1,
+            "CSE must remove the reused Θ GEMM: {gemm_counts:?}"
+        );
     }
 
     #[test]
@@ -526,7 +634,11 @@ mod tests {
             .count();
         let with_broadcast = cands
             .iter()
-            .filter(|c| c.steps.iter().any(|s| s.kind == PrimitiveKind::RowBroadcast))
+            .filter(|c| {
+                c.steps
+                    .iter()
+                    .any(|s| s.kind == PrimitiveKind::RowBroadcast)
+            })
             .count();
         assert!(with_sddmm > 0 && with_broadcast > 0);
         // The fused D·A·D tree exists.
@@ -537,7 +649,11 @@ mod tests {
     fn sddmm_fusion_produces_single_step() {
         let cands = enumerate_model(ModelKind::Gcn, LayerConfig::new(8, 4));
         let fused = cands.iter().find(|c| c.expr.contains("(D·A·D)")).unwrap();
-        let sddmms = fused.steps.iter().filter(|s| s.kind == PrimitiveKind::Sddmm).count();
+        let sddmms = fused
+            .steps
+            .iter()
+            .filter(|s| s.kind == PrimitiveKind::Sddmm)
+            .count();
         assert_eq!(sddmms, 1);
     }
 
@@ -551,17 +667,42 @@ mod tests {
 
     #[test]
     fn sgc_enumeration_grows_with_hops() {
-        let one = enumerate_model(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 1 });
-        let two = enumerate_model(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let one = enumerate_model(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 1,
+            },
+        );
+        let two = enumerate_model(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 2,
+            },
+        );
         assert!(two.len() > one.len());
-        assert_eq!(one.len(), 12, "1-hop SGC matches the GCN chain (no σ barrier changes count)");
+        assert_eq!(
+            one.len(),
+            12,
+            "1-hop SGC matches the GCN chain (no σ barrier changes count)"
+        );
     }
 
     /// Deep TAGCN chains exceed the enumeration budget with a typed error
     /// instead of exhausting memory.
     #[test]
     fn enumeration_budget_guards_deep_hops() {
-        let ir = builder::build(ModelKind::Tagcn, LayerConfig { k_in: 8, k_out: 4, hops: 3 });
+        let ir = builder::build(
+            ModelKind::Tagcn,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 3,
+            },
+        );
         let mut hit_budget = false;
         for v in rewrite::variants(&ir) {
             match enumerate(&v) {
@@ -578,7 +719,12 @@ mod tests {
 
     #[test]
     fn every_candidate_ends_reduced() {
-        for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Sage] {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gat,
+            ModelKind::Gin,
+            ModelKind::Sage,
+        ] {
             for c in enumerate_model(kind, LayerConfig::new(8, 4)) {
                 assert!(!c.steps.is_empty(), "{kind}: {c:?}");
             }

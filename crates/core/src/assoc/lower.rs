@@ -27,7 +27,10 @@ pub fn lower(model: ModelKind, program: &CandidateProgram) -> Option<Composition
         .steps
         .iter()
         .filter(|s| {
-            matches!(s.kind, PrimitiveKind::SpmmWeighted | PrimitiveKind::SpmmUnweighted)
+            matches!(
+                s.kind,
+                PrimitiveKind::SpmmWeighted | PrimitiveKind::SpmmUnweighted
+            )
         })
         .map(|s| s.cols)
         .collect();
@@ -40,8 +43,11 @@ pub fn lower(model: ModelKind, program: &CandidateProgram) -> Option<Composition
     } else {
         None
     };
-    let norm =
-        if has_sddmm { NormStrategy::Precompute } else { NormStrategy::Dynamic };
+    let norm = if has_sddmm {
+        NormStrategy::Precompute
+    } else {
+        NormStrategy::Dynamic
+    };
 
     match model {
         ModelKind::Gcn => Some(Composition::Gcn(norm, order?)),

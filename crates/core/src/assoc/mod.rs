@@ -63,7 +63,9 @@ impl PrimStep {
         match self.kind {
             PrimitiveKind::Gemm => WorkStats::gemm(rows, inner, cols),
             PrimitiveKind::SpmmWeighted => WorkStats::spmm(rows, inner, cols, true, irregularity),
-            PrimitiveKind::SpmmUnweighted => WorkStats::spmm(rows, inner, cols, false, irregularity),
+            PrimitiveKind::SpmmUnweighted => {
+                WorkStats::spmm(rows, inner, cols, false, irregularity)
+            }
             PrimitiveKind::Sddmm => WorkStats::sddmm(rows, inner, cols, irregularity),
             PrimitiveKind::RowBroadcast => WorkStats::row_broadcast(rows, cols),
             PrimitiveKind::ColBroadcast => WorkStats::col_broadcast(rows, cols),

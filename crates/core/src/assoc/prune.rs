@@ -71,7 +71,11 @@ pub fn prune(candidates: &[CandidateProgram]) -> (Vec<Promoted>, usize) {
     for (i, cand) in candidates.iter().enumerate() {
         let [shrink, grow] = survives[i];
         if shrink || grow {
-            promoted.push(Promoted { program: cand.clone(), shrink, grow });
+            promoted.push(Promoted {
+                program: cand.clone(),
+                shrink,
+                grow,
+            });
         } else {
             pruned += 1;
         }
@@ -105,7 +109,13 @@ fn dominates(a: &CandidateProgram, b: &CandidateProgram, s: Scenario, tie_break:
         if sa.len() > sb.len() {
             return false;
         }
-        let key = |p: &&super::PrimStep| (size_rank(s, p.rows), size_rank(s, p.inner), size_rank(s, p.cols));
+        let key = |p: &&super::PrimStep| {
+            (
+                size_rank(s, p.rows),
+                size_rank(s, p.inner),
+                size_rank(s, p.cols),
+            )
+        };
         sa.sort_by_key(key);
         sb.sort_by_key(key);
         let mut used = vec![false; sb.len()];
@@ -178,18 +188,34 @@ mod tests {
     use granii_matrix::PrimitiveKind;
 
     fn step(kind: PrimitiveKind, rows: Dim, inner: Dim, cols: Dim, sig: &str) -> PrimStep {
-        PrimStep { kind, rows, inner, cols, signature: sig.into(), once: false }
+        PrimStep {
+            kind,
+            rows,
+            inner,
+            cols,
+            signature: sig.into(),
+            once: false,
+        }
     }
 
     fn prog(expr: &str, steps: Vec<PrimStep>) -> CandidateProgram {
-        CandidateProgram { expr: expr.into(), steps }
+        CandidateProgram {
+            expr: expr.into(),
+            steps,
+        }
     }
 
     #[test]
     fn subset_rule_prunes_superset() {
         let small = prog(
             "a",
-            vec![step(PrimitiveKind::SpmmWeighted, Dim::N, Dim::Nnz, Dim::K1, "s1")],
+            vec![step(
+                PrimitiveKind::SpmmWeighted,
+                Dim::N,
+                Dim::Nnz,
+                Dim::K1,
+                "s1",
+            )],
         );
         let big = prog(
             "b",
@@ -210,11 +236,23 @@ mod tests {
         // Same kinds; a runs at K1, b at K2: each wins one scenario.
         let at_k1 = prog(
             "k1",
-            vec![step(PrimitiveKind::SpmmUnweighted, Dim::N, Dim::Nnz, Dim::K1, "x")],
+            vec![step(
+                PrimitiveKind::SpmmUnweighted,
+                Dim::N,
+                Dim::Nnz,
+                Dim::K1,
+                "x",
+            )],
         );
         let at_k2 = prog(
             "k2",
-            vec![step(PrimitiveKind::SpmmUnweighted, Dim::N, Dim::Nnz, Dim::K2, "y")],
+            vec![step(
+                PrimitiveKind::SpmmUnweighted,
+                Dim::N,
+                Dim::Nnz,
+                Dim::K2,
+                "y",
+            )],
         );
         let (promoted, pruned) = prune(&[at_k1, at_k2]);
         assert_eq!(pruned, 0);
@@ -236,8 +274,11 @@ mod tests {
                 ],
             )
         };
-        let (promoted, pruned) =
-            prune(&[mk(Dim::K1, Dim::K1, "all-k1"), mk(Dim::K1, Dim::K2, "mixed"), mk(Dim::K2, Dim::K2, "all-k2")]);
+        let (promoted, pruned) = prune(&[
+            mk(Dim::K1, Dim::K1, "all-k1"),
+            mk(Dim::K1, Dim::K2, "mixed"),
+            mk(Dim::K2, Dim::K2, "all-k2"),
+        ]);
         assert_eq!(pruned, 1);
         let names: Vec<_> = promoted.iter().map(|p| p.program.expr.as_str()).collect();
         assert_eq!(names, vec!["all-k1", "all-k2"]);
@@ -245,8 +286,14 @@ mod tests {
 
     #[test]
     fn duplicates_are_removed_deterministically() {
-        let a = prog("first", vec![step(PrimitiveKind::Gemm, Dim::N, Dim::K1, Dim::K2, "g1")]);
-        let b = prog("second", vec![step(PrimitiveKind::Gemm, Dim::N, Dim::K1, Dim::K2, "g2")]);
+        let a = prog(
+            "first",
+            vec![step(PrimitiveKind::Gemm, Dim::N, Dim::K1, Dim::K2, "g1")],
+        );
+        let b = prog(
+            "second",
+            vec![step(PrimitiveKind::Gemm, Dim::N, Dim::K1, Dim::K2, "g2")],
+        );
         let (promoted, pruned) = prune(&[a, b]);
         assert_eq!(pruned, 1);
         assert_eq!(promoted[0].program.expr, "first");
@@ -255,8 +302,26 @@ mod tests {
     #[test]
     fn incomparable_dims_block_domination() {
         // N-wide vs K1-wide broadcasts: cannot be compared input-obliviously.
-        let a = prog("n", vec![step(PrimitiveKind::RowBroadcast, Dim::N, Dim::One, Dim::N, "x")]);
-        let b = prog("k", vec![step(PrimitiveKind::RowBroadcast, Dim::N, Dim::One, Dim::K1, "y")]);
+        let a = prog(
+            "n",
+            vec![step(
+                PrimitiveKind::RowBroadcast,
+                Dim::N,
+                Dim::One,
+                Dim::N,
+                "x",
+            )],
+        );
+        let b = prog(
+            "k",
+            vec![step(
+                PrimitiveKind::RowBroadcast,
+                Dim::N,
+                Dim::One,
+                Dim::K1,
+                "y",
+            )],
+        );
         let (promoted, pruned) = prune(&[a, b]);
         assert_eq!(pruned, 0);
         assert_eq!(promoted.len(), 2);

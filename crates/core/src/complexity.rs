@@ -54,8 +54,7 @@ mod tests {
         let pre = rows
             .iter()
             .find(|r| {
-                r.composition
-                    == Composition::Gcn(NormStrategy::Precompute, OpOrder::AggregateFirst)
+                r.composition == Composition::Gcn(NormStrategy::Precompute, OpOrder::AggregateFirst)
             })
             .unwrap();
         let ops: Vec<&str> = pre.operations.iter().map(|(_, c)| c.as_str()).collect();
@@ -65,7 +64,9 @@ mod tests {
         // Dynamic + update-first: row-broadcasts O(N·K2), SpMM O(E·K2).
         let dyn_up = rows
             .iter()
-            .find(|r| r.composition == Composition::Gcn(NormStrategy::Dynamic, OpOrder::UpdateFirst))
+            .find(|r| {
+                r.composition == Composition::Gcn(NormStrategy::Dynamic, OpOrder::UpdateFirst)
+            })
             .unwrap();
         let ops: Vec<&str> = dyn_up.operations.iter().map(|(_, c)| c.as_str()).collect();
         assert!(ops.contains(&"O(N·K2)"), "{ops:?}");
@@ -84,9 +85,7 @@ mod tests {
             .find(|r| r.composition == Composition::Gat(GatStrategy::Recompute))
             .unwrap();
         // Recompute aggregates at K1 but pays one more GEMM.
-        let gemms = |r: &ComplexityRow| {
-            r.operations.iter().filter(|(n, _)| n == "gemm").count()
-        };
+        let gemms = |r: &ComplexityRow| r.operations.iter().filter(|(n, _)| n == "gemm").count();
         assert_eq!(gemms(recompute), gemms(reuse) + 1);
         assert!(recompute.operations.iter().any(|(_, c)| c == "O(E·K1)"));
         assert!(reuse.operations.iter().any(|(_, c)| c == "O(E·K2)"));

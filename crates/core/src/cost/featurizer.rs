@@ -47,9 +47,18 @@ impl FeaturizedInput {
     /// operation sizes ++ embedding sizes.
     pub fn step_features(&self, step: &PrimStep) -> Vec<f64> {
         let mut v = self.graph.to_vec();
-        v.push(step.rows.resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64);
-        v.push(step.inner.resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64);
-        v.push(step.cols.resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64);
+        v.push(
+            step.rows
+                .resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64,
+        );
+        v.push(
+            step.inner
+                .resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64,
+        );
+        v.push(
+            step.cols
+                .resolve(self.num_nodes, self.num_edges, self.k1, self.k2) as f64,
+        );
         v.push(self.k1 as f64);
         v.push(self.k2 as f64);
         v

@@ -33,7 +33,11 @@ impl CostModelSet {
         models: BTreeMap<PrimitiveKind, GbtRegressor>,
         validation: BTreeMap<PrimitiveKind, (f64, f64)>,
     ) -> Self {
-        Self { device, models, validation }
+        Self {
+            device,
+            models,
+            validation,
+        }
     }
 
     /// The device these models were trained for.
@@ -50,7 +54,9 @@ impl CostModelSet {
         let model = self
             .models
             .get(&step.kind)
-            .ok_or(CoreError::MissingCostModel { primitive: step.kind.name().into() })?;
+            .ok_or(CoreError::MissingCostModel {
+                primitive: step.kind.name().into(),
+            })?;
         let features = input.step_features(step);
         Ok(model.predict(&features).exp())
     }

@@ -43,7 +43,10 @@ impl Default for TrainingConfig {
             base_graphs: 10,
             embed_sizes: vec![32, 64, 128, 256, 512, 1024, 2048],
             valid_fraction: 0.2,
-            gbt: GbtParams { num_rounds: 120, ..GbtParams::default() },
+            gbt: GbtParams {
+                num_rounds: 120,
+                ..GbtParams::default()
+            },
             seed: 0xC0DE,
         }
     }
@@ -55,7 +58,10 @@ impl TrainingConfig {
         Self {
             base_graphs: 5,
             embed_sizes: vec![32, 256, 1024],
-            gbt: GbtParams { num_rounds: 60, ..GbtParams::default() },
+            gbt: GbtParams {
+                num_rounds: 60,
+                ..GbtParams::default()
+            },
             ..Self::default()
         }
     }
@@ -169,7 +175,11 @@ pub fn train(device: DeviceKind, cfg: &TrainingConfig) -> Result<CostModelSet> {
 /// # Errors
 ///
 /// Propagates corpus-generation, kernel, and fitting errors.
-pub fn train_measured_cpu(cfg: &TrainingConfig, max_edges: usize, max_k: usize) -> Result<CostModelSet> {
+pub fn train_measured_cpu(
+    cfg: &TrainingConfig,
+    max_edges: usize,
+    max_k: usize,
+) -> Result<CostModelSet> {
     use granii_gnn::Exec;
     use granii_matrix::device::Engine;
     use granii_matrix::ops::BroadcastOp;
@@ -229,7 +239,8 @@ pub fn train_measured_cpu(cfg: &TrainingConfig, max_edges: usize, max_k: usize) 
                                     .map_err(crate::CoreError::Gnn)?;
                             }
                             (PrimitiveKind::Sddmm, _) => {
-                                exec.sddmm(&adj, &h, &h, irr).map_err(crate::CoreError::Gnn)?;
+                                exec.sddmm(&adj, &h, &h, irr)
+                                    .map_err(crate::CoreError::Gnn)?;
                             }
                             (PrimitiveKind::RowBroadcast, Dim::K2) => {
                                 exec.row_broadcast(&d, &hk2, BroadcastOp::Mul)
@@ -248,7 +259,8 @@ pub fn train_measured_cpu(cfg: &TrainingConfig, max_edges: usize, max_k: usize) 
                                 exec.map(&h, 1, |v| v.max(0.0));
                             }
                             (PrimitiveKind::EdgeSoftmax, _) => {
-                                exec.edge_softmax(&weighted, irr).map_err(crate::CoreError::Gnn)?;
+                                exec.edge_softmax(&weighted, irr)
+                                    .map_err(crate::CoreError::Gnn)?;
                             }
                             (PrimitiveKind::Binning, _) => {
                                 exec.degrees_by_binning(&adj);
@@ -280,8 +292,9 @@ fn fit(
         let data = Dataset::from_rows(&rows, &labels)?;
         let (train_set, valid_set) = data.split(cfg.valid_fraction)?;
         let model = GbtRegressor::fit_with_validation(&train_set, Some(&valid_set), &cfg.gbt)?;
-        let preds: Vec<f64> =
-            (0..valid_set.num_rows()).map(|i| model.predict(valid_set.row(i))).collect();
+        let preds: Vec<f64> = (0..valid_set.num_rows())
+            .map(|i| model.predict(valid_set.row(i)))
+            .collect();
         let rmse = granii_boost::metrics::rmse(&preds, valid_set.labels());
         let spearman = granii_boost::metrics::spearman(&preds, valid_set.labels());
         models.insert(kind, model);
@@ -302,7 +315,10 @@ mod tests {
         let cvs: Vec<f64> = corpus.iter().map(|g| g.row_stats().cv).collect();
         let max = cvs.iter().cloned().fold(0.0, f64::max);
         let min = cvs.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max > 4.0 * (min + 0.01), "degree-skew variety: {min}..{max}");
+        assert!(
+            max > 4.0 * (min + 0.01),
+            "degree-skew variety: {min}..{max}"
+        );
     }
 
     #[test]
@@ -311,7 +327,9 @@ mod tests {
         let corpus = build_corpus(&cfg).unwrap();
         let profiles = profile(DeviceKind::H100, &corpus[..2], &[32, 256]);
         for kind in PrimitiveKind::ALL {
-            let (rows, labels) = profiles.get(&kind).unwrap_or_else(|| panic!("missing {kind}"));
+            let (rows, labels) = profiles
+                .get(&kind)
+                .unwrap_or_else(|| panic!("missing {kind}"));
             assert_eq!(rows.len(), labels.len());
             assert!(!rows.is_empty());
             assert!(labels.iter().all(|l| l.is_finite()));

@@ -38,7 +38,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidIr(msg) => write!(f, "invalid matrix IR: {msg}"),
             CoreError::NoCandidates { model } => {
-                write!(f, "association enumeration produced no candidates for {model}")
+                write!(
+                    f,
+                    "association enumeration produced no candidates for {model}"
+                )
             }
             CoreError::MissingCostModel { primitive } => {
                 write!(f, "no trained cost model for primitive {primitive}")

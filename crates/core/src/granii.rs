@@ -27,7 +27,9 @@ pub struct GraniiOptions {
 impl GraniiOptions {
     /// Reduced profiling corpus for tests, examples, and quick starts.
     pub fn fast() -> Self {
-        Self { training: TrainingConfig::fast() }
+        Self {
+            training: TrainingConfig::fast(),
+        }
     }
 }
 
@@ -75,7 +77,11 @@ impl Granii {
     /// Builds a GRANII instance from already-trained cost models (e.g. loaded
     /// from the JSON the offline stage persisted).
     pub fn with_cost_models(cost_models: CostModelSet) -> Self {
-        Self { device: cost_models.device(), cost_models, plans: RwLock::new(BTreeMap::new()) }
+        Self {
+            device: cost_models.device(),
+            cost_models,
+            plans: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// The target device.
@@ -110,8 +116,19 @@ impl Granii {
     /// # Errors
     ///
     /// Propagates compilation/selection errors.
-    pub fn select(&self, model: ModelKind, graph: &Graph, k1: usize, k2: usize) -> Result<Selection> {
-        self.select_with_config(model, graph, LayerConfig::new(k1, k2), runtime::DEFAULT_ITERATIONS)
+    pub fn select(
+        &self,
+        model: ModelKind,
+        graph: &Graph,
+        k1: usize,
+        k2: usize,
+    ) -> Result<Selection> {
+        self.select_with_config(
+            model,
+            graph,
+            LayerConfig::new(k1, k2),
+            runtime::DEFAULT_ITERATIONS,
+        )
     }
 
     /// Per-layer selection for a multi-layer model (§VI-F: "GRANII can simply
@@ -135,7 +152,9 @@ impl Granii {
             ));
         }
         dims.windows(2)
-            .map(|w| self.select_with_config(model, graph, LayerConfig::new(w[0], w[1]), iterations))
+            .map(|w| {
+                self.select_with_config(model, graph, LayerConfig::new(w[0], w[1]), iterations)
+            })
             .collect()
     }
 
@@ -153,7 +172,14 @@ impl Granii {
         iterations: usize,
     ) -> Result<Selection> {
         let plan = self.compiled(model, cfg)?;
-        runtime::select(&plan, graph, cfg.k_in, cfg.k_out, &self.cost_models, iterations)
+        runtime::select(
+            &plan,
+            graph,
+            cfg.k_in,
+            cfg.k_out,
+            &self.cost_models,
+            iterations,
+        )
     }
 }
 
@@ -175,9 +201,16 @@ mod tests {
     #[test]
     fn plan_cache_returns_same_instance() {
         let granii = Granii::train_for_device(DeviceKind::Cpu, GraniiOptions::fast()).unwrap();
-        let a = granii.compiled(ModelKind::Gcn, LayerConfig::new(8, 8)).unwrap();
-        let b = granii.compiled(ModelKind::Gcn, LayerConfig::new(128, 2048)).unwrap();
-        assert!(Arc::ptr_eq(&a, &b), "same hops must share the compiled plan");
+        let a = granii
+            .compiled(ModelKind::Gcn, LayerConfig::new(8, 8))
+            .unwrap();
+        let b = granii
+            .compiled(ModelKind::Gcn, LayerConfig::new(128, 2048))
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same hops must share the compiled plan"
+        );
     }
 
     #[test]

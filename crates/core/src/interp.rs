@@ -116,7 +116,10 @@ fn lookup<'e>(env: &'e BTreeMap<String, Value>, expr: &str) -> Result<&'e Value>
 
 /// Splits a canonical expression `(a·b·c)` / `(a + b)` at its top level.
 fn split_top(expr: &str, sep: char) -> Vec<String> {
-    let inner = expr.strip_prefix('(').and_then(|e| e.strip_suffix(')')).unwrap_or(expr);
+    let inner = expr
+        .strip_prefix('(')
+        .and_then(|e| e.strip_suffix(')'))
+        .unwrap_or(expr);
     let mut parts = Vec::new();
     let mut depth = 0usize;
     let mut current = String::new();
@@ -212,9 +215,15 @@ fn eval_step(
                     }
                 }
             }
-            let sparse =
-                sparse.ok_or_else(|| CoreError::InvalidIr(format!("sddmm {sig} lacks a sparse operand")))?;
-            Ok(Value::Sparse(exec.scale_csr(dl.as_deref(), &sparse, dr.as_deref(), irr)?))
+            let sparse = sparse.ok_or_else(|| {
+                CoreError::InvalidIr(format!("sddmm {sig} lacks a sparse operand"))
+            })?;
+            Ok(Value::Sparse(exec.scale_csr(
+                dl.as_deref(),
+                &sparse,
+                dr.as_deref(),
+                irr,
+            )?))
         }
         PrimitiveKind::RowBroadcast => {
             let parts = split_top(sig, '·');
@@ -241,9 +250,13 @@ fn eval_step(
             if let Some(theta) = sig.strip_prefix("att-leaky:") {
                 let logits = as_sparse(lookup(env, &format!("att-logits:{theta}"))?)?;
                 let slope = granii_gnn::models::GAT_SLOPE;
-                return Ok(Value::Sparse(
-                    exec.map_csr_values(logits, move |v| if v >= 0.0 { v } else { slope * v })?,
-                ));
+                return Ok(Value::Sparse(exec.map_csr_values(logits, move |v| {
+                    if v >= 0.0 {
+                        v
+                    } else {
+                        slope * v
+                    }
+                })?));
             }
             if let Some(inner) = sig.strip_prefix('σ') {
                 let x = as_dense(lookup(env, inner)?)?;
@@ -265,8 +278,7 @@ fn eval_step(
                         Some(prev) => exec.zip(&prev, &x, 1, |a, b| a + b)?,
                     });
                 }
-                let sum = acc
-                    .ok_or_else(|| CoreError::InvalidIr(format!("empty sum in {sig}")))?;
+                let sum = acc.ok_or_else(|| CoreError::InvalidIr(format!("empty sum in {sig}")))?;
                 return Ok(Value::Dense(sum));
             }
             // Diagonal merge (D·D): element-wise product of per-node vectors.
@@ -308,21 +320,27 @@ fn binary(parts: &[String], sig: &str) -> Result<(String, String)> {
 fn as_dense(v: &Value) -> Result<&DenseMatrix> {
     match v {
         Value::Dense(m) => Ok(m),
-        other => Err(CoreError::InvalidIr(format!("expected dense, got {other:?}"))),
+        other => Err(CoreError::InvalidIr(format!(
+            "expected dense, got {other:?}"
+        ))),
     }
 }
 
 fn as_sparse(v: &Value) -> Result<&CsrMatrix> {
     match v {
         Value::Sparse(m) => Ok(m),
-        other => Err(CoreError::InvalidIr(format!("expected sparse, got {other:?}"))),
+        other => Err(CoreError::InvalidIr(format!(
+            "expected sparse, got {other:?}"
+        ))),
     }
 }
 
 fn as_diag(v: &Value) -> Result<&[f32]> {
     match v {
         Value::Diag(d) => Ok(d),
-        other => Err(CoreError::InvalidIr(format!("expected diagonal, got {other:?}"))),
+        other => Err(CoreError::InvalidIr(format!(
+            "expected diagonal, got {other:?}"
+        ))),
     }
 }
 
@@ -343,8 +361,14 @@ mod tests {
         let scale = 0.5;
         match model {
             ModelKind::Gin => {
-                w.insert("W1".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 2));
-                w.insert("W2".into(), DenseMatrix::random(cfg.k_out, cfg.k_out, scale, 3));
+                w.insert(
+                    "W1".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 2),
+                );
+                w.insert(
+                    "W2".into(),
+                    DenseMatrix::random(cfg.k_out, cfg.k_out, scale, 3),
+                );
             }
             ModelKind::Tagcn => {
                 for k in 0..=cfg.hops {
@@ -355,11 +379,20 @@ mod tests {
                 }
             }
             ModelKind::Sage => {
-                w.insert("W_self".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 10));
-                w.insert("W_neigh".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 11));
+                w.insert(
+                    "W_self".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 10),
+                );
+                w.insert(
+                    "W_neigh".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 11),
+                );
             }
             _ => {
-                w.insert("W".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 1));
+                w.insert(
+                    "W".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, 1),
+                );
                 w.insert("a_l".into(), DenseMatrix::random(cfg.k_out, 1, scale, 12));
                 w.insert("a_r".into(), DenseMatrix::random(cfg.k_out, 1, scale, 13));
             }
@@ -385,10 +418,21 @@ mod tests {
             .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
             .collect();
 
-        for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat, ModelKind::Sage] {
+        for model in [
+            ModelKind::Gcn,
+            ModelKind::Gin,
+            ModelKind::Sgc,
+            ModelKind::Tagcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
             // GIN and SAGE aggregate over the raw adjacency.
             let raw = matches!(model, ModelKind::Gin | ModelKind::Sage);
-            let adj = if raw { ctx.graph().adj().clone() } else { ctx.adj().clone() };
+            let adj = if raw {
+                ctx.graph().adj().clone()
+            } else {
+                ctx.adj().clone()
+            };
             let w = weights(model, cfg);
             let inputs = ProgramInputs {
                 adj: &adj,
@@ -429,10 +473,12 @@ mod tests {
 
         let d = ctx.deg_inv_sqrt();
         let norm = ops::scale_csr(Some(d), ctx.adj(), Some(d)).unwrap();
-        let reference =
-            ops::gemm(&ops::spmm(&norm, &h, Semiring::plus_mul()).unwrap(), &w["W"])
-                .unwrap()
-                .relu();
+        let reference = ops::gemm(
+            &ops::spmm(&norm, &h, Semiring::plus_mul()).unwrap(),
+            &w["W"],
+        )
+        .unwrap()
+        .relu();
 
         let plan = CompiledModel::compile(ModelKind::Gcn, cfg).unwrap();
         let deg_inv = vec![0.0f32; 20];
@@ -486,9 +532,16 @@ mod tests {
         for cand in &plan.candidates {
             let interpreted = execute(&exec, &cand.program, &inputs).unwrap();
             let prepared = layer.prepare(&exec, &ctx, cand.composition).unwrap();
-            let lowered = layer.forward(&exec, &ctx, &prepared, &h, cand.composition).unwrap();
+            let lowered = layer
+                .forward(&exec, &ctx, &prepared, &h, cand.composition)
+                .unwrap();
             let diff = interpreted.max_abs_diff(&lowered).unwrap();
-            assert!(diff < 1e-4, "{}: interp vs {} diff {diff}", cand.program.expr, cand.composition);
+            assert!(
+                diff < 1e-4,
+                "{}: interp vs {} diff {diff}",
+                cand.program.expr,
+                cand.composition
+            );
         }
     }
 

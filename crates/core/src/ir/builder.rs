@@ -37,7 +37,10 @@ pub fn build(model: ModelKind, cfg: LayerConfig) -> Expr {
             d: deg(),
             x: Box::new(Expr::Chain(vec![
                 adj(),
-                Expr::RowBroadcast { d: deg(), x: Box::new(feats()) },
+                Expr::RowBroadcast {
+                    d: deg(),
+                    x: Box::new(feats()),
+                },
                 weight("W"),
             ])),
         })),
@@ -49,7 +52,10 @@ pub fn build(model: ModelKind, cfg: LayerConfig) -> Expr {
                     d: deg(),
                     x: Box::new(Expr::Chain(vec![
                         adj(),
-                        Expr::RowBroadcast { d: deg(), x: Box::new(x) },
+                        Expr::RowBroadcast {
+                            d: deg(),
+                            x: Box::new(x),
+                        },
                     ])),
                 };
             }
@@ -65,7 +71,10 @@ pub fn build(model: ModelKind, cfg: LayerConfig) -> Expr {
                     d: deg(),
                     x: Box::new(Expr::Chain(vec![
                         adj(),
-                        Expr::RowBroadcast { d: deg(), x: Box::new(x) },
+                        Expr::RowBroadcast {
+                            d: deg(),
+                            x: Box::new(x),
+                        },
                     ])),
                 };
                 terms.push(Expr::Chain(vec![x.clone(), weight(&format!("W{k}"))]));
@@ -76,7 +85,10 @@ pub fn build(model: ModelKind, cfg: LayerConfig) -> Expr {
         ModelKind::Gin => {
             let eps = MatRef::new("(1+ε)I", Dim::N, Dim::N, Attr::Diagonal);
             let sum = Expr::Add(vec![
-                Expr::RowBroadcast { d: eps, x: Box::new(feats()) },
+                Expr::RowBroadcast {
+                    d: eps,
+                    x: Box::new(feats()),
+                },
                 Expr::Chain(vec![adj(), feats()]),
             ]);
             let hidden = Expr::Nonlinear(Box::new(Expr::Chain(vec![sum, weight("W1")])));
@@ -126,7 +138,14 @@ mod tests {
 
     #[test]
     fn sgc_nests_hops() {
-        let e = build(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let e = build(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 2,
+            },
+        );
         let r = e.render();
         assert_eq!(r.matches('⊗').count(), 4); // two broadcasts per hop
         assert_eq!(e.shape(), (Dim::N, Dim::K2));
@@ -134,7 +153,14 @@ mod tests {
 
     #[test]
     fn tagcn_has_hops_plus_one_terms() {
-        let e = build(ModelKind::Tagcn, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let e = build(
+            ModelKind::Tagcn,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 2,
+            },
+        );
         match &e {
             Expr::Nonlinear(inner) => match inner.as_ref() {
                 Expr::Add(terms) => assert_eq!(terms.len(), 3),
@@ -155,7 +181,13 @@ mod tests {
 
     #[test]
     fn all_models_have_output_shape_n_by_k2() {
-        for kind in [ModelKind::Gcn, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat, ModelKind::Sage] {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Sgc,
+            ModelKind::Tagcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
             let e = build(kind, LayerConfig::new(8, 4));
             assert_eq!(e.shape(), (Dim::N, Dim::K2), "{kind}");
         }

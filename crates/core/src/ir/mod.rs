@@ -76,7 +76,10 @@ impl Attr {
     /// Whether the attribute denotes a sparse representation (including
     /// diagonal, which Table I lists as a sparse sub-attribute).
     pub fn is_sparse(self) -> bool {
-        matches!(self, Attr::SparseWeighted | Attr::SparseUnweighted | Attr::Diagonal)
+        matches!(
+            self,
+            Attr::SparseWeighted | Attr::SparseUnweighted | Attr::Diagonal
+        )
     }
 }
 
@@ -96,7 +99,12 @@ pub struct MatRef {
 impl MatRef {
     /// Creates a leaf reference.
     pub fn new(name: impl Into<String>, rows: Dim, cols: Dim, attr: Attr) -> Self {
-        Self { name: name.into(), rows, cols, attr }
+        Self {
+            name: name.into(),
+            rows,
+            cols,
+            attr,
+        }
     }
 }
 

@@ -21,9 +21,9 @@ pub fn eliminate_broadcasts(expr: &Expr) -> Expr {
             Expr::Chain(vec![Expr::Mat(d.clone()), eliminate_broadcasts(x)])
         }
         Expr::Nonlinear(x) => Expr::Nonlinear(Box::new(eliminate_broadcasts(x))),
-        Expr::Attention { theta } => {
-            Expr::Attention { theta: Box::new(eliminate_broadcasts(theta)) }
-        }
+        Expr::Attention { theta } => Expr::Attention {
+            theta: Box::new(eliminate_broadcasts(theta)),
+        },
     }
 }
 
@@ -46,11 +46,14 @@ pub fn flatten(expr: &Expr) -> Expr {
             }
         }
         Expr::Add(es) => Expr::Add(es.iter().map(flatten).collect()),
-        Expr::RowBroadcast { d, x } => {
-            Expr::RowBroadcast { d: d.clone(), x: Box::new(flatten(x)) }
-        }
+        Expr::RowBroadcast { d, x } => Expr::RowBroadcast {
+            d: d.clone(),
+            x: Box::new(flatten(x)),
+        },
         Expr::Nonlinear(x) => Expr::Nonlinear(Box::new(flatten(x))),
-        Expr::Attention { theta } => Expr::Attention { theta: Box::new(flatten(theta)) },
+        Expr::Attention { theta } => Expr::Attention {
+            theta: Box::new(flatten(theta)),
+        },
     }
 }
 
@@ -75,21 +78,22 @@ pub fn variants(expr: &Expr) -> Vec<Expr> {
 fn expand(expr: &Expr) -> Vec<Expr> {
     match expr {
         Expr::Mat(_) => vec![expr.clone()],
-        Expr::Nonlinear(x) => {
-            expand(x).into_iter().map(|v| Expr::Nonlinear(Box::new(v))).collect()
-        }
+        Expr::Nonlinear(x) => expand(x)
+            .into_iter()
+            .map(|v| Expr::Nonlinear(Box::new(v)))
+            .collect(),
         Expr::Attention { theta } => expand(theta)
             .into_iter()
             .map(|v| Expr::Attention { theta: Box::new(v) })
             .collect(),
         Expr::RowBroadcast { d, x } => expand(x)
             .into_iter()
-            .map(|v| Expr::RowBroadcast { d: d.clone(), x: Box::new(v) })
+            .map(|v| Expr::RowBroadcast {
+                d: d.clone(),
+                x: Box::new(v),
+            })
             .collect(),
-        Expr::Add(es) => cartesian_exprs(es)
-            .into_iter()
-            .map(Expr::Add)
-            .collect(),
+        Expr::Add(es) => cartesian_exprs(es).into_iter().map(Expr::Add).collect(),
         Expr::Chain(es) => {
             let mut out = Vec::new();
             for combo in cartesian_exprs(es) {
@@ -187,7 +191,14 @@ mod tests {
 
     #[test]
     fn sgc_two_hops_is_eight_element_chain() {
-        let e = build(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 2 });
+        let e = build(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 2,
+            },
+        );
         let canon = canonicalize(&e);
         assert_eq!(canon.render(), "(D·A·D·D·A·D·H·W)");
     }
@@ -196,11 +207,17 @@ mod tests {
     fn gin_distribution_moves_the_update() {
         let e = build(ModelKind::Gin, LayerConfig::new(8, 4));
         let vs = variants(&e);
-        assert!(vs.len() >= 2, "expected distributed variant, got {}", vs.len());
+        assert!(
+            vs.len() >= 2,
+            "expected distributed variant, got {}",
+            vs.len()
+        );
         let rendered: Vec<String> = vs.iter().map(Expr::render).collect();
         // The distributed form pushes W1 into both terms of the sum.
         assert!(
-            rendered.iter().any(|r| r.contains("H·W1") && r.contains("A·H·W1")),
+            rendered
+                .iter()
+                .any(|r| r.contains("H·W1") && r.contains("A·H·W1")),
             "{rendered:?}"
         );
     }

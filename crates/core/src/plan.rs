@@ -83,7 +83,9 @@ impl CompiledModel {
         // composition (keep the cheaper program, union the scenarios).
         let mut candidates: Vec<PlanCandidate> = Vec::new();
         for p in promoted {
-            let Some(composition) = assoc::lower(model, &p.program) else { continue };
+            let Some(composition) = assoc::lower(model, &p.program) else {
+                continue;
+            };
             match candidates.iter_mut().find(|c| c.composition == composition) {
                 Some(existing) => {
                     existing.shrink |= p.shrink;
@@ -101,9 +103,17 @@ impl CompiledModel {
             }
         }
         if candidates.is_empty() {
-            return Err(CoreError::NoCandidates { model: model.name().into() });
+            return Err(CoreError::NoCandidates {
+                model: model.name().into(),
+            });
         }
-        Ok(Self { model, hops: cfg.hops, enumerated, pruned, candidates })
+        Ok(Self {
+            model,
+            hops: cfg.hops,
+            enumerated,
+            pruned,
+            candidates,
+        })
     }
 
     /// The candidates eligible under the concrete embedding sizes (Fig 7's
@@ -178,7 +188,10 @@ mod tests {
         assert_eq!(growing.len(), 2);
         let shrinking = plan.eligible(256, 32);
         assert_eq!(shrinking.len(), 1);
-        assert_eq!(shrinking[0].composition, Composition::Gat(GatStrategy::Reuse));
+        assert_eq!(
+            shrinking[0].composition,
+            Composition::Gat(GatStrategy::Reuse)
+        );
         assert!(!plan.needs_cost_models(256, 32));
     }
 
@@ -194,9 +207,18 @@ mod tests {
         ] {
             let plan = CompiledModel::compile(kind, LayerConfig::new(16, 8)).unwrap();
             assert!(!plan.candidates.is_empty(), "{kind}");
-            assert!(!plan.eligible(16, 8).is_empty(), "{kind} shrink scenario empty");
-            assert!(!plan.eligible(8, 16).is_empty(), "{kind} grow scenario empty");
-            assert!(plan.enumerated > plan.candidates.len() || plan.pruned == 0, "{kind}");
+            assert!(
+                !plan.eligible(16, 8).is_empty(),
+                "{kind} shrink scenario empty"
+            );
+            assert!(
+                !plan.eligible(8, 16).is_empty(),
+                "{kind} grow scenario empty"
+            );
+            assert!(
+                plan.enumerated > plan.candidates.len() || plan.pruned == 0,
+                "{kind}"
+            );
         }
     }
 
@@ -205,26 +227,50 @@ mod tests {
     /// typed error instead of exhausting memory.
     #[test]
     fn deep_hops_are_bounded() {
-        let sgc =
-            CompiledModel::compile(ModelKind::Sgc, LayerConfig { k_in: 8, k_out: 4, hops: 3 })
-                .unwrap();
+        let sgc = CompiledModel::compile(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 3,
+            },
+        )
+        .unwrap();
         assert!(!sgc.candidates.is_empty());
         let err = CompiledModel::compile(
             ModelKind::Tagcn,
-            LayerConfig { k_in: 8, k_out: 4, hops: 3 },
+            LayerConfig {
+                k_in: 8,
+                k_out: 4,
+                hops: 3,
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidIr(msg) if msg.contains("budget")), "wrong error");
+        assert!(
+            matches!(err, CoreError::InvalidIr(msg) if msg.contains("budget")),
+            "wrong error"
+        );
     }
 
     #[test]
     fn sgc_keeps_dynamic_and_precompute_candidates() {
-        let plan =
-            CompiledModel::compile(ModelKind::Sgc, LayerConfig { k_in: 16, k_out: 8, hops: 2 })
-                .unwrap();
+        let plan = CompiledModel::compile(
+            ModelKind::Sgc,
+            LayerConfig {
+                k_in: 16,
+                k_out: 8,
+                hops: 2,
+            },
+        )
+        .unwrap();
         let has = |n: NormStrategy| {
-            plan.candidates.iter().any(|c| matches!(c.composition, Composition::Sgc(s, _) if s == n))
+            plan.candidates
+                .iter()
+                .any(|c| matches!(c.composition, Composition::Sgc(s, _) if s == n))
         };
-        assert!(has(NormStrategy::Dynamic) && has(NormStrategy::Precompute), "{plan:#?}");
+        assert!(
+            has(NormStrategy::Dynamic) && has(NormStrategy::Precompute),
+            "{plan:#?}"
+        );
     }
 }

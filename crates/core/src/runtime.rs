@@ -65,33 +65,60 @@ pub fn select(
     models: &CostModelSet,
     iterations: usize,
 ) -> Result<Selection> {
+    let _span = granii_telemetry::span!(
+        "select",
+        model = plan.model.name(),
+        nodes = graph.num_nodes(),
+        k1 = k1,
+        k2 = k2,
+    );
+    // Eligibility filtering is part of the one-time selection overhead
+    // (§VI-C1), even when it resolves the choice outright.
+    let t_eligible = Instant::now();
     let eligible = plan.eligible(k1, k2);
+    let eligible_seconds = t_eligible.elapsed().as_secs_f64();
     if eligible.is_empty() {
-        return Err(CoreError::NoCandidates { model: plan.model.name().into() });
+        return Err(CoreError::NoCandidates {
+            model: plan.model.name().into(),
+        });
     }
+    granii_telemetry::counter_add("select.invocations", 1);
     if eligible.len() == 1 {
         // Pure embedding-size condition: no featurization, no cost models.
+        granii_telemetry::counter_add("select.size_condition_hits", 1);
         return Ok(Selection {
             composition: eligible[0].composition,
             predicted: vec![(eligible[0].composition, 0.0)],
             featurize_seconds: 0.0,
-            select_seconds: 0.0,
+            select_seconds: eligible_seconds,
             used_cost_models: false,
         });
     }
 
     let t0 = Instant::now();
+    let featurize_span = granii_telemetry::span!("select.featurize");
     let input = FeaturizedInput::extract(graph, k1, k2);
+    drop(featurize_span);
     let featurize_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
     let mut predicted: Vec<(Composition, f64)> = Vec::with_capacity(eligible.len());
-    for cand in &eligible {
-        let cost = models.predict_program(&cand.program, &input, iterations)?;
-        predicted.push((cand.composition, cost));
+    {
+        let _cost_span = granii_telemetry::span!("select.cost_eval", candidates = eligible.len());
+        for cand in &eligible {
+            let cost = models.predict_program(&cand.program, &input, iterations)?;
+            predicted.push((cand.composition, cost));
+        }
     }
-    predicted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-    let select_seconds = t1.elapsed().as_secs_f64();
+    {
+        let _argmin_span = granii_telemetry::span!("select.argmin");
+        predicted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    }
+    let select_seconds = eligible_seconds + t1.elapsed().as_secs_f64();
+    granii_telemetry::histogram_record_seconds(
+        "select.overhead",
+        featurize_seconds + select_seconds,
+    );
 
     Ok(Selection {
         composition: predicted[0].0,
@@ -135,7 +162,10 @@ mod tests {
         let sel = select(&plan, &g, 256, 32, &set, DEFAULT_ITERATIONS).unwrap();
         assert!(!sel.used_cost_models);
         assert_eq!(sel.composition, Composition::Gat(GatStrategy::Reuse));
-        assert_eq!(sel.overhead_seconds(), 0.0);
+        // No featurization happens, but the eligibility filter itself is
+        // timed and charged to the selection overhead.
+        assert_eq!(sel.featurize_seconds, 0.0);
+        assert!(sel.select_seconds > 0.0, "{sel:?}");
     }
 
     /// The paper's §III-A intuition must emerge from the learned models:
@@ -154,7 +184,15 @@ mod tests {
             Composition::Gcn(n, _) => n,
             other => panic!("unexpected {other}"),
         };
-        assert_eq!(norm(sparse_sel.composition), NormStrategy::Precompute, "{sparse_sel:?}");
-        assert_eq!(norm(dense_sel.composition), NormStrategy::Dynamic, "{dense_sel:?}");
+        assert_eq!(
+            norm(sparse_sel.composition),
+            NormStrategy::Precompute,
+            "{sparse_sel:?}"
+        );
+        assert_eq!(
+            norm(dense_sel.composition),
+            NormStrategy::Dynamic,
+            "{dense_sel:?}"
+        );
     }
 }

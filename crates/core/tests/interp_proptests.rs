@@ -17,8 +17,14 @@ fn weights(model: ModelKind, cfg: LayerConfig, seed: u64) -> BTreeMap<String, De
     let mut w = BTreeMap::new();
     match model {
         ModelKind::Gin => {
-            w.insert("W1".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed));
-            w.insert("W2".into(), DenseMatrix::random(cfg.k_out, cfg.k_out, 0.6, seed + 1));
+            w.insert(
+                "W1".into(),
+                DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed),
+            );
+            w.insert(
+                "W2".into(),
+                DenseMatrix::random(cfg.k_out, cfg.k_out, 0.6, seed + 1),
+            );
         }
         ModelKind::Tagcn => {
             for k in 0..=cfg.hops {
@@ -29,13 +35,28 @@ fn weights(model: ModelKind, cfg: LayerConfig, seed: u64) -> BTreeMap<String, De
             }
         }
         ModelKind::Sage => {
-            w.insert("W_self".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 7));
-            w.insert("W_neigh".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 8));
+            w.insert(
+                "W_self".into(),
+                DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 7),
+            );
+            w.insert(
+                "W_neigh".into(),
+                DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 8),
+            );
         }
         _ => {
-            w.insert("W".into(), DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 9));
-            w.insert("a_l".into(), DenseMatrix::random(cfg.k_out, 1, 0.6, seed + 10));
-            w.insert("a_r".into(), DenseMatrix::random(cfg.k_out, 1, 0.6, seed + 11));
+            w.insert(
+                "W".into(),
+                DenseMatrix::random(cfg.k_in, cfg.k_out, 0.6, seed + 9),
+            );
+            w.insert(
+                "a_l".into(),
+                DenseMatrix::random(cfg.k_out, 1, 0.6, seed + 10),
+            );
+            w.insert(
+                "a_r".into(),
+                DenseMatrix::random(cfg.k_out, 1, 0.6, seed + 11),
+            );
         }
     }
     w

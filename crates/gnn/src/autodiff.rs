@@ -26,7 +26,10 @@ pub struct Var(usize);
 enum Value {
     Dense(DenseMatrix),
     /// Values attached to `pattern` (attention scores, etc.).
-    Sparse { pattern: Arc<CsrMatrix>, values: Vec<f32> },
+    Sparse {
+        pattern: Arc<CsrMatrix>,
+        values: Vec<f32>,
+    },
 }
 
 /// Gradient accumulated for a tape value.
@@ -41,21 +44,55 @@ pub enum Grad {
 #[derive(Debug, Clone)]
 enum Op {
     Leaf,
-    Gemm { a: usize, b: usize },
+    Gemm {
+        a: usize,
+        b: usize,
+    },
     /// `adj · x` with a constant (non-differentiable) adjacency.
-    SpmmConst { adj: Arc<CsrMatrix>, x: usize, semiring: Semiring, irr: f64 },
+    SpmmConst {
+        adj: Arc<CsrMatrix>,
+        x: usize,
+        semiring: Semiring,
+        irr: f64,
+    },
     /// `A(s) · x` where the adjacency *values* are the sparse var `s`.
-    SpmmVar { s: usize, x: usize, irr: f64 },
-    RowBroadcast { d: Arc<Vec<f32>>, x: usize },
-    Relu { x: usize },
-    Scale { x: usize, c: f32 },
-    Add { a: usize, b: usize },
+    SpmmVar {
+        s: usize,
+        x: usize,
+        irr: f64,
+    },
+    RowBroadcast {
+        d: Arc<Vec<f32>>,
+        x: usize,
+    },
+    Relu {
+        x: usize,
+    },
+    Scale {
+        x: usize,
+        c: f32,
+    },
+    Add {
+        a: usize,
+        b: usize,
+    },
     /// Per-edge `ul_i + vr_j` over a constant mask (GAT logits).
-    SddmmUAddV { mask: Arc<CsrMatrix>, ul: usize, vr: usize, irr: f64 },
+    SddmmUAddV {
+        mask: Arc<CsrMatrix>,
+        ul: usize,
+        vr: usize,
+        irr: f64,
+    },
     /// Leaky ReLU over sparse values.
-    SparseLeakyRelu { x: usize, slope: f32 },
+    SparseLeakyRelu {
+        x: usize,
+        slope: f32,
+    },
     /// Row-wise softmax over sparse values.
-    EdgeSoftmax { x: usize, irr: f64 },
+    EdgeSoftmax {
+        x: usize,
+        irr: f64,
+    },
 }
 
 struct Node {
@@ -66,7 +103,10 @@ struct Node {
 
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node").field("op", &self.op).field("needs_grad", &self.needs_grad).finish()
+        f.debug_struct("Node")
+            .field("op", &self.op)
+            .field("needs_grad", &self.needs_grad)
+            .finish()
     }
 }
 
@@ -102,7 +142,9 @@ pub struct Tape<'e> {
 
 impl std::fmt::Debug for Tape<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tape").field("nodes", &self.nodes.len()).finish()
+        f.debug_struct("Tape")
+            .field("nodes", &self.nodes.len())
+            .finish()
     }
 }
 
@@ -132,7 +174,10 @@ impl Grads {
 impl<'e> Tape<'e> {
     /// Creates an empty tape over the given executor.
     pub fn new(exec: Exec<'e>) -> Self {
-        Self { exec, nodes: Vec::new() }
+        Self {
+            exec,
+            nodes: Vec::new(),
+        }
     }
 
     /// Registers a non-differentiable input.
@@ -146,25 +191,29 @@ impl<'e> Tape<'e> {
     }
 
     fn push(&mut self, value: Value, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
     fn dense(&self, v: Var) -> Result<&DenseMatrix> {
         match &self.nodes[v.0].value {
             Value::Dense(m) => Ok(m),
-            Value::Sparse { .. } => {
-                Err(GnnError::InvalidConfig("expected a dense tape value".into()))
-            }
+            Value::Sparse { .. } => Err(GnnError::InvalidConfig(
+                "expected a dense tape value".into(),
+            )),
         }
     }
 
     fn sparse(&self, v: Var) -> Result<(&Arc<CsrMatrix>, &[f32])> {
         match &self.nodes[v.0].value {
             Value::Sparse { pattern, values } => Ok((pattern, values)),
-            Value::Dense(_) => {
-                Err(GnnError::InvalidConfig("expected a sparse tape value".into()))
-            }
+            Value::Dense(_) => Err(GnnError::InvalidConfig(
+                "expected a sparse tape value".into(),
+            )),
         }
     }
 
@@ -209,7 +258,16 @@ impl<'e> Tape<'e> {
         }
         let out = self.exec.spmm(&adj, self.dense(x)?, semiring, irr)?;
         let needs = self.nodes[x.0].needs_grad;
-        Ok(self.push(Value::Dense(out), Op::SpmmConst { adj, x: x.0, semiring, irr }, needs))
+        Ok(self.push(
+            Value::Dense(out),
+            Op::SpmmConst {
+                adj,
+                x: x.0,
+                semiring,
+                irr,
+            },
+            needs,
+        ))
     }
 
     /// `A(s) · x` where `s` is a sparse var carrying the edge values
@@ -220,10 +278,24 @@ impl<'e> Tape<'e> {
     /// Propagates kernel/shape errors.
     pub fn spmm_var(&mut self, s: Var, x: Var, irr: f64) -> Result<Var> {
         let (pattern, values) = self.sparse(s)?;
-        let weighted = pattern.clone().as_ref().clone().with_values(values.to_vec())?;
-        let out = self.exec.spmm(&weighted, self.dense(x)?, Semiring::plus_mul(), irr)?;
+        let weighted = pattern
+            .clone()
+            .as_ref()
+            .clone()
+            .with_values(values.to_vec())?;
+        let out = self
+            .exec
+            .spmm(&weighted, self.dense(x)?, Semiring::plus_mul(), irr)?;
         let needs = self.nodes[s.0].needs_grad || self.nodes[x.0].needs_grad;
-        Ok(self.push(Value::Dense(out), Op::SpmmVar { s: s.0, x: x.0, irr }, needs))
+        Ok(self.push(
+            Value::Dense(out),
+            Op::SpmmVar {
+                s: s.0,
+                x: x.0,
+                irr,
+            },
+            needs,
+        ))
     }
 
     /// Row-broadcast by a constant vector.
@@ -232,7 +304,9 @@ impl<'e> Tape<'e> {
     ///
     /// Propagates kernel/shape errors.
     pub fn row_broadcast(&mut self, d: Arc<Vec<f32>>, x: Var) -> Result<Var> {
-        let out = self.exec.row_broadcast(&d, self.dense(x)?, BroadcastOp::Mul)?;
+        let out = self
+            .exec
+            .row_broadcast(&d, self.dense(x)?, BroadcastOp::Mul)?;
         let needs = self.nodes[x.0].needs_grad;
         Ok(self.push(Value::Dense(out), Op::RowBroadcast { d, x: x.0 }, needs))
     }
@@ -265,7 +339,9 @@ impl<'e> Tape<'e> {
     ///
     /// Propagates kernel/shape errors.
     pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
-        let out = self.exec.zip(self.dense(a)?, self.dense(b)?, 1, |x, y| x + y)?;
+        let out = self
+            .exec
+            .zip(self.dense(a)?, self.dense(b)?, 1, |x, y| x + y)?;
         let needs = self.nodes[a.0].needs_grad || self.nodes[b.0].needs_grad;
         Ok(self.push(Value::Dense(out), Op::Add { a: a.0, b: b.0 }, needs))
     }
@@ -276,7 +352,13 @@ impl<'e> Tape<'e> {
     /// # Errors
     ///
     /// Propagates kernel/shape errors.
-    pub fn sddmm_u_add_v(&mut self, mask: Arc<CsrMatrix>, ul: Var, vr: Var, irr: f64) -> Result<Var> {
+    pub fn sddmm_u_add_v(
+        &mut self,
+        mask: Arc<CsrMatrix>,
+        ul: Var,
+        vr: Var,
+        irr: f64,
+    ) -> Result<Var> {
         let ul_m = self.dense(ul)?;
         let vr_m = self.dense(vr)?;
         if ul_m.cols() != 1 || vr_m.cols() != 1 {
@@ -286,12 +368,22 @@ impl<'e> Tape<'e> {
                 rhs: vr_m.shape(),
             }));
         }
-        let out = self.exec.sddmm_u_add_v(&mask, ul_m.as_slice(), vr_m.as_slice(), irr)?;
+        let out = self
+            .exec
+            .sddmm_u_add_v(&mask, ul_m.as_slice(), vr_m.as_slice(), irr)?;
         let values = out.values().expect("sddmm output is weighted").to_vec();
         let needs = self.nodes[ul.0].needs_grad || self.nodes[vr.0].needs_grad;
         Ok(self.push(
-            Value::Sparse { pattern: mask.clone(), values },
-            Op::SddmmUAddV { mask, ul: ul.0, vr: vr.0, irr },
+            Value::Sparse {
+                pattern: mask.clone(),
+                values,
+            },
+            Op::SddmmUAddV {
+                mask,
+                ul: ul.0,
+                vr: vr.0,
+                irr,
+            },
             needs,
         ))
     }
@@ -329,7 +421,11 @@ impl<'e> Tape<'e> {
         let out = self.exec.edge_softmax(&weighted, irr)?;
         let values = out.values().expect("weighted").to_vec();
         let needs = self.nodes[x.0].needs_grad;
-        Ok(self.push(Value::Sparse { pattern, values }, Op::EdgeSoftmax { x: x.0, irr }, needs))
+        Ok(self.push(
+            Value::Sparse { pattern, values },
+            Op::EdgeSoftmax { x: x.0, irr },
+            needs,
+        ))
     }
 
     /// Mean-squared-error loss against `target`, followed by a full backward
@@ -371,7 +467,9 @@ impl<'e> Tape<'e> {
         grads[output.0] = Some(seed);
 
         for idx in (0..=output.0).rev() {
-            let Some(grad) = grads[idx].take() else { continue };
+            let Some(grad) = grads[idx].take() else {
+                continue;
+            };
             // Re-store for the caller before propagating (params read it back).
             let op = self.nodes[idx].op.clone();
             match (&op, &grad) {
@@ -392,10 +490,20 @@ impl<'e> Tape<'e> {
                         accumulate(&self.exec, &mut grads[*b], Grad::Dense(gb))?;
                     }
                 }
-                (Op::SpmmConst { adj, x, semiring, irr }, Grad::Dense(g)) => {
+                (
+                    Op::SpmmConst {
+                        adj,
+                        x,
+                        semiring,
+                        irr,
+                    },
+                    Grad::Dense(g),
+                ) => {
                     if grad_needed(&self.nodes, *x) {
                         let back_adj = self.backward_adjacency(adj, *semiring);
-                        let gx = self.exec.spmm(&back_adj, g, backward_semiring(*semiring), *irr)?;
+                        let gx =
+                            self.exec
+                                .spmm(&back_adj, g, backward_semiring(*semiring), *irr)?;
                         accumulate(&self.exec, &mut grads[*x], Grad::Dense(gx))?;
                     }
                 }
@@ -413,7 +521,12 @@ impl<'e> Tape<'e> {
                     if grad_needed(&self.nodes, *s) {
                         // dL/ds_ij = g_i · x_j : an SDDMM of (g, x).
                         let xv = self.dense(Var(*x))?.clone();
-                        let gs = self.exec.sddmm(&pattern.clone().as_ref().clone().drop_values(), g, &xv, *irr)?;
+                        let gs = self.exec.sddmm(
+                            &pattern.clone().as_ref().clone().drop_values(),
+                            g,
+                            &xv,
+                            *irr,
+                        )?;
                         let gvals = gs.values().expect("weighted").to_vec();
                         accumulate(&self.exec, &mut grads[*s], Grad::Sparse(gvals))?;
                     }
@@ -427,7 +540,9 @@ impl<'e> Tape<'e> {
                 (Op::Relu { x }, Grad::Dense(g)) => {
                     if grad_needed(&self.nodes, *x) {
                         let xv = self.dense(Var(*x))?.clone();
-                        let gx = self.exec.zip(g, &xv, 1, |gv, v| if v > 0.0 { gv } else { 0.0 })?;
+                        let gx =
+                            self.exec
+                                .zip(g, &xv, 1, |gv, v| if v > 0.0 { gv } else { 0.0 })?;
                         accumulate(&self.exec, &mut grads[*x], Grad::Dense(gx))?;
                     }
                 }
@@ -493,10 +608,11 @@ impl<'e> Tape<'e> {
                                 // d logit_e = α_e (g_e − Σ_{e'∈row} g_{e'} α_{e'})
                                 let mut out = vec![0f32; g.len()];
                                 for r in 0..pattern.rows() {
-                                    let (s, e) =
-                                        (pattern.indptr()[r] as usize, pattern.indptr()[r + 1] as usize);
-                                    let dot: f32 =
-                                        (s..e).map(|k| g[k] * alpha[k]).sum();
+                                    let (s, e) = (
+                                        pattern.indptr()[r] as usize,
+                                        pattern.indptr()[r + 1] as usize,
+                                    );
+                                    let dot: f32 = (s..e).map(|k| g[k] * alpha[k]).sum();
                                     for k in s..e {
                                         out[k] = alpha[k] * (g[k] - dot);
                                     }
@@ -549,8 +665,10 @@ impl<'e> Tape<'e> {
             ReduceOp::Mean => {
                 // out_i = (1/d_i) Σ_j x_j ⇒ backward edge weight 1/d_src.
                 let deg = adj.out_degrees();
-                let inv: Vec<f32> =
-                    deg.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+                let inv: Vec<f32> = deg
+                    .iter()
+                    .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+                    .collect();
                 let scaled = granii_matrix::ops::scale_csr(Some(&inv), adj, None)
                     .expect("degree vector matches adjacency");
                 self.transpose_csr(&scaled)
@@ -588,7 +706,8 @@ fn accumulate(exec: &Exec, slot: &mut Option<Grad>, incoming: Grad) -> Result<()
         (Some(Grad::Sparse(a)), Grad::Sparse(b)) => {
             let stats = WorkStats::elementwise(a.len(), 1);
             let sum: Vec<f32> = if exec.computes_values() {
-                exec.engine().run(stats, || a.iter().zip(&b).map(|(x, y)| x + y).collect())
+                exec.engine()
+                    .run(stats, || a.iter().zip(&b).map(|(x, y)| x + y).collect())
             } else {
                 exec.engine().charge(stats);
                 vec![0.0; a.len()]
@@ -674,7 +793,8 @@ mod tests {
             move |tape, w| {
                 let x = tape.input(x0.clone());
                 let z = tape.gemm(x, w).unwrap();
-                tape.spmm(adj.clone(), z, Semiring::plus_copy_rhs(), 0.0).unwrap()
+                tape.spmm(adj.clone(), z, Semiring::plus_copy_rhs(), 0.0)
+                    .unwrap()
             },
             w0,
             target,
@@ -738,7 +858,8 @@ mod tests {
             move |tape, w| {
                 let x = tape.input(x0.clone());
                 let z = tape.gemm(x, w).unwrap();
-                tape.spmm(adj.clone(), z, Semiring::mean_copy_rhs(), 0.0).unwrap()
+                tape.spmm(adj.clone(), z, Semiring::mean_copy_rhs(), 0.0)
+                    .unwrap()
             },
             w0,
             target,
@@ -758,7 +879,10 @@ mod tests {
         tape.backward_mse(z, &target).unwrap();
         let backward_entries = e.take_profile().entries.len();
         assert!(forward_entries >= 1);
-        assert!(backward_entries > forward_entries, "backward must charge more work");
+        assert!(
+            backward_entries > forward_entries,
+            "backward must charge more work"
+        );
     }
 
     #[test]
@@ -781,7 +905,9 @@ mod tests {
         let x = tape.input(DenseMatrix::zeros(4, 3).unwrap());
         let w = tape.param(DenseMatrix::zeros(3, 2).unwrap());
         let z = tape.gemm(x, w).unwrap();
-        let (loss, grads) = tape.backward_mse(z, &DenseMatrix::zeros(4, 2).unwrap()).unwrap();
+        let (loss, grads) = tape
+            .backward_mse(z, &DenseMatrix::zeros(4, 2).unwrap())
+            .unwrap();
         assert_eq!(loss, 0.0);
         assert!(grads.dense(w).is_some());
         assert!(e.elapsed_seconds() > 0.0);

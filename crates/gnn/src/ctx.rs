@@ -48,7 +48,12 @@ impl GraphCtx {
         let with_loops = graph.add_self_loops();
         let deg_inv_sqrt = with_loops.deg_inv_sqrt().into_vec();
         let irregularity = with_loops.row_stats().cv;
-        Ok(Self { graph: graph.clone(), with_loops, deg_inv_sqrt, irregularity })
+        Ok(Self {
+            graph: graph.clone(),
+            with_loops,
+            deg_inv_sqrt,
+            irregularity,
+        })
     }
 
     /// The original graph.

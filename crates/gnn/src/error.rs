@@ -33,10 +33,16 @@ impl fmt::Display for GnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GnnError::FeatureMismatch { nodes, rows } => {
-                write!(f, "feature matrix has {rows} rows but the graph has {nodes} nodes")
+                write!(
+                    f,
+                    "feature matrix has {rows} rows but the graph has {nodes} nodes"
+                )
             }
             GnnError::DimensionMismatch { expected, got } => {
-                write!(f, "layer expects input embedding size {expected}, got {got}")
+                write!(
+                    f,
+                    "layer expects input embedding size {expected}, got {got}"
+                )
             }
             GnnError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
             GnnError::Matrix(e) => write!(f, "matrix error: {e}"),

@@ -30,13 +30,19 @@ pub struct Exec<'e> {
 impl<'e> Exec<'e> {
     /// An executor that computes real values.
     pub fn real(engine: &'e Engine) -> Self {
-        Self { engine, compute: true }
+        Self {
+            engine,
+            compute: true,
+        }
     }
 
     /// An executor that only propagates shapes/patterns (zero values) but
     /// charges the same latencies.
     pub fn virtual_only(engine: &'e Engine) -> Self {
-        Self { engine, compute: false }
+        Self {
+            engine,
+            compute: false,
+        }
     }
 
     /// The underlying engine.
@@ -60,7 +66,12 @@ impl<'e> Exec<'e> {
             Ok(self.engine.run(stats, || ops::gemm(a, b))?)
         } else {
             if a.cols() != b.rows() {
-                return Err(MatrixError::ShapeMismatch { op: "gemm", lhs: a.shape(), rhs: b.shape() }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "gemm",
+                    lhs: a.shape(),
+                    rhs: b.shape(),
+                }
+                .into());
             }
             self.engine.charge(stats);
             Ok(DenseMatrix::zeros(a.rows(), b.cols())?)
@@ -85,7 +96,12 @@ impl<'e> Exec<'e> {
             Ok(self.engine.run(stats, || ops::spmm(adj, x, semiring))?)
         } else {
             if adj.cols() != x.rows() {
-                return Err(MatrixError::ShapeMismatch { op: "spmm", lhs: adj.shape(), rhs: x.shape() }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "spmm",
+                    lhs: adj.shape(),
+                    rhs: x.shape(),
+                }
+                .into());
             }
             self.engine.charge(stats);
             Ok(DenseMatrix::zeros(adj.rows(), x.cols())?)
@@ -109,10 +125,18 @@ impl<'e> Exec<'e> {
             Ok(self.engine.run(stats, || ops::sddmm(mask, u, v))?)
         } else {
             if u.cols() != v.cols() || u.rows() != mask.rows() || v.rows() != mask.cols() {
-                return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: u.shape(), rhs: v.shape() }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "sddmm",
+                    lhs: u.shape(),
+                    rhs: v.shape(),
+                }
+                .into());
             }
             self.engine.charge(stats);
-            Ok(mask.clone().drop_values().with_values(vec![0.0; mask.nnz()])?)
+            Ok(mask
+                .clone()
+                .drop_values()
+                .with_values(vec![0.0; mask.nnz()])?)
         }
     }
 
@@ -130,7 +154,9 @@ impl<'e> Exec<'e> {
     ) -> Result<CsrMatrix> {
         let stats = WorkStats::sddmm(mask.rows(), mask.nnz(), 1, irregularity);
         if self.compute {
-            Ok(self.engine.run(stats, || ops::sddmm_u_add_v(mask, ul, vr))?)
+            Ok(self
+                .engine
+                .run(stats, || ops::sddmm_u_add_v(mask, ul, vr))?)
         } else {
             if ul.len() != mask.rows() || vr.len() != mask.cols() {
                 return Err(MatrixError::ShapeMismatch {
@@ -141,7 +167,10 @@ impl<'e> Exec<'e> {
                 .into());
             }
             self.engine.charge(stats);
-            Ok(mask.clone().drop_values().with_values(vec![0.0; mask.nnz()])?)
+            Ok(mask
+                .clone()
+                .drop_values()
+                .with_values(vec![0.0; mask.nnz()])?)
         }
     }
 
@@ -180,13 +209,23 @@ impl<'e> Exec<'e> {
     /// # Errors
     ///
     /// Propagates kernel shape errors.
-    pub fn row_broadcast(&self, d: &[f32], m: &DenseMatrix, op: BroadcastOp) -> Result<DenseMatrix> {
+    pub fn row_broadcast(
+        &self,
+        d: &[f32],
+        m: &DenseMatrix,
+        op: BroadcastOp,
+    ) -> Result<DenseMatrix> {
         let stats = WorkStats::row_broadcast(m.rows(), m.cols());
         if self.compute {
             Ok(self.engine.run(stats, || ops::row_broadcast(d, m, op))?)
         } else {
             if d.len() != m.rows() {
-                return Err(MatrixError::ShapeMismatch { op: "row_broadcast", lhs: (d.len(), 1), rhs: m.shape() }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "row_broadcast",
+                    lhs: (d.len(), 1),
+                    rhs: m.shape(),
+                }
+                .into());
             }
             self.engine.charge(stats);
             Ok(DenseMatrix::zeros(m.rows(), m.cols())?)
@@ -198,13 +237,23 @@ impl<'e> Exec<'e> {
     /// # Errors
     ///
     /// Propagates kernel shape errors.
-    pub fn col_broadcast(&self, m: &DenseMatrix, d: &[f32], op: BroadcastOp) -> Result<DenseMatrix> {
+    pub fn col_broadcast(
+        &self,
+        m: &DenseMatrix,
+        d: &[f32],
+        op: BroadcastOp,
+    ) -> Result<DenseMatrix> {
         let stats = WorkStats::col_broadcast(m.rows(), m.cols());
         if self.compute {
             Ok(self.engine.run(stats, || ops::col_broadcast(m, d, op))?)
         } else {
             if d.len() != m.cols() {
-                return Err(MatrixError::ShapeMismatch { op: "col_broadcast", lhs: m.shape(), rhs: (d.len(), 1) }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "col_broadcast",
+                    lhs: m.shape(),
+                    rhs: (d.len(), 1),
+                }
+                .into());
             }
             self.engine.charge(stats);
             Ok(DenseMatrix::zeros(m.rows(), m.cols())?)
@@ -239,7 +288,12 @@ impl<'e> Exec<'e> {
             Ok(self.engine.run(stats, || a.zip_with(b, f))?)
         } else {
             if a.shape() != b.shape() {
-                return Err(MatrixError::ShapeMismatch { op: "zip_with", lhs: a.shape(), rhs: b.shape() }.into());
+                return Err(MatrixError::ShapeMismatch {
+                    op: "zip_with",
+                    lhs: a.shape(),
+                    rhs: b.shape(),
+                }
+                .into());
             }
             self.engine.charge(stats);
             Ok(DenseMatrix::zeros(a.rows(), a.cols())?)
@@ -253,9 +307,13 @@ impl<'e> Exec<'e> {
     /// Returns an error if the matrix is unweighted.
     pub fn map_csr_values(&self, a: &CsrMatrix, f: impl Fn(f32) -> f32) -> Result<CsrMatrix> {
         let stats = WorkStats::elementwise(a.nnz(), 1);
-        let vals = a.values().ok_or(MatrixError::MissingValues("map_csr_values"))?;
+        let vals = a
+            .values()
+            .ok_or(MatrixError::MissingValues("map_csr_values"))?;
         if self.compute {
-            let out = self.engine.run(stats, || vals.iter().map(|&v| f(v)).collect::<Vec<_>>());
+            let out = self
+                .engine
+                .run(stats, || vals.iter().map(|&v| f(v)).collect::<Vec<_>>());
             Ok(a.clone().drop_values().with_values(out)?)
         } else {
             self.engine.charge(stats);
@@ -357,7 +415,8 @@ mod tests {
         let exec = Exec::virtual_only(&e);
         let x = DenseMatrix::zeros(3, 4).unwrap();
         let unweighted = adj().drop_values();
-        exec.spmm(&unweighted, &x, Semiring::plus_copy_rhs(), 0.0).unwrap();
+        exec.spmm(&unweighted, &x, Semiring::plus_copy_rhs(), 0.0)
+            .unwrap();
         exec.spmm(&adj(), &x, Semiring::plus_mul(), 0.0).unwrap();
         let p = e.take_profile();
         assert_eq!(p.entries[0].kind, PrimitiveKind::SpmmUnweighted);
@@ -373,6 +432,9 @@ mod tests {
         let scan_time = e.take_profile().total_seconds();
         exec.degrees_by_binning(dense_adj.adj());
         let bin_time = e.take_profile().total_seconds();
-        assert!(bin_time > 10.0 * scan_time, "binning {bin_time} vs scan {scan_time}");
+        assert!(
+            bin_time > 10.0 * scan_time,
+            "binning {bin_time} vs scan {scan_time}"
+        );
     }
 }

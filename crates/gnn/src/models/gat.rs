@@ -60,8 +60,7 @@ impl Gat {
         let ul = exec.gemm(&theta, &self.a_l)?;
         let vr = exec.gemm(&theta, &self.a_r)?;
         let logits = exec.sddmm_u_add_v(ctx.adj(), ul.as_slice(), vr.as_slice(), irr)?;
-        let scored =
-            exec.map_csr_values(&logits, |v| if v >= 0.0 { v } else { GAT_SLOPE * v })?;
+        let scored = exec.map_csr_values(&logits, |v| if v >= 0.0 { v } else { GAT_SLOPE * v })?;
         let alpha = exec.edge_softmax(&scored, irr)?;
         Ok((theta, alpha))
     }
@@ -119,9 +118,13 @@ impl MultiHeadGat {
                 cfg.k_out
             )));
         }
-        let head_cfg = LayerConfig { k_out: cfg.k_out / num_heads, ..cfg };
-        let heads =
-            (0..num_heads).map(|i| Gat::new(head_cfg, seed + 101 * i as u64)).collect();
+        let head_cfg = LayerConfig {
+            k_out: cfg.k_out / num_heads,
+            ..cfg
+        };
+        let heads = (0..num_heads)
+            .map(|i| Gat::new(head_cfg, seed + 101 * i as u64))
+            .collect();
         Ok(Self { cfg, heads })
     }
 
@@ -177,7 +180,9 @@ mod tests {
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
         let a = layer.forward(&exec, &ctx, &h, GatStrategy::Reuse).unwrap();
-        let b = layer.forward(&exec, &ctx, &h, GatStrategy::Recompute).unwrap();
+        let b = layer
+            .forward(&exec, &ctx, &h, GatStrategy::Recompute)
+            .unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
     }
 
@@ -208,7 +213,9 @@ mod tests {
         let out = layer.forward(&exec, &ctx, &h, GatStrategy::Reuse).unwrap();
         assert_eq!(out.shape(), (20, 8));
         // Strategies agree for multi-head too.
-        let out2 = layer.forward(&exec, &ctx, &h, GatStrategy::Recompute).unwrap();
+        let out2 = layer
+            .forward(&exec, &ctx, &h, GatStrategy::Recompute)
+            .unwrap();
         assert!(out.max_abs_diff(&out2).unwrap() < 1e-4);
     }
 
@@ -244,7 +251,11 @@ mod tests {
         let count = |strategy| {
             layer.forward(&exec, &ctx, &h, strategy).unwrap();
             let p = engine.take_profile();
-            let gemms = p.entries.iter().filter(|e| e.kind == PrimitiveKind::Gemm).count();
+            let gemms = p
+                .entries
+                .iter()
+                .filter(|e| e.kind == PrimitiveKind::Gemm)
+                .count();
             let spmm_width = p
                 .entries
                 .iter()

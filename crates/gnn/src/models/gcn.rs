@@ -23,7 +23,10 @@ impl Gcn {
     /// Creates a layer with Xavier-style random weights.
     pub fn new(cfg: LayerConfig, seed: u64) -> Self {
         let scale = (2.0 / (cfg.k_in + cfg.k_out) as f32).sqrt();
-        Self { cfg, w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed) }
+        Self {
+            cfg,
+            w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+        }
     }
 
     /// Layer configuration.
@@ -48,7 +51,9 @@ impl Gcn {
             NormStrategy::Precompute => {
                 let d = ctx.deg_inv_sqrt();
                 let norm_adj = exec.scale_csr(Some(d), ctx.adj(), Some(d), ctx.irregularity())?;
-                Ok(Prepared { norm_adj: Some(norm_adj) })
+                Ok(Prepared {
+                    norm_adj: Some(norm_adj),
+                })
             }
         }
     }
@@ -96,7 +101,8 @@ impl Gcn {
                     .expect("precompute composition requires prepared normalized adjacency");
                 match order {
                     OpOrder::AggregateFirst => {
-                        let agg = exec.spmm(norm_adj, h, Semiring::plus_mul(), ctx.irregularity())?;
+                        let agg =
+                            exec.spmm(norm_adj, h, Semiring::plus_mul(), ctx.irregularity())?;
                         exec.gemm(&agg, &self.w)?
                     }
                     OpOrder::UpdateFirst => {
@@ -127,15 +133,45 @@ mod tests {
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
         let p = layer.prepare(&exec, &ctx, NormStrategy::Dynamic).unwrap();
-        layer.forward(&exec, &ctx, &p, &h, NormStrategy::Dynamic, OpOrder::AggregateFirst).unwrap();
-        let kinds: Vec<_> = engine.take_profile().entries.iter().map(|e| e.kind).collect();
+        layer
+            .forward(
+                &exec,
+                &ctx,
+                &p,
+                &h,
+                NormStrategy::Dynamic,
+                OpOrder::AggregateFirst,
+            )
+            .unwrap();
+        let kinds: Vec<_> = engine
+            .take_profile()
+            .entries
+            .iter()
+            .map(|e| e.kind)
+            .collect();
         assert!(kinds.contains(&PrimitiveKind::RowBroadcast));
         assert!(!kinds.contains(&PrimitiveKind::Sddmm));
         assert!(kinds.contains(&PrimitiveKind::SpmmUnweighted));
 
-        let p = layer.prepare(&exec, &ctx, NormStrategy::Precompute).unwrap();
-        layer.forward(&exec, &ctx, &p, &h, NormStrategy::Precompute, OpOrder::UpdateFirst).unwrap();
-        let kinds: Vec<_> = engine.take_profile().entries.iter().map(|e| e.kind).collect();
+        let p = layer
+            .prepare(&exec, &ctx, NormStrategy::Precompute)
+            .unwrap();
+        layer
+            .forward(
+                &exec,
+                &ctx,
+                &p,
+                &h,
+                NormStrategy::Precompute,
+                OpOrder::UpdateFirst,
+            )
+            .unwrap();
+        let kinds: Vec<_> = engine
+            .take_profile()
+            .entries
+            .iter()
+            .map(|e| e.kind)
+            .collect();
         assert!(kinds.contains(&PrimitiveKind::Sddmm)); // prepare's edge scaling
         assert!(!kinds.contains(&PrimitiveKind::RowBroadcast));
         assert!(kinds.contains(&PrimitiveKind::SpmmWeighted));
@@ -151,7 +187,14 @@ mod tests {
         let coo = CooMatrix::from_entries(
             3,
             3,
-            &[(0, 1, 2.0), (1, 0, 2.0), (1, 2, 0.5), (2, 1, 0.5), (0, 2, 3.0), (2, 0, 3.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 0, 2.0),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (0, 2, 3.0),
+                (2, 0, 3.0),
+            ],
         )
         .unwrap();
         let g = granii_graph::Graph::from_csr(coo.to_csr()).unwrap();
@@ -165,14 +208,18 @@ mod tests {
         // Dense reference: relu(D^-1/2 Ã D^-1/2 H W) with real edge values.
         let d = ctx.deg_inv_sqrt().to_vec();
         let norm = ops::scale_csr(Some(&d), ctx.adj(), Some(&d)).unwrap();
-        let reference = ops::gemm(&norm.to_dense().unwrap(), &ops::gemm(&h, layer.weight()).unwrap())
-            .unwrap()
-            .relu();
+        let reference = ops::gemm(
+            &norm.to_dense().unwrap(),
+            &ops::gemm(&h, layer.weight()).unwrap(),
+        )
+        .unwrap()
+        .relu();
 
         for norm_s in [NormStrategy::Dynamic, NormStrategy::Precompute] {
             let p = layer.prepare(&exec, &ctx, norm_s).unwrap();
-            let out =
-                layer.forward(&exec, &ctx, &p, &h, norm_s, OpOrder::AggregateFirst).unwrap();
+            let out = layer
+                .forward(&exec, &ctx, &p, &h, norm_s, OpOrder::AggregateFirst)
+                .unwrap();
             assert!(
                 out.max_abs_diff(&reference).unwrap() < 1e-4,
                 "{norm_s:?} ignores edge weights"
@@ -188,12 +235,29 @@ mod tests {
         let layer = Gcn::new(LayerConfig::new(6, 2), 3);
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
-        let p = layer.prepare(&exec, &ctx, NormStrategy::Precompute).unwrap();
+        let p = layer
+            .prepare(&exec, &ctx, NormStrategy::Precompute)
+            .unwrap();
         engine.take_profile();
-        layer.forward(&exec, &ctx, &p, &h, NormStrategy::Precompute, OpOrder::UpdateFirst).unwrap();
+        layer
+            .forward(
+                &exec,
+                &ctx,
+                &p,
+                &h,
+                NormStrategy::Precompute,
+                OpOrder::UpdateFirst,
+            )
+            .unwrap();
         let entries = engine.take_profile().entries;
-        let gemm_pos = entries.iter().position(|e| e.kind == PrimitiveKind::Gemm).unwrap();
-        let spmm_pos = entries.iter().position(|e| e.kind == PrimitiveKind::SpmmWeighted).unwrap();
+        let gemm_pos = entries
+            .iter()
+            .position(|e| e.kind == PrimitiveKind::Gemm)
+            .unwrap();
+        let spmm_pos = entries
+            .iter()
+            .position(|e| e.kind == PrimitiveKind::SpmmWeighted)
+            .unwrap();
         assert!(gemm_pos < spmm_pos);
         // Aggregation runs at the *output* width 2 under update-first.
         assert_eq!(entries[spmm_pos].stats.bytes_written, (10 * 2 * 4) as u64);

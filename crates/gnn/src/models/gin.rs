@@ -91,8 +91,12 @@ mod tests {
         let layer = Gin::new(LayerConfig::new(6, 3), 8);
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
-        let a = layer.forward(&exec, &ctx, &h, OpOrder::AggregateFirst).unwrap();
-        let b = layer.forward(&exec, &ctx, &h, OpOrder::UpdateFirst).unwrap();
+        let a = layer
+            .forward(&exec, &ctx, &h, OpOrder::AggregateFirst)
+            .unwrap();
+        let b = layer
+            .forward(&exec, &ctx, &h, OpOrder::UpdateFirst)
+            .unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
     }
 
@@ -104,7 +108,9 @@ mod tests {
         let layer = Gin::new(LayerConfig::new(8, 2), 8);
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
-        layer.forward(&exec, &ctx, &h, OpOrder::UpdateFirst).unwrap();
+        layer
+            .forward(&exec, &ctx, &h, OpOrder::UpdateFirst)
+            .unwrap();
         let spmm = engine
             .take_profile()
             .entries
@@ -123,11 +129,20 @@ mod tests {
         let layer = Gin::new(LayerConfig::new(2, 2), 1);
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
-        let h1 = DenseMatrix::from_rows(&[[1.0, 0.0].as_slice(), [0.0, 1.0].as_slice(), [5.0, 5.0].as_slice()]).unwrap();
+        let h1 = DenseMatrix::from_rows(&[
+            [1.0, 0.0].as_slice(),
+            [0.0, 1.0].as_slice(),
+            [5.0, 5.0].as_slice(),
+        ])
+        .unwrap();
         let mut h2 = h1.clone();
         h2.set(0, 0, 9.0); // change node 0; node 2 must be unaffected
-        let o1 = layer.forward(&exec, &ctx, &h1, OpOrder::AggregateFirst).unwrap();
-        let o2 = layer.forward(&exec, &ctx, &h2, OpOrder::AggregateFirst).unwrap();
+        let o1 = layer
+            .forward(&exec, &ctx, &h1, OpOrder::AggregateFirst)
+            .unwrap();
+        let o2 = layer
+            .forward(&exec, &ctx, &h2, OpOrder::AggregateFirst)
+            .unwrap();
         assert_eq!(o1.row(2), o2.row(2));
         assert_ne!(o1.row(1), o2.row(1));
     }

@@ -192,10 +192,16 @@ impl GnnLayer {
 /// Validates the feature matrix against the graph and layer config.
 pub(crate) fn check_input(ctx: &GraphCtx, h: &DenseMatrix, cfg: LayerConfig) -> Result<()> {
     if h.rows() != ctx.num_nodes() {
-        return Err(GnnError::FeatureMismatch { nodes: ctx.num_nodes(), rows: h.rows() });
+        return Err(GnnError::FeatureMismatch {
+            nodes: ctx.num_nodes(),
+            rows: h.rows(),
+        });
     }
     if h.cols() != cfg.k_in {
-        return Err(GnnError::DimensionMismatch { expected: cfg.k_in, got: h.cols() });
+        return Err(GnnError::DimensionMismatch {
+            expected: cfg.k_in,
+            got: h.cols(),
+        });
     }
     Ok(())
 }
@@ -272,7 +278,9 @@ mod tests {
         let layer = GnnLayer::new(ModelKind::Gcn, LayerConfig::new(8, 6), 1).unwrap();
         let gat_comp = Composition::all_for(ModelKind::Gat)[0];
         assert!(layer.prepare(&exec, &ctx, gat_comp).is_err());
-        assert!(layer.forward(&exec, &ctx, &Prepared::default(), &h, gat_comp).is_err());
+        assert!(layer
+            .forward(&exec, &ctx, &Prepared::default(), &h, gat_comp)
+            .is_err());
     }
 
     #[test]
@@ -290,7 +298,10 @@ mod tests {
         let wrong_width = DenseMatrix::zeros(40, 5).unwrap();
         assert!(matches!(
             layer.forward(&exec, &ctx, &p, &wrong_width, comp),
-            Err(GnnError::DimensionMismatch { expected: 8, got: 5 })
+            Err(GnnError::DimensionMismatch {
+                expected: 8,
+                got: 5
+            })
         ));
     }
 

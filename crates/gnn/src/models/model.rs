@@ -56,7 +56,9 @@ impl Model {
     /// any layer configuration is invalid.
     pub fn new(kind: ModelKind, dims: &[usize], seed: u64) -> Result<Self> {
         if dims.len() < 2 {
-            return Err(GnnError::InvalidConfig("a model needs at least one layer".into()));
+            return Err(GnnError::InvalidConfig(
+                "a model needs at least one layer".into(),
+            ));
         }
         let layers = dims
             .windows(2)
@@ -92,7 +94,12 @@ impl Model {
     ///
     /// Returns [`GnnError::InvalidConfig`] if `comps.len() != num_layers()` or
     /// a composition belongs to a different model kind.
-    pub fn prepare(&self, exec: &Exec, ctx: &GraphCtx, comps: &[Composition]) -> Result<Vec<Prepared>> {
+    pub fn prepare(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        comps: &[Composition],
+    ) -> Result<Vec<Prepared>> {
         self.check_assignment(comps)?;
         self.layers
             .iter()
@@ -174,8 +181,11 @@ mod tests {
         let exec = Exec::real(&engine);
         let model = Model::new(ModelKind::Gcn, &[6, 12, 8, 3], 9).unwrap();
         assert_eq!(model.num_layers(), 3);
-        let comps: Vec<_> =
-            model.layer_configs().iter().map(|_| Composition::all_for(ModelKind::Gcn)[2]).collect();
+        let comps: Vec<_> = model
+            .layer_configs()
+            .iter()
+            .map(|_| Composition::all_for(ModelKind::Gcn)[2])
+            .collect();
         let h = DenseMatrix::random(30, 6, 1.0, 2);
         let out = model.forward(&exec, &ctx, &h, &comps).unwrap();
         assert_eq!(out.shape(), (30, 3));

@@ -79,8 +79,12 @@ mod tests {
         let layer = Sage::new(LayerConfig::new(5, 3), 22);
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
-        let a = layer.forward(&exec, &ctx, &h, OpOrder::AggregateFirst).unwrap();
-        let b = layer.forward(&exec, &ctx, &h, OpOrder::UpdateFirst).unwrap();
+        let a = layer
+            .forward(&exec, &ctx, &h, OpOrder::AggregateFirst)
+            .unwrap();
+        let b = layer
+            .forward(&exec, &ctx, &h, OpOrder::UpdateFirst)
+            .unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
     }
 
@@ -93,7 +97,9 @@ mod tests {
         let layer = Sage::new(LayerConfig::new(4, 4), 25);
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
-        let out = layer.forward(&exec, &ctx, &h, OpOrder::AggregateFirst).unwrap();
+        let out = layer
+            .forward(&exec, &ctx, &h, OpOrder::AggregateFirst)
+            .unwrap();
         assert_eq!(out.shape(), (100, 4));
     }
 
@@ -105,7 +111,9 @@ mod tests {
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
         let h = DenseMatrix::from_rows(&[[1.0, 2.0].as_slice(), [3.0, 4.0].as_slice()]).unwrap();
-        let out = layer.forward(&exec, &ctx, &h, OpOrder::AggregateFirst).unwrap();
+        let out = layer
+            .forward(&exec, &ctx, &h, OpOrder::AggregateFirst)
+            .unwrap();
         // Node 1 has no out-neighbors: output = relu(h1 · w_self).
         let expected = granii_matrix::ops::gemm(&h, &layer.w_self).unwrap().relu();
         for j in 0..2 {

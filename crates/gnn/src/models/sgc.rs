@@ -22,7 +22,10 @@ impl Sgc {
     /// Creates a layer with deterministic random weights.
     pub fn new(cfg: LayerConfig, seed: u64) -> Self {
         let scale = (2.0 / (cfg.k_in + cfg.k_out) as f32).sqrt();
-        Self { cfg, w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed) }
+        Self {
+            cfg,
+            w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+        }
     }
 
     /// Layer configuration.
@@ -41,7 +44,9 @@ impl Sgc {
             NormStrategy::Precompute => {
                 let d = ctx.deg_inv_sqrt();
                 let norm_adj = exec.scale_csr(Some(d), ctx.adj(), Some(d), ctx.irregularity())?;
-                Ok(Prepared { norm_adj: Some(norm_adj) })
+                Ok(Prepared {
+                    norm_adj: Some(norm_adj),
+                })
             }
         }
     }
@@ -67,8 +72,7 @@ impl Sgc {
                     NormStrategy::Dynamic => {
                         let d = ctx.deg_inv_sqrt();
                         let t = exec.row_broadcast(d, &x, BroadcastOp::Mul)?;
-                        let t =
-                            exec.spmm(ctx.adj(), &t, ctx.sum_semiring(), ctx.irregularity())?;
+                        let t = exec.spmm(ctx.adj(), &t, ctx.sum_semiring(), ctx.irregularity())?;
                         exec.row_broadcast(d, &t, BroadcastOp::Mul)?
                     }
                     NormStrategy::Precompute => {
@@ -110,11 +114,27 @@ mod tests {
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
         for hops in [1usize, 2, 3] {
-            let layer = Sgc::new(LayerConfig { k_in: 4, k_out: 4, hops }, 2);
-            let p = layer.prepare(&exec, &ctx, NormStrategy::Precompute).unwrap();
+            let layer = Sgc::new(
+                LayerConfig {
+                    k_in: 4,
+                    k_out: 4,
+                    hops,
+                },
+                2,
+            );
+            let p = layer
+                .prepare(&exec, &ctx, NormStrategy::Precompute)
+                .unwrap();
             engine.take_profile();
             layer
-                .forward(&exec, &ctx, &p, &h, NormStrategy::Precompute, OpOrder::AggregateFirst)
+                .forward(
+                    &exec,
+                    &ctx,
+                    &p,
+                    &h,
+                    NormStrategy::Precompute,
+                    OpOrder::AggregateFirst,
+                )
                 .unwrap();
             let spmms = engine
                 .take_profile()
@@ -131,7 +151,14 @@ mod tests {
         let g = generators::power_law(30, 3, 4).unwrap();
         let ctx = GraphCtx::new(&g).unwrap();
         let h = DenseMatrix::random(30, 5, 1.0, 6);
-        let layer = Sgc::new(LayerConfig { k_in: 5, k_out: 3, hops: 2 }, 7);
+        let layer = Sgc::new(
+            LayerConfig {
+                k_in: 5,
+                k_out: 3,
+                hops: 2,
+            },
+            7,
+        );
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
         let mut outs = Vec::new();

@@ -46,7 +46,9 @@ impl Tagcn {
             NormStrategy::Precompute => {
                 let d = ctx.deg_inv_sqrt();
                 let norm_adj = exec.scale_csr(Some(d), ctx.adj(), Some(d), ctx.irregularity())?;
-                Ok(Prepared { norm_adj: Some(norm_adj) })
+                Ok(Prepared {
+                    norm_adj: Some(norm_adj),
+                })
             }
         }
     }
@@ -130,7 +132,14 @@ mod tests {
         let g = generators::power_law(25, 3, 10).unwrap();
         let ctx = GraphCtx::new(&g).unwrap();
         let h = DenseMatrix::random(25, 5, 1.0, 11);
-        let layer = Tagcn::new(LayerConfig { k_in: 5, k_out: 4, hops: 2 }, 12);
+        let layer = Tagcn::new(
+            LayerConfig {
+                k_in: 5,
+                k_out: 4,
+                hops: 2,
+            },
+            12,
+        );
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
         let mut outs = Vec::new();
@@ -150,13 +159,29 @@ mod tests {
         let g = generators::ring(16).unwrap();
         let ctx = GraphCtx::new(&g).unwrap();
         let h = DenseMatrix::random(16, 8, 1.0, 1);
-        let layer = Tagcn::new(LayerConfig { k_in: 8, k_out: 2, hops: 2 }, 2);
+        let layer = Tagcn::new(
+            LayerConfig {
+                k_in: 8,
+                k_out: 2,
+                hops: 2,
+            },
+            2,
+        );
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
-        let p = layer.prepare(&exec, &ctx, NormStrategy::Precompute).unwrap();
+        let p = layer
+            .prepare(&exec, &ctx, NormStrategy::Precompute)
+            .unwrap();
         engine.take_profile();
         layer
-            .forward(&exec, &ctx, &p, &h, NormStrategy::Precompute, OpOrder::UpdateFirst)
+            .forward(
+                &exec,
+                &ctx,
+                &p,
+                &h,
+                NormStrategy::Precompute,
+                OpOrder::UpdateFirst,
+            )
             .unwrap();
         for e in engine.take_profile().entries {
             if e.kind == PrimitiveKind::SpmmWeighted {
@@ -170,14 +195,28 @@ mod tests {
         let g = generators::ring(8).unwrap();
         let ctx = GraphCtx::new(&g).unwrap();
         let h = DenseMatrix::random(8, 3, 1.0, 1);
-        let layer = Tagcn::new(LayerConfig { k_in: 3, k_out: 3, hops: 1 }, 2);
+        let layer = Tagcn::new(
+            LayerConfig {
+                k_in: 3,
+                k_out: 3,
+                hops: 1,
+            },
+            2,
+        );
         // hops = 1 still aggregates once; verify the weight count.
         assert_eq!(layer.ws.len(), 2);
         let engine = Engine::modeled(DeviceKind::Cpu);
         let exec = Exec::real(&engine);
         let p = layer.prepare(&exec, &ctx, NormStrategy::Dynamic).unwrap();
         let out = layer
-            .forward(&exec, &ctx, &p, &h, NormStrategy::Dynamic, OpOrder::AggregateFirst)
+            .forward(
+                &exec,
+                &ctx,
+                &p,
+                &h,
+                NormStrategy::Dynamic,
+                OpOrder::AggregateFirst,
+            )
             .unwrap();
         assert_eq!(out.shape(), (8, 3));
     }

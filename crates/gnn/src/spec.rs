@@ -31,8 +31,13 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// The five models of the main evaluation (Table III order).
-    pub const EVAL: [ModelKind; 5] =
-        [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat];
+    pub const EVAL: [ModelKind; 5] = [
+        ModelKind::Gcn,
+        ModelKind::Gin,
+        ModelKind::Sgc,
+        ModelKind::Tagcn,
+        ModelKind::Gat,
+    ];
 
     /// Short stable name.
     pub fn name(self) -> &'static str {
@@ -67,7 +72,11 @@ pub struct LayerConfig {
 impl LayerConfig {
     /// A layer configuration with the default hop count (2).
     pub fn new(k_in: usize, k_out: usize) -> Self {
-        Self { k_in, k_out, hops: 2 }
+        Self {
+            k_in,
+            k_out,
+            hops: 2,
+        }
     }
 
     /// Validates embedding sizes and hops.
@@ -174,7 +183,10 @@ impl Composition {
                 Composition::Gcn(Precompute, UpdateFirst),
             ],
             ModelKind::Gin => {
-                vec![Composition::Gin(AggregateFirst), Composition::Gin(UpdateFirst)]
+                vec![
+                    Composition::Gin(AggregateFirst),
+                    Composition::Gin(UpdateFirst),
+                ]
             }
             ModelKind::Sgc => vec![
                 Composition::Sgc(Dynamic, AggregateFirst),
@@ -190,7 +202,10 @@ impl Composition {
             ],
             ModelKind::Gat => vec![Composition::Gat(Reuse), Composition::Gat(Recompute)],
             ModelKind::Sage => {
-                vec![Composition::Sage(AggregateFirst), Composition::Sage(UpdateFirst)]
+                vec![
+                    Composition::Sage(AggregateFirst),
+                    Composition::Sage(UpdateFirst),
+                ]
             }
         }
     }
@@ -252,7 +267,14 @@ mod tests {
 
     #[test]
     fn compositions_belong_to_their_model() {
-        for kind in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc, ModelKind::Tagcn, ModelKind::Gat, ModelKind::Sage] {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gin,
+            ModelKind::Sgc,
+            ModelKind::Tagcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
             for comp in Composition::all_for(kind) {
                 assert_eq!(comp.model(), kind);
             }
@@ -277,6 +299,12 @@ mod tests {
         assert!(LayerConfig::new(32, 32).validate().is_ok());
         assert!(LayerConfig::new(0, 32).validate().is_err());
         assert!(LayerConfig::new(32, 0).validate().is_err());
-        assert!(LayerConfig { k_in: 8, k_out: 8, hops: 0 }.validate().is_err());
+        assert!(LayerConfig {
+            k_in: 8,
+            k_out: 8,
+            hops: 0
+        }
+        .validate()
+        .is_err());
     }
 }

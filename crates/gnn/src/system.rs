@@ -46,8 +46,11 @@ impl System {
     /// The composition this system's available implementation runs by default
     /// for a model and layer configuration.
     pub fn default_composition(self, kind: ModelKind, cfg: LayerConfig) -> Composition {
-        let config_order =
-            if cfg.k_in > cfg.k_out { OpOrder::UpdateFirst } else { OpOrder::AggregateFirst };
+        let config_order = if cfg.k_in > cfg.k_out {
+            OpOrder::UpdateFirst
+        } else {
+            OpOrder::AggregateFirst
+        };
         match (self, kind) {
             (System::WiseGraph, ModelKind::Gcn) => {
                 Composition::Gcn(NormStrategy::Dynamic, config_order)
@@ -157,7 +160,12 @@ impl BaselineRunner {
         let layer = GnnLayer::new(kind, cfg, seed)?;
         let comp = system.default_composition(kind, cfg);
         let prepared = layer.prepare(exec, ctx, comp)?;
-        Ok(Self { system, layer, comp, prepared })
+        Ok(Self {
+            system,
+            layer,
+            comp,
+            prepared,
+        })
     }
 
     /// The composition the baseline runs.
@@ -179,6 +187,13 @@ impl BaselineRunner {
     ///
     /// Propagates kernel errors.
     pub fn iterate(&self, exec: &Exec, ctx: &GraphCtx, h: &DenseMatrix) -> Result<DenseMatrix> {
+        let _span = granii_telemetry::span!(
+            "baseline.iterate",
+            system = self.system.name(),
+            model = self.layer.kind().name(),
+            nodes = ctx.graph().num_nodes(),
+        );
+        granii_telemetry::counter_add("baseline.iterations", 1);
         self.charge_normalization(exec, ctx);
         self.layer.forward(exec, ctx, &self.prepared, h, self.comp)
     }
@@ -247,9 +262,15 @@ mod tests {
         let ctx = GraphCtx::new(&g).unwrap();
         let engine = Engine::modeled(DeviceKind::A100);
         let exec = Exec::real(&engine);
-        let runner =
-            BaselineRunner::new(System::WiseGraph, ModelKind::Gcn, LayerConfig::new(8, 8), 1, &exec, &ctx)
-                .unwrap();
+        let runner = BaselineRunner::new(
+            System::WiseGraph,
+            ModelKind::Gcn,
+            LayerConfig::new(8, 8),
+            1,
+            &exec,
+            &ctx,
+        )
+        .unwrap();
         engine.take_profile();
         let h = DenseMatrix::random(50, 8, 1.0, 2);
         runner.iterate(&exec, &ctx, &h).unwrap();
@@ -269,13 +290,24 @@ mod tests {
         let ctx = GraphCtx::new(&g).unwrap();
         let engine = Engine::modeled(DeviceKind::A100);
         let exec = Exec::real(&engine);
-        let runner =
-            BaselineRunner::new(System::Dgl, ModelKind::Gcn, LayerConfig::new(8, 8), 1, &exec, &ctx)
-                .unwrap();
+        let runner = BaselineRunner::new(
+            System::Dgl,
+            ModelKind::Gcn,
+            LayerConfig::new(8, 8),
+            1,
+            &exec,
+            &ctx,
+        )
+        .unwrap();
         engine.take_profile();
         let h = DenseMatrix::random(50, 8, 1.0, 2);
         runner.iterate(&exec, &ctx, &h).unwrap();
-        let kinds: Vec<_> = engine.take_profile().entries.iter().map(|e| e.kind).collect();
+        let kinds: Vec<_> = engine
+            .take_profile()
+            .entries
+            .iter()
+            .map(|e| e.kind)
+            .collect();
         assert!(!kinds.contains(&PrimitiveKind::Binning));
     }
 
@@ -285,13 +317,24 @@ mod tests {
         let ctx = GraphCtx::new(&g).unwrap();
         let engine = Engine::modeled(DeviceKind::H100);
         let exec = Exec::real(&engine);
-        let runner =
-            BaselineRunner::new(System::WiseGraph, ModelKind::Gin, LayerConfig::new(4, 4), 1, &exec, &ctx)
-                .unwrap();
+        let runner = BaselineRunner::new(
+            System::WiseGraph,
+            ModelKind::Gin,
+            LayerConfig::new(4, 4),
+            1,
+            &exec,
+            &ctx,
+        )
+        .unwrap();
         engine.take_profile();
         let h = DenseMatrix::random(20, 4, 1.0, 2);
         runner.iterate(&exec, &ctx, &h).unwrap();
-        let kinds: Vec<_> = engine.take_profile().entries.iter().map(|e| e.kind).collect();
+        let kinds: Vec<_> = engine
+            .take_profile()
+            .entries
+            .iter()
+            .map(|e| e.kind)
+            .collect();
         assert!(!kinds.contains(&PrimitiveKind::Binning));
     }
 
@@ -319,6 +362,9 @@ mod tests {
         engine.take_profile();
         layer.forward(&exec, &ctx, &p, &h, comp).unwrap();
         let granii = engine.take_profile().total_seconds();
-        assert!(baseline > 2.0 * granii, "baseline {baseline} vs granii {granii}");
+        assert!(
+            baseline > 2.0 * granii,
+            "baseline {baseline} vs granii {granii}"
+        );
     }
 }

@@ -19,12 +19,28 @@ use crate::{Exec, GnnError, GraphCtx, Result};
 /// Trainable parameters of one layer, by model kind.
 #[derive(Debug, Clone)]
 enum Params {
-    Gcn { w: DenseMatrix },
-    Gin { w1: DenseMatrix, w2: DenseMatrix },
-    Sgc { w: DenseMatrix },
-    Tagcn { ws: Vec<DenseMatrix> },
-    Gat { w: DenseMatrix, a_l: DenseMatrix, a_r: DenseMatrix },
-    Sage { w_self: DenseMatrix, w_neigh: DenseMatrix },
+    Gcn {
+        w: DenseMatrix,
+    },
+    Gin {
+        w1: DenseMatrix,
+        w2: DenseMatrix,
+    },
+    Sgc {
+        w: DenseMatrix,
+    },
+    Tagcn {
+        ws: Vec<DenseMatrix>,
+    },
+    Gat {
+        w: DenseMatrix,
+        a_l: DenseMatrix,
+        a_r: DenseMatrix,
+    },
+    Sage {
+        w_self: DenseMatrix,
+        w_neigh: DenseMatrix,
+    },
 }
 
 /// Gradient-descent optimizers for [`Trainer`].
@@ -53,7 +69,15 @@ enum OptimizerKind {
 impl Optimizer {
     /// Plain stochastic gradient descent.
     pub fn sgd(lr: f32) -> Self {
-        Self { kind: OptimizerKind::Sgd, lr, beta1: 0.0, beta2: 0.0, eps: 0.0, t: 0, state: Vec::new() }
+        Self {
+            kind: OptimizerKind::Sgd,
+            lr,
+            beta1: 0.0,
+            beta2: 0.0,
+            eps: 0.0,
+            t: 0,
+            state: Vec::new(),
+        }
     }
 
     /// Adam with the standard moment coefficients (0.9, 0.999).
@@ -186,12 +210,16 @@ impl Trainer {
         }
         let scale = (2.0 / (cfg.k_in + cfg.k_out) as f32).sqrt();
         let params = match kind {
-            ModelKind::Gcn => Params::Gcn { w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed) },
+            ModelKind::Gcn => Params::Gcn {
+                w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+            },
             ModelKind::Gin => Params::Gin {
                 w1: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
                 w2: DenseMatrix::random(cfg.k_out, cfg.k_out, scale, seed + 1),
             },
-            ModelKind::Sgc => Params::Sgc { w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed) },
+            ModelKind::Sgc => Params::Sgc {
+                w: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+            },
             ModelKind::Tagcn => Params::Tagcn {
                 ws: (0..=cfg.hops)
                     .map(|k| DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed + k as u64))
@@ -207,7 +235,12 @@ impl Trainer {
                 w_neigh: DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed + 1),
             },
         };
-        Ok(Self { kind, cfg, params, optimizer })
+        Ok(Self {
+            kind,
+            cfg,
+            params,
+            optimizer,
+        })
     }
 
     /// The model kind being trained.
@@ -237,6 +270,14 @@ impl Trainer {
             )));
         }
         crate::models::check_input(ctx, h, self.cfg)?;
+        let _span = granii_telemetry::span!(
+            "train.step",
+            model = self.kind.name(),
+            nodes = ctx.graph().num_nodes(),
+            k_in = self.cfg.k_in,
+            k_out = self.cfg.k_out,
+        );
+        granii_telemetry::counter_add("train.steps", 1);
         let mut tape = Tape::new(*exec);
         let (pred, param_vars) = self.build_forward(&mut tape, ctx, h, comp)?;
         let (loss, grads) = tape.backward_mse(pred, target)?;
@@ -346,8 +387,7 @@ impl Trainer {
                         x = match norm {
                             NormStrategy::Dynamic => {
                                 let t = tape.row_broadcast(d.clone(), x)?;
-                                let t =
-                                    tape.spmm(adj.clone(), t, ctx.sum_semiring(), irr)?;
+                                let t = tape.spmm(adj.clone(), t, ctx.sum_semiring(), irr)?;
                                 tape.row_broadcast(d.clone(), t)?
                             }
                             NormStrategy::Precompute => {

@@ -11,12 +11,14 @@ use granii_matrix::DenseMatrix;
 use proptest::prelude::*;
 
 fn random_graph() -> impl Strategy<Value = Graph> {
-    (3usize..25, proptest::collection::vec((0usize..25, 0usize..25), 1..60)).prop_map(
-        |(n, edges)| {
+    (
+        3usize..25,
+        proptest::collection::vec((0usize..25, 0usize..25), 1..60),
+    )
+        .prop_map(|(n, edges)| {
             let edges: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
             Graph::undirected_from_edges(n, &edges).expect("in range")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -103,8 +103,12 @@ impl Dataset {
             (Dataset::Mycielskian17, Scale::Tiny) => generators::mycielskian(9)?,
             (Dataset::BelgiumOsm, Scale::Small) => generators::grid_2d(200, 160)?,
             (Dataset::BelgiumOsm, Scale::Tiny) => generators::grid_2d(20, 16)?,
-            (Dataset::CoAuthorsCiteseer, Scale::Small) => generators::community(800, 25, 0.30, 4, seed)?,
-            (Dataset::CoAuthorsCiteseer, Scale::Tiny) => generators::community(25, 12, 0.35, 2, seed)?,
+            (Dataset::CoAuthorsCiteseer, Scale::Small) => {
+                generators::community(800, 25, 0.30, 4, seed)?
+            }
+            (Dataset::CoAuthorsCiteseer, Scale::Tiny) => {
+                generators::community(25, 12, 0.35, 2, seed)?
+            }
             (Dataset::OgbnProducts, Scale::Small) => generators::power_law(40_000, 25, seed)?,
             (Dataset::OgbnProducts, Scale::Tiny) => generators::power_law(1024, 12, seed)?,
         };

@@ -37,15 +37,24 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NotSquare { shape } => {
-                write!(f, "adjacency matrix must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "adjacency matrix must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid generator parameter: {msg}"),
             GraphError::Matrix(e) => write!(f, "matrix error: {e}"),
             GraphError::Io(e) => write!(f, "io error: {e}"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -81,6 +81,11 @@ impl GraphFeatures {
     /// row pointers (the "efficiently inspects the input graph at run time"
     /// requirement of §IV-E1).
     pub fn extract(graph: &Graph) -> Self {
+        let _span = granii_telemetry::span!(
+            "graph.featurize",
+            nodes = graph.num_nodes(),
+            edges = graph.num_edges(),
+        );
         let stats = graph.row_stats();
         let n = graph.num_nodes() as f64;
         let m = graph.num_edges() as f64;
@@ -107,7 +112,11 @@ impl GraphFeatures {
             avg_degree: stats.mean,
             max_degree: stats.max as f64,
             degree_cv: stats.cv,
-            hub_ratio: if stats.mean > 0.0 { stats.max as f64 / stats.mean } else { 0.0 },
+            hub_ratio: if stats.mean > 0.0 {
+                stats.max as f64 / stats.mean
+            } else {
+                0.0
+            },
             empty_row_fraction: stats.empty_row_fraction,
             frac_deg_low: frac(buckets[0]),
             frac_deg_mid: frac(buckets[1]),
@@ -177,7 +186,10 @@ mod tests {
         // 99 leaves with degree 1, one hub with degree 99.
         assert!((f.frac_deg_low - 0.99).abs() < 1e-9);
         assert!((f.frac_deg_high - 0.01).abs() < 1e-9);
-        let total = f.frac_deg_low + f.frac_deg_mid + f.frac_deg_high + f.frac_deg_hub
+        let total = f.frac_deg_low
+            + f.frac_deg_mid
+            + f.frac_deg_high
+            + f.frac_deg_hub
             + f.empty_row_fraction;
         assert!((total - 1.0).abs() < 1e-9);
     }

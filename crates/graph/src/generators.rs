@@ -22,7 +22,9 @@ use crate::{Graph, GraphError, Result};
 /// degree is not achievable (`avg_degree >= n`).
 pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter("erdos_renyi: n must be > 0".into()));
+        return Err(GraphError::InvalidParameter(
+            "erdos_renyi: n must be > 0".into(),
+        ));
     }
     if avg_degree < 0.0 || avg_degree >= n as f64 {
         return Err(GraphError::InvalidParameter(format!(
@@ -112,11 +114,15 @@ pub fn power_law(n: usize, m: usize, seed: u64) -> Result<Graph> {
 /// zero scale.
 pub fn rmat(scale: u32, edges_per_node: usize, a: f64, b: f64, c: f64, seed: u64) -> Result<Graph> {
     if scale == 0 || scale > 24 {
-        return Err(GraphError::InvalidParameter("rmat: scale must be in 1..=24".into()));
+        return Err(GraphError::InvalidParameter(
+            "rmat: scale must be in 1..=24".into(),
+        ));
     }
     let d = 1.0 - a - b - c;
     if a < 0.0 || b < 0.0 || c < 0.0 || d < 0.0 {
-        return Err(GraphError::InvalidParameter("rmat: probabilities must be nonnegative and sum <= 1".into()));
+        return Err(GraphError::InvalidParameter(
+            "rmat: probabilities must be nonnegative and sum <= 1".into(),
+        ));
     }
     let n = 1usize << scale;
     let m = n * edges_per_node;
@@ -153,7 +159,9 @@ pub fn rmat(scale: u32, edges_per_node: usize, a: f64, b: f64, c: f64, seed: u64
 /// Returns [`GraphError::InvalidParameter`] if either dimension is zero.
 pub fn grid_2d(w: usize, h: usize) -> Result<Graph> {
     if w == 0 || h == 0 {
-        return Err(GraphError::InvalidParameter("grid_2d: dimensions must be > 0".into()));
+        return Err(GraphError::InvalidParameter(
+            "grid_2d: dimensions must be > 0".into(),
+        ));
     }
     let idx = |x: usize, y: usize| y * w + x;
     let mut edges = Vec::with_capacity(2 * w * h);
@@ -182,7 +190,9 @@ pub fn grid_2d(w: usize, h: usize) -> Result<Graph> {
 /// (node count doubles per step).
 pub fn mycielskian(order: u32) -> Result<Graph> {
     if !(2..=16).contains(&order) {
-        return Err(GraphError::InvalidParameter("mycielskian: order must be in 2..=16".into()));
+        return Err(GraphError::InvalidParameter(
+            "mycielskian: order must be in 2..=16".into(),
+        ));
     }
     // Start from K2.
     let mut n = 2usize;
@@ -220,10 +230,14 @@ pub fn community(
     seed: u64,
 ) -> Result<Graph> {
     if communities == 0 || community_size == 0 {
-        return Err(GraphError::InvalidParameter("community: sizes must be > 0".into()));
+        return Err(GraphError::InvalidParameter(
+            "community: sizes must be > 0".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&intra_p) {
-        return Err(GraphError::InvalidParameter("community: intra_p must be in [0, 1]".into()));
+        return Err(GraphError::InvalidParameter(
+            "community: intra_p must be in [0, 1]".into(),
+        ));
     }
     let n = communities * community_size;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -256,7 +270,9 @@ pub fn community(
 /// edge count is quadratic).
 pub fn complete(n: usize) -> Result<Graph> {
     if n == 0 || n > 4096 {
-        return Err(GraphError::InvalidParameter("complete: n must be in 1..=4096".into()));
+        return Err(GraphError::InvalidParameter(
+            "complete: n must be in 1..=4096".into(),
+        ));
     }
     let mut edges = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {

@@ -38,7 +38,10 @@ impl Graph {
         if adj.rows() != adj.cols() {
             return Err(GraphError::NotSquare { shape: adj.shape() });
         }
-        Ok(Self { adj, name: String::from("graph") })
+        Ok(Self {
+            adj,
+            name: String::from("graph"),
+        })
     }
 
     /// Builds an unweighted directed graph from an edge list.
@@ -49,12 +52,16 @@ impl Graph {
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
         let mut coo = CooMatrix::new(n, n);
         for &(u, v) in edges {
-            coo.push(u, v, 1.0).map_err(|_| GraphError::NodeOutOfRange {
-                node: u.max(v),
-                num_nodes: n,
-            })?;
+            coo.push(u, v, 1.0)
+                .map_err(|_| GraphError::NodeOutOfRange {
+                    node: u.max(v),
+                    num_nodes: n,
+                })?;
         }
-        Ok(Self { adj: coo.to_csr_unweighted(), name: String::from("graph") })
+        Ok(Self {
+            adj: coo.to_csr_unweighted(),
+            name: String::from("graph"),
+        })
     }
 
     /// Builds an unweighted undirected graph: each listed edge is stored in
@@ -66,15 +73,19 @@ impl Graph {
     pub fn undirected_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
         let mut coo = CooMatrix::new(n, n);
         for &(u, v) in edges {
-            coo.push(u, v, 1.0).map_err(|_| GraphError::NodeOutOfRange {
-                node: u.max(v),
-                num_nodes: n,
-            })?;
+            coo.push(u, v, 1.0)
+                .map_err(|_| GraphError::NodeOutOfRange {
+                    node: u.max(v),
+                    num_nodes: n,
+                })?;
             if u != v {
                 coo.push(v, u, 1.0).expect("validated above");
             }
         }
-        Ok(Self { adj: coo.to_csr_unweighted(), name: String::from("graph") })
+        Ok(Self {
+            adj: coo.to_csr_unweighted(),
+            name: String::from("graph"),
+        })
     }
 
     /// Sets a human-readable name (dataset id) on the graph.
@@ -154,8 +165,15 @@ impl Graph {
                 coo.push(i, i, 1.0).expect("in range");
             }
         }
-        let csr = if self.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
-        Graph { adj: csr, name: format!("{}+I", self.name) }
+        let csr = if self.is_weighted() {
+            coo.to_csr()
+        } else {
+            coo.to_csr_unweighted()
+        };
+        Graph {
+            adj: csr,
+            name: format!("{}+I", self.name),
+        }
     }
 
     /// The GCN degree normalizer `D̃^{-1/2}` of this graph (out-degrees).
@@ -173,7 +191,10 @@ impl Graph {
         let mut remap = vec![usize::MAX; n];
         for (new, &old) in nodes.iter().enumerate() {
             if old >= n {
-                return Err(GraphError::NodeOutOfRange { node: old, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: old,
+                    num_nodes: n,
+                });
             }
             remap[old] = new;
         }
@@ -189,8 +210,15 @@ impl Graph {
                 }
             }
         }
-        let csr = if self.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
-        Ok(Graph { adj: csr, name: format!("{}[sub]", self.name) })
+        let csr = if self.is_weighted() {
+            coo.to_csr()
+        } else {
+            coo.to_csr_unweighted()
+        };
+        Ok(Graph {
+            adj: csr,
+            name: format!("{}[sub]", self.name),
+        })
     }
 }
 
@@ -200,8 +228,13 @@ mod tests {
 
     #[test]
     fn from_csr_requires_square() {
-        let m = CooMatrix::from_entries(2, 3, &[(0, 1, 1.0)]).unwrap().to_csr();
-        assert!(matches!(Graph::from_csr(m), Err(GraphError::NotSquare { .. })));
+        let m = CooMatrix::from_entries(2, 3, &[(0, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(matches!(
+            Graph::from_csr(m),
+            Err(GraphError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
                 message: "expected two node ids".into(),
             })?
             .parse()
-            .map_err(|_| GraphError::Parse { line: lineno + 1, message: "invalid node id".into() })
+            .map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: "invalid node id".into(),
+            })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -89,18 +92,29 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<Graph> {
     let reader = BufReader::new(r);
     let mut lines = reader.lines().enumerate();
 
-    let (first_no, first) = lines
-        .next()
-        .ok_or(GraphError::Parse { line: 1, message: "empty file".into() })?;
+    let (first_no, first) = lines.next().ok_or(GraphError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
     let first = first?;
-    let header: Vec<String> =
-        first.trim().to_ascii_lowercase().split_whitespace().map(String::from).collect();
-    let bad = |line: usize, message: &str| GraphError::Parse { line, message: message.into() };
+    let header: Vec<String> = first
+        .trim()
+        .to_ascii_lowercase()
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let bad = |line: usize, message: &str| GraphError::Parse {
+        line,
+        message: message.into(),
+    };
     if header.len() < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
         return Err(bad(first_no + 1, "expected a %%MatrixMarket matrix header"));
     }
     if header[2] != "coordinate" {
-        return Err(bad(first_no + 1, "only coordinate (sparse) matrices are supported"));
+        return Err(bad(
+            first_no + 1,
+            "only coordinate (sparse) matrices are supported",
+        ));
     }
     let pattern = match header[3].as_str() {
         "pattern" => true,
@@ -143,7 +157,9 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<Graph> {
                 let cols = parse_usize(it.next(), lineno)?;
                 let nnz = parse_usize(it.next(), lineno)?;
                 if rows != cols {
-                    return Err(GraphError::NotSquare { shape: (rows, cols) });
+                    return Err(GraphError::NotSquare {
+                        shape: (rows, cols),
+                    });
                 }
                 size = Some((rows, cols, nnz));
                 coo = Some(CooForMm::new(rows, pattern));
@@ -182,7 +198,10 @@ struct CooForMm {
 
 impl CooForMm {
     fn new(n: usize, pattern: bool) -> Self {
-        Self { coo: granii_matrix::CooMatrix::new(n, n), pattern }
+        Self {
+            coo: granii_matrix::CooMatrix::new(n, n),
+            pattern,
+        }
     }
 
     fn push(&mut self, i: usize, j: usize, v: f32, line: usize) -> Result<()> {
@@ -193,7 +212,11 @@ impl CooForMm {
     }
 
     fn finish(self) -> Result<Graph> {
-        let csr = if self.pattern { self.coo.to_csr_unweighted() } else { self.coo.to_csr() };
+        let csr = if self.pattern {
+            self.coo.to_csr_unweighted()
+        } else {
+            self.coo.to_csr()
+        };
         Graph::from_csr(csr)
     }
 }
@@ -205,10 +228,20 @@ impl CooForMm {
 ///
 /// Propagates IO errors from the writer.
 pub fn write_matrix_market<W: Write>(graph: &Graph, mut w: W) -> Result<()> {
-    let field = if graph.is_weighted() { "real" } else { "pattern" };
+    let field = if graph.is_weighted() {
+        "real"
+    } else {
+        "pattern"
+    };
     writeln!(w, "%%MatrixMarket matrix coordinate {field} general")?;
     writeln!(w, "% exported by granii")?;
-    writeln!(w, "{} {} {}", graph.num_nodes(), graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        graph.num_nodes(),
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for u in 0..graph.num_nodes() {
         let row = graph.adj().row_indices(u);
         let vals = graph.adj().row_values(u);
@@ -244,7 +277,10 @@ pub fn to_bytes(graph: &Graph) -> Bytes {
 /// Returns [`GraphError::Parse`] if the magic, length, or node ids are
 /// inconsistent.
 pub fn from_bytes(mut data: Bytes) -> Result<Graph> {
-    let bad = |message: &str| GraphError::Parse { line: 0, message: message.into() };
+    let bad = |message: &str| GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    };
     if data.remaining() < 12 {
         return Err(bad("truncated header"));
     }
@@ -291,8 +327,14 @@ mod tests {
 
     #[test]
     fn text_rejects_garbage() {
-        assert!(matches!(read_edge_list("0 x\n".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(read_edge_list("42\n".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list("0 x\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("42\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -346,7 +388,9 @@ mod tests {
     #[test]
     fn matrix_market_rejects_malformed_input() {
         assert!(read_matrix_market("no header\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n".as_bytes()
         )

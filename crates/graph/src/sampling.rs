@@ -36,7 +36,9 @@ use crate::{Graph, GraphError, Result};
 /// ```
 pub fn sample_neighbors(graph: &Graph, fanout: usize, seed: u64) -> Result<Graph> {
     if fanout == 0 {
-        return Err(GraphError::InvalidParameter("sample_neighbors: fanout must be > 0".into()));
+        return Err(GraphError::InvalidParameter(
+            "sample_neighbors: fanout must be > 0".into(),
+        ));
     }
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -61,7 +63,11 @@ pub fn sample_neighbors(graph: &Graph, fanout: usize, seed: u64) -> Result<Graph
             }
         }
     }
-    let csr = if graph.is_weighted() { coo.to_csr() } else { coo.to_csr_unweighted() };
+    let csr = if graph.is_weighted() {
+        coo.to_csr()
+    } else {
+        coo.to_csr_unweighted()
+    };
     Ok(Graph::from_csr(csr)?.with_name(format!("{}~fanout{fanout}", graph.name())))
 }
 

@@ -30,7 +30,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty COO matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a COO matrix from `(row, col, value)` triplets.
@@ -55,7 +59,10 @@ impl CooMatrix {
     /// declared shape.
     pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<()> {
         if row >= self.rows || col >= self.cols {
-            return Err(MatrixError::IndexOutOfBounds { index: (row, col), shape: (self.rows, self.cols) });
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
         }
         self.entries.push((row as u32, col as u32, value));
         Ok(())
@@ -83,7 +90,9 @@ impl CooMatrix {
 
     /// Iterates over stored triplets as `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Converts to CSR, sorting entries and summing duplicates.

@@ -86,7 +86,9 @@ impl CsrMatrix {
         }
         for w in indptr.windows(2) {
             if w[0] > w[1] {
-                return Err(MatrixError::InvalidCsr("indptr must be nondecreasing".into()));
+                return Err(MatrixError::InvalidCsr(
+                    "indptr must be nondecreasing".into(),
+                ));
             }
         }
         for r in 0..rows {
@@ -116,7 +118,13 @@ impl CsrMatrix {
                 )));
             }
         }
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Builds a CSR matrix without validation. Used by trusted in-crate
@@ -129,7 +137,13 @@ impl CsrMatrix {
         values: Option<Vec<f32>>,
     ) -> Self {
         debug_assert_eq!(indptr.len(), rows + 1);
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An identity matrix of size `n` (weighted, all ones on the diagonal).
@@ -264,7 +278,14 @@ impl CsrMatrix {
     /// Row-length distribution statistics.
     pub fn row_stats(&self) -> RowStats {
         if self.rows == 0 {
-            return RowStats { mean: 0.0, max: 0, min: 0, std_dev: 0.0, cv: 0.0, empty_row_fraction: 0.0 };
+            return RowStats {
+                mean: 0.0,
+                max: 0,
+                min: 0,
+                std_dev: 0.0,
+                cv: 0.0,
+                empty_row_fraction: 0.0,
+            };
         }
         let mut max = 0u64;
         let mut min = u64::MAX;
@@ -286,7 +307,14 @@ impl CsrMatrix {
         let var = (sum_sq / n - mean * mean).max(0.0);
         let std_dev = var.sqrt();
         let cv = if mean > 0.0 { std_dev / mean } else { 0.0 };
-        RowStats { mean, max, min, std_dev, cv, empty_row_fraction: empty as f64 / n }
+        RowStats {
+            mean,
+            max,
+            min,
+            std_dev,
+            cv,
+            empty_row_fraction: empty as f64 / n,
+        }
     }
 
     /// Transposes the matrix (CSR → CSR of the transpose).
@@ -316,7 +344,13 @@ impl CsrMatrix {
         }
         // Rows of the transpose come out sorted because we scan source rows in
         // increasing order.
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Whether the sparsity pattern is symmetric (values ignored).
@@ -354,7 +388,10 @@ impl CsrMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "sparse index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "sparse index out of bounds"
+        );
         let cols = self.row_indices(row);
         match cols.binary_search(&(col as u32)) {
             Ok(k) => self.row_values(row).map_or(1.0, |v| v[k]),
@@ -369,7 +406,14 @@ mod tests {
 
     fn sample() -> CsrMatrix {
         // [[0 1 0], [2 0 3]]
-        CsrMatrix::from_parts(2, 3, vec![0, 1, 3], vec![1, 0, 2], Some(vec![1.0, 2.0, 3.0])).unwrap()
+        CsrMatrix::from_parts(
+            2,
+            3,
+            vec![0, 1, 3],
+            vec![1, 0, 2],
+            Some(vec![1.0, 2.0, 3.0]),
+        )
+        .unwrap()
     }
 
     #[test]

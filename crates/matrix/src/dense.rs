@@ -44,11 +44,21 @@ impl DenseMatrix {
     pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
         let elements = rows
             .checked_mul(cols)
-            .ok_or(MatrixError::AllocationTooLarge { elements: usize::MAX, limit: DENSE_ALLOC_LIMIT })?;
+            .ok_or(MatrixError::AllocationTooLarge {
+                elements: usize::MAX,
+                limit: DENSE_ALLOC_LIMIT,
+            })?;
         if elements > DENSE_ALLOC_LIMIT {
-            return Err(MatrixError::AllocationTooLarge { elements, limit: DENSE_ALLOC_LIMIT });
+            return Err(MatrixError::AllocationTooLarge {
+                elements,
+                limit: DENSE_ALLOC_LIMIT,
+            });
         }
-        Ok(Self { rows, cols, data: vec![0.0; elements] })
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; elements],
+        })
     }
 
     /// Creates a matrix from a raw row-major buffer.
@@ -58,7 +68,10 @@ impl DenseMatrix {
     /// Returns [`MatrixError::InvalidDenseLength`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(MatrixError::InvalidDenseLength { len: data.len(), expected: rows * cols });
+            return Err(MatrixError::InvalidDenseLength {
+                len: data.len(),
+                expected: rows * cols,
+            });
         }
         Ok(Self { rows, cols, data })
     }
@@ -75,11 +88,18 @@ impl DenseMatrix {
         for r in rows {
             let r = r.as_ref();
             if r.len() != ncols {
-                return Err(MatrixError::InvalidDenseLength { len: r.len(), expected: ncols });
+                return Err(MatrixError::InvalidDenseLength {
+                    len: r.len(),
+                    expected: ncols,
+                });
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: nrows, cols: ncols, data })
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// Creates a matrix by calling `f(row, col)` for every entry.
@@ -132,7 +152,10 @@ impl DenseMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -142,7 +165,10 @@ impl DenseMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -189,7 +215,11 @@ impl DenseMatrix {
                 out[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        DenseMatrix { rows: self.cols, cols: self.rows, data: out }
+        DenseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -213,14 +243,27 @@ impl DenseMatrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::ShapeMismatch`] if shapes differ.
-    pub fn zip_with(&self, other: &DenseMatrix, f: impl Fn(f32, f32) -> f32) -> Result<DenseMatrix> {
+    pub fn zip_with(
+        &self,
+        other: &DenseMatrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<DenseMatrix> {
         if self.shape() != other.shape() {
-            return Err(MatrixError::ShapeMismatch { op: "zip_with", lhs: self.shape(), rhs: other.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                op: "zip_with",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         Ok(DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
     }
 
@@ -269,7 +312,11 @@ impl DenseMatrix {
     /// Returns [`MatrixError::ShapeMismatch`] if shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> Result<f32> {
         if self.shape() != other.shape() {
-            return Err(MatrixError::ShapeMismatch { op: "max_abs_diff", lhs: self.shape(), rhs: other.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         Ok(self
             .data
@@ -291,11 +338,19 @@ impl DenseMatrix {
     /// Returns [`MatrixError::ShapeMismatch`] if column counts differ.
     pub fn vstack(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != other.cols {
-            return Err(MatrixError::ShapeMismatch { op: "vstack", lhs: self.shape(), rhs: other.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(DenseMatrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(DenseMatrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Concatenates columns of `other` to the right of `self`.
@@ -305,7 +360,11 @@ impl DenseMatrix {
     /// Returns [`MatrixError::ShapeMismatch`] if row counts differ.
     pub fn hstack(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.rows != other.rows {
-            return Err(MatrixError::ShapeMismatch { op: "hstack", lhs: self.shape(), rhs: other.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         let cols = self.cols + other.cols;
         let mut data = Vec::with_capacity(self.rows * cols);
@@ -313,7 +372,11 @@ impl DenseMatrix {
             data.extend_from_slice(self.row(i));
             data.extend_from_slice(other.row(i));
         }
-        Ok(DenseMatrix { rows: self.rows, cols, data })
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
     }
 
     /// Gathers the listed rows into a new matrix (used by sampling).
@@ -325,11 +388,18 @@ impl DenseMatrix {
         let mut data = Vec::with_capacity(rows.len() * self.cols);
         for &r in rows {
             if r >= self.rows {
-                return Err(MatrixError::IndexOutOfBounds { index: (r, 0), shape: self.shape() });
+                return Err(MatrixError::IndexOutOfBounds {
+                    index: (r, 0),
+                    shape: self.shape(),
+                });
             }
             data.extend_from_slice(self.row(r));
         }
-        Ok(DenseMatrix { rows: rows.len(), cols: self.cols, data })
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -347,7 +417,13 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         let err = DenseMatrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
-        assert!(matches!(err, MatrixError::InvalidDenseLength { len: 3, expected: 4 }));
+        assert!(matches!(
+            err,
+            MatrixError::InvalidDenseLength {
+                len: 3,
+                expected: 4
+            }
+        ));
     }
 
     #[test]

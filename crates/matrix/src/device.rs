@@ -171,7 +171,10 @@ impl DeviceSpec {
             memory_time *= self.weighted_spmm_penalty;
         }
         let atomic_time = if stats.atomic_ops > 0 {
-            let contention = stats.atomic_contention.max(1.0).powf(self.contention_exponent);
+            let contention = stats
+                .atomic_contention
+                .max(1.0)
+                .powf(self.contention_exponent);
             stats.atomic_ops as f64 * contention / (self.atomic_gops * 1e9)
         } else {
             0.0
@@ -216,7 +219,11 @@ impl Profile {
 
     /// Seconds spent in sparse primitives.
     pub fn sparse_seconds(&self) -> f64 {
-        self.entries.iter().filter(|e| e.kind.is_sparse()).map(|e| e.seconds).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.kind.is_sparse())
+            .map(|e| e.seconds)
+            .sum()
     }
 
     /// Fraction of time in sparse primitives (0 when nothing ran).
@@ -239,6 +246,47 @@ impl Profile {
             }
         }
         acc
+    }
+
+    /// Appends another profile's entries (in `other`'s execution order, after
+    /// this profile's existing entries). Used to aggregate per-iteration or
+    /// per-engine profiles into one report.
+    pub fn merge(&mut self, other: Profile) {
+        self.entries.extend(other.entries);
+    }
+}
+
+impl std::fmt::Display for Profile {
+    /// Per-kind breakdown table: calls, invocation count, charged seconds,
+    /// and fraction of the profile total (the Figure 2 view).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total_seconds();
+        writeln!(
+            f,
+            "{:<16} {:>7} {:>12} {:>8}",
+            "primitive", "calls", "seconds", "share"
+        )?;
+        for (kind, seconds) in self.by_kind() {
+            let calls = self.entries.iter().filter(|e| e.kind == kind).count();
+            let share = if total > 0.0 {
+                100.0 * seconds / total
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{:<16} {calls:>7} {seconds:>12.6} {share:>7.1}%",
+                kind.name()
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>7} {total:>12.6} {:>7.1}%",
+            "total",
+            self.entries.len(),
+            100.0
+        )?;
+        write!(f, "sparse fraction: {:.1}%", 100.0 * self.sparse_fraction())
     }
 }
 
@@ -276,7 +324,11 @@ impl Engine {
 
     /// An engine with an explicit spec and timing policy.
     pub fn new(spec: DeviceSpec, timing: Timing) -> Self {
-        Self { spec, timing, profile: Mutex::new(Profile::default()) }
+        Self {
+            spec,
+            timing,
+            profile: Mutex::new(Profile::default()),
+        }
     }
 
     /// The device model in use.
@@ -292,21 +344,33 @@ impl Engine {
     /// Runs a kernel, charging either its measured wall time or the modeled
     /// latency for `stats`, and returns the kernel's output.
     pub fn run<T>(&self, stats: WorkStats, f: impl FnOnce() -> T) -> T {
-        match self.timing {
+        let mut span = granii_telemetry::span!(
+            stats.kind.span_name(),
+            flops = stats.flops,
+            bytes = stats.bytes_total(),
+            irregularity = stats.irregularity,
+        );
+        let (out, seconds) = match self.timing {
             Timing::Measured => {
                 let start = std::time::Instant::now();
                 let out = f();
-                let seconds = start.elapsed().as_secs_f64();
-                self.profile.lock().entries.push(ProfileEntry { kind: stats.kind, seconds, stats });
-                out
+                (out, start.elapsed().as_secs_f64())
             }
             Timing::Modeled => {
                 let out = f();
-                let seconds = self.spec.estimate_seconds(&stats);
-                self.profile.lock().entries.push(ProfileEntry { kind: stats.kind, seconds, stats });
-                out
+                (out, self.spec.estimate_seconds(&stats))
             }
-        }
+        };
+        span.attr("charged_s", seconds);
+        drop(span);
+        granii_telemetry::counter_add("engine.kernels", 1);
+        granii_telemetry::histogram_record_seconds(stats.kind.span_name(), seconds);
+        self.profile.lock().entries.push(ProfileEntry {
+            kind: stats.kind,
+            seconds,
+            stats,
+        });
+        out
     }
 
     /// Charges work without running anything (used when the caller already has
@@ -316,7 +380,19 @@ impl Engine {
             Timing::Measured => self.spec.estimate_seconds(&stats),
             Timing::Modeled => self.spec.estimate_seconds(&stats),
         };
-        self.profile.lock().entries.push(ProfileEntry { kind: stats.kind, seconds, stats });
+        let _span = granii_telemetry::span!(
+            stats.kind.span_name(),
+            flops = stats.flops,
+            bytes = stats.bytes_total(),
+            charged_s = seconds,
+        );
+        granii_telemetry::counter_add("engine.kernels", 1);
+        granii_telemetry::histogram_record_seconds(stats.kind.span_name(), seconds);
+        self.profile.lock().entries.push(ProfileEntry {
+            kind: stats.kind,
+            seconds,
+            stats,
+        });
     }
 
     /// Total seconds charged so far.

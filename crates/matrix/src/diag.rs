@@ -60,7 +60,11 @@ impl DiagMatrix {
     /// Element-wise reciprocal, with `1/0` defined as 0.
     pub fn inv(&self) -> DiagMatrix {
         DiagMatrix {
-            values: self.values.iter().map(|&v| if v != 0.0 { 1.0 / v } else { 0.0 }).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|&v| if v != 0.0 { 1.0 / v } else { 0.0 })
+                .collect(),
         }
     }
 
@@ -91,7 +95,12 @@ impl DiagMatrix {
             });
         }
         Ok(DiagMatrix {
-            values: self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a * b)
+                .collect(),
         })
     }
 }

@@ -65,7 +65,10 @@ impl fmt::Display for MatrixError {
                 "allocation of {elements} elements exceeds guard limit of {limit}"
             ),
             MatrixError::InvalidDenseLength { len, expected } => {
-                write!(f, "dense buffer length {len} does not match rows*cols = {expected}")
+                write!(
+                    f,
+                    "dense buffer length {len} does not match rows*cols = {expected}"
+                )
             }
         }
     }

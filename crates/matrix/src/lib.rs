@@ -37,9 +37,9 @@
 mod coo;
 mod csr;
 mod dense;
+pub mod device;
 mod diag;
 mod error;
-pub mod device;
 pub mod ops;
 pub mod parallel;
 mod semiring;

@@ -28,12 +28,20 @@ use crate::{CsrMatrix, MatrixError, Result};
 pub fn scale_csr(dl: Option<&[f32]>, a: &CsrMatrix, dr: Option<&[f32]>) -> Result<CsrMatrix> {
     if let Some(dl) = dl {
         if dl.len() != a.rows() {
-            return Err(MatrixError::ShapeMismatch { op: "scale_csr", lhs: (dl.len(), 1), rhs: a.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                op: "scale_csr",
+                lhs: (dl.len(), 1),
+                rhs: a.shape(),
+            });
         }
     }
     if let Some(dr) = dr {
         if dr.len() != a.cols() {
-            return Err(MatrixError::ShapeMismatch { op: "scale_csr", lhs: a.shape(), rhs: (dr.len(), 1) });
+            return Err(MatrixError::ShapeMismatch {
+                op: "scale_csr",
+                lhs: a.shape(),
+                rhs: (dr.len(), 1),
+            });
         }
     }
     let mut vals = vec![0f32; a.nnz()];
@@ -62,7 +70,9 @@ pub fn scale_csr(dl: Option<&[f32]>, a: &CsrMatrix, dr: Option<&[f32]>) -> Resul
 /// implicit ones is a uniform distribution the caller should construct
 /// explicitly if intended.
 pub fn edge_softmax(a: &CsrMatrix) -> Result<CsrMatrix> {
-    let vals_in = a.values().ok_or(MatrixError::MissingValues("edge_softmax"))?;
+    let vals_in = a
+        .values()
+        .ok_or(MatrixError::MissingValues("edge_softmax"))?;
     let mut vals = vec![0f32; a.nnz()];
     for i in 0..a.rows() {
         let (s, e) = (a.indptr()[i] as usize, a.indptr()[i + 1] as usize);
@@ -158,7 +168,14 @@ mod tests {
         let shifted = scale_csr(None, &a, None).unwrap(); // copy
         let shifted = shifted
             .clone()
-            .with_values(shifted.values().unwrap().iter().map(|v| v + 100.0).collect())
+            .with_values(
+                shifted
+                    .values()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v + 100.0)
+                    .collect(),
+            )
             .unwrap();
         let s1 = edge_softmax(&a).unwrap();
         let s2 = edge_softmax(&shifted).unwrap();

@@ -26,7 +26,11 @@ use crate::{DenseMatrix, MatrixError, Result};
 /// ```
 pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     if a.cols() != b.rows() {
-        return Err(MatrixError::ShapeMismatch { op: "gemm", lhs: a.shape(), rhs: b.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let (n, k1, k2) = (a.rows(), a.cols(), b.cols());
     let mut out = DenseMatrix::zeros(n, k2)?;
@@ -71,7 +75,10 @@ mod tests {
     fn rejects_mismatched_inner_dim() {
         let a = DenseMatrix::zeros(2, 3).unwrap();
         let b = DenseMatrix::zeros(4, 2).unwrap();
-        assert!(matches!(gemm(&a, &b), Err(MatrixError::ShapeMismatch { op: "gemm", .. })));
+        assert!(matches!(
+            gemm(&a, &b),
+            Err(MatrixError::ShapeMismatch { op: "gemm", .. })
+        ));
     }
 
     #[test]

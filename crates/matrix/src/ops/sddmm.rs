@@ -33,13 +33,25 @@ use crate::{CsrMatrix, DenseMatrix, MatrixError, Result};
 /// ```
 pub fn sddmm(mask: &CsrMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<CsrMatrix> {
     if u.cols() != v.cols() {
-        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: u.shape(), rhs: v.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: u.shape(),
+            rhs: v.shape(),
+        });
     }
     if u.rows() != mask.rows() {
-        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: mask.shape(), rhs: u.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: mask.shape(),
+            rhs: u.shape(),
+        });
     }
     if v.rows() != mask.cols() {
-        return Err(MatrixError::ShapeMismatch { op: "sddmm", lhs: mask.shape(), rhs: v.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: mask.shape(),
+            rhs: v.shape(),
+        });
     }
     let mut out_vals = vec![0f32; mask.nnz()];
     for i in 0..mask.rows() {
@@ -113,7 +125,9 @@ mod tests {
 
     #[test]
     fn unweighted_mask_uses_implicit_one() {
-        let mask = CooMatrix::from_entries(2, 2, &[(0, 1, 7.0)]).unwrap().to_csr_unweighted();
+        let mask = CooMatrix::from_entries(2, 2, &[(0, 1, 7.0)])
+            .unwrap()
+            .to_csr_unweighted();
         let u = DenseMatrix::from_rows(&[[2.0].as_slice(), [0.0].as_slice()]).unwrap();
         let v = DenseMatrix::from_rows(&[[0.0].as_slice(), [5.0].as_slice()]).unwrap();
         let out = sddmm(&mask, &u, &v).unwrap();

@@ -35,7 +35,11 @@ use crate::{CsrMatrix, DenseMatrix, MatrixError, ReduceOp, Result, Semiring};
 /// ```
 pub fn spmm(adj: &CsrMatrix, feats: &DenseMatrix, semiring: Semiring) -> Result<DenseMatrix> {
     if adj.cols() != feats.rows() {
-        return Err(MatrixError::ShapeMismatch { op: "spmm", lhs: adj.shape(), rhs: feats.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "spmm",
+            lhs: adj.shape(),
+            rhs: feats.shape(),
+        });
     }
     let k = feats.cols();
     let mut out = DenseMatrix::zeros(adj.rows(), k)?;
@@ -125,9 +129,15 @@ mod tests {
 
     #[test]
     fn empty_rows_yield_zero() {
-        let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)]).unwrap().to_csr();
+        let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)])
+            .unwrap()
+            .to_csr();
         let x = DenseMatrix::from_rows(&[[7.0].as_slice(), [9.0].as_slice()]).unwrap();
-        for s in [Semiring::plus_mul(), Semiring::max_copy_rhs(), Semiring::mean_copy_rhs()] {
+        for s in [
+            Semiring::plus_mul(),
+            Semiring::max_copy_rhs(),
+            Semiring::mean_copy_rhs(),
+        ] {
             let y = spmm(&adj, &x, s).unwrap();
             assert_eq!(y.get(1, 0), 0.0, "empty row must be 0 for {s:?}");
         }
@@ -140,7 +150,10 @@ mod tests {
         let y = spmm(
             &adj,
             &x,
-            Semiring { reduce: ReduceOp::Sum, mul: MulOp::CopyEdge },
+            Semiring {
+                reduce: ReduceOp::Sum,
+                mul: MulOp::CopyEdge,
+            },
         )
         .unwrap();
         assert_eq!(y.get(0, 0), 5.0); // 2.0 + 3.0

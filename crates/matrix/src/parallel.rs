@@ -24,7 +24,10 @@ pub fn num_threads() -> usize {
                 return n.max(1);
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
     })
 }
 
@@ -56,7 +59,11 @@ where
     if width == 0 {
         return;
     }
-    assert_eq!(out.len() % width, 0, "buffer length must be a multiple of width");
+    assert_eq!(
+        out.len() % width,
+        0,
+        "buffer length must be a multiple of width"
+    );
     let rows = out.len() / width;
     let threads = num_threads();
     if threads <= 1 || out.len() < PARALLEL_THRESHOLD {
@@ -88,10 +95,7 @@ where
                     // no two threads alias this slice. The scope guarantees
                     // the buffer outlives the workers.
                     let row = unsafe {
-                        std::slice::from_raw_parts_mut(
-                            (base as *mut f32).add(r * width),
-                            width,
-                        )
+                        std::slice::from_raw_parts_mut((base as *mut f32).add(r * width), width)
                     };
                     f(r, row);
                 }
@@ -125,7 +129,10 @@ where
                 s.spawn(move |_| f(r))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("kernel worker thread panicked")
 }
@@ -152,8 +159,13 @@ mod tests {
     #[test]
     fn par_rows_serial_small_input() {
         let mut buf = vec![0.0f32; 12];
-        par_rows(&mut buf, 3, |r, row| row.iter_mut().for_each(|v| *v = r as f32));
-        assert_eq!(buf, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+        par_rows(&mut buf, 3, |r, row| {
+            row.iter_mut().for_each(|v| *v = r as f32)
+        });
+        assert_eq!(
+            buf,
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        );
     }
 
     #[test]

@@ -120,22 +120,34 @@ pub struct Semiring {
 impl Semiring {
     /// Standard weighted aggregation: `(+, ×)`.
     pub fn plus_mul() -> Self {
-        Self { reduce: ReduceOp::Sum, mul: MulOp::Mul }
+        Self {
+            reduce: ReduceOp::Sum,
+            mul: MulOp::Mul,
+        }
     }
 
     /// Unweighted aggregation: `(+, copy_u)`; never touches edge values.
     pub fn plus_copy_rhs() -> Self {
-        Self { reduce: ReduceOp::Sum, mul: MulOp::CopyRhs }
+        Self {
+            reduce: ReduceOp::Sum,
+            mul: MulOp::CopyRhs,
+        }
     }
 
     /// Max pooling over neighbors: `(max, copy_u)`.
     pub fn max_copy_rhs() -> Self {
-        Self { reduce: ReduceOp::Max, mul: MulOp::CopyRhs }
+        Self {
+            reduce: ReduceOp::Max,
+            mul: MulOp::CopyRhs,
+        }
     }
 
     /// Mean aggregation over neighbors: `(mean, copy_u)` (GraphSAGE).
     pub fn mean_copy_rhs() -> Self {
-        Self { reduce: ReduceOp::Mean, mul: MulOp::CopyRhs }
+        Self {
+            reduce: ReduceOp::Mean,
+            mul: MulOp::CopyRhs,
+        }
     }
 }
 

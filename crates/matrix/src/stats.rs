@@ -74,6 +74,22 @@ impl PrimitiveKind {
             PrimitiveKind::Binning => "binning",
         }
     }
+
+    /// Telemetry span name for one dispatch of this primitive
+    /// (`"kernel." + self.name()`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            PrimitiveKind::Gemm => "kernel.gemm",
+            PrimitiveKind::SpmmWeighted => "kernel.spmm_weighted",
+            PrimitiveKind::SpmmUnweighted => "kernel.spmm_unweighted",
+            PrimitiveKind::Sddmm => "kernel.sddmm",
+            PrimitiveKind::RowBroadcast => "kernel.row_broadcast",
+            PrimitiveKind::ColBroadcast => "kernel.col_broadcast",
+            PrimitiveKind::Elementwise => "kernel.elementwise",
+            PrimitiveKind::EdgeSoftmax => "kernel.edge_softmax",
+            PrimitiveKind::Binning => "kernel.binning",
+        }
+    }
 }
 
 impl std::fmt::Display for PrimitiveKind {
@@ -148,7 +164,11 @@ impl WorkStats {
     /// operand.
     pub fn spmm(n: usize, nnz: usize, k: usize, weighted: bool, irregularity: f64) -> Self {
         let (n, nnz, k) = (n as u64, nnz as u64, k as u64);
-        let kind = if weighted { PrimitiveKind::SpmmWeighted } else { PrimitiveKind::SpmmUnweighted };
+        let kind = if weighted {
+            PrimitiveKind::SpmmWeighted
+        } else {
+            PrimitiveKind::SpmmUnweighted
+        };
         let value_bytes = if weighted { F32 * nnz } else { 0 };
         Self {
             flops: if weighted { 2 * nnz * k } else { nnz * k },
@@ -186,7 +206,10 @@ impl WorkStats {
     /// Column-broadcast over an `n x k` dense matrix.
     pub fn col_broadcast(n: usize, k: usize) -> Self {
         let s = Self::row_broadcast(n, k);
-        Self { kind: PrimitiveKind::ColBroadcast, ..s }
+        Self {
+            kind: PrimitiveKind::ColBroadcast,
+            ..s
+        }
     }
 
     /// Element-wise map over `elems` values with `flops_per_elem` operations.
@@ -218,7 +241,11 @@ impl WorkStats {
     /// which is what makes this primitive pathological on dense graphs
     /// (paper §VI-C1).
     pub fn binning(nnz: usize, bins: usize) -> Self {
-        let contention = if bins > 0 { (nnz as f64 / bins as f64).max(1.0) } else { 1.0 };
+        let contention = if bins > 0 {
+            (nnz as f64 / bins as f64).max(1.0)
+        } else {
+            1.0
+        };
         let (nnz, bins) = (nnz as u64, bins as u64);
         Self {
             flops: nnz,

@@ -11,7 +11,9 @@ use proptest::prelude::*;
 const TOL: f32 = 2e-3;
 
 /// Strategy: a random sparse matrix (as COO entries) plus its shape.
-fn sparse_matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
+fn sparse_matrix(
+    max_dim: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f32)>)> {
     (2usize..max_dim, 2usize..max_dim).prop_flat_map(|(r, c)| {
         let entry = (0..r, 0..c, -2.0f32..2.0);
         (Just(r), Just(c), proptest::collection::vec(entry, 0..40))

@@ -1,0 +1,227 @@
+//! Exporters: Chrome trace-event JSON, flat metrics JSON, and a hierarchical
+//! text summary.
+//!
+//! JSON is written by hand (this crate is dependency-free by design — it must
+//! not pull the workspace serde shim into every leaf crate). Only the small
+//! subset needed here is emitted: objects, arrays, strings, and numbers.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{AttrValue, SpanRecord};
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's f64 Display is shortest-round-trip decimal, valid JSON.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_attr(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::F64(v) => push_f64(out, *v),
+        AttrValue::Str(s) => push_json_string(out, s),
+    }
+}
+
+/// Renders spans as a Chrome trace-event JSON array of complete (`"ph":"X"`)
+/// events, loadable in Perfetto or `chrome://tracing`. Timestamps and
+/// durations are microseconds; span attributes land in `args`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 * spans.len() + 2);
+    out.push('[');
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":");
+        push_json_string(&mut out, span.name);
+        let _ = write!(
+            out,
+            ",\"cat\":\"granii\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            span.start_us, span.dur_us, span.tid
+        );
+        out.push_str(",\"args\":{\"depth\":");
+        let _ = write!(out, "{}", span.depth);
+        for (key, value) in &span.attrs {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            push_attr(&mut out, value);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders a metrics snapshot as a flat JSON object:
+/// `{"counters": {name: value}, "histograms": {name: {count, sum_ns, ...}}}`.
+/// Histogram buckets are emitted sparsely as `[[bucket_index, count], ...]`.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_json_string(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("\n},\n\"histograms\":{");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_json_string(&mut out, &h.name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":",
+            h.count, h.sum_ns, h.min_ns, h.max_ns
+        );
+        push_f64(&mut out, h.mean_ns());
+        out.push_str(",\"buckets\":[");
+        let mut first = true;
+        for (idx, count) in h.buckets.iter().enumerate() {
+            if *count > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{idx},{count}]");
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n}\n}\n");
+    out
+}
+
+/// Renders a human-readable hierarchical summary: spans are grouped by their
+/// path (name chain from each thread's root), with call counts, total time,
+/// and share of the root spans' total time.
+pub fn summary(spans: &[SpanRecord]) -> String {
+    // take_spans() already orders by (tid, seq); re-sort defensively so the
+    // stack walk below is correct for arbitrary input.
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|r| (r.tid, r.seq));
+
+    // Aggregate by full path. Paths are rebuilt per thread from recorded
+    // depths: a span at depth d is a child of the last span at depth d-1.
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: std::collections::HashMap<String, (u64, u64, u16)> =
+        std::collections::HashMap::new();
+    let mut stack: Vec<&'static str> = Vec::new();
+    let mut current_tid = None;
+    let mut root_total_us: u64 = 0;
+    for span in &ordered {
+        if current_tid != Some(span.tid) {
+            current_tid = Some(span.tid);
+            stack.clear();
+        }
+        stack.truncate(span.depth as usize);
+        stack.push(span.name);
+        let path = stack.join(" > ");
+        if span.depth == 0 {
+            root_total_us += span.dur_us;
+        }
+        let entry = totals.entry(path.clone()).or_insert_with(|| {
+            order.push(path);
+            (0, 0, span.depth)
+        });
+        entry.0 += 1;
+        entry.1 += span.dur_us;
+    }
+
+    let mut out =
+        String::from("span                                      calls     total      share\n");
+    for path in &order {
+        let (calls, total_us, depth) = totals[path];
+        let name = path.rsplit(" > ").next().unwrap_or(path);
+        let label = format!("{}{}", "  ".repeat(depth as usize), name);
+        let share = if root_total_us == 0 {
+            0.0
+        } else {
+            100.0 * total_us as f64 / root_total_us as f64
+        };
+        let _ = writeln!(
+            out,
+            "{label:<40} {calls:>7} {:>8.3}ms {share:>9.1}%",
+            total_us as f64 / 1e3
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{AttrValue, SpanRecord};
+
+    fn rec(name: &'static str, tid: u64, depth: u16, seq: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_us: seq * 10,
+            dur_us,
+            tid,
+            depth,
+            seq,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_structures() {
+        let mut span = rec("a\"b", 0, 0, 0, 5);
+        span.attrs.push(("note", AttrValue::Str("x\ny".into())));
+        span.attrs.push(("n", AttrValue::U64(3)));
+        span.attrs.push(("f", AttrValue::F64(0.5)));
+        let json = chrome_trace(&[span]);
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"note\":\"x\\ny\""));
+        assert!(json.contains("\"n\":3"));
+        assert!(json.contains("\"f\":0.5"));
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn summary_groups_by_path() {
+        let spans = vec![
+            rec("root", 0, 0, 0, 100),
+            rec("child", 0, 1, 1, 60),
+            rec("child", 0, 1, 2, 20),
+            rec("root", 1, 0, 0, 50),
+        ];
+        let text = summary(&spans);
+        assert!(text.contains("root"));
+        assert!(text.contains("  child"));
+        // child appears once (aggregated), with 2 calls.
+        assert_eq!(text.matches("child").count(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Metrics registry: named counters and log₂-bucketed latency histograms.
+//!
+//! Both live behind one global mutex keyed by `&'static str`-like string
+//! names. Recording is gated on [`crate::enabled`] so a disabled call site
+//! costs one relaxed atomic load, same as spans.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
+/// covers durations in `[2^(i-1), 2^i)` nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+}
+
+/// Maps a nanosecond value to its log₂ bucket.
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        64 - ns.leading_zeros() as usize
+    }
+}
+
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+}
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    f(&mut registry().lock().unwrap_or_else(PoisonError::into_inner));
+}
+
+/// Adds `delta` to the counter named `name` (no-op when disabled).
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        *r.counters.entry(name.to_owned()).or_insert(0) += delta;
+    });
+}
+
+/// Records one nanosecond duration into the histogram named `name`
+/// (no-op when disabled).
+pub fn histogram_record_ns(name: &str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::new)
+            .record(ns);
+    });
+}
+
+/// Records a duration given in seconds (converted to integer nanoseconds;
+/// negative or non-finite values are recorded as zero).
+pub fn histogram_record_seconds(name: &str, seconds: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let ns = if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e9) as u64
+    } else {
+        0
+    };
+    histogram_record_ns(name, ns);
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest recorded value in nanoseconds.
+    pub min_ns: u64,
+    /// Largest recorded value in nanoseconds.
+    pub max_ns: u64,
+    /// Per-bucket counts; see [`HISTOGRAM_BUCKETS`] for the bucket scheme.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every counter and histogram.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → accumulated value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Copies the current metrics state without clearing it.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let registry = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    MetricsSnapshot {
+        counters: registry
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        histograms: registry
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count,
+                sum_ns: h.sum_ns,
+                min_ns: if h.count == 0 { 0 } else { h.min_ns },
+                max_ns: h.max_ns,
+                buckets: h.buckets,
+            })
+            .collect(),
+    }
+}
+
+pub(crate) fn clear_metrics() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.histograms.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bucket_index;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1); // [1, 2)
+        assert_eq!(bucket_index(2), 2); // [2, 4)
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3); // [4, 8)
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,221 @@
+//! Behavioral tests for spans, metrics, and exporters.
+//!
+//! Telemetry state is global (one enabled flag, shared buffers), so every
+//! test takes `TEST_LOCK` and starts from `reset()` — the default test
+//! harness runs tests on concurrent threads.
+
+use std::sync::Mutex;
+
+use granii_telemetry::{export, span, AttrValue};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    let g = TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    granii_telemetry::reset();
+    granii_telemetry::enable();
+    g
+}
+
+#[test]
+fn nesting_depth_and_order_are_recorded() {
+    let _g = guard();
+    {
+        let _a = span!("outer");
+        {
+            let _b = span!("mid");
+            let _c = span!("inner");
+        }
+        let _d = span!("mid2");
+    }
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    let view: Vec<(&str, u16)> = spans.iter().map(|s| (s.name, s.depth)).collect();
+    // take_spans orders by (tid, seq) = span-open order.
+    assert_eq!(view, [("outer", 0), ("mid", 1), ("inner", 2), ("mid2", 1)]);
+}
+
+#[test]
+fn spans_from_parallel_threads_keep_per_thread_order() {
+    let _g = guard();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let _outer = span!("worker", index = t as u64);
+                for _ in 0..3 {
+                    let _inner = span!("unit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    assert_eq!(spans.len(), 16);
+    // Per thread: three depth-1 "unit" spans then the depth-0 "worker" root,
+    // in increasing seq order with no interleaving from other threads.
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.dedup();
+    assert_eq!(
+        tids.len(),
+        4,
+        "each thread's spans are contiguous: {tids:?}"
+    );
+    for tid in tids {
+        let per: Vec<_> = spans.iter().filter(|s| s.tid == tid).collect();
+        assert_eq!(per.len(), 4);
+        assert!(per.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(
+            per.iter()
+                .filter(|s| s.name == "worker" && s.depth == 0)
+                .count(),
+            1
+        );
+        assert_eq!(
+            per.iter()
+                .filter(|s| s.name == "unit" && s.depth == 1)
+                .count(),
+            3
+        );
+    }
+}
+
+#[test]
+fn attributes_capture_values() {
+    let _g = guard();
+    {
+        let _s = span!("attrs", edges = 42u64, frac = 0.25, label = "x");
+    }
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(
+        spans[0].attrs,
+        vec![
+            ("edges", AttrValue::U64(42)),
+            ("frac", AttrValue::F64(0.25)),
+            ("label", AttrValue::Str("x".into())),
+        ]
+    );
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_and_is_cheap() {
+    let _g = guard();
+    granii_telemetry::disable();
+    let start = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        // Attribute expressions must not be evaluated when disabled.
+        let _s = span!(
+            "noop",
+            expensive = {
+                assert!(i < u64::MAX, "attr evaluated while disabled");
+                i
+            }
+        );
+        granii_telemetry::counter_add("noop", 1);
+    }
+    let elapsed = start.elapsed();
+    // Generous bound: 1M disabled instrumentation points in a debug build.
+    // Each is one relaxed atomic load; even un-optimized this is far under a
+    // second on any host.
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "disabled path took {elapsed:?}"
+    );
+    assert!(granii_telemetry::take_spans().is_empty());
+    assert!(granii_telemetry::metrics_snapshot().counters.is_empty());
+}
+
+#[test]
+fn histogram_buckets_are_log2() {
+    let _g = guard();
+    granii_telemetry::histogram_record_ns("h", 0);
+    granii_telemetry::histogram_record_ns("h", 1);
+    granii_telemetry::histogram_record_ns("h", 3);
+    granii_telemetry::histogram_record_ns("h", 4);
+    granii_telemetry::histogram_record_ns("h", 1024);
+    granii_telemetry::disable();
+    let snap = granii_telemetry::metrics_snapshot();
+    let h = &snap.histograms[0];
+    assert_eq!(h.name, "h");
+    assert_eq!(h.count, 5);
+    assert_eq!(h.min_ns, 0);
+    assert_eq!(h.max_ns, 1024);
+    assert_eq!(h.buckets[0], 1); // exact zero
+    assert_eq!(h.buckets[1], 1); // [1, 2)
+    assert_eq!(h.buckets[2], 1); // [2, 4) <- 3
+    assert_eq!(h.buckets[3], 1); // [4, 8) <- 4
+    assert_eq!(h.buckets[11], 1); // [1024, 2048)
+    assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+}
+
+#[test]
+fn counters_accumulate() {
+    let _g = guard();
+    granii_telemetry::counter_add("a", 2);
+    granii_telemetry::counter_add("a", 3);
+    granii_telemetry::counter_add("b", 1);
+    granii_telemetry::disable();
+    let snap = granii_telemetry::metrics_snapshot();
+    assert_eq!(
+        snap.counters,
+        vec![("a".to_string(), 5), ("b".to_string(), 1)]
+    );
+}
+
+#[test]
+fn chrome_trace_has_required_event_fields() {
+    let _g = guard();
+    {
+        let _a = span!("root", n = 7u64);
+        let _b = span!("leaf");
+    }
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    let json = export::chrome_trace(&spans);
+    // Schema: a JSON array of complete events with name/ph/ts/dur/pid/tid.
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for field in [
+        "\"name\":",
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":",
+        "\"tid\":",
+    ] {
+        assert_eq!(json.matches(field).count(), 2, "missing {field} in {json}");
+    }
+    assert!(json.contains("\"n\":7"));
+}
+
+#[test]
+fn metrics_json_lists_counters_and_histograms() {
+    let _g = guard();
+    granii_telemetry::counter_add("kernels", 9);
+    granii_telemetry::histogram_record_seconds("latency", 0.001);
+    granii_telemetry::disable();
+    let json = export::metrics_json(&granii_telemetry::metrics_snapshot());
+    assert!(json.contains("\"kernels\":9"));
+    assert!(json.contains("\"latency\""));
+    assert!(json.contains("\"count\":1"));
+    assert!(json.contains("\"buckets\":[[20,1]]"), "{json}"); // 1ms = 1e6 ns -> bucket 20
+}
+
+#[test]
+fn summary_indents_children_under_parents() {
+    let _g = guard();
+    {
+        let _a = span!("phase");
+        let _b = span!("step");
+    }
+    granii_telemetry::disable();
+    let text = export::summary(&granii_telemetry::take_spans());
+    assert!(text.contains("\nphase"), "{text}");
+    assert!(text.contains("\n  step"), "{text}");
+}

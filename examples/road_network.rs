@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             layer.forward(&exec, &ctx, &prepared, &h, comp)?;
             let iter = engine.take_profile().total_seconds();
             let total = prep + 100.0 * iter;
-            let marker = if comp == sel.composition { "  <- selected" } else { "" };
+            let marker = if comp == sel.composition {
+                "  <- selected"
+            } else {
+                ""
+            };
             println!("  {comp}: {:.3} ms / 100 iters{marker}", total * 1e3);
         }
     }

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let granii = Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast())?;
     let full_decision = granii.select(ModelKind::Sage, &graph, 64, 32)?;
-    println!("decision on the full graph: {}", full_decision.composition_name());
+    println!(
+        "decision on the full graph: {}",
+        full_decision.composition_name()
+    );
 
     // One decision, many samples: check stability across 8 random samples per
     // fanout, then run the layer on one of them with real kernels.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-1295825e30f4108b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-1295825e30f4108b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-5dca1f53868a7828.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-5dca1f53868a7828: tests/failure_injection.rs
+
+tests/failure_injection.rs:

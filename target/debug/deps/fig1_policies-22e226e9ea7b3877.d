@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_policies-22e226e9ea7b3877.d: crates/bench/benches/fig1_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_policies-22e226e9ea7b3877.rmeta: crates/bench/benches/fig1_policies.rs Cargo.toml
+
+crates/bench/benches/fig1_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

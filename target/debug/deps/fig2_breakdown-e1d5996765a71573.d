@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_breakdown-e1d5996765a71573.d: crates/bench/benches/fig2_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_breakdown-e1d5996765a71573.rmeta: crates/bench/benches/fig2_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig2_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_sampling-e688f33b45fa5547.d: crates/bench/benches/fig9_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_sampling-e688f33b45fa5547.rmeta: crates/bench/benches/fig9_sampling.rs Cargo.toml
+
+crates/bench/benches/fig9_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-106edd225c23b997.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/granii-106edd225c23b997: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii-176359fecb988ec8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii-176359fecb988ec8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-1ea8c2365a40df64.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/granii-1ea8c2365a40df64: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii-39d533e4c531f0e7.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii-39d533e4c531f0e7.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

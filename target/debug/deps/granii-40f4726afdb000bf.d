@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-40f4726afdb000bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/granii-40f4726afdb000bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-71f154c155bb3226.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/granii-71f154c155bb3226: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

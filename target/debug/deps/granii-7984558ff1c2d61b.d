@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii-7984558ff1c2d61b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii-7984558ff1c2d61b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii-8bc88d2832d9e09c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-8bc88d2832d9e09c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-8bc88d2832d9e09c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-9cf3f18b0975d2d0.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/granii-9cf3f18b0975d2d0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii-a223017f15b64992.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-a223017f15b64992.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-a223017f15b64992.rmeta: src/lib.rs
+
+src/lib.rs:

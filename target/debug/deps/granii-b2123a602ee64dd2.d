@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii-b2123a602ee64dd2.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii-b2123a602ee64dd2.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

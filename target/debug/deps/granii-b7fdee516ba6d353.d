@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-b7fdee516ba6d353.d: src/lib.rs
+
+/root/repo/target/debug/deps/granii-b7fdee516ba6d353: src/lib.rs
+
+src/lib.rs:

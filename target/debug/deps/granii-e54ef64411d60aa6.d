@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii-e54ef64411d60aa6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-e54ef64411d60aa6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-e54ef64411d60aa6.rmeta: src/lib.rs
+
+src/lib.rs:

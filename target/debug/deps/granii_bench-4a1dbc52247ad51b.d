@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/granii_bench-4a1dbc52247ad51b.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libgranii_bench-4a1dbc52247ad51b.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libgranii_bench-4a1dbc52247ad51b.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/granii_bench-733ed339897668ed.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libgranii_bench-733ed339897668ed.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libgranii_bench-733ed339897668ed.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

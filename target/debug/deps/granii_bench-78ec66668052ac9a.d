@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/granii_bench-78ec66668052ac9a.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_bench-78ec66668052ac9a.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii_bench-b1179e235663531e.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/granii_bench-b1179e235663531e: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

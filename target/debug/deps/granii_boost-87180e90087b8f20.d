@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/granii_boost-87180e90087b8f20.d: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/debug/deps/granii_boost-87180e90087b8f20: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+crates/boost/src/lib.rs:
+crates/boost/src/data.rs:
+crates/boost/src/error.rs:
+crates/boost/src/gbt.rs:
+crates/boost/src/metrics.rs:
+crates/boost/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/granii_boost-d1ae89d90810476e.d: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_boost-d1ae89d90810476e.rmeta: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs Cargo.toml
+
+crates/boost/src/lib.rs:
+crates/boost/src/data.rs:
+crates/boost/src/error.rs:
+crates/boost/src/gbt.rs:
+crates/boost/src/metrics.rs:
+crates/boost/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

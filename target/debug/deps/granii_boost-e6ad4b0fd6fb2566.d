@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/granii_boost-e6ad4b0fd6fb2566.d: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/debug/deps/libgranii_boost-e6ad4b0fd6fb2566.rlib: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/debug/deps/libgranii_boost-e6ad4b0fd6fb2566.rmeta: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+crates/boost/src/lib.rs:
+crates/boost/src/data.rs:
+crates/boost/src/error.rs:
+crates/boost/src/gbt.rs:
+crates/boost/src/metrics.rs:
+crates/boost/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii_cli-10d289006d7c0678.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_cli-10d289006d7c0678.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii_cli-166929d1e0a8d899.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/granii_cli-166929d1e0a8d899: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii_cli-2895307099cc62b4.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-2895307099cc62b4.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-2895307099cc62b4.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

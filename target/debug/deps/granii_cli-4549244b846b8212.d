@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii_cli-4549244b846b8212.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-4549244b846b8212.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-4549244b846b8212.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

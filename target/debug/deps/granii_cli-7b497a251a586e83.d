@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii_cli-7b497a251a586e83.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/granii_cli-7b497a251a586e83: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

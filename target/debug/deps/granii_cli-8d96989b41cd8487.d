@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/granii_cli-8d96989b41cd8487.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-8d96989b41cd8487.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-8d96989b41cd8487.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/granii_core-b2cec55554eebf2a.d: crates/core/src/lib.rs crates/core/src/assoc/mod.rs crates/core/src/assoc/generate.rs crates/core/src/assoc/lower.rs crates/core/src/assoc/prune.rs crates/core/src/complexity.rs crates/core/src/cost/mod.rs crates/core/src/cost/featurizer.rs crates/core/src/cost/models.rs crates/core/src/cost/training.rs crates/core/src/error.rs crates/core/src/granii.rs crates/core/src/interp.rs crates/core/src/ir/mod.rs crates/core/src/ir/builder.rs crates/core/src/ir/rewrite.rs crates/core/src/plan.rs crates/core/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_core-b2cec55554eebf2a.rmeta: crates/core/src/lib.rs crates/core/src/assoc/mod.rs crates/core/src/assoc/generate.rs crates/core/src/assoc/lower.rs crates/core/src/assoc/prune.rs crates/core/src/complexity.rs crates/core/src/cost/mod.rs crates/core/src/cost/featurizer.rs crates/core/src/cost/models.rs crates/core/src/cost/training.rs crates/core/src/error.rs crates/core/src/granii.rs crates/core/src/interp.rs crates/core/src/ir/mod.rs crates/core/src/ir/builder.rs crates/core/src/ir/rewrite.rs crates/core/src/plan.rs crates/core/src/runtime.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assoc/mod.rs:
+crates/core/src/assoc/generate.rs:
+crates/core/src/assoc/lower.rs:
+crates/core/src/assoc/prune.rs:
+crates/core/src/complexity.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/featurizer.rs:
+crates/core/src/cost/models.rs:
+crates/core/src/cost/training.rs:
+crates/core/src/error.rs:
+crates/core/src/granii.rs:
+crates/core/src/interp.rs:
+crates/core/src/ir/mod.rs:
+crates/core/src/ir/builder.rs:
+crates/core/src/ir/rewrite.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

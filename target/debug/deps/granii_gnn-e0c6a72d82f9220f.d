@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/granii_gnn-e0c6a72d82f9220f.d: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_gnn-e0c6a72d82f9220f.rmeta: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs Cargo.toml
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/autodiff.rs:
+crates/gnn/src/ctx.rs:
+crates/gnn/src/error.rs:
+crates/gnn/src/exec.rs:
+crates/gnn/src/models/mod.rs:
+crates/gnn/src/models/gat.rs:
+crates/gnn/src/models/gcn.rs:
+crates/gnn/src/models/gin.rs:
+crates/gnn/src/models/model.rs:
+crates/gnn/src/models/sage.rs:
+crates/gnn/src/models/sgc.rs:
+crates/gnn/src/models/tagcn.rs:
+crates/gnn/src/spec.rs:
+crates/gnn/src/system.rs:
+crates/gnn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/granii_graph-0a82ac69561dfd9c.d: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/debug/deps/libgranii_graph-0a82ac69561dfd9c.rlib: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/debug/deps/libgranii_graph-0a82ac69561dfd9c.rmeta: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/error.rs:
+crates/graph/src/features.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/sampling.rs:

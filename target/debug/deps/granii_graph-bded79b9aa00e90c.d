@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/granii_graph-bded79b9aa00e90c.d: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_graph-bded79b9aa00e90c.rmeta: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/error.rs:
+crates/graph/src/features.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/granii_matrix-b534b08b0835938c.d: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/device.rs crates/matrix/src/diag.rs crates/matrix/src/error.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/broadcast.rs crates/matrix/src/ops/edge.rs crates/matrix/src/ops/gemm.rs crates/matrix/src/ops/sddmm.rs crates/matrix/src/ops/spmm.rs crates/matrix/src/parallel.rs crates/matrix/src/semiring.rs crates/matrix/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_matrix-b534b08b0835938c.rmeta: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/device.rs crates/matrix/src/diag.rs crates/matrix/src/error.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/broadcast.rs crates/matrix/src/ops/edge.rs crates/matrix/src/ops/gemm.rs crates/matrix/src/ops/sddmm.rs crates/matrix/src/ops/spmm.rs crates/matrix/src/parallel.rs crates/matrix/src/semiring.rs crates/matrix/src/stats.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/coo.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/device.rs:
+crates/matrix/src/diag.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/ops/mod.rs:
+crates/matrix/src/ops/broadcast.rs:
+crates/matrix/src/ops/edge.rs:
+crates/matrix/src/ops/gemm.rs:
+crates/matrix/src/ops/sddmm.rs:
+crates/matrix/src/ops/spmm.rs:
+crates/matrix/src/parallel.rs:
+crates/matrix/src/semiring.rs:
+crates/matrix/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

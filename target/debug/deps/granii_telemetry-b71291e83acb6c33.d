@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/granii_telemetry-b71291e83acb6c33.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/granii_telemetry-b71291e83acb6c33: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/granii_telemetry-bf1b62c6b3f4357f.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranii_telemetry-bf1b62c6b3f4357f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_proptests-3689908384bc30be.d: crates/core/tests/interp_proptests.rs
+
+/root/repo/target/debug/deps/interp_proptests-3689908384bc30be: crates/core/tests/interp_proptests.rs
+
+crates/core/tests/interp_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp_proptests-477f68c388547ded.d: crates/core/tests/interp_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp_proptests-477f68c388547ded.rmeta: crates/core/tests/interp_proptests.rs Cargo.toml
+
+crates/core/tests/interp_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_proptests-e341e222a1374d9a.d: crates/core/tests/interp_proptests.rs
+
+/root/repo/target/debug/deps/interp_proptests-e341e222a1374d9a: crates/core/tests/interp_proptests.rs
+
+crates/core/tests/interp_proptests.rs:

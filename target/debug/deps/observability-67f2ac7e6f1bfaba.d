@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-67f2ac7e6f1bfaba.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-67f2ac7e6f1bfaba: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-ea51c42ee78edf9e.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-ea51c42ee78edf9e.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_compile-fad15b6d909511dd.d: crates/bench/benches/offline_compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_compile-fad15b6d909511dd.rmeta: crates/bench/benches/offline_compile.rs Cargo.toml
+
+crates/bench/benches/offline_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

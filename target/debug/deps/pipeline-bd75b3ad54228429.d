@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-bd75b3ad54228429.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-bd75b3ad54228429.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-cb420cb2900e154f.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-cb420cb2900e154f: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f57ada78d2fd0b7d.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f57ada78d2fd0b7d: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-047eb6446d7a9b79.d: crates/boost/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-047eb6446d7a9b79: crates/boost/tests/proptests.rs
+
+crates/boost/tests/proptests.rs:

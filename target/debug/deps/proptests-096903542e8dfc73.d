@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-096903542e8dfc73.d: crates/gnn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-096903542e8dfc73.rmeta: crates/gnn/tests/proptests.rs Cargo.toml
+
+crates/gnn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-23083d1748897dd7.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-23083d1748897dd7.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

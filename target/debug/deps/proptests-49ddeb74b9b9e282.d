@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-49ddeb74b9b9e282.d: crates/gnn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-49ddeb74b9b9e282: crates/gnn/tests/proptests.rs
+
+crates/gnn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-53f635813f3bd5e4.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-53f635813f3bd5e4: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

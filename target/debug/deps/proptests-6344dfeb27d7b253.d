@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6344dfeb27d7b253.d: crates/boost/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6344dfeb27d7b253: crates/boost/tests/proptests.rs
+
+crates/boost/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-69010a10e07187d4.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-69010a10e07187d4: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8bca36226ef0e7f0.d: crates/boost/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8bca36226ef0e7f0.rmeta: crates/boost/tests/proptests.rs Cargo.toml
+
+crates/boost/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-91ab432be482fe89.d: crates/matrix/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-91ab432be482fe89: crates/matrix/tests/proptests.rs
+
+crates/matrix/tests/proptests.rs:

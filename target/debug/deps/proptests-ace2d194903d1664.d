@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ace2d194903d1664.d: crates/gnn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ace2d194903d1664: crates/gnn/tests/proptests.rs
+
+crates/gnn/tests/proptests.rs:

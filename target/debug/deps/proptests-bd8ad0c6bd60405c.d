@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bd8ad0c6bd60405c.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bd8ad0c6bd60405c: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

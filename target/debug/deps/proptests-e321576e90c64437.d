@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e321576e90c64437.d: crates/matrix/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e321576e90c64437: crates/matrix/tests/proptests.rs
+
+crates/matrix/tests/proptests.rs:

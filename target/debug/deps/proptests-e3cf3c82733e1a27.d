@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e3cf3c82733e1a27.d: crates/matrix/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e3cf3c82733e1a27.rmeta: crates/matrix/tests/proptests.rs Cargo.toml
+
+crates/matrix/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ec4971f2de4f7175.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ec4971f2de4f7175: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2dfc8d117b7aad2a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2dfc8d117b7aad2a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b655ac7905387303.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b655ac7905387303: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

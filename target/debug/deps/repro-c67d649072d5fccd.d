@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c67d649072d5fccd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c67d649072d5fccd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

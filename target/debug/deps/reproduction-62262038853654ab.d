@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-62262038853654ab.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-62262038853654ab: tests/reproduction.rs
+
+tests/reproduction.rs:

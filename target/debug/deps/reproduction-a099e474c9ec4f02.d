@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction-a099e474c9ec4f02.d: tests/reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction-a099e474c9ec4f02.rmeta: tests/reproduction.rs Cargo.toml
+
+tests/reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

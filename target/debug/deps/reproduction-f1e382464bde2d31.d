@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction-f1e382464bde2d31.d: tests/reproduction.rs
+
+/root/repo/target/debug/deps/reproduction-f1e382464bde2d31: tests/reproduction.rs
+
+tests/reproduction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6a0c86920aaabf26.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6a0c86920aaabf26.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6a0c86920aaabf26.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-6102fbdbe10f2569.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6102fbdbe10f2569.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6102fbdbe10f2569.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

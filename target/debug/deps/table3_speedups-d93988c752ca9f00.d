@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_speedups-d93988c752ca9f00.d: crates/bench/benches/table3_speedups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_speedups-d93988c752ca9f00.rmeta: crates/bench/benches/table3_speedups.rs Cargo.toml
+
+crates/bench/benches/table3_speedups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_end_to_end-c303784dc942bc80.d: crates/bench/benches/table4_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_end_to_end-c303784dc942bc80.rmeta: crates/bench/benches/table4_end_to_end.rs Cargo.toml
+
+crates/bench/benches/table4_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

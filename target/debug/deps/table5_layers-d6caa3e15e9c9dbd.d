@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_layers-d6caa3e15e9c9dbd.d: crates/bench/benches/table5_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_layers-d6caa3e15e9c9dbd.rmeta: crates/bench/benches/table5_layers.rs Cargo.toml
+
+crates/bench/benches/table5_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_oracles-6616bc1b7ea9b185.d: crates/bench/benches/table6_oracles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_oracles-6616bc1b7ea9b185.rmeta: crates/bench/benches/table6_oracles.rs Cargo.toml
+
+crates/bench/benches/table6_oracles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

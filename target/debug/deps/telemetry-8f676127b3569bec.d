@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-8f676127b3569bec.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-8f676127b3569bec: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

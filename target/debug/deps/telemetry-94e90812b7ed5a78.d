@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-94e90812b7ed5a78.d: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-94e90812b7ed5a78.rmeta: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+crates/telemetry/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

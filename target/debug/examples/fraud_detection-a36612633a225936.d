@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-a36612633a225936.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-a36612633a225936: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

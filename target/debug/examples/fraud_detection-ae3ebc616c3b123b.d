@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-ae3ebc616c3b123b.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-ae3ebc616c3b123b: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fraud_detection-c3f1c82abd2bae87.d: examples/fraud_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfraud_detection-c3f1c82abd2bae87.rmeta: examples/fraud_detection.rs Cargo.toml
+
+examples/fraud_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bd49b360cc6dcc65.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bd49b360cc6dcc65: examples/quickstart.rs
+
+examples/quickstart.rs:

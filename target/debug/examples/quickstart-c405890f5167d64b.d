@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c405890f5167d64b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c405890f5167d64b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-fe63952f0d2c4541.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-fe63952f0d2c4541.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

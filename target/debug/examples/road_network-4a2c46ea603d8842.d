@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_network-4a2c46ea603d8842.d: examples/road_network.rs
+
+/root/repo/target/debug/examples/road_network-4a2c46ea603d8842: examples/road_network.rs
+
+examples/road_network.rs:

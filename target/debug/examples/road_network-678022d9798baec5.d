@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/road_network-678022d9798baec5.d: examples/road_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroad_network-678022d9798baec5.rmeta: examples/road_network.rs Cargo.toml
+
+examples/road_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_network-fee129bd07701958.d: examples/road_network.rs
+
+/root/repo/target/debug/examples/road_network-fee129bd07701958: examples/road_network.rs
+
+examples/road_network.rs:

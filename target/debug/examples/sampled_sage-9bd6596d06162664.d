@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampled_sage-9bd6596d06162664.d: examples/sampled_sage.rs
+
+/root/repo/target/debug/examples/sampled_sage-9bd6596d06162664: examples/sampled_sage.rs
+
+examples/sampled_sage.rs:

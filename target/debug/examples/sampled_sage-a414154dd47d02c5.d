@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampled_sage-a414154dd47d02c5.d: examples/sampled_sage.rs
+
+/root/repo/target/debug/examples/sampled_sage-a414154dd47d02c5: examples/sampled_sage.rs
+
+examples/sampled_sage.rs:

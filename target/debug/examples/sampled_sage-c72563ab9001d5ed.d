@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sampled_sage-c72563ab9001d5ed.d: examples/sampled_sage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsampled_sage-c72563ab9001d5ed.rmeta: examples/sampled_sage.rs Cargo.toml
+
+examples/sampled_sage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_stage-2e34581d93b945a4.d: examples/two_stage.rs
+
+/root/repo/target/debug/examples/two_stage-2e34581d93b945a4: examples/two_stage.rs
+
+examples/two_stage.rs:

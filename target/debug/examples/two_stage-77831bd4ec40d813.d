@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_stage-77831bd4ec40d813.d: examples/two_stage.rs
+
+/root/repo/target/debug/examples/two_stage-77831bd4ec40d813: examples/two_stage.rs
+
+examples/two_stage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/two_stage-8510c0672b155143.d: examples/two_stage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwo_stage-8510c0672b155143.rmeta: examples/two_stage.rs Cargo.toml
+
+examples/two_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/granii-847b5c4db4b62ec5.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/granii-847b5c4db4b62ec5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/granii-f69e6c6af99bdffe.d: src/lib.rs
+
+/root/repo/target/release/deps/libgranii-f69e6c6af99bdffe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgranii-f69e6c6af99bdffe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/granii-fe7e9c1eedc32418.d: src/lib.rs
+
+/root/repo/target/release/deps/libgranii-fe7e9c1eedc32418.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgranii-fe7e9c1eedc32418.rmeta: src/lib.rs
+
+src/lib.rs:

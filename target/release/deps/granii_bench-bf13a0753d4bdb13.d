@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/granii_bench-bf13a0753d4bdb13.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libgranii_bench-bf13a0753d4bdb13.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libgranii_bench-bf13a0753d4bdb13.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/granii_boost-daf1ff7828accdae.d: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/release/deps/libgranii_boost-daf1ff7828accdae.rlib: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/release/deps/libgranii_boost-daf1ff7828accdae.rmeta: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+crates/boost/src/lib.rs:
+crates/boost/src/data.rs:
+crates/boost/src/error.rs:
+crates/boost/src/gbt.rs:
+crates/boost/src/metrics.rs:
+crates/boost/src/tree.rs:

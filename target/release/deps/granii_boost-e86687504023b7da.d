@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/granii_boost-e86687504023b7da.d: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/release/deps/libgranii_boost-e86687504023b7da.rlib: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+/root/repo/target/release/deps/libgranii_boost-e86687504023b7da.rmeta: crates/boost/src/lib.rs crates/boost/src/data.rs crates/boost/src/error.rs crates/boost/src/gbt.rs crates/boost/src/metrics.rs crates/boost/src/tree.rs
+
+crates/boost/src/lib.rs:
+crates/boost/src/data.rs:
+crates/boost/src/error.rs:
+crates/boost/src/gbt.rs:
+crates/boost/src/metrics.rs:
+crates/boost/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/granii_cli-95bc2a9033a3da6a.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgranii_cli-95bc2a9033a3da6a.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libgranii_cli-95bc2a9033a3da6a.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/granii_gnn-cebce2dd7af80f50.d: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libgranii_gnn-cebce2dd7af80f50.rlib: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libgranii_gnn-cebce2dd7af80f50.rmeta: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/autodiff.rs:
+crates/gnn/src/ctx.rs:
+crates/gnn/src/error.rs:
+crates/gnn/src/exec.rs:
+crates/gnn/src/models/mod.rs:
+crates/gnn/src/models/gat.rs:
+crates/gnn/src/models/gcn.rs:
+crates/gnn/src/models/gin.rs:
+crates/gnn/src/models/model.rs:
+crates/gnn/src/models/sage.rs:
+crates/gnn/src/models/sgc.rs:
+crates/gnn/src/models/tagcn.rs:
+crates/gnn/src/spec.rs:
+crates/gnn/src/system.rs:
+crates/gnn/src/train.rs:

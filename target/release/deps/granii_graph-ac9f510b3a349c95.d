@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/granii_graph-ac9f510b3a349c95.d: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/release/deps/libgranii_graph-ac9f510b3a349c95.rlib: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/release/deps/libgranii_graph-ac9f510b3a349c95.rmeta: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/error.rs:
+crates/graph/src/features.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/sampling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/granii_graph-e38776921db5aa62.d: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/release/deps/libgranii_graph-e38776921db5aa62.rlib: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/release/deps/libgranii_graph-e38776921db5aa62.rmeta: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/error.rs:
+crates/graph/src/features.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/sampling.rs:

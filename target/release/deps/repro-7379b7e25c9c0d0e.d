@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-7379b7e25c9c0d0e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-7379b7e25c9c0d0e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

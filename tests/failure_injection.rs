@@ -68,7 +68,9 @@ fn gnn_layer_rejects_mismatched_features_and_compositions() {
         Err(GnnError::DimensionMismatch { .. })
     ));
     let alien = Composition::all_for(ModelKind::Gat)[0];
-    assert!(layer.forward(&exec, &ctx, &Prepared::default(), &wrong_cols, alien).is_err());
+    assert!(layer
+        .forward(&exec, &ctx, &Prepared::default(), &wrong_cols, alien)
+        .is_err());
 }
 
 #[test]
@@ -80,7 +82,10 @@ fn empty_graphs_are_rejected_by_the_context() {
 #[test]
 fn boost_layer_rejects_degenerate_datasets() {
     let empty: &[Vec<f64>] = &[];
-    assert_eq!(BoostDataset::from_rows(empty, &[]).unwrap_err(), BoostError::EmptyDataset);
+    assert_eq!(
+        BoostDataset::from_rows(empty, &[]).unwrap_err(),
+        BoostError::EmptyDataset
+    );
     assert_eq!(
         BoostDataset::from_rows(&[vec![f64::NAN]], &[1.0]).unwrap_err(),
         BoostError::NonFinite
@@ -108,7 +113,10 @@ fn runtime_reports_missing_cost_models() {
 
 #[test]
 fn corrupt_cost_model_json_is_a_typed_error() {
-    assert!(matches!(CostModelSet::from_json("{not json"), Err(CoreError::Serde(_))));
+    assert!(matches!(
+        CostModelSet::from_json("{not json"),
+        Err(CoreError::Serde(_))
+    ));
 }
 
 #[test]

@@ -33,11 +33,15 @@ fn selected_composition_matches_baseline_output() {
         let selection = granii.select(kind, &graph, cfg.k_in, cfg.k_out).unwrap();
         let layer = GnnLayer::new(kind, cfg, 42).unwrap();
         let prepared = layer.prepare(&exec, &ctx, selection.composition).unwrap();
-        let ours = layer.forward(&exec, &ctx, &prepared, &h, selection.composition).unwrap();
+        let ours = layer
+            .forward(&exec, &ctx, &prepared, &h, selection.composition)
+            .unwrap();
 
         let baseline_comp = System::Dgl.default_composition(kind, cfg);
         let prepared_b = layer.prepare(&exec, &ctx, baseline_comp).unwrap();
-        let reference = layer.forward(&exec, &ctx, &prepared_b, &h, baseline_comp).unwrap();
+        let reference = layer
+            .forward(&exec, &ctx, &prepared_b, &h, baseline_comp)
+            .unwrap();
 
         let diff = ours.max_abs_diff(&reference).unwrap();
         assert!(diff < 1e-3, "{kind}: GRANII output diverges by {diff}");
@@ -73,9 +77,15 @@ fn training_with_selected_composition_converges() {
 #[test]
 fn offline_stage_counts_match_paper() {
     let gcn = CompiledModel::compile(ModelKind::Gcn, LayerConfig::new(32, 256)).unwrap();
-    assert_eq!((gcn.enumerated, gcn.pruned, gcn.candidates.len()), (12, 8, 4));
+    assert_eq!(
+        (gcn.enumerated, gcn.pruned, gcn.candidates.len()),
+        (12, 8, 4)
+    );
     let gat = CompiledModel::compile(ModelKind::Gat, LayerConfig::new(32, 256)).unwrap();
-    assert_eq!((gat.enumerated, gat.pruned, gat.candidates.len()), (2, 0, 2));
+    assert_eq!(
+        (gat.enumerated, gat.pruned, gat.candidates.len()),
+        (2, 0, 2)
+    );
 }
 
 /// Input sensitivity across the dataset suite: the GCN decision differs

@@ -56,12 +56,21 @@ fn headline_shapes_hold() {
         .filter(|r| r.config.mode == Mode::Training)
         .map(Record::speedup)
         .collect();
-    let gm = |v: &[f64]| v.iter().map(|x| x.ln()).sum::<f64>().exp().powf(1.0 / v.len() as f64);
+    let gm = |v: &[f64]| {
+        v.iter()
+            .map(|x| x.ln())
+            .sum::<f64>()
+            .exp()
+            .powf(1.0 / v.len() as f64)
+    };
     let gi = gm(&inference);
     let gt = gm(&training);
     assert!(gi > 1.0, "inference geomean {gi}");
     assert!(gt > 1.0, "training geomean {gt}");
-    assert!(gt <= gi + 0.05, "training {gt} should not exceed inference {gi}");
+    assert!(
+        gt <= gi + 0.05,
+        "training {gt} should not exceed inference {gi}"
+    );
 
     // 2. GRANII never loses badly: worst-case slowdown bounded (the paper's
     //    slowdowns are small and rare, Fig 8(d)). Judged on composition choice
@@ -70,7 +79,9 @@ fn headline_shapes_hold() {
     let worst = records
         .iter()
         .map(|r| {
-            let chosen = r.seconds_of(r.granii_composition).expect("chosen was timed");
+            let chosen = r
+                .seconds_of(r.granii_composition)
+                .expect("chosen was timed");
             r.baseline_seconds / chosen
         })
         .fold(f64::INFINITY, f64::min);
@@ -81,7 +92,10 @@ fn headline_shapes_hold() {
     let granii_s = geomean_speedup(Policy::Granii, &records);
     let optimal_s = geomean_speedup(Policy::Optimal, &records);
     assert!(optimal_s >= granii_s * 0.999);
-    assert!(granii_s > 0.95 * optimal_s, "GRANII {granii_s} vs optimal {optimal_s}");
+    assert!(
+        granii_s > 0.95 * optimal_s,
+        "GRANII {granii_s} vs optimal {optimal_s}"
+    );
     for policy in [Policy::Hw, Policy::Graph, Policy::Sys, Policy::Static] {
         let s = geomean_speedup(policy, &records);
         assert!(
@@ -90,7 +104,6 @@ fn headline_shapes_hold() {
             policy.name()
         );
     }
-
 }
 
 /// The dense-graph WiseGraph speedups exceed the sparse-graph ones for GCN
@@ -124,7 +137,11 @@ fn overheads_are_small_and_one_time() {
     let graph = Dataset::Reddit.load(Scale::Tiny).unwrap();
     let sel = granii.select(ModelKind::Gcn, &graph, 64, 64).unwrap();
     // Sub-second on any host; the paper reports <= 7ms (GPU hosts).
-    assert!(sel.overhead_seconds() < 1.0, "overhead {}", sel.overhead_seconds());
+    assert!(
+        sel.overhead_seconds() < 1.0,
+        "overhead {}",
+        sel.overhead_seconds()
+    );
 }
 
 #[test]

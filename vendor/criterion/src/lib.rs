@@ -1,0 +1,171 @@
+//! Offline micro-benchmark harness shim with criterion's API surface.
+//!
+//! Implements the subset the workspace benches use (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`) with a simple
+//! warmup + fixed-sample median-time measurement printed to stdout. No
+//! statistics machinery, plots, or baselines — just honest wall-clock
+//! numbers so `cargo bench` works offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, like `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median of the sample runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warmup run (also primes caches and lazy state).
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.per_iter = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        per_iter: None,
+    };
+    f(&mut b);
+    match b.per_iter {
+        Some(t) => println!("bench {label:<40} {t:>12.2?}/iter (median of {samples})"),
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// Named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id.into()), self.samples, |b| {
+            f(b)
+        });
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle, like `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark with the default sample count.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), 10, |b| f(b));
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut ran = 0u32;
+        run_one("smoke", 3, |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 4, "warmup + samples should run");
+    }
+
+    #[test]
+    fn group_runs_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut hits = 0u32;
+        group.bench_with_input(BenchmarkId::new("id", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                hits += 1;
+                black_box(n)
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

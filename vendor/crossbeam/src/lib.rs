@@ -1,0 +1,77 @@
+//! Offline shim exposing the subset of `crossbeam` the workspace uses:
+//! `crossbeam::thread::scope` with spawn closures that receive the scope,
+//! backed by `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type carried by a failed [`scope`] (a panicked child thread).
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam's nested-spawn convention).
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (ignored by
+        /// all call sites here, kept for crossbeam signature parity).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Unlike crossbeam, a child panic propagates out of this
+    /// call instead of surfacing as `Err` — every call site immediately
+    /// `.expect()`s the result, so the observable behaviour is identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn spawn_without_join_still_completes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                let hits = &hits;
+                s.spawn(move |_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

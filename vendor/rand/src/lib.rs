@@ -1,0 +1,221 @@
+//! Offline shim exposing the subset of `rand` 0.8 the workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::{gen, gen_range}`, and
+//! `seq::SliceRandom::shuffle`, backed by a SplitMix64 generator.
+//!
+//! The stream differs from upstream `StdRng` (ChaCha12), but every consumer
+//! only relies on determinism-per-seed, which SplitMix64 provides.
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampleable uniformly from their "standard" distribution
+/// (`[0, 1)` for floats), mirroring `rand::distributions::Standard`.
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform double in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a generator can sample uniformly (half-open ranges only, matching
+/// every call site in the workspace).
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is negligible for the small spans used here.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(usize, u64, u32, u16, u8);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as StandardSample>::sample_standard(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Guard the open upper bound against fp rounding.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+float_sample_range!(f64, f32);
+
+/// High-level sampling interface, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws one value from the type's standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64) standing in for `rand::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix once so nearby seeds diverge immediately.
+            let mut rng = StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom::shuffle`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! The generated impls target the shim's value-tree traits
+//! (`serde::Serialize::serialize(&self) -> serde::Value` and back) and follow
+//! serde_json's external-tagging conventions so persisted JSON keeps the
+//! upstream shape: structs become objects keyed by field name, unit enum
+//! variants become bare strings, newtype variants `{"V": inner}`, tuple
+//! variants `{"V": [..]}`, struct variants `{"V": {..}}`.
+//!
+//! There is no `syn`/`quote` offline, so the item is parsed directly from the
+//! token stream. Supported input: non-generic structs with named fields and
+//! non-generic enums; `#[serde(...)]` attributes are not supported (none are
+//! used in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Shape of one enum variant.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<(String, VariantKind)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = match &body {
+        Body::Struct(fields) => gen_struct_serialize(&name, fields),
+        Body::Enum(variants) => gen_enum_serialize(&name, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = match &body {
+        Body::Struct(fields) => gen_struct_deserialize(&name, fields),
+        Body::Enum(variants) => gen_enum_deserialize(&name, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let mut it = input.into_iter().peekable();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => skip_vis_restriction(&mut it),
+                    "struct" | "enum" => break s,
+                    other => panic!("serde_derive shim: unsupported item `{other}`"),
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token {other:?}"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    let body_group = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is unsupported")
+        }
+        other => panic!("serde_derive shim: expected braced body for `{name}`, got {other:?}"),
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        _ => Body::Enum(parse_variants(body_group.stream())),
+    };
+    (name, body)
+}
+
+/// Skips the `(...)` in `pub(crate)` / `pub(in ...)` if present.
+fn skip_vis_restriction(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+        it.next();
+    }
+}
+
+/// Skips any leading `#[...]` attributes.
+fn skip_attrs(it: &mut TokenIter) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        it.next();
+    }
+}
+
+/// Consumes tokens until a top-level `,` (angle-bracket aware) or the end.
+fn skip_to_comma(it: &mut TokenIter) {
+    let mut angle_depth = 0i64;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            skip_vis_restriction(&mut it);
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_to_comma(&mut it);
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantKind)> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        skip_to_comma(&mut it); // also skips any `= discriminant`
+        variants.push((name, kind));
+    }
+    variants
+}
+
+/// Counts the comma-separated types inside a tuple variant's parentheses.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut arity = 0usize;
+    while it.peek().is_some() {
+        skip_to_comma(&mut it);
+        arity += 1;
+    }
+    arity
+}
+
+// ---------------------------------------------------------------- codegen
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "m.insert(::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::serialize(&self.{f}));\n"
+        ));
+    }
+    body.push_str("::serde::Value::Object(m)");
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut ctor = format!("{name} {{ ");
+    for f in fields {
+        ctor.push_str(&format!("{f}: ::serde::get_field(m, \"{f}\")?, "));
+    }
+    ctor.push('}');
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let m = match value {{\n\
+             ::serde::Value::Object(m) => m,\n\
+             _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")),\n\
+         }};\n\
+         ::std::result::Result::Ok({ctor})\n}}\n}}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let mut arms = String::new();
+    for (v, kind) in variants {
+        match kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("v{i}")).collect();
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::serialize(v0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{v}({binds}) => {{\n\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "inner.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {fields} }} => {{\n{inner}\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(::std::string::String::from(\"{v}\"), ::serde::Value::Object(inner));\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    fields = fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (v, kind) in variants {
+        match kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+            )),
+            VariantKind::Tuple(arity) if *arity == 1 => data_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::deserialize(inner)?)),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&a[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{v}\" => match inner {{\n\
+                     ::serde::Value::Array(a) if a.len() == {arity} => \
+                     ::std::result::Result::Ok({name}::{v}({elems})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected {arity}-element array for variant {v}\")),\n}}\n",
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let ctor: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::get_field(im, \"{f}\")?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                     let im = match inner {{\n\
+                         ::serde::Value::Object(im) => im,\n\
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected object for variant {v}\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}::{v} {{ {ctor} }})\n}}\n",
+                    ctor = ctor.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match value {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{}}` of {name}\", other))),\n}},\n\
+         ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+             let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+             match k.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", other))),\n}}\n}}\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum {name}\")),\n\
+         }}\n}}\n}}"
+    )
+}
