@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-48547cb333cca019.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgranii-48547cb333cca019.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii-cc03a4d7ff8a3f9c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libgranii-cc03a4d7ff8a3f9c.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granii_bench-77dd11ee045cbe21.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libgranii_bench-77dd11ee045cbe21.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/policies.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/policies.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

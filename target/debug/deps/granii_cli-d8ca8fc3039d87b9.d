@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granii_cli-d8ca8fc3039d87b9.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgranii_cli-d8ca8fc3039d87b9.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/granii_core-63b21c0293e5ced3.d: crates/core/src/lib.rs crates/core/src/assoc/mod.rs crates/core/src/assoc/generate.rs crates/core/src/assoc/lower.rs crates/core/src/assoc/prune.rs crates/core/src/complexity.rs crates/core/src/cost/mod.rs crates/core/src/cost/featurizer.rs crates/core/src/cost/models.rs crates/core/src/cost/training.rs crates/core/src/error.rs crates/core/src/granii.rs crates/core/src/interp.rs crates/core/src/ir/mod.rs crates/core/src/ir/builder.rs crates/core/src/ir/rewrite.rs crates/core/src/plan.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libgranii_core-63b21c0293e5ced3.rmeta: crates/core/src/lib.rs crates/core/src/assoc/mod.rs crates/core/src/assoc/generate.rs crates/core/src/assoc/lower.rs crates/core/src/assoc/prune.rs crates/core/src/complexity.rs crates/core/src/cost/mod.rs crates/core/src/cost/featurizer.rs crates/core/src/cost/models.rs crates/core/src/cost/training.rs crates/core/src/error.rs crates/core/src/granii.rs crates/core/src/interp.rs crates/core/src/ir/mod.rs crates/core/src/ir/builder.rs crates/core/src/ir/rewrite.rs crates/core/src/plan.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assoc/mod.rs:
+crates/core/src/assoc/generate.rs:
+crates/core/src/assoc/lower.rs:
+crates/core/src/assoc/prune.rs:
+crates/core/src/complexity.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/featurizer.rs:
+crates/core/src/cost/models.rs:
+crates/core/src/cost/training.rs:
+crates/core/src/error.rs:
+crates/core/src/granii.rs:
+crates/core/src/interp.rs:
+crates/core/src/ir/mod.rs:
+crates/core/src/ir/builder.rs:
+crates/core/src/ir/rewrite.rs:
+crates/core/src/plan.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/granii_gnn-1c7b9e6d0eb3fa12.d: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/libgranii_gnn-1c7b9e6d0eb3fa12.rmeta: crates/gnn/src/lib.rs crates/gnn/src/autodiff.rs crates/gnn/src/ctx.rs crates/gnn/src/error.rs crates/gnn/src/exec.rs crates/gnn/src/models/mod.rs crates/gnn/src/models/gat.rs crates/gnn/src/models/gcn.rs crates/gnn/src/models/gin.rs crates/gnn/src/models/model.rs crates/gnn/src/models/sage.rs crates/gnn/src/models/sgc.rs crates/gnn/src/models/tagcn.rs crates/gnn/src/spec.rs crates/gnn/src/system.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/autodiff.rs:
+crates/gnn/src/ctx.rs:
+crates/gnn/src/error.rs:
+crates/gnn/src/exec.rs:
+crates/gnn/src/models/mod.rs:
+crates/gnn/src/models/gat.rs:
+crates/gnn/src/models/gcn.rs:
+crates/gnn/src/models/gin.rs:
+crates/gnn/src/models/model.rs:
+crates/gnn/src/models/sage.rs:
+crates/gnn/src/models/sgc.rs:
+crates/gnn/src/models/tagcn.rs:
+crates/gnn/src/spec.rs:
+crates/gnn/src/system.rs:
+crates/gnn/src/train.rs:

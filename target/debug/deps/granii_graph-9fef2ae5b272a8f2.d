@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/granii_graph-9fef2ae5b272a8f2.d: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+/root/repo/target/debug/deps/libgranii_graph-9fef2ae5b272a8f2.rmeta: crates/graph/src/lib.rs crates/graph/src/datasets.rs crates/graph/src/error.rs crates/graph/src/features.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/sampling.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/error.rs:
+crates/graph/src/features.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/sampling.rs:

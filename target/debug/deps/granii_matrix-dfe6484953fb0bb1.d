@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/granii_matrix-dfe6484953fb0bb1.d: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/device.rs crates/matrix/src/diag.rs crates/matrix/src/error.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/broadcast.rs crates/matrix/src/ops/edge.rs crates/matrix/src/ops/gemm.rs crates/matrix/src/ops/sddmm.rs crates/matrix/src/ops/spmm.rs crates/matrix/src/parallel.rs crates/matrix/src/semiring.rs crates/matrix/src/stats.rs
+
+/root/repo/target/debug/deps/libgranii_matrix-dfe6484953fb0bb1.rmeta: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/device.rs crates/matrix/src/diag.rs crates/matrix/src/error.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/broadcast.rs crates/matrix/src/ops/edge.rs crates/matrix/src/ops/gemm.rs crates/matrix/src/ops/sddmm.rs crates/matrix/src/ops/spmm.rs crates/matrix/src/parallel.rs crates/matrix/src/semiring.rs crates/matrix/src/stats.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/coo.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/device.rs:
+crates/matrix/src/diag.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/ops/mod.rs:
+crates/matrix/src/ops/broadcast.rs:
+crates/matrix/src/ops/edge.rs:
+crates/matrix/src/ops/gemm.rs:
+crates/matrix/src/ops/sddmm.rs:
+crates/matrix/src/ops/spmm.rs:
+crates/matrix/src/parallel.rs:
+crates/matrix/src/semiring.rs:
+crates/matrix/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a6621e9df546b5b3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-a6621e9df546b5b3.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-cd9a16b62a3ea0b4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cd9a16b62a3ea0b4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

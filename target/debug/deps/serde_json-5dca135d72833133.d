@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-5dca135d72833133.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5dca135d72833133.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:
