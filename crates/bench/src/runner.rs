@@ -1,6 +1,9 @@
 //! Measurement core: baseline runs, per-composition ground truth, and GRANII
 //! runs for one grid cell.
 
+use granii_core::execplan::PlanInputs;
+use granii_core::plan::CompiledModel;
+use granii_core::runtime::{run_steady_state, SteadyStateReport};
 use granii_core::{CoreError, Granii};
 use granii_gnn::models::GnnLayer;
 use granii_gnn::spec::{Composition, LayerConfig, ModelKind};
@@ -129,6 +132,29 @@ fn time_composition(
     }
 }
 
+/// Runs `composition` for one grid cell through the compile-once engine and
+/// reports the plan-build / bind / warm-up / steady-state phase split
+/// (real-arithmetic kernels on the modeled device; wall times are host
+/// times, charges follow the device model).
+///
+/// # Errors
+///
+/// Propagates compile, plan-build, and kernel errors.
+pub fn steady_state_report(
+    cfg: &EvalConfig,
+    graph: &Graph,
+    composition: Composition,
+) -> Result<SteadyStateReport, CoreError> {
+    let ctx = GraphCtx::new(graph)?;
+    let layer_cfg = LayerConfig::new(cfg.k1, cfg.k2);
+    let plan = CompiledModel::compile(cfg.model, layer_cfg)?;
+    let h = DenseMatrix::random(ctx.num_nodes(), cfg.k1, 1.0, SEED);
+    let inputs = PlanInputs::for_model(cfg.model, layer_cfg, &ctx, h, SEED);
+    let engine = Engine::modeled(cfg.device);
+    let exec = Exec::real(&engine);
+    run_steady_state(&exec, &plan, composition, &inputs, ITERATIONS)
+}
+
 /// Profiles one baseline GCN iteration and returns the sparse/dense runtime
 /// split (Figure 2's breakdown).
 ///
@@ -237,6 +263,27 @@ mod tests {
         };
         let rec = evaluate_config(&cfg, &graph, &g).unwrap();
         assert!(rec.speedup() > 3.0, "speedup {}", rec.speedup());
+    }
+
+    #[test]
+    fn steady_state_report_covers_all_compositions() {
+        let graph = Dataset::Reddit.load(Scale::Tiny).unwrap();
+        let cfg = EvalConfig {
+            system: System::Dgl,
+            device: DeviceKind::Cpu,
+            model: ModelKind::Gcn,
+            dataset: Dataset::Reddit,
+            k1: 16,
+            k2: 8,
+            mode: Mode::Inference,
+        };
+        for comp in Composition::all_for(ModelKind::Gcn) {
+            let report = steady_state_report(&cfg, &graph, comp).unwrap();
+            assert_eq!(report.composition, comp);
+            assert_eq!(report.steady_iterations, ITERATIONS - 1);
+            assert!(report.setup_seconds() > 0.0, "{report:?}");
+            assert!(report.steady_seconds > 0.0, "{report:?}");
+        }
     }
 
     #[test]

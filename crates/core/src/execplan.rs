@@ -1,0 +1,1279 @@
+//! Compile-once execution engine for candidate programs (§IV-D's steady
+//! state).
+//!
+//! The legacy [`crate::interp`] re-resolves every operand through a
+//! string-keyed `BTreeMap` and re-allocates every intermediate on every call
+//! — fine as a differential-test oracle, wrong as the thing that runs the
+//! ~100 steady-state iterations the selection overhead amortizes over
+//! (§VI-C). This module splits that work into three phases:
+//!
+//! 1. **Build** ([`ExecPlan::build`]): canonical-signature resolution. Each
+//!    [`PrimStep`] is lowered once into a slot-addressed [`Instr`]; operand
+//!    expressions are resolved through the same tolerant lookup the
+//!    interpreter uses (exact / outer-paren-stripped / wrapped), `add` steps
+//!    that alias an already-bound sum collapse to nothing, and hoisted
+//!    (`once`) steps are separated from per-iteration steps. No inputs are
+//!    needed yet — a plan is reusable across graphs.
+//! 2. **Bind** ([`ExecPlan::bind`]): shape inference against concrete
+//!    [`ProgramInputs`], slot assignment (dense per-iteration intermediates
+//!    share physical buffers via a liveness-driven free list), buffer
+//!    allocation, and one charged execution of the hoisted setup
+//!    instructions.
+//! 3. **Iterate** ([`BoundPlan::iterate`]): a flat loop over slot-addressed
+//!    instructions driving the `_into` kernels. No `String` lookup, no
+//!    `Value` clone, no heap allocation — every intermediate lands in a
+//!    buffer assigned at bind time.
+//!
+//! The engine charges exactly the latencies the interpreter charges and
+//! produces bitwise-identical outputs; `crates/core/tests` asserts both
+//! differentially across every model × promoted candidate.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use granii_gnn::models::{GAT_SLOPE, GIN_EPS};
+use granii_gnn::spec::{LayerConfig, ModelKind};
+use granii_gnn::{Exec, GraphCtx};
+use granii_matrix::ops::BroadcastOp;
+use granii_matrix::{CsrMatrix, DenseMatrix, PrimitiveKind, Semiring, WorkStats};
+
+use crate::assoc::{CandidateProgram, PrimStep};
+use crate::interp::{split_top, ProgramInputs};
+use crate::{CoreError, Result};
+
+/// Index into the plan's value table (one entry per produced/leaf value).
+type ValueId = usize;
+
+/// What kind of value a [`ValueId`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueKind {
+    Dense,
+    Sparse,
+    Diag,
+}
+
+/// A leaf operand, seeded from [`ProgramInputs`] at bind time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Leaf {
+    /// The aggregation mask `A`.
+    Adj,
+    /// `D̃^{-1/2}` (the leaf `D`).
+    DegInvSqrt,
+    /// `D^{-1}` (GraphSAGE's mean normalizer).
+    DegInv,
+    /// Node features `H`.
+    Features,
+    /// GIN's `(1+ε)I` constant diagonal.
+    EpsIdentity,
+    /// A dense weight leaf (`W`, `W1`, `a_l`, ...), looked up by name.
+    Weight(String),
+}
+
+/// One slot-addressed instruction. Every operand and output is a [`ValueId`];
+/// the bound plan maps ids to physical buffer slots.
+#[derive(Debug, Clone)]
+enum Instr {
+    /// Dense × dense product.
+    Gemm {
+        a: ValueId,
+        b: ValueId,
+        out: ValueId,
+    },
+    /// Sparse × dense product; `weighted` selects the semiring the
+    /// interpreter would use for the step's primitive kind.
+    Spmm {
+        adj: ValueId,
+        x: ValueId,
+        weighted: bool,
+        out: ValueId,
+    },
+    /// GAT logits: per-edge `ul_i + vr_j` over the mask.
+    AttLogits {
+        mask: ValueId,
+        ul: ValueId,
+        vr: ValueId,
+        out: ValueId,
+    },
+    /// `diag · sparse · diag` edge scaling; multiple diagonals per side are
+    /// merged (uncharged, mirroring the interpreter) before the kernel.
+    ScaleCsr {
+        dl: Vec<ValueId>,
+        sparse: ValueId,
+        dr: Vec<ValueId>,
+        out: ValueId,
+    },
+    /// Row-wise diagonal broadcast `diag(d) · X`.
+    RowBroadcast {
+        d: ValueId,
+        x: ValueId,
+        out: ValueId,
+    },
+    /// Column-wise diagonal broadcast `X · diag(d)`.
+    ColBroadcast {
+        x: ValueId,
+        d: ValueId,
+        out: ValueId,
+    },
+    /// GAT's LeakyReLU over edge logits.
+    LeakyRelu { logits: ValueId, out: ValueId },
+    /// Per-row softmax over edge scores.
+    EdgeSoftmax { scored: ValueId, out: ValueId },
+    /// Dense ReLU (`σ(...)` steps).
+    Relu { x: ValueId, out: ValueId },
+    /// N-ary dense sum: the first part is copied (uncharged, as the
+    /// interpreter clones it), every further part is a charged element-wise
+    /// add.
+    AddN { parts: Vec<ValueId>, out: ValueId },
+    /// Diagonal merge `(D·D·...)`: first part copied, every further part a
+    /// charged element-wise product.
+    DiagMerge { parts: Vec<ValueId>, out: ValueId },
+}
+
+impl Instr {
+    /// The value this instruction produces.
+    fn out(&self) -> ValueId {
+        match *self {
+            Instr::Gemm { out, .. }
+            | Instr::Spmm { out, .. }
+            | Instr::AttLogits { out, .. }
+            | Instr::ScaleCsr { out, .. }
+            | Instr::RowBroadcast { out, .. }
+            | Instr::ColBroadcast { out, .. }
+            | Instr::LeakyRelu { out, .. }
+            | Instr::EdgeSoftmax { out, .. }
+            | Instr::Relu { out, .. }
+            | Instr::AddN { out, .. }
+            | Instr::DiagMerge { out, .. } => out,
+        }
+    }
+
+    /// The values this instruction reads (bind-time liveness only — never
+    /// called on the per-iteration path).
+    fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Instr::Gemm { a, b, .. } => vec![*a, *b],
+            Instr::Spmm { adj, x, .. } => vec![*adj, *x],
+            Instr::AttLogits { mask, ul, vr, .. } => vec![*mask, *ul, *vr],
+            Instr::ScaleCsr { dl, sparse, dr, .. } => {
+                let mut v = dl.clone();
+                v.push(*sparse);
+                v.extend_from_slice(dr);
+                v
+            }
+            Instr::RowBroadcast { d, x, .. } => vec![*d, *x],
+            Instr::ColBroadcast { x, d, .. } => vec![*x, *d],
+            Instr::LeakyRelu { logits, .. } => vec![*logits],
+            Instr::EdgeSoftmax { scored, .. } => vec![*scored],
+            Instr::Relu { x, .. } => vec![*x],
+            Instr::AddN { parts, .. } | Instr::DiagMerge { parts, .. } => parts.clone(),
+        }
+    }
+}
+
+/// A candidate program lowered to slot-addressed instructions, independent of
+/// any concrete input. Build once with [`ExecPlan::build`], then
+/// [`ExecPlan::bind`] it to inputs as many times as needed.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    expr: String,
+    values: Vec<ValueKind>,
+    leaves: Vec<(ValueId, Leaf)>,
+    setup: Vec<Instr>,
+    iter: Vec<Instr>,
+    output: ValueId,
+}
+
+/// Build-time state: the canonical-expression environment maps expression
+/// strings to [`ValueId`]s exactly once; after build, no string survives on
+/// the execution path.
+#[derive(Debug, Default)]
+struct Builder {
+    env: BTreeMap<String, ValueId>,
+    values: Vec<ValueKind>,
+    leaves: Vec<(ValueId, Leaf)>,
+}
+
+impl Builder {
+    fn new_value(&mut self, kind: ValueKind) -> ValueId {
+        self.values.push(kind);
+        self.values.len() - 1
+    }
+
+    fn seed_leaf(&mut self, name: &str, kind: ValueKind, leaf: Leaf) {
+        let id = self.new_value(kind);
+        self.leaves.push((id, leaf));
+        self.env.insert(name.to_string(), id);
+    }
+
+    /// The interpreter's tolerant lookup: exact, outer-paren-stripped, then
+    /// wrapped in parentheses.
+    fn resolve_existing(&self, expr: &str) -> Option<ValueId> {
+        if let Some(&id) = self.env.get(expr) {
+            return Some(id);
+        }
+        let stripped = expr.strip_prefix('(').and_then(|e| e.strip_suffix(')'));
+        if let Some(&id) = stripped.and_then(|e| self.env.get(e)) {
+            return Some(id);
+        }
+        self.env.get(&format!("({expr})")).copied()
+    }
+
+    /// Resolves an operand, registering unseen bare names as dense weight
+    /// leaves (the interpreter pre-binds every provided weight; the plan
+    /// defers the existence check to bind time, where a missing weight is the
+    /// same `unbound operand` error).
+    fn resolve(&mut self, expr: &str) -> Result<ValueId> {
+        if let Some(id) = self.resolve_existing(expr) {
+            return Ok(id);
+        }
+        let bare = expr
+            .strip_prefix('(')
+            .and_then(|e| e.strip_suffix(')'))
+            .unwrap_or(expr);
+        let leaf_like = !bare.is_empty() && bare.chars().all(|c| c.is_alphanumeric() || c == '_');
+        if leaf_like {
+            let id = self.new_value(ValueKind::Dense);
+            self.leaves.push((id, Leaf::Weight(bare.to_string())));
+            self.env.insert(bare.to_string(), id);
+            return Ok(id);
+        }
+        Err(CoreError::InvalidIr(format!("unbound operand {expr}")))
+    }
+
+    /// Resolves an operand and checks its kind.
+    fn resolve_kind(&mut self, expr: &str, kind: ValueKind, sig: &str) -> Result<ValueId> {
+        let id = self.resolve(expr)?;
+        if self.values[id] != kind {
+            return Err(CoreError::InvalidIr(format!(
+                "operand {expr} of {sig} is {:?}, expected {kind:?}",
+                self.values[id]
+            )));
+        }
+        Ok(id)
+    }
+}
+
+impl ExecPlan {
+    /// Lowers a candidate program into a slot-addressed plan. This is the
+    /// only place canonical-expression strings are resolved; the result
+    /// contains none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] for malformed programs (unbound
+    /// compound operands, kind mismatches, non-dense results) — the same
+    /// programs the interpreter rejects.
+    pub fn build(program: &CandidateProgram) -> Result<Self> {
+        let _span = granii_telemetry::span!("execplan.build", expr = program.expr.as_str());
+        let t0 = Instant::now();
+        let mut b = Builder::default();
+        b.seed_leaf("A", ValueKind::Sparse, Leaf::Adj);
+        b.seed_leaf("D", ValueKind::Diag, Leaf::DegInvSqrt);
+        b.seed_leaf("D^{-1}", ValueKind::Diag, Leaf::DegInv);
+        b.seed_leaf("H", ValueKind::Dense, Leaf::Features);
+        b.seed_leaf("(1+ε)I", ValueKind::Diag, Leaf::EpsIdentity);
+
+        let mut setup = Vec::new();
+        let mut iter = Vec::new();
+        let mut last = None;
+        for step in &program.steps {
+            let out = lower_step(&mut b, step, &mut setup, &mut iter)?;
+            // Extra bindings mirror the interpreter: an add step's value is
+            // referenced downstream by the full sum expression; the attention
+            // softmax is referenced as `α`.
+            if let Some((prefix, rest)) = step.signature.split_once(':') {
+                if prefix.starts_with("add") {
+                    b.env.insert(rest.to_string(), out);
+                }
+                if prefix == "att-softmax" {
+                    b.env.insert("α".into(), out);
+                }
+            }
+            b.env.insert(step.signature.clone(), out);
+            last = Some(out);
+        }
+        let output = last.ok_or_else(|| CoreError::InvalidIr("program has no steps".into()))?;
+        if b.values[output] != ValueKind::Dense {
+            return Err(CoreError::InvalidIr(format!(
+                "program result {} is not dense",
+                program.expr
+            )));
+        }
+        granii_telemetry::counter_add("execplan.instructions", (setup.len() + iter.len()) as u64);
+        granii_telemetry::histogram_record_seconds("execplan.build", t0.elapsed().as_secs_f64());
+        Ok(Self {
+            expr: program.expr.clone(),
+            values: b.values,
+            leaves: b.leaves,
+            setup,
+            iter,
+            output,
+        })
+    }
+
+    /// The program's canonical expression.
+    pub fn expr(&self) -> &str {
+        &self.expr
+    }
+
+    /// Number of hoisted (run-once) instructions.
+    pub fn setup_len(&self) -> usize {
+        self.setup.len()
+    }
+
+    /// Number of per-iteration instructions.
+    pub fn iter_len(&self) -> usize {
+        self.iter.len()
+    }
+
+    /// Binds the plan to concrete inputs: infers every shape, assigns
+    /// physical buffer slots (dense per-iteration intermediates share slots
+    /// via a liveness-driven free list), allocates all buffers, and runs the
+    /// hoisted setup instructions once (charging their latency once — the
+    /// amortized precompute of §IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] for missing weights (`unbound
+    /// operand`) and propagates kernel errors from the setup run.
+    pub fn bind(&self, exec: &Exec, inputs: &ProgramInputs) -> Result<BoundPlan> {
+        let _span = granii_telemetry::span!("execplan.bind", expr = self.expr.as_str());
+        let t0 = Instant::now();
+        let n = inputs.adj.rows();
+
+        // Shape inference (setup instructions precede — and never read —
+        // per-iteration values, so chaining the two lists preserves
+        // definition order).
+        let mut shape: Vec<Option<Shape>> = vec![None; self.values.len()];
+        for (id, leaf) in &self.leaves {
+            shape[*id] = Some(match leaf {
+                Leaf::Adj => Shape::Sparse,
+                Leaf::DegInvSqrt => Shape::Diag(inputs.deg_inv_sqrt.len()),
+                Leaf::DegInv => Shape::Diag(inputs.deg_inv.len()),
+                Leaf::Features => Shape::Dense(inputs.h.rows(), inputs.h.cols()),
+                Leaf::EpsIdentity => Shape::Diag(n),
+                Leaf::Weight(name) => {
+                    let w = inputs
+                        .weights
+                        .get(name)
+                        .ok_or_else(|| CoreError::InvalidIr(format!("unbound operand {name}")))?;
+                    Shape::Dense(w.rows(), w.cols())
+                }
+            });
+        }
+        for instr in self.setup.iter().chain(&self.iter) {
+            let s = infer_shape(instr, &shape, n)?;
+            shape[instr.out()] = Some(s);
+        }
+
+        // Slot assignment. Leaves, setup outputs, the final output, and
+        // sparse/diag values get dedicated slots; dense per-iteration
+        // intermediates recycle slots through an exact-shape free list.
+        // An instruction's output slot is claimed *before* its dying
+        // operands are freed, so an output buffer never aliases a live
+        // operand — required by the `_into` kernels.
+        const UNASSIGNED: usize = usize::MAX;
+        let mut slot_of = vec![UNASSIGNED; self.values.len()];
+        let mut num_slots = 0usize;
+        for (id, _) in &self.leaves {
+            slot_of[*id] = num_slots;
+            num_slots += 1;
+        }
+        for instr in &self.setup {
+            slot_of[instr.out()] = num_slots;
+            num_slots += 1;
+        }
+        let mut produced_in_iter = vec![false; self.values.len()];
+        for instr in &self.iter {
+            produced_in_iter[instr.out()] = true;
+        }
+        let mut last_use = vec![usize::MAX; self.values.len()];
+        for (i, instr) in self.iter.iter().enumerate() {
+            for v in instr.operands() {
+                last_use[v] = i;
+            }
+        }
+        let mut free: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, instr) in self.iter.iter().enumerate() {
+            let out = instr.out();
+            if slot_of[out] == UNASSIGNED {
+                let sharable = self.values[out] == ValueKind::Dense && out != self.output;
+                slot_of[out] = if sharable {
+                    let (r, c) = dense_dims(shape_of(&shape, out)?)?;
+                    match free.iter().position(|&(fr, fc, _)| (fr, fc) == (r, c)) {
+                        Some(p) => free.swap_remove(p).2,
+                        None => {
+                            num_slots += 1;
+                            num_slots - 1
+                        }
+                    }
+                } else {
+                    num_slots += 1;
+                    num_slots - 1
+                };
+            }
+            let mut ops = instr.operands();
+            ops.sort_unstable();
+            ops.dedup();
+            for v in ops {
+                if produced_in_iter[v]
+                    && v != self.output
+                    && self.values[v] == ValueKind::Dense
+                    && last_use[v] == i
+                {
+                    let (r, c) = dense_dims(shape_of(&shape, v)?)?;
+                    free.push((r, c, slot_of[v]));
+                }
+            }
+        }
+
+        // Buffer allocation: leaves are seeded from the inputs, instruction
+        // outputs get zeroed buffers of the inferred shape. This is the last
+        // time this plan allocates.
+        let mut slots: Vec<Slot> = Vec::with_capacity(num_slots);
+        slots.resize_with(num_slots, || Slot::Empty);
+        for (id, leaf) in &self.leaves {
+            slots[slot_of[*id]] = match leaf {
+                Leaf::Adj => Slot::Sparse(inputs.adj.clone()),
+                Leaf::DegInvSqrt => Slot::Diag(inputs.deg_inv_sqrt.to_vec()),
+                Leaf::DegInv => Slot::Diag(inputs.deg_inv.to_vec()),
+                Leaf::Features => Slot::Dense(inputs.h.clone()),
+                Leaf::EpsIdentity => Slot::Diag(vec![1.0 + inputs.eps; n]),
+                Leaf::Weight(name) => Slot::Dense(
+                    inputs
+                        .weights
+                        .get(name)
+                        .ok_or_else(|| CoreError::InvalidIr(format!("unbound operand {name}")))?
+                        .clone(),
+                ),
+            };
+        }
+        for instr in self.setup.iter().chain(&self.iter) {
+            let slot = slot_of[instr.out()];
+            if !matches!(slots[slot], Slot::Empty) {
+                continue; // shared slot, already allocated
+            }
+            slots[slot] = match shape_of(&shape, instr.out())? {
+                Shape::Dense(r, c) => Slot::Dense(DenseMatrix::zeros(r, c)?),
+                Shape::Sparse => Slot::Sparse(
+                    inputs
+                        .adj
+                        .clone()
+                        .drop_values()
+                        .with_values(vec![0.0; inputs.adj.nnz()])?,
+                ),
+                Shape::Diag(len) => Slot::Diag(vec![0.0; len]),
+            };
+        }
+
+        let mut bound = BoundPlan {
+            setup: self.setup.clone(),
+            iter: self.iter.clone(),
+            slot_of,
+            slots,
+            output: self.output,
+            irregularity: inputs.irregularity,
+            expr: self.expr.clone(),
+        };
+        // Hoisted precompute: charged once, here.
+        for instr in &bound.setup {
+            exec_instr(
+                exec,
+                instr,
+                &bound.slot_of,
+                &mut bound.slots,
+                bound.irregularity,
+            )?;
+        }
+        granii_telemetry::histogram_record_seconds("execplan.bind", t0.elapsed().as_secs_f64());
+        Ok(bound)
+    }
+}
+
+/// Concrete shape of a value, known after bind-time inference.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Dense(usize, usize),
+    /// All sparse values share the adjacency pattern (logits, leaky scores,
+    /// softmax weights, and scaled adjacencies are all masked by `A`).
+    Sparse,
+    Diag(usize),
+}
+
+fn shape_of(shape: &[Option<Shape>], id: ValueId) -> Result<Shape> {
+    shape[id].ok_or_else(|| CoreError::InvalidIr("value used before definition".into()))
+}
+
+fn dense_dims(s: Shape) -> Result<(usize, usize)> {
+    match s {
+        Shape::Dense(r, c) => Ok((r, c)),
+        other => Err(CoreError::InvalidIr(format!(
+            "expected a dense shape, got {other:?}"
+        ))),
+    }
+}
+
+fn diag_len(s: Shape) -> Result<usize> {
+    match s {
+        Shape::Diag(l) => Ok(l),
+        other => Err(CoreError::InvalidIr(format!(
+            "expected a diagonal shape, got {other:?}"
+        ))),
+    }
+}
+
+fn infer_shape(instr: &Instr, shape: &[Option<Shape>], n: usize) -> Result<Shape> {
+    Ok(match instr {
+        Instr::Gemm { a, b, .. } => {
+            let (ar, _) = dense_dims(shape_of(shape, *a)?)?;
+            let (_, bc) = dense_dims(shape_of(shape, *b)?)?;
+            Shape::Dense(ar, bc)
+        }
+        Instr::Spmm { x, .. } => {
+            let (_, xc) = dense_dims(shape_of(shape, *x)?)?;
+            Shape::Dense(n, xc)
+        }
+        Instr::AttLogits { .. }
+        | Instr::ScaleCsr { .. }
+        | Instr::LeakyRelu { .. }
+        | Instr::EdgeSoftmax { .. } => Shape::Sparse,
+        Instr::RowBroadcast { x, .. } | Instr::ColBroadcast { x, .. } | Instr::Relu { x, .. } => {
+            shape_of(shape, *x)?
+        }
+        Instr::AddN { parts, .. } => shape_of(shape, parts[0])?,
+        Instr::DiagMerge { parts, .. } => Shape::Diag(diag_len(shape_of(shape, parts[0])?)?),
+    })
+}
+
+/// Lowers one primitive step, pushing the instruction into `setup` (hoisted)
+/// or `iter` and returning the produced value. Mirrors the interpreter's
+/// `eval_step` case for case.
+fn lower_step(
+    b: &mut Builder,
+    step: &PrimStep,
+    setup: &mut Vec<Instr>,
+    iter: &mut Vec<Instr>,
+) -> Result<ValueId> {
+    let sig = step.signature.as_str();
+    let instr = match step.kind {
+        PrimitiveKind::Gemm => {
+            let parts = binary(&split_top(sig, '·'), sig)?;
+            let a = b.resolve_kind(&parts.0, ValueKind::Dense, sig)?;
+            let rhs = b.resolve_kind(&parts.1, ValueKind::Dense, sig)?;
+            let out = b.new_value(ValueKind::Dense);
+            Instr::Gemm { a, b: rhs, out }
+        }
+        PrimitiveKind::SpmmWeighted | PrimitiveKind::SpmmUnweighted => {
+            let parts = binary(&split_top(sig, '·'), sig)?;
+            let adj = b.resolve_kind(&parts.0, ValueKind::Sparse, sig)?;
+            let x = b.resolve_kind(&parts.1, ValueKind::Dense, sig)?;
+            let out = b.new_value(ValueKind::Dense);
+            Instr::Spmm {
+                adj,
+                x,
+                weighted: step.kind == PrimitiveKind::SpmmWeighted,
+                out,
+            }
+        }
+        PrimitiveKind::Sddmm => {
+            if let Some(theta) = sig.strip_prefix("att-logits:") {
+                let ul = b.resolve_kind(&format!("({theta}·a_l)"), ValueKind::Dense, sig)?;
+                let vr = b.resolve_kind(&format!("({theta}·a_r)"), ValueKind::Dense, sig)?;
+                let mask = b.resolve_kind("A", ValueKind::Sparse, sig)?;
+                let out = b.new_value(ValueKind::Sparse);
+                Instr::AttLogits { mask, ul, vr, out }
+            } else {
+                // diag · sparse · diag edge scaling: exactly one sparse part,
+                // diagonal factors on either side.
+                let mut dl = Vec::new();
+                let mut dr = Vec::new();
+                let mut sparse = None;
+                for part in &split_top(sig, '·') {
+                    let id = b.resolve(part)?;
+                    match b.values[id] {
+                        ValueKind::Diag => {
+                            if sparse.is_none() {
+                                dl.push(id);
+                            } else {
+                                dr.push(id);
+                            }
+                        }
+                        ValueKind::Sparse => {
+                            if sparse.replace(id).is_some() {
+                                return Err(CoreError::InvalidIr(format!(
+                                    "sddmm {sig} has two sparse operands"
+                                )));
+                            }
+                        }
+                        ValueKind::Dense => {
+                            return Err(CoreError::InvalidIr(format!(
+                                "sddmm {sig} has a dense operand"
+                            )))
+                        }
+                    }
+                }
+                let sparse = sparse.ok_or_else(|| {
+                    CoreError::InvalidIr(format!("sddmm {sig} lacks a sparse operand"))
+                })?;
+                let out = b.new_value(ValueKind::Sparse);
+                Instr::ScaleCsr {
+                    dl,
+                    sparse,
+                    dr,
+                    out,
+                }
+            }
+        }
+        PrimitiveKind::RowBroadcast => {
+            let parts = binary(&split_top(sig, '·'), sig)?;
+            let d = b.resolve_kind(&parts.0, ValueKind::Diag, sig)?;
+            let x = b.resolve_kind(&parts.1, ValueKind::Dense, sig)?;
+            let out = b.new_value(ValueKind::Dense);
+            Instr::RowBroadcast { d, x, out }
+        }
+        PrimitiveKind::ColBroadcast => {
+            let parts = binary(&split_top(sig, '·'), sig)?;
+            let x = b.resolve_kind(&parts.0, ValueKind::Dense, sig)?;
+            let d = b.resolve_kind(&parts.1, ValueKind::Diag, sig)?;
+            let out = b.new_value(ValueKind::Dense);
+            Instr::ColBroadcast { x, d, out }
+        }
+        PrimitiveKind::EdgeSoftmax => {
+            let theta = sig
+                .strip_prefix("att-softmax:")
+                .ok_or_else(|| CoreError::InvalidIr(format!("unexpected softmax {sig}")))?;
+            let scored = b.resolve_kind(&format!("att-leaky:{theta}"), ValueKind::Sparse, sig)?;
+            let out = b.new_value(ValueKind::Sparse);
+            Instr::EdgeSoftmax { scored, out }
+        }
+        PrimitiveKind::Elementwise => {
+            if let Some(theta) = sig.strip_prefix("att-leaky:") {
+                let logits =
+                    b.resolve_kind(&format!("att-logits:{theta}"), ValueKind::Sparse, sig)?;
+                let out = b.new_value(ValueKind::Sparse);
+                Instr::LeakyRelu { logits, out }
+            } else if let Some(inner) = sig.strip_prefix('σ') {
+                let x = b.resolve_kind(inner, ValueKind::Dense, sig)?;
+                let out = b.new_value(ValueKind::Dense);
+                Instr::Relu { x, out }
+            } else if let Some((_, add_expr)) = sig.split_once(':') {
+                // addN:(a + b + ...): if the sum is already bound the step is
+                // a no-op alias (the interpreter returns the binding without
+                // charging).
+                if let Some(id) = b.resolve_existing(add_expr) {
+                    return Ok(id);
+                }
+                let parts = split_top(add_expr, '+');
+                if parts.is_empty() {
+                    return Err(CoreError::InvalidIr(format!("empty sum in {sig}")));
+                }
+                let parts = parts
+                    .iter()
+                    .map(|p| b.resolve_kind(p, ValueKind::Dense, sig))
+                    .collect::<Result<Vec<_>>>()?;
+                let out = b.new_value(ValueKind::Dense);
+                Instr::AddN { parts, out }
+            } else {
+                // Diagonal merge (D·D): element-wise product of per-node
+                // vectors.
+                let parts = split_top(sig, '·');
+                if parts.is_empty() {
+                    return Err(CoreError::InvalidIr(format!(
+                        "unrecognized elementwise step {sig}"
+                    )));
+                }
+                let parts = parts
+                    .iter()
+                    .map(|p| b.resolve_kind(p, ValueKind::Diag, sig))
+                    .collect::<Result<Vec<_>>>()?;
+                let out = b.new_value(ValueKind::Diag);
+                Instr::DiagMerge { parts, out }
+            }
+        }
+        PrimitiveKind::Binning => {
+            return Err(CoreError::InvalidIr(
+                "binning never appears in GRANII-generated programs".into(),
+            ))
+        }
+    };
+    let out = instr.out();
+    if step.once {
+        setup.push(instr);
+    } else {
+        iter.push(instr);
+    }
+    Ok(out)
+}
+
+fn binary(parts: &[String], sig: &str) -> Result<(String, String)> {
+    if parts.len() != 2 {
+        return Err(CoreError::InvalidIr(format!(
+            "expected a binary product in {sig}, found {} parts",
+            parts.len()
+        )));
+    }
+    Ok((parts[0].clone(), parts[1].clone()))
+}
+
+/// A physical buffer slot of a bound plan.
+#[derive(Debug)]
+enum Slot {
+    /// Temporarily vacated while its buffer is being written.
+    Empty,
+    Dense(DenseMatrix),
+    Sparse(CsrMatrix),
+    Diag(Vec<f32>),
+}
+
+impl Slot {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Slot::Empty => "empty",
+            Slot::Dense(_) => "dense",
+            Slot::Sparse(_) => "sparse",
+            Slot::Diag(_) => "diag",
+        }
+    }
+}
+
+/// An [`ExecPlan`] bound to concrete inputs: every value has a physical
+/// buffer, the hoisted setup has run, and [`BoundPlan::iterate`] performs one
+/// steady-state iteration with zero heap allocation and zero string lookups.
+#[derive(Debug)]
+pub struct BoundPlan {
+    setup: Vec<Instr>,
+    iter: Vec<Instr>,
+    slot_of: Vec<usize>,
+    slots: Vec<Slot>,
+    output: ValueId,
+    irregularity: f64,
+    expr: String,
+}
+
+impl BoundPlan {
+    /// Runs one steady-state iteration and returns the output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (shape mismatches cannot occur for plans that
+    /// bound successfully).
+    pub fn iterate(&mut self, exec: &Exec) -> Result<&DenseMatrix> {
+        let t0 = Instant::now();
+        for instr in &self.iter {
+            exec_instr(
+                exec,
+                instr,
+                &self.slot_of,
+                &mut self.slots,
+                self.irregularity,
+            )?;
+        }
+        granii_telemetry::histogram_record_seconds(
+            "execplan.iteration",
+            t0.elapsed().as_secs_f64(),
+        );
+        granii_telemetry::counter_add("execplan.iterations", 1);
+        self.output()
+    }
+
+    /// The most recently computed output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] if the output slot is not dense
+    /// (cannot occur for plans that built successfully).
+    pub fn output(&self) -> Result<&DenseMatrix> {
+        dense_at(&self.slots, self.slot_of[self.output], "output")
+    }
+
+    /// The program's canonical expression.
+    pub fn expr(&self) -> &str {
+        &self.expr
+    }
+
+    /// Number of physical buffer slots (≤ number of program values, thanks to
+    /// slot sharing).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of hoisted instructions (already executed at bind time).
+    pub fn setup_len(&self) -> usize {
+        self.setup.len()
+    }
+
+    /// Number of instructions run per iteration.
+    pub fn iter_len(&self) -> usize {
+        self.iter.len()
+    }
+}
+
+fn dense_at<'s>(slots: &'s [Slot], slot: usize, what: &str) -> Result<&'s DenseMatrix> {
+    match &slots[slot] {
+        Slot::Dense(m) => Ok(m),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a dense slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn sparse_at<'s>(slots: &'s [Slot], slot: usize, what: &str) -> Result<&'s CsrMatrix> {
+    match &slots[slot] {
+        Slot::Sparse(m) => Ok(m),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a sparse slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn diag_at<'s>(slots: &'s [Slot], slot: usize, what: &str) -> Result<&'s [f32]> {
+    match &slots[slot] {
+        Slot::Diag(d) => Ok(d),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a diagonal slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn dense_out<'s>(out: &'s mut Slot, what: &str) -> Result<&'s mut DenseMatrix> {
+    match out {
+        Slot::Dense(m) => Ok(m),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a dense output slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn sparse_out<'s>(out: &'s mut Slot, what: &str) -> Result<&'s mut CsrMatrix> {
+    match out {
+        Slot::Sparse(m) => Ok(m),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a sparse output slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn diag_out<'s>(out: &'s mut Slot, what: &str) -> Result<&'s mut Vec<f32>> {
+    match out {
+        Slot::Diag(d) => Ok(d),
+        other => Err(CoreError::InvalidIr(format!(
+            "{what}: expected a diagonal output slot, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+/// One or more diagonal operands merged into a single factor. Mirrors the
+/// interpreter, which folds multi-diagonal sides with uncharged products.
+enum MergedDiag<'s> {
+    Borrowed(&'s [f32]),
+    Owned(Vec<f32>),
+}
+
+impl MergedDiag<'_> {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            MergedDiag::Borrowed(s) => s,
+            MergedDiag::Owned(v) => v,
+        }
+    }
+}
+
+fn merge_diags<'s>(
+    slots: &'s [Slot],
+    slot_of: &[usize],
+    ids: &[ValueId],
+) -> Result<Option<MergedDiag<'s>>> {
+    match ids {
+        [] => Ok(None),
+        [one] => Ok(Some(MergedDiag::Borrowed(diag_at(
+            slots,
+            slot_of[*one],
+            "scale_csr diag",
+        )?))),
+        [first, rest @ ..] => {
+            let mut acc = diag_at(slots, slot_of[*first], "scale_csr diag")?.to_vec();
+            for id in rest {
+                let d = diag_at(slots, slot_of[*id], "scale_csr diag")?;
+                for (a, &v) in acc.iter_mut().zip(d) {
+                    *a *= v;
+                }
+            }
+            Ok(Some(MergedDiag::Owned(acc)))
+        }
+    }
+}
+
+/// Executes one instruction against the slot table. The output slot is
+/// vacated for the duration of the call; slot assignment guarantees it never
+/// aliases a live operand.
+fn exec_instr(
+    exec: &Exec,
+    instr: &Instr,
+    slot_of: &[usize],
+    slots: &mut [Slot],
+    irr: f64,
+) -> Result<()> {
+    let out_slot = slot_of[instr.out()];
+    let mut out = std::mem::replace(&mut slots[out_slot], Slot::Empty);
+    let result = run_into(exec, instr, slot_of, slots, irr, &mut out);
+    slots[out_slot] = out;
+    result
+}
+
+fn run_into(
+    exec: &Exec,
+    instr: &Instr,
+    slot_of: &[usize],
+    slots: &[Slot],
+    irr: f64,
+    out: &mut Slot,
+) -> Result<()> {
+    match instr {
+        Instr::Gemm { a, b, .. } => {
+            exec.gemm_into(
+                dense_at(slots, slot_of[*a], "gemm lhs")?,
+                dense_at(slots, slot_of[*b], "gemm rhs")?,
+                dense_out(out, "gemm")?,
+            )?;
+        }
+        Instr::Spmm {
+            adj, x, weighted, ..
+        } => {
+            let semiring = if *weighted {
+                Semiring::plus_mul()
+            } else {
+                Semiring::plus_copy_rhs()
+            };
+            exec.spmm_into(
+                sparse_at(slots, slot_of[*adj], "spmm adj")?,
+                dense_at(slots, slot_of[*x], "spmm rhs")?,
+                semiring,
+                irr,
+                dense_out(out, "spmm")?,
+            )?;
+        }
+        Instr::AttLogits { mask, ul, vr, .. } => {
+            let ul = dense_at(slots, slot_of[*ul], "att-logits ul")?;
+            let vr = dense_at(slots, slot_of[*vr], "att-logits vr")?;
+            exec.sddmm_u_add_v_into(
+                sparse_at(slots, slot_of[*mask], "att-logits mask")?,
+                ul.as_slice(),
+                vr.as_slice(),
+                irr,
+                sparse_out(out, "att-logits")?,
+            )?;
+        }
+        Instr::ScaleCsr { dl, sparse, dr, .. } => {
+            let dl = merge_diags(slots, slot_of, dl)?;
+            let dr = merge_diags(slots, slot_of, dr)?;
+            exec.scale_csr_into(
+                dl.as_ref().map(MergedDiag::as_slice),
+                sparse_at(slots, slot_of[*sparse], "scale_csr")?,
+                dr.as_ref().map(MergedDiag::as_slice),
+                irr,
+                sparse_out(out, "scale_csr")?,
+            )?;
+        }
+        Instr::RowBroadcast { d, x, .. } => {
+            exec.row_broadcast_into(
+                diag_at(slots, slot_of[*d], "row_broadcast diag")?,
+                dense_at(slots, slot_of[*x], "row_broadcast")?,
+                BroadcastOp::Mul,
+                dense_out(out, "row_broadcast")?,
+            )?;
+        }
+        Instr::ColBroadcast { x, d, .. } => {
+            exec.col_broadcast_into(
+                dense_at(slots, slot_of[*x], "col_broadcast")?,
+                diag_at(slots, slot_of[*d], "col_broadcast diag")?,
+                BroadcastOp::Mul,
+                dense_out(out, "col_broadcast")?,
+            )?;
+        }
+        Instr::LeakyRelu { logits, .. } => {
+            let src = sparse_at(slots, slot_of[*logits], "att-leaky")?;
+            let vals = src
+                .values()
+                .ok_or_else(|| CoreError::InvalidIr("attention logits have no values".into()))?;
+            let dst = sparse_out(out, "att-leaky")?;
+            // Uncharged copy into the output buffer, then the same charged
+            // in-place map the interpreter's map_csr_values performs.
+            dst.values_mut()
+                .expect("plan CSR buffers are weighted")
+                .copy_from_slice(vals);
+            let slope = GAT_SLOPE;
+            exec.map_csr_assign(dst, move |v| if v >= 0.0 { v } else { slope * v })?;
+        }
+        Instr::EdgeSoftmax { scored, .. } => {
+            exec.edge_softmax_into(
+                sparse_at(slots, slot_of[*scored], "att-softmax")?,
+                irr,
+                sparse_out(out, "att-softmax")?,
+            )?;
+        }
+        Instr::Relu { x, .. } => {
+            exec.map_into(
+                dense_at(slots, slot_of[*x], "relu")?,
+                1,
+                |v| v.max(0.0),
+                dense_out(out, "relu")?,
+            )?;
+        }
+        Instr::AddN { parts, .. } => {
+            let dst = dense_out(out, "add")?;
+            let first = dense_at(slots, slot_of[parts[0]], "add")?;
+            if dst.shape() != first.shape() {
+                return Err(CoreError::InvalidIr(format!(
+                    "add output shape {:?} does not match operand {:?}",
+                    dst.shape(),
+                    first.shape()
+                )));
+            }
+            // The interpreter clones the first part uncharged, then charges
+            // one element-wise add per further part.
+            dst.as_mut_slice().copy_from_slice(first.as_slice());
+            for part in &parts[1..] {
+                exec.zip_assign(dst, dense_at(slots, slot_of[*part], "add")?, 1, |a, b| {
+                    a + b
+                })?;
+            }
+        }
+        Instr::DiagMerge { parts, .. } => {
+            let dst = diag_out(out, "diag merge")?;
+            let first = diag_at(slots, slot_of[parts[0]], "diag merge")?;
+            if dst.len() != first.len() {
+                return Err(CoreError::InvalidIr(format!(
+                    "diag merge output length {} does not match operand {}",
+                    dst.len(),
+                    first.len()
+                )));
+            }
+            dst.copy_from_slice(first);
+            for part in &parts[1..] {
+                let d = diag_at(slots, slot_of[*part], "diag merge")?;
+                // Same unconditional charge the interpreter applies per
+                // merged factor.
+                exec.engine().charge(WorkStats::elementwise(d.len(), 1));
+                for (a, &v) in dst.iter_mut().zip(d) {
+                    *a *= v;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Owned operand bundle for driving plans without juggling borrows — the
+/// canonical leaf/weight naming for each built-in model, matching what
+/// `assoc::generate` emits. Borrow it as [`ProgramInputs`] via
+/// [`PlanInputs::as_program_inputs`].
+#[derive(Debug, Clone)]
+pub struct PlanInputs {
+    adj: CsrMatrix,
+    deg_inv_sqrt: Vec<f32>,
+    deg_inv: Vec<f32>,
+    h: DenseMatrix,
+    weights: BTreeMap<String, DenseMatrix>,
+    eps: f32,
+    irregularity: f64,
+}
+
+impl PlanInputs {
+    /// Builds deterministic random weights under the leaf names `model`'s
+    /// programs reference (`W`, `W1`/`W2`, per-hop `W{k}`, `W_self`/`W_neigh`,
+    /// `a_l`/`a_r`) and picks the aggregation mask the model family expects
+    /// (raw adjacency for GIN/SAGE, the self-loop form otherwise).
+    pub fn for_model(
+        model: ModelKind,
+        cfg: LayerConfig,
+        ctx: &GraphCtx,
+        h: DenseMatrix,
+        seed: u64,
+    ) -> Self {
+        let scale = (2.0 / (cfg.k_in + cfg.k_out) as f32).sqrt();
+        let mut weights = BTreeMap::new();
+        match model {
+            ModelKind::Gin => {
+                weights.insert(
+                    "W1".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+                );
+                weights.insert(
+                    "W2".into(),
+                    DenseMatrix::random(cfg.k_out, cfg.k_out, scale, seed + 1),
+                );
+            }
+            ModelKind::Tagcn => {
+                for k in 0..=cfg.hops {
+                    weights.insert(
+                        format!("W{k}"),
+                        DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed + k as u64),
+                    );
+                }
+            }
+            ModelKind::Sage => {
+                weights.insert(
+                    "W_self".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+                );
+                weights.insert(
+                    "W_neigh".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed + 1),
+                );
+            }
+            _ => {
+                weights.insert(
+                    "W".into(),
+                    DenseMatrix::random(cfg.k_in, cfg.k_out, scale, seed),
+                );
+                weights.insert(
+                    "a_l".into(),
+                    DenseMatrix::random(cfg.k_out, 1, scale, seed + 1),
+                );
+                weights.insert(
+                    "a_r".into(),
+                    DenseMatrix::random(cfg.k_out, 1, scale, seed + 2),
+                );
+            }
+        }
+        let raw = matches!(model, ModelKind::Gin | ModelKind::Sage);
+        let adj = if raw {
+            ctx.graph().adj().clone()
+        } else {
+            ctx.adj().clone()
+        };
+        let deg_inv = ctx
+            .graph()
+            .out_degrees()
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+            .collect();
+        Self {
+            adj,
+            deg_inv_sqrt: ctx.deg_inv_sqrt().to_vec(),
+            deg_inv,
+            h,
+            weights,
+            eps: GIN_EPS,
+            irregularity: ctx.irregularity(),
+        }
+    }
+
+    /// Borrows the bundle in the form [`ExecPlan::bind`] (and the
+    /// interpreter) consume.
+    pub fn as_program_inputs(&self) -> ProgramInputs<'_> {
+        ProgramInputs {
+            adj: &self.adj,
+            deg_inv_sqrt: &self.deg_inv_sqrt,
+            deg_inv: &self.deg_inv,
+            h: &self.h,
+            weights: &self.weights,
+            eps: self.eps,
+            irregularity: self.irregularity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CompiledModel;
+    use granii_graph::generators;
+    use granii_matrix::device::{DeviceKind, Engine};
+
+    fn plan_for(model: ModelKind, cfg: LayerConfig) -> CompiledModel {
+        CompiledModel::compile(model, cfg).unwrap()
+    }
+
+    #[test]
+    fn gcn_precompute_candidates_hoist_structural_steps() {
+        let cfg = LayerConfig::new(6, 4);
+        let compiled = plan_for(ModelKind::Gcn, cfg);
+        // At least one promoted GCN candidate hoists the (D·A·D)
+        // normalization: its plan has setup instructions.
+        let hoisted = compiled
+            .candidates
+            .iter()
+            .map(|c| ExecPlan::build(&c.program).unwrap())
+            .filter(|p| p.setup_len() > 0)
+            .count();
+        assert!(hoisted > 0);
+    }
+
+    #[test]
+    fn dense_iteration_slots_are_shared() {
+        let cfg = LayerConfig::new(6, 6);
+        let compiled = plan_for(ModelKind::Tagcn, cfg);
+        let g = generators::power_law(20, 3, 5).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(20, 6, 1.0, 1);
+        let inputs = PlanInputs::for_model(ModelKind::Tagcn, cfg, &ctx, h, 2);
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        for cand in &compiled.candidates {
+            let plan = ExecPlan::build(&cand.program).unwrap();
+            let bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+            // Multi-hop chains produce more values than they need buffers:
+            // hop intermediates die immediately and recycle their slots.
+            if plan.iter_len() >= 4 {
+                assert!(
+                    bound.num_slots() < plan.values.len(),
+                    "{}: {} slots for {} values",
+                    plan.expr(),
+                    bound.num_slots(),
+                    plan.values.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_iterations_are_stable() {
+        let cfg = LayerConfig::new(5, 3);
+        let compiled = plan_for(ModelKind::Gat, cfg);
+        let g = generators::power_law(18, 3, 9).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(18, 5, 1.0, 4);
+        let inputs = PlanInputs::for_model(ModelKind::Gat, cfg, &ctx, h, 6);
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        for cand in &compiled.candidates {
+            let plan = ExecPlan::build(&cand.program).unwrap();
+            let mut bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+            let first = bound.iterate(&exec).unwrap().clone();
+            let second = bound.iterate(&exec).unwrap();
+            assert_eq!(first.max_abs_diff(second).unwrap(), 0.0, "{}", plan.expr());
+        }
+    }
+
+    #[test]
+    fn missing_weights_are_typed_errors_at_bind() {
+        let cfg = LayerConfig::new(4, 4);
+        let compiled = plan_for(ModelKind::Gcn, cfg);
+        let g = generators::ring(6).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::zeros(6, 4).unwrap();
+        let plan = ExecPlan::build(&compiled.candidates[0].program).unwrap();
+        let deg_inv = vec![0.0f32; 6];
+        let empty = BTreeMap::new();
+        let inputs = ProgramInputs {
+            adj: ctx.adj(),
+            deg_inv_sqrt: ctx.deg_inv_sqrt(),
+            deg_inv: &deg_inv,
+            h: &h,
+            weights: &empty,
+            eps: 0.0,
+            irregularity: 0.0,
+        };
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        let err = plan.bind(&exec, &inputs).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidIr(_)), "{err}");
+    }
+}

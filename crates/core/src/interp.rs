@@ -115,7 +115,9 @@ fn lookup<'e>(env: &'e BTreeMap<String, Value>, expr: &str) -> Result<&'e Value>
 }
 
 /// Splits a canonical expression `(a·b·c)` / `(a + b)` at its top level.
-fn split_top(expr: &str, sep: char) -> Vec<String> {
+/// Shared with the compile-once engine (`execplan`) so both resolve operands
+/// identically.
+pub(crate) fn split_top(expr: &str, sep: char) -> Vec<String> {
     let inner = expr
         .strip_prefix('(')
         .and_then(|e| e.strip_suffix(')'))

@@ -27,7 +27,11 @@
 //!    gradient-boosted cost models (one per primitive × device, §IV-E)
 //!    predict each candidate's latency,
 //! 6. [`runtime`] — the cheapest candidate is selected for the concrete
-//!    (graph, embedding sizes, device); selection overheads are reported.
+//!    (graph, embedding sizes, device); selection overheads are reported,
+//! 7. [`execplan`] — the selected candidate is lowered once into a
+//!    slot-addressed [`execplan::ExecPlan`] whose steady-state iterations run
+//!    with zero heap allocation and no string-keyed lookups; the
+//!    string-resolving [`interp`] survives as the differential-test oracle.
 //!
 //! The top-level entry point is [`Granii`] (the `GRANII(model, graph, ...)`
 //! call of Fig 4).
@@ -39,6 +43,7 @@ pub mod assoc;
 pub mod complexity;
 pub mod cost;
 mod error;
+pub mod execplan;
 mod granii;
 pub mod interp;
 pub mod ir;
@@ -47,7 +52,7 @@ pub mod runtime;
 
 pub use error::CoreError;
 pub use granii::{Granii, GraniiOptions};
-pub use runtime::Selection;
+pub use runtime::{Selection, SteadyStateReport};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

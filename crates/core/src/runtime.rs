@@ -10,10 +10,12 @@
 use std::time::Instant;
 
 use granii_gnn::spec::Composition;
+use granii_gnn::Exec;
 use granii_graph::Graph;
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostModelSet, FeaturizedInput};
+use crate::execplan::{ExecPlan, PlanInputs};
 use crate::plan::CompiledModel;
 use crate::{CoreError, Result};
 
@@ -129,6 +131,124 @@ pub fn select(
     })
 }
 
+/// Phase breakdown of running a selected composition through the
+/// compile-once engine: one-time plan build + bind (including the hoisted
+/// precompute), then steady-state iterations that must not allocate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStateReport {
+    /// The composition that was run.
+    pub composition: Composition,
+    /// Canonical expression of its program.
+    pub expr: String,
+    /// Wall time of [`ExecPlan::build`] (string resolution + lowering).
+    pub build_seconds: f64,
+    /// Wall time of [`ExecPlan::bind`] (shape inference, slot assignment,
+    /// buffer allocation, and the hoisted setup run).
+    pub bind_seconds: f64,
+    /// Wall time of the first (warm-up) iteration.
+    pub warmup_seconds: f64,
+    /// Wall time of all steady-state iterations after warm-up.
+    pub steady_seconds: f64,
+    /// Number of steady-state iterations timed.
+    pub steady_iterations: usize,
+    /// Heap allocations observed across the steady-state iterations via the
+    /// telemetry counters (always 0 when telemetry is disabled; the
+    /// compile-once contract is that it is also 0 when enabled).
+    pub steady_allocations: u64,
+}
+
+impl SteadyStateReport {
+    /// One-time cost paid before the first steady-state iteration.
+    pub fn setup_seconds(&self) -> f64 {
+        self.build_seconds + self.bind_seconds + self.warmup_seconds
+    }
+
+    /// Mean steady-state iteration wall time.
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.steady_iterations == 0 {
+            0.0
+        } else {
+            self.steady_seconds / self.steady_iterations as f64
+        }
+    }
+}
+
+/// Sum of the allocation counters the steady-state contract is asserted
+/// against (dense buffers, sparse value buffers, and workspace misses). Only
+/// meaningful while telemetry is enabled.
+pub fn allocation_counter_total() -> u64 {
+    granii_telemetry::metrics_snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| {
+            matches!(
+                name.as_str(),
+                "matrix.dense_allocs" | "matrix.sparse_vals_allocs" | "workspace.fresh_allocs"
+            )
+        })
+        .map(|&(_, v)| v)
+        .sum()
+}
+
+/// Runs `composition`'s program through the compile-once engine: builds and
+/// binds its [`ExecPlan`], runs one warm-up iteration, then times
+/// `iterations - 1` steady-state iterations, reporting the phase split and
+/// the allocation counter delta across the steady phase.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidIr`] if `composition` is not one of `plan`'s
+/// candidates and propagates build/bind/kernel errors.
+pub fn run_steady_state(
+    exec: &Exec,
+    plan: &CompiledModel,
+    composition: Composition,
+    inputs: &PlanInputs,
+    iterations: usize,
+) -> Result<SteadyStateReport> {
+    let candidate = plan
+        .candidates
+        .iter()
+        .find(|c| c.composition == composition)
+        .ok_or_else(|| {
+            CoreError::InvalidIr(format!(
+                "composition {composition} is not a candidate of {}",
+                plan.model.name()
+            ))
+        })?;
+    let t_build = Instant::now();
+    let exec_plan = ExecPlan::build(&candidate.program)?;
+    let build_seconds = t_build.elapsed().as_secs_f64();
+
+    let t_bind = Instant::now();
+    let mut bound = exec_plan.bind(exec, &inputs.as_program_inputs())?;
+    let bind_seconds = t_bind.elapsed().as_secs_f64();
+
+    let t_warmup = Instant::now();
+    bound.iterate(exec)?;
+    let warmup_seconds = t_warmup.elapsed().as_secs_f64();
+
+    let allocs_before = allocation_counter_total();
+    let steady_iterations = iterations.saturating_sub(1);
+    let t_steady = Instant::now();
+    for _ in 0..steady_iterations {
+        bound.iterate(exec)?;
+    }
+    let steady_seconds = t_steady.elapsed().as_secs_f64();
+    let steady_allocations = allocation_counter_total() - allocs_before;
+
+    Ok(SteadyStateReport {
+        composition,
+        expr: exec_plan.expr().to_string(),
+        build_seconds,
+        bind_seconds,
+        warmup_seconds,
+        steady_seconds,
+        steady_iterations,
+        steady_allocations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +286,33 @@ mod tests {
         // timed and charged to the selection overhead.
         assert_eq!(sel.featurize_seconds, 0.0);
         assert!(sel.select_seconds > 0.0, "{sel:?}");
+    }
+
+    #[test]
+    fn steady_state_report_splits_phases() {
+        use granii_gnn::GraphCtx;
+        use granii_graph::generators;
+        use granii_matrix::device::Engine;
+        use granii_matrix::DenseMatrix;
+
+        let cfg = LayerConfig::new(8, 4);
+        let plan = CompiledModel::compile(ModelKind::Gcn, cfg).unwrap();
+        let g = generators::power_law(40, 4, 11).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(40, 8, 1.0, 12);
+        let inputs = PlanInputs::for_model(ModelKind::Gcn, cfg, &ctx, h, 13);
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        let comp = plan.candidates[0].composition;
+        let report = run_steady_state(&exec, &plan, comp, &inputs, 10).unwrap();
+        assert_eq!(report.composition, comp);
+        assert_eq!(report.steady_iterations, 9);
+        assert!(report.setup_seconds() > 0.0);
+        assert!(report.seconds_per_iteration() > 0.0);
+        // Missing composition is a typed error.
+        let gat = CompiledModel::compile(ModelKind::Gat, cfg).unwrap();
+        let err = run_steady_state(&exec, &gat, comp, &inputs, 2).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidIr(_)), "{err}");
     }
 
     /// The paper's §III-A intuition must emerge from the learned models:

@@ -357,6 +357,442 @@ impl<'e> Exec<'e> {
         let stats = WorkStats::elementwise(a.rows(), 1);
         self.engine.run(stats, || a.out_degrees())
     }
+
+    // ------------------------------------------------------------------
+    // `_into` variants: identical latency charges, but results land in
+    // caller-provided (workspace-recycled) buffers. These are the kernels the
+    // compile-once execution engine drives in steady state — no allocation,
+    // no clone, bitwise-equal outputs.
+    // ------------------------------------------------------------------
+
+    /// [`Exec::gemm`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mis-shaped `out`).
+    pub fn gemm_into(&self, a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        let stats = WorkStats::gemm(a.rows(), a.cols(), b.cols());
+        if self.compute {
+            self.engine.run(stats, || ops::gemm_into(a, b, out))?;
+        } else {
+            if a.cols() != b.rows() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "gemm",
+                    lhs: a.shape(),
+                    rhs: b.shape(),
+                }
+                .into());
+            }
+            check_dense_out("gemm_into", (a.rows(), b.cols()), out)?;
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::spmm`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mis-shaped `out`).
+    pub fn spmm_into(
+        &self,
+        adj: &CsrMatrix,
+        x: &DenseMatrix,
+        semiring: Semiring,
+        irregularity: f64,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let weighted = semiring.mul.reads_edge() && adj.is_weighted();
+        let stats = WorkStats::spmm(adj.rows(), adj.nnz(), x.cols(), weighted, irregularity);
+        if self.compute {
+            self.engine
+                .run(stats, || ops::spmm_into(adj, x, semiring, out))?;
+        } else {
+            if adj.cols() != x.rows() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "spmm",
+                    lhs: adj.shape(),
+                    rhs: x.shape(),
+                }
+                .into());
+            }
+            check_dense_out("spmm_into", (adj.rows(), x.cols()), out)?;
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::sddmm`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mismatched `out` pattern).
+    pub fn sddmm_into(
+        &self,
+        mask: &CsrMatrix,
+        u: &DenseMatrix,
+        v: &DenseMatrix,
+        irregularity: f64,
+        out: &mut CsrMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::sddmm(mask.rows(), mask.nnz(), u.cols(), irregularity);
+        if self.compute {
+            self.engine
+                .run(stats, || ops::sddmm_into(mask, u, v, out))?;
+        } else {
+            if u.cols() != v.cols() || u.rows() != mask.rows() || v.rows() != mask.cols() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "sddmm",
+                    lhs: u.shape(),
+                    rhs: v.shape(),
+                }
+                .into());
+            }
+            check_csr_out("sddmm_into", mask, out)?;
+            self.engine.charge(stats);
+            zero_csr(out);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::sddmm_u_add_v`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mismatched `out` pattern).
+    pub fn sddmm_u_add_v_into(
+        &self,
+        mask: &CsrMatrix,
+        ul: &[f32],
+        vr: &[f32],
+        irregularity: f64,
+        out: &mut CsrMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::sddmm(mask.rows(), mask.nnz(), 1, irregularity);
+        if self.compute {
+            self.engine
+                .run(stats, || ops::sddmm_u_add_v_into(mask, ul, vr, out))?;
+        } else {
+            if ul.len() != mask.rows() || vr.len() != mask.cols() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "sddmm_u_add_v",
+                    lhs: mask.shape(),
+                    rhs: (ul.len(), vr.len()),
+                }
+                .into());
+            }
+            check_csr_out("sddmm_u_add_v_into", mask, out)?;
+            self.engine.charge(stats);
+            zero_csr(out);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::scale_csr`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mismatched `out` pattern).
+    pub fn scale_csr_into(
+        &self,
+        dl: Option<&[f32]>,
+        a: &CsrMatrix,
+        dr: Option<&[f32]>,
+        irregularity: f64,
+        out: &mut CsrMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::sddmm(a.rows(), a.nnz(), 1, irregularity);
+        if self.compute {
+            self.engine
+                .run(stats, || ops::scale_csr_into(dl, a, dr, out))?;
+        } else {
+            if dl.is_some_and(|d| d.len() != a.rows()) || dr.is_some_and(|d| d.len() != a.cols()) {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "scale_csr",
+                    lhs: a.shape(),
+                    rhs: (dl.map_or(0, <[f32]>::len), dr.map_or(0, <[f32]>::len)),
+                }
+                .into());
+            }
+            check_csr_out("scale_csr_into", a, out)?;
+            self.engine.charge(stats);
+            zero_csr(out);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::row_broadcast`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mis-shaped `out`).
+    pub fn row_broadcast_into(
+        &self,
+        d: &[f32],
+        m: &DenseMatrix,
+        op: BroadcastOp,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::row_broadcast(m.rows(), m.cols());
+        if self.compute {
+            self.engine
+                .run(stats, || ops::row_broadcast_into(d, m, op, out))?;
+        } else {
+            if d.len() != m.rows() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "row_broadcast",
+                    lhs: (d.len(), 1),
+                    rhs: m.shape(),
+                }
+                .into());
+            }
+            check_dense_out("row_broadcast_into", m.shape(), out)?;
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::col_broadcast`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including a mis-shaped `out`).
+    pub fn col_broadcast_into(
+        &self,
+        m: &DenseMatrix,
+        d: &[f32],
+        op: BroadcastOp,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::col_broadcast(m.rows(), m.cols());
+        if self.compute {
+            self.engine
+                .run(stats, || ops::col_broadcast_into(m, d, op, out))?;
+        } else {
+            if d.len() != m.cols() {
+                return Err(MatrixError::ShapeMismatch {
+                    op: "col_broadcast",
+                    lhs: m.shape(),
+                    rhs: (d.len(), 1),
+                }
+                .into());
+            }
+            check_dense_out("col_broadcast_into", m.shape(), out)?;
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::edge_softmax`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `a` is unweighted or `out`'s pattern mismatches.
+    pub fn edge_softmax_into(
+        &self,
+        a: &CsrMatrix,
+        irregularity: f64,
+        out: &mut CsrMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::edge_softmax(a.rows(), a.nnz(), irregularity);
+        if self.compute {
+            self.engine.run(stats, || ops::edge_softmax_into(a, out))?;
+        } else {
+            if !a.is_weighted() {
+                return Err(MatrixError::MissingValues("edge_softmax").into());
+            }
+            check_csr_out("edge_softmax_into", a, out)?;
+            self.engine.charge(stats);
+            zero_csr(out);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::map`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `out` does not match `m`'s shape.
+    pub fn map_into(
+        &self,
+        m: &DenseMatrix,
+        flops_per_elem: u32,
+        f: impl Fn(f32) -> f32,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        check_dense_out("map_into", m.shape(), out)?;
+        let stats = WorkStats::elementwise(m.rows() * m.cols(), flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || {
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                    *o = f(v);
+                }
+            });
+        } else {
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::map`] applied in place (`m = f(m)` element-wise); same charge.
+    pub fn map_assign(&self, m: &mut DenseMatrix, flops_per_elem: u32, f: impl Fn(f32) -> f32) {
+        let stats = WorkStats::elementwise(m.rows() * m.cols(), flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || m.map_inplace(f));
+        } else {
+            self.engine.charge(stats);
+            m.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// [`Exec::zip`] writing into `out`; same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (including a mis-shaped `out`).
+    pub fn zip_into(
+        &self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        flops_per_elem: u32,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        if a.shape() != b.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "zip_with",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            }
+            .into());
+        }
+        check_dense_out("zip_into", a.shape(), out)?;
+        let stats = WorkStats::elementwise(a.rows() * a.cols(), flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || {
+                for ((o, &x), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(a.as_slice())
+                    .zip(b.as_slice())
+                {
+                    *o = f(x, y);
+                }
+            });
+        } else {
+            self.engine.charge(stats);
+            out.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::zip`] applied in place (`acc = f(acc, b)` element-wise); same
+    /// charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn zip_assign(
+        &self,
+        acc: &mut DenseMatrix,
+        b: &DenseMatrix,
+        flops_per_elem: u32,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<()> {
+        if acc.shape() != b.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "zip_with",
+                lhs: acc.shape(),
+                rhs: b.shape(),
+            }
+            .into());
+        }
+        let stats = WorkStats::elementwise(acc.rows() * acc.cols(), flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || {
+                for (o, &y) in acc.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                    *o = f(*o, y);
+                }
+            });
+        } else {
+            self.engine.charge(stats);
+            acc.as_mut_slice().fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// [`Exec::map_csr_values`] applied in place over `a`'s stored values;
+    /// same charge, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is unweighted.
+    pub fn map_csr_assign(&self, a: &mut CsrMatrix, f: impl Fn(f32) -> f32) -> Result<()> {
+        let stats = WorkStats::elementwise(a.nnz(), 1);
+        let vals = a
+            .values_mut()
+            .ok_or(MatrixError::MissingValues("map_csr_values"))?;
+        if self.compute {
+            self.engine.run(stats, || {
+                for v in vals.iter_mut() {
+                    *v = f(*v);
+                }
+            });
+        } else {
+            self.engine.charge(stats);
+            vals.fill(0.0);
+        }
+        Ok(())
+    }
+}
+
+/// Validates a dense output buffer's shape for the virtual-mode `_into` paths
+/// (real mode validates inside the kernel).
+fn check_dense_out(
+    op: &'static str,
+    want: (usize, usize),
+    out: &DenseMatrix,
+) -> std::result::Result<(), MatrixError> {
+    if out.shape() != want {
+        return Err(MatrixError::ShapeMismatch {
+            op,
+            lhs: want,
+            rhs: out.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates a CSR output buffer against the pattern source for the
+/// virtual-mode `_into` paths.
+fn check_csr_out(
+    op: &'static str,
+    pattern: &CsrMatrix,
+    out: &CsrMatrix,
+) -> std::result::Result<(), MatrixError> {
+    if out.shape() != pattern.shape() || out.nnz() != pattern.nnz() {
+        return Err(MatrixError::ShapeMismatch {
+            op,
+            lhs: pattern.shape(),
+            rhs: out.shape(),
+        });
+    }
+    if !out.is_weighted() {
+        return Err(MatrixError::MissingValues(op));
+    }
+    Ok(())
+}
+
+/// Zero-fills a weighted CSR's values (virtual-mode output).
+fn zero_csr(out: &mut CsrMatrix) {
+    if let Some(vals) = out.values_mut() {
+        vals.fill(0.0);
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! the raw features (Eq. 6, aggregation at width `K1` plus an extra GEMM) —
 //! the two compositions whose crossover the paper analyzes.
 
-use granii_matrix::{CsrMatrix, DenseMatrix, Semiring};
+use granii_matrix::{CsrMatrix, DenseMatrix, Semiring, Workspace};
 
 use crate::spec::{GatStrategy, LayerConfig};
 use crate::{Exec, GraphCtx, Result};
@@ -55,13 +55,41 @@ impl Gat {
         ctx: &GraphCtx,
         h: &DenseMatrix,
     ) -> Result<(DenseMatrix, CsrMatrix)> {
+        let mut ws = Workspace::new();
+        self.attention_ws(exec, ctx, h, &mut ws)
+    }
+
+    /// [`Gat::attention`] with all intermediates drawn from (and recycled
+    /// into) the caller's workspace. The returned `(Θ, α)` buffers are owned
+    /// by the caller; hand them back with [`Workspace::give_dense`] /
+    /// [`Workspace::give_csr`] to keep the steady state allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn attention_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        h: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(DenseMatrix, CsrMatrix)> {
         let irr = ctx.irregularity();
-        let theta = exec.gemm(h, &self.w)?;
-        let ul = exec.gemm(&theta, &self.a_l)?;
-        let vr = exec.gemm(&theta, &self.a_r)?;
-        let logits = exec.sddmm_u_add_v(ctx.adj(), ul.as_slice(), vr.as_slice(), irr)?;
-        let scored = exec.map_csr_values(&logits, |v| if v >= 0.0 { v } else { GAT_SLOPE * v })?;
-        let alpha = exec.edge_softmax(&scored, irr)?;
+        let n = h.rows();
+        let mut theta = ws.take_dense(n, self.cfg.k_out)?;
+        exec.gemm_into(h, &self.w, &mut theta)?;
+        let mut ul = ws.take_dense(n, 1)?;
+        exec.gemm_into(&theta, &self.a_l, &mut ul)?;
+        let mut vr = ws.take_dense(n, 1)?;
+        exec.gemm_into(&theta, &self.a_r, &mut vr)?;
+        let mut logits = ws.take_csr_like(ctx.adj())?;
+        exec.sddmm_u_add_v_into(ctx.adj(), ul.as_slice(), vr.as_slice(), irr, &mut logits)?;
+        ws.give_dense(ul);
+        ws.give_dense(vr);
+        exec.map_csr_assign(&mut logits, |v| if v >= 0.0 { v } else { GAT_SLOPE * v })?;
+        let mut alpha = ws.take_csr_like(ctx.adj())?;
+        exec.edge_softmax_into(&logits, irr, &mut alpha)?;
+        ws.give_csr(logits);
         Ok((theta, alpha))
     }
 
@@ -77,20 +105,48 @@ impl Gat {
         h: &DenseMatrix,
         strategy: GatStrategy,
     ) -> Result<DenseMatrix> {
+        let mut ws = Workspace::new();
+        self.forward_ws(exec, ctx, h, strategy, &mut ws)
+    }
+
+    /// [`Gat::forward`] with all intermediates drawn from (and recycled into)
+    /// the caller's workspace; identical charges, bitwise-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn forward_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        h: &DenseMatrix,
+        strategy: GatStrategy,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
         let irr = ctx.irregularity();
-        let (theta, alpha) = self.attention(exec, ctx, h)?;
-        let z = match strategy {
+        let n = h.rows();
+        let (theta, alpha) = self.attention_ws(exec, ctx, h, ws)?;
+        let mut z = match strategy {
             GatStrategy::Reuse => {
                 // Eq. 5: α · Θ, width K2.
-                exec.spmm(&alpha, &theta, Semiring::plus_mul(), irr)?
+                let mut z = ws.take_dense(n, self.cfg.k_out)?;
+                exec.spmm_into(&alpha, &theta, Semiring::plus_mul(), irr, &mut z)?;
+                z
             }
             GatStrategy::Recompute => {
                 // Eq. 6: (α · H) · W, width K1 + one extra GEMM.
-                let agg = exec.spmm(&alpha, h, Semiring::plus_mul(), irr)?;
-                exec.gemm(&agg, &self.w)?
+                let mut agg = ws.take_dense(n, h.cols())?;
+                exec.spmm_into(&alpha, h, Semiring::plus_mul(), irr, &mut agg)?;
+                let mut z = ws.take_dense(n, self.cfg.k_out)?;
+                exec.gemm_into(&agg, &self.w, &mut z)?;
+                ws.give_dense(agg);
+                z
             }
         };
-        Ok(exec.map(&z, 1, |v| v.max(0.0)))
+        ws.give_dense(theta);
+        ws.give_csr(alpha);
+        exec.map_assign(&mut z, 1, |v| v.max(0.0));
+        Ok(z)
     }
 }
 

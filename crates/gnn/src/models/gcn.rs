@@ -6,7 +6,7 @@
 //! promoted compositions GRANII selects among.
 
 use granii_matrix::ops::BroadcastOp;
-use granii_matrix::{DenseMatrix, Semiring};
+use granii_matrix::{DenseMatrix, Semiring, Workspace};
 
 use crate::models::Prepared;
 use crate::spec::{LayerConfig, NormStrategy, OpOrder};
@@ -73,24 +73,66 @@ impl Gcn {
         norm: NormStrategy,
         order: OpOrder,
     ) -> Result<DenseMatrix> {
-        let z = match norm {
+        let mut ws = Workspace::new();
+        self.forward_ws(exec, ctx, prepared, h, norm, order, &mut ws)
+    }
+
+    /// [`Gcn::forward`] with all intermediates drawn from (and recycled into)
+    /// the caller's workspace. Identical charges and bitwise-identical output;
+    /// after warm-up a steady-state call performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        prepared: &Prepared,
+        h: &DenseMatrix,
+        norm: NormStrategy,
+        order: OpOrder,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
+        let n = h.rows();
+        let mut z = match norm {
             NormStrategy::Dynamic => {
                 let d = ctx.deg_inv_sqrt();
-                let propagate = |x: &DenseMatrix| -> Result<DenseMatrix> {
-                    let x = exec.row_broadcast(d, x, BroadcastOp::Mul)?;
+                // D^{-1/2} · A · D^{-1/2} · x with a two-buffer ping-pong:
+                // the spmm output buffer goes back to the pool, the broadcast
+                // buffer carries the result out.
+                let propagate = |x: &DenseMatrix, ws: &mut Workspace| -> Result<DenseMatrix> {
+                    let mut t = ws.take_dense(n, x.cols())?;
+                    exec.row_broadcast_into(d, x, BroadcastOp::Mul, &mut t)?;
+                    let mut u = ws.take_dense(n, x.cols())?;
                     // Unweighted graphs use the cheap copy_u aggregation;
                     // weighted graphs must read edge values.
-                    let x = exec.spmm(ctx.adj(), &x, ctx.sum_semiring(), ctx.irregularity())?;
-                    exec.row_broadcast(d, &x, BroadcastOp::Mul)
+                    exec.spmm_into(
+                        ctx.adj(),
+                        &t,
+                        ctx.sum_semiring(),
+                        ctx.irregularity(),
+                        &mut u,
+                    )?;
+                    exec.row_broadcast_into(d, &u, BroadcastOp::Mul, &mut t)?;
+                    ws.give_dense(u);
+                    Ok(t)
                 };
                 match order {
                     OpOrder::AggregateFirst => {
-                        let agg = propagate(h)?;
-                        exec.gemm(&agg, &self.w)?
+                        let agg = propagate(h, ws)?;
+                        let mut out = ws.take_dense(n, self.cfg.k_out)?;
+                        exec.gemm_into(&agg, &self.w, &mut out)?;
+                        ws.give_dense(agg);
+                        out
                     }
                     OpOrder::UpdateFirst => {
-                        let up = exec.gemm(h, &self.w)?;
-                        propagate(&up)?
+                        let mut up = ws.take_dense(n, self.cfg.k_out)?;
+                        exec.gemm_into(h, &self.w, &mut up)?;
+                        let out = propagate(&up, ws)?;
+                        ws.give_dense(up);
+                        out
                     }
                 }
             }
@@ -101,18 +143,38 @@ impl Gcn {
                     .expect("precompute composition requires prepared normalized adjacency");
                 match order {
                     OpOrder::AggregateFirst => {
-                        let agg =
-                            exec.spmm(norm_adj, h, Semiring::plus_mul(), ctx.irregularity())?;
-                        exec.gemm(&agg, &self.w)?
+                        let mut agg = ws.take_dense(n, h.cols())?;
+                        exec.spmm_into(
+                            norm_adj,
+                            h,
+                            Semiring::plus_mul(),
+                            ctx.irregularity(),
+                            &mut agg,
+                        )?;
+                        let mut out = ws.take_dense(n, self.cfg.k_out)?;
+                        exec.gemm_into(&agg, &self.w, &mut out)?;
+                        ws.give_dense(agg);
+                        out
                     }
                     OpOrder::UpdateFirst => {
-                        let up = exec.gemm(h, &self.w)?;
-                        exec.spmm(norm_adj, &up, Semiring::plus_mul(), ctx.irregularity())?
+                        let mut up = ws.take_dense(n, self.cfg.k_out)?;
+                        exec.gemm_into(h, &self.w, &mut up)?;
+                        let mut out = ws.take_dense(n, self.cfg.k_out)?;
+                        exec.spmm_into(
+                            norm_adj,
+                            &up,
+                            Semiring::plus_mul(),
+                            ctx.irregularity(),
+                            &mut out,
+                        )?;
+                        ws.give_dense(up);
+                        out
                     }
                 }
             }
         };
-        Ok(exec.map(&z, 1, |v| v.max(0.0)))
+        exec.map_assign(&mut z, 1, |v| v.max(0.0));
+        Ok(z)
     }
 }
 

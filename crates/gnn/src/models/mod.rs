@@ -22,7 +22,7 @@ pub use sage::Sage;
 pub use sgc::Sgc;
 pub use tagcn::Tagcn;
 
-use granii_matrix::{CsrMatrix, DenseMatrix};
+use granii_matrix::{CsrMatrix, DenseMatrix, Workspace};
 
 use crate::spec::{Composition, LayerConfig, ModelKind};
 use crate::{Exec, GnnError, GraphCtx, Result};
@@ -159,21 +159,44 @@ impl GnnLayer {
         h: &DenseMatrix,
         comp: Composition,
     ) -> Result<DenseMatrix> {
+        let mut ws = Workspace::new();
+        self.forward_ws(exec, ctx, prepared, h, comp, &mut ws)
+    }
+
+    /// [`GnnLayer::forward`] with all intermediates drawn from (and recycled
+    /// into) the caller's workspace. Charges and outputs are identical to
+    /// [`GnnLayer::forward`]'s; after a warm-up iteration fills the pool,
+    /// steady-state calls perform no dense-intermediate heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GnnLayer::forward`].
+    pub fn forward_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        prepared: &Prepared,
+        h: &DenseMatrix,
+        comp: Composition,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
         self.check_composition(comp)?;
         check_input(ctx, h, self.config())?;
         match (self, comp) {
             (GnnLayer::Gcn(m), Composition::Gcn(norm, order)) => {
-                m.forward(exec, ctx, prepared, h, norm, order)
+                m.forward_ws(exec, ctx, prepared, h, norm, order, ws)
             }
-            (GnnLayer::Gin(m), Composition::Gin(order)) => m.forward(exec, ctx, h, order),
+            (GnnLayer::Gin(m), Composition::Gin(order)) => m.forward_ws(exec, ctx, h, order, ws),
             (GnnLayer::Sgc(m), Composition::Sgc(norm, order)) => {
-                m.forward(exec, ctx, prepared, h, norm, order)
+                m.forward_ws(exec, ctx, prepared, h, norm, order, ws)
             }
             (GnnLayer::Tagcn(m), Composition::Tagcn(norm, order)) => {
-                m.forward(exec, ctx, prepared, h, norm, order)
+                m.forward_ws(exec, ctx, prepared, h, norm, order, ws)
             }
-            (GnnLayer::Gat(m), Composition::Gat(strategy)) => m.forward(exec, ctx, h, strategy),
-            (GnnLayer::Sage(m), Composition::Sage(order)) => m.forward(exec, ctx, h, order),
+            (GnnLayer::Gat(m), Composition::Gat(strategy)) => {
+                m.forward_ws(exec, ctx, h, strategy, ws)
+            }
+            (GnnLayer::Sage(m), Composition::Sage(order)) => m.forward_ws(exec, ctx, h, order, ws),
             _ => unreachable!("check_composition validated the pairing"),
         }
     }

@@ -5,7 +5,7 @@
 //! can move to either end of the `k`-hop propagation chain.
 
 use granii_matrix::ops::BroadcastOp;
-use granii_matrix::{DenseMatrix, Semiring};
+use granii_matrix::{DenseMatrix, Semiring, Workspace};
 
 use crate::models::Prepared;
 use crate::spec::{LayerConfig, NormStrategy, OpOrder};
@@ -65,35 +65,99 @@ impl Sgc {
         norm: NormStrategy,
         order: OpOrder,
     ) -> Result<DenseMatrix> {
-        let propagate = |x: DenseMatrix| -> Result<DenseMatrix> {
-            let mut x = x;
-            for _ in 0..self.cfg.hops {
-                x = match norm {
-                    NormStrategy::Dynamic => {
-                        let d = ctx.deg_inv_sqrt();
-                        let t = exec.row_broadcast(d, &x, BroadcastOp::Mul)?;
-                        let t = exec.spmm(ctx.adj(), &t, ctx.sum_semiring(), ctx.irregularity())?;
-                        exec.row_broadcast(d, &t, BroadcastOp::Mul)?
-                    }
-                    NormStrategy::Precompute => {
-                        let norm_adj = prepared
-                            .norm_adj
-                            .as_ref()
-                            .expect("precompute composition requires prepared adjacency");
-                        exec.spmm(norm_adj, &x, Semiring::plus_mul(), ctx.irregularity())?
-                    }
-                };
+        let mut ws = Workspace::new();
+        self.forward_ws(exec, ctx, prepared, h, norm, order, &mut ws)
+    }
+
+    /// One `Ñ · src` propagation step into a workspace buffer.
+    fn hop_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        prepared: &Prepared,
+        norm: NormStrategy,
+        src: &DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
+        let n = src.rows();
+        match norm {
+            NormStrategy::Dynamic => {
+                let d = ctx.deg_inv_sqrt();
+                let mut t = ws.take_dense(n, src.cols())?;
+                exec.row_broadcast_into(d, src, BroadcastOp::Mul, &mut t)?;
+                let mut u = ws.take_dense(n, src.cols())?;
+                exec.spmm_into(
+                    ctx.adj(),
+                    &t,
+                    ctx.sum_semiring(),
+                    ctx.irregularity(),
+                    &mut u,
+                )?;
+                exec.row_broadcast_into(d, &u, BroadcastOp::Mul, &mut t)?;
+                ws.give_dense(u);
+                Ok(t)
             }
-            Ok(x)
-        };
+            NormStrategy::Precompute => {
+                let norm_adj = prepared
+                    .norm_adj
+                    .as_ref()
+                    .expect("precompute composition requires prepared adjacency");
+                let mut t = ws.take_dense(n, src.cols())?;
+                exec.spmm_into(
+                    norm_adj,
+                    src,
+                    Semiring::plus_mul(),
+                    ctx.irregularity(),
+                    &mut t,
+                )?;
+                Ok(t)
+            }
+        }
+    }
+
+    /// [`Sgc::forward`] with all intermediates drawn from (and recycled into)
+    /// the caller's workspace; identical charges, bitwise-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        prepared: &Prepared,
+        h: &DenseMatrix,
+        norm: NormStrategy,
+        order: OpOrder,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
+        let n = h.rows();
         match order {
             OpOrder::AggregateFirst => {
-                let agg = propagate(h.clone())?;
-                exec.gemm(&agg, &self.w)
+                let mut cur: Option<DenseMatrix> = None;
+                for _ in 0..self.cfg.hops {
+                    let next =
+                        self.hop_ws(exec, ctx, prepared, norm, cur.as_ref().unwrap_or(h), ws)?;
+                    if let Some(old) = cur.replace(next) {
+                        ws.give_dense(old);
+                    }
+                }
+                let mut out = ws.take_dense(n, self.cfg.k_out)?;
+                exec.gemm_into(cur.as_ref().unwrap_or(h), &self.w, &mut out)?;
+                if let Some(old) = cur {
+                    ws.give_dense(old);
+                }
+                Ok(out)
             }
             OpOrder::UpdateFirst => {
-                let up = exec.gemm(h, &self.w)?;
-                propagate(up)
+                let mut cur = ws.take_dense(n, self.cfg.k_out)?;
+                exec.gemm_into(h, &self.w, &mut cur)?;
+                for _ in 0..self.cfg.hops {
+                    let next = self.hop_ws(exec, ctx, prepared, norm, &cur, ws)?;
+                    ws.give_dense(std::mem::replace(&mut cur, next));
+                }
+                Ok(cur)
             }
         }
     }

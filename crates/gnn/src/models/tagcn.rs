@@ -7,7 +7,7 @@
 //! — cheaper exactly when `K2 < K1`.
 
 use granii_matrix::ops::BroadcastOp;
-use granii_matrix::{DenseMatrix, Semiring};
+use granii_matrix::{DenseMatrix, Semiring, Workspace};
 
 use crate::models::Prepared;
 use crate::spec::{LayerConfig, NormStrategy, OpOrder};
@@ -53,28 +53,48 @@ impl Tagcn {
         }
     }
 
-    /// One `Ñ · x` propagation step under the given normalization strategy.
-    fn hop(
+    /// One `Ñ · x` propagation step into a workspace buffer.
+    fn hop_ws(
         &self,
         exec: &Exec,
         ctx: &GraphCtx,
         prepared: &Prepared,
         norm: NormStrategy,
         x: &DenseMatrix,
+        ws: &mut Workspace,
     ) -> Result<DenseMatrix> {
+        let n = x.rows();
         match norm {
             NormStrategy::Dynamic => {
                 let d = ctx.deg_inv_sqrt();
-                let t = exec.row_broadcast(d, x, BroadcastOp::Mul)?;
-                let t = exec.spmm(ctx.adj(), &t, ctx.sum_semiring(), ctx.irregularity())?;
-                exec.row_broadcast(d, &t, BroadcastOp::Mul)
+                let mut t = ws.take_dense(n, x.cols())?;
+                exec.row_broadcast_into(d, x, BroadcastOp::Mul, &mut t)?;
+                let mut u = ws.take_dense(n, x.cols())?;
+                exec.spmm_into(
+                    ctx.adj(),
+                    &t,
+                    ctx.sum_semiring(),
+                    ctx.irregularity(),
+                    &mut u,
+                )?;
+                exec.row_broadcast_into(d, &u, BroadcastOp::Mul, &mut t)?;
+                ws.give_dense(u);
+                Ok(t)
             }
             NormStrategy::Precompute => {
                 let norm_adj = prepared
                     .norm_adj
                     .as_ref()
                     .expect("precompute composition requires prepared adjacency");
-                exec.spmm(norm_adj, x, Semiring::plus_mul(), ctx.irregularity())
+                let mut t = ws.take_dense(n, x.cols())?;
+                exec.spmm_into(
+                    norm_adj,
+                    x,
+                    Semiring::plus_mul(),
+                    ctx.irregularity(),
+                    &mut t,
+                )?;
+                Ok(t)
             }
         }
     }
@@ -93,30 +113,68 @@ impl Tagcn {
         norm: NormStrategy,
         order: OpOrder,
     ) -> Result<DenseMatrix> {
-        let z = match order {
+        let mut ws = Workspace::new();
+        self.forward_ws(exec, ctx, prepared, h, norm, order, &mut ws)
+    }
+
+    /// [`Tagcn::forward`] with all intermediates drawn from (and recycled
+    /// into) the caller's workspace; identical charges, bitwise-identical
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_ws(
+        &self,
+        exec: &Exec,
+        ctx: &GraphCtx,
+        prepared: &Prepared,
+        h: &DenseMatrix,
+        norm: NormStrategy,
+        order: OpOrder,
+        ws: &mut Workspace,
+    ) -> Result<DenseMatrix> {
+        let n = h.rows();
+        let mut acc = match order {
             OpOrder::AggregateFirst => {
                 // acc = Σ_k (Ñ^k H) W_k, propagating at width K1.
-                let mut acc = exec.gemm(h, &self.ws[0])?;
-                let mut x = h.clone();
+                let mut acc = ws.take_dense(n, self.cfg.k_out)?;
+                exec.gemm_into(h, &self.ws[0], &mut acc)?;
+                let mut cur: Option<DenseMatrix> = None;
                 for wk in &self.ws[1..] {
-                    x = self.hop(exec, ctx, prepared, norm, &x)?;
-                    let term = exec.gemm(&x, wk)?;
-                    acc = exec.zip(&acc, &term, 1, |a, b| a + b)?;
+                    let next =
+                        self.hop_ws(exec, ctx, prepared, norm, cur.as_ref().unwrap_or(h), ws)?;
+                    if let Some(old) = cur.replace(next) {
+                        ws.give_dense(old);
+                    }
+                    let mut term = ws.take_dense(n, self.cfg.k_out)?;
+                    exec.gemm_into(cur.as_ref().expect("just propagated"), wk, &mut term)?;
+                    exec.zip_assign(&mut acc, &term, 1, |a, b| a + b)?;
+                    ws.give_dense(term);
+                }
+                if let Some(old) = cur {
+                    ws.give_dense(old);
                 }
                 acc
             }
             OpOrder::UpdateFirst => {
                 // Horner: acc = H·W_K; for k = K-1..0: acc = Ñ·acc + H·W_k.
-                let mut acc = exec.gemm(h, &self.ws[self.cfg.hops])?;
+                let mut acc = ws.take_dense(n, self.cfg.k_out)?;
+                exec.gemm_into(h, &self.ws[self.cfg.hops], &mut acc)?;
                 for k in (0..self.cfg.hops).rev() {
-                    let prop = self.hop(exec, ctx, prepared, norm, &acc)?;
-                    let term = exec.gemm(h, &self.ws[k])?;
-                    acc = exec.zip(&prop, &term, 1, |a, b| a + b)?;
+                    let prop = self.hop_ws(exec, ctx, prepared, norm, &acc, ws)?;
+                    let mut term = ws.take_dense(n, self.cfg.k_out)?;
+                    exec.gemm_into(h, &self.ws[k], &mut term)?;
+                    exec.zip_into(&prop, &term, 1, |a, b| a + b, &mut acc)?;
+                    ws.give_dense(prop);
+                    ws.give_dense(term);
                 }
                 acc
             }
         };
-        Ok(exec.map(&z, 1, |v| v.max(0.0)))
+        exec.map_assign(&mut acc, 1, |v| v.max(0.0));
+        Ok(acc)
     }
 }
 

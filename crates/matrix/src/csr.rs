@@ -206,6 +206,12 @@ impl CsrMatrix {
         self.values.as_deref()
     }
 
+    /// Mutable access to the value array, if the matrix is weighted. The
+    /// `_into` kernels write results through this without reallocating.
+    pub fn values_mut(&mut self) -> Option<&mut [f32]> {
+        self.values.as_deref_mut()
+    }
+
     /// Column indices of row `r`.
     ///
     /// # Panics

@@ -54,6 +54,9 @@ impl DenseMatrix {
                 limit: DENSE_ALLOC_LIMIT,
             });
         }
+        // Every fresh dense buffer passes through here; the counter lets the
+        // allocation-regression tests prove the steady-state path stays off it.
+        granii_telemetry::counter_add("matrix.dense_allocs", 1);
         Ok(Self {
             rows,
             cols,

@@ -44,6 +44,7 @@ pub mod ops;
 pub mod parallel;
 mod semiring;
 pub mod stats;
+pub mod workspace;
 
 pub use coo::CooMatrix;
 pub use csr::{CsrMatrix, RowStats};
@@ -52,6 +53,7 @@ pub use diag::DiagMatrix;
 pub use error::MatrixError;
 pub use semiring::{MulOp, ReduceOp, Semiring};
 pub use stats::{PrimitiveKind, WorkStats};
+pub use workspace::Workspace;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -53,15 +53,48 @@ pub fn row_broadcast(d: &[f32], m: &DenseMatrix, op: BroadcastOp) -> Result<Dens
             rhs: m.shape(),
         });
     }
-    let mut out = m.clone();
+    let mut out = DenseMatrix::zeros(m.rows(), m.cols())?;
+    row_broadcast_into(d, m, op, &mut out)?;
+    Ok(out)
+}
+
+/// [`row_broadcast`] writing into a caller-provided buffer of `m`'s shape.
+///
+/// Reads straight from `m`, so no clone happens and recycled workspace
+/// buffers are safe; results are bitwise equal to [`row_broadcast`]'s.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `d.len() != m.rows()` or `out`
+/// has the wrong shape.
+pub fn row_broadcast_into(
+    d: &[f32],
+    m: &DenseMatrix,
+    op: BroadcastOp,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    if d.len() != m.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "row_broadcast",
+            lhs: (d.len(), 1),
+            rhs: m.shape(),
+        });
+    }
+    if out.shape() != m.shape() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "row_broadcast_into",
+            lhs: m.shape(),
+            rhs: out.shape(),
+        });
+    }
     let k = m.cols();
     par_rows(out.as_mut_slice(), k.max(1), |i, row| {
         let di = d[i];
-        for v in row.iter_mut() {
-            *v = op.apply(di, *v);
+        for (v, &mv) in row.iter_mut().zip(m.row(i)) {
+            *v = op.apply(di, mv);
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Column-broadcast: combines `d[j]` with every element of column `j`
@@ -78,14 +111,44 @@ pub fn col_broadcast(m: &DenseMatrix, d: &[f32], op: BroadcastOp) -> Result<Dens
             rhs: (d.len(), 1),
         });
     }
-    let mut out = m.clone();
+    let mut out = DenseMatrix::zeros(m.rows(), m.cols())?;
+    col_broadcast_into(m, d, op, &mut out)?;
+    Ok(out)
+}
+
+/// [`col_broadcast`] writing into a caller-provided buffer of `m`'s shape.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `d.len() != m.cols()` or `out`
+/// has the wrong shape.
+pub fn col_broadcast_into(
+    m: &DenseMatrix,
+    d: &[f32],
+    op: BroadcastOp,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    if d.len() != m.cols() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "col_broadcast",
+            lhs: m.shape(),
+            rhs: (d.len(), 1),
+        });
+    }
+    if out.shape() != m.shape() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "col_broadcast_into",
+            lhs: m.shape(),
+            rhs: out.shape(),
+        });
+    }
     let k = m.cols();
-    par_rows(out.as_mut_slice(), k.max(1), |_, row| {
-        for (v, &dj) in row.iter_mut().zip(d) {
-            *v = op.apply(dj, *v);
+    par_rows(out.as_mut_slice(), k.max(1), |i, row| {
+        for ((v, &mv), &dj) in row.iter_mut().zip(m.row(i)).zip(d) {
+            *v = op.apply(dj, mv);
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+use crate::ops::sddmm::{check_out_pattern, fresh_vals};
 use crate::{CsrMatrix, MatrixError, Result};
 
 /// Scales a sparse matrix by diagonal matrices on both sides:
@@ -44,7 +45,47 @@ pub fn scale_csr(dl: Option<&[f32]>, a: &CsrMatrix, dr: Option<&[f32]>) -> Resul
             });
         }
     }
-    let mut vals = vec![0f32; a.nnz()];
+    let vals = fresh_vals(a.nnz());
+    let mut out = a.clone().drop_values().with_values(vals)?;
+    scale_csr_into(dl, a, dr, &mut out)?;
+    Ok(out)
+}
+
+/// [`scale_csr`] writing into a caller-provided weighted CSR buffer sharing
+/// `a`'s pattern. Every stored position is written, so recycled workspace
+/// buffers are safe.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on vector-length mismatches or if
+/// `out` does not match `a`'s shape/nnz, and [`MatrixError::MissingValues`]
+/// if `out` is unweighted.
+pub fn scale_csr_into(
+    dl: Option<&[f32]>,
+    a: &CsrMatrix,
+    dr: Option<&[f32]>,
+    out: &mut CsrMatrix,
+) -> Result<()> {
+    if let Some(dl) = dl {
+        if dl.len() != a.rows() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "scale_csr",
+                lhs: (dl.len(), 1),
+                rhs: a.shape(),
+            });
+        }
+    }
+    if let Some(dr) = dr {
+        if dr.len() != a.cols() {
+            return Err(MatrixError::ShapeMismatch {
+                op: "scale_csr",
+                lhs: a.shape(),
+                rhs: (dr.len(), 1),
+            });
+        }
+    }
+    check_out_pattern("scale_csr_into", a, out)?;
+    let vals = out.values_mut().expect("checked weighted");
     for i in 0..a.rows() {
         let (s, e) = (a.indptr()[i] as usize, a.indptr()[i + 1] as usize);
         let li = dl.map_or(1.0, |d| d[i]);
@@ -56,7 +97,7 @@ pub fn scale_csr(dl: Option<&[f32]>, a: &CsrMatrix, dr: Option<&[f32]>) -> Resul
             vals[k] = li * av * rj;
         }
     }
-    a.clone().drop_values().with_values(vals)
+    Ok(())
 }
 
 /// Softmax over each row's stored values (GAT's attention normalization).
@@ -70,10 +111,26 @@ pub fn scale_csr(dl: Option<&[f32]>, a: &CsrMatrix, dr: Option<&[f32]>) -> Resul
 /// implicit ones is a uniform distribution the caller should construct
 /// explicitly if intended.
 pub fn edge_softmax(a: &CsrMatrix) -> Result<CsrMatrix> {
+    let vals = fresh_vals(a.nnz());
+    let mut out = a.clone().drop_values().with_values(vals)?;
+    edge_softmax_into(a, &mut out)?;
+    Ok(out)
+}
+
+/// [`edge_softmax`] writing into a caller-provided weighted CSR buffer
+/// sharing `a`'s pattern. Empty rows store no positions, so every element of
+/// the value array is overwritten and recycled workspace buffers are safe.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::MissingValues`] if `a` or `out` is unweighted, and
+/// [`MatrixError::ShapeMismatch`] if `out` does not match `a`'s shape/nnz.
+pub fn edge_softmax_into(a: &CsrMatrix, out: &mut CsrMatrix) -> Result<()> {
     let vals_in = a
         .values()
         .ok_or(MatrixError::MissingValues("edge_softmax"))?;
-    let mut vals = vec![0f32; a.nnz()];
+    check_out_pattern("edge_softmax_into", a, out)?;
+    let vals = out.values_mut().expect("checked weighted");
     for i in 0..a.rows() {
         let (s, e) = (a.indptr()[i] as usize, a.indptr()[i + 1] as usize);
         if s == e {
@@ -91,7 +148,7 @@ pub fn edge_softmax(a: &CsrMatrix) -> Result<CsrMatrix> {
             *v /= sum;
         }
     }
-    a.clone().drop_values().with_values(vals)
+    Ok(())
 }
 
 /// Computes in-degrees by scatter-add "binning" of edges onto their target

@@ -32,12 +32,42 @@ pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             rhs: b.shape(),
         });
     }
-    let (n, k1, k2) = (a.rows(), a.cols(), b.cols());
-    let mut out = DenseMatrix::zeros(n, k2)?;
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols())?;
+    gemm_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`gemm`] writing into a caller-provided `a.rows() × b.cols()` buffer.
+///
+/// The buffer's previous contents are overwritten (rows are zeroed before
+/// accumulation), so recycled workspace buffers are safe. The accumulation
+/// order is identical to [`gemm`]'s, making results bitwise equal.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `a.cols() != b.rows()` or `out`
+/// has the wrong shape.
+pub fn gemm_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if out.shape() != (a.rows(), b.cols()) {
+        return Err(MatrixError::ShapeMismatch {
+            op: "gemm_into",
+            lhs: (a.rows(), b.cols()),
+            rhs: out.shape(),
+        });
+    }
+    let (k1, k2) = (a.cols(), b.cols());
     par_rows(out.as_mut_slice(), k2.max(1), |i, out_row| {
         if k2 == 0 {
             return;
         }
+        out_row.fill(0.0);
         let a_row = a.row(i);
         for (k, &aik) in a_row.iter().enumerate().take(k1) {
             if aik == 0.0 {
@@ -49,7 +79,7 @@ pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,6 +12,11 @@
 //! - [`degrees_by_binning`] — WiseGraph's scatter-add degree computation.
 //!
 //! All kernels are deterministic: parallelism is over disjoint output rows.
+//!
+//! Every hot kernel also has a `*_into` variant writing into a caller-provided
+//! buffer (recycled via [`crate::Workspace`]); the allocating form delegates to
+//! it, so the two are bitwise identical. The `_into` forms are what the
+//! compile-once execution engine drives in steady state.
 
 mod broadcast;
 mod edge;
@@ -19,8 +24,10 @@ mod gemm;
 mod sddmm;
 mod spmm;
 
-pub use broadcast::{col_broadcast, row_broadcast, BroadcastOp};
-pub use edge::{degrees_by_binning, edge_softmax, scale_csr};
-pub use gemm::gemm;
-pub use sddmm::{sddmm, sddmm_u_add_v};
-pub use spmm::spmm;
+pub use broadcast::{
+    col_broadcast, col_broadcast_into, row_broadcast, row_broadcast_into, BroadcastOp,
+};
+pub use edge::{degrees_by_binning, edge_softmax, edge_softmax_into, scale_csr, scale_csr_into};
+pub use gemm::{gemm, gemm_into};
+pub use sddmm::{sddmm, sddmm_into, sddmm_u_add_v, sddmm_u_add_v_into};
+pub use spmm::{spmm, spmm_into};

@@ -53,7 +53,50 @@ pub fn sddmm(mask: &CsrMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<CsrMa
             rhs: v.shape(),
         });
     }
-    let mut out_vals = vec![0f32; mask.nnz()];
+    let out_vals = fresh_vals(mask.nnz());
+    let mut out = mask.clone().drop_values().with_values(out_vals)?;
+    sddmm_into(mask, u, v, &mut out)?;
+    Ok(out)
+}
+
+/// [`sddmm`] writing into a caller-provided weighted CSR buffer sharing
+/// `mask`'s pattern. Every stored position is written, so recycled workspace
+/// buffers are safe; results are bitwise equal to [`sddmm`]'s.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on operand mismatches or if `out`
+/// does not match `mask`'s shape/nnz, and [`MatrixError::MissingValues`] if
+/// `out` is unweighted.
+pub fn sddmm_into(
+    mask: &CsrMatrix,
+    u: &DenseMatrix,
+    v: &DenseMatrix,
+    out: &mut CsrMatrix,
+) -> Result<()> {
+    if u.cols() != v.cols() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: u.shape(),
+            rhs: v.shape(),
+        });
+    }
+    if u.rows() != mask.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: mask.shape(),
+            rhs: u.shape(),
+        });
+    }
+    if v.rows() != mask.cols() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm",
+            lhs: mask.shape(),
+            rhs: v.shape(),
+        });
+    }
+    check_out_pattern("sddmm_into", mask, out)?;
+    let out_vals = out.values_mut().expect("checked weighted");
     for i in 0..mask.rows() {
         let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
         let urow = u.row(i);
@@ -66,7 +109,33 @@ pub fn sddmm(mask: &CsrMatrix, u: &DenseMatrix, v: &DenseMatrix) -> Result<CsrMa
             out_vals[k] = m * dot;
         }
     }
-    mask.clone().drop_values().with_values(out_vals)
+    Ok(())
+}
+
+/// Allocates a fresh CSR value buffer, counting it for the
+/// allocation-regression telemetry.
+pub(crate) fn fresh_vals(nnz: usize) -> Vec<f32> {
+    granii_telemetry::counter_add("matrix.sparse_vals_allocs", 1);
+    vec![0f32; nnz]
+}
+
+/// Validates that `out` is a weighted CSR matching `pattern`'s shape and nnz.
+pub(crate) fn check_out_pattern(
+    op: &'static str,
+    pattern: &CsrMatrix,
+    out: &CsrMatrix,
+) -> Result<()> {
+    if out.shape() != pattern.shape() || out.nnz() != pattern.nnz() {
+        return Err(MatrixError::ShapeMismatch {
+            op,
+            lhs: pattern.shape(),
+            rhs: out.shape(),
+        });
+    }
+    if !out.is_weighted() {
+        return Err(MatrixError::MissingValues(op));
+    }
+    Ok(())
 }
 
 /// SDDMM with the `u_add_v` operator on per-node scalars (GAT's raw attention
@@ -91,14 +160,50 @@ pub fn sddmm_u_add_v(mask: &CsrMatrix, ul: &[f32], vr: &[f32]) -> Result<CsrMatr
             rhs: (vr.len(), 1),
         });
     }
-    let mut out_vals = vec![0f32; mask.nnz()];
+    let out_vals = fresh_vals(mask.nnz());
+    let mut out = mask.clone().drop_values().with_values(out_vals)?;
+    sddmm_u_add_v_into(mask, ul, vr, &mut out)?;
+    Ok(out)
+}
+
+/// [`sddmm_u_add_v`] writing into a caller-provided weighted CSR buffer
+/// sharing `mask`'s pattern. Every stored position is written, so recycled
+/// workspace buffers are safe.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on operand mismatches or if `out`
+/// does not match `mask`'s shape/nnz, and [`MatrixError::MissingValues`] if
+/// `out` is unweighted.
+pub fn sddmm_u_add_v_into(
+    mask: &CsrMatrix,
+    ul: &[f32],
+    vr: &[f32],
+    out: &mut CsrMatrix,
+) -> Result<()> {
+    if ul.len() != mask.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm_u_add_v",
+            lhs: mask.shape(),
+            rhs: (ul.len(), 1),
+        });
+    }
+    if vr.len() != mask.cols() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "sddmm_u_add_v",
+            lhs: mask.shape(),
+            rhs: (vr.len(), 1),
+        });
+    }
+    check_out_pattern("sddmm_u_add_v_into", mask, out)?;
+    let out_vals = out.values_mut().expect("checked weighted");
     for (i, &ui) in ul.iter().enumerate() {
         let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
         for (v, &j) in out_vals[s..e].iter_mut().zip(&mask.indices()[s..e]) {
             *v = ui + vr[j as usize];
         }
     }
-    mask.clone().drop_values().with_values(out_vals)
+    Ok(())
 }
 
 #[cfg(test)]

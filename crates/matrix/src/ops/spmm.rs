@@ -41,8 +41,42 @@ pub fn spmm(adj: &CsrMatrix, feats: &DenseMatrix, semiring: Semiring) -> Result<
             rhs: feats.shape(),
         });
     }
+    let mut out = DenseMatrix::zeros(adj.rows(), feats.cols())?;
+    spmm_into(adj, feats, semiring, &mut out)?;
+    Ok(out)
+}
+
+/// [`spmm`] writing into a caller-provided `adj.rows() × feats.cols()` buffer.
+///
+/// Every output element is written (empty rows get the reduce identity), so
+/// recycled workspace buffers are safe; results are bitwise equal to
+/// [`spmm`]'s.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `adj.cols() != feats.rows()` or
+/// `out` has the wrong shape.
+pub fn spmm_into(
+    adj: &CsrMatrix,
+    feats: &DenseMatrix,
+    semiring: Semiring,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    if adj.cols() != feats.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "spmm",
+            lhs: adj.shape(),
+            rhs: feats.shape(),
+        });
+    }
+    if out.shape() != (adj.rows(), feats.cols()) {
+        return Err(MatrixError::ShapeMismatch {
+            op: "spmm_into",
+            lhs: (adj.rows(), feats.cols()),
+            rhs: out.shape(),
+        });
+    }
     let k = feats.cols();
-    let mut out = DenseMatrix::zeros(adj.rows(), k)?;
     let reduce = semiring.reduce;
     let mul = semiring.mul;
     par_rows(out.as_mut_slice(), k.max(1), |i, out_row| {
@@ -76,7 +110,7 @@ pub fn spmm(adj: &CsrMatrix, feats: &DenseMatrix, semiring: Semiring) -> Result<
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

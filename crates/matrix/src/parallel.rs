@@ -105,36 +105,65 @@ where
     .expect("kernel worker thread panicked");
 }
 
-/// Runs `f(start, chunk)` for contiguous chunks of an index range `0..n` in
+/// Indices per chunk claimed by reduction workers. Larger than
+/// [`STEAL_CHUNK`] because chunk results are materialized (one `T` each):
+/// fewer chunks keep the result vector small while the atomic cursor still
+/// balances skew.
+const REDUCE_CHUNK: usize = 4 * STEAL_CHUNK;
+
+/// Runs `f(range)` for contiguous chunks of an index range `0..n` in
 /// parallel, collecting each chunk's result; used for reductions over rows.
+///
+/// Workers claim [`REDUCE_CHUNK`]-sized chunks from a shared atomic cursor,
+/// the same dynamic distribution as [`par_rows`] — static even splits starve
+/// under power-law skew, where one hub-heavy range costs as much as all the
+/// others combined. Results are returned in ascending range order regardless
+/// of which worker computed which chunk, so reductions that depend on chunk
+/// order (e.g. ordered merges) stay deterministic.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
 pub fn par_map_chunks<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> T + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = num_threads();
     if threads <= 1 || n < PARALLEL_THRESHOLD {
         return vec![f(0..n)];
     }
-    let per = n.div_ceil(threads);
-    let ranges: Vec<_> = (0..threads)
-        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
-        .filter(|r| !r.is_empty())
-        .collect();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
+    let num_chunks = n.div_ceil(REDUCE_CHUNK);
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(num_chunks))
+            .map(|_| {
                 let f = &f;
-                s.spawn(move |_| f(r))
+                let cursor = &cursor;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= num_chunks {
+                            return local;
+                        }
+                        let start = chunk * REDUCE_CHUNK;
+                        let end = (start + REDUCE_CHUNK).min(n);
+                        local.push((chunk, f(start..end)));
+                    }
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
     })
-    .expect("kernel worker thread panicked")
+    .expect("kernel worker thread panicked");
+    tagged.sort_by_key(|&(chunk, _)| chunk);
+    tagged.into_iter().map(|(_, t)| t).collect()
 }
 
 #[cfg(test)]
@@ -201,5 +230,48 @@ mod tests {
     fn par_map_chunks_covers_range() {
         let parts = par_map_chunks(100_000, |r| r.len());
         assert_eq!(parts.iter().sum::<usize>(), 100_000);
+    }
+
+    #[test]
+    fn par_map_chunks_results_are_order_stable() {
+        // Chunks are claimed dynamically, but results must come back sorted
+        // by range start so order-dependent reductions stay deterministic.
+        let n = 100_000;
+        let parts = par_map_chunks(n, |r| r.clone());
+        let mut next = 0;
+        for r in &parts {
+            assert_eq!(r.start, next, "ranges out of order or gapped");
+            next = r.end;
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn par_map_chunks_balances_skewed_work() {
+        // A hub-heavy prefix: indices below 256 cost ~1000x the rest. Static
+        // even splits would serialize on the first worker; with dynamic
+        // claiming the result must still be correct and complete.
+        let n = 50_000;
+        let parts = par_map_chunks(n, |r| {
+            let mut acc = 0u64;
+            for i in r {
+                let spin = if i < 256 { 1000 } else { 1 };
+                for s in 0..spin {
+                    acc = acc.wrapping_add((i ^ s) as u64 % 11);
+                }
+            }
+            acc
+        });
+        let serial: u64 = {
+            let mut acc = 0u64;
+            for i in 0..n {
+                let spin = if i < 256 { 1000 } else { 1 };
+                for s in 0..spin {
+                    acc = acc.wrapping_add((i ^ s) as u64 % 11);
+                }
+            }
+            acc
+        };
+        assert_eq!(parts.iter().sum::<u64>(), serial);
     }
 }

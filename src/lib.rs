@@ -8,7 +8,8 @@
 //! - [`graph`] — graphs, generators, datasets, sampling, featurization,
 //! - [`boost`] — gradient-boosted regression trees (the cost-model learner),
 //! - [`gnn`] — GNN models, message passing, autodiff, baseline systems,
-//! - [`core`] — the GRANII compiler and runtime itself.
+//! - [`core`] — the GRANII compiler and runtime itself,
+//! - [`telemetry`] — structured tracing, counters, and latency histograms.
 //!
 //! # Quickstart
 //!
@@ -33,3 +34,4 @@ pub use granii_core as core;
 pub use granii_gnn as gnn;
 pub use granii_graph as graph;
 pub use granii_matrix as matrix;
+pub use granii_telemetry as telemetry;
