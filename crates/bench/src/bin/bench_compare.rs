@@ -1,0 +1,62 @@
+//! Diffs two `bench_snapshot` outputs and fails on steady-state regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--threshold PCT]
+//! ```
+//!
+//! Exits 1 when any grid cell's steady-state ns/iter grew by more than the
+//! threshold (default 25% — host timings are noisy; CI runs this as a
+//! non-blocking job).
+
+use granii_bench::snapshot::{self, BenchSnapshot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(t) if t > 0.0 => t,
+                    _ => {
+                        eprintln!("--threshold needs a positive percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold PCT]");
+        std::process::exit(2);
+    };
+
+    let load = |path: &str| -> BenchSnapshot {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        BenchSnapshot::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    println!(
+        "baseline: {} @ {} on {} | current: {} @ {} on {}",
+        baseline_path, baseline.git_sha, baseline.host, current_path, current.git_sha, current.host
+    );
+
+    let cmp = snapshot::compare(&baseline, &current, threshold);
+    print!("{}", cmp.render());
+    println!("{}", cmp.summary_line());
+    if cmp.is_regression() {
+        std::process::exit(1);
+    }
+}

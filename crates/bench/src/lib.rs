@@ -26,6 +26,8 @@ pub mod grid;
 pub mod policies;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 
 pub use grid::{EvalConfig, Mode, Record};
 pub use runner::evaluate_config;
+pub use snapshot::{BenchSnapshot, SnapshotEntry};

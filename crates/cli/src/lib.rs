@@ -49,7 +49,7 @@ impl Args {
     /// Returns an error for flags without values or extra positionals.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
         // Flags that take no value (presence means "true").
-        const BOOLEAN_FLAGS: &[&str] = &["trace-summary"];
+        const BOOLEAN_FLAGS: &[&str] = &["trace-summary", "audit"];
         let mut out = Args::default();
         let mut it = raw.iter().peekable();
         while let Some(tok) = it.next() {
@@ -112,7 +112,9 @@ pub fn usage() -> String {
        train     --device cpu|a100|h100 --out FILE [--fast true] [--measured true]\n\
        select    --models FILE --model gcn|gin|sgc|tagcn|gat|sage --k1 N --k2 N\n\
                  (--graph FILE | --dataset RD|CA|MC|BL|AU|OP [--scale tiny|small])\n\
-                 [--iters N]\n\
+                 [--iters N] [--audit]\n\
+                 --audit re-measures every eligible candidate on the device\n\
+                 model and reports regret vs the oracle and ln-latency MAPE\n\
        compile   --model NAME [--k1 N --k2 N] [--hops N]\n\
        generate  --kind power-law|erdos-renyi|grid|mycielskian|community|ring|star\n\
                  --out FILE [--nodes N] [--param N] [--seed N]\n\
@@ -317,6 +319,47 @@ fn cmd_select(args: &Args) -> Result<String, CliError> {
     );
     for (comp, cost) in &sel.predicted {
         writeln!(out, "  predicted {:>10.3} ms  {comp}", cost * 1e3).expect("fmt");
+    }
+    if args.get("audit") == Some("true") {
+        let report = granii
+            .verify(model, &graph, LayerConfig::new(k1, k2), iters)
+            .map_err(|e| e.to_string())?;
+        let mape = report
+            .ln_mape
+            .map_or_else(|| "n/a".to_string(), |m| format!("{m:.3}"));
+        writeln!(
+            out,
+            "audit: oracle {} | regret {:.3} ms ({:+.1}%) | ln-latency MAPE {mape}",
+            report.oracle,
+            report.regret_seconds() * 1e3,
+            report.relative_regret() * 100.0,
+        )
+        .expect("fmt");
+        writeln!(
+            out,
+            "  {:>12} {:>12}  candidate (measured-cheapest first)",
+            "measured", "predicted"
+        )
+        .expect("fmt");
+        for c in &report.candidates {
+            let pred = c
+                .predicted_seconds
+                .map_or_else(|| "-".to_string(), |p| format!("{:.3} ms", p * 1e3));
+            let mut marker = String::new();
+            if c.composition == report.chosen {
+                marker.push_str("  <- chosen");
+            }
+            if c.composition == report.oracle {
+                marker.push_str("  <- oracle");
+            }
+            writeln!(
+                out,
+                "  {:>9.3} ms {pred:>12}  {}{marker}",
+                c.measured_seconds * 1e3,
+                c.composition
+            )
+            .expect("fmt");
+        }
     }
     Ok(out)
 }

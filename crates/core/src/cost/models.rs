@@ -45,6 +45,12 @@ impl CostModelSet {
         self.device
     }
 
+    /// The per-primitive regressors (read-only; used by the audit layer to
+    /// build perturbed model sets for regret testing).
+    pub fn models(&self) -> &BTreeMap<PrimitiveKind, GbtRegressor> {
+        &self.models
+    }
+
     /// Predicts the latency (seconds) of one primitive invocation.
     ///
     /// # Errors

@@ -34,8 +34,10 @@ use std::time::Instant;
 use granii_gnn::models::{GAT_SLOPE, GIN_EPS};
 use granii_gnn::spec::{LayerConfig, ModelKind};
 use granii_gnn::{Exec, GraphCtx};
+use granii_matrix::device::ChargeSummary;
 use granii_matrix::ops::BroadcastOp;
 use granii_matrix::{CsrMatrix, DenseMatrix, PrimitiveKind, Semiring, WorkStats};
+use granii_telemetry::{ProfileReport, ProfileRow};
 
 use crate::assoc::{CandidateProgram, PrimStep};
 use crate::interp::{split_top, ProgramInputs};
@@ -130,6 +132,26 @@ enum Instr {
 }
 
 impl Instr {
+    /// Stable display name, used by the per-instruction profiler.
+    fn name(&self) -> &'static str {
+        match self {
+            Instr::Gemm { .. } => "gemm",
+            Instr::Spmm { weighted: true, .. } => "spmm_weighted",
+            Instr::Spmm {
+                weighted: false, ..
+            } => "spmm",
+            Instr::AttLogits { .. } => "att_logits",
+            Instr::ScaleCsr { .. } => "scale_csr",
+            Instr::RowBroadcast { .. } => "row_broadcast",
+            Instr::ColBroadcast { .. } => "col_broadcast",
+            Instr::LeakyRelu { .. } => "leaky_relu",
+            Instr::EdgeSoftmax { .. } => "edge_softmax",
+            Instr::Relu { .. } => "relu",
+            Instr::AddN { .. } => "add_n",
+            Instr::DiagMerge { .. } => "diag_merge",
+        }
+    }
+
     /// The value this instruction produces.
     fn out(&self) -> ValueId {
         match *self {
@@ -474,9 +496,15 @@ impl ExecPlan {
             output: self.output,
             irregularity: inputs.irregularity,
             expr: self.expr.clone(),
+            setup_stats: vec![InstrStat::default(); self.setup.len()],
+            profiler: None,
         };
-        // Hoisted precompute: charged once, here.
-        for instr in &bound.setup {
+        // Hoisted precompute: charged once, here. Attribution is captured
+        // per instruction so a later profile report can show the setup rows
+        // even when steady-state profiling was never enabled.
+        for (i, instr) in bound.setup.iter().enumerate() {
+            let mark = exec.profile_mark();
+            let start = Instant::now();
             exec_instr(
                 exec,
                 instr,
@@ -484,6 +512,8 @@ impl ExecPlan {
                 &mut bound.slots,
                 bound.irregularity,
             )?;
+            let host_ns = start.elapsed().as_nanos() as u64;
+            bound.setup_stats[i].absorb(host_ns, &exec.charged_since(mark));
         }
         granii_telemetry::histogram_record_seconds("execplan.bind", t0.elapsed().as_secs_f64());
         Ok(bound)
@@ -736,6 +766,52 @@ impl Slot {
     }
 }
 
+/// Accumulated timing and work attribution for one instruction; filled by
+/// the bind-time setup run and the profiled iterate path.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstrStat {
+    calls: u64,
+    host_ns: u64,
+    charged_ns: u64,
+    predicted_ns: u64,
+    flops: u64,
+    bytes: u64,
+}
+
+impl InstrStat {
+    fn absorb(&mut self, host_ns: u64, summary: &ChargeSummary) {
+        self.calls += 1;
+        self.host_ns += host_ns;
+        self.charged_ns += (summary.charged_seconds * 1e9) as u64;
+        self.predicted_ns += (summary.predicted_seconds * 1e9) as u64;
+        self.flops += summary.flops;
+        self.bytes += summary.bytes;
+    }
+
+    fn to_row(self, index: usize, name: &'static str, phase: &str) -> ProfileRow {
+        ProfileRow {
+            index,
+            name: name.to_owned(),
+            phase: phase.to_owned(),
+            calls: self.calls,
+            host_ns: self.host_ns,
+            charged_ns: self.charged_ns,
+            predicted_ns: self.predicted_ns,
+            flops: self.flops,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Per-iteration instruction profiler, attached by
+/// [`BoundPlan::enable_profiling`]. Rows are pre-sized (one per iterate
+/// instruction) so the profiled loop itself never allocates.
+#[derive(Debug)]
+struct IterProfiler {
+    iterations: u64,
+    stats: Vec<InstrStat>,
+}
+
 /// An [`ExecPlan`] bound to concrete inputs: every value has a physical
 /// buffer, the hoisted setup has run, and [`BoundPlan::iterate`] performs one
 /// steady-state iteration with zero heap allocation and zero string lookups.
@@ -748,6 +824,8 @@ pub struct BoundPlan {
     output: ValueId,
     irregularity: f64,
     expr: String,
+    setup_stats: Vec<InstrStat>,
+    profiler: Option<IterProfiler>,
 }
 
 impl BoundPlan {
@@ -759,14 +837,31 @@ impl BoundPlan {
     /// bound successfully).
     pub fn iterate(&mut self, exec: &Exec) -> Result<&DenseMatrix> {
         let t0 = Instant::now();
-        for instr in &self.iter {
-            exec_instr(
-                exec,
-                instr,
-                &self.slot_of,
-                &mut self.slots,
-                self.irregularity,
-            )?;
+        if let Some(profiler) = &mut self.profiler {
+            profiler.iterations += 1;
+            for (i, instr) in self.iter.iter().enumerate() {
+                let mark = exec.profile_mark();
+                let start = Instant::now();
+                exec_instr(
+                    exec,
+                    instr,
+                    &self.slot_of,
+                    &mut self.slots,
+                    self.irregularity,
+                )?;
+                let host_ns = start.elapsed().as_nanos() as u64;
+                profiler.stats[i].absorb(host_ns, &exec.charged_since(mark));
+            }
+        } else {
+            for instr in &self.iter {
+                exec_instr(
+                    exec,
+                    instr,
+                    &self.slot_of,
+                    &mut self.slots,
+                    self.irregularity,
+                )?;
+            }
         }
         granii_telemetry::histogram_record_seconds(
             "execplan.iteration",
@@ -774,6 +869,54 @@ impl BoundPlan {
         );
         granii_telemetry::counter_add("execplan.iterations", 1);
         self.output()
+    }
+
+    /// Turns on per-instruction profiling for subsequent [`BoundPlan::iterate`]
+    /// calls. The per-instruction rows are pre-sized here — the profiled
+    /// steady-state loop itself performs no heap allocation, and when
+    /// profiling is off the only cost on the iterate path is one branch.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(IterProfiler {
+                iterations: 0,
+                stats: vec![InstrStat::default(); self.iter.len()],
+            });
+        }
+    }
+
+    /// Detaches the profiler, discarding any accumulated rows.
+    pub fn disable_profiling(&mut self) {
+        self.profiler = None;
+    }
+
+    /// Whether per-instruction profiling is currently attached.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Builds a roofline-style [`ProfileReport`]: one `"setup"` row per
+    /// hoisted instruction (attributed at bind time) followed by one
+    /// `"iter"` row per steady-state instruction (attributed while
+    /// profiling was enabled). Render with
+    /// [`granii_telemetry::export::profile_table`] or export with
+    /// [`granii_telemetry::export::profile_json`] /
+    /// [`granii_telemetry::export::chrome_trace_with_counters`].
+    pub fn profile_report(&self, exec: &Exec) -> ProfileReport {
+        let mut rows = Vec::with_capacity(self.setup.len() + self.iter.len());
+        for (i, (instr, stat)) in self.setup.iter().zip(&self.setup_stats).enumerate() {
+            rows.push(stat.to_row(i, instr.name(), "setup"));
+        }
+        if let Some(profiler) = &self.profiler {
+            for (i, (instr, stat)) in self.iter.iter().zip(&profiler.stats).enumerate() {
+                rows.push(stat.to_row(i, instr.name(), "iter"));
+            }
+        }
+        ProfileReport {
+            expr: self.expr.clone(),
+            device: exec.engine().spec().kind.name().to_owned(),
+            iterations: self.profiler.as_ref().map_or(0, |p| p.iterations),
+            rows,
+        }
     }
 
     /// The most recently computed output.
@@ -1250,6 +1393,64 @@ mod tests {
             let second = bound.iterate(&exec).unwrap();
             assert_eq!(first.max_abs_diff(second).unwrap(), 0.0, "{}", plan.expr());
         }
+    }
+
+    #[test]
+    fn profiler_attributes_every_instruction() {
+        let cfg = LayerConfig::new(6, 4);
+        let compiled = plan_for(ModelKind::Gcn, cfg);
+        let g = generators::power_law(24, 3, 11).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(24, 6, 1.0, 3);
+        let inputs = PlanInputs::for_model(ModelKind::Gcn, cfg, &ctx, h, 5);
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        // Pick a candidate with hoisted setup so both phases are exercised.
+        let cand = compiled
+            .candidates
+            .iter()
+            .find(|c| {
+                ExecPlan::build(&c.program)
+                    .map(|p| p.setup_len() > 0)
+                    .unwrap_or(false)
+            })
+            .expect("a GCN candidate with setup");
+        let plan = ExecPlan::build(&cand.program).unwrap();
+        let mut bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+        assert!(!bound.profiling_enabled());
+        bound.enable_profiling();
+        const ITERS: u64 = 3;
+        for _ in 0..ITERS {
+            bound.iterate(&exec).unwrap();
+        }
+        let report = bound.profile_report(&exec);
+        assert_eq!(report.expr, plan.expr());
+        assert_eq!(report.device, "cpu");
+        assert_eq!(report.iterations, ITERS);
+        assert_eq!(
+            report.rows.len(),
+            plan.setup_len() + plan.iter_len(),
+            "one row per instruction"
+        );
+        for row in &report.rows {
+            match row.phase.as_str() {
+                "setup" => assert_eq!(row.calls, 1, "{row:?}"),
+                "iter" => assert_eq!(row.calls, ITERS, "{row:?}"),
+                other => panic!("unexpected phase {other}"),
+            }
+            // Every GCN instruction moves bytes; the modeled engine charges
+            // exactly its roofline prediction.
+            assert!(row.bytes > 0, "{row:?}");
+            assert!(row.predicted_ns > 0, "{row:?}");
+            assert_eq!(row.charged_ns, row.predicted_ns, "{row:?}");
+        }
+        assert!(report.total_host_ns() > 0);
+        // Disabling detaches the iter rows but keeps the setup attribution.
+        bound.disable_profiling();
+        bound.iterate(&exec).unwrap();
+        let report = bound.profile_report(&exec);
+        assert_eq!(report.iterations, 0);
+        assert!(report.rows.iter().all(|r| r.phase == "setup"));
     }
 
     #[test]

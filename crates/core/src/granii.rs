@@ -158,6 +158,25 @@ impl Granii {
             .collect()
     }
 
+    /// Audited selection: selects as [`Granii::select_with_config`] would,
+    /// then deterministically re-measures every eligible candidate on this
+    /// device's model, reporting per-decision regret (chosen vs.
+    /// oracle-best) and the cost model's ln-latency error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation/selection/measurement errors.
+    pub fn verify(
+        &self,
+        model: ModelKind,
+        graph: &Graph,
+        cfg: LayerConfig,
+        iterations: usize,
+    ) -> Result<crate::audit::VerifyReport> {
+        let plan = self.compiled(model, cfg)?;
+        crate::audit::verify(&plan, graph, cfg, &self.cost_models, iterations)
+    }
+
     /// Online selection with an explicit layer configuration and expected
     /// iteration count.
     ///

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod assoc;
+pub mod audit;
 pub mod complexity;
 pub mod cost;
 mod error;
@@ -50,6 +51,7 @@ pub mod ir;
 pub mod plan;
 pub mod runtime;
 
+pub use audit::{SelectionAudit, VerifyReport};
 pub use error::CoreError;
 pub use granii::{Granii, GraniiOptions};
 pub use runtime::{Selection, SteadyStateReport};

@@ -88,13 +88,19 @@ pub fn select(
     if eligible.len() == 1 {
         // Pure embedding-size condition: no featurization, no cost models.
         granii_telemetry::counter_add("select.size_condition_hits", 1);
-        return Ok(Selection {
+        let selection = Selection {
             composition: eligible[0].composition,
             predicted: vec![(eligible[0].composition, 0.0)],
             featurize_seconds: 0.0,
             select_seconds: eligible_seconds,
             used_cost_models: false,
-        });
+        };
+        if crate::audit::is_enabled() {
+            crate::audit::record(crate::audit::audit_of_selection(
+                plan, k1, k2, iterations, None, &selection,
+            ));
+        }
+        return Ok(selection);
     }
 
     let t0 = Instant::now();
@@ -122,13 +128,24 @@ pub fn select(
         featurize_seconds + select_seconds,
     );
 
-    Ok(Selection {
+    let selection = Selection {
         composition: predicted[0].0,
         predicted,
         featurize_seconds,
         select_seconds,
         used_cost_models: true,
-    })
+    };
+    if crate::audit::is_enabled() {
+        crate::audit::record(crate::audit::audit_of_selection(
+            plan,
+            k1,
+            k2,
+            iterations,
+            Some(&input),
+            &selection,
+        ));
+    }
+    Ok(selection)
 }
 
 /// Phase breakdown of running a selected composition through the

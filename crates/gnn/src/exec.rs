@@ -14,7 +14,7 @@
 //!   and sparsity structure), which is what lets the evaluation harness sweep
 //!   the paper's full configuration grid in seconds.
 
-use granii_matrix::device::Engine;
+use granii_matrix::device::{ChargeSummary, Engine};
 use granii_matrix::ops::{self, BroadcastOp};
 use granii_matrix::{CsrMatrix, DenseMatrix, MatrixError, Semiring, WorkStats};
 
@@ -53,6 +53,19 @@ impl<'e> Exec<'e> {
     /// Whether kernels compute real values.
     pub fn computes_values(&self) -> bool {
         self.compute
+    }
+
+    /// Marks the current position in the engine's charge log. Pair with
+    /// [`Exec::charged_since`] to attribute the kernels a region dispatched
+    /// (e.g. one ExecPlan instruction) without draining the profile.
+    pub fn profile_mark(&self) -> usize {
+        self.engine.profile_len()
+    }
+
+    /// Aggregated charges (kernel count, charged/predicted seconds, flops,
+    /// bytes) since `mark`, leaving the engine profile intact.
+    pub fn charged_since(&self, mark: usize) -> ChargeSummary {
+        self.engine.summarize_since(mark)
     }
 
     /// Dense matrix multiplication.

@@ -404,6 +404,47 @@ impl Engine {
     pub fn take_profile(&self) -> Profile {
         std::mem::take(&mut *self.profile.lock())
     }
+
+    /// Number of kernels charged so far. Use as a mark for
+    /// [`Engine::summarize_since`] to attribute charges to a region without
+    /// draining the profile (which [`Engine::take_profile`] would).
+    pub fn profile_len(&self) -> usize {
+        self.profile.lock().entries.len()
+    }
+
+    /// Aggregates every kernel charged since `mark` (a prior
+    /// [`Engine::profile_len`]) into one [`ChargeSummary`], leaving the
+    /// profile intact. `predicted_seconds` is always the device-model
+    /// roofline estimate, independent of the timing policy, so a measuring
+    /// engine yields an achieved-vs-predicted comparison.
+    pub fn summarize_since(&self, mark: usize) -> ChargeSummary {
+        let profile = self.profile.lock();
+        let mut summary = ChargeSummary::default();
+        for entry in profile.entries.iter().skip(mark) {
+            summary.kernels += 1;
+            summary.charged_seconds += entry.seconds;
+            summary.predicted_seconds += self.spec.estimate_seconds(&entry.stats);
+            summary.flops += entry.stats.flops;
+            summary.bytes += entry.stats.bytes_read + entry.stats.bytes_written;
+        }
+        summary
+    }
+}
+
+/// Aggregate of a contiguous run of charged kernels; see
+/// [`Engine::summarize_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChargeSummary {
+    /// Number of kernels in the range.
+    pub kernels: u64,
+    /// Seconds the engine charged (measured or modeled per its policy).
+    pub charged_seconds: f64,
+    /// Device-model roofline estimate for the same work.
+    pub predicted_seconds: f64,
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Total bytes read plus written.
+    pub bytes: u64,
 }
 
 #[cfg(test)]
@@ -468,6 +509,23 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         });
         assert!(e.elapsed_seconds() >= 0.002);
+    }
+
+    #[test]
+    fn summarize_since_attributes_marked_region() {
+        let e = Engine::modeled(DeviceKind::Cpu);
+        e.charge(WorkStats::gemm(8, 8, 8));
+        let mark = e.profile_len();
+        e.charge(WorkStats::spmm(8, 16, 8, false, 0.0));
+        e.charge(WorkStats::row_broadcast(8, 8));
+        let s = e.summarize_since(mark);
+        assert_eq!(s.kernels, 2);
+        assert!(s.charged_seconds > 0.0);
+        // A modeled engine charges exactly the roofline estimate.
+        assert!((s.charged_seconds - s.predicted_seconds).abs() < 1e-15);
+        assert!(s.flops > 0 && s.bytes > 0);
+        // The profile is left intact, unlike take_profile().
+        assert_eq!(e.profile_len(), 3);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
+use crate::profile::{ProfileReport, ProfileRow};
 use crate::span::{AttrValue, SpanRecord};
 
 fn push_json_string(out: &mut String, s: &str) {
@@ -47,18 +48,14 @@ fn push_attr(out: &mut String, value: &AttrValue) {
     }
 }
 
-/// Renders spans as a Chrome trace-event JSON array of complete (`"ph":"X"`)
-/// events, loadable in Perfetto or `chrome://tracing`. Timestamps and
-/// durations are microseconds; span attributes land in `args`.
-pub fn chrome_trace(spans: &[SpanRecord]) -> String {
-    let mut out = String::with_capacity(128 * spans.len() + 2);
-    out.push('[');
-    for (i, span) in spans.iter().enumerate() {
-        if i > 0 {
+fn push_span_events(out: &mut String, spans: &[SpanRecord], mut first: bool) -> bool {
+    for span in spans {
+        if !first {
             out.push(',');
         }
+        first = false;
         out.push_str("\n{\"name\":");
-        push_json_string(&mut out, span.name);
+        push_json_string(out, span.name);
         let _ = write!(
             out,
             ",\"cat\":\"granii\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
@@ -68,11 +65,56 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
         let _ = write!(out, "{}", span.depth);
         for (key, value) in &span.attrs {
             out.push(',');
-            push_json_string(&mut out, key);
+            push_json_string(out, key);
             out.push(':');
-            push_attr(&mut out, value);
+            push_attr(out, value);
         }
         out.push_str("}}");
+    }
+    first
+}
+
+/// Renders spans as a Chrome trace-event JSON array of complete (`"ph":"X"`)
+/// events, loadable in Perfetto or `chrome://tracing`. Timestamps and
+/// durations are microseconds; span attributes land in `args`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 * spans.len() + 2);
+    out.push('[');
+    push_span_events(&mut out, spans, true);
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders spans plus per-instruction counter tracks from a profile report
+/// as one Chrome trace. The counter events (`"ph":"C"`) sample the flop and
+/// byte throughput of each profiled instruction along a synthetic timeline
+/// built from the rows' achieved times, so Perfetto shows `profile.flops`
+/// and `profile.bytes` tracks next to the span flame graph.
+pub fn chrome_trace_with_counters(spans: &[SpanRecord], report: &ProfileReport) -> String {
+    let mut out = String::with_capacity(128 * (spans.len() + 2 * report.rows.len()) + 2);
+    out.push('[');
+    let mut first = push_span_events(&mut out, spans, true);
+    let mut ts_us = 0u64;
+    for row in &report.rows {
+        let calls = row.calls.max(1);
+        for (track, value) in [
+            ("profile.flops", row.flops / calls),
+            ("profile.bytes", row.bytes / calls),
+        ] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":");
+            push_json_string(&mut out, track);
+            let _ = write!(
+                out,
+                ",\"cat\":\"granii\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"args\":{{"
+            );
+            push_json_string(&mut out, &row.name);
+            let _ = write!(out, ":{value}}}}}");
+        }
+        ts_us += (row.host_ns / calls) / 1_000;
     }
     out.push_str("\n]\n");
     out
@@ -104,6 +146,12 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
             h.count, h.sum_ns, h.min_ns, h.max_ns
         );
         push_f64(&mut out, h.mean_ns());
+        out.push_str(",\"p50_ns\":");
+        push_f64(&mut out, h.p50_ns());
+        out.push_str(",\"p95_ns\":");
+        push_f64(&mut out, h.p95_ns());
+        out.push_str(",\"p99_ns\":");
+        push_f64(&mut out, h.p99_ns());
         out.push_str(",\"buckets\":[");
         let mut first = true;
         for (idx, count) in h.buckets.iter().enumerate() {
@@ -123,7 +171,8 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
 
 /// Renders a human-readable hierarchical summary: spans are grouped by their
 /// path (name chain from each thread's root), with call counts, total time,
-/// and share of the root spans' total time.
+/// share of the root spans' total time, and exact per-path p50/p95 latency
+/// (computed from the individual span durations, not histogram buckets).
 pub fn summary(spans: &[SpanRecord]) -> String {
     // take_spans() already orders by (tid, seq); re-sort defensively so the
     // stack walk below is correct for arbitrary input.
@@ -132,9 +181,14 @@ pub fn summary(spans: &[SpanRecord]) -> String {
 
     // Aggregate by full path. Paths are rebuilt per thread from recorded
     // depths: a span at depth d is a child of the last span at depth d-1.
+    struct PathStats {
+        calls: u64,
+        total_us: u64,
+        depth: u16,
+        durs_us: Vec<u64>,
+    }
     let mut order: Vec<String> = Vec::new();
-    let mut totals: std::collections::HashMap<String, (u64, u64, u16)> =
-        std::collections::HashMap::new();
+    let mut totals: std::collections::HashMap<String, PathStats> = std::collections::HashMap::new();
     let mut stack: Vec<&'static str> = Vec::new();
     let mut current_tid = None;
     let mut root_total_us: u64 = 0;
@@ -151,27 +205,133 @@ pub fn summary(spans: &[SpanRecord]) -> String {
         }
         let entry = totals.entry(path.clone()).or_insert_with(|| {
             order.push(path);
-            (0, 0, span.depth)
+            PathStats {
+                calls: 0,
+                total_us: 0,
+                depth: span.depth,
+                durs_us: Vec::new(),
+            }
         });
-        entry.0 += 1;
-        entry.1 += span.dur_us;
+        entry.calls += 1;
+        entry.total_us += span.dur_us;
+        entry.durs_us.push(span.dur_us);
     }
 
-    let mut out =
-        String::from("span                                      calls     total      share\n");
+    // Exact quantile over the sorted per-path durations (nearest-rank).
+    fn exact_quantile_us(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    let mut out = String::from(
+        "span                                      calls     total      share       p50       p95\n",
+    );
     for path in &order {
-        let (calls, total_us, depth) = totals[path];
+        let stats = &mut totals.get_mut(path).expect("path recorded");
+        stats.durs_us.sort_unstable();
         let name = path.rsplit(" > ").next().unwrap_or(path);
-        let label = format!("{}{}", "  ".repeat(depth as usize), name);
+        let label = format!("{}{}", "  ".repeat(stats.depth as usize), name);
         let share = if root_total_us == 0 {
             0.0
         } else {
-            100.0 * total_us as f64 / root_total_us as f64
+            100.0 * stats.total_us as f64 / root_total_us as f64
+        };
+        let p50 = exact_quantile_us(&stats.durs_us, 0.50);
+        let p95 = exact_quantile_us(&stats.durs_us, 0.95);
+        let _ = writeln!(
+            out,
+            "{label:<40} {:>7} {:>8.3}ms {share:>9.1}% {:>7.3}ms {:>7.3}ms",
+            stats.calls,
+            stats.total_us as f64 / 1e3,
+            p50 as f64 / 1e3,
+            p95 as f64 / 1e3
+        );
+    }
+    out
+}
+
+fn push_profile_row(out: &mut String, row: &ProfileRow) {
+    out.push_str("{\"index\":");
+    let _ = write!(out, "{}", row.index);
+    out.push_str(",\"name\":");
+    push_json_string(out, &row.name);
+    out.push_str(",\"phase\":");
+    push_json_string(out, &row.phase);
+    let _ = write!(
+        out,
+        ",\"calls\":{},\"host_ns\":{},\"charged_ns\":{},\"predicted_ns\":{},\"flops\":{},\"bytes\":{}",
+        row.calls, row.host_ns, row.charged_ns, row.predicted_ns, row.flops, row.bytes
+    );
+    out.push_str(",\"host_ns_per_call\":");
+    push_f64(out, row.host_ns_per_call());
+    out.push_str(",\"predicted_ns_per_call\":");
+    push_f64(out, row.predicted_ns_per_call());
+    out.push_str(",\"roofline_ratio\":");
+    match row.roofline_ratio() {
+        Some(r) => push_f64(out, r),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+/// Renders a [`ProfileReport`] as JSON:
+/// `{"expr", "device", "iterations", totals, "rows":[{...}, ...]}`.
+pub fn profile_json(report: &ProfileReport) -> String {
+    let mut out = String::from("{\n\"expr\":");
+    push_json_string(&mut out, &report.expr);
+    out.push_str(",\n\"device\":");
+    push_json_string(&mut out, &report.device);
+    let _ = write!(
+        out,
+        ",\n\"iterations\":{},\n\"total_host_ns\":{},\n\"total_predicted_ns\":{},\n\"rows\":[",
+        report.iterations,
+        report.total_host_ns(),
+        report.total_predicted_ns()
+    );
+    for (i, row) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_profile_row(&mut out, row);
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Renders a [`ProfileReport`] as a roofline table: one line per
+/// instruction with achieved vs. device-model-predicted time per call and
+/// the attributed work. A ratio well above 1 means the kernel ran slower
+/// than the device model says the work should take.
+pub fn profile_table(report: &ProfileReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile of {} on {} ({} iterations)",
+        report.expr, report.device, report.iterations
+    );
+    out.push_str(
+        "#   instr            phase  calls  achieved/call  predicted/call   ratio      flops      bytes\n",
+    );
+    for row in &report.rows {
+        let ratio = match row.roofline_ratio() {
+            Some(r) => format!("{r:>6.2}x"),
+            None => "     -".to_owned(),
         };
         let _ = writeln!(
             out,
-            "{label:<40} {calls:>7} {:>8.3}ms {share:>9.1}%",
-            total_us as f64 / 1e3
+            "{:<3} {:<16} {:<6} {:>6} {:>12.3}us {:>13.3}us {ratio} {:>10} {:>10}",
+            row.index,
+            row.name,
+            row.phase,
+            row.calls,
+            row.host_ns_per_call() / 1e3,
+            row.predicted_ns_per_call() / 1e3,
+            row.flops,
+            row.bytes
         );
     }
     out

@@ -39,12 +39,14 @@
 
 pub mod export;
 mod metrics;
+mod profile;
 mod span;
 
 pub use metrics::{
     counter_add, histogram_record_ns, histogram_record_seconds, metrics_snapshot,
     HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use profile::{ProfileReport, ProfileRow};
 pub use span::{span, take_spans, AttrValue, SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -49,6 +49,17 @@ pub(crate) fn bucket_index(ns: u64) -> usize {
     }
 }
 
+/// Inclusive-lower/exclusive-upper nanosecond bounds of bucket `idx`.
+pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx == 0 {
+        (0, 0)
+    } else if idx >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (idx - 1), 1u64 << idx)
+    }
+}
+
 struct Registry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
@@ -132,6 +143,50 @@ impl HistogramSnapshot {
             self.sum_ns as f64 / self.count as f64
         }
     }
+
+    /// Estimated value at quantile `q ∈ [0, 1]` in nanoseconds.
+    ///
+    /// The log₂ buckets only bound each sample to a power-of-two interval,
+    /// so the estimate walks the cumulative counts to the bucket holding the
+    /// target rank and interpolates linearly inside it. The result is
+    /// clamped to the observed `[min_ns, max_ns]`, which makes single-value
+    /// histograms exact at every quantile.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &bucket_count) in self.buckets.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            if seen + bucket_count >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                let frac = (target - seen) as f64 / bucket_count as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min_ns as f64, self.max_ns as f64);
+            }
+            seen += bucket_count;
+        }
+        self.max_ns as f64
+    }
+
+    /// Estimated median in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// Estimated 95th percentile in nanoseconds.
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// Estimated 99th percentile in nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
 }
 
 /// Point-in-time copy of every counter and histogram.
@@ -176,7 +231,7 @@ pub(crate) fn clear_metrics() {
 
 #[cfg(test)]
 mod tests {
-    use super::bucket_index;
+    use super::{bucket_bounds, bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
 
     #[test]
     fn bucket_boundaries() {
@@ -188,5 +243,70 @@ mod tests {
         assert_eq!(bucket_index(1023), 10);
         assert_eq!(bucket_index(1024), 11);
         assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_match_index() {
+        for ns in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            let idx = bucket_index(ns);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= ns, "{ns} below bucket {idx} lower bound {lo}");
+            if idx > 0 && idx < 64 {
+                assert!(ns < hi, "{ns} at or above bucket {idx} upper bound {hi}");
+            }
+        }
+    }
+
+    fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
+            name: "t".to_owned(),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        for &v in values {
+            snap.count += 1;
+            snap.sum_ns += v;
+            snap.min_ns = snap.min_ns.min(v);
+            snap.max_ns = snap.max_ns.max(v);
+            snap.buckets[bucket_index(v)] += 1;
+        }
+        if snap.count == 0 {
+            snap.min_ns = 0;
+        }
+        snap
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let snap = snapshot_of(&[]);
+        assert_eq!(snap.p50_ns(), 0.0);
+        assert_eq!(snap.p99_ns(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_value_are_exact() {
+        let snap = snapshot_of(&[777]);
+        assert_eq!(snap.p50_ns(), 777.0);
+        assert_eq!(snap.p95_ns(), 777.0);
+        assert_eq!(snap.p99_ns(), 777.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_accurate() {
+        // 90 fast values in [16, 32) and 10 slow ones in [1024, 2048): the
+        // p50 must land in the fast bucket and the p95/p99 in the slow one.
+        let mut values = vec![20u64; 90];
+        values.extend(std::iter::repeat_n(1500u64, 10));
+        let snap = snapshot_of(&values);
+        let (p50, p95, p99) = (snap.p50_ns(), snap.p95_ns(), snap.p99_ns());
+        assert!((16.0..32.0).contains(&p50), "p50 = {p50}");
+        assert!((1024.0..2048.0).contains(&p95), "p95 = {p95}");
+        assert!((1024.0..2048.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(snap.quantile_ns(0.0) >= snap.min_ns as f64);
+        assert!(snap.quantile_ns(1.0) <= snap.max_ns as f64);
     }
 }

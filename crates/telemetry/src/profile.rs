@@ -1,0 +1,91 @@
+//! Roofline-style per-instruction profile records.
+//!
+//! The ExecPlan profiler in `granii-core` fills one [`ProfileRow`] per
+//! slot-addressed instruction: achieved host time, the engine-charged time,
+//! the device-model roofline prediction, and the flop/byte work attributed
+//! from the per-primitive `WorkStats`. This crate only defines the record
+//! types and their exporters ([`crate::export::profile_json`],
+//! [`crate::export::profile_table`], and the Chrome-trace counter tracks in
+//! [`crate::export::chrome_trace_with_counters`]) so that every layer above
+//! can exchange profiles without new dependencies.
+
+/// Aggregated timings and work for one instruction of a bound plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Position of the instruction inside its phase program.
+    pub index: usize,
+    /// Instruction name (e.g. `"spmm"`, `"edge_softmax"`).
+    pub name: String,
+    /// `"setup"` for hoisted once-instructions, `"iter"` for the steady loop.
+    pub phase: String,
+    /// Number of times the instruction executed while profiling.
+    pub calls: u64,
+    /// Total achieved wall-clock time on the host, in nanoseconds.
+    pub host_ns: u64,
+    /// Total time the engine charged for the instruction (measured on a
+    /// measuring engine, modeled otherwise), in nanoseconds.
+    pub charged_ns: u64,
+    /// Total device-model roofline prediction for the same work, in
+    /// nanoseconds. Comparing `host_ns` against this column is the roofline
+    /// gap.
+    pub predicted_ns: u64,
+    /// Total floating-point operations attributed to the instruction.
+    pub flops: u64,
+    /// Total bytes moved, as attributed by the work statistics.
+    pub bytes: u64,
+}
+
+impl ProfileRow {
+    /// Achieved time per call in nanoseconds (0 when never called).
+    pub fn host_ns_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.host_ns as f64 / self.calls as f64
+        }
+    }
+
+    /// Predicted time per call in nanoseconds (0 when never called).
+    pub fn predicted_ns_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.predicted_ns as f64 / self.calls as f64
+        }
+    }
+
+    /// Achieved-over-predicted ratio (> 1 means slower than the device
+    /// model; `None` when the prediction is zero).
+    pub fn roofline_ratio(&self) -> Option<f64> {
+        if self.predicted_ns == 0 {
+            None
+        } else {
+            Some(self.host_ns as f64 / self.predicted_ns as f64)
+        }
+    }
+}
+
+/// A complete per-instruction profile of one bound plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Canonical expression of the profiled candidate program.
+    pub expr: String,
+    /// Device the engine charged against (e.g. `"cpu"`, `"a100"`).
+    pub device: String,
+    /// Number of profiled `iterate` calls contributing to `"iter"` rows.
+    pub iterations: u64,
+    /// One row per instruction, setup rows first, in program order.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileReport {
+    /// Total achieved nanoseconds across all rows.
+    pub fn total_host_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.host_ns).sum()
+    }
+
+    /// Total predicted nanoseconds across all rows.
+    pub fn total_predicted_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.predicted_ns).sum()
+    }
+}

@@ -94,6 +94,50 @@ fn traced_cli_bench_writes_valid_chrome_trace() {
     std::fs::remove_file(&trace).ok();
 }
 
+/// The acceptance check for `select --audit`: per-candidate predicted cost,
+/// chosen-vs-oracle regret, and the cost model's ln-latency MAPE must all be
+/// reported.
+#[test]
+fn audited_cli_select_reports_regret_and_oracle() {
+    let dir = std::env::temp_dir().join("granii-audit-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let models = dir.join("models.json");
+    let models_s = models.to_str().expect("utf8");
+
+    cli(&[
+        "train", "--device", "h100", "--out", models_s, "--fast", "true",
+    ])
+    .expect("train");
+    let out = cli(&[
+        "select",
+        "--models",
+        models_s,
+        "--model",
+        "gcn",
+        "--k1",
+        "256",
+        "--k2",
+        "64",
+        "--dataset",
+        "MC",
+        "--audit",
+    ])
+    .expect("select");
+    assert!(out.contains("selected:"), "{out}");
+    assert!(out.contains("audit: oracle"), "{out}");
+    assert!(out.contains("regret"), "{out}");
+    assert!(out.contains("ln-latency MAPE"), "{out}");
+    assert!(out.contains("<- chosen"), "{out}");
+    // Eligible candidates each carry a measured and a predicted column.
+    let rows = out
+        .lines()
+        .filter(|l| l.contains(" ms ") && l.contains("gcn/"))
+        .count();
+    assert!(rows >= 2, "expected >= 2 measured candidates: {out}");
+
+    std::fs::remove_file(&models).ok();
+}
+
 /// Every primitive the engine executes must surface as a span named after its
 /// kind, carrying the `WorkStats`-derived attributes.
 #[test]
