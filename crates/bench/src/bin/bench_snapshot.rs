@@ -66,13 +66,16 @@ fn main() {
     // whole run so steady-state allocations are observable.
     granii_telemetry::enable();
     eprintln!("[offline] training cost models for {device}...");
-    let granii =
-        Granii::train_for_device(device, GraniiOptions::fast()).expect("cost-model training");
+    let granii = std::sync::Arc::new(
+        Granii::train_for_device(device, GraniiOptions::fast()).expect("cost-model training"),
+    );
     eprintln!(
         "[snapshot] measuring {} cells x {iterations} iterations...",
         snapshot::MODELS.len() * snapshot::DATASETS.len() * snapshot::EMBEDS.len()
     );
-    let snap = snapshot::collect(&granii, iterations).expect("snapshot collection");
+    let mut snap = snapshot::collect(&granii, iterations).expect("snapshot collection");
+    eprintln!("[snapshot] measuring the serving-path cell...");
+    snapshot::append_serving_cell(&mut snap, granii.clone(), 32).expect("serving cell");
 
     println!(
         "{:<40} {:>14} {:>9} {:>7}",

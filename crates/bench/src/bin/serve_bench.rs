@@ -1,0 +1,144 @@
+//! Closed-loop load test of the serving runtime (`granii-serve`).
+//!
+//! ```text
+//! serve_bench [--clients N] [--requests N] [--workers N] [--queue-depth N]
+//!             [--cache N] [--device cpu|a100|h100]
+//! ```
+//!
+//! Trains a fast cost-model set offline, starts one shared [`Server`], and
+//! hammers it with `--clients` closed-loop clients, each issuing
+//! `--requests` requests round-robin over a 12-signature mixed workload
+//! (3 models x 2 datasets x 2 embedding pairs). Reports sustained
+//! throughput, p50/p95/p99/max end-to-end latency, and the server's cache /
+//! shed / degradation counters.
+//!
+//! [`Server`]: granii_serve::Server
+
+use std::sync::Arc;
+
+use granii_bench::serve_load::{self, LoadConfig};
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+use granii_serve::ServeRequest;
+
+const USAGE: &str = "usage: serve_bench [--clients N] [--requests N] [--workers N] \
+                     [--queue-depth N] [--cache N] [--device cpu|a100|h100]";
+
+fn parse_count(args: &[String], i: usize, flag: &str) -> usize {
+    match args.get(i).and_then(|s| s.parse().ok()) {
+        Some(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} needs a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadConfig::default();
+    let mut device = DeviceKind::H100;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                cfg.clients = parse_count(&args, i, "--clients");
+            }
+            "--requests" => {
+                i += 1;
+                cfg.requests_per_client = parse_count(&args, i, "--requests");
+            }
+            "--workers" => {
+                i += 1;
+                cfg.serve.workers = parse_count(&args, i, "--workers");
+            }
+            "--queue-depth" => {
+                i += 1;
+                cfg.serve.queue_depth = parse_count(&args, i, "--queue-depth");
+            }
+            "--cache" => {
+                i += 1;
+                cfg.serve.cache_capacity = parse_count(&args, i, "--cache");
+            }
+            "--device" => {
+                i += 1;
+                device = match args.get(i).map(String::as_str) {
+                    Some("cpu") => DeviceKind::Cpu,
+                    Some("a100") => DeviceKind::A100,
+                    Some("h100") => DeviceKind::H100,
+                    other => {
+                        eprintln!("unknown device {other:?} (expected cpu|a100|h100)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unexpected argument {other}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("[offline] training cost models for {device}...");
+    let granii = Arc::new(
+        Granii::train_for_device(device, GraniiOptions::fast()).expect("cost-model training"),
+    );
+
+    // A mixed 12-signature workload: every (model, dataset, embed) pair the
+    // cache must distinguish.
+    let models = [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc];
+    let datasets = [Dataset::CoAuthorsCiteseer, Dataset::Mycielskian17];
+    let embeds = [(64usize, 128usize), (128, 64)];
+    let mut workload = Vec::new();
+    for dataset in datasets {
+        let graph = Arc::new(dataset.load(Scale::Tiny).expect("tiny dataset"));
+        for model in models {
+            for (k1, k2) in embeds {
+                workload.push(ServeRequest::new(model, graph.clone(), k1, k2));
+            }
+        }
+    }
+
+    eprintln!(
+        "[load] {} clients x {} requests over {} signatures ({} workers, queue depth {}, cache {})...",
+        cfg.clients,
+        cfg.requests_per_client,
+        workload.len(),
+        cfg.serve.workers,
+        cfg.serve.queue_depth,
+        cfg.serve.cache_capacity
+    );
+    let report = serve_load::run_load(granii, &workload, &cfg);
+
+    let total = cfg.clients * cfg.requests_per_client;
+    println!("serve_bench: {} requests in {:.2}s on {device}", total, report.wall_seconds);
+    println!("  throughput      {:>10.1} req/s", report.throughput_rps);
+    println!(
+        "  latency (ms)    p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}  mean {:.3}",
+        report.latency.p50_ms,
+        report.latency.p95_ms,
+        report.latency.p99_ms,
+        report.latency.max_ms,
+        report.latency.mean_ms
+    );
+    println!(
+        "  outcomes        completed {}  shed {}  failed {}  degraded {}",
+        report.completed, report.shed, report.failed, report.degraded
+    );
+    println!(
+        "  cache           hits {}  misses {}  evictions {}  hit rate {:.1}%",
+        report.stats.cache_hits,
+        report.stats.cache_misses,
+        report.stats.cache_evictions,
+        report.stats.cache_hit_rate * 100.0
+    );
+    if report.failed > 0 {
+        eprintln!("serve_bench: FAILED — {} requests errored", report.failed);
+        std::process::exit(1);
+    }
+}

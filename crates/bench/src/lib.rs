@@ -26,6 +26,7 @@ pub mod grid;
 pub mod policies;
 pub mod report;
 pub mod runner;
+pub mod serve_load;
 pub mod snapshot;
 
 pub use grid::{EvalConfig, Mode, Record};

@@ -1,0 +1,189 @@
+//! Closed-loop multi-client load harness for the serving runtime
+//! (`granii-serve`), shared by the `serve_bench` binary and the
+//! bench-snapshot serving cell.
+//!
+//! Closed loop means each client issues its next request only after the
+//! previous one replied — offered load adapts to service rate, so the
+//! harness measures sustainable throughput and tail latency rather than
+//! queue explosion. Shed requests ([`granii_serve::ServeError::Overloaded`])
+//! are counted and the client moves on; any other error is a harness
+//! failure.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use granii_core::Granii;
+use granii_serve::{ServeConfig, ServeError, ServeRequest, ServeStats, Server};
+
+/// Load-test shape: how many clients, how many requests each.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Serving runtime configuration under test.
+    pub serve: ServeConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 50,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Exact (sorted-sample) latency quantiles in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Completed-request count the quantiles are over.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Wall time of the whole run.
+    pub wall_seconds: f64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed: u64,
+    /// Requests that failed with any other error (must be 0 in a healthy run).
+    pub failed: u64,
+    /// Responses served via the degradation fallback.
+    pub degraded: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// End-to-end (submit-to-reply) latency distribution.
+    pub latency: LatencySummary,
+    /// The server's own counters at the end of the run.
+    pub stats: ServeStats,
+}
+
+/// Exact percentile of a sorted sample (nearest-rank interpolation-free);
+/// 0 for an empty sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Summarizes a latency sample given in seconds.
+pub fn summarize_latencies(seconds: &[f64]) -> LatencySummary {
+    if seconds.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut ms: Vec<f64> = seconds.iter().map(|s| s * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LatencySummary {
+        count: ms.len(),
+        mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
+        p50_ms: percentile(&ms, 0.50),
+        p95_ms: percentile(&ms, 0.95),
+        p99_ms: percentile(&ms, 0.99),
+        max_ms: *ms.last().expect("non-empty"),
+    }
+}
+
+/// Runs the closed-loop load test: `clients` threads round-robin over
+/// `workload` (each client starts at a different offset so signatures mix),
+/// issuing requests back-to-back against one server.
+///
+/// # Panics
+///
+/// Panics if `workload` is empty.
+pub fn run_load(granii: Arc<Granii>, workload: &[ServeRequest], cfg: &LoadConfig) -> LoadReport {
+    assert!(!workload.is_empty(), "load test needs at least one request");
+    let server = Server::start(granii, cfg.serve.clone());
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64, u64, u64)> = std::thread::scope(|s| {
+        let server = &server;
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|c| {
+                s.spawn(move || {
+                    let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+                    let (mut shed, mut failed, mut degraded) = (0u64, 0u64, 0u64);
+                    for i in 0..cfg.requests_per_client {
+                        let request = workload[(c + i) % workload.len()].clone();
+                        match server.process(request) {
+                            Ok(response) => {
+                                latencies.push(response.timing.total_seconds);
+                                if response.degraded {
+                                    degraded += 1;
+                                }
+                            }
+                            Err(ServeError::Overloaded { .. }) => shed += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (latencies, shed, failed, degraded)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+
+    let mut all_latencies = Vec::new();
+    let (mut shed, mut failed, mut degraded) = (0u64, 0u64, 0u64);
+    for (lat, s, f, d) in per_client {
+        all_latencies.extend(lat);
+        shed += s;
+        failed += f;
+        degraded += d;
+    }
+    let completed = all_latencies.len() as u64;
+    LoadReport {
+        wall_seconds,
+        completed,
+        shed,
+        failed,
+        degraded,
+        throughput_rps: if wall_seconds > 0.0 {
+            completed as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        latency: summarize_latencies(&all_latencies),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_on_known_samples() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.50), 51.0); // nearest rank on 0..=99
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let summary = summarize_latencies(&[0.001, 0.002, 0.003]);
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.p50_ms, 2.0);
+        assert_eq!(summary.max_ms, 3.0);
+    }
+}

@@ -179,6 +179,64 @@ pub fn collect(granii: &Granii, iterations: usize) -> Result<BenchSnapshot, Core
     })
 }
 
+/// Dataset of the serving-path snapshot cell.
+pub const SERVE_DATASET: Dataset = Dataset::Mycielskian17;
+/// Embedding pair of the serving-path snapshot cell.
+pub const SERVE_EMBED: (usize, usize) = (32, 32);
+
+/// Appends a serving-path cell (`serve/<dataset>/<k1>x<k2>`) to `snap`:
+/// end-to-end request latency through the `granii-serve` runtime, with the
+/// cache-cold first request recorded as `setup_ns` and the median cache-hot
+/// request latency as `steady_ns_per_iter` (for this cell: ns per *request*,
+/// a full selection-cached execution). The cell rides the same
+/// `bench_compare` gate as the kernel grid; against an older baseline it
+/// shows up as coverage growth (`added`), which the gate reports without
+/// failing.
+///
+/// # Errors
+///
+/// Propagates dataset-loading and serving errors.
+pub fn append_serving_cell(
+    snap: &mut BenchSnapshot,
+    granii: std::sync::Arc<Granii>,
+    requests: usize,
+) -> Result<(), granii_serve::ServeError> {
+    use granii_serve::{ServeConfig, ServeRequest, Server};
+
+    let (k1, k2) = SERVE_EMBED;
+    let model = ModelKind::Gcn;
+    let graph = std::sync::Arc::new(SERVE_DATASET.load(Scale::Tiny).map_err(CoreError::from)?);
+    let server = Server::start(
+        granii,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let cold = server.process(ServeRequest::new(model, graph.clone(), k1, k2))?;
+    let mut hot = Vec::with_capacity(requests.max(1));
+    for _ in 0..requests.max(1) {
+        let response = server.process(ServeRequest::new(model, graph.clone(), k1, k2))?;
+        hot.push(response.timing.total_seconds);
+    }
+    server.shutdown();
+    hot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50_seconds = crate::serve_load::percentile(&hot, 0.50);
+    snap.entries.push(SnapshotEntry {
+        model: "serve".to_string(),
+        dataset: SERVE_DATASET.to_string(),
+        k1,
+        k2,
+        composition: cold.composition.to_string(),
+        steady_ns_per_iter: p50_seconds * 1e9,
+        setup_ns: cold.timing.total_seconds * 1e9,
+        regret_seconds: 0.0,
+        relative_regret: 0.0,
+        steady_allocations: 0,
+    });
+    Ok(())
+}
+
 /// One cell's baseline-vs-current delta.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EntryDelta {

@@ -95,14 +95,20 @@ impl Dataset {
     /// Splits into `(train, valid)` with `valid_fraction` of the rows (taken
     /// with stride to stay distribution-representative without an RNG).
     ///
+    /// The stride construction holds out every `stride`-th row with
+    /// `stride = round(1 / valid_fraction)`, so it cannot represent
+    /// validation shares above one-in-two. Fractions above `0.5` are
+    /// rejected rather than silently clamped to a 50% holdout.
+    ///
     /// # Errors
     ///
     /// Returns [`BoostError::InvalidParameter`] if the fraction is not in
-    /// `(0, 1)` or either side would be empty.
+    /// `(0, 0.5]` or either side would be empty.
     pub fn split(&self, valid_fraction: f64) -> Result<(Dataset, Dataset)> {
-        if !(0.0..1.0).contains(&valid_fraction) || valid_fraction == 0.0 {
+        if !(valid_fraction > 0.0 && valid_fraction <= 0.5) {
             return Err(BoostError::InvalidParameter(format!(
-                "valid_fraction {valid_fraction} must be in (0, 1)"
+                "valid_fraction {valid_fraction} must be in (0, 0.5]: the stride-based \
+                 holdout cannot take more than every other row"
             )));
         }
         let n = self.num_rows();
@@ -171,5 +177,22 @@ mod tests {
         assert_eq!(valid.num_rows(), 20);
         assert!(d.split(0.0).is_err());
         assert!(d.split(1.0).is_err());
+    }
+
+    #[test]
+    fn split_rejects_fractions_above_half() {
+        // The stride construction caps the holdout at one-in-two rows, so
+        // e.g. 0.9 would silently become a 0.5 split — reject it instead.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = Dataset::from_rows(&rows, &labels).unwrap();
+        for bad in [0.51, 0.75, 0.9] {
+            let err = d.split(bad).unwrap_err();
+            assert!(matches!(err, BoostError::InvalidParameter(_)), "{bad}");
+        }
+        // The boundary itself is representable: exactly every other row.
+        let (train, valid) = d.split(0.5).unwrap();
+        assert_eq!(train.num_rows(), 5);
+        assert_eq!(valid.num_rows(), 5);
     }
 }

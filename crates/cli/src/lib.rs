@@ -12,7 +12,10 @@
 //!   lists,
 //! - `granii inspect` — print a graph's featurizer view,
 //! - `granii bench` — execute a model's compositions with real CPU kernels
-//!   and report measured per-iteration times alongside GRANII's choice.
+//!   and report measured per-iteration times alongside GRANII's choice,
+//! - `granii serve-demo` — stand up the concurrent serving runtime
+//!   (`granii-serve`), replay a request signature through it, and report
+//!   cache-cold vs. cache-hot latency plus the server's counters.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -121,6 +124,8 @@ pub fn usage() -> String {
        inspect   (--graph FILE | --dataset CODE [--scale tiny|small])\n\
        bench     --models FILE --model NAME --k1 N --k2 N [--iters N]\n\
                  (--graph FILE | --dataset CODE [--scale tiny|small])\n\
+       serve-demo --models FILE (--graph FILE | --dataset CODE [--scale ...])\n\
+                 [--model NAME] [--k1 N] [--k2 N] [--requests N] [--workers N]\n\
      global observability flags (any command):\n\
        --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
        --metrics-out FILE   write counters + latency histograms as JSON\n\
@@ -252,6 +257,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "generate" => cmd_generate(args),
         "inspect" => cmd_inspect(args),
         "bench" => cmd_bench(args),
+        "serve-demo" => cmd_serve_demo(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -504,6 +510,77 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Serving demo: replays one request signature through a multi-worker
+/// [`granii_serve::Server`] and reports cache-cold vs. cache-hot latency.
+fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
+    use granii_serve::{ServeConfig, ServeRequest, Server};
+
+    let path = args.require("models")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let models = CostModelSet::from_json(&json).map_err(|e| e.to_string())?;
+    let granii = std::sync::Arc::new(Granii::with_cost_models(models));
+    let model = parse_model(args.get("model").unwrap_or("gcn"))?;
+    let k1 = args.usize_or("k1", 32)?;
+    let k2 = args.usize_or("k2", 32)?;
+    let requests = args.usize_or("requests", 16)?.max(2);
+    let workers = args.usize_or("workers", 2)?.max(1);
+    let graph = std::sync::Arc::new(load_graph(args)?);
+
+    let server = Server::start(
+        granii,
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    let mut out = format!(
+        "serving {model} {k1}x{k2} on {} ({} nodes, {} edges): {requests} requests, {workers} workers\n",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let mut hot = Vec::with_capacity(requests - 1);
+    for i in 0..requests {
+        let response = server
+            .process(ServeRequest::new(model, graph.clone(), k1, k2))
+            .map_err(|e| e.to_string())?;
+        if i == 0 {
+            let degraded = if response.degraded { " (degraded)" } else { "" };
+            writeln!(
+                out,
+                "  cache-cold request: {:.3} ms -> {}{degraded}",
+                response.timing.total_seconds * 1e3,
+                response.composition
+            )
+            .expect("fmt");
+        } else {
+            hot.push(response.timing.total_seconds);
+        }
+    }
+    let stats = server.stats();
+    server.shutdown();
+    hot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    writeln!(
+        out,
+        "  cache-hot p50: {:.3} ms (over {} requests)",
+        hot[hot.len() / 2] * 1e3,
+        hot.len()
+    )
+    .expect("fmt");
+    writeln!(
+        out,
+        "  stats: completed {} | cache hits {} misses {} (hit rate {:.1}%) | degraded {} | shed {}",
+        stats.completed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate * 100.0,
+        stats.degraded,
+        stats.shed
+    )
+    .expect("fmt");
+    Ok(out)
+}
+
 fn cmd_inspect(args: &Args) -> Result<String, CliError> {
     let graph = load_graph(args)?;
     let f = GraphFeatures::extract(&graph);
@@ -606,6 +683,45 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("read /missing.json"), "{err}");
+    }
+
+    #[test]
+    fn serve_demo_requires_models_file() {
+        let err = run(&args(&[
+            "serve-demo",
+            "--models",
+            "/missing.json",
+            "--dataset",
+            "MC",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("read /missing.json"), "{err}");
+    }
+
+    #[test]
+    fn serve_demo_round_trips_with_trained_models() {
+        let dir = std::env::temp_dir().join("granii-cli-serve-demo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        let path_s = path.to_str().unwrap();
+        run(&args(&[
+            "train", "--device", "h100", "--fast", "true", "--out", path_s,
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "serve-demo",
+            "--models",
+            path_s,
+            "--dataset",
+            "MC",
+            "--requests",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("cache-cold request"), "{out}");
+        assert!(out.contains("cache-hot p50"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   measurements it reports per-decision **regret** (chosen vs.
 //!   oracle-best) and the cost model's **MAPE on ln-latency**.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
@@ -90,9 +91,50 @@ pub struct SelectionAudit {
 
 static AUDIT_ENABLED: AtomicBool = AtomicBool::new(false);
 
-fn sink() -> &'static Mutex<Vec<SelectionAudit>> {
-    static SINK: OnceLock<Mutex<Vec<SelectionAudit>>> = OnceLock::new();
-    SINK.get_or_init(|| Mutex::new(Vec::new()))
+/// Default maximum number of retained audits. Each record carries full
+/// per-candidate vectors, so an unbounded sink leaks memory in a
+/// long-running serving process that audits but never drains; a few
+/// thousand records is hours of selection history at serving rates.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
+
+/// The bounded audit store: a ring of the most recent audits plus a count
+/// of records evicted since the last drain.
+struct Sink {
+    audits: VecDeque<SelectionAudit>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Sink {
+    fn push(&mut self, audit: SelectionAudit) {
+        while self.audits.len() >= self.capacity {
+            self.audits.pop_front();
+            self.dropped += 1;
+        }
+        self.audits.push_back(audit);
+    }
+
+    fn take(&mut self) -> AuditDrain {
+        AuditDrain {
+            audits: std::mem::take(&mut self.audits).into(),
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            audits: VecDeque::new(),
+            capacity: DEFAULT_AUDIT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+fn with_sink<T>(f: impl FnOnce(&mut Sink) -> T) -> T {
+    f(&mut sink().lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// Turns the audit log on: subsequent selections record a [`SelectionAudit`].
@@ -112,17 +154,59 @@ pub fn is_enabled() -> bool {
     AUDIT_ENABLED.load(Ordering::Relaxed)
 }
 
-/// Drains and returns every recorded audit, in recording order.
-pub fn take_audits() -> Vec<SelectionAudit> {
-    std::mem::take(&mut *sink().lock().unwrap_or_else(PoisonError::into_inner))
+/// Sets the sink capacity (clamped to at least 1). When the new capacity is
+/// below the current backlog, the oldest records are evicted immediately and
+/// counted as dropped.
+pub fn set_capacity(capacity: usize) {
+    with_sink(|s| {
+        s.capacity = capacity.max(1);
+        while s.audits.len() > s.capacity {
+            s.audits.pop_front();
+            s.dropped += 1;
+        }
+    });
+}
+
+/// The result of draining the audit sink: the retained records (recording
+/// order) plus how many older records were evicted to stay under capacity
+/// since the previous drain. Derefs to the audit vector, so existing
+/// `take_audits().iter()` call sites keep working.
+#[derive(Debug, Clone)]
+pub struct AuditDrain {
+    /// The retained audits, oldest first.
+    pub audits: Vec<SelectionAudit>,
+    /// Records evicted (drop-oldest) since the last drain.
+    pub dropped: u64,
+}
+
+impl std::ops::Deref for AuditDrain {
+    type Target = Vec<SelectionAudit>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.audits
+    }
+}
+
+impl IntoIterator for AuditDrain {
+    type Item = SelectionAudit;
+    type IntoIter = std::vec::IntoIter<SelectionAudit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.audits.into_iter()
+    }
+}
+
+/// Drains and returns every retained audit, in recording order, along with
+/// the number of records dropped since the last drain.
+pub fn take_audits() -> AuditDrain {
+    with_sink(Sink::take)
 }
 
 /// Records an audit into the sink (called by [`crate::runtime::select`]).
+/// When the sink is at capacity the oldest record is evicted — recent
+/// decisions are the interesting ones in a long-running process.
 pub(crate) fn record(audit: SelectionAudit) {
-    sink()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .push(audit);
+    with_sink(|s| s.push(audit));
 }
 
 /// Builds the audit record for one selection outcome. `input` is the
@@ -386,4 +470,73 @@ pub fn verify(
         candidates,
         selection,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granii_gnn::spec::{NormStrategy, OpOrder};
+
+    fn tiny_audit(k1: usize) -> SelectionAudit {
+        SelectionAudit {
+            model: ModelKind::Gcn,
+            k1,
+            k2: 1,
+            iterations: 1,
+            input: None,
+            candidates: Vec::new(),
+            chosen: Composition::Gcn(NormStrategy::Dynamic, OpOrder::AggregateFirst),
+            used_cost_models: false,
+            featurize_seconds: 0.0,
+            select_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn sink_caps_a_million_records_and_counts_drops() {
+        let mut sink = Sink {
+            audits: VecDeque::new(),
+            capacity: DEFAULT_AUDIT_CAPACITY,
+            dropped: 0,
+        };
+        const TOTAL: usize = 1_000_000;
+        for i in 0..TOTAL {
+            sink.push(tiny_audit(i));
+            assert!(sink.audits.len() <= DEFAULT_AUDIT_CAPACITY);
+        }
+        let drain = sink.take();
+        assert_eq!(drain.audits.len(), DEFAULT_AUDIT_CAPACITY);
+        assert_eq!(drain.dropped, (TOTAL - DEFAULT_AUDIT_CAPACITY) as u64);
+        // Drop-oldest: the survivors are exactly the most recent records.
+        assert_eq!(drain.audits[0].k1, TOTAL - DEFAULT_AUDIT_CAPACITY);
+        assert_eq!(drain.audits.last().unwrap().k1, TOTAL - 1);
+        // The drain resets the counter.
+        let empty = sink.take();
+        assert!(empty.audits.is_empty());
+        assert_eq!(empty.dropped, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut sink = Sink {
+            audits: VecDeque::new(),
+            capacity: 8,
+            dropped: 0,
+        };
+        for i in 0..8 {
+            sink.push(tiny_audit(i));
+        }
+        // Mirror set_capacity's shrink path on a local sink.
+        sink.capacity = 3;
+        while sink.audits.len() > sink.capacity {
+            sink.audits.pop_front();
+            sink.dropped += 1;
+        }
+        let drain = sink.take();
+        assert_eq!(drain.dropped, 5);
+        assert_eq!(
+            drain.audits.iter().map(|a| a.k1).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+    }
 }

@@ -120,6 +120,44 @@ impl Graph {
         self.adj.is_weighted()
     }
 
+    /// A 64-bit structural fingerprint of the graph: an FNV-1a hash over the
+    /// node count, the full CSR structure (`indptr` + `indices`), and the
+    /// edge-weight bits when present.
+    ///
+    /// Two graphs with the same fingerprint have (modulo 64-bit collisions)
+    /// identical adjacency, so everything GRANII derives from a graph —
+    /// input features, selection, executed output — is identical too. That
+    /// makes the fingerprint a sound cache key for per-graph artifacts like
+    /// bound execution plans; the graph's display name is deliberately
+    /// excluded. Cost is one O(n + m) pass, far cheaper than featurization.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(&(self.num_nodes() as u64).to_le_bytes());
+        for &p in self.adj.indptr() {
+            mix(&p.to_le_bytes());
+        }
+        for &i in self.adj.indices() {
+            mix(&i.to_le_bytes());
+        }
+        if let Some(values) = self.adj.values() {
+            mix(&[1]);
+            for &v in values {
+                mix(&v.to_bits().to_le_bytes());
+            }
+        } else {
+            mix(&[0]);
+        }
+        h
+    }
+
     /// Average degree (`edges / nodes`).
     pub fn avg_degree(&self) -> f64 {
         if self.num_nodes() == 0 {
@@ -284,5 +322,41 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
         let d = g.deg_inv_sqrt();
         assert_eq!(d.values()[2], 0.0);
+    }
+
+    #[test]
+    fn fingerprint_identifies_structure_not_name() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let same = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .with_name("renamed");
+        assert_eq!(g.fingerprint(), same.fingerprint(), "name must not matter");
+        assert_eq!(g.fingerprint(), g.fingerprint(), "stable across calls");
+
+        // One extra edge, one fewer node, or a different wiring all change it.
+        let extra = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let smaller = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let rewired = Graph::undirected_from_edges(4, &[(0, 2), (1, 2), (2, 3)]).unwrap();
+        assert_ne!(g.fingerprint(), extra.fingerprint());
+        assert_ne!(g.fingerprint(), smaller.fingerprint());
+        assert_ne!(g.fingerprint(), rewired.fingerprint());
+
+        // Same pattern, different node count (trailing isolated node).
+        let padded = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_ne!(g.fingerprint(), padded.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_edge_weights() {
+        let unweighted = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr()
+            .drop_values();
+        let weighted = CooMatrix::from_entries(2, 2, &[(0, 1, 2.5), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        let gu = Graph::from_csr(unweighted).unwrap();
+        let gw = Graph::from_csr(weighted).unwrap();
+        assert_ne!(gu.fingerprint(), gw.fingerprint());
     }
 }

@@ -88,7 +88,7 @@ pub fn row_broadcast_into(
         });
     }
     let k = m.cols();
-    par_rows(out.as_mut_slice(), k.max(1), |i, row| {
+    par_rows(out.as_mut_slice(), m.rows(), k, |i, row| {
         let di = d[i];
         for (v, &mv) in row.iter_mut().zip(m.row(i)) {
             *v = op.apply(di, mv);
@@ -143,7 +143,7 @@ pub fn col_broadcast_into(
         });
     }
     let k = m.cols();
-    par_rows(out.as_mut_slice(), k.max(1), |i, row| {
+    par_rows(out.as_mut_slice(), m.rows(), k, |i, row| {
         for ((v, &mv), &dj) in row.iter_mut().zip(m.row(i)).zip(d) {
             *v = op.apply(dj, mv);
         }

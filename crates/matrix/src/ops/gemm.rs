@@ -63,10 +63,8 @@ pub fn gemm_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) -> Res
         });
     }
     let (k1, k2) = (a.cols(), b.cols());
-    par_rows(out.as_mut_slice(), k2.max(1), |i, out_row| {
-        if k2 == 0 {
-            return;
-        }
+    let rows = a.rows();
+    par_rows(out.as_mut_slice(), rows, k2, |i, out_row| {
         out_row.fill(0.0);
         let a_row = a.row(i);
         for (k, &aik) in a_row.iter().enumerate().take(k1) {

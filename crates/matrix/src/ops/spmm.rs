@@ -79,10 +79,7 @@ pub fn spmm_into(
     let k = feats.cols();
     let reduce = semiring.reduce;
     let mul = semiring.mul;
-    par_rows(out.as_mut_slice(), k.max(1), |i, out_row| {
-        if k == 0 {
-            return;
-        }
+    par_rows(out.as_mut_slice(), adj.rows(), k, |i, out_row| {
         let cols = adj.row_indices(i);
         let vals = adj.row_values(i);
         let count = cols.len();

@@ -12,22 +12,55 @@ use std::sync::OnceLock;
 /// thread spawn overhead dominates under this size.
 pub const PARALLEL_THRESHOLD: usize = 1 << 14;
 
+/// Hard ceiling on kernel worker threads. Applies to both the hardware
+/// default and `GRANII_THREADS` overrides: the work-stealing kernels stop
+/// scaling well past this on the target machines, and an uncapped override
+/// (e.g. a copy-pasted `GRANII_THREADS=512`) would oversubscribe every
+/// `par_rows` call site.
+pub const MAX_THREADS: usize = 16;
+
+/// Resolves the worker-thread count from an optional `GRANII_THREADS` value
+/// and the machine's available parallelism. Returns the thread count plus a
+/// warning message when the override was malformed and had to be ignored.
+///
+/// Both paths clamp to `1..=MAX_THREADS`. A value that fails to parse as a
+/// positive integer (`"8x"`, `""`, `"0"`) is ignored with a warning rather
+/// than silently falling back.
+fn resolve_threads(env: Option<&str>, hardware: usize) -> (usize, Option<String>) {
+    let default = hardware.clamp(1, MAX_THREADS);
+    match env {
+        None => (default, None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n.min(MAX_THREADS), None),
+            _ => (
+                default,
+                Some(format!(
+                    "granii: ignoring malformed GRANII_THREADS={raw:?} \
+                     (expected an integer in 1..={MAX_THREADS}); using {default} threads"
+                )),
+            ),
+        },
+    }
+}
+
 /// Number of worker threads used by row-parallel kernels.
 ///
-/// Defaults to the machine's available parallelism, capped at 16; override
-/// with the `GRANII_THREADS` environment variable (read once).
+/// Defaults to the machine's available parallelism; override with the
+/// `GRANII_THREADS` environment variable (read once). Both paths are capped
+/// at [`MAX_THREADS`]; a malformed override logs one warning to stderr and
+/// falls back to the default.
 pub fn num_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("GRANII_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism()
+        let hardware = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
+            .unwrap_or(1);
+        let (n, warning) =
+            resolve_threads(std::env::var("GRANII_THREADS").ok().as_deref(), hardware);
+        if let Some(msg) = warning {
+            eprintln!("{msg}");
+        }
+        n
     })
 }
 
@@ -39,32 +72,35 @@ const STEAL_CHUNK: usize = 64;
 /// Runs `f(row_index, row_slice)` for every row of a `rows x width` row-major
 /// buffer, in parallel with dynamic (work-stealing) row distribution.
 ///
+/// The caller states the geometry explicitly: divisibility alone cannot catch
+/// a transposed or otherwise wrong `width` that still divides the buffer, so
+/// the buffer length is checked against `rows * width` exactly.
+///
 /// Static contiguous blocks starve under skewed per-row work — on a power-law
 /// graph the thread owning the hub rows finishes last by far — so workers
 /// instead claim [`STEAL_CHUNK`]-row chunks from a shared atomic cursor.
 /// Each output element is still written by exactly one thread, so results
 /// stay deterministic. Falls back to a serial loop when the buffer is small
-/// or only one thread is configured.
+/// or only one thread is configured. Degenerate geometry (`rows == 0` or
+/// `width == 0`, with a correspondingly empty buffer) is a no-op.
 ///
 /// # Panics
 ///
-/// Panics if `out.len() != rows * width` (with `width > 0`), or if a worker
-/// thread panics.
-pub fn par_rows<F>(out: &mut [f32], width: usize, f: F)
+/// Panics if `out.len() != rows * width`, or if a worker thread panics.
+pub fn par_rows<F>(out: &mut [f32], rows: usize, width: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    if width == 0 {
+    assert_eq!(
+        out.len(),
+        rows * width,
+        "buffer length must equal rows * width ({rows} * {width})"
+    );
+    if rows == 0 || width == 0 {
         return;
     }
-    assert_eq!(
-        out.len() % width,
-        0,
-        "buffer length must be a multiple of width"
-    );
-    let rows = out.len() / width;
     let threads = num_threads();
     if threads <= 1 || out.len() < PARALLEL_THRESHOLD {
         for (r, row) in out.chunks_exact_mut(width).enumerate() {
@@ -175,7 +211,7 @@ mod tests {
         let width = 8;
         let rows = 5000; // above the threshold
         let mut buf = vec![0.0f32; rows * width];
-        par_rows(&mut buf, width, |r, row| {
+        par_rows(&mut buf, rows, width, |r, row| {
             for (j, v) in row.iter_mut().enumerate() {
                 *v = (r * width + j) as f32;
             }
@@ -188,7 +224,7 @@ mod tests {
     #[test]
     fn par_rows_serial_small_input() {
         let mut buf = vec![0.0f32; 12];
-        par_rows(&mut buf, 3, |r, row| {
+        par_rows(&mut buf, 4, 3, |r, row| {
             row.iter_mut().for_each(|v| *v = r as f32)
         });
         assert_eq!(
@@ -200,7 +236,46 @@ mod tests {
     #[test]
     fn par_rows_zero_width_is_noop() {
         let mut buf: Vec<f32> = vec![];
-        par_rows(&mut buf, 0, |_, _| panic!("must not be called"));
+        par_rows(&mut buf, 7, 0, |_, _| panic!("must not be called"));
+        par_rows(&mut buf, 0, 5, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length must equal rows * width")]
+    fn par_rows_rejects_wrong_geometry() {
+        // 12 elements reinterpreted as 6x2 instead of the true 4x3: the
+        // length still divides, so only the explicit rows argument can catch
+        // the mismatch against the stated 4-row geometry.
+        let mut buf = vec![0.0f32; 12];
+        par_rows(&mut buf, 4, 2, |_, _| {});
+    }
+
+    #[test]
+    fn resolve_threads_defaults_and_caps_hardware() {
+        assert_eq!(resolve_threads(None, 8), (8, None));
+        assert_eq!(resolve_threads(None, 0), (1, None));
+        let (n, warn) = resolve_threads(None, 128);
+        assert_eq!((n, warn), (MAX_THREADS, None));
+    }
+
+    #[test]
+    fn resolve_threads_env_override_is_capped() {
+        assert_eq!(resolve_threads(Some("4"), 8), (4, None));
+        assert_eq!(resolve_threads(Some(" 12 "), 2), (12, None));
+        // The cap applies to the override path too, not just the default.
+        let (n, warn) = resolve_threads(Some("512"), 8);
+        assert_eq!(n, MAX_THREADS);
+        assert!(warn.is_none(), "in-range-after-cap override is not an error");
+    }
+
+    #[test]
+    fn resolve_threads_warns_on_malformed_env() {
+        for bad in ["8x", "", "abc", "-2", "0"] {
+            let (n, warn) = resolve_threads(Some(bad), 8);
+            assert_eq!(n, 8, "malformed {bad:?} must fall back to hardware");
+            let msg = warn.expect("malformed input must produce a warning");
+            assert!(msg.contains("GRANII_THREADS"), "warning names the var");
+        }
     }
 
     #[test]
@@ -212,7 +287,7 @@ mod tests {
         let width = 4;
         let rows = 20_000;
         let mut buf = vec![-1.0f32; rows * width];
-        par_rows(&mut buf, width, |r, row| {
+        par_rows(&mut buf, rows, width, |r, row| {
             let spin = if r == 0 { 20_000 } else { 1 };
             let mut acc = 0f32;
             for i in 0..spin {

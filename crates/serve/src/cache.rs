@@ -1,0 +1,156 @@
+//! Signature-keyed LRU cache of bound execution plans.
+//!
+//! The key identifies everything that determines a bound plan: the model
+//! family, the graph's structural fingerprint ([`granii_graph::Graph::fingerprint`],
+//! which covers the CSR pattern and edge weights — everything the input
+//! features derive from), and the embedding sizes. A hit therefore skips
+//! featurize + select + build + bind entirely and goes straight to a
+//! steady-state `iterate`, which is the whole point of serving: the paper's
+//! selection is cheap per input, but a repeated input should not even pay
+//! that.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::sync::Arc;
+
+use granii_core::execplan::BoundPlan;
+use granii_gnn::spec::{Composition, ModelKind};
+
+/// Cache key: (model, graph fingerprint, k1, k2). Iteration count is
+/// deliberately excluded — it only weighs hoisted work during *selection*,
+/// and the cached entry records the composition chosen by the miss-time
+/// request (see DESIGN.md §9).
+pub type PlanKey = (ModelKind, u64, usize, usize);
+
+/// A cached, executable plan: the composition the selector chose for this
+/// signature plus its bound (setup-complete) execution plan. `iterate` is
+/// stateful (it writes the plan's slots), so entries are shared behind a
+/// `Mutex` — concurrent requests for the same signature serialize on the
+/// entry, not on the whole cache.
+pub struct CachedPlan {
+    /// The composition the plan executes.
+    pub composition: Composition,
+    /// The bound plan; every `iterate` produces the identical output.
+    pub bound: BoundPlan,
+}
+
+struct Inner {
+    map: BTreeMap<PlanKey, (u64, Arc<Mutex<CachedPlan>>)>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// Capacity-bounded LRU mapping plan signatures to bound plans, with hit,
+/// miss, and eviction counters.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` bound plans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`, marking it most-recently-used. Counts a hit or miss.
+    pub fn lookup(&self, key: PlanKey) -> Option<Arc<Mutex<CachedPlan>>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some((used, entry)) => {
+                *used = tick;
+                let entry = entry.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly bound plan, evicting least-recently-used entries
+    /// beyond capacity. Returns the shared handle for the inserted plan.
+    /// Two racing misses on the same key are benign: plans for one signature
+    /// are interchangeable (deterministic build), last insert wins.
+    pub fn insert(&self, key: PlanKey, plan: CachedPlan) -> Arc<Mutex<CachedPlan>> {
+        let entry = Arc::new(Mutex::new(plan));
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (tick, entry.clone()));
+        let mut evicted = 0u64;
+        while inner.map.len() > inner.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map above capacity");
+            inner.map.remove(&oldest);
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        entry
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total > 0.0 {
+            hits / total
+        } else {
+            0.0
+        }
+    }
+}

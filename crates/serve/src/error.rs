@@ -1,0 +1,57 @@
+use std::fmt;
+
+use granii_core::CoreError;
+
+/// Errors surfaced to serving clients.
+///
+/// Degradable conditions (cost-model prediction failures, expired deadlines)
+/// deliberately do *not* appear here — those fall back to the plan's default
+/// composition and complete the request (see the crate docs). Only structural
+/// problems fail a request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded request queue was full at submit time; the request was
+    /// shed without being enqueued. Back off and retry.
+    Overloaded {
+        /// The queue depth at which the request was rejected.
+        depth: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker processing the request disappeared before replying
+    /// (only possible if a worker thread panicked).
+    WorkerLost,
+    /// Compilation, binding, or execution failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "request queue full at depth {depth}; request shed")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker exited before replying"),
+            ServeError::Core(e) => write!(f, "serving request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Convenience alias for serve-layer results.
+pub type Result<T> = std::result::Result<T, ServeError>;

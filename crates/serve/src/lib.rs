@@ -1,0 +1,57 @@
+//! Concurrent serving runtime for GRANII (the paper's §IV selection, run as
+//! a multi-tenant service).
+//!
+//! GRANII's pitch is that input-aware selection is cheap enough to run
+//! online per input — which pays off when one trained [`granii_core::Granii`]
+//! instance serves a stream of heterogeneous inference requests. This crate
+//! composes the existing thread-safe pieces (compiled-plan cache, compile-once
+//! [`granii_core::execplan::ExecPlan`], telemetry) into that runtime:
+//!
+//! - **Bound-plan LRU cache** ([`PlanCache`]): keyed on
+//!   (model, graph fingerprint, k1, k2) so a repeated signature skips
+//!   featurize + select + build + bind and goes straight to a zero-alloc
+//!   steady-state `iterate`. Capacity-bounded with drop-LRU eviction and
+//!   hit/miss/eviction counters.
+//! - **Worker pool + bounded queue** ([`Server`]): a configurable number of
+//!   workers drain a depth-bounded queue; a full queue sheds new submits
+//!   with [`ServeError::Overloaded`] (backpressure instead of OOM), and each
+//!   request's deadline is checked once, at dequeue.
+//! - **Graceful degradation**: an expired deadline or a cost-model
+//!   prediction failure falls back to the plan's default composition (the
+//!   first eligible candidate) instead of failing the request, and the
+//!   response is marked `degraded` with a matching counter in
+//!   [`ServeStats`].
+//!
+//! Outputs are deterministic: for a given request signature, cache hits,
+//! misses, and serial re-execution all produce bitwise-identical matrices
+//! (fixed synthetic-input seed, stable `iterate`).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use granii_core::{Granii, GraniiOptions};
+//! use granii_gnn::spec::ModelKind;
+//! use granii_graph::datasets::{Dataset, Scale};
+//! use granii_matrix::device::DeviceKind;
+//! use granii_serve::{ServeConfig, ServeRequest, Server};
+//!
+//! let granii = Arc::new(
+//!     Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast()).unwrap(),
+//! );
+//! let server = Server::start(granii, ServeConfig::default());
+//! let graph = Arc::new(Dataset::CoAuthorsCiteseer.load(Scale::Tiny).unwrap());
+//! let response = server
+//!     .process(ServeRequest::new(ModelKind::Gcn, graph, 64, 128))
+//!     .unwrap();
+//! assert!(!response.output.as_slice().is_empty());
+//! server.shutdown();
+//! ```
+
+mod cache;
+mod error;
+mod server;
+
+pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use error::{Result, ServeError};
+pub use server::{
+    RequestTiming, ServeConfig, ServeRequest, ServeResponse, ServeStats, Server, Ticket,
+};

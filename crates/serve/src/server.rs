@@ -1,0 +1,490 @@
+//! The serving runtime: worker pool, bounded queue, and request execution.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use granii_core::execplan::{ExecPlan, PlanInputs};
+use granii_core::{runtime, CoreError, Granii};
+use granii_gnn::spec::{Composition, LayerConfig, ModelKind};
+use granii_gnn::{Exec, GraphCtx};
+use granii_graph::Graph;
+use granii_matrix::device::Engine;
+use granii_matrix::DenseMatrix;
+
+use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::{Result, ServeError};
+
+/// Seed for the deterministic synthetic feature/weight matrices every
+/// request binds against. Fixed so that, for a given (model, graph, k1, k2)
+/// signature, hits and misses produce bitwise-identical outputs — and so a
+/// serial rerun of the same request stream reproduces the served results.
+const SERVE_SEED: u64 = 41;
+
+/// Serving runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet running) requests; submits
+    /// beyond this are shed with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Maximum bound plans retained in the LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// One inference request: which model to run on which graph at which
+/// embedding sizes, and how many iterations the selection should amortize
+/// hoisted work over.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// GNN model family.
+    pub model: ModelKind,
+    /// The input graph (shared — requests are cheap to clone).
+    pub graph: Arc<Graph>,
+    /// Input embedding width.
+    pub k1: usize,
+    /// Output embedding width.
+    pub k2: usize,
+    /// Iteration count selection amortizes hoisted work over.
+    pub iterations: usize,
+    /// Optional per-request deadline, measured from submit. Checked when a
+    /// worker dequeues the request: an expired request is not dropped but
+    /// served degraded (default composition, no cost-model consultation).
+    pub timeout: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request with the paper's default iteration count and no deadline.
+    pub fn new(model: ModelKind, graph: Arc<Graph>, k1: usize, k2: usize) -> Self {
+        ServeRequest {
+            model,
+            graph,
+            k1,
+            k2,
+            iterations: runtime::DEFAULT_ITERATIONS,
+            timeout: None,
+        }
+    }
+
+    /// Sets the amortization iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets a deadline relative to submit time.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    fn plan_key(&self) -> PlanKey {
+        (self.model, self.graph.fingerprint(), self.k1, self.k2)
+    }
+}
+
+/// Per-request wall-clock breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTiming {
+    /// Time spent queued before a worker picked the request up.
+    pub queue_seconds: f64,
+    /// Time spent choosing and binding a plan (zero on a cache hit).
+    pub select_seconds: f64,
+    /// Time spent in the steady-state `iterate`.
+    pub execute_seconds: f64,
+    /// Submit-to-reply total.
+    pub total_seconds: f64,
+}
+
+/// The outcome of a served request.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The composition that produced the output.
+    pub composition: Composition,
+    /// The executed layer output (`n x k2`).
+    pub output: DenseMatrix,
+    /// Wall-clock breakdown.
+    pub timing: RequestTiming,
+    /// Whether a cached bound plan served the request.
+    pub cache_hit: bool,
+    /// Whether the request fell back to the default composition (expired
+    /// deadline or cost-model prediction failure).
+    pub degraded: bool,
+}
+
+/// Point-in-time serving counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Requests that failed with an error.
+    pub failed: u64,
+    /// Requests shed at submit because the queue was full.
+    pub shed: u64,
+    /// Requests served via the default-composition fallback.
+    pub degraded: u64,
+    /// Requests whose deadline had expired when dequeued.
+    pub deadline_expired: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plan-cache evictions.
+    pub cache_evictions: u64,
+    /// Bound plans currently cached.
+    pub cache_len: usize,
+    /// Hit fraction over all cache lookups.
+    pub cache_hit_rate: f64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+struct Job {
+    request: ServeRequest,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<ServeResponse>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    granii: Arc<Granii>,
+    cache: PlanCache,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    config: ServeConfig,
+    counters: Counters,
+}
+
+impl Inner {
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A handle to one in-flight request; [`Ticket::wait`] blocks for the reply.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    pub fn wait(self) -> Result<ServeResponse> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// A thread-safe serving runtime over one shared [`Granii`] instance.
+///
+/// Requests flow submit → bounded queue → worker pool → (plan cache | select
+/// + bind) → `iterate` → reply. Dropping the server shuts it down
+/// gracefully: queued requests are drained, workers joined.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(granii: Arc<Granii>, config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            granii,
+            cache: PlanCache::new(config.cache_capacity),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            config: config.clone(),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("granii-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Submits a request without blocking on its execution.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity (the request
+    /// is shed — backpressure, never unbounded growth), or
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
+        let now = Instant::now();
+        let deadline = request.timeout.map(|t| now + t);
+        let (ticket, depth) = {
+            let mut q = self.inner.lock_queue();
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.inner.config.queue_depth {
+                drop(q);
+                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                granii_telemetry::counter_add("serve.shed", 1);
+                return Err(ServeError::Overloaded {
+                    depth: self.inner.config.queue_depth,
+                });
+            }
+            let (tx, rx) = mpsc::channel();
+            q.jobs.push_back(Job {
+                request,
+                enqueued: now,
+                deadline,
+                reply: tx,
+            });
+            (Ticket { rx }, q.jobs.len())
+        };
+        self.inner.not_empty.notify_one();
+        self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        granii_telemetry::counter_add("serve.submitted", 1);
+        granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
+        Ok(ticket)
+    }
+
+    /// Submits a request and blocks until it completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit errors and the request's execution outcome.
+    pub fn process(&self, request: ServeRequest) -> Result<ServeResponse> {
+        self.submit(request)?.wait()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.inner.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            cache_evictions: self.inner.cache.evictions(),
+            cache_len: self.inner.cache.len(),
+            cache_hit_rate: self.inner.cache.hit_rate(),
+            queue_depth: self.inner.lock_queue().jobs.len(),
+        }
+    }
+
+    /// Shuts down gracefully: stops accepting requests, drains the queue,
+    /// joins every worker. Equivalent to dropping the server.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.lock_queue().shutdown = true;
+        self.inner.not_empty.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // Each worker owns its engine: `Engine` accumulates a profile under a
+    // mutex per kernel charge, so sharing one across workers would serialize
+    // them — and the profile is drained per request below to keep a
+    // long-running server's memory flat.
+    let engine = Engine::modeled(inner.granii.device());
+    let exec = Exec::real(&engine);
+    loop {
+        let job = {
+            let mut q = inner.lock_queue();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    let depth = q.jobs.len();
+                    drop(q);
+                    granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let reply = job.reply.clone();
+        let result = process_job(inner, &exec, job);
+        match &result {
+            Ok(response) => {
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                if response.degraded {
+                    inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    granii_telemetry::counter_add("serve.degraded", 1);
+                }
+                granii_telemetry::counter_add("serve.completed", 1);
+                granii_telemetry::histogram_record_seconds(
+                    "serve.request_latency",
+                    response.timing.total_seconds,
+                );
+                granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+            }
+            Err(_) => {
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                granii_telemetry::counter_add("serve.failed", 1);
+            }
+        }
+        // Receiver may have given up; a dead ticket is not a worker error.
+        let _ = reply.send(result);
+        // Keep the per-worker profile from growing without bound.
+        engine.take_profile();
+    }
+}
+
+/// Picks the composition for a cache miss. Normal path: full cost-model
+/// selection. Degraded path (expired deadline, or the cost models cannot
+/// predict a candidate): the plan's default composition — the first eligible
+/// candidate, which every compiled model is guaranteed to have.
+fn choose_composition(
+    inner: &Inner,
+    request: &ServeRequest,
+    cfg: LayerConfig,
+    expired: bool,
+) -> Result<(Composition, bool)> {
+    if !expired {
+        match inner
+            .granii
+            .select_with_config(request.model, &request.graph, cfg, request.iterations)
+        {
+            Ok(selection) => return Ok((selection.composition, false)),
+            Err(CoreError::MissingCostModel { .. }) => {} // fall through, degraded
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let plan = inner.granii.compiled(request.model, cfg)?;
+    let eligible = plan.eligible(cfg.k_in, cfg.k_out);
+    let first = eligible.first().ok_or(CoreError::NoCandidates {
+        model: request.model.name().to_owned(),
+    })?;
+    Ok((first.composition, true))
+}
+
+fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
+    let Job {
+        request,
+        enqueued,
+        deadline,
+        ..
+    } = job;
+    let _span = granii_telemetry::span!(
+        "serve.request",
+        model = request.model.name(),
+        nodes = request.graph.num_nodes(),
+    );
+    let start = Instant::now();
+    let queue_seconds = start.duration_since(enqueued).as_secs_f64();
+    granii_telemetry::histogram_record_seconds("serve.queue_wait", queue_seconds);
+
+    // Deadline policy: checked once, at dequeue. An expired request is still
+    // served — a late answer beats none — but skips the cost models.
+    let expired = deadline.is_some_and(|d| start >= d);
+    if expired {
+        inner
+            .counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        granii_telemetry::counter_add("serve.deadline_expired", 1);
+    }
+
+    let cfg = LayerConfig::new(request.k1, request.k2);
+    let key = request.plan_key();
+    let (entry, cache_hit, degraded, select_seconds) = match inner.cache.lookup(key) {
+        // Hit: the signature's plan is already bound — even an expired
+        // request serves it at full quality.
+        Some(entry) => (entry, true, false, 0.0),
+        None => {
+            let t_select = Instant::now();
+            let (composition, degraded) = choose_composition(inner, &request, cfg, expired)?;
+            let plan = inner.granii.compiled(request.model, cfg)?;
+            let candidate = plan
+                .candidates
+                .iter()
+                .find(|c| c.composition == composition)
+                .ok_or_else(|| {
+                    CoreError::InvalidIr(format!(
+                        "selected composition {} missing from compiled plan",
+                        composition.name()
+                    ))
+                })?;
+            let ctx = GraphCtx::new(&request.graph).map_err(CoreError::from)?;
+            let h = DenseMatrix::random(request.graph.num_nodes(), request.k1, 1.0, SERVE_SEED);
+            let plan_inputs = PlanInputs::for_model(request.model, cfg, &ctx, h, SERVE_SEED + 1);
+            let exec_plan = ExecPlan::build(&candidate.program)?;
+            let bound = exec_plan.bind(exec, &plan_inputs.as_program_inputs())?;
+            let entry = inner.cache.insert(key, CachedPlan { composition, bound });
+            (entry, false, degraded, t_select.elapsed().as_secs_f64())
+        }
+    };
+
+    let t_execute = Instant::now();
+    let (composition, output) = {
+        let mut cached = entry.lock().unwrap_or_else(PoisonError::into_inner);
+        let output = cached.bound.iterate(exec)?.clone();
+        (cached.composition, output)
+    };
+    let execute_seconds = t_execute.elapsed().as_secs_f64();
+    granii_telemetry::counter_add(if cache_hit { "serve.cache_hits" } else { "serve.cache_misses" }, 1);
+
+    Ok(ServeResponse {
+        composition,
+        output,
+        timing: RequestTiming {
+            queue_seconds,
+            select_seconds,
+            execute_seconds,
+            total_seconds: enqueued.elapsed().as_secs_f64(),
+        },
+        cache_hit,
+        degraded,
+    })
+}

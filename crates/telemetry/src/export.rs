@@ -121,7 +121,8 @@ pub fn chrome_trace_with_counters(spans: &[SpanRecord], report: &ProfileReport) 
 }
 
 /// Renders a metrics snapshot as a flat JSON object:
-/// `{"counters": {name: value}, "histograms": {name: {count, sum_ns, ...}}}`.
+/// `{"counters": {name: value}, "gauges": {name: value},
+/// "histograms": {name: {count, sum_ns, ...}}}`.
 /// Histogram buckets are emitted sparsely as `[[bucket_index, count], ...]`.
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\n\"counters\":{");
@@ -132,6 +133,16 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         out.push('\n');
         push_json_string(&mut out, name);
         let _ = write!(out, ":{value}");
+    }
+    out.push_str("\n},\n\"gauges\":{");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_json_string(&mut out, name);
+        out.push(':');
+        push_f64(&mut out, *value);
     }
     out.push_str("\n},\n\"histograms\":{");
     for (i, h) in snapshot.histograms.iter().enumerate() {

@@ -43,7 +43,7 @@ mod profile;
 mod span;
 
 pub use metrics::{
-    counter_add, histogram_record_ns, histogram_record_seconds, metrics_snapshot,
+    counter_add, gauge_set, histogram_record_ns, histogram_record_seconds, metrics_snapshot,
     HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use profile::{ProfileReport, ProfileRow};

@@ -62,6 +62,7 @@ pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
 
 struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -70,6 +71,7 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| {
         Mutex::new(Registry {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
         })
     })
@@ -86,6 +88,18 @@ pub fn counter_add(name: &str, delta: u64) {
     }
     with_registry(|r| {
         *r.counters.entry(name.to_owned()).or_insert(0) += delta;
+    });
+}
+
+/// Sets the gauge named `name` to `value` (no-op when disabled). Unlike
+/// counters, a gauge is a last-write-wins instantaneous reading — queue
+/// depth, cache occupancy, hit rate — not an accumulation.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name.to_owned(), value);
     });
 }
 
@@ -194,6 +208,8 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// Counter name → accumulated value, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauge name → last set value, sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -204,6 +220,11 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         counters: registry
             .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: registry
+            .gauges
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect(),
@@ -225,6 +246,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 pub(crate) fn clear_metrics() {
     with_registry(|r| {
         r.counters.clear();
+        r.gauges.clear();
         r.histograms.clear();
     });
 }

@@ -208,6 +208,27 @@ fn metrics_json_lists_counters_and_histograms() {
 }
 
 #[test]
+fn gauges_are_last_write_wins_and_exported() {
+    let _g = guard();
+    granii_telemetry::gauge_set("serve.queue_depth", 3.0);
+    granii_telemetry::gauge_set("serve.queue_depth", 7.0);
+    granii_telemetry::gauge_set("serve.cache_hit_rate", 0.9375);
+    granii_telemetry::disable();
+    granii_telemetry::gauge_set("serve.queue_depth", 99.0); // disabled: no-op
+    let snap = granii_telemetry::metrics_snapshot();
+    assert_eq!(
+        snap.gauges,
+        vec![
+            ("serve.cache_hit_rate".to_owned(), 0.9375),
+            ("serve.queue_depth".to_owned(), 7.0),
+        ]
+    );
+    let json = export::metrics_json(&snap);
+    assert!(json.contains("\"gauges\":{"), "{json}");
+    assert!(json.contains("\"serve.queue_depth\":7"), "{json}");
+}
+
+#[test]
 fn summary_indents_children_under_parents() {
     let _g = guard();
     {

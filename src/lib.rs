@@ -9,6 +9,7 @@
 //! - [`boost`] — gradient-boosted regression trees (the cost-model learner),
 //! - [`gnn`] — GNN models, message passing, autodiff, baseline systems,
 //! - [`core`] — the GRANII compiler and runtime itself,
+//! - [`serve`] — the concurrent serving runtime (plan cache, bounded queue),
 //! - [`telemetry`] — structured tracing, counters, and latency histograms.
 //!
 //! # Quickstart
@@ -34,4 +35,5 @@ pub use granii_core as core;
 pub use granii_gnn as gnn;
 pub use granii_graph as graph;
 pub use granii_matrix as matrix;
+pub use granii_serve as serve;
 pub use granii_telemetry as telemetry;
