@@ -116,7 +116,10 @@ fn main() {
     let report = serve_load::run_load(granii, &workload, &cfg);
 
     let total = cfg.clients * cfg.requests_per_client;
-    println!("serve_bench: {} requests in {:.2}s on {device}", total, report.wall_seconds);
+    println!(
+        "serve_bench: {} requests in {:.2}s on {device}",
+        total, report.wall_seconds
+    );
     println!("  throughput      {:>10.1} req/s", report.throughput_rps);
     println!(
         "  latency (ms)    p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}  mean {:.3}",

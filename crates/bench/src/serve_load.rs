@@ -170,6 +170,101 @@ pub fn run_load(granii: Arc<Granii>, workload: &[ServeRequest], cfg: &LoadConfig
     }
 }
 
+/// Per-phase outcome of a [`run_drift_scenario`] run.
+#[derive(Debug, Clone)]
+pub struct DriftPhaseReport {
+    /// Requests completed in this phase.
+    pub completed: u64,
+    /// Requests failed in this phase (must be 0 in a healthy run).
+    pub failed: u64,
+    /// Distinct composition names served, in first-seen order. One entry
+    /// means the phase was stable on a single plan.
+    pub compositions: Vec<String>,
+    /// Server-cumulative drift flags at phase end.
+    pub drift_flagged: u64,
+    /// Server-cumulative plan-cache invalidations at phase end (includes
+    /// model-swap flushes).
+    pub cache_invalidations: u64,
+}
+
+/// Outcome of the three-phase drift-injection scenario.
+#[derive(Debug, Clone)]
+pub struct DriftScenarioReport {
+    /// Phase 1: serving under the clean cost models.
+    pub clean_before: DriftPhaseReport,
+    /// Phase 2: serving after the corrupted models were hot-swapped in.
+    pub corrupted: DriftPhaseReport,
+    /// Phase 3: serving after the clean models were restored.
+    pub clean_after: DriftPhaseReport,
+    /// Final live status snapshot (drift table included).
+    pub status: granii_serve::ServerStatus,
+}
+
+fn run_drift_phase(server: &Server, request: &ServeRequest, requests: usize) -> DriftPhaseReport {
+    let (mut completed, mut failed) = (0u64, 0u64);
+    let mut compositions: Vec<String> = Vec::new();
+    for _ in 0..requests {
+        match server.process(request.clone()) {
+            Ok(response) => {
+                completed += 1;
+                let name = response.composition.name();
+                if compositions.last() != Some(&name) && !compositions.contains(&name) {
+                    compositions.push(name);
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let stats = server.stats();
+    DriftPhaseReport {
+        completed,
+        failed,
+        compositions,
+        drift_flagged: stats.drift_flagged,
+        cache_invalidations: stats.cache_invalidations,
+    }
+}
+
+/// Drift-injection load scenario: serve one fixed request signature through
+/// three model regimes on a single long-lived server.
+///
+/// 1. **Clean**: `requests_per_phase` requests under `clean` — establishes
+///    the baseline selection; no drift flags expected.
+/// 2. **Corrupted**: `corrupted` is hot-swapped in (cache flushed), and the
+///    same signature is hammered again. A model set corrupted so that
+///    selection picks a plan whose steady-state prediction is wildly off
+///    should be flagged by the online detector within
+///    `min_samples + k_consecutive` requests, invalidating the cached plan.
+/// 3. **Recovered**: `clean` is restored; re-selection should return to the
+///    original composition with zero regret.
+///
+/// The harness is deliberately serial (one client): drift detection on the
+/// modeled engine is deterministic per signature, and serial phases keep the
+/// per-phase counters exact for the e2e assertions in
+/// `crates/bench/tests/drift.rs`.
+pub fn run_drift_scenario(
+    clean: Arc<Granii>,
+    corrupted: Arc<Granii>,
+    request: &ServeRequest,
+    requests_per_phase: usize,
+    serve: ServeConfig,
+) -> DriftScenarioReport {
+    let server = Server::start(clean.clone(), serve);
+    let clean_before = run_drift_phase(&server, request, requests_per_phase);
+    server.replace_granii(corrupted);
+    let corrupted_phase = run_drift_phase(&server, request, requests_per_phase);
+    server.replace_granii(clean);
+    let clean_after = run_drift_phase(&server, request, requests_per_phase);
+    let status = server.status();
+    server.shutdown();
+    DriftScenarioReport {
+        clean_before,
+        corrupted: corrupted_phase,
+        clean_after,
+        status,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,12 @@
 //!   and report measured per-iteration times alongside GRANII's choice,
 //! - `granii serve-demo` — stand up the concurrent serving runtime
 //!   (`granii-serve`), replay a request signature through it, and report
-//!   cache-cold vs. cache-hot latency plus the server's counters.
+//!   cache-cold vs. cache-hot latency plus the server's counters; can dump a
+//!   live status snapshot (`--status-out`), per-request trace lanes
+//!   (`--trace-out` + `--trace-every`), and a structured event log
+//!   (`--events-out`),
+//! - `granii serve-status` — render a dumped status snapshot as a
+//!   human-readable table.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -126,9 +131,16 @@ pub fn usage() -> String {
                  (--graph FILE | --dataset CODE [--scale tiny|small])\n\
        serve-demo --models FILE (--graph FILE | --dataset CODE [--scale ...])\n\
                  [--model NAME] [--k1 N] [--k2 N] [--requests N] [--workers N]\n\
+                 [--status-out FILE] [--trace-every N]\n\
+                 --status-out writes a live ServerStatus snapshot as JSON;\n\
+                 --trace-every samples every Nth request into its own trace\n\
+                 lane (needs --trace-out; default 1, 0 disables)\n\
+       serve-status --status FILE\n\
+                 render a serve-demo --status-out snapshot as a table\n\
      global observability flags (any command):\n\
        --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
        --metrics-out FILE   write counters + latency histograms as JSON\n\
+       --events-out FILE    write structured events (enqueue/shed/drift/...) as JSONL\n\
        --trace-summary      append a hierarchical span summary to the output"
         .to_string()
 }
@@ -214,7 +226,8 @@ pub fn load_graph(args: &Args) -> Result<Graph, CliError> {
 pub fn run(args: &Args) -> Result<String, CliError> {
     let tracing = args.get("trace-out").is_some()
         || args.get("metrics-out").is_some()
-        || args.get("trace-summary").is_some();
+        || args.get("trace-summary").is_some()
+        || args.get("events-out").is_some();
     if !tracing {
         return dispatch(args);
     }
@@ -223,6 +236,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let result = dispatch(args);
     granii_telemetry::disable();
     let spans = granii_telemetry::take_spans();
+    let events = granii_telemetry::take_events();
     let snapshot = granii_telemetry::metrics_snapshot();
     granii_telemetry::reset();
     let mut out = result?;
@@ -242,6 +256,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         )
         .expect("fmt");
     }
+    if let Some(path) = args.get("events-out") {
+        std::fs::write(path, granii_telemetry::export::events_jsonl(&events))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        writeln!(out, "events: {} -> {path}", events.len()).expect("fmt");
+    }
     if args.get("trace-summary").is_some() {
         out.push('\n');
         out.push_str(&granii_telemetry::export::summary(&spans));
@@ -258,6 +277,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "inspect" => cmd_inspect(args),
         "bench" => cmd_bench(args),
         "serve-demo" => cmd_serve_demo(args),
+        "serve-status" => cmd_serve_status(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -524,12 +544,16 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     let k2 = args.usize_or("k2", 32)?;
     let requests = args.usize_or("requests", 16)?.max(2);
     let workers = args.usize_or("workers", 2)?.max(1);
+    // Per-request trace-lane sampling; only takes effect when telemetry is
+    // on (i.e. --trace-out or a sibling flag was given).
+    let trace_every = args.usize_or("trace-every", 1)? as u64;
     let graph = std::sync::Arc::new(load_graph(args)?);
 
     let server = Server::start(
         granii,
         ServeConfig {
             workers,
+            trace_sample_every: trace_every,
             ..ServeConfig::default()
         },
     );
@@ -558,6 +582,7 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         }
     }
     let stats = server.stats();
+    let status = server.status();
     server.shutdown();
     hot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     writeln!(
@@ -578,7 +603,21 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         stats.shed
     )
     .expect("fmt");
+    if let Some(path) = args.get("status-out") {
+        std::fs::write(path, status.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        writeln!(out, "  status -> {path}").expect("fmt");
+    }
     Ok(out)
+}
+
+/// Renders a status snapshot (written by `serve-demo --status-out`) as the
+/// human-readable table — the `serve-status` command.
+fn cmd_serve_status(args: &Args) -> Result<String, CliError> {
+    let path = args.require("status")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let status =
+        granii_serve::ServerStatus::from_json(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(status.to_string())
 }
 
 fn cmd_inspect(args: &Args) -> Result<String, CliError> {

@@ -91,6 +91,29 @@ impl CostModelSet {
         Ok(total)
     }
 
+    /// Predicts the steady-state (per-iteration) latency of a candidate
+    /// program: the sum of its non-hoisted steps only. Unlike
+    /// [`CostModelSet::predict_program`] there is no amortized setup term,
+    /// which makes this directly comparable to the measured cost of one
+    /// [`crate::execplan::BoundPlan::iterate`] — the residual the serving
+    /// runtime's online drift detector watches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingCostModel`] if any per-iteration step
+    /// lacks a model.
+    pub fn predict_steady_state(
+        &self,
+        program: &CandidateProgram,
+        input: &FeaturizedInput,
+    ) -> Result<f64> {
+        let mut total = 0.0;
+        for step in program.steps.iter().filter(|s| !s.once) {
+            total += self.predict_step(step, input)?;
+        }
+        Ok(total)
+    }
+
     /// Serializes the set to JSON (the offline stage persists models for the
     /// online runtime).
     ///

@@ -812,6 +812,18 @@ struct IterProfiler {
     stats: Vec<InstrStat>,
 }
 
+/// What one observed steady-state iteration cost (see
+/// [`BoundPlan::iterate_observed`]): wall-clock on the host, and the
+/// engine-charged figure — which on a modeled engine is the deterministic
+/// device-model cost the drift detector compares against predictions.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationObservation {
+    /// Host wall-clock seconds for the iteration.
+    pub host_seconds: f64,
+    /// Engine-charged seconds for the iteration's kernels.
+    pub charged_seconds: f64,
+}
+
 /// An [`ExecPlan`] bound to concrete inputs: every value has a physical
 /// buffer, the hoisted setup has run, and [`BoundPlan::iterate`] performs one
 /// steady-state iteration with zero heap allocation and zero string lookups.
@@ -829,6 +841,31 @@ pub struct BoundPlan {
 }
 
 impl BoundPlan {
+    /// Runs one steady-state iteration and reports what it cost, both on the
+    /// host clock and in engine charges. The charged figure covers exactly
+    /// this iteration's kernels (hoisted setup was charged at bind time), so
+    /// on a modeled engine it is the deterministic measured counterpart of
+    /// [`crate::cost::CostModelSet::predict_steady_state`] — the pair the
+    /// serving runtime's drift detector compares. Allocation-free beyond
+    /// what [`BoundPlan::iterate`] itself does (nothing, in steady state).
+    ///
+    /// The output buffer stays readable through [`BoundPlan::output`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, as [`BoundPlan::iterate`] does.
+    pub fn iterate_observed(&mut self, exec: &Exec) -> Result<IterationObservation> {
+        let mark = exec.profile_mark();
+        let start = Instant::now();
+        self.iterate(exec)?;
+        let host_seconds = start.elapsed().as_secs_f64();
+        let summary = exec.charged_since(mark);
+        Ok(IterationObservation {
+            host_seconds,
+            charged_seconds: summary.charged_seconds,
+        })
+    }
+
     /// Runs one steady-state iteration and returns the output buffer.
     ///
     /// # Errors

@@ -265,7 +265,10 @@ mod tests {
         // The cap applies to the override path too, not just the default.
         let (n, warn) = resolve_threads(Some("512"), 8);
         assert_eq!(n, MAX_THREADS);
-        assert!(warn.is_none(), "in-range-after-cap override is not an error");
+        assert!(
+            warn.is_none(),
+            "in-range-after-cap override is not an error"
+        );
     }
 
     #[test]

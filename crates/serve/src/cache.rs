@@ -11,8 +11,8 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::sync::Arc;
+use std::sync::{Mutex, PoisonError};
 
 use granii_core::execplan::BoundPlan;
 use granii_gnn::spec::{Composition, ModelKind};
@@ -33,6 +33,11 @@ pub struct CachedPlan {
     pub composition: Composition,
     /// The bound plan; every `iterate` produces the identical output.
     pub bound: BoundPlan,
+    /// The cost model's steady-state (per-iteration) latency prediction for
+    /// this plan, captured at miss time. `None` when the entry was built on
+    /// the degraded path (no usable cost model), which also opts it out of
+    /// drift tracking — there is no prediction to drift from.
+    pub predicted_steady_seconds: Option<f64>,
 }
 
 struct Inner {
@@ -48,6 +53,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl PlanCache {
@@ -62,6 +68,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -118,6 +125,34 @@ impl PlanCache {
         entry
     }
 
+    /// Removes `key` if present, returning whether an entry was dropped.
+    /// Requests already holding the entry's `Arc` finish on the stale plan;
+    /// the *next* lookup misses and re-selects — exactly the semantics the
+    /// drift detector wants when a signature's cost model stops matching
+    /// reality. Counts toward [`PlanCache::invalidations`], not evictions.
+    pub fn invalidate(&self, key: PlanKey) -> bool {
+        let removed = self.lock().map.remove(&key).is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drops every entry (model hot-swap: all cached plans were selected and
+    /// bound under the old cost models). Counts each dropped entry as an
+    /// invalidation.
+    pub fn clear(&self) {
+        let dropped = {
+            let mut inner = self.lock();
+            let n = inner.map.len() as u64;
+            inner.map.clear();
+            n
+        };
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.lock().map.len()
@@ -141,6 +176,21 @@ impl PlanCache {
     /// Entries evicted to stay under capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries removed by [`PlanCache::invalidate`] / [`PlanCache::clear`]
+    /// (drift flags, model hot-swaps) rather than by LRU pressure.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cached keys, most-recently-used last (status surface).
+    pub fn keys(&self) -> Vec<PlanKey> {
+        let inner = self.lock();
+        let mut keyed: Vec<(u64, PlanKey)> =
+            inner.map.iter().map(|(k, (used, _))| (*used, *k)).collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, k)| k).collect()
     }
 
     /// Hit fraction over all lookups so far (0 when none).

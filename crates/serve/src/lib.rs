@@ -21,6 +21,18 @@
 //!   first eligible candidate) instead of failing the request, and the
 //!   response is marked `degraded` with a matching counter in
 //!   [`ServeStats`].
+//! - **Request-scoped tracing** ([`RequestTrace`] via
+//!   `ServeConfig::trace_sample_every`): 1-in-N sampled requests export a
+//!   per-request lane (queue / select / execute stages) through the
+//!   existing Chrome-trace exporter; unsampled requests carry nothing.
+//! - **Online drift detection** ([`DriftDetector`]): per plan signature, an
+//!   EWMA of the log-space residual between the cost model's steady-state
+//!   prediction and the engine-charged cost of each served iteration;
+//!   sustained mismatch flags the signature, invalidates its cached plan
+//!   (forcing re-selection), and surfaces in metrics, events, and status.
+//! - **Live status surface** ([`ServerStatus`] from [`Server::status`]):
+//!   queue depth, per-worker utilization, cache counters, degradation
+//!   rates, and the drift table — as JSON and a human-readable table.
 //!
 //! Outputs are deterministic: for a given request signature, cache hits,
 //! misses, and serial re-execution all produce bitwise-identical matrices
@@ -47,11 +59,17 @@
 //! ```
 
 mod cache;
+mod drift;
 mod error;
 mod server;
+mod status;
+mod trace;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use drift::{DriftConfig, DriftDetector, DriftRow, DriftVerdict};
 pub use error::{Result, ServeError};
 pub use server::{
     RequestTiming, ServeConfig, ServeRequest, ServeResponse, ServeStats, Server, Ticket,
 };
+pub use status::{CacheStatus, DriftSignatureStatus, ServerStatus, WorkerStatus};
+pub use trace::{RequestTrace, TRACE_LANE_BASE};

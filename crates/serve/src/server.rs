@@ -2,10 +2,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use granii_core::cost::FeaturizedInput;
 use granii_core::execplan::{ExecPlan, PlanInputs};
 use granii_core::{runtime, CoreError, Granii};
 use granii_gnn::spec::{Composition, LayerConfig, ModelKind};
@@ -13,8 +14,12 @@ use granii_gnn::{Exec, GraphCtx};
 use granii_graph::Graph;
 use granii_matrix::device::Engine;
 use granii_matrix::DenseMatrix;
+use granii_telemetry::event;
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
+use crate::status::{CacheStatus, DriftSignatureStatus, ServerStatus, WorkerStatus};
+use crate::trace::{self, RequestTrace};
 use crate::{Result, ServeError};
 
 /// Seed for the deterministic synthetic feature/weight matrices every
@@ -33,6 +38,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Maximum bound plans retained in the LRU cache.
     pub cache_capacity: usize,
+    /// Export a per-request trace lane for every `N`-th request (0 disables
+    /// sampling; has no effect unless telemetry is enabled). Unsampled
+    /// requests carry no trace state at all.
+    pub trace_sample_every: u64,
+    /// Online cost-model drift detection tuning.
+    pub drift: DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +52,8 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 64,
+            trace_sample_every: 0,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -146,12 +159,16 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Plan-cache evictions.
     pub cache_evictions: u64,
+    /// Plan-cache entries dropped by drift flags or model hot-swaps.
+    pub cache_invalidations: u64,
     /// Bound plans currently cached.
     pub cache_len: usize,
     /// Hit fraction over all cache lookups.
     pub cache_hit_rate: f64,
     /// Requests currently queued.
     pub queue_depth: usize,
+    /// Signatures flagged by the online drift detector (total flags).
+    pub drift_flagged: u64,
 }
 
 #[derive(Default)]
@@ -162,12 +179,26 @@ struct Counters {
     shed: AtomicU64,
     degraded: AtomicU64,
     deadline_expired: AtomicU64,
+    /// Cumulative over the server's lifetime — unlike the detector's own
+    /// tally, this survives [`Server::replace_granii`] resets.
+    drift_flagged: AtomicU64,
+}
+
+/// Per-worker activity slots (status surface): nanoseconds spent processing
+/// and requests handled, indexed by worker.
+struct WorkerSlot {
+    busy_ns: AtomicU64,
+    requests: AtomicU64,
 }
 
 struct Job {
+    id: u64,
     request: ServeRequest,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Stage stopwatch for 1-in-N sampled requests; `None` (the common
+    /// case) adds nothing to the steady-state path.
+    trace: Option<Box<RequestTrace>>,
     reply: mpsc::Sender<Result<ServeResponse>>,
 }
 
@@ -177,17 +208,30 @@ struct QueueState {
 }
 
 struct Inner {
-    granii: Arc<Granii>,
+    /// Behind a `RwLock` so [`Server::replace_granii`] can hot-swap cost
+    /// models; the per-request read is an uncontended lock + `Arc` clone.
+    granii: RwLock<Arc<Granii>>,
     cache: PlanCache,
+    drift: DriftDetector,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     config: ServeConfig,
     counters: Counters,
+    next_request_id: AtomicU64,
+    started: Instant,
+    workers: Vec<WorkerSlot>,
 }
 
 impl Inner {
     fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn granii(&self) -> Arc<Granii> {
+        self.granii
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -205,8 +249,8 @@ impl Ticket {
 
 /// A thread-safe serving runtime over one shared [`Granii`] instance.
 ///
-/// Requests flow submit → bounded queue → worker pool → (plan cache | select
-/// + bind) → `iterate` → reply. Dropping the server shuts it down
+/// Requests flow submit → bounded queue → worker pool → (plan cache, or
+/// select + bind) → `iterate` → reply. Dropping the server shuts it down
 /// gracefully: queued requests are drained, workers joined.
 pub struct Server {
     inner: Arc<Inner>,
@@ -216,9 +260,11 @@ pub struct Server {
 impl Server {
     /// Starts the worker pool.
     pub fn start(granii: Arc<Granii>, config: ServeConfig) -> Self {
+        let worker_count = config.workers.max(1);
         let inner = Arc::new(Inner {
-            granii,
+            granii: RwLock::new(granii),
             cache: PlanCache::new(config.cache_capacity),
+            drift: DriftDetector::new(config.drift),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
@@ -226,13 +272,21 @@ impl Server {
             not_empty: Condvar::new(),
             config: config.clone(),
             counters: Counters::default(),
+            next_request_id: AtomicU64::new(0),
+            started: Instant::now(),
+            workers: (0..worker_count)
+                .map(|_| WorkerSlot {
+                    busy_ns: AtomicU64::new(0),
+                    requests: AtomicU64::new(0),
+                })
+                .collect(),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("granii-serve-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -240,6 +294,10 @@ impl Server {
     }
 
     /// Submits a request without blocking on its execution.
+    ///
+    /// Assigns the request its id; every 1-in-`trace_sample_every` id
+    /// (telemetry permitting) carries a [`RequestTrace`] that becomes a
+    /// per-request lane in the Chrome trace.
     ///
     /// # Errors
     ///
@@ -249,32 +307,51 @@ impl Server {
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
         let now = Instant::now();
         let deadline = request.timeout.map(|t| now + t);
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let trace = if trace::sampled(id, self.inner.config.trace_sample_every) {
+            Some(Box::new(RequestTrace::new(id)))
+        } else {
+            None
+        };
         let (ticket, depth) = {
             let mut q = self.inner.lock_queue();
             if q.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
             if q.jobs.len() >= self.inner.config.queue_depth {
+                let depth = q.jobs.len();
                 drop(q);
                 self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
                 granii_telemetry::counter_add("serve.shed", 1);
+                // Shed requests must not leave the gauges stale: the queue
+                // is observably full right now, and the hit rate is whatever
+                // the cache last reported.
+                granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
+                granii_telemetry::gauge_set("serve.cache_hit_rate", self.inner.cache.hit_rate());
+                event!("serve.shed", id = id, depth = depth);
                 return Err(ServeError::Overloaded {
                     depth: self.inner.config.queue_depth,
                 });
             }
             let (tx, rx) = mpsc::channel();
             q.jobs.push_back(Job {
+                id,
                 request,
                 enqueued: now,
                 deadline,
+                trace,
                 reply: tx,
             });
             (Ticket { rx }, q.jobs.len())
         };
         self.inner.not_empty.notify_one();
-        self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.submitted", 1);
         granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
+        event!("serve.enqueue", id = id, depth = depth);
         Ok(ticket)
     }
 
@@ -285,6 +362,24 @@ impl Server {
     /// Propagates submit errors and the request's execution outcome.
     pub fn process(&self, request: ServeRequest) -> Result<ServeResponse> {
         self.submit(request)?.wait()
+    }
+
+    /// Hot-swaps the underlying [`Granii`] instance (new cost models —
+    /// e.g. after an offline retrain repaired a drift-flagged model). Every
+    /// cached plan was selected under the old models, so the plan cache is
+    /// flushed and the drift detector's residual history dropped; in-flight
+    /// requests finish on the instance they started with. The replacement
+    /// must target the same device as the original — worker engines are
+    /// built once, at startup.
+    pub fn replace_granii(&self, granii: Arc<Granii>) {
+        *self
+            .inner
+            .granii
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = granii;
+        self.inner.cache.clear();
+        self.inner.drift.reset();
+        event!("serve.model_swap");
     }
 
     /// Current serving counters.
@@ -300,9 +395,90 @@ impl Server {
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             cache_evictions: self.inner.cache.evictions(),
+            cache_invalidations: self.inner.cache.invalidations(),
             cache_len: self.inner.cache.len(),
             cache_hit_rate: self.inner.cache.hit_rate(),
             queue_depth: self.inner.lock_queue().jobs.len(),
+            drift_flagged: c.drift_flagged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Assembles the live status snapshot (see [`ServerStatus`]): queue and
+    /// worker utilization, cache counters, degradation rates, and the drift
+    /// detector's per-signature residual table.
+    pub fn status(&self) -> ServerStatus {
+        let stats = self.stats();
+        let uptime_seconds = self.inner.started.elapsed().as_secs_f64();
+        let completed = stats.completed.max(1) as f64;
+        ServerStatus {
+            uptime_seconds,
+            queue_depth: stats.queue_depth,
+            queue_capacity: self.inner.config.queue_depth,
+            submitted: stats.submitted,
+            completed: stats.completed,
+            failed: stats.failed,
+            shed: stats.shed,
+            degraded: stats.degraded,
+            deadline_expired: stats.deadline_expired,
+            degraded_rate: if stats.completed == 0 {
+                0.0
+            } else {
+                stats.degraded as f64 / completed
+            },
+            deadline_expired_rate: if stats.completed == 0 {
+                0.0
+            } else {
+                stats.deadline_expired as f64 / completed
+            },
+            drift_flagged: stats.drift_flagged,
+            workers: self
+                .inner
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, slot)| {
+                    let busy_seconds = slot.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+                    WorkerStatus {
+                        index,
+                        requests: slot.requests.load(Ordering::Relaxed),
+                        busy_seconds,
+                        utilization: if uptime_seconds > 0.0 {
+                            (busy_seconds / uptime_seconds).min(1.0)
+                        } else {
+                            0.0
+                        },
+                    }
+                })
+                .collect(),
+            cache: CacheStatus {
+                hits: stats.cache_hits,
+                misses: stats.cache_misses,
+                evictions: stats.cache_evictions,
+                invalidations: stats.cache_invalidations,
+                len: stats.cache_len,
+                capacity: self.inner.config.cache_capacity,
+                hit_rate: stats.cache_hit_rate,
+            },
+            drift: self
+                .inner
+                .drift
+                .rows()
+                .into_iter()
+                .map(|row| {
+                    let (model, fingerprint, k1, k2) = row.key;
+                    DriftSignatureStatus {
+                        model: model.name().to_owned(),
+                        fingerprint: format!("{fingerprint:016x}"),
+                        k1,
+                        k2,
+                        ewma_residual: row.ewma_residual,
+                        last_residual: row.last_residual,
+                        samples: row.samples,
+                        flags: row.flags,
+                        cooldown: u64::from(row.cooldown),
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -327,12 +503,12 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, index: usize) {
     // Each worker owns its engine: `Engine` accumulates a profile under a
     // mutex per kernel charge, so sharing one across workers would serialize
     // them — and the profile is drained per request below to keep a
     // long-running server's memory flat.
-    let engine = Engine::modeled(inner.granii.device());
+    let engine = Engine::modeled(inner.granii().device());
     let exec = Exec::real(&engine);
     loop {
         let job = {
@@ -353,8 +529,14 @@ fn worker_loop(inner: &Inner) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let id = job.id;
         let reply = job.reply.clone();
+        let processing = Instant::now();
         let result = process_job(inner, &exec, job);
+        let slot = &inner.workers[index];
+        slot.busy_ns
+            .fetch_add(processing.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slot.requests.fetch_add(1, Ordering::Relaxed);
         match &result {
             Ok(response) => {
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -367,11 +549,37 @@ fn worker_loop(inner: &Inner) {
                     "serve.request_latency",
                     response.timing.total_seconds,
                 );
+                // Outcome-split latency histograms: a healthy hit rate can
+                // hide a pathological miss tail in the combined histogram.
+                let outcome = if response.degraded {
+                    "serve.latency.degraded"
+                } else if response.cache_hit {
+                    "serve.latency.hit"
+                } else {
+                    "serve.latency.miss"
+                };
+                granii_telemetry::histogram_record_seconds(outcome, response.timing.total_seconds);
                 granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+                event!(
+                    "serve.complete",
+                    id = id,
+                    total_seconds = response.timing.total_seconds,
+                    cache_hit = u64::from(response.cache_hit),
+                    degraded = u64::from(response.degraded),
+                );
             }
             Err(_) => {
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
                 granii_telemetry::counter_add("serve.failed", 1);
+                // The gauges must track reality on the failure path too —
+                // a failed request still consumed a queue slot and a cache
+                // lookup.
+                granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+                granii_telemetry::gauge_set(
+                    "serve.queue_depth",
+                    inner.lock_queue().jobs.len() as f64,
+                );
+                event!("serve.failed", id = id);
             }
         }
         // Receiver may have given up; a dead ticket is not a worker error.
@@ -386,22 +594,24 @@ fn worker_loop(inner: &Inner) {
 /// predict a candidate): the plan's default composition — the first eligible
 /// candidate, which every compiled model is guaranteed to have.
 fn choose_composition(
-    inner: &Inner,
+    granii: &Granii,
     request: &ServeRequest,
     cfg: LayerConfig,
     expired: bool,
+    id: u64,
 ) -> Result<(Composition, bool)> {
     if !expired {
-        match inner
-            .granii
-            .select_with_config(request.model, &request.graph, cfg, request.iterations)
-        {
+        match granii.select_with_config(request.model, &request.graph, cfg, request.iterations) {
             Ok(selection) => return Ok((selection.composition, false)),
-            Err(CoreError::MissingCostModel { .. }) => {} // fall through, degraded
+            Err(CoreError::MissingCostModel { .. }) => {
+                event!("serve.degrade", id = id, reason = "missing_cost_model");
+            }
             Err(e) => return Err(e.into()),
         }
+    } else {
+        event!("serve.degrade", id = id, reason = "deadline_expired");
     }
-    let plan = inner.granii.compiled(request.model, cfg)?;
+    let plan = granii.compiled(request.model, cfg)?;
     let eligible = plan.eligible(cfg.k_in, cfg.k_out);
     let first = eligible.first().ok_or(CoreError::NoCandidates {
         model: request.model.name().to_owned(),
@@ -411,9 +621,11 @@ fn choose_composition(
 
 fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
     let Job {
+        id,
         request,
         enqueued,
         deadline,
+        mut trace,
         ..
     } = job;
     let _span = granii_telemetry::span!(
@@ -422,8 +634,12 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         nodes = request.graph.num_nodes(),
     );
     let start = Instant::now();
+    if let Some(t) = trace.as_deref_mut() {
+        t.mark_dequeued();
+    }
     let queue_seconds = start.duration_since(enqueued).as_secs_f64();
     granii_telemetry::histogram_record_seconds("serve.queue_wait", queue_seconds);
+    event!("serve.dequeue", id = id, queue_seconds = queue_seconds);
 
     // Deadline policy: checked once, at dequeue. An expired request is still
     // served — a late answer beats none — but skips the cost models.
@@ -444,8 +660,12 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         Some(entry) => (entry, true, false, 0.0),
         None => {
             let t_select = Instant::now();
-            let (composition, degraded) = choose_composition(inner, &request, cfg, expired)?;
-            let plan = inner.granii.compiled(request.model, cfg)?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.mark_select_start();
+            }
+            let granii = inner.granii();
+            let (composition, degraded) = choose_composition(&granii, &request, cfg, expired, id)?;
+            let plan = granii.compiled(request.model, cfg)?;
             let candidate = plan
                 .candidates
                 .iter()
@@ -456,24 +676,89 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
                         composition.name()
                     ))
                 })?;
+            // The drift detector's reference point: what the current cost
+            // models claim one steady-state iteration of this plan costs.
+            // Unpredictable (degraded path) → None, which opts the
+            // signature out of drift tracking.
+            let features = FeaturizedInput::extract(&request.graph, request.k1, request.k2);
+            let predicted_steady_seconds = granii
+                .cost_models()
+                .predict_steady_state(&candidate.program, &features)
+                .ok();
             let ctx = GraphCtx::new(&request.graph).map_err(CoreError::from)?;
             let h = DenseMatrix::random(request.graph.num_nodes(), request.k1, 1.0, SERVE_SEED);
             let plan_inputs = PlanInputs::for_model(request.model, cfg, &ctx, h, SERVE_SEED + 1);
             let exec_plan = ExecPlan::build(&candidate.program)?;
             let bound = exec_plan.bind(exec, &plan_inputs.as_program_inputs())?;
-            let entry = inner.cache.insert(key, CachedPlan { composition, bound });
+            let entry = inner.cache.insert(
+                key,
+                CachedPlan {
+                    composition,
+                    bound,
+                    predicted_steady_seconds,
+                },
+            );
+            if let Some(t) = trace.as_deref_mut() {
+                t.mark_select_done();
+            }
             (entry, false, degraded, t_select.elapsed().as_secs_f64())
         }
     };
 
     let t_execute = Instant::now();
-    let (composition, output) = {
+    if let Some(t) = trace.as_deref_mut() {
+        t.mark_execute_start();
+    }
+    let (composition, output, observed, predicted_steady_seconds) = {
         let mut cached = entry.lock().unwrap_or_else(PoisonError::into_inner);
-        let output = cached.bound.iterate(exec)?.clone();
-        (cached.composition, output)
+        let observed = cached.bound.iterate_observed(exec)?;
+        let output = cached.bound.output()?.clone();
+        (
+            cached.composition,
+            output,
+            observed,
+            cached.predicted_steady_seconds,
+        )
     };
+    if let Some(t) = trace.as_deref_mut() {
+        t.mark_execute_done();
+    }
     let execute_seconds = t_execute.elapsed().as_secs_f64();
-    granii_telemetry::counter_add(if cache_hit { "serve.cache_hits" } else { "serve.cache_misses" }, 1);
+    granii_telemetry::counter_add(
+        if cache_hit {
+            "serve.cache_hits"
+        } else {
+            "serve.cache_misses"
+        },
+        1,
+    );
+
+    // Online drift check: compare the engine-charged cost of the iteration
+    // just run against the cost model's steady-state promise for this plan.
+    if let Some(predicted) = predicted_steady_seconds {
+        if let DriftVerdict::Flagged { ewma_residual } =
+            inner
+                .drift
+                .observe(key, observed.charged_seconds, predicted)
+        {
+            inner.cache.invalidate(key);
+            inner.counters.drift_flagged.fetch_add(1, Ordering::Relaxed);
+            granii_telemetry::counter_add("serve.drift_flagged", 1);
+            event!(
+                "serve.drift",
+                id = id,
+                model = request.model.name(),
+                fingerprint = format!("{:016x}", key.1),
+                k1 = request.k1,
+                k2 = request.k2,
+                ewma_residual = ewma_residual,
+            );
+        }
+    }
+
+    if let Some(t) = trace.take() {
+        t.finish(request.model.name(), cache_hit, degraded);
+    }
 
     Ok(ServeResponse {
         composition,

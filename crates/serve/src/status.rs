@@ -1,0 +1,277 @@
+//! Live serving status surface: a serializable point-in-time snapshot.
+//!
+//! [`crate::Server::status`] assembles a [`ServerStatus`] from state the
+//! server already maintains — queue depth, per-worker busy accounting, cache
+//! counters, degradation rates, and the drift detector's per-signature
+//! residual table. The struct serializes to JSON (`serde` derive) for
+//! machine consumers and renders a human-readable table via `Display`; the
+//! CLI exposes both (`serve-demo --status-out`, `cli serve-status`).
+//!
+//! Graph fingerprints are rendered as **hex strings**, not numbers: the
+//! JSON layer carries numbers as `f64`, which silently mangles 64-bit
+//! fingerprints above 2⁵³.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One worker's utilization since server start.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerStatus {
+    /// Worker index (matches the `granii-serve-{i}` thread name).
+    pub index: usize,
+    /// Requests this worker has processed.
+    pub requests: u64,
+    /// Seconds this worker spent processing (not parked on the queue).
+    pub busy_seconds: f64,
+    /// `busy_seconds / uptime_seconds`, in [0, 1].
+    pub utilization: f64,
+}
+
+/// Plan-cache counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheStatus {
+    /// Lookups that found a bound plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
+    /// Entries dropped by drift flags or model hot-swaps.
+    pub invalidations: u64,
+    /// Bound plans currently cached.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Hit fraction over all lookups (0 when none).
+    pub hit_rate: f64,
+}
+
+/// One row of the drift table: a tracked plan signature and its residuals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftSignatureStatus {
+    /// Model family name (`gcn`, `gat`, ...).
+    pub model: String,
+    /// Graph fingerprint as a zero-padded hex string (see module docs).
+    pub fingerprint: String,
+    /// Input embedding width.
+    pub k1: usize,
+    /// Output embedding width.
+    pub k2: usize,
+    /// Smoothed log-space residual ln(measured) − ln(predicted); positive
+    /// means slower than the cost model promised.
+    pub ewma_residual: f64,
+    /// Most recent raw residual.
+    pub last_residual: f64,
+    /// Residual observations recorded.
+    pub samples: u64,
+    /// Times this signature has been flagged.
+    pub flags: u64,
+    /// Remaining flag-suppression observations.
+    pub cooldown: u64,
+}
+
+/// Point-in-time serving snapshot: everything an operator asks first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Configured queue bound.
+    pub queue_capacity: usize,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed with a response.
+    pub completed: u64,
+    /// Requests failed with an error.
+    pub failed: u64,
+    /// Requests shed at submit (queue full).
+    pub shed: u64,
+    /// Requests served via the default-composition fallback.
+    pub degraded: u64,
+    /// Requests whose deadline had expired at dequeue.
+    pub deadline_expired: u64,
+    /// `degraded / completed` (0 when none completed).
+    pub degraded_rate: f64,
+    /// `deadline_expired / completed` (0 when none completed).
+    pub deadline_expired_rate: f64,
+    /// Signatures flagged by the drift detector (total across signatures).
+    pub drift_flagged: u64,
+    /// Per-worker utilization, indexed by worker.
+    pub workers: Vec<WorkerStatus>,
+    /// Plan-cache counters.
+    pub cache: CacheStatus,
+    /// Drift table, one row per tracked signature, sorted by key.
+    pub drift: Vec<DriftSignatureStatus>,
+}
+
+impl ServerStatus {
+    /// Serializes to JSON. Infallible for this struct: every field is a
+    /// number, string, or list of such.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ServerStatus serializes")
+    }
+
+    /// Parses a snapshot previously produced by [`ServerStatus::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(json: &str) -> std::result::Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+impl fmt::Display for ServerStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "granii-serve status (uptime {:.1}s)",
+            self.uptime_seconds
+        )?;
+        writeln!(
+            f,
+            "  queue    {}/{} queued | submitted {} completed {} failed {} shed {}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed
+        )?;
+        writeln!(
+            f,
+            "  quality  degraded {} ({:.1}%) | deadline-expired {} ({:.1}%) | drift flags {}",
+            self.degraded,
+            self.degraded_rate * 100.0,
+            self.deadline_expired,
+            self.deadline_expired_rate * 100.0,
+            self.drift_flagged
+        )?;
+        writeln!(
+            f,
+            "  cache    {}/{} entries | hits {} misses {} ({:.1}% hit) | evictions {} invalidations {}",
+            self.cache.len,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate * 100.0,
+            self.cache.evictions,
+            self.cache.invalidations
+        )?;
+        writeln!(f, "  workers  (busy share of uptime)")?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "    #{:<3} {:>8} requests | busy {:>9.3}s | {:>5.1}%",
+                w.index,
+                w.requests,
+                w.busy_seconds,
+                w.utilization * 100.0
+            )?;
+        }
+        if self.drift.is_empty() {
+            writeln!(f, "  drift    no tracked signatures")?;
+        } else {
+            writeln!(
+                f,
+                "  drift    {:<6} {:<18} {:>5} {:>5} {:>9} {:>9} {:>7} {:>5} {:>8}",
+                "model", "fingerprint", "k1", "k2", "ewma", "last", "samples", "flags", "cooldown"
+            )?;
+            for row in &self.drift {
+                writeln!(
+                    f,
+                    "           {:<6} {:<18} {:>5} {:>5} {:>9.3} {:>9.3} {:>7} {:>5} {:>8}",
+                    row.model,
+                    row.fingerprint,
+                    row.k1,
+                    row.k2,
+                    row.ewma_residual,
+                    row.last_residual,
+                    row.samples,
+                    row.flags,
+                    row.cooldown
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServerStatus {
+        ServerStatus {
+            uptime_seconds: 12.5,
+            queue_depth: 3,
+            queue_capacity: 64,
+            submitted: 100,
+            completed: 95,
+            failed: 1,
+            shed: 4,
+            degraded: 5,
+            deadline_expired: 2,
+            degraded_rate: 5.0 / 95.0,
+            deadline_expired_rate: 2.0 / 95.0,
+            drift_flagged: 1,
+            workers: vec![WorkerStatus {
+                index: 0,
+                requests: 95,
+                busy_seconds: 9.0,
+                utilization: 0.72,
+            }],
+            cache: CacheStatus {
+                hits: 90,
+                misses: 6,
+                evictions: 1,
+                invalidations: 1,
+                len: 4,
+                capacity: 64,
+                hit_rate: 90.0 / 96.0,
+            },
+            drift: vec![DriftSignatureStatus {
+                model: "gcn".to_owned(),
+                fingerprint: format!("{:016x}", 0xdead_beef_u64),
+                k1: 2048,
+                k2: 256,
+                ewma_residual: 13.2,
+                last_residual: 13.8,
+                samples: 7,
+                flags: 1,
+                cooldown: 30,
+            }],
+        }
+    }
+
+    #[test]
+    fn status_round_trips_through_json() {
+        let status = sample();
+        let parsed = ServerStatus::from_json(&status.to_json()).unwrap();
+        assert_eq!(parsed.queue_depth, 3);
+        assert_eq!(parsed.drift_flagged, 1);
+        assert_eq!(parsed.workers.len(), 1);
+        assert_eq!(parsed.workers[0].requests, 95);
+        assert_eq!(parsed.cache.invalidations, 1);
+        assert_eq!(parsed.drift.len(), 1);
+        // Hex-string fingerprints survive exactly (the reason they are not
+        // JSON numbers: the JSON layer is f64-backed).
+        assert_eq!(
+            parsed.drift[0].fingerprint,
+            format!("{:016x}", 0xdead_beef_u64)
+        );
+        assert!((parsed.drift[0].ewma_residual - 13.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_key_lines() {
+        let text = sample().to_string();
+        assert!(text.contains("granii-serve status"));
+        assert!(text.contains("drift flags 1"));
+        assert!(text.contains("invalidations 1"));
+        assert!(text.contains("gcn"));
+        assert!(text.contains(&format!("{:016x}", 0xdead_beef_u64)));
+    }
+}

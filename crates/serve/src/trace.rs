@@ -1,0 +1,159 @@
+//! Request-scoped tracing: per-request lanes in the Chrome trace.
+//!
+//! Worker-thread spans interleave requests, which makes "where did request
+//! 4217 spend its 31 ms" unanswerable from thread lanes alone. Instead, a
+//! 1-in-N sampled request carries a [`RequestTrace`] — a fixed-size stage
+//! stopwatch — through the queue, cache lookup, selection, and execution.
+//! At completion the worker converts it into synthetic
+//! [`granii_telemetry::SpanRecord`]s on a **virtual thread id**
+//! (`TRACE_LANE_BASE + request id`), so the existing Chrome-trace exporter
+//! renders each sampled request as its own lane with no exporter changes:
+//! a `serve.req` root spanning submit→complete, with `serve.req.queue`,
+//! `serve.req.select`, and `serve.req.execute` children.
+//!
+//! Unsampled requests carry `None` and allocate nothing: sampling is decided
+//! at `submit` with one modulo on the request id, and every stage mark is a
+//! field store into the pre-allocated box.
+
+use granii_telemetry::{AttrValue, SpanRecord};
+
+/// Virtual-tid base for per-request lanes. Real thread ids are small
+/// sequential integers, so lanes starting here cannot collide with them.
+pub const TRACE_LANE_BASE: u64 = 10_000;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stage {
+    start_us: u64,
+    dur_us: u64,
+    set: bool,
+}
+
+/// Stage stopwatch for one sampled request. Created at `submit`; every mark
+/// is alloc-free. Boxed into the job so the unsampled path stays a single
+/// `Option` niche.
+#[derive(Debug)]
+pub struct RequestTrace {
+    request_id: u64,
+    submit_us: u64,
+    queue: Stage,
+    select: Stage,
+    execute: Stage,
+}
+
+impl RequestTrace {
+    /// Starts the stopwatch at submit time.
+    pub fn new(request_id: u64) -> Self {
+        RequestTrace {
+            request_id,
+            submit_us: granii_telemetry::now_us(),
+            queue: Stage::default(),
+            select: Stage::default(),
+            execute: Stage::default(),
+        }
+    }
+
+    /// The id this trace belongs to.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Marks the request leaving the queue: the queue stage is
+    /// submit→now.
+    pub fn mark_dequeued(&mut self) {
+        let now = granii_telemetry::now_us();
+        self.queue = Stage {
+            start_us: self.submit_us,
+            dur_us: now.saturating_sub(self.submit_us),
+            set: true,
+        };
+    }
+
+    /// Marks the start of selection (cache-miss path only).
+    pub fn mark_select_start(&mut self) {
+        self.select.start_us = granii_telemetry::now_us();
+    }
+
+    /// Marks the end of selection.
+    pub fn mark_select_done(&mut self) {
+        let now = granii_telemetry::now_us();
+        self.select.dur_us = now.saturating_sub(self.select.start_us);
+        self.select.set = true;
+    }
+
+    /// Marks the start of plan execution.
+    pub fn mark_execute_start(&mut self) {
+        self.execute.start_us = granii_telemetry::now_us();
+    }
+
+    /// Marks the end of plan execution.
+    pub fn mark_execute_done(&mut self) {
+        let now = granii_telemetry::now_us();
+        self.execute.dur_us = now.saturating_sub(self.execute.start_us);
+        self.execute.set = true;
+    }
+
+    /// Emits the request's lane: a root span plus one child per stage that
+    /// ran, on virtual tid `TRACE_LANE_BASE + request_id`. Called once, at
+    /// request completion, by the worker.
+    pub fn finish(self, model: &'static str, cache_hit: bool, degraded: bool) {
+        let end_us = granii_telemetry::now_us();
+        let tid = TRACE_LANE_BASE + self.request_id;
+        let mut seq = 0u64;
+        granii_telemetry::record_span(SpanRecord {
+            name: "serve.req",
+            start_us: self.submit_us,
+            dur_us: end_us.saturating_sub(self.submit_us),
+            tid,
+            depth: 0,
+            seq,
+            attrs: vec![
+                ("request_id", AttrValue::U64(self.request_id)),
+                ("model", AttrValue::Str(model.to_owned())),
+                ("cache_hit", AttrValue::U64(u64::from(cache_hit))),
+                ("degraded", AttrValue::U64(u64::from(degraded))),
+            ],
+        });
+        for (name, stage) in [
+            ("serve.req.queue", self.queue),
+            ("serve.req.select", self.select),
+            ("serve.req.execute", self.execute),
+        ] {
+            if !stage.set {
+                continue;
+            }
+            seq += 1;
+            granii_telemetry::record_span(SpanRecord {
+                name,
+                start_us: stage.start_us,
+                dur_us: stage.dur_us,
+                tid,
+                depth: 1,
+                seq,
+                attrs: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Whether request `id` should carry a trace: telemetry must be recording
+/// and `sample_every` must divide the id (`0` disables sampling entirely).
+pub fn sampled(id: u64, sample_every: u64) -> bool {
+    granii_telemetry::enabled() && sample_every > 0 && id.is_multiple_of(sample_every)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_gate_honors_rate_and_enable() {
+        granii_telemetry::disable();
+        assert!(!sampled(0, 1), "disabled telemetry never samples");
+        granii_telemetry::enable();
+        assert!(sampled(0, 4));
+        assert!(!sampled(1, 4));
+        assert!(sampled(8, 4));
+        assert!(!sampled(8, 0), "rate 0 disables sampling");
+        granii_telemetry::disable();
+    }
+}

@@ -197,11 +197,13 @@ fn expired_deadline_serves_degraded_instead_of_failing() {
     // A zero timeout is always expired by dequeue time.
     let response = server
         .process(
-            ServeRequest::new(ModelKind::Gcn, graph.clone(), 48, 96)
-                .with_timeout(Duration::ZERO),
+            ServeRequest::new(ModelKind::Gcn, graph.clone(), 48, 96).with_timeout(Duration::ZERO),
         )
         .expect("expired request is served, not dropped");
-    assert!(response.degraded, "expired miss uses the default composition");
+    assert!(
+        response.degraded,
+        "expired miss uses the default composition"
+    );
     let stats = server.stats();
     assert_eq!(stats.deadline_expired, 1);
     assert_eq!(stats.degraded, 1);
@@ -209,9 +211,7 @@ fn expired_deadline_serves_degraded_instead_of_failing() {
     // Once the plan is cached, even an expired request serves at full
     // quality: the cache makes the deadline moot.
     let hit = server
-        .process(
-            ServeRequest::new(ModelKind::Gcn, graph, 48, 96).with_timeout(Duration::ZERO),
-        )
+        .process(ServeRequest::new(ModelKind::Gcn, graph, 48, 96).with_timeout(Duration::ZERO))
         .expect("request completes");
     assert!(hit.cache_hit);
     assert!(!hit.degraded);
@@ -247,7 +247,11 @@ fn lru_eviction_keeps_cache_at_capacity() {
     server
         .process(ServeRequest::new(ModelKind::Gcn, graph, 64, 16))
         .expect("request completes");
-    assert_eq!(server.stats().cache_misses, 5, "evicted signature re-misses");
+    assert_eq!(
+        server.stats().cache_misses,
+        5,
+        "evicted signature re-misses"
+    );
     server.shutdown();
 }
 
@@ -296,6 +300,8 @@ fn shutdown_drains_queued_requests() {
         .collect();
     server.shutdown();
     for ticket in tickets {
-        ticket.wait().expect("queued request served before shutdown");
+        ticket
+            .wait()
+            .expect("queued request served before shutdown");
     }
 }

@@ -1,0 +1,106 @@
+//! Request-scoped tracing acceptance: 1-in-N sampled requests render as
+//! per-request lanes (virtual tids at `TRACE_LANE_BASE + id`) through the
+//! existing Chrome-trace exporter, unsampled requests emit no lane, and the
+//! structured event stream records every request's lifecycle.
+//!
+//! Single `#[test]` binary: the span buffers and event sink are
+//! process-global, so no other test may record serve spans concurrently.
+
+use std::sync::Arc;
+
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+use granii_serve::{ServeConfig, ServeRequest, Server, TRACE_LANE_BASE};
+
+#[test]
+fn sampled_requests_become_chrome_trace_lanes() {
+    let granii = Arc::new(
+        Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast())
+            .expect("fast offline training"),
+    );
+    let graph = Arc::new(Dataset::CoAuthorsCiteseer.load(Scale::Tiny).unwrap());
+    let request = || ServeRequest::new(ModelKind::Gcn, graph.clone(), 64, 128);
+
+    granii_telemetry::reset();
+    granii_telemetry::enable();
+    // Sample every 2nd request: ids 0 and 2 trace, ids 1 and 3 do not.
+    let server = Server::start(
+        granii,
+        ServeConfig {
+            workers: 1,
+            trace_sample_every: 2,
+            ..ServeConfig::default()
+        },
+    );
+    for _ in 0..4 {
+        server.process(request()).expect("request completes");
+    }
+    server.shutdown();
+    granii_telemetry::disable();
+    let spans = granii_telemetry::take_spans();
+    let events = granii_telemetry::take_events();
+    granii_telemetry::reset();
+
+    // Exactly the sampled ids own a lane.
+    let lane_tids: Vec<u64> = {
+        let mut tids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == "serve.req")
+            .map(|s| s.tid)
+            .collect();
+        tids.sort_unstable();
+        tids
+    };
+    assert_eq!(
+        lane_tids,
+        vec![TRACE_LANE_BASE, TRACE_LANE_BASE + 2],
+        "one lane root per sampled request id"
+    );
+
+    // Request 0 missed (queue + select + execute children); request 2 hit
+    // (no select stage — the cache made selection free).
+    let children = |tid: u64| -> Vec<&str> {
+        spans
+            .iter()
+            .filter(|s| s.tid == tid && s.depth == 1)
+            .map(|s| s.name)
+            .collect()
+    };
+    assert_eq!(
+        children(TRACE_LANE_BASE),
+        vec!["serve.req.queue", "serve.req.select", "serve.req.execute"]
+    );
+    assert_eq!(
+        children(TRACE_LANE_BASE + 2),
+        vec!["serve.req.queue", "serve.req.execute"]
+    );
+    // Stage children nest inside their lane's root span.
+    let root = spans
+        .iter()
+        .find(|s| s.name == "serve.req" && s.tid == TRACE_LANE_BASE)
+        .expect("lane root");
+    for child in spans.iter().filter(|s| s.tid == root.tid && s.depth == 1) {
+        assert!(child.start_us >= root.start_us);
+        assert!(child.start_us + child.dur_us <= root.start_us + root.dur_us);
+    }
+
+    // The existing exporter renders the lanes with no changes: the lane tid
+    // appears as a regular Chrome-trace thread.
+    let chrome = granii_telemetry::export::chrome_trace(&spans);
+    assert!(chrome.contains("serve.req"));
+    assert!(chrome.contains(&TRACE_LANE_BASE.to_string()));
+
+    // Lifecycle events cover every request, sampled or not.
+    for name in ["serve.enqueue", "serve.dequeue", "serve.complete"] {
+        assert_eq!(
+            events.iter().filter(|e| e.name == name).count(),
+            4,
+            "{name} must fire once per request"
+        );
+    }
+    let jsonl = granii_telemetry::export::events_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), events.len());
+    assert!(jsonl.contains("serve.complete"));
+}

@@ -1,0 +1,58 @@
+//! The observability zero-overhead contract: with trace sampling disabled
+//! (`trace_sample_every: 0`), steady-state cache-hit serving performs zero
+//! dense/sparse/workspace heap allocations — the same counters the
+//! compile-once engine's steady-state contract is asserted against.
+//!
+//! Single `#[test]` binary: the allocation counters are process-global, so
+//! the assertion must run where no other test allocates matrices
+//! concurrently.
+
+use std::sync::Arc;
+
+use granii_core::runtime::allocation_counter_total;
+use granii_core::{Granii, GraniiOptions};
+use granii_gnn::spec::ModelKind;
+use granii_graph::datasets::{Dataset, Scale};
+use granii_matrix::device::DeviceKind;
+use granii_serve::{ServeConfig, ServeRequest, Server};
+
+#[test]
+fn unsampled_cache_hits_do_not_allocate() {
+    let granii = Arc::new(
+        Granii::train_for_device(DeviceKind::H100, GraniiOptions::fast())
+            .expect("fast offline training"),
+    );
+    let graph = Arc::new(Dataset::Mycielskian17.load(Scale::Tiny).unwrap());
+    let request = || ServeRequest::new(ModelKind::Gcn, graph.clone(), 64, 128);
+
+    granii_telemetry::reset();
+    granii_telemetry::enable();
+    let server = Server::start(
+        granii,
+        ServeConfig {
+            workers: 1,
+            trace_sample_every: 0,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Warm the signature: the miss selects, binds, and allocates workspaces.
+    let warm = server.process(request()).expect("warm-up miss completes");
+    assert!(!warm.cache_hit);
+
+    let before = allocation_counter_total();
+    for _ in 0..10 {
+        let response = server.process(request()).expect("hit completes");
+        assert!(response.cache_hit, "warmed signature must hit");
+    }
+    let after = allocation_counter_total();
+    assert_eq!(
+        after - before,
+        0,
+        "unsampled cache hits allocated dense/sparse/workspace buffers"
+    );
+
+    server.shutdown();
+    granii_telemetry::disable();
+    granii_telemetry::reset();
+}

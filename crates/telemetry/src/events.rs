@@ -1,0 +1,115 @@
+//! Structured event log: discrete, timestamped records of things that
+//! *happened* (a request was enqueued, shed, completed; a drift flag fired),
+//! as opposed to spans, which measure how long things *took*.
+//!
+//! Events land in one global bounded sink (drop-oldest beyond
+//! [`EVENT_CAPACITY`], with a dropped counter) so a long-running server
+//! cannot grow without bound between collections. Recording is gated on
+//! [`crate::enabled`], same as spans and metrics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::span::{now_us, AttrValue};
+
+/// Maximum buffered events; older records are dropped (and counted) first.
+pub const EVENT_CAPACITY: usize = 65_536;
+
+/// One structured event.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event name (static, from the instrumentation point), e.g.
+    /// `"serve.enqueue"`.
+    pub name: &'static str,
+    /// Timestamp in microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, AttrValue)>,
+}
+
+struct Sink {
+    events: VecDeque<EventRecord>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            events: VecDeque::new(),
+        })
+    })
+}
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one event (no-op when telemetry is disabled). Prefer the
+/// [`crate::event!`] macro, which skips field construction entirely on the
+/// disabled path.
+pub fn event_record(name: &'static str, fields: Vec<(&'static str, AttrValue)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let record = EventRecord {
+        name,
+        ts_us: now_us(),
+        fields,
+    };
+    let mut sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    if sink.events.len() >= EVENT_CAPACITY {
+        sink.events.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    sink.events.push_back(record);
+}
+
+/// Drains every buffered event in record order.
+pub fn take_events() -> Vec<EventRecord> {
+    let mut sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    sink.events.drain(..).collect()
+}
+
+/// Events dropped (oldest-first) because the sink was at capacity.
+pub fn events_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn clear_events() {
+    sink()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .events
+        .clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_is_bounded_and_counts_drops() {
+        crate::enable();
+        clear_events();
+        for i in 0..(EVENT_CAPACITY + 10) {
+            event_record("t.bounded", vec![("i", AttrValue::U64(i as u64))]);
+        }
+        let events = take_events();
+        assert_eq!(events.len(), EVENT_CAPACITY);
+        assert!(events_dropped() >= 10);
+        // The survivors are the newest records.
+        match events.last().unwrap().fields[0].1 {
+            AttrValue::U64(i) => assert_eq!(i as usize, EVENT_CAPACITY + 9),
+            ref other => panic!("unexpected field {other:?}"),
+        }
+        clear_events();
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        crate::disable();
+        event_record("t.disabled", Vec::new());
+        assert!(take_events().iter().all(|e| e.name != "t.disabled"));
+    }
+}

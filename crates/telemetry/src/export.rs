@@ -7,6 +7,7 @@
 
 use std::fmt::Write as _;
 
+use crate::events::EventRecord;
 use crate::metrics::MetricsSnapshot;
 use crate::profile::{ProfileReport, ProfileRow};
 use crate::span::{AttrValue, SpanRecord};
@@ -121,11 +122,19 @@ pub fn chrome_trace_with_counters(spans: &[SpanRecord], report: &ProfileReport) 
 }
 
 /// Renders a metrics snapshot as a flat JSON object:
-/// `{"counters": {name: value}, "gauges": {name: value},
-/// "histograms": {name: {count, sum_ns, ...}}}`.
+/// `{"captured_at_ns": ..., "uptime_ns": ..., "counters": {name: value},
+/// "gauges": {name: value}, "histograms": {name: {count, sum_ns, ...}}}`.
 /// Histogram buckets are emitted sparsely as `[[bucket_index, count], ...]`.
+/// `captured_at_ns` is monotonic since the process trace epoch, so two dumps
+/// from one long-running server can be ordered and diffed into rates.
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
-    let mut out = String::from("{\n\"counters\":{");
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "\"captured_at_ns\":{},\n\"uptime_ns\":{},\n",
+        snapshot.captured_at_ns, snapshot.uptime_ns
+    );
+    out.push_str("\"counters\":{");
     for (i, (name, value)) in snapshot.counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -177,6 +186,26 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         out.push_str("]}");
     }
     out.push_str("\n}\n}\n");
+    out
+}
+
+/// Renders events as JSON Lines: one object per line, in record order —
+/// `{"event": name, "ts_us": N, ...fields}`. JSONL is greppable and
+/// tail-able, the natural shape for an append-only structured event log.
+pub fn events_jsonl(events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(96 * events.len());
+    for event in events {
+        out.push_str("{\"event\":");
+        push_json_string(&mut out, event.name);
+        let _ = write!(out, ",\"ts_us\":{}", event.ts_us);
+        for (key, value) in &event.fields {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            push_attr(&mut out, value);
+        }
+        out.push_str("}\n");
+    }
     out
 }
 

@@ -37,17 +37,19 @@
 //! granii_telemetry::disable();
 //! ```
 
+mod events;
 pub mod export;
 mod metrics;
 mod profile;
 mod span;
 
+pub use events::{event_record, events_dropped, take_events, EventRecord, EVENT_CAPACITY};
 pub use metrics::{
     counter_add, gauge_set, histogram_record_ns, histogram_record_seconds, metrics_snapshot,
     HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use profile::{ProfileReport, ProfileRow};
-pub use span::{span, take_spans, AttrValue, SpanGuard, SpanRecord};
+pub use span::{now_us, record_span, span, take_spans, AttrValue, SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -70,10 +72,13 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears all recorded spans and metrics (the enabled flag is untouched).
+/// Clears all recorded spans, metrics, and events (the enabled flag is
+/// untouched). Also re-stamps the metrics uptime baseline — see
+/// [`MetricsSnapshot::uptime_ns`].
 pub fn reset() {
     span::clear_spans();
     metrics::clear_metrics();
+    events::clear_events();
 }
 
 /// Opens a span with optional `key = value` attributes.
@@ -99,4 +104,34 @@ macro_rules! span {
         }
         guard
     }};
+}
+
+/// Records a structured event with optional `key = value` fields.
+///
+/// Field expressions are only evaluated when telemetry is enabled, so a
+/// disabled call site costs one atomic load. Values may be any type
+/// convertible to [`AttrValue`].
+///
+/// ```
+/// granii_telemetry::enable();
+/// granii_telemetry::reset();
+/// granii_telemetry::event!("serve.shed", depth = 64u64);
+/// assert_eq!(granii_telemetry::take_events().len(), 1);
+/// granii_telemetry::disable();
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::event_record($name, Vec::new());
+        }
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::event_record(
+                $name,
+                vec![$((stringify!($key), $crate::AttrValue::from($value))),+],
+            );
+        }
+    };
 }

@@ -5,6 +5,7 @@
 //! costs one relaxed atomic load, same as spans.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
@@ -206,6 +207,14 @@ impl HistogramSnapshot {
 /// Point-in-time copy of every counter and histogram.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
+    /// Monotonic capture timestamp: nanoseconds since the process trace
+    /// epoch. Strictly increasing across successive snapshots, so two dumps
+    /// from a long-running server can be ordered and rate-diffed.
+    pub captured_at_ns: u64,
+    /// Nanoseconds since the metrics baseline — the last [`crate::reset`]
+    /// (process trace epoch if never reset). The CLI resets at startup, so
+    /// for a served process this is its uptime.
+    pub uptime_ns: u64,
     /// Counter name → accumulated value, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauge name → last set value, sorted by name.
@@ -214,10 +223,16 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+/// Baseline for [`MetricsSnapshot::uptime_ns`]: stamped by `clear_metrics`.
+static BASELINE_NS: AtomicU64 = AtomicU64::new(0);
+
 /// Copies the current metrics state without clearing it.
 pub fn metrics_snapshot() -> MetricsSnapshot {
+    let captured_at_ns = crate::span::now_ns();
     let registry = registry().lock().unwrap_or_else(PoisonError::into_inner);
     MetricsSnapshot {
+        captured_at_ns,
+        uptime_ns: captured_at_ns.saturating_sub(BASELINE_NS.load(Ordering::Relaxed)),
         counters: registry
             .counters
             .iter()
@@ -244,6 +259,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 }
 
 pub(crate) fn clear_metrics() {
+    BASELINE_NS.store(crate::span::now_ns(), Ordering::Relaxed);
     with_registry(|r| {
         r.counters.clear();
         r.gauges.clear();

@@ -90,6 +90,36 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds elapsed since the process trace epoch (the first telemetry
+/// timestamp taken). Lets callers that assemble their own [`SpanRecord`]s —
+/// e.g. the serving runtime's per-request trace lanes — place them on the
+/// same timeline as [`span`]-recorded spans.
+pub fn now_us() -> u64 {
+    Instant::now().duration_since(epoch()).as_micros() as u64
+}
+
+/// Nanoseconds elapsed since the process trace epoch.
+pub(crate) fn now_ns() -> u64 {
+    Instant::now().duration_since(epoch()).as_nanos() as u64
+}
+
+/// Appends an externally assembled span record to the calling thread's
+/// buffer (no-op when telemetry is disabled). [`take_spans`] returns it
+/// alongside [`span`]-recorded spans; exporters treat both identically, so a
+/// caller can synthesize lanes — e.g. one virtual `tid` per sampled request —
+/// that Perfetto renders as separate tracks.
+pub fn record_span(record: SpanRecord) {
+    if !crate::enabled() {
+        return;
+    }
+    with_local_buffer(|buffer| {
+        buffer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record)
+    });
+}
+
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {

@@ -265,3 +265,53 @@ fn profile_table_lists_every_instruction() {
     // The zero-prediction row renders a dash, not a division artifact.
     assert!(table.contains('-'), "{table}");
 }
+
+#[test]
+fn metrics_json_round_trips_capture_timestamps() {
+    let _g = guard();
+    granii_telemetry::counter_add("ticks", 1);
+    let first = granii_telemetry::metrics_snapshot();
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    let second = granii_telemetry::metrics_snapshot();
+    granii_telemetry::disable();
+
+    // Successive snapshots are strictly ordered, and uptime counts from the
+    // last reset (which `guard()` just performed), so it tracks captured_at.
+    assert!(second.captured_at_ns > first.captured_at_ns);
+    assert!(second.uptime_ns > first.uptime_ns);
+    assert!(first.uptime_ns <= first.captured_at_ns);
+    let elapsed = second.captured_at_ns - first.captured_at_ns;
+    let uptime_delta = second.uptime_ns - first.uptime_ns;
+    assert_eq!(elapsed, uptime_delta, "both fields advance on one clock");
+
+    // And both fields survive the JSON round trip at top level.
+    for snap in [&first, &second] {
+        let value: Value = serde_json::from_str(&export::metrics_json(snap)).expect("valid JSON");
+        assert_eq!(num(&value, "captured_at_ns"), snap.captured_at_ns as f64);
+        assert_eq!(num(&value, "uptime_ns"), snap.uptime_ns as f64);
+    }
+}
+
+#[test]
+fn events_jsonl_round_trips_one_object_per_line() {
+    let _g = guard();
+    granii_telemetry::event!("serve.enqueue", id = 7u64, depth = 2u64);
+    granii_telemetry::event!("serve.drift", signature = "gcn/abc", residual = 1.5);
+    granii_telemetry::disable();
+    let events = granii_telemetry::take_events();
+    let jsonl = export::events_jsonl(&events);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let first: Value = serde_json::from_str(lines[0]).expect("line 0 is JSON");
+    assert_eq!(text(&first, "event"), "serve.enqueue");
+    assert_eq!(num(&first, "id"), 7.0);
+    assert!(num(&first, "ts_us") >= 0.0);
+    let second: Value = serde_json::from_str(lines[1]).expect("line 1 is JSON");
+    assert_eq!(text(&second, "event"), "serve.drift");
+    assert_eq!(text(&second, "signature"), "gcn/abc");
+    assert_eq!(num(&second, "residual"), 1.5);
+    assert!(
+        num(&second, "ts_us") >= num(&first, "ts_us"),
+        "events are ordered"
+    );
+}

@@ -23,7 +23,11 @@ fn signatures() -> Vec<(ModelKind, Arc<Graph>, usize, usize)> {
             .load(Scale::Tiny)
             .expect("tiny dataset"),
     );
-    let mycielskian = Arc::new(Dataset::Mycielskian17.load(Scale::Tiny).expect("tiny dataset"));
+    let mycielskian = Arc::new(
+        Dataset::Mycielskian17
+            .load(Scale::Tiny)
+            .expect("tiny dataset"),
+    );
     vec![
         (ModelKind::Gcn, citeseer.clone(), 48, 96),
         (ModelKind::Gcn, mycielskian.clone(), 96, 48),
@@ -122,7 +126,12 @@ fn concurrent_serving_outputs_are_bitwise_identical_to_serial() {
             let response = serial
                 .process(ServeRequest::new(*model, graph.clone(), *k1, *k2))
                 .expect("serial request");
-            let bits = response.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bits = response
+                .output
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
             (response.composition, bits)
         })
         .collect();
@@ -154,8 +163,12 @@ fn concurrent_serving_outputs_are_bitwise_identical_to_serial() {
                             response.composition, *ref_comp,
                             "thread {t} round {round}: composition diverged for {model}"
                         );
-                        let bits: Vec<u32> =
-                            response.output.as_slice().iter().map(|v| v.to_bits()).collect();
+                        let bits: Vec<u32> = response
+                            .output
+                            .as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect();
                         assert_eq!(
                             &bits, ref_bits,
                             "thread {t} round {round}: output bits diverged for {model}"
