@@ -9,8 +9,10 @@
 //! hammers it with `--clients` closed-loop clients, each issuing
 //! `--requests` requests round-robin over a 12-signature mixed workload
 //! (3 models x 2 datasets x 2 embedding pairs). Reports sustained
-//! throughput, p50/p95/p99/max end-to-end latency, and the server's cache /
-//! shed / degradation counters.
+//! throughput, p50/p95/p99/max end-to-end latency (exact, from the client
+//! samples), the deep tail (p99/p999) from the server's per-outcome latency
+//! sketches merged into one distribution, and the server's cache / shed /
+//! degradation counters.
 //!
 //! [`Server`]: granii_serve::Server
 
@@ -129,6 +131,33 @@ fn main() {
         report.latency.max_ms,
         report.latency.mean_ms
     );
+    // The client-side sample above is exact but shallow: at a few hundred
+    // requests its "p99" is one observation. The server's sketches see
+    // every request at bounded relative error — merge the per-outcome
+    // distributions for the whole-server deep tail.
+    if let Some(merged) = serve_load::merged_latency_sketch(&report.latency_sketches) {
+        println!(
+            "  sketch (ms)     p50 {:.3}  p95 {:.3}  p99 {:.3}  p999 {:.3}  (α={:.0}%, merged over outcomes)",
+            merged.p50_ns() / 1e6,
+            merged.p95_ns() / 1e6,
+            merged.p99_ns() / 1e6,
+            merged.p999_ns() / 1e6,
+            merged.alpha * 100.0
+        );
+        for snap in &report.latency_sketches {
+            if snap.count == 0 {
+                continue;
+            }
+            let outcome = snap.name.rsplit('.').next().unwrap_or(&snap.name);
+            println!(
+                "    {outcome:<10}    {:>6} reqs  p50 {:.3}  p99 {:.3}  p999 {:.3}",
+                snap.count,
+                snap.p50_ns() / 1e6,
+                snap.p99_ns() / 1e6,
+                snap.p999_ns() / 1e6
+            );
+        }
+    }
     println!(
         "  outcomes        completed {}  shed {}  failed {}  degraded {}",
         report.completed, report.shed, report.failed, report.degraded

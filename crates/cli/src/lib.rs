@@ -139,9 +139,11 @@ pub fn usage() -> String {
                  render a serve-demo --status-out snapshot as a table\n\
      global observability flags (any command):\n\
        --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
-       --metrics-out FILE   write counters + latency histograms as JSON\n\
+       --metrics-out FILE   write counters, latency histograms, quantile\n\
+                 sketches (p50-p999), and distinct-count estimates as JSON\n\
        --events-out FILE    write structured events (enqueue/shed/drift/...) as JSONL\n\
-       --trace-summary      append a hierarchical span summary to the output"
+       --trace-summary      append a hierarchical span summary (plus sketch\n\
+                 quantile and distinct-count tables, when recorded) to the output"
         .to_string()
 }
 
@@ -250,9 +252,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .map_err(|e| format!("write {path}: {e}"))?;
         writeln!(
             out,
-            "metrics: {} counters, {} histograms -> {path}",
+            "metrics: {} counters, {} histograms, {} sketches -> {path}",
             snapshot.counters.len(),
-            snapshot.histograms.len()
+            snapshot.histograms.len(),
+            snapshot.sketches.len()
         )
         .expect("fmt");
     }
@@ -264,6 +267,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     if args.get("trace-summary").is_some() {
         out.push('\n');
         out.push_str(&granii_telemetry::export::summary(&spans));
+        // Sketch-backed quantiles (and distinct-count estimates) ride along
+        // when anything recorded them — e.g. the serve-demo latency lanes.
+        let sketches = granii_telemetry::export::sketch_summary(&snapshot);
+        if !sketches.is_empty() {
+            out.push('\n');
+            out.push_str(&sketches);
+        }
     }
     Ok(out)
 }

@@ -30,6 +30,16 @@
 //!   prediction and the engine-charged cost of each served iteration;
 //!   sustained mismatch flags the signature, invalidates its cached plan
 //!   (forcing re-selection), and surfaces in metrics, events, and status.
+//! - **Input-drift detection** ([`InputInspector`]): the second lane, keyed
+//!   on the inputs themselves — per signature, an EWMA of each request
+//!   graph's degree-band distribution and CV against the selection-time
+//!   reference. Catches the failure mode the residual lane is blind to: a
+//!   pinned-signature tenant ([`ServeRequest::with_signature`]) whose graph
+//!   mutates under a cached plan.
+//! - **Latency SLOs** ([`SloMonitor`]): declarative per-outcome objectives
+//!   with tumbling-window error-budget burn rates, backed by
+//!   bounded-relative-error latency sketches (p50–p999 on the status
+//!   surface, burn events when the budget burns too fast).
 //! - **Live status surface** ([`ServerStatus`] from [`Server::status`]):
 //!   queue depth, per-worker utilization, cache counters, degradation
 //!   rates, and the drift table — as JSON and a human-readable table.
@@ -61,15 +71,24 @@
 mod cache;
 mod drift;
 mod error;
+mod inspect;
 mod server;
+mod slo;
 mod status;
 mod trace;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use drift::{DriftConfig, DriftDetector, DriftRow, DriftVerdict};
 pub use error::{Result, ServeError};
+pub use inspect::{
+    InputInspector, InputProfile, InputRow, InspectConfig, InspectVerdict, DEGREE_BANDS,
+};
 pub use server::{
     RequestTiming, ServeConfig, ServeRequest, ServeResponse, ServeStats, Server, Ticket,
 };
-pub use status::{CacheStatus, DriftSignatureStatus, ServerStatus, WorkerStatus};
+pub use slo::{LatencyObjective, Outcome, SloConfig, SloMonitor, SloRow, SloVerdict};
+pub use status::{
+    CacheStatus, DriftSignatureStatus, InputSignatureStatus, LatencySketchStatus, ServerStatus,
+    SloObjectiveStatus, WorkerStatus,
+};
 pub use trace::{RequestTrace, TRACE_LANE_BASE};

@@ -14,11 +14,16 @@ use granii_gnn::{Exec, GraphCtx};
 use granii_graph::Graph;
 use granii_matrix::device::Engine;
 use granii_matrix::DenseMatrix;
-use granii_telemetry::event;
+use granii_telemetry::{event, DistinctCounter, Sketch, SketchSnapshot, DEFAULT_SKETCH_ALPHA};
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
-use crate::status::{CacheStatus, DriftSignatureStatus, ServerStatus, WorkerStatus};
+use crate::inspect::{InputInspector, InputProfile, InspectConfig, InspectVerdict};
+use crate::slo::{Outcome, SloConfig, SloMonitor, SloVerdict};
+use crate::status::{
+    CacheStatus, DriftSignatureStatus, InputSignatureStatus, LatencySketchStatus, ServerStatus,
+    SloObjectiveStatus, WorkerStatus,
+};
 use crate::trace::{self, RequestTrace};
 use crate::{Result, ServeError};
 
@@ -44,6 +49,11 @@ pub struct ServeConfig {
     pub trace_sample_every: u64,
     /// Online cost-model drift detection tuning.
     pub drift: DriftConfig,
+    /// Online input-drift detection tuning (the second lane, keyed on
+    /// degree-distribution statistics instead of cost residuals).
+    pub inspect: InspectConfig,
+    /// Latency-SLO objectives and burn-rate monitoring tuning.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +64,8 @@ impl Default for ServeConfig {
             cache_capacity: 64,
             trace_sample_every: 0,
             drift: DriftConfig::default(),
+            inspect: InspectConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -77,6 +89,13 @@ pub struct ServeRequest {
     /// worker dequeues the request: an expired request is not dropped but
     /// served degraded (default composition, no cost-model consultation).
     pub timeout: Option<Duration>,
+    /// Optional pinned cache signature. By default the plan key hashes the
+    /// graph's content fingerprint, so a tenant whose graph mutates simply
+    /// misses the cache and re-selects. A pinned signature says "this is
+    /// the same logical graph" across mutations — the cache keeps serving
+    /// the stale bound plan, which is exactly the blind spot the
+    /// input-drift lane exists to close.
+    pub signature: Option<u64>,
 }
 
 impl ServeRequest {
@@ -89,6 +108,7 @@ impl ServeRequest {
             k2,
             iterations: runtime::DEFAULT_ITERATIONS,
             timeout: None,
+            signature: None,
         }
     }
 
@@ -104,8 +124,20 @@ impl ServeRequest {
         self
     }
 
+    /// Pins the plan-cache signature to a tenant-stable identity instead of
+    /// the graph's content fingerprint (see [`ServeRequest::signature`]).
+    pub fn with_signature(mut self, signature: u64) -> Self {
+        self.signature = Some(signature);
+        self
+    }
+
     fn plan_key(&self) -> PlanKey {
-        (self.model, self.graph.fingerprint(), self.k1, self.k2)
+        (
+            self.model,
+            self.signature.unwrap_or_else(|| self.graph.fingerprint()),
+            self.k1,
+            self.k2,
+        )
     }
 }
 
@@ -169,6 +201,8 @@ pub struct ServeStats {
     pub queue_depth: usize,
     /// Signatures flagged by the online drift detector (total flags).
     pub drift_flagged: u64,
+    /// Signatures flagged by the input-drift lane (total flags).
+    pub input_drift_flagged: u64,
 }
 
 #[derive(Default)]
@@ -182,6 +216,44 @@ struct Counters {
     /// Cumulative over the server's lifetime — unlike the detector's own
     /// tally, this survives [`Server::replace_granii`] resets.
     drift_flagged: AtomicU64,
+    /// Same lifetime semantics, for the input-drift lane.
+    input_drift_flagged: AtomicU64,
+}
+
+/// Server-owned latency sketches, one per outcome class. Always recorded
+/// (like the atomic [`Counters`]) so the status surface, SLO math, and
+/// `serve_bench` get SLO-grade quantiles without telemetry being enabled;
+/// the telemetry registry gets a gated mirror on the same names.
+struct LatencySketches {
+    hit: Sketch,
+    miss: Sketch,
+    degraded: Sketch,
+}
+
+impl LatencySketches {
+    fn new() -> Self {
+        LatencySketches {
+            hit: Sketch::new(DEFAULT_SKETCH_ALPHA),
+            miss: Sketch::new(DEFAULT_SKETCH_ALPHA),
+            degraded: Sketch::new(DEFAULT_SKETCH_ALPHA),
+        }
+    }
+
+    fn for_outcome(&self, outcome: Outcome) -> &Sketch {
+        match outcome {
+            Outcome::Hit => &self.hit,
+            Outcome::Miss => &self.miss,
+            Outcome::Degraded => &self.degraded,
+        }
+    }
+
+    fn snapshots(&self) -> Vec<SketchSnapshot> {
+        vec![
+            self.hit.snapshot("serve.latency.hit"),
+            self.miss.snapshot("serve.latency.miss"),
+            self.degraded.snapshot("serve.latency.degraded"),
+        ]
+    }
 }
 
 /// Per-worker activity slots (status surface): nanoseconds spent processing
@@ -213,6 +285,11 @@ struct Inner {
     granii: RwLock<Arc<Granii>>,
     cache: PlanCache,
     drift: DriftDetector,
+    inspect: InputInspector,
+    slo: SloMonitor,
+    latency: LatencySketches,
+    /// Unique plan signatures observed (HyperLogLog; always recorded).
+    distinct_signatures: DistinctCounter,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     config: ServeConfig,
@@ -265,6 +342,10 @@ impl Server {
             granii: RwLock::new(granii),
             cache: PlanCache::new(config.cache_capacity),
             drift: DriftDetector::new(config.drift),
+            inspect: InputInspector::new(config.inspect),
+            slo: SloMonitor::new(config.slo.clone()),
+            latency: LatencySketches::new(),
+            distinct_signatures: DistinctCounter::new(),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
@@ -379,7 +460,17 @@ impl Server {
             .unwrap_or_else(PoisonError::into_inner) = granii;
         self.inner.cache.clear();
         self.inner.drift.reset();
+        self.inner.inspect.reset();
         event!("serve.model_swap");
+    }
+
+    /// Point-in-time snapshots of the per-outcome latency sketches
+    /// (`serve.latency.hit` / `.miss` / `.degraded`). Always populated —
+    /// the server records them unconditionally, telemetry or not — and
+    /// mergeable, so a caller can fold them into one whole-server
+    /// distribution with [`SketchSnapshot::merge`].
+    pub fn latency_sketches(&self) -> Vec<SketchSnapshot> {
+        self.inner.latency.snapshots()
     }
 
     /// Current serving counters.
@@ -400,6 +491,7 @@ impl Server {
             cache_hit_rate: self.inner.cache.hit_rate(),
             queue_depth: self.inner.lock_queue().jobs.len(),
             drift_flagged: c.drift_flagged.load(Ordering::Relaxed),
+            input_drift_flagged: c.input_drift_flagged.load(Ordering::Relaxed),
         }
     }
 
@@ -431,6 +523,8 @@ impl Server {
                 stats.deadline_expired as f64 / completed
             },
             drift_flagged: stats.drift_flagged,
+            input_drift_flagged: stats.input_drift_flagged,
+            distinct_signatures: self.inner.distinct_signatures.estimate(),
             workers: self
                 .inner
                 .workers
@@ -459,24 +553,82 @@ impl Server {
                 capacity: self.inner.config.cache_capacity,
                 hit_rate: stats.cache_hit_rate,
             },
-            drift: self
+            drift: {
+                let mut rows = self.inner.drift.rows();
+                // Fingerprint-first ordering so `--status-out` artifacts
+                // from different runs diff cleanly regardless of which
+                // model family hit the detector first.
+                rows.sort_by_key(|row| (row.key.1, row.key.0.name(), row.key.2, row.key.3));
+                rows.into_iter()
+                    .map(|row| {
+                        let (model, fingerprint, k1, k2) = row.key;
+                        DriftSignatureStatus {
+                            model: model.name().to_owned(),
+                            fingerprint: format!("{fingerprint:016x}"),
+                            k1,
+                            k2,
+                            ewma_residual: row.ewma_residual,
+                            last_residual: row.last_residual,
+                            samples: row.samples,
+                            flags: row.flags,
+                            cooldown: u64::from(row.cooldown),
+                        }
+                    })
+                    .collect()
+            },
+            input: {
+                let mut rows = self.inner.inspect.rows();
+                rows.sort_by_key(|row| (row.key.1, row.key.0.name(), row.key.2, row.key.3));
+                rows.into_iter()
+                    .map(|row| {
+                        let (model, fingerprint, k1, k2) = row.key;
+                        InputSignatureStatus {
+                            model: model.name().to_owned(),
+                            fingerprint: format!("{fingerprint:016x}"),
+                            k1,
+                            k2,
+                            band_l1: row.band_l1,
+                            cv_delta: row.cv_delta,
+                            live_avg_degree: row.live.avg_degree,
+                            live_degree_cv: row.live.degree_cv,
+                            reference_degree_cv: row.reference.degree_cv,
+                            samples: row.samples,
+                            flags: row.flags,
+                            cooldown: u64::from(row.cooldown),
+                        }
+                    })
+                    .collect()
+            },
+            slo: self
                 .inner
-                .drift
+                .slo
                 .rows()
                 .into_iter()
-                .map(|row| {
-                    let (model, fingerprint, k1, k2) = row.key;
-                    DriftSignatureStatus {
-                        model: model.name().to_owned(),
-                        fingerprint: format!("{fingerprint:016x}"),
-                        k1,
-                        k2,
-                        ewma_residual: row.ewma_residual,
-                        last_residual: row.last_residual,
-                        samples: row.samples,
-                        flags: row.flags,
-                        cooldown: u64::from(row.cooldown),
-                    }
+                .map(|row| SloObjectiveStatus {
+                    outcome: row.objective.outcome.name().to_owned(),
+                    threshold_ms: row.objective.threshold_ms,
+                    target: row.objective.target,
+                    total: row.total,
+                    violations: row.violations,
+                    compliance: row.compliance,
+                    burn_rate: row.burn_rate,
+                    burning: row.burning,
+                    windows_closed: row.windows_closed,
+                })
+                .collect(),
+            latency: self
+                .inner
+                .latency
+                .snapshots()
+                .into_iter()
+                .map(|s| LatencySketchStatus {
+                    outcome: s.name.rsplit('.').next().unwrap_or(&s.name).to_owned(),
+                    count: s.count,
+                    mean_ms: s.mean_ns() / 1e6,
+                    p50_ms: s.p50_ns() / 1e6,
+                    p95_ms: s.p95_ns() / 1e6,
+                    p99_ms: s.p99_ns() / 1e6,
+                    p999_ms: s.p999_ns() / 1e6,
                 })
                 .collect(),
         }
@@ -549,16 +701,59 @@ fn worker_loop(inner: &Inner, index: usize) {
                     "serve.request_latency",
                     response.timing.total_seconds,
                 );
-                // Outcome-split latency histograms: a healthy hit rate can
-                // hide a pathological miss tail in the combined histogram.
+                // Outcome-split latency: a healthy hit rate can hide a
+                // pathological miss tail in the combined figures. The
+                // histogram is the legacy log₂ view; the sketch carries the
+                // SLO-grade quantiles (always recorded server-side, gated
+                // mirror into the telemetry registry under the same name).
                 let outcome = if response.degraded {
-                    "serve.latency.degraded"
+                    Outcome::Degraded
                 } else if response.cache_hit {
-                    "serve.latency.hit"
+                    Outcome::Hit
                 } else {
-                    "serve.latency.miss"
+                    Outcome::Miss
                 };
-                granii_telemetry::histogram_record_seconds(outcome, response.timing.total_seconds);
+                let metric = match outcome {
+                    Outcome::Hit => "serve.latency.hit",
+                    Outcome::Miss => "serve.latency.miss",
+                    Outcome::Degraded => "serve.latency.degraded",
+                };
+                let latency_ns = if response.timing.total_seconds > 0.0 {
+                    (response.timing.total_seconds * 1e9) as u64
+                } else {
+                    0
+                };
+                granii_telemetry::histogram_record_seconds(metric, response.timing.total_seconds);
+                inner.latency.for_outcome(outcome).record_ns(latency_ns);
+                granii_telemetry::sketch_record_ns(metric, latency_ns);
+                match inner.slo.record(outcome, latency_ns) {
+                    SloVerdict::Ok => {}
+                    SloVerdict::WindowClosed {
+                        objective,
+                        burn_rate,
+                        crossed,
+                    } => {
+                        let objective = &inner.slo.config().objectives[objective];
+                        let name = objective.outcome.name();
+                        granii_telemetry::gauge_set(&format!("serve.slo.burn.{name}"), burn_rate);
+                        match crossed {
+                            Some(true) => {
+                                granii_telemetry::counter_add("serve.slo_breached", 1);
+                                event!(
+                                    "serve.slo_burn",
+                                    outcome = name,
+                                    burn_rate = burn_rate,
+                                    threshold_ms = objective.threshold_ms,
+                                    target = objective.target,
+                                );
+                            }
+                            Some(false) => {
+                                event!("serve.slo_recover", outcome = name, burn_rate = burn_rate,);
+                            }
+                            None => {}
+                        }
+                    }
+                }
                 granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
                 event!(
                     "serve.complete",
@@ -654,6 +849,16 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
 
     let cfg = LayerConfig::new(request.k1, request.k2);
     let key = request.plan_key();
+    inner.distinct_signatures.observe(key.1);
+    granii_telemetry::distinct_observe("serve.distinct_signatures", key.1);
+    // The input-drift lane inspects every request's graph (one O(nodes)
+    // pass, allocation-free on the tracked counters) — the same statistics
+    // selection itself keys on.
+    let profile = inner
+        .inspect
+        .config()
+        .enabled
+        .then(|| InputProfile::extract(&request.graph));
     let (entry, cache_hit, degraded, select_seconds) = match inner.cache.lookup(key) {
         // Hit: the signature's plan is already bound — even an expired
         // request serves it at full quality.
@@ -700,6 +905,11 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
             );
             if let Some(t) = trace.as_deref_mut() {
                 t.mark_select_done();
+            }
+            // Selection just inspected the graph as it is now: pin it as
+            // the input-drift reference for this signature.
+            if let Some(p) = profile {
+                inner.inspect.rebind(key, p);
             }
             (entry, false, degraded, t_select.elapsed().as_secs_f64())
         }
@@ -752,6 +962,32 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
                 k1 = request.k1,
                 k2 = request.k2,
                 ewma_residual = ewma_residual,
+            );
+        }
+    }
+
+    // Input-drift check: fold this request's degree statistics into the
+    // signature's live profile and compare against what selection saw.
+    // Orthogonal to the residual lane above — a stale plan executes its
+    // *bound* graph, so its cost residual stays clean while the live input
+    // walks away.
+    if let Some(p) = profile {
+        if let InspectVerdict::Flagged { band_l1, cv_delta } = inner.inspect.observe(key, &p) {
+            inner.cache.invalidate(key);
+            inner
+                .counters
+                .input_drift_flagged
+                .fetch_add(1, Ordering::Relaxed);
+            granii_telemetry::counter_add("serve.input_drift_flagged", 1);
+            event!(
+                "serve.input_drift",
+                id = id,
+                model = request.model.name(),
+                fingerprint = format!("{:016x}", key.1),
+                k1 = request.k1,
+                k2 = request.k2,
+                band_l1 = band_l1,
+                cv_delta = cv_delta,
             );
         }
     }

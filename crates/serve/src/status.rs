@@ -71,6 +71,81 @@ pub struct DriftSignatureStatus {
     pub cooldown: u64,
 }
 
+/// One row of the input table: a tracked plan signature and how far its
+/// live degree statistics have walked from what selection saw.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InputSignatureStatus {
+    /// Model family name (`gcn`, `gat`, ...).
+    pub model: String,
+    /// Plan signature as a zero-padded hex string (see module docs).
+    pub fingerprint: String,
+    /// Input embedding width.
+    pub k1: usize,
+    /// Output embedding width.
+    pub k2: usize,
+    /// L1 distance between the live and reference degree-band
+    /// distributions at last observation, in `[0, 2]`.
+    pub band_l1: f64,
+    /// Absolute degree-CV delta at last observation.
+    pub cv_delta: f64,
+    /// Live (EWMA) average degree.
+    pub live_avg_degree: f64,
+    /// Live (EWMA) degree coefficient of variation.
+    pub live_degree_cv: f64,
+    /// Selection-time reference degree CV.
+    pub reference_degree_cv: f64,
+    /// Profiles folded since the signature was last rebound.
+    pub samples: u64,
+    /// Times this signature has been flagged by the input-drift lane.
+    pub flags: u64,
+    /// Remaining flag-suppression observations.
+    pub cooldown: u64,
+}
+
+/// One row of the SLO table: an objective and its error-budget state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloObjectiveStatus {
+    /// Outcome class the objective covers (`hit`, `miss`, `degraded`).
+    pub outcome: String,
+    /// Latency threshold in milliseconds.
+    pub threshold_ms: f64,
+    /// Required compliant fraction, e.g. `0.99`.
+    pub target: f64,
+    /// Requests observed for the outcome.
+    pub total: u64,
+    /// Requests over the threshold.
+    pub violations: u64,
+    /// Lifetime compliant fraction (1 when no requests observed).
+    pub compliance: f64,
+    /// Burn rate of the most recently closed window (1.0 = budget spent
+    /// exactly as provisioned).
+    pub burn_rate: f64,
+    /// Whether the last closed window was at or above the alert burn.
+    pub burning: bool,
+    /// Tumbling burn-rate windows closed so far.
+    pub windows_closed: u64,
+}
+
+/// Per-outcome latency quantiles from the server's bounded-relative-error
+/// sketches (not the log₂ histograms — these resolve the tail).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySketchStatus {
+    /// Outcome class (`hit`, `miss`, `degraded`).
+    pub outcome: String,
+    /// Requests recorded.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency in milliseconds.
+    pub p999_ms: f64,
+}
+
 /// Point-in-time serving snapshot: everything an operator asks first.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerStatus {
@@ -98,12 +173,24 @@ pub struct ServerStatus {
     pub deadline_expired_rate: f64,
     /// Signatures flagged by the drift detector (total across signatures).
     pub drift_flagged: u64,
+    /// Signatures flagged by the input-drift lane (total across
+    /// signatures).
+    pub input_drift_flagged: u64,
+    /// Estimated distinct plan signatures served (HyperLogLog).
+    pub distinct_signatures: f64,
     /// Per-worker utilization, indexed by worker.
     pub workers: Vec<WorkerStatus>,
     /// Plan-cache counters.
     pub cache: CacheStatus,
-    /// Drift table, one row per tracked signature, sorted by key.
+    /// Cost-residual drift table, one row per tracked signature, sorted by
+    /// fingerprint (then model, k1, k2) so status artifacts diff cleanly.
     pub drift: Vec<DriftSignatureStatus>,
+    /// Input-drift table, same ordering as `drift`.
+    pub input: Vec<InputSignatureStatus>,
+    /// SLO error-budget table, in configured objective order.
+    pub slo: Vec<SloObjectiveStatus>,
+    /// Per-outcome latency quantiles from the sketches.
+    pub latency: Vec<LatencySketchStatus>,
 }
 
 impl ServerStatus {
@@ -142,12 +229,13 @@ impl fmt::Display for ServerStatus {
         )?;
         writeln!(
             f,
-            "  quality  degraded {} ({:.1}%) | deadline-expired {} ({:.1}%) | drift flags {}",
+            "  quality  degraded {} ({:.1}%) | deadline-expired {} ({:.1}%) | drift flags {} | input-drift flags {}",
             self.degraded,
             self.degraded_rate * 100.0,
             self.deadline_expired,
             self.deadline_expired_rate * 100.0,
-            self.drift_flagged
+            self.drift_flagged,
+            self.input_drift_flagged
         )?;
         writeln!(
             f,
@@ -160,6 +248,52 @@ impl fmt::Display for ServerStatus {
             self.cache.evictions,
             self.cache.invalidations
         )?;
+        writeln!(
+            f,
+            "  inputs   ~{:.0} distinct signatures",
+            self.distinct_signatures
+        )?;
+        if !self.latency.is_empty() {
+            writeln!(
+                f,
+                "  latency  {:<9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "outcome", "count", "mean", "p50", "p95", "p99", "p999"
+            )?;
+            for row in &self.latency {
+                writeln!(
+                    f,
+                    "           {:<9} {:>8} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms",
+                    row.outcome,
+                    row.count,
+                    row.mean_ms,
+                    row.p50_ms,
+                    row.p95_ms,
+                    row.p99_ms,
+                    row.p999_ms
+                )?;
+            }
+        }
+        if !self.slo.is_empty() {
+            writeln!(
+                f,
+                "  slo      {:<9} {:>9} {:>7} {:>8} {:>6} {:>11} {:>7} {:>8}",
+                "outcome", "threshold", "target", "total", "viol", "compliance", "burn", "state"
+            )?;
+            for row in &self.slo {
+                writeln!(
+                    f,
+                    "           {:<9} {:>7.1}ms {:>6.1}% {:>8} {:>6} {:>10.2}% {:>6.2}x {:>8}",
+                    row.outcome,
+                    row.threshold_ms,
+                    row.target * 100.0,
+                    row.total,
+                    row.violations,
+                    row.compliance * 100.0,
+                    row.burn_rate,
+                    if row.burning { "BURNING" } else { "ok" }
+                )?;
+            }
+        }
         writeln!(f, "  workers  (busy share of uptime)")?;
         for w in &self.workers {
             writeln!(
@@ -170,6 +304,38 @@ impl fmt::Display for ServerStatus {
                 w.busy_seconds,
                 w.utilization * 100.0
             )?;
+        }
+        if !self.input.is_empty() {
+            writeln!(
+                f,
+                "  input    {:<6} {:<18} {:>5} {:>5} {:>8} {:>8} {:>8} {:>7} {:>5} {:>8}",
+                "model",
+                "fingerprint",
+                "k1",
+                "k2",
+                "band_l1",
+                "cv_live",
+                "cv_ref",
+                "samples",
+                "flags",
+                "cooldown"
+            )?;
+            for row in &self.input {
+                writeln!(
+                    f,
+                    "           {:<6} {:<18} {:>5} {:>5} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>5} {:>8}",
+                    row.model,
+                    row.fingerprint,
+                    row.k1,
+                    row.k2,
+                    row.band_l1,
+                    row.live_degree_cv,
+                    row.reference_degree_cv,
+                    row.samples,
+                    row.flags,
+                    row.cooldown
+                )?;
+            }
         }
         if self.drift.is_empty() {
             writeln!(f, "  drift    no tracked signatures")?;
@@ -217,6 +383,8 @@ mod tests {
             degraded_rate: 5.0 / 95.0,
             deadline_expired_rate: 2.0 / 95.0,
             drift_flagged: 1,
+            input_drift_flagged: 2,
+            distinct_signatures: 4.0,
             workers: vec![WorkerStatus {
                 index: 0,
                 requests: 95,
@@ -243,6 +411,40 @@ mod tests {
                 flags: 1,
                 cooldown: 30,
             }],
+            input: vec![InputSignatureStatus {
+                model: "gcn".to_owned(),
+                fingerprint: format!("{:016x}", 0xdead_beef_u64),
+                k1: 2048,
+                k2: 256,
+                band_l1: 0.31,
+                cv_delta: 1.8,
+                live_avg_degree: 5.2,
+                live_degree_cv: 2.4,
+                reference_degree_cv: 0.6,
+                samples: 12,
+                flags: 2,
+                cooldown: 20,
+            }],
+            slo: vec![SloObjectiveStatus {
+                outcome: "hit".to_owned(),
+                threshold_ms: 100.0,
+                target: 0.99,
+                total: 90,
+                violations: 3,
+                compliance: 87.0 / 90.0,
+                burn_rate: 3.3,
+                burning: true,
+                windows_closed: 1,
+            }],
+            latency: vec![LatencySketchStatus {
+                outcome: "hit".to_owned(),
+                count: 90,
+                mean_ms: 12.0,
+                p50_ms: 11.0,
+                p95_ms: 29.0,
+                p99_ms: 41.0,
+                p999_ms: 55.0,
+            }],
         }
     }
 
@@ -263,6 +465,16 @@ mod tests {
             format!("{:016x}", 0xdead_beef_u64)
         );
         assert!((parsed.drift[0].ewma_residual - 13.2).abs() < 1e-12);
+        assert_eq!(parsed.input_drift_flagged, 2);
+        assert_eq!(parsed.input.len(), 1);
+        assert!((parsed.input[0].band_l1 - 0.31).abs() < 1e-12);
+        assert_eq!(parsed.input[0].flags, 2);
+        assert_eq!(parsed.slo.len(), 1);
+        assert_eq!(parsed.slo[0].outcome, "hit");
+        assert!(parsed.slo[0].burning);
+        assert_eq!(parsed.latency.len(), 1);
+        assert!((parsed.latency[0].p999_ms - 55.0).abs() < 1e-12);
+        assert!((parsed.distinct_signatures - 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -270,8 +482,13 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("granii-serve status"));
         assert!(text.contains("drift flags 1"));
+        assert!(text.contains("input-drift flags 2"));
         assert!(text.contains("invalidations 1"));
         assert!(text.contains("gcn"));
         assert!(text.contains(&format!("{:016x}", 0xdead_beef_u64)));
+        assert!(text.contains("distinct signatures"));
+        assert!(text.contains("p999"));
+        assert!(text.contains("BURNING"));
+        assert!(text.contains("cv_live"));
     }
 }

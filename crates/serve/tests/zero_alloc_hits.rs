@@ -3,6 +3,12 @@
 //! dense/sparse/workspace heap allocations — the same counters the
 //! compile-once engine's steady-state contract is asserted against.
 //!
+//! The contract covers the full per-request observability stack: the
+//! input-drift lane's `InputProfile::extract` (one O(nodes) pass over the
+//! CSR row pointers, no buffers), the latency sketches (atomic log-bucket
+//! increments), the HyperLogLog distinct counter, and the SLO window math
+//! all ride the hit path and must stay off the tracked allocators.
+//!
 //! Single `#[test]` binary: the allocation counters are process-global, so
 //! the assertion must run where no other test allocates matrices
 //! concurrently.
@@ -27,14 +33,17 @@ fn unsampled_cache_hits_do_not_allocate() {
 
     granii_telemetry::reset();
     granii_telemetry::enable();
-    let server = Server::start(
-        granii,
-        ServeConfig {
-            workers: 1,
-            trace_sample_every: 0,
-            ..ServeConfig::default()
-        },
+    let config = ServeConfig {
+        workers: 1,
+        trace_sample_every: 0,
+        ..ServeConfig::default()
+    };
+    assert!(
+        config.inspect.enabled,
+        "the input-drift lane must be on so this test covers its per-request \
+         profile extraction"
     );
+    let server = Server::start(granii, config);
 
     // Warm the signature: the miss selects, binds, and allocates workspaces.
     let warm = server.process(request()).expect("warm-up miss completes");
@@ -51,6 +60,21 @@ fn unsampled_cache_hits_do_not_allocate() {
         0,
         "unsampled cache hits allocated dense/sparse/workspace buffers"
     );
+    // The hits above flowed through the whole observability stack: confirm
+    // the sketches and the distinct counter actually recorded (this test
+    // would be vacuous if they were silently skipped on the hit path).
+    let hit_sketch = server
+        .latency_sketches()
+        .into_iter()
+        .find(|s| s.name == "serve.latency.hit")
+        .expect("hit latency sketch");
+    assert_eq!(hit_sketch.count, 10, "every hit recorded into the sketch");
+    let status = server.status();
+    assert!(
+        status.distinct_signatures > 0.5,
+        "distinct-signature estimator saw the signature"
+    );
+    assert_eq!(status.input.len(), 1, "input-drift lane tracked the key");
 
     server.shutdown();
     granii_telemetry::disable();

@@ -123,10 +123,13 @@ pub fn chrome_trace_with_counters(spans: &[SpanRecord], report: &ProfileReport) 
 
 /// Renders a metrics snapshot as a flat JSON object:
 /// `{"captured_at_ns": ..., "uptime_ns": ..., "counters": {name: value},
-/// "gauges": {name: value}, "histograms": {name: {count, sum_ns, ...}}}`.
-/// Histogram buckets are emitted sparsely as `[[bucket_index, count], ...]`.
-/// `captured_at_ns` is monotonic since the process trace epoch, so two dumps
-/// from one long-running server can be ordered and diffed into rates.
+/// "gauges": {name: value}, "histograms": {name: {count, sum_ns, ...}},
+/// "sketches": {name: {alpha, count, ..., p999_ns, buckets}},
+/// "distinct": {name: estimate}}`.
+/// Histogram and sketch buckets are emitted sparsely as
+/// `[[bucket_index, count], ...]`. `captured_at_ns` is monotonic since the
+/// process trace epoch, so two dumps from one long-running server can be
+/// ordered and diffed into rates.
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -185,7 +188,83 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         }
         out.push_str("]}");
     }
+    out.push_str("\n},\n\"sketches\":{");
+    for (i, s) in snapshot.sketches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_json_string(&mut out, &s.name);
+        out.push_str(":{\"alpha\":");
+        push_f64(&mut out, s.alpha);
+        let _ = write!(
+            out,
+            ",\"count\":{},\"zero_count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":",
+            s.count, s.zero_count, s.sum_ns, s.min_ns, s.max_ns
+        );
+        push_f64(&mut out, s.mean_ns());
+        for (label, q) in [
+            ("p50_ns", 0.50),
+            ("p95_ns", 0.95),
+            ("p99_ns", 0.99),
+            ("p999_ns", 0.999),
+        ] {
+            let _ = write!(out, ",\"{label}\":");
+            push_f64(&mut out, s.quantile_ns(q));
+        }
+        out.push_str(",\"buckets\":[");
+        for (j, (idx, count)) in s.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{count}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n},\n\"distinct\":{");
+    for (i, d) in snapshot.distincts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_json_string(&mut out, &d.name);
+        out.push(':');
+        push_f64(&mut out, d.estimate);
+    }
     out.push_str("\n}\n}\n");
+    out
+}
+
+/// Renders the sketch section of a metrics snapshot as a quantile table —
+/// one line per sketch with count, mean, and p50/p95/p99/p999 in
+/// milliseconds, plus distinct-count estimates. Empty string when the
+/// snapshot holds no sketches, so callers can append it conditionally.
+pub fn sketch_summary(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.sketches.is_empty() && snapshot.distincts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    if !snapshot.sketches.is_empty() {
+        out.push_str(
+            "sketch                                    count      mean       p50       p95       p99      p999\n",
+        );
+        for s in &snapshot.sketches {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>7} {:>7.3}ms {:>7.3}ms {:>7.3}ms {:>7.3}ms {:>7.3}ms",
+                s.name,
+                s.count,
+                s.mean_ns() / 1e6,
+                s.p50_ns() / 1e6,
+                s.p95_ns() / 1e6,
+                s.p99_ns() / 1e6,
+                s.p999_ns() / 1e6
+            );
+        }
+    }
+    for d in &snapshot.distincts {
+        let _ = writeln!(out, "distinct {:<36} ~{:.0}", d.name, d.estimate);
+    }
     out
 }
 

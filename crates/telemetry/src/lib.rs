@@ -13,6 +13,9 @@
 //!   contends).
 //! - **Metrics** ([`counter_add`], [`histogram_record_seconds`]): named
 //!   counters and log₂-bucketed latency histograms.
+//! - **Sketches** ([`sketch_handle`], [`Sketch`]): mergeable bounded-
+//!   relative-error quantile sketches (for SLO-grade p99/p999) and a
+//!   distinct-count estimator for unique request fingerprints.
 //! - **Exporters** ([`export::chrome_trace`], [`export::metrics_json`],
 //!   [`export::summary`]): Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`), a flat JSON metrics dump, and a human-readable
@@ -41,14 +44,17 @@ mod events;
 pub mod export;
 mod metrics;
 mod profile;
+pub mod sketch;
 mod span;
 
 pub use events::{event_record, events_dropped, take_events, EventRecord, EVENT_CAPACITY};
 pub use metrics::{
-    counter_add, gauge_set, histogram_record_ns, histogram_record_seconds, metrics_snapshot,
-    HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
+    counter_add, distinct_handle, distinct_observe, gauge_set, histogram_record_ns,
+    histogram_record_seconds, metrics_snapshot, sketch_handle, sketch_record_ns, HistogramSnapshot,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use profile::{ProfileReport, ProfileRow};
+pub use sketch::{DistinctCounter, DistinctSnapshot, Sketch, SketchSnapshot, DEFAULT_SKETCH_ALPHA};
 pub use span::{now_us, record_span, span, take_spans, AttrValue, SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};

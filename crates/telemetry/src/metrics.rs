@@ -6,7 +6,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::sketch::{DistinctCounter, DistinctSnapshot, Sketch, SketchSnapshot};
 
 /// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
 /// covers durations in `[2^(i-1), 2^i)` nanoseconds.
@@ -65,6 +67,8 @@ struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, Arc<Sketch>>,
+    distincts: BTreeMap<String, Arc<DistinctCounter>>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -74,6 +78,8 @@ fn registry() -> &'static Mutex<Registry> {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+            distincts: BTreeMap::new(),
         })
     })
 }
@@ -132,6 +138,49 @@ pub fn histogram_record_seconds(name: &str, seconds: f64) {
     histogram_record_ns(name, ns);
 }
 
+/// Returns the registry's quantile sketch named `name`, creating it with
+/// [`crate::sketch::DEFAULT_SKETCH_ALPHA`] on first use. Unlike the gated
+/// record functions this always succeeds: callers that record on a hot path
+/// should hold the `Arc` and hit the sketch's lock-free atomics directly
+/// instead of paying the registry lock per sample.
+pub fn sketch_handle(name: &str) -> Arc<Sketch> {
+    let mut registry = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    registry
+        .sketches
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(Sketch::new(crate::sketch::DEFAULT_SKETCH_ALPHA)))
+        .clone()
+}
+
+/// Records one nanosecond duration into the registry sketch named `name`
+/// (no-op when disabled).
+pub fn sketch_record_ns(name: &str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    sketch_handle(name).record_ns(ns);
+}
+
+/// Returns the registry's distinct-count estimator named `name`, creating it
+/// on first use. Always succeeds (see [`sketch_handle`]).
+pub fn distinct_handle(name: &str) -> Arc<DistinctCounter> {
+    let mut registry = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    registry
+        .distincts
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(DistinctCounter::new()))
+        .clone()
+}
+
+/// Folds one key into the registry distinct-count estimator named `name`
+/// (no-op when disabled).
+pub fn distinct_observe(name: &str, key: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    distinct_handle(name).observe(key);
+}
+
 /// Point-in-time copy of one histogram.
 #[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
@@ -170,7 +219,9 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // `f64::clamp` passes NaN through; pin it to 0 so a garbage quantile
+        // degrades to the minimum instead of a NaN estimate.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (idx, &bucket_count) in self.buckets.iter().enumerate() {
@@ -221,6 +272,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Quantile sketches, sorted by name.
+    pub sketches: Vec<SketchSnapshot>,
+    /// Distinct-count estimates, sorted by name.
+    pub distincts: Vec<DistinctSnapshot>,
 }
 
 /// Baseline for [`MetricsSnapshot::uptime_ns`]: stamped by `clear_metrics`.
@@ -255,6 +310,19 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
                 buckets: h.buckets,
             })
             .collect(),
+        sketches: registry
+            .sketches
+            .iter()
+            .map(|(name, s)| s.snapshot(name))
+            .collect(),
+        distincts: registry
+            .distincts
+            .iter()
+            .map(|(name, d)| DistinctSnapshot {
+                name: name.clone(),
+                estimate: d.estimate(),
+            })
+            .collect(),
     }
 }
 
@@ -264,6 +332,14 @@ pub(crate) fn clear_metrics() {
         r.counters.clear();
         r.gauges.clear();
         r.histograms.clear();
+        // Sketches and distinct counters are cleared in place, not dropped:
+        // hot-path recorders hold `Arc` handles that must stay live.
+        for sketch in r.sketches.values() {
+            sketch.clear();
+        }
+        for distinct in r.distincts.values() {
+            distinct.clear();
+        }
     });
 }
 
