@@ -1,32 +1,47 @@
-//! Closed-loop load test of the serving runtime (`granii-serve`).
+//! Load test of the serving runtime (`granii-serve`).
 //!
 //! ```text
 //! serve_bench [--clients N] [--requests N] [--workers N] [--queue-depth N]
-//!             [--cache N] [--device cpu|a100|h100]
+//!             [--cache N] [--max-batch N] [--fairness-share F]
+//!             [--device cpu|a100|h100]
+//!             [--open-loop] [--rps F] [--duration-secs F] [--skew F]
+//!             [--same-signature] [--seed N]
 //! ```
 //!
 //! Trains a fast cost-model set offline, starts one shared [`Server`], and
-//! hammers it with `--clients` closed-loop clients, each issuing
-//! `--requests` requests round-robin over a 12-signature mixed workload
-//! (3 models x 2 datasets x 2 embedding pairs). Reports sustained
-//! throughput, p50/p95/p99/max end-to-end latency (exact, from the client
-//! samples), the deep tail (p99/p999) from the server's per-outcome latency
-//! sketches merged into one distribution, and the server's cache / shed /
-//! degradation counters.
+//! drives it under one of two load models:
+//!
+//! - **Closed loop** (default): `--clients` clients issue `--requests`
+//!   requests back-to-back, round-robin over a 12-signature mixed workload
+//!   (3 models x 2 datasets x 2 embedding pairs). Offered load adapts to
+//!   service rate — sustainable-throughput numbers.
+//! - **Open loop** (`--open-loop`): Poisson arrivals at `--rps` for
+//!   `--duration-secs`, zipf-skewed over the signatures by `--skew` — the
+//!   regime that exercises continuous batching. `--same-signature` collapses
+//!   the workload to one signature (the pure signature-coalescing ceiling).
+//!
+//! Reports sustained throughput, p50/p95/p99/max end-to-end latency (exact,
+//! from the client samples), the deep tail (p99/p999) from the server's
+//! per-outcome latency sketches merged into one distribution, the server's
+//! cache / shed / degradation counters, and (open loop) the batch-size
+//! distribution.
 //!
 //! [`Server`]: granii_serve::Server
 
 use std::sync::Arc;
 
-use granii_bench::serve_load::{self, LoadConfig};
+use granii_bench::serve_load::{self, LoadConfig, OpenLoopConfig};
 use granii_core::{Granii, GraniiOptions};
 use granii_gnn::spec::ModelKind;
 use granii_graph::datasets::{Dataset, Scale};
 use granii_matrix::device::DeviceKind;
-use granii_serve::ServeRequest;
+use granii_serve::{ServeConfig, ServeRequest, ServeStats};
 
 const USAGE: &str = "usage: serve_bench [--clients N] [--requests N] [--workers N] \
-                     [--queue-depth N] [--cache N] [--device cpu|a100|h100]";
+                     [--queue-depth N] [--cache N] [--max-batch N] [--fairness-share F] \
+                     [--device cpu|a100|h100] \
+                     [--open-loop] [--rps F] [--duration-secs F] [--skew F] \
+                     [--same-signature] [--seed N]";
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> usize {
     match args.get(i).and_then(|s| s.parse().ok()) {
@@ -38,32 +53,77 @@ fn parse_count(args: &[String], i: usize, flag: &str) -> usize {
     }
 }
 
+fn parse_f64(args: &[String], i: usize, flag: &str) -> f64 {
+    match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+        Some(v) if v.is_finite() && v >= 0.0 => v,
+        _ => {
+            eprintln!("{flag} needs a non-negative number");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = LoadConfig::default();
+    let mut serve = ServeConfig::default();
+    let mut clients = 8usize;
+    let mut requests_per_client = 50usize;
     let mut device = DeviceKind::H100;
+    let mut open_loop = false;
+    let mut rps = 800.0f64;
+    let mut duration_secs = 4.0f64;
+    let mut skew = 1.0f64;
+    let mut same_signature = false;
+    let mut seed = 7u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--clients" => {
                 i += 1;
-                cfg.clients = parse_count(&args, i, "--clients");
+                clients = parse_count(&args, i, "--clients");
             }
             "--requests" => {
                 i += 1;
-                cfg.requests_per_client = parse_count(&args, i, "--requests");
+                requests_per_client = parse_count(&args, i, "--requests");
             }
             "--workers" => {
                 i += 1;
-                cfg.serve.workers = parse_count(&args, i, "--workers");
+                serve.workers = parse_count(&args, i, "--workers");
             }
             "--queue-depth" => {
                 i += 1;
-                cfg.serve.queue_depth = parse_count(&args, i, "--queue-depth");
+                serve.queue_depth = parse_count(&args, i, "--queue-depth");
             }
             "--cache" => {
                 i += 1;
-                cfg.serve.cache_capacity = parse_count(&args, i, "--cache");
+                serve.cache_capacity = parse_count(&args, i, "--cache");
+            }
+            "--max-batch" => {
+                i += 1;
+                serve.max_batch = parse_count(&args, i, "--max-batch");
+            }
+            "--fairness-share" => {
+                i += 1;
+                serve.fairness_share = parse_f64(&args, i, "--fairness-share");
+            }
+            "--open-loop" => open_loop = true,
+            "--rps" => {
+                i += 1;
+                rps = parse_f64(&args, i, "--rps");
+            }
+            "--duration-secs" => {
+                i += 1;
+                duration_secs = parse_f64(&args, i, "--duration-secs");
+            }
+            "--skew" => {
+                i += 1;
+                skew = parse_f64(&args, i, "--skew");
+            }
+            "--same-signature" => same_signature = true,
+            "--seed" => {
+                i += 1;
+                seed = parse_count(&args, i, "--seed") as u64;
             }
             "--device" => {
                 i += 1;
@@ -92,7 +152,8 @@ fn main() {
     );
 
     // A mixed 12-signature workload: every (model, dataset, embed) pair the
-    // cache must distinguish.
+    // cache must distinguish. `--same-signature` keeps just the first — the
+    // pure signature-coalescing regime.
     let models = [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sgc];
     let datasets = [Dataset::CoAuthorsCiteseer, Dataset::Mycielskian17];
     let embeds = [(64usize, 128usize), (128, 64)];
@@ -105,7 +166,70 @@ fn main() {
             }
         }
     }
+    if same_signature {
+        workload.truncate(1);
+        // One tenant on purpose: the fairness bound must not throttle it.
+        serve.fairness_share = 1.0;
+    }
 
+    if open_loop {
+        let cfg = OpenLoopConfig {
+            rps,
+            duration_secs,
+            skew,
+            seed,
+            serve,
+            ..OpenLoopConfig::default()
+        };
+        eprintln!(
+            "[load] open loop: {rps} req/s offered for {duration_secs}s over {} signatures \
+             (skew {skew}, {} workers, queue depth {}, max batch {})...",
+            workload.len(),
+            cfg.serve.workers,
+            cfg.serve.queue_depth,
+            cfg.serve.max_batch
+        );
+        let report = serve_load::run_open_loop(granii, &workload, &cfg);
+        println!(
+            "serve_bench: open loop, {} offered ({:.1} req/s realized) in {:.2}s on {device}",
+            report.offered, report.offered_rps, report.wall_seconds
+        );
+        println!("  throughput      {:>10.1} req/s", report.throughput_rps);
+        println!(
+            "  latency (ms)    p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}  mean {:.3}",
+            report.latency.p50_ms,
+            report.latency.p95_ms,
+            report.latency.p99_ms,
+            report.latency.max_ms,
+            report.latency.mean_ms
+        );
+        println!(
+            "  batch           groups {}  batches {}  batched reqs {}  size mean {:.2} p50 {:.0} p95 {:.0}",
+            report.batch.count,
+            report.stats.batches,
+            report.stats.batched_requests,
+            report.batch.mean_ns(),
+            report.batch.p50_ns(),
+            report.batch.p95_ns()
+        );
+        println!(
+            "  outcomes        completed {}  shed {} (tenant {})  failed {}  degraded {}",
+            report.completed, report.shed, report.stats.tenant_shed, report.failed, report.degraded
+        );
+        print_sketches(&report.latency_sketches);
+        print_cache(&report.stats);
+        if report.failed > 0 {
+            eprintln!("serve_bench: FAILED — {} requests errored", report.failed);
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let cfg = LoadConfig {
+        clients,
+        requests_per_client,
+        serve,
+    };
     eprintln!(
         "[load] {} clients x {} requests over {} signatures ({} workers, queue depth {}, cache {})...",
         cfg.clients,
@@ -131,11 +255,24 @@ fn main() {
         report.latency.max_ms,
         report.latency.mean_ms
     );
-    // The client-side sample above is exact but shallow: at a few hundred
-    // requests its "p99" is one observation. The server's sketches see
-    // every request at bounded relative error — merge the per-outcome
-    // distributions for the whole-server deep tail.
-    if let Some(merged) = serve_load::merged_latency_sketch(&report.latency_sketches) {
+    print_sketches(&report.latency_sketches);
+    println!(
+        "  outcomes        completed {}  shed {}  failed {}  degraded {}",
+        report.completed, report.shed, report.failed, report.degraded
+    );
+    print_cache(&report.stats);
+    if report.failed > 0 {
+        eprintln!("serve_bench: FAILED — {} requests errored", report.failed);
+        std::process::exit(1);
+    }
+}
+
+/// The client-side sample is exact but shallow: at a few hundred requests
+/// its "p99" is one observation. The server's sketches see every request at
+/// bounded relative error — merge the per-outcome distributions for the
+/// whole-server deep tail.
+fn print_sketches(sketches: &[granii_telemetry::SketchSnapshot]) {
+    if let Some(merged) = serve_load::merged_latency_sketch(sketches) {
         println!(
             "  sketch (ms)     p50 {:.3}  p95 {:.3}  p99 {:.3}  p999 {:.3}  (α={:.0}%, merged over outcomes)",
             merged.p50_ns() / 1e6,
@@ -144,7 +281,7 @@ fn main() {
             merged.p999_ns() / 1e6,
             merged.alpha * 100.0
         );
-        for snap in &report.latency_sketches {
+        for snap in sketches {
             if snap.count == 0 {
                 continue;
             }
@@ -158,19 +295,14 @@ fn main() {
             );
         }
     }
-    println!(
-        "  outcomes        completed {}  shed {}  failed {}  degraded {}",
-        report.completed, report.shed, report.failed, report.degraded
-    );
+}
+
+fn print_cache(stats: &ServeStats) {
     println!(
         "  cache           hits {}  misses {}  evictions {}  hit rate {:.1}%",
-        report.stats.cache_hits,
-        report.stats.cache_misses,
-        report.stats.cache_evictions,
-        report.stats.cache_hit_rate * 100.0
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_hit_rate * 100.0
     );
-    if report.failed > 0 {
-        eprintln!("serve_bench: FAILED — {} requests errored", report.failed);
-        std::process::exit(1);
-    }
 }

@@ -1,20 +1,29 @@
-//! Closed-loop multi-client load harness for the serving runtime
-//! (`granii-serve`), shared by the `serve_bench` binary and the
-//! bench-snapshot serving cell.
+//! Load harnesses for the serving runtime (`granii-serve`), shared by the
+//! `serve_bench` binary and the bench-snapshot serving cell.
 //!
-//! Closed loop means each client issues its next request only after the
-//! previous one replied — offered load adapts to service rate, so the
-//! harness measures sustainable throughput and tail latency rather than
-//! queue explosion. Shed requests ([`granii_serve::ServeError::Overloaded`])
-//! are counted and the client moves on; any other error is a harness
-//! failure.
+//! Two load models:
+//!
+//! - **Closed loop** ([`run_load`]): each client issues its next request
+//!   only after the previous one replied — offered load adapts to service
+//!   rate, so the harness measures sustainable throughput and tail latency
+//!   rather than queue explosion.
+//! - **Open loop** ([`run_open_loop`]): arrivals follow a Poisson process
+//!   at a fixed offered rate, independent of completions — the model that
+//!   actually exercises continuous batching (requests pile up while a
+//!   worker is busy and get coalesced), with a configurable zipf-style
+//!   tenant skew over the workload signatures.
+//!
+//! In both, shed requests ([`granii_serve::ServeError::Overloaded`]) are
+//! counted and the harness moves on; any other error is a harness failure.
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use granii_core::Granii;
-use granii_serve::{ServeConfig, ServeError, ServeRequest, ServeStats, Server};
+use granii_serve::{ServeConfig, ServeError, ServeRequest, ServeStats, Server, Ticket};
 use granii_telemetry::SketchSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Load-test shape: how many clients, how many requests each.
 #[derive(Debug, Clone)]
@@ -196,6 +205,213 @@ pub fn run_load(granii: Arc<Granii>, workload: &[ServeRequest], cfg: &LoadConfig
     }
 }
 
+/// Open-loop load shape: offered rate, duration, and tenant skew.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate in requests per second (Poisson process).
+    pub rps: f64,
+    /// How long arrivals are generated for, in seconds.
+    pub duration_secs: f64,
+    /// Zipf-style tenant skew over the workload: signature `i` gets weight
+    /// `1 / (i + 1)^skew`. `0` is uniform; larger values concentrate
+    /// traffic on the first signatures (the regime where signature
+    /// coalescing pays).
+    pub skew: f64,
+    /// Reply-waiter threads draining tickets (the submitter never blocks on
+    /// a reply — that would close the loop).
+    pub waiters: usize,
+    /// Arrival-schedule RNG seed: the same seed offers the same arrival
+    /// times and signature picks.
+    pub seed: u64,
+    /// Serving runtime configuration under test.
+    pub serve: ServeConfig,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rps: 500.0,
+            duration_secs: 2.0,
+            skew: 1.0,
+            waiters: 4,
+            seed: 7,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Wall time from first arrival to last reply.
+    pub wall_seconds: f64,
+    /// Arrivals the schedule offered.
+    pub offered: u64,
+    /// Offered rate actually realized (`offered / wall`).
+    pub offered_rps: f64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Requests shed at admission (queue depth or tenant bound).
+    pub shed: u64,
+    /// Requests that failed with any other error (0 in a healthy run).
+    pub failed: u64,
+    /// Responses served via the degradation fallback.
+    pub degraded: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// End-to-end (submit-to-reply) latency distribution.
+    pub latency: LatencySummary,
+    /// The server's batch-group size distribution (`serve.batch.size`).
+    pub batch: SketchSnapshot,
+    /// The server's own counters at the end of the run.
+    pub stats: ServeStats,
+    /// Per-outcome latency sketches, as in [`LoadReport`].
+    pub latency_sketches: Vec<SketchSnapshot>,
+}
+
+/// Pre-generates the Poisson arrival schedule: cumulative exponential gaps
+/// (`−ln(U)/λ`) paired with a skew-weighted signature index per arrival.
+fn arrival_schedule(cfg: &OpenLoopConfig, signatures: usize) -> Vec<(Duration, usize)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Cumulative zipf-ish weights over the signatures.
+    let mut cumulative = Vec::with_capacity(signatures);
+    let mut total = 0.0f64;
+    for i in 0..signatures {
+        total += 1.0 / ((i + 1) as f64).powf(cfg.skew);
+        cumulative.push(total);
+    }
+    let mut schedule = Vec::new();
+    let mut at = 0.0f64;
+    loop {
+        // Exponential inter-arrival gap; 1 − U keeps ln away from 0.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        at += -(1.0 - u).ln() / cfg.rps;
+        if at >= cfg.duration_secs {
+            return schedule;
+        }
+        let pick: f64 = rng.gen_range(0.0..total);
+        let index = cumulative
+            .partition_point(|c| *c <= pick)
+            .min(signatures - 1);
+        schedule.push((Duration::from_secs_f64(at), index));
+    }
+}
+
+/// Runs the open-loop load test: arrivals are submitted on schedule whether
+/// or not earlier requests finished (tickets are drained by a waiter pool),
+/// so queueing — and therefore batching — emerges whenever the offered rate
+/// exceeds the service rate.
+///
+/// # Panics
+///
+/// Panics if `workload` is empty, or the rate/duration are not positive.
+pub fn run_open_loop(
+    granii: Arc<Granii>,
+    workload: &[ServeRequest],
+    cfg: &OpenLoopConfig,
+) -> OpenLoopReport {
+    assert!(!workload.is_empty(), "load test needs at least one request");
+    assert!(
+        cfg.rps > 0.0 && cfg.duration_secs > 0.0,
+        "open loop needs a positive rate and duration"
+    );
+    let schedule = arrival_schedule(cfg, workload.len());
+    let offered = schedule.len() as u64;
+    let server = Server::start(granii, cfg.serve.clone());
+    let (tx, rx) = mpsc::channel::<Ticket>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let t0 = Instant::now();
+    let (per_waiter, shed, submit_failed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.waiters.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let (mut failed, mut degraded) = (0u64, 0u64);
+                    loop {
+                        // Holding the lock across `recv` is fine: whoever
+                        // holds it takes the next ticket and releases before
+                        // the (long) reply wait.
+                        let ticket = match rx.lock().unwrap_or_else(PoisonError::into_inner).recv()
+                        {
+                            Ok(ticket) => ticket,
+                            Err(_) => break, // submitter hung up, queue drained
+                        };
+                        match ticket.wait() {
+                            Ok(response) => {
+                                latencies.push(response.timing.total_seconds);
+                                if response.degraded {
+                                    degraded += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (latencies, failed, degraded)
+                })
+            })
+            .collect();
+
+        // The submitter: fire every arrival at its scheduled offset.
+        let (mut shed, mut submit_failed) = (0u64, 0u64);
+        for (at, index) in &schedule {
+            if let Some(gap) = at.checked_sub(t0.elapsed()) {
+                std::thread::sleep(gap);
+            }
+            match server.submit(workload[*index].clone()) {
+                Ok(ticket) => {
+                    let _ = tx.send(ticket);
+                }
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(_) => submit_failed += 1,
+            }
+        }
+        drop(tx); // waiters exit once the in-flight tickets drain
+        let per_waiter: Vec<(Vec<f64>, u64, u64)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop waiter panicked"))
+            .collect();
+        (per_waiter, shed, submit_failed)
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let batch = server.batch_sketch();
+    let latency_sketches = server.latency_sketches();
+    server.shutdown();
+
+    let mut all_latencies = Vec::new();
+    let (mut failed, mut degraded) = (submit_failed, 0u64);
+    for (lat, f, d) in per_waiter {
+        all_latencies.extend(lat);
+        failed += f;
+        degraded += d;
+    }
+    let completed = all_latencies.len() as u64;
+    OpenLoopReport {
+        wall_seconds,
+        offered,
+        offered_rps: if wall_seconds > 0.0 {
+            offered as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        completed,
+        shed,
+        failed,
+        degraded,
+        throughput_rps: if wall_seconds > 0.0 {
+            completed as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        latency: summarize_latencies(&all_latencies),
+        batch,
+        stats,
+        latency_sketches,
+    }
+}
+
 /// Per-phase outcome of a [`run_drift_scenario`] run.
 #[derive(Debug, Clone)]
 pub struct DriftPhaseReport {
@@ -306,6 +522,50 @@ mod tests {
         assert_eq!(summary.count, 3);
         assert_eq!(summary.p50_ms, 2.0);
         assert_eq!(summary.max_ms, 3.0);
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic_skewed_and_rate_matched() {
+        let cfg = OpenLoopConfig {
+            rps: 1000.0,
+            duration_secs: 2.0,
+            skew: 1.5,
+            ..OpenLoopConfig::default()
+        };
+        let a = arrival_schedule(&cfg, 6);
+        let b = arrival_schedule(&cfg, 6);
+        assert_eq!(a.len(), b.len(), "same seed, same schedule");
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+        // ~2000 expected arrivals; Poisson keeps it within a loose band.
+        assert!(a.len() > 1500 && a.len() < 2500, "got {}", a.len());
+        // Arrival times are sorted and inside the window.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(a.last().unwrap().0.as_secs_f64() < cfg.duration_secs);
+        // Skew concentrates on signature 0 and still reaches the tail.
+        let head = a.iter().filter(|(_, i)| *i == 0).count();
+        let tail = a.iter().filter(|(_, i)| *i == 5).count();
+        assert!(
+            head > tail,
+            "skew must favor signature 0 ({head} vs {tail})"
+        );
+        assert!(tail > 0, "tail signatures still receive traffic");
+        assert!(a.iter().all(|(_, i)| *i < 6));
+        // Uniform skew (0) spreads the load roughly evenly.
+        let uniform = arrival_schedule(
+            &OpenLoopConfig {
+                skew: 0.0,
+                ..cfg.clone()
+            },
+            4,
+        );
+        for sig in 0..4usize {
+            let n = uniform.iter().filter(|(_, i)| *i == sig).count();
+            assert!(
+                n > uniform.len() / 8,
+                "uniform skew starved signature {sig} ({n}/{})",
+                uniform.len()
+            );
+        }
     }
 
     #[test]

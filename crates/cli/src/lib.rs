@@ -131,7 +131,7 @@ pub fn usage() -> String {
                  (--graph FILE | --dataset CODE [--scale tiny|small])\n\
        serve-demo --models FILE (--graph FILE | --dataset CODE [--scale ...])\n\
                  [--model NAME] [--k1 N] [--k2 N] [--requests N] [--workers N]\n\
-                 [--status-out FILE] [--trace-every N]\n\
+                 [--max-batch N] [--status-out FILE] [--trace-every N]\n\
                  --status-out writes a live ServerStatus snapshot as JSON;\n\
                  --trace-every samples every Nth request into its own trace\n\
                  lane (needs --trace-out; default 1, 0 disables)\n\
@@ -554,6 +554,7 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     let k2 = args.usize_or("k2", 32)?;
     let requests = args.usize_or("requests", 16)?.max(2);
     let workers = args.usize_or("workers", 2)?.max(1);
+    let max_batch = args.usize_or("max-batch", 8)?.max(1);
     // Per-request trace-lane sampling; only takes effect when telemetry is
     // on (i.e. --trace-out or a sibling flag was given).
     let trace_every = args.usize_or("trace-every", 1)? as u64;
@@ -563,6 +564,7 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         granii,
         ServeConfig {
             workers,
+            max_batch,
             trace_sample_every: trace_every,
             ..ServeConfig::default()
         },
@@ -591,9 +593,35 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
             hot.push(response.timing.total_seconds);
         }
     }
+    // A burst of concurrent submits: with the workers busy, the queue backs
+    // up and the dispatcher coalesces same-signature requests into
+    // multi-RHS batch groups (the sequential loop above never batches —
+    // each request completes before the next is submitted).
+    let tickets: Vec<_> = (0..requests)
+        .map(|_| server.submit(ServeRequest::new(model, graph.clone(), k1, k2)))
+        .collect();
+    let mut burst_completed = 0u64;
+    let mut burst_batched = 0u64;
+    for ticket in tickets {
+        let response = ticket
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())?;
+        burst_completed += 1;
+        if response.batch_size >= 2 {
+            burst_batched += 1;
+        }
+    }
     let stats = server.stats();
     let status = server.status();
     server.shutdown();
+    writeln!(
+        out,
+        "  burst: {burst_completed} requests, {burst_batched} served in batch groups \
+         (max batch {max_batch}, {} groups formed)",
+        status.batching.groups
+    )
+    .expect("fmt");
     hot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     writeln!(
         out,

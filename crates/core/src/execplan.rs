@@ -488,6 +488,80 @@ impl ExecPlan {
             };
         }
 
+        // Batched (multi-RHS) lowering, decided once per bind: a value is
+        // "batched" when it carries per-request columns — the Features leaf,
+        // and everything the iteration derives from it. The plan admits
+        // batched execution iff every per-iteration instruction has a
+        // column-stacked kernel for its operand pattern (attention/edge-wise
+        // and diagonal iteration steps do not; those plans keep the serial
+        // path). Setup instructions ran above on narrow buffers and are
+        // block-invariant by construction, so they never need widening.
+        let mut batched = vec![false; self.values.len()];
+        if let Some((features, _)) = self
+            .leaves
+            .iter()
+            .find(|(_, leaf)| matches!(leaf, Leaf::Features))
+        {
+            batched[*features] = true;
+        }
+        let mut supported = true;
+        for instr in &self.iter {
+            let ok = match instr {
+                Instr::Gemm { a, b, out } => {
+                    // Stacked LHS against the shared (unbatched) weight.
+                    batched[*a] && !batched[*b] && {
+                        batched[*out] = true;
+                        true
+                    }
+                }
+                Instr::Spmm { x, out, .. }
+                | Instr::RowBroadcast { x, out, .. }
+                | Instr::ColBroadcast { x, out, .. }
+                | Instr::Relu { x, out } => {
+                    batched[*x] && {
+                        batched[*out] = true;
+                        true
+                    }
+                }
+                Instr::AddN { parts, out } => {
+                    parts.iter().all(|p| batched[*p]) && {
+                        batched[*out] = true;
+                        true
+                    }
+                }
+                _ => false,
+            };
+            if !ok {
+                supported = false;
+                break;
+            }
+        }
+        supported = supported && batched[self.output];
+        let batch_plan = if supported {
+            // Per-slot single-request block width for every slot that needs
+            // a wide twin (batched iteration outputs and operands).
+            let mut wide_cols = vec![0usize; num_slots];
+            for instr in &self.iter {
+                for v in instr.operands().into_iter().chain([instr.out()]) {
+                    if batched[v] {
+                        let (_, c) = dense_dims(shape_of(&shape, v)?)?;
+                        wide_cols[slot_of[v]] = c;
+                    }
+                }
+            }
+            let features_slot = self
+                .leaves
+                .iter()
+                .find(|(id, leaf)| matches!(leaf, Leaf::Features) && wide_cols[slot_of[*id]] > 0)
+                .map(|(id, _)| slot_of[*id]);
+            Some(BatchLowering {
+                wide_cols,
+                features_slot,
+            })
+        } else {
+            None
+        };
+
         let mut bound = BoundPlan {
             setup: self.setup.clone(),
             iter: self.iter.clone(),
@@ -498,6 +572,8 @@ impl ExecPlan {
             expr: self.expr.clone(),
             setup_stats: vec![InstrStat::default(); self.setup.len()],
             profiler: None,
+            batch_plan,
+            batch_state: None,
         };
         // Hoisted precompute: charged once, here. Attribution is captured
         // per instruction so a later profile report can show the setup rows
@@ -824,6 +900,32 @@ pub struct IterationObservation {
     pub charged_seconds: f64,
 }
 
+/// Bind-time batched lowering: which physical slots get wide (multi-RHS)
+/// twins, and how wide one request's block is in each. `None` on a
+/// [`BoundPlan`] means the plan has no column-stacked lowering and callers
+/// must iterate serially per request.
+#[derive(Debug, Clone)]
+struct BatchLowering {
+    /// Per-slot single-request block width; `0` for slots without a wide
+    /// twin (sparse, diagonal, weight, and setup-only slots).
+    wide_cols: Vec<usize>,
+    /// Slot of the Features leaf when the iteration reads it — the wide twin
+    /// is seeded by tiling the bound `H` across every block.
+    features_slot: Option<usize>,
+}
+
+/// Lazily-allocated wide buffers for batched execution, sized once for the
+/// widest batch (`capacity` blocks); a smaller batch touches only its
+/// leading blocks, so steady-state batched iteration allocates nothing.
+#[derive(Debug)]
+struct BatchState {
+    capacity: usize,
+    /// Per-slot wide twin (`rows × capacity·wide_cols[slot]`), `None` where
+    /// `wide_cols` is 0. `Option` also lets the executor vacate the output
+    /// buffer during a kernel, mirroring the serial slot protocol.
+    wide: Vec<Option<DenseMatrix>>,
+}
+
 /// An [`ExecPlan`] bound to concrete inputs: every value has a physical
 /// buffer, the hoisted setup has run, and [`BoundPlan::iterate`] performs one
 /// steady-state iteration with zero heap allocation and zero string lookups.
@@ -838,6 +940,8 @@ pub struct BoundPlan {
     expr: String,
     setup_stats: Vec<InstrStat>,
     profiler: Option<IterProfiler>,
+    batch_plan: Option<BatchLowering>,
+    batch_state: Option<BatchState>,
 }
 
 impl BoundPlan {
@@ -906,6 +1010,221 @@ impl BoundPlan {
         );
         granii_telemetry::counter_add("execplan.iterations", 1);
         self.output()
+    }
+
+    /// Whether this plan admits batched (multi-RHS) execution. Decided at
+    /// bind time: true iff every per-iteration instruction has a
+    /// column-stacked lowering (attention/edge-wise plans do not).
+    pub fn batch_supported(&self) -> bool {
+        self.batch_plan.is_some()
+    }
+
+    /// The widest batch [`BoundPlan::iterate_batched`] can currently run
+    /// (0 until [`BoundPlan::ensure_batch`] has allocated wide buffers).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_state.as_ref().map_or(0, |s| s.capacity)
+    }
+
+    /// Makes sure wide buffers exist for batches up to `capacity` blocks,
+    /// allocating (grow-only) when needed and tiling the bound features
+    /// across every block. Returns `false` — allocating nothing — when the
+    /// plan has no batched lowering. This is the batched path's only
+    /// allocation site: treat it as bind-time warm-up; steady-state
+    /// [`BoundPlan::iterate_batched`] calls are allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] for a zero `capacity` and propagates
+    /// allocation-guard errors.
+    pub fn ensure_batch(&mut self, capacity: usize) -> Result<bool> {
+        let Some(lowering) = &self.batch_plan else {
+            return Ok(false);
+        };
+        if capacity == 0 {
+            return Err(CoreError::InvalidIr(
+                "batch capacity must be at least 1".into(),
+            ));
+        }
+        if let Some(state) = &self.batch_state {
+            if state.capacity >= capacity {
+                return Ok(true);
+            }
+        }
+        let mut wide: Vec<Option<DenseMatrix>> = vec![None; self.slots.len()];
+        for (slot, &k) in lowering.wide_cols.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let rows = dense_at(&self.slots, slot, "batched buffer seed")?.rows();
+            wide[slot] = Some(DenseMatrix::zeros(rows, capacity * k)?);
+        }
+        if let Some(fs) = lowering.features_slot {
+            let narrow = dense_at(&self.slots, fs, "features")?;
+            let buf = wide[fs].as_mut().expect("features slot has a wide twin");
+            granii_matrix::ops::tile_cols_into(narrow, capacity, buf)?;
+        }
+        self.batch_state = Some(BatchState { capacity, wide });
+        Ok(true)
+    }
+
+    /// Overwrites block `t` of the wide features buffer with `h` — for
+    /// callers whose stacked requests carry *distinct* right-hand sides.
+    /// (After [`BoundPlan::ensure_batch`], every block defaults to the bound
+    /// `H`.) Uncharged, like leaf seeding at bind time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] if the plan has no batched features
+    /// buffer, `t` lies outside the bound capacity, or `h` has the wrong
+    /// shape.
+    pub fn seed_batch_features(&mut self, t: usize, h: &DenseMatrix) -> Result<()> {
+        let fs = self
+            .batch_plan
+            .as_ref()
+            .and_then(|l| l.features_slot)
+            .ok_or_else(|| CoreError::InvalidIr("plan has no batched features buffer".into()))?;
+        let state = self.batch_state.as_mut().ok_or_else(|| {
+            CoreError::InvalidIr("seed_batch_features before ensure_batch".into())
+        })?;
+        if t >= state.capacity {
+            return Err(CoreError::InvalidIr(format!(
+                "block {t} outside the bound capacity {}",
+                state.capacity
+            )));
+        }
+        let narrow = dense_at(&self.slots, fs, "features")?;
+        if h.shape() != narrow.shape() {
+            return Err(CoreError::InvalidIr(format!(
+                "features block shape {:?} does not match the bound {:?}",
+                h.shape(),
+                narrow.shape()
+            )));
+        }
+        let buf = state.wide[fs]
+            .as_mut()
+            .expect("features slot has a wide twin");
+        let k = h.cols();
+        for i in 0..h.rows() {
+            buf.row_mut(i)[t * k..(t + 1) * k].copy_from_slice(h.row(i));
+        }
+        Ok(())
+    }
+
+    /// Runs one steady-state iteration over `batch` column-stacked requests
+    /// — ONE multi-RHS pass through the instruction list. Block `t`'s result
+    /// (readable via [`BoundPlan::output_block`]) is bitwise identical to a
+    /// serial [`BoundPlan::iterate`] for that request, and the engine is
+    /// charged exactly `batch` serial iterations (per-column charge
+    /// semantics unchanged), so a per-request share is `charged / batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] if the plan has no batched lowering
+    /// or `batch` exceeds the [`BoundPlan::ensure_batch`] capacity;
+    /// propagates kernel errors.
+    pub fn iterate_batched(&mut self, exec: &Exec, batch: usize) -> Result<()> {
+        let t0 = Instant::now();
+        let Some(lowering) = &self.batch_plan else {
+            return Err(CoreError::InvalidIr(format!(
+                "plan {} has no batched lowering",
+                self.expr
+            )));
+        };
+        let Some(state) = &mut self.batch_state else {
+            return Err(CoreError::InvalidIr(
+                "iterate_batched before ensure_batch".into(),
+            ));
+        };
+        if batch == 0 || batch > state.capacity {
+            return Err(CoreError::InvalidIr(format!(
+                "batch {batch} outside the bound capacity {}",
+                state.capacity
+            )));
+        }
+        if let Some(profiler) = &mut self.profiler {
+            profiler.iterations += 1;
+            for (i, instr) in self.iter.iter().enumerate() {
+                let mark = exec.profile_mark();
+                let start = Instant::now();
+                exec_batched_instr(
+                    exec,
+                    instr,
+                    &self.slot_of,
+                    &self.slots,
+                    lowering,
+                    &mut state.wide,
+                    batch,
+                    self.irregularity,
+                )?;
+                let host_ns = start.elapsed().as_nanos() as u64;
+                profiler.stats[i].absorb(host_ns, &exec.charged_since(mark));
+            }
+        } else {
+            for instr in &self.iter {
+                exec_batched_instr(
+                    exec,
+                    instr,
+                    &self.slot_of,
+                    &self.slots,
+                    lowering,
+                    &mut state.wide,
+                    batch,
+                    self.irregularity,
+                )?;
+            }
+        }
+        granii_telemetry::histogram_record_seconds(
+            "execplan.iteration",
+            t0.elapsed().as_secs_f64(),
+        );
+        granii_telemetry::counter_add("execplan.iterations", batch as u64);
+        Ok(())
+    }
+
+    /// [`BoundPlan::iterate_batched`] with the same observation contract as
+    /// [`BoundPlan::iterate_observed`]. The charged figure covers the whole
+    /// batch (`batch ×` the serial per-request charge on a modeled engine);
+    /// divide by `batch` for the per-request share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BoundPlan::iterate_batched`] errors.
+    pub fn iterate_batched_observed(
+        &mut self,
+        exec: &Exec,
+        batch: usize,
+    ) -> Result<IterationObservation> {
+        let mark = exec.profile_mark();
+        let start = Instant::now();
+        self.iterate_batched(exec, batch)?;
+        let host_seconds = start.elapsed().as_secs_f64();
+        let summary = exec.charged_since(mark);
+        Ok(IterationObservation {
+            host_seconds,
+            charged_seconds: summary.charged_seconds,
+        })
+    }
+
+    /// Extracts request `t`'s result from the most recent
+    /// [`BoundPlan::iterate_batched`] as a fresh single-request matrix (the
+    /// batched counterpart of cloning [`BoundPlan::output`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidIr`] if no batched state exists or `t`
+    /// lies outside the bound capacity.
+    pub fn output_block(&self, t: usize) -> Result<DenseMatrix> {
+        let state = self
+            .batch_state
+            .as_ref()
+            .ok_or_else(|| CoreError::InvalidIr("output_block before ensure_batch".into()))?;
+        let slot = self.slot_of[self.output];
+        let src = wide_at(&state.wide, slot, "batched output")?;
+        let narrow = dense_at(&self.slots, slot, "output")?;
+        let (rows, k) = narrow.shape();
+        let mut out = DenseMatrix::from_vec(rows, k, vec![0.0; rows * k])?;
+        granii_matrix::ops::copy_block_into(src, t, &mut out)?;
+        Ok(out)
     }
 
     /// Turns on per-instruction profiling for subsequent [`BoundPlan::iterate`]
@@ -1087,6 +1406,142 @@ fn merge_diags<'s>(
             Ok(Some(MergedDiag::Owned(acc)))
         }
     }
+}
+
+fn wide_at<'s>(
+    wide: &'s [Option<DenseMatrix>],
+    slot: usize,
+    what: &str,
+) -> Result<&'s DenseMatrix> {
+    wide[slot]
+        .as_ref()
+        .ok_or_else(|| CoreError::InvalidIr(format!("{what}: wide buffer unavailable")))
+}
+
+/// Executes one instruction's batched lowering: batched dense operands read
+/// their wide twins, everything else (sparse, diagonal, weight) reads the
+/// normal narrow slots. The wide output is vacated for the duration of the
+/// call, mirroring the serial slot protocol (slot assignment guarantees it
+/// never aliases a live operand, and the wide twins inherit that aliasing
+/// structure).
+#[allow(clippy::too_many_arguments)]
+fn exec_batched_instr(
+    exec: &Exec,
+    instr: &Instr,
+    slot_of: &[usize],
+    slots: &[Slot],
+    lowering: &BatchLowering,
+    wide: &mut [Option<DenseMatrix>],
+    batch: usize,
+    irr: f64,
+) -> Result<()> {
+    let out_slot = slot_of[instr.out()];
+    let mut out = wide[out_slot]
+        .take()
+        .ok_or_else(|| CoreError::InvalidIr("batched output buffer missing".into()))?;
+    let result = run_batched_into(
+        exec, instr, slot_of, slots, lowering, wide, batch, irr, &mut out,
+    );
+    wide[out_slot] = Some(out);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batched_into(
+    exec: &Exec,
+    instr: &Instr,
+    slot_of: &[usize],
+    slots: &[Slot],
+    lowering: &BatchLowering,
+    wide: &[Option<DenseMatrix>],
+    batch: usize,
+    irr: f64,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    match instr {
+        Instr::Gemm { a, b, .. } => {
+            exec.gemm_rhs_blocks_into(
+                wide_at(wide, slot_of[*a], "batched gemm lhs")?,
+                dense_at(slots, slot_of[*b], "gemm rhs")?,
+                batch,
+                out,
+            )?;
+        }
+        Instr::Spmm {
+            adj, x, weighted, ..
+        } => {
+            let semiring = if *weighted {
+                Semiring::plus_mul()
+            } else {
+                Semiring::plus_copy_rhs()
+            };
+            exec.spmm_cols_into(
+                sparse_at(slots, slot_of[*adj], "spmm adj")?,
+                wide_at(wide, slot_of[*x], "batched spmm rhs")?,
+                lowering.wide_cols[slot_of[*x]],
+                batch,
+                semiring,
+                irr,
+                out,
+            )?;
+        }
+        Instr::RowBroadcast { d, x, .. } => {
+            exec.row_broadcast_cols_into(
+                diag_at(slots, slot_of[*d], "row_broadcast diag")?,
+                wide_at(wide, slot_of[*x], "batched row_broadcast")?,
+                lowering.wide_cols[slot_of[*x]],
+                batch,
+                BroadcastOp::Mul,
+                out,
+            )?;
+        }
+        Instr::ColBroadcast { x, d, .. } => {
+            exec.col_broadcast_blocks_into(
+                wide_at(wide, slot_of[*x], "batched col_broadcast")?,
+                diag_at(slots, slot_of[*d], "col_broadcast diag")?,
+                batch,
+                BroadcastOp::Mul,
+                out,
+            )?;
+        }
+        Instr::Relu { x, .. } => {
+            exec.map_cols_into(
+                wide_at(wide, slot_of[*x], "batched relu")?,
+                lowering.wide_cols[slot_of[*x]],
+                batch,
+                1,
+                |v| v.max(0.0),
+                out,
+            )?;
+        }
+        Instr::AddN { parts, .. } => {
+            let k = lowering.wide_cols[slot_of[parts[0]]];
+            // Uncharged seed copy of the first part, then one charged
+            // element-wise add per further part — mirroring the serial AddN.
+            granii_matrix::ops::copy_cols_into(
+                wide_at(wide, slot_of[parts[0]], "batched add")?,
+                batch * k,
+                out,
+            )?;
+            for part in &parts[1..] {
+                exec.zip_cols_assign(
+                    out,
+                    wide_at(wide, slot_of[*part], "batched add")?,
+                    k,
+                    batch,
+                    1,
+                    |a, b| a + b,
+                )?;
+            }
+        }
+        other => {
+            return Err(CoreError::InvalidIr(format!(
+                "instruction {} has no batched lowering",
+                other.name()
+            )))
+        }
+    }
+    Ok(())
 }
 
 /// Executes one instruction against the slot table. The output slot is
@@ -1513,5 +1968,132 @@ mod tests {
         let exec = Exec::real(&engine);
         let err = plan.bind(&exec, &inputs).unwrap_err();
         assert!(matches!(err, CoreError::InvalidIr(_)), "{err}");
+    }
+
+    #[test]
+    fn batched_iterations_match_serial_bitwise() {
+        let cfg = LayerConfig::new(6, 4);
+        for model in [
+            ModelKind::Gcn,
+            ModelKind::Gin,
+            ModelKind::Sgc,
+            ModelKind::Sage,
+            ModelKind::Tagcn,
+        ] {
+            let compiled = plan_for(model, cfg);
+            let g = generators::power_law(22, 3, 7).unwrap();
+            let ctx = GraphCtx::new(&g).unwrap();
+            let h = DenseMatrix::random(22, 6, 1.0, 8);
+            let inputs = PlanInputs::for_model(model, cfg, &ctx, h, 9);
+            let engine = Engine::modeled(DeviceKind::Cpu);
+            let exec = Exec::real(&engine);
+            let mut any_batched = false;
+            for cand in &compiled.candidates {
+                let plan = ExecPlan::build(&cand.program).unwrap();
+                let mut serial = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+                let serial_obs = serial.iterate_observed(&exec).unwrap();
+                let want = serial.output().unwrap().clone();
+                let mut bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+                if !bound.ensure_batch(17).unwrap() {
+                    assert!(!bound.batch_supported(), "{}", plan.expr());
+                    continue;
+                }
+                any_batched = true;
+                assert!(bound.batch_capacity() >= 17);
+                for batch in [1usize, 3, 8, 17] {
+                    let obs = bound.iterate_batched_observed(&exec, batch).unwrap();
+                    // Per-request modeled charge matches the serial charge
+                    // (within f64 rounding of the batch-fold accumulation).
+                    let per_request = obs.charged_seconds / batch as f64;
+                    assert!(
+                        (per_request - serial_obs.charged_seconds).abs()
+                            <= 1e-9 * serial_obs.charged_seconds.max(1e-12),
+                        "{model} {}: batch {batch} charged {per_request} vs serial {}",
+                        plan.expr(),
+                        serial_obs.charged_seconds
+                    );
+                    for t in 0..batch {
+                        let got = bound.output_block(t).unwrap();
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "{model} {}: batch {batch} block {t} diverged",
+                            plan.expr()
+                        );
+                    }
+                }
+            }
+            assert!(any_batched, "{model}: no candidate lowered to a batch");
+        }
+    }
+
+    #[test]
+    fn batched_blocks_with_distinct_features_match_their_serial_runs() {
+        // Guards against block-indexing bugs that tiling identical RHS
+        // columns cannot catch: each block carries its own H and must
+        // reproduce exactly the serial run bound to that H.
+        let cfg = LayerConfig::new(5, 3);
+        let model = ModelKind::Gcn;
+        let compiled = plan_for(model, cfg);
+        let g = generators::power_law(19, 3, 13).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        const BATCH: usize = 3;
+        let hs: Vec<DenseMatrix> = (0..BATCH)
+            .map(|t| DenseMatrix::random(19, 5, 1.0, 100 + t as u64))
+            .collect();
+        let mut checked = 0;
+        for cand in &compiled.candidates {
+            let plan = ExecPlan::build(&cand.program).unwrap();
+            let inputs = PlanInputs::for_model(model, cfg, &ctx, hs[0].clone(), 17);
+            let mut bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+            if !bound.ensure_batch(BATCH).unwrap() {
+                continue;
+            }
+            for (t, h) in hs.iter().enumerate() {
+                bound.seed_batch_features(t, h).unwrap();
+            }
+            bound.iterate_batched(&exec, BATCH).unwrap();
+            for (t, h) in hs.iter().enumerate() {
+                let inputs = PlanInputs::for_model(model, cfg, &ctx, h.clone(), 17);
+                let mut serial = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+                let want = serial.iterate(&exec).unwrap();
+                let got = bound.output_block(t).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "{}: block {t} diverged from its serial run",
+                    plan.expr()
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "no GCN candidate lowered to a batch");
+    }
+
+    #[test]
+    fn attention_plans_report_no_batch_lowering() {
+        // GAT's edge-wise attention instructions (AttLogits/EdgeSoftmax/…)
+        // have no column-stacked lowering; the serving layer must fall back
+        // to serial execution for them.
+        let cfg = LayerConfig::new(5, 3);
+        let compiled = plan_for(ModelKind::Gat, cfg);
+        let g = generators::power_law(18, 3, 9).unwrap();
+        let ctx = GraphCtx::new(&g).unwrap();
+        let h = DenseMatrix::random(18, 5, 1.0, 4);
+        let inputs = PlanInputs::for_model(ModelKind::Gat, cfg, &ctx, h, 6);
+        let engine = Engine::modeled(DeviceKind::Cpu);
+        let exec = Exec::real(&engine);
+        for cand in &compiled.candidates {
+            let plan = ExecPlan::build(&cand.program).unwrap();
+            let mut bound = plan.bind(&exec, &inputs.as_program_inputs()).unwrap();
+            assert!(!bound.batch_supported(), "{}", plan.expr());
+            assert!(!bound.ensure_batch(4).unwrap(), "{}", plan.expr());
+            // Serial iteration still works on the same bound plan.
+            bound.iterate(&exec).unwrap();
+            let err = bound.iterate_batched(&exec, 2).unwrap_err();
+            assert!(matches!(err, CoreError::InvalidIr(_)), "{err}");
+        }
     }
 }

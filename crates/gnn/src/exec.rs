@@ -762,6 +762,186 @@ impl<'e> Exec<'e> {
         }
         Ok(())
     }
+
+    // --- Batched (multi-RHS) variants -----------------------------------
+    //
+    // One kernel invocation serves `batch` column-stacked requests. The
+    // charge contract is "unchanged per-column semantics": the stacked
+    // kernel runs under the *single-request* WorkStats, then the same stats
+    // are charged `batch - 1` more times — so the total charge equals
+    // exactly `batch` serial executions and a per-request share (total /
+    // batch) is bitwise the serial per-request charge on the modeled
+    // engine.
+
+    /// Charges the single-request `stats` for the `batch - 1` stacked
+    /// requests that rode along with the one the kernel ran under.
+    fn charge_followers(&self, stats: WorkStats, batch: usize) {
+        for _ in 1..batch {
+            self.engine.charge(stats);
+        }
+    }
+
+    /// Batched [`Exec::gemm_into`]: per block `t < batch`,
+    /// `out[:, t·k2..) = a[:, t·k1..) · b` (shared `b`), charged as `batch`
+    /// serial GEMMs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    pub fn gemm_rhs_blocks_into(
+        &self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        batch: usize,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::gemm(a.rows(), b.rows(), b.cols());
+        if self.compute {
+            self.engine
+                .run(stats, || ops::gemm_rhs_blocks_into(a, b, batch, out))?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
+
+    /// Batched [`Exec::spmm_into`]: one adjacency pass over the leading
+    /// `batch · k` columns, charged as `batch` serial `k`-column SpMMs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn spmm_cols_into(
+        &self,
+        adj: &CsrMatrix,
+        x: &DenseMatrix,
+        block_cols: usize,
+        batch: usize,
+        semiring: Semiring,
+        irregularity: f64,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let weighted = semiring.mul.reads_edge() && adj.is_weighted();
+        let stats = WorkStats::spmm(adj.rows(), adj.nnz(), block_cols, weighted, irregularity);
+        if self.compute {
+            self.engine.run(stats, || {
+                ops::spmm_cols_into(adj, x, batch * block_cols, semiring, out)
+            })?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
+
+    /// Batched [`Exec::row_broadcast_into`] over the leading `batch ·
+    /// block_cols` columns, charged as `batch` serial broadcasts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    pub fn row_broadcast_cols_into(
+        &self,
+        d: &[f32],
+        m: &DenseMatrix,
+        block_cols: usize,
+        batch: usize,
+        op: BroadcastOp,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::row_broadcast(m.rows(), block_cols);
+        if self.compute {
+            self.engine.run(stats, || {
+                ops::row_broadcast_cols_into(d, m, batch * block_cols, op, out)
+            })?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
+
+    /// Batched [`Exec::col_broadcast_into`]: applies the shared per-column
+    /// vector `d` to each of the `batch` blocks, charged as `batch` serial
+    /// broadcasts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    pub fn col_broadcast_blocks_into(
+        &self,
+        m: &DenseMatrix,
+        d: &[f32],
+        batch: usize,
+        op: BroadcastOp,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::col_broadcast(m.rows(), d.len());
+        if self.compute {
+            self.engine.run(stats, || {
+                ops::col_broadcast_blocks_into(m, d, batch, op, out)
+            })?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
+
+    /// Batched [`Exec::map_into`] over the leading `batch · block_cols`
+    /// columns, charged as `batch` serial maps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    pub fn map_cols_into(
+        &self,
+        m: &DenseMatrix,
+        block_cols: usize,
+        batch: usize,
+        flops_per_elem: u32,
+        f: impl Fn(f32) -> f32 + Sync,
+        out: &mut DenseMatrix,
+    ) -> Result<()> {
+        let stats = WorkStats::elementwise(m.rows() * block_cols, flops_per_elem);
+        if self.compute {
+            self.engine
+                .run(stats, || ops::map_cols_into(m, batch * block_cols, f, out))?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
+
+    /// Batched [`Exec::zip_assign`] over the leading `batch · block_cols`
+    /// columns, charged as `batch` serial accumulations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (including narrow buffers).
+    pub fn zip_cols_assign(
+        &self,
+        acc: &mut DenseMatrix,
+        b: &DenseMatrix,
+        block_cols: usize,
+        batch: usize,
+        flops_per_elem: u32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<()> {
+        let stats = WorkStats::elementwise(acc.rows() * block_cols, flops_per_elem);
+        if self.compute {
+            self.engine.run(stats, || {
+                ops::zip_cols_assign(acc, b, batch * block_cols, f)
+            })?;
+        } else {
+            self.engine.charge(stats);
+        }
+        self.charge_followers(stats, batch);
+        Ok(())
+    }
 }
 
 /// Validates a dense output buffer's shape for the virtual-mode `_into` paths

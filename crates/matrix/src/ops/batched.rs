@@ -1,0 +1,448 @@
+//! Multi-RHS (batched) variants of the hot `_into` kernels.
+//!
+//! The serving runtime coalesces same-signature requests into one batched
+//! execution: request `t`'s operand columns live in block `t` of a
+//! column-stacked buffer (`rows × capacity·k`, block `t` occupying columns
+//! `[t·k, (t+1)·k)`). Buffers are sized once for the widest batch
+//! (`capacity`) and a batch of `batch ≤ capacity` touches only the leading
+//! `batch` blocks, so steady-state batched execution allocates nothing.
+//!
+//! Every kernel here mirrors its serial sibling's inner loop **exactly** per
+//! block/column (same accumulation order, same zero-skip, same identity
+//! fill), which makes each block of a batched result bitwise identical to
+//! the serial `_into` result for that request — the correctness contract the
+//! serving tests assert.
+//!
+//! Parallelism remains deterministic: `par_rows` splits disjoint output rows
+//! exactly as in the serial kernels (with the stacked width, a batch crosses
+//! the parallel threshold earlier — small graphs that ran serially per
+//! request parallelize across the batch for free).
+
+use crate::parallel::par_rows;
+use crate::{CsrMatrix, DenseMatrix, MatrixError, ReduceOp, Result, Semiring};
+
+use super::BroadcastOp;
+
+fn check_wide(op: &'static str, want_rows: usize, want_cols: usize, m: &DenseMatrix) -> Result<()> {
+    if m.rows() != want_rows || m.cols() < want_cols {
+        return Err(MatrixError::ShapeMismatch {
+            op,
+            lhs: (want_rows, want_cols),
+            rhs: m.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Block-batched GEMM: for every block `t < batch`,
+/// `out[:, t·k2..(t+1)·k2] = a[:, t·k1..(t+1)·k1] · b`.
+///
+/// `a` and `out` are column-stacked batched buffers (at least `batch` blocks
+/// wide); `b` is the shared (unbatched) `k1 × k2` right-hand side. Each
+/// block runs the exact serial [`gemm_into`](super::gemm_into) loop
+/// (`i-k-j`, zero-filled, zero-`aik` skipped), so block `t` is bitwise equal
+/// to the serial product for request `t`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `a` or `out` has fewer than
+/// `batch` blocks or mismatched rows.
+pub fn gemm_rhs_blocks_into(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    batch: usize,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    let (k1, k2) = (b.rows(), b.cols());
+    check_wide("gemm_rhs_blocks", a.rows(), batch * k1, a)?;
+    check_wide("gemm_rhs_blocks_into", a.rows(), batch * k2, out)?;
+    let rows = a.rows();
+    let width = out.cols();
+    par_rows(out.as_mut_slice(), rows, width, |i, out_row| {
+        let a_row = a.row(i);
+        for t in 0..batch {
+            let a_blk = &a_row[t * k1..(t + 1) * k1];
+            let out_blk = &mut out_row[t * k2..(t + 1) * k2];
+            out_blk.fill(0.0);
+            for (k, &aik) in a_blk.iter().enumerate().take(k1) {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                for j in 0..k2 {
+                    out_blk[j] += aik * b_row[j];
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Multi-column SpMM: [`spmm_into`](super::spmm_into) over the leading
+/// `active` columns of a wide feature/output pair.
+///
+/// One pass over the adjacency serves every stacked request: per edge the
+/// column index and edge weight are loaded once and folded into all `active`
+/// columns. Per column the fold sequence is identical to the serial kernel
+/// (same edge order, same identity, same mean finish), so each column — and
+/// therefore each request's block — is bitwise equal to its serial result.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on row mismatches or buffers
+/// narrower than `active`.
+pub fn spmm_cols_into(
+    adj: &CsrMatrix,
+    feats: &DenseMatrix,
+    active: usize,
+    semiring: Semiring,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    if adj.cols() != feats.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "spmm_cols",
+            lhs: adj.shape(),
+            rhs: feats.shape(),
+        });
+    }
+    check_wide("spmm_cols", feats.rows(), active, feats)?;
+    check_wide("spmm_cols_into", adj.rows(), active, out)?;
+    let width = out.cols();
+    let reduce = semiring.reduce;
+    let mul = semiring.mul;
+    par_rows(out.as_mut_slice(), adj.rows(), width, |i, full_row| {
+        let out_row = &mut full_row[..active];
+        let cols = adj.row_indices(i);
+        let vals = adj.row_values(i);
+        let count = cols.len();
+        if count == 0 {
+            for v in out_row.iter_mut() {
+                *v = reduce.finish(reduce.identity(), 0);
+            }
+            return;
+        }
+        let ident = reduce.identity();
+        for v in out_row.iter_mut() {
+            *v = ident;
+        }
+        for (e, &j) in cols.iter().enumerate() {
+            let edge = vals.map_or(1.0, |v| v[e]);
+            let frow = &feats.row(j as usize)[..active];
+            for (c, v) in out_row.iter_mut().enumerate() {
+                *v = reduce.fold(*v, mul.apply(edge, frow[c]));
+            }
+        }
+        if matches!(reduce, ReduceOp::Mean) {
+            for v in out_row.iter_mut() {
+                *v = reduce.finish(*v, count);
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Multi-column row-broadcast: combines `d[i]` with the leading `active`
+/// elements of row `i` (the batched form of
+/// [`row_broadcast_into`](super::row_broadcast_into) — `d` is per-node, so
+/// one vector serves every stacked request).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on length/row mismatches or
+/// buffers narrower than `active`.
+pub fn row_broadcast_cols_into(
+    d: &[f32],
+    m: &DenseMatrix,
+    active: usize,
+    op: BroadcastOp,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    if d.len() != m.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "row_broadcast_cols",
+            lhs: (d.len(), 1),
+            rhs: m.shape(),
+        });
+    }
+    check_wide("row_broadcast_cols", m.rows(), active, m)?;
+    check_wide("row_broadcast_cols_into", m.rows(), active, out)?;
+    let width = out.cols();
+    par_rows(out.as_mut_slice(), m.rows(), width, |i, full_row| {
+        let di = d[i];
+        for (v, &mv) in full_row[..active].iter_mut().zip(&m.row(i)[..active]) {
+            *v = op.apply(di, mv);
+        }
+    });
+    Ok(())
+}
+
+/// Block-batched column-broadcast: applies the shared per-column vector `d`
+/// (length `k`, one request's column count) to every block:
+/// `out[i, t·k + j] = op(d[j], m[i, t·k + j])` for `t < batch`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on row mismatches or buffers
+/// narrower than `batch` blocks.
+pub fn col_broadcast_blocks_into(
+    m: &DenseMatrix,
+    d: &[f32],
+    batch: usize,
+    op: BroadcastOp,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    let k = d.len();
+    check_wide("col_broadcast_blocks", m.rows(), batch * k, m)?;
+    check_wide("col_broadcast_blocks_into", m.rows(), batch * k, out)?;
+    let width = out.cols();
+    par_rows(out.as_mut_slice(), m.rows(), width, |i, full_row| {
+        let m_row = m.row(i);
+        for t in 0..batch {
+            let base = t * k;
+            for ((v, &mv), &dj) in full_row[base..base + k]
+                .iter_mut()
+                .zip(&m_row[base..base + k])
+                .zip(d)
+            {
+                *v = op.apply(dj, mv);
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Multi-column element-wise map over the leading `active` columns
+/// (the batched form of the dense map the ReLU step lowers to).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on row mismatches or buffers
+/// narrower than `active`.
+pub fn map_cols_into(
+    m: &DenseMatrix,
+    active: usize,
+    f: impl Fn(f32) -> f32 + Sync,
+    out: &mut DenseMatrix,
+) -> Result<()> {
+    check_wide("map_cols", m.rows(), active, m)?;
+    check_wide("map_cols_into", m.rows(), active, out)?;
+    let width = out.cols();
+    par_rows(out.as_mut_slice(), m.rows(), width, |i, full_row| {
+        for (v, &mv) in full_row[..active].iter_mut().zip(&m.row(i)[..active]) {
+            *v = f(mv);
+        }
+    });
+    Ok(())
+}
+
+/// Multi-column element-wise zip-accumulate over the leading `active`
+/// columns: `dst[i, c] = f(dst[i, c], src[i, c])` (the batched form of the
+/// in-place accumulation the AddN step lowers to).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on row mismatches or buffers
+/// narrower than `active`.
+pub fn zip_cols_assign(
+    dst: &mut DenseMatrix,
+    src: &DenseMatrix,
+    active: usize,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Result<()> {
+    check_wide("zip_cols_src", dst.rows(), active, src)?;
+    check_wide("zip_cols_dst", src.rows(), active, dst)?;
+    let width = dst.cols();
+    let rows = dst.rows();
+    par_rows(dst.as_mut_slice(), rows, width, |i, full_row| {
+        for (v, &sv) in full_row[..active].iter_mut().zip(&src.row(i)[..active]) {
+            *v = f(*v, sv);
+        }
+    });
+    Ok(())
+}
+
+/// Copies the leading `active` columns of `src` into `dst` (row by row; the
+/// batched form of the uncharged seed copy AddN starts from).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on row mismatches or buffers
+/// narrower than `active`.
+pub fn copy_cols_into(src: &DenseMatrix, active: usize, dst: &mut DenseMatrix) -> Result<()> {
+    check_wide("copy_cols_src", dst.rows(), active, src)?;
+    check_wide("copy_cols_dst", src.rows(), active, dst)?;
+    let width = dst.cols();
+    let rows = dst.rows();
+    par_rows(dst.as_mut_slice(), rows, width, |i, full_row| {
+        full_row[..active].copy_from_slice(&src.row(i)[..active]);
+    });
+    Ok(())
+}
+
+/// Tiles `src` (`rows × k`) into the leading `batch` blocks of the wide
+/// `dst`: `dst[i, t·k + j] = src[i, j]` for every `t < batch` — how the
+/// shared per-signature feature matrix is stacked across a batch.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if `dst` has fewer than `batch`
+/// blocks or mismatched rows.
+pub fn tile_cols_into(src: &DenseMatrix, batch: usize, dst: &mut DenseMatrix) -> Result<()> {
+    let k = src.cols();
+    check_wide("tile_cols", src.rows(), batch * k, dst)?;
+    let width = dst.cols();
+    let rows = dst.rows();
+    par_rows(dst.as_mut_slice(), rows, width, |i, full_row| {
+        let s_row = src.row(i);
+        for t in 0..batch {
+            full_row[t * k..(t + 1) * k].copy_from_slice(s_row);
+        }
+    });
+    Ok(())
+}
+
+/// Copies block `t` (width `dst.cols()`) of the wide `src` into the
+/// per-request `dst` — how one request's result is extracted from a batched
+/// output buffer.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] if block `t` lies outside `src`.
+pub fn copy_block_into(src: &DenseMatrix, t: usize, dst: &mut DenseMatrix) -> Result<()> {
+    let k = dst.cols();
+    check_wide("copy_block", dst.rows(), (t + 1) * k, src)?;
+    let base = t * k;
+    let rows = dst.rows();
+    let width = dst.cols();
+    par_rows(dst.as_mut_slice(), rows, width, |i, row| {
+        row.copy_from_slice(&src.row(i)[base..base + k]);
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{col_broadcast_into, gemm_into, row_broadcast_into, spmm_into};
+    use super::*;
+    use crate::CooMatrix;
+
+    fn wide(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        DenseMatrix::random(rows, cols, 1.0, seed)
+    }
+
+    fn block(src: &DenseMatrix, t: usize, k: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::from_vec(src.rows(), k, vec![0.0; src.rows() * k]).unwrap();
+        copy_block_into(src, t, &mut out).unwrap();
+        out
+    }
+
+    fn sample_adj() -> CsrMatrix {
+        CooMatrix::from_entries(
+            5,
+            5,
+            &[
+                (0, 1, 2.0),
+                (0, 4, 3.0),
+                (1, 0, 1.0),
+                (2, 2, 4.0),
+                (4, 3, 0.5),
+            ],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn gemm_blocks_match_serial_bitwise() {
+        let (k1, k2, batch, cap) = (4, 3, 3, 5);
+        let a = wide(6, cap * k1, 1);
+        let b = wide(k1, k2, 2);
+        let mut out = DenseMatrix::from_vec(6, cap * k2, vec![f32::NAN; 6 * cap * k2]).unwrap();
+        gemm_rhs_blocks_into(&a, &b, batch, &mut out).unwrap();
+        for t in 0..batch {
+            let a_t = block(&a, t, k1);
+            let mut want = DenseMatrix::from_vec(6, k2, vec![0.0; 6 * k2]).unwrap();
+            gemm_into(&a_t, &b, &mut want).unwrap();
+            assert_eq!(block(&out, t, k2).as_slice(), want.as_slice(), "block {t}");
+        }
+        // Blocks beyond `batch` are untouched.
+        assert!(block(&out, batch, k2).as_slice().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn spmm_cols_match_serial_bitwise() {
+        let adj = sample_adj();
+        let (k, batch, cap) = (3, 2, 4);
+        let feats = wide(5, cap * k, 3);
+        let mut out = DenseMatrix::from_vec(5, cap * k, vec![f32::NAN; 5 * cap * k]).unwrap();
+        for semiring in [Semiring::plus_mul(), Semiring::mean_copy_rhs()] {
+            spmm_cols_into(&adj, &feats, batch * k, semiring, &mut out).unwrap();
+            for t in 0..batch {
+                let f_t = block(&feats, t, k);
+                let mut want = DenseMatrix::from_vec(5, k, vec![0.0; 5 * k]).unwrap();
+                spmm_into(&adj, &f_t, semiring, &mut want).unwrap();
+                assert_eq!(block(&out, t, k).as_slice(), want.as_slice(), "block {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcasts_match_serial_bitwise() {
+        let (k, batch, cap) = (3, 3, 4);
+        let m = wide(4, cap * k, 7);
+        let d_row: Vec<f32> = vec![0.5, -1.0, 2.0, 0.0];
+        let d_col: Vec<f32> = vec![1.5, 0.0, -2.5];
+        let mut out = DenseMatrix::from_vec(4, cap * k, vec![0.0; 4 * cap * k]).unwrap();
+        row_broadcast_cols_into(&d_row, &m, batch * k, BroadcastOp::Mul, &mut out).unwrap();
+        for t in 0..batch {
+            let m_t = block(&m, t, k);
+            let mut want = DenseMatrix::from_vec(4, k, vec![0.0; 4 * k]).unwrap();
+            row_broadcast_into(&d_row, &m_t, BroadcastOp::Mul, &mut want).unwrap();
+            assert_eq!(block(&out, t, k).as_slice(), want.as_slice());
+        }
+        col_broadcast_blocks_into(&m, &d_col, batch, BroadcastOp::Mul, &mut out).unwrap();
+        for t in 0..batch {
+            let m_t = block(&m, t, k);
+            let mut want = DenseMatrix::from_vec(4, k, vec![0.0; 4 * k]).unwrap();
+            col_broadcast_into(&m_t, &d_col, BroadcastOp::Mul, &mut want).unwrap();
+            assert_eq!(block(&out, t, k).as_slice(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn map_zip_tile_and_extract_roundtrip() {
+        let (k, batch, cap) = (2, 3, 4);
+        let src = wide(3, k, 9);
+        let mut tiled = DenseMatrix::from_vec(3, cap * k, vec![0.0; 3 * cap * k]).unwrap();
+        tile_cols_into(&src, batch, &mut tiled).unwrap();
+        for t in 0..batch {
+            assert_eq!(block(&tiled, t, k).as_slice(), src.as_slice());
+        }
+        let mut mapped = DenseMatrix::from_vec(3, cap * k, vec![0.0; 3 * cap * k]).unwrap();
+        map_cols_into(&tiled, batch * k, |v| v.max(0.0), &mut mapped).unwrap();
+        for t in 0..batch {
+            assert_eq!(
+                block(&mapped, t, k).as_slice(),
+                src.map(|v| v.max(0.0)).as_slice()
+            );
+        }
+        let mut acc = DenseMatrix::from_vec(3, cap * k, vec![0.0; 3 * cap * k]).unwrap();
+        copy_cols_into(&tiled, batch * k, &mut acc).unwrap();
+        zip_cols_assign(&mut acc, &tiled, batch * k, |a, b| a + b).unwrap();
+        for t in 0..batch {
+            assert_eq!(
+                block(&acc, t, k).as_slice(),
+                src.add(&src).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_buffers_are_rejected() {
+        let a = wide(2, 4, 1);
+        let b = wide(2, 2, 2);
+        let mut out = DenseMatrix::from_vec(2, 2, vec![0.0; 4]).unwrap();
+        assert!(gemm_rhs_blocks_into(&a, &b, 3, &mut out).is_err());
+        assert!(copy_block_into(&a, 2, &mut out).is_err());
+    }
+}

@@ -14,7 +14,7 @@ pub enum BroadcastOp {
 
 impl BroadcastOp {
     #[inline]
-    fn apply(self, d: f32, m: f32) -> f32 {
+    pub(crate) fn apply(self, d: f32, m: f32) -> f32 {
         match self {
             BroadcastOp::Mul => d * m,
             BroadcastOp::Add => d + m,

@@ -18,12 +18,17 @@
 //! it, so the two are bitwise identical. The `_into` forms are what the
 //! compile-once execution engine drives in steady state.
 
+mod batched;
 mod broadcast;
 mod edge;
 mod gemm;
 mod sddmm;
 mod spmm;
 
+pub use batched::{
+    col_broadcast_blocks_into, copy_block_into, copy_cols_into, gemm_rhs_blocks_into,
+    map_cols_into, row_broadcast_cols_into, spmm_cols_into, tile_cols_into, zip_cols_assign,
+};
 pub use broadcast::{
     col_broadcast, col_broadcast_into, row_broadcast, row_broadcast_into, BroadcastOp,
 };

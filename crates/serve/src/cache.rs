@@ -163,6 +163,16 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Counts `n` extra hits without a lookup — the batch dispatcher's
+    /// accounting for follower requests that ride the leader's entry (one
+    /// signature-coalesced group does one real lookup; every coalesced
+    /// follower was served from cache all the same).
+    pub fn note_shared_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

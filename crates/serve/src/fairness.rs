@@ -1,0 +1,294 @@
+//! Per-tenant admission fairness for the lock-free submit path.
+//!
+//! A tenant is a plan signature's graph fingerprint (pinned via
+//! [`crate::ServeRequest::with_signature`] or derived from the graph's
+//! content). Without a per-tenant bound, one hot tenant can fill the entire
+//! admission queue and starve everyone else *before* the queue-depth check
+//! ever sheds — the classic head-of-line capture problem. The
+//! [`TenantTable`] bounds how many queued (admitted but not yet dequeued)
+//! requests any single tenant may hold: `max(1, queue_depth × share)`.
+//!
+//! The table itself is lock-free, matching the admission path it sits on: a
+//! fixed array of slots claimed by fingerprint CAS, linear-probed from
+//! `fingerprint % slots`. Tenants beyond the probe window share one
+//! overflow slot (they are still bounded, just collectively) — serving
+//! workloads have a small working set of signatures, so in practice every
+//! tenant gets its own slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One tenant's admission accounting. `fp == 0` means unclaimed (the
+/// all-zero fingerprint, should a graph ever hash to it, shares the
+/// overflow slot — a capacity nuance, never a correctness one).
+struct TenantSlot {
+    fp: AtomicU64,
+    queued: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl TenantSlot {
+    fn new() -> Self {
+        TenantSlot {
+            fp: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one tenant's admission counters.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantRow {
+    /// The tenant's plan-signature fingerprint (`0` aggregates tenants that
+    /// overflowed the fixed table).
+    pub fingerprint: u64,
+    /// Requests currently queued for this tenant.
+    pub queued: u64,
+    /// Requests admitted over the server's lifetime.
+    pub admitted: u64,
+    /// Requests shed by the per-tenant bound (a subset of the server's
+    /// total shed count).
+    pub shed: u64,
+}
+
+/// Lock-free per-tenant admission bounds and counters (see module docs).
+pub struct TenantTable {
+    slots: Box<[TenantSlot]>,
+    overflow: TenantSlot,
+    /// Maximum queued requests per tenant.
+    cap: u64,
+}
+
+/// Fixed tenant-slot count; fingerprints that cannot claim a slot within
+/// the probe window share the overflow slot.
+const TENANT_SLOTS: usize = 64;
+
+/// Linear-probe distance before giving up and using the overflow slot.
+const PROBE_LIMIT: usize = 8;
+
+impl TenantTable {
+    /// Builds a table bounding each tenant to `max(1, queue_depth × share)`
+    /// queued requests. `share` is clamped to `[0, 1]`.
+    pub fn new(queue_depth: usize, share: f64) -> Self {
+        let share = share.clamp(0.0, 1.0);
+        let cap = ((queue_depth as f64 * share).ceil() as u64).max(1);
+        TenantTable {
+            slots: (0..TENANT_SLOTS).map(|_| TenantSlot::new()).collect(),
+            overflow: TenantSlot::new(),
+            cap,
+        }
+    }
+
+    /// The per-tenant queued bound.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Finds (or claims, by CAS on the fingerprint itself) the slot for
+    /// `fp`, falling back to the shared overflow slot when the probe window
+    /// is exhausted.
+    fn slot(&self, fp: u64) -> &TenantSlot {
+        if fp == 0 {
+            return &self.overflow;
+        }
+        let n = self.slots.len();
+        let start = (fp % n as u64) as usize;
+        for probe in 0..PROBE_LIMIT {
+            let slot = &self.slots[(start + probe) % n];
+            match slot.fp.load(Ordering::Acquire) {
+                cur if cur == fp => return slot,
+                0 => match slot
+                    .fp
+                    .compare_exchange(0, fp, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => return slot,
+                    Err(winner) if winner == fp => return slot,
+                    Err(_) => {} // someone else's tenant; keep probing
+                },
+                _ => {}
+            }
+        }
+        &self.overflow
+    }
+
+    /// Attempts to admit one request for tenant `fp`: increments the
+    /// tenant's queued count unless it is already at the bound. Returns
+    /// whether the request may proceed to the queue push; on `false` the
+    /// tenant's shed counter has been bumped.
+    pub fn try_admit(&self, fp: u64) -> bool {
+        let slot = self.slot(fp);
+        let mut queued = slot.queued.load(Ordering::Relaxed);
+        loop {
+            if queued >= self.cap {
+                slot.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match slot.queued.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    slot.admitted.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(q) => queued = q,
+            }
+        }
+    }
+
+    /// Releases one queued count for tenant `fp` — called when the request
+    /// leaves the queue (worker dequeue).
+    pub fn release(&self, fp: u64) {
+        let slot = self.slot(fp);
+        // Saturating: a release without a matching admit is a logic error,
+        // but wedging the counter at u64::MAX would be worse.
+        let _ = slot
+            .queued
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |q| q.checked_sub(1));
+    }
+
+    /// Undoes a successful [`TenantTable::try_admit`] that never reached the
+    /// queue (push raced a full ring): the queued count comes back down and
+    /// the admit is re-counted as a shed.
+    pub fn cancel_admit(&self, fp: u64) {
+        let slot = self.slot(fp);
+        let _ = slot
+            .queued
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |q| q.checked_sub(1));
+        let _ = slot
+            .admitted
+            .fetch_update(Ordering::AcqRel, Ordering::Relaxed, |a| a.checked_sub(1));
+        slot.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every claimed tenant (plus the overflow aggregate when it
+    /// has seen traffic), sorted by fingerprint for stable status output.
+    pub fn rows(&self) -> Vec<TenantRow> {
+        let mut rows: Vec<TenantRow> = self
+            .slots
+            .iter()
+            .filter(|s| s.fp.load(Ordering::Acquire) != 0)
+            .map(|s| TenantRow {
+                fingerprint: s.fp.load(Ordering::Acquire),
+                queued: s.queued.load(Ordering::Relaxed),
+                admitted: s.admitted.load(Ordering::Relaxed),
+                shed: s.shed.load(Ordering::Relaxed),
+            })
+            .collect();
+        let overflow_admitted = self.overflow.admitted.load(Ordering::Relaxed);
+        let overflow_shed = self.overflow.shed.load(Ordering::Relaxed);
+        if overflow_admitted > 0 || overflow_shed > 0 {
+            rows.push(TenantRow {
+                fingerprint: 0,
+                queued: self.overflow.queued.load(Ordering::Relaxed),
+                admitted: overflow_admitted,
+                shed: overflow_shed,
+            });
+        }
+        rows.sort_by_key(|r| r.fingerprint);
+        rows
+    }
+
+    /// Total fairness sheds across every tenant (including overflow).
+    pub fn total_shed(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.shed.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.overflow.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_bound_sheds_only_the_hot_tenant() {
+        // depth 8, share 0.5 → each tenant may hold 4 queued requests.
+        let table = TenantTable::new(8, 0.5);
+        assert_eq!(table.cap(), 4);
+        for _ in 0..4 {
+            assert!(table.try_admit(0xaaaa));
+        }
+        assert!(!table.try_admit(0xaaaa), "hot tenant is at its bound");
+        assert!(table.try_admit(0xbbbb), "other tenants are unaffected");
+        table.release(0xaaaa);
+        assert!(table.try_admit(0xaaaa), "released slot re-admits");
+        let rows = table.rows();
+        let hot = rows.iter().find(|r| r.fingerprint == 0xaaaa).unwrap();
+        assert_eq!(hot.admitted, 5);
+        assert_eq!(hot.shed, 1);
+        assert_eq!(hot.queued, 4);
+        assert_eq!(table.total_shed(), 1);
+    }
+
+    #[test]
+    fn share_floor_always_admits_one() {
+        let table = TenantTable::new(0, 0.5);
+        assert_eq!(table.cap(), 1);
+        assert!(table.try_admit(7));
+        assert!(!table.try_admit(7));
+    }
+
+    #[test]
+    fn cancel_admit_reverts_the_counters() {
+        let table = TenantTable::new(8, 1.0);
+        assert!(table.try_admit(42));
+        table.cancel_admit(42);
+        let row = table
+            .rows()
+            .into_iter()
+            .find(|r| r.fingerprint == 42)
+            .unwrap();
+        assert_eq!(row.queued, 0);
+        assert_eq!(row.admitted, 0);
+        assert_eq!(row.shed, 1);
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_the_bound() {
+        use std::sync::atomic::AtomicU64;
+        let table = TenantTable::new(64, 0.25); // cap 16
+        let admitted = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let table = &table;
+                let admitted = &admitted;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        if table.try_admit(9) {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let row = table
+            .rows()
+            .into_iter()
+            .find(|r| r.fingerprint == 9)
+            .unwrap();
+        assert_eq!(row.queued, admitted.load(Ordering::Relaxed));
+        assert!(row.queued <= table.cap());
+        assert_eq!(row.admitted + row.shed, 400);
+    }
+
+    #[test]
+    fn many_tenants_fall_back_to_the_overflow_aggregate() {
+        let table = TenantTable::new(1024, 1.0);
+        // Far more distinct fingerprints than slots: everything still
+        // admits, and the rows stay bounded.
+        for fp in 1..=500u64 {
+            assert!(table.try_admit(fp));
+        }
+        let rows = table.rows();
+        assert!(rows.len() <= TENANT_SLOTS + 1);
+        let total_queued: u64 = rows.iter().map(|r| r.queued).sum();
+        assert_eq!(total_queued, 500);
+    }
+}

@@ -12,10 +12,17 @@
 //!   featurize + select + build + bind and goes straight to a zero-alloc
 //!   steady-state `iterate`. Capacity-bounded with drop-LRU eviction and
 //!   hit/miss/eviction counters.
-//! - **Worker pool + bounded queue** ([`Server`]): a configurable number of
-//!   workers drain a depth-bounded queue; a full queue sheds new submits
-//!   with [`ServeError::Overloaded`] (backpressure instead of OOM), and each
-//!   request's deadline is checked once, at dequeue.
+//! - **Lock-free admission + worker pool** ([`Server`]): submits go through
+//!   a bounded lock-free MPMC ring (vendored `crossbeam` `ArrayQueue`) — a
+//!   full ring sheds with [`ServeError::Overloaded`] (backpressure instead
+//!   of OOM), and a per-tenant fairness bound ([`TenantTable`]) keeps one
+//!   hot signature from capturing the whole queue. Each request's deadline
+//!   is checked once, when its batch group forms.
+//! - **Continuous batching**: workers drain whatever is queued (up to
+//!   `ServeConfig::max_batch`), coalesce requests by plan signature, and
+//!   execute each group as ONE multi-RHS `iterate` over column-stacked
+//!   blocks — bitwise identical to serial per-request execution, with the
+//!   adjacency streamed once per group instead of once per request.
 //! - **Graceful degradation**: an expired deadline or a cost-model
 //!   prediction failure falls back to the plan's default composition (the
 //!   first eligible candidate) instead of failing the request, and the
@@ -71,6 +78,7 @@
 mod cache;
 mod drift;
 mod error;
+mod fairness;
 mod inspect;
 mod server;
 mod slo;
@@ -80,6 +88,7 @@ mod trace;
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use drift::{DriftConfig, DriftDetector, DriftRow, DriftVerdict};
 pub use error::{Result, ServeError};
+pub use fairness::{TenantRow, TenantTable};
 pub use inspect::{
     InputInspector, InputProfile, InputRow, InspectConfig, InspectVerdict, DEGREE_BANDS,
 };
@@ -88,7 +97,7 @@ pub use server::{
 };
 pub use slo::{LatencyObjective, Outcome, SloConfig, SloMonitor, SloRow, SloVerdict};
 pub use status::{
-    CacheStatus, DriftSignatureStatus, InputSignatureStatus, LatencySketchStatus, ServerStatus,
-    SloObjectiveStatus, WorkerStatus,
+    BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
+    LatencySketchStatus, ServerStatus, SloObjectiveStatus, TenantStatus, WorkerStatus,
 };
 pub use trace::{RequestTrace, TRACE_LANE_BASE};

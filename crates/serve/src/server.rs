@@ -1,11 +1,19 @@
-//! The serving runtime: worker pool, bounded queue, and request execution.
+//! The serving runtime: lock-free admission, continuous batching, and
+//! request execution.
+//!
+//! Admission is a bounded lock-free MPMC ring ([`crossbeam::queue::ArrayQueue`])
+//! with shed-don't-block semantics and a per-tenant fairness bound
+//! ([`crate::fairness::TenantTable`]); workers drain the ring into
+//! signature-keyed batch groups and execute each group as one multi-RHS
+//! `iterate_batched` (column-stacked blocks, bitwise identical to serial
+//! per-request execution — see DESIGN.md §12).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::queue::ArrayQueue;
 use granii_core::cost::FeaturizedInput;
 use granii_core::execplan::{ExecPlan, PlanInputs};
 use granii_core::{runtime, CoreError, Granii};
@@ -18,11 +26,12 @@ use granii_telemetry::{event, DistinctCounter, Sketch, SketchSnapshot, DEFAULT_S
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
+use crate::fairness::TenantTable;
 use crate::inspect::{InputInspector, InputProfile, InspectConfig, InspectVerdict};
 use crate::slo::{Outcome, SloConfig, SloMonitor, SloVerdict};
 use crate::status::{
-    CacheStatus, DriftSignatureStatus, InputSignatureStatus, LatencySketchStatus, ServerStatus,
-    SloObjectiveStatus, WorkerStatus,
+    BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
+    LatencySketchStatus, ServerStatus, SloObjectiveStatus, TenantStatus, WorkerStatus,
 };
 use crate::trace::{self, RequestTrace};
 use crate::{Result, ServeError};
@@ -32,6 +41,11 @@ use crate::{Result, ServeError};
 /// signature, hits and misses produce bitwise-identical outputs — and so a
 /// serial rerun of the same request stream reproduces the served results.
 const SERVE_SEED: u64 = 41;
+
+/// How long a worker sleeps between queue polls when parked. The wake
+/// protocol below normally wakes workers promptly; the timeout is the
+/// belt-and-braces bound on any missed wakeup.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
 
 /// Serving runtime configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +57,13 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Maximum bound plans retained in the LRU cache.
     pub cache_capacity: usize,
+    /// Maximum requests coalesced into one signature-keyed batch group
+    /// (executed as a single multi-RHS iterate). `1` disables batching.
+    pub max_batch: usize,
+    /// Per-tenant admission share: one tenant (plan-signature fingerprint)
+    /// may hold at most `max(1, queue_depth × fairness_share)` queued
+    /// requests. Clamped to `[0, 1]`; `1.0` disables fairness shedding.
+    pub fairness_share: f64,
     /// Export a per-request trace lane for every `N`-th request (0 disables
     /// sampling; has no effect unless telemetry is enabled). Unsampled
     /// requests carry no trace state at all.
@@ -62,6 +83,8 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 64,
+            max_batch: 8,
+            fairness_share: 0.5,
             trace_sample_every: 0,
             drift: DriftConfig::default(),
             inspect: InspectConfig::default(),
@@ -85,9 +108,11 @@ pub struct ServeRequest {
     pub k2: usize,
     /// Iteration count selection amortizes hoisted work over.
     pub iterations: usize,
-    /// Optional per-request deadline, measured from submit. Checked when a
-    /// worker dequeues the request: an expired request is not dropped but
-    /// served degraded (default composition, no cost-model consultation).
+    /// Optional per-request deadline, measured from submit. Checked when
+    /// the request's batch group forms (for a group of one that is the
+    /// dequeue): an expired request is not dropped but served degraded
+    /// (default composition, no cost-model consultation) unless its
+    /// signature's plan is already cached.
     pub timeout: Option<Duration>,
     /// Optional pinned cache signature. By default the plan key hashes the
     /// graph's content fingerprint, so a tenant whose graph mutates simply
@@ -148,7 +173,9 @@ pub struct RequestTiming {
     pub queue_seconds: f64,
     /// Time spent choosing and binding a plan (zero on a cache hit).
     pub select_seconds: f64,
-    /// Time spent in the steady-state `iterate`.
+    /// Time spent in the steady-state `iterate` (for a batched request:
+    /// the whole group's multi-RHS iterate — the wall time this request
+    /// actually waited on execution).
     pub execute_seconds: f64,
     /// Submit-to-reply total.
     pub total_seconds: f64,
@@ -168,6 +195,8 @@ pub struct ServeResponse {
     /// Whether the request fell back to the default composition (expired
     /// deadline or cost-model prediction failure).
     pub degraded: bool,
+    /// Size of the batch group this request executed in (1 = serial).
+    pub batch_size: usize,
 }
 
 /// Point-in-time serving counters.
@@ -181,10 +210,17 @@ pub struct ServeStats {
     pub failed: u64,
     /// Requests shed at submit because the queue was full.
     pub shed: u64,
+    /// Requests shed by the per-tenant fairness bound (subset of `shed`).
+    pub tenant_shed: u64,
     /// Requests served via the default-composition fallback.
     pub degraded: u64,
-    /// Requests whose deadline had expired when dequeued.
+    /// Requests whose deadline had expired when their batch group formed.
     pub deadline_expired: u64,
+    /// Batch groups of two or more requests executed as one multi-RHS
+    /// iterate.
+    pub batches: u64,
+    /// Requests served inside such groups.
+    pub batched_requests: u64,
     /// Plan-cache hits.
     pub cache_hits: u64,
     /// Plan-cache misses.
@@ -211,8 +247,11 @@ struct Counters {
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    tenant_shed: AtomicU64,
     degraded: AtomicU64,
     deadline_expired: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
     /// Cumulative over the server's lifetime — unlike the detector's own
     /// tally, this survives [`Server::replace_granii`] resets.
     drift_flagged: AtomicU64,
@@ -265,6 +304,9 @@ struct WorkerSlot {
 
 struct Job {
     id: u64,
+    /// Plan key, computed once at submit (the fingerprint feeds tenant
+    /// accounting and batch grouping).
+    key: PlanKey,
     request: ServeRequest,
     enqueued: Instant,
     deadline: Option<Instant>,
@@ -274,9 +316,14 @@ struct Job {
     reply: mpsc::Sender<Result<ServeResponse>>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
+/// Worker parking: the admission ring is lock-free, so idle workers need a
+/// separate wait/wake rendezvous. A submitter wakes a worker only when the
+/// sleeper count says one is parked (the uncontended fast path is two
+/// atomic loads, no mutex); [`PARK_TIMEOUT`] bounds any lost wakeup.
+struct Parking {
+    lot: Mutex<()>,
+    available: Condvar,
+    sleepers: AtomicUsize,
 }
 
 struct Inner {
@@ -288,10 +335,23 @@ struct Inner {
     inspect: InputInspector,
     slo: SloMonitor,
     latency: LatencySketches,
+    /// Batch-group size distribution (recorded per formed group, including
+    /// groups of one — sequential traffic honestly shows p50 = 1).
+    batch_sizes: Sketch,
     /// Unique plan signatures observed (HyperLogLog; always recorded).
     distinct_signatures: DistinctCounter,
-    queue: Mutex<QueueState>,
-    not_empty: Condvar,
+    /// Lock-free bounded MPMC admission ring. Capacity is
+    /// `max(queue_depth, 1)`; a configured depth of 0 sheds before ever
+    /// touching the ring.
+    queue: ArrayQueue<Job>,
+    tenants: TenantTable,
+    shutdown: AtomicBool,
+    /// Submits currently inside the admission window (shutdown-check →
+    /// push). Workers refuse to exit while this is nonzero, closing the
+    /// race where a submit that passed the shutdown check pushes onto a
+    /// ring every worker has already abandoned.
+    admitting: AtomicU64,
+    parking: Parking,
     config: ServeConfig,
     counters: Counters,
     next_request_id: AtomicU64,
@@ -300,15 +360,62 @@ struct Inner {
 }
 
 impl Inner {
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     fn granii(&self) -> Arc<Granii> {
         self.granii
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// Wakes one parked worker, if any. The empty lock acquisition is the
+    /// standard fence against the window between a parker's sleeper
+    /// registration and its `wait`.
+    fn wake_one(&self) {
+        if self.parking.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(
+                self.parking
+                    .lot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            self.parking.available.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        drop(
+            self.parking
+                .lot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        self.parking.available.notify_all();
+    }
+
+    /// Parks the calling worker until woken or [`PARK_TIMEOUT`] elapses.
+    /// Re-checks the queue after registering as a sleeper so a push that
+    /// raced the registration is never slept through.
+    fn park(&self) {
+        let guard = self
+            .parking
+            .lot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.parking.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.queue.is_empty() && !self.shutdown.load(Ordering::SeqCst) {
+            let _ = self.parking.available.wait_timeout(guard, PARK_TIMEOUT);
+        }
+        self.parking.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII guard for [`Inner::admitting`]: the counter must come back down on
+/// every submit exit path, success and shed alike.
+struct AdmitWindow<'a>(&'a AtomicU64);
+
+impl Drop for AdmitWindow<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -326,9 +433,11 @@ impl Ticket {
 
 /// A thread-safe serving runtime over one shared [`Granii`] instance.
 ///
-/// Requests flow submit → bounded queue → worker pool → (plan cache, or
-/// select + bind) → `iterate` → reply. Dropping the server shuts it down
-/// gracefully: queued requests are drained, workers joined.
+/// Requests flow submit → lock-free bounded ring (per-tenant fairness
+/// bound) → worker pool → signature-keyed batch groups → (plan cache, or
+/// select + bind) → one multi-RHS `iterate` per group → reply. Dropping the
+/// server shuts it down gracefully: queued requests are drained, workers
+/// joined.
 pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
@@ -345,12 +454,17 @@ impl Server {
             inspect: InputInspector::new(config.inspect),
             slo: SloMonitor::new(config.slo.clone()),
             latency: LatencySketches::new(),
+            batch_sizes: Sketch::new(DEFAULT_SKETCH_ALPHA),
             distinct_signatures: DistinctCounter::new(),
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            not_empty: Condvar::new(),
+            queue: ArrayQueue::new(config.queue_depth.max(1)),
+            tenants: TenantTable::new(config.queue_depth, config.fairness_share),
+            shutdown: AtomicBool::new(false),
+            admitting: AtomicU64::new(0),
+            parking: Parking {
+                lot: Mutex::new(()),
+                available: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
             config: config.clone(),
             counters: Counters::default(),
             next_request_id: AtomicU64::new(0),
@@ -376,64 +490,68 @@ impl Server {
 
     /// Submits a request without blocking on its execution.
     ///
-    /// Assigns the request its id; every 1-in-`trace_sample_every` id
-    /// (telemetry permitting) carries a [`RequestTrace`] that becomes a
-    /// per-request lane in the Chrome trace.
+    /// The admission path is lock-free: a depth gate on the ring, a
+    /// per-tenant fairness bound, then a CAS push. Assigns the request its
+    /// id; every 1-in-`trace_sample_every` id (telemetry permitting)
+    /// carries a [`RequestTrace`] that becomes a per-request lane in the
+    /// Chrome trace.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Overloaded`] when the queue is at capacity (the request
-    /// is shed — backpressure, never unbounded growth), or
-    /// [`ServeError::ShuttingDown`] after shutdown began.
+    /// [`ServeError::Overloaded`] when the queue is at capacity or the
+    /// tenant is at its fairness bound (the request is shed — backpressure,
+    /// never unbounded growth), or [`ServeError::ShuttingDown`] after
+    /// shutdown began.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
+        let inner = &*self.inner;
         let now = Instant::now();
         let deadline = request.timeout.map(|t| now + t);
-        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let trace = if trace::sampled(id, self.inner.config.trace_sample_every) {
+        let id = inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let trace = if trace::sampled(id, inner.config.trace_sample_every) {
             Some(Box::new(RequestTrace::new(id)))
         } else {
             None
         };
-        let (ticket, depth) = {
-            let mut q = self.inner.lock_queue();
-            if q.shutdown {
-                return Err(ServeError::ShuttingDown);
-            }
-            if q.jobs.len() >= self.inner.config.queue_depth {
-                let depth = q.jobs.len();
-                drop(q);
-                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
-                granii_telemetry::counter_add("serve.shed", 1);
-                // Shed requests must not leave the gauges stale: the queue
-                // is observably full right now, and the hit rate is whatever
-                // the cache last reported.
-                granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
-                granii_telemetry::gauge_set("serve.cache_hit_rate", self.inner.cache.hit_rate());
-                event!("serve.shed", id = id, depth = depth);
-                return Err(ServeError::Overloaded {
-                    depth: self.inner.config.queue_depth,
-                });
-            }
-            let (tx, rx) = mpsc::channel();
-            q.jobs.push_back(Job {
-                id,
-                request,
-                enqueued: now,
-                deadline,
-                trace,
-                reply: tx,
-            });
-            (Ticket { rx }, q.jobs.len())
+        inner.admitting.fetch_add(1, Ordering::SeqCst);
+        let admit_window = AdmitWindow(&inner.admitting);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = inner.queue.len();
+        if depth >= inner.config.queue_depth {
+            return Err(shed(inner, id, depth, "queue_full"));
+        }
+        let key = request.plan_key();
+        if !inner.tenants.try_admit(key.1) {
+            inner.counters.tenant_shed.fetch_add(1, Ordering::Relaxed);
+            granii_telemetry::counter_add("serve.tenant_shed", 1);
+            return Err(shed(inner, id, depth, "tenant_cap"));
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            key,
+            request,
+            enqueued: now,
+            deadline,
+            trace,
+            reply: tx,
         };
-        self.inner.not_empty.notify_one();
-        self.inner
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        if inner.queue.push(job).is_err() {
+            // The ring filled between the depth gate and the push.
+            inner.tenants.cancel_admit(key.1);
+            return Err(shed(inner, id, inner.queue.len(), "queue_full"));
+        }
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.submitted", 1);
+        let depth = inner.queue.len();
         granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
         event!("serve.enqueue", id = id, depth = depth);
-        Ok(ticket)
+        // Close the admission window before waking: the push must be
+        // visible to any worker deciding whether it may exit.
+        drop(admit_window);
+        inner.wake_one();
+        Ok(Ticket { rx })
     }
 
     /// Submits a request and blocks until it completes.
@@ -473,6 +591,13 @@ impl Server {
         self.inner.latency.snapshots()
     }
 
+    /// Snapshot of the batch-group size distribution (`serve.batch.size`),
+    /// recorded once per formed group — including groups of one, so
+    /// sequential traffic honestly reports p50 = 1.
+    pub fn batch_sketch(&self) -> SketchSnapshot {
+        self.inner.batch_sizes.snapshot("serve.batch.size")
+    }
+
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         let c = &self.inner.counters;
@@ -481,27 +606,32 @@ impl Server {
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
+            tenant_shed: c.tenant_shed.load(Ordering::Relaxed),
             degraded: c.degraded.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             cache_evictions: self.inner.cache.evictions(),
             cache_invalidations: self.inner.cache.invalidations(),
             cache_len: self.inner.cache.len(),
             cache_hit_rate: self.inner.cache.hit_rate(),
-            queue_depth: self.inner.lock_queue().jobs.len(),
+            queue_depth: self.inner.queue.len(),
             drift_flagged: c.drift_flagged.load(Ordering::Relaxed),
             input_drift_flagged: c.input_drift_flagged.load(Ordering::Relaxed),
         }
     }
 
     /// Assembles the live status snapshot (see [`ServerStatus`]): queue and
-    /// worker utilization, cache counters, degradation rates, and the drift
-    /// detector's per-signature residual table.
+    /// worker utilization, cache counters, batching and fairness state,
+    /// degradation rates, and the drift detector's per-signature residual
+    /// table.
     pub fn status(&self) -> ServerStatus {
         let stats = self.stats();
         let uptime_seconds = self.inner.started.elapsed().as_secs_f64();
         let completed = stats.completed.max(1) as f64;
+        let batch_sketch = self.batch_sketch();
         ServerStatus {
             uptime_seconds,
             queue_depth: stats.queue_depth,
@@ -525,6 +655,31 @@ impl Server {
             drift_flagged: stats.drift_flagged,
             input_drift_flagged: stats.input_drift_flagged,
             distinct_signatures: self.inner.distinct_signatures.estimate(),
+            batching: BatchingStatus {
+                max_batch: self.inner.config.max_batch,
+                groups: batch_sketch.count,
+                batches: stats.batches,
+                batched_requests: stats.batched_requests,
+                mean_size: batch_sketch.mean_ns(),
+                p50_size: batch_sketch.p50_ns(),
+                p95_size: batch_sketch.p95_ns(),
+            },
+            fairness: FairnessStatus {
+                tenant_queue_cap: self.inner.tenants.cap(),
+                tenant_shed: stats.tenant_shed,
+                tenants: self
+                    .inner
+                    .tenants
+                    .rows()
+                    .into_iter()
+                    .map(|row| TenantStatus {
+                        fingerprint: format!("{:016x}", row.fingerprint),
+                        queued: row.queued,
+                        admitted: row.admitted,
+                        shed: row.shed,
+                    })
+                    .collect(),
+            },
             workers: self
                 .inner
                 .workers
@@ -641,8 +796,8 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        self.inner.lock_queue().shutdown = true;
-        self.inner.not_empty.notify_all();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wake_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -655,133 +810,423 @@ impl Drop for Server {
     }
 }
 
+/// Shed bookkeeping shared by every admission-reject path: counters, gauges
+/// (a shed must not leave them stale), and the shed event.
+fn shed(inner: &Inner, id: u64, depth: usize, reason: &str) -> ServeError {
+    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+    granii_telemetry::counter_add("serve.shed", 1);
+    granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
+    granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+    event!("serve.shed", id = id, depth = depth, reason = reason);
+    ServeError::Overloaded {
+        depth: inner.config.queue_depth,
+    }
+}
+
+/// Blocks (parking with a timeout) until a job is available or shutdown has
+/// drained everything. `None` means the worker may exit: shutdown is set,
+/// the ring is empty, and no submit is mid-admission.
+fn next_job(inner: &Inner) -> Option<Job> {
+    loop {
+        if let Some(job) = inner.queue.pop() {
+            return Some(job);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) && inner.admitting.load(Ordering::SeqCst) == 0 {
+            // Final sweep: a push may have landed between the failed pop
+            // above and the flag checks. After (shutdown ∧ admitting == 0)
+            // is observed, no further push can succeed, so an empty ring
+            // here is conclusive.
+            return inner.queue.pop();
+        }
+        inner.park();
+    }
+}
+
 fn worker_loop(inner: &Inner, index: usize) {
     // Each worker owns its engine: `Engine` accumulates a profile under a
     // mutex per kernel charge, so sharing one across workers would serialize
-    // them — and the profile is drained per request below to keep a
+    // them — and the profile is drained per drain-cycle below to keep a
     // long-running server's memory flat.
     let engine = Engine::modeled(inner.granii().device());
     let exec = Exec::real(&engine);
+    let max_batch = inner.config.max_batch.max(1);
     loop {
-        let job = {
-            let mut q = inner.lock_queue();
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    let depth = q.jobs.len();
-                    drop(q);
-                    granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
-                    break job;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = inner
-                    .not_empty
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        let id = job.id;
-        let reply = job.reply.clone();
-        let processing = Instant::now();
-        let result = process_job(inner, &exec, job);
-        let slot = &inner.workers[index];
-        slot.busy_ns
-            .fetch_add(processing.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        slot.requests.fetch_add(1, Ordering::Relaxed);
-        match &result {
-            Ok(response) => {
-                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                if response.degraded {
-                    inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
-                    granii_telemetry::counter_add("serve.degraded", 1);
-                }
-                granii_telemetry::counter_add("serve.completed", 1);
-                granii_telemetry::histogram_record_seconds(
-                    "serve.request_latency",
-                    response.timing.total_seconds,
-                );
-                // Outcome-split latency: a healthy hit rate can hide a
-                // pathological miss tail in the combined figures. The
-                // histogram is the legacy log₂ view; the sketch carries the
-                // SLO-grade quantiles (always recorded server-side, gated
-                // mirror into the telemetry registry under the same name).
-                let outcome = if response.degraded {
-                    Outcome::Degraded
-                } else if response.cache_hit {
-                    Outcome::Hit
-                } else {
-                    Outcome::Miss
-                };
-                let metric = match outcome {
-                    Outcome::Hit => "serve.latency.hit",
-                    Outcome::Miss => "serve.latency.miss",
-                    Outcome::Degraded => "serve.latency.degraded",
-                };
-                let latency_ns = if response.timing.total_seconds > 0.0 {
-                    (response.timing.total_seconds * 1e9) as u64
-                } else {
-                    0
-                };
-                granii_telemetry::histogram_record_seconds(metric, response.timing.total_seconds);
-                inner.latency.for_outcome(outcome).record_ns(latency_ns);
-                granii_telemetry::sketch_record_ns(metric, latency_ns);
-                match inner.slo.record(outcome, latency_ns) {
-                    SloVerdict::Ok => {}
-                    SloVerdict::WindowClosed {
-                        objective,
-                        burn_rate,
-                        crossed,
-                    } => {
-                        let objective = &inner.slo.config().objectives[objective];
-                        let name = objective.outcome.name();
-                        granii_telemetry::gauge_set(&format!("serve.slo.burn.{name}"), burn_rate);
-                        match crossed {
-                            Some(true) => {
-                                granii_telemetry::counter_add("serve.slo_breached", 1);
-                                event!(
-                                    "serve.slo_burn",
-                                    outcome = name,
-                                    burn_rate = burn_rate,
-                                    threshold_ms = objective.threshold_ms,
-                                    target = objective.target,
-                                );
-                            }
-                            Some(false) => {
-                                event!("serve.slo_recover", outcome = name, burn_rate = burn_rate,);
-                            }
-                            None => {}
-                        }
-                    }
-                }
-                granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
-                event!(
-                    "serve.complete",
-                    id = id,
-                    total_seconds = response.timing.total_seconds,
-                    cache_hit = u64::from(response.cache_hit),
-                    degraded = u64::from(response.degraded),
-                );
-            }
-            Err(_) => {
-                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                granii_telemetry::counter_add("serve.failed", 1);
-                // The gauges must track reality on the failure path too —
-                // a failed request still consumed a queue slot and a cache
-                // lookup.
-                granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
-                granii_telemetry::gauge_set(
-                    "serve.queue_depth",
-                    inner.lock_queue().jobs.len() as f64,
-                );
-                event!("serve.failed", id = id);
+        let Some(first) = next_job(inner) else { return };
+        // Continuous batching: opportunistically drain whatever else is
+        // already queued, up to the batch bound. No waiting — an empty ring
+        // means the batch is whatever arrived while we were busy.
+        let mut drained = vec![first];
+        while drained.len() < max_batch {
+            match inner.queue.pop() {
+                Some(job) => drained.push(job),
+                None => break,
             }
         }
-        // Receiver may have given up; a dead ticket is not a worker error.
-        let _ = reply.send(result);
+        for job in &drained {
+            inner.tenants.release(job.key.1);
+        }
+        granii_telemetry::gauge_set("serve.queue_depth", inner.queue.len() as f64);
+        // Coalesce by plan signature, preserving first-seen (queue) order.
+        let mut groups: Vec<(PlanKey, Vec<Job>)> = Vec::new();
+        for job in drained {
+            match groups.iter_mut().find(|(k, _)| *k == job.key) {
+                Some((_, members)) => members.push(job),
+                None => groups.push((job.key, vec![job])),
+            }
+        }
+        for (_, members) in groups {
+            let n = members.len() as u64;
+            let processing = Instant::now();
+            process_group(inner, &exec, members);
+            let slot = &inner.workers[index];
+            slot.busy_ns
+                .fetch_add(processing.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            slot.requests.fetch_add(n, Ordering::Relaxed);
+        }
         // Keep the per-worker profile from growing without bound.
         engine.take_profile();
     }
+}
+
+/// Executes one signature-coalesced group: the serial path for a group of
+/// one, the multi-RHS batched path otherwise (with a per-member serial
+/// fallback if batched execution errors).
+fn process_group(inner: &Inner, exec: &Exec, jobs: Vec<Job>) {
+    let batch = jobs.len();
+    inner.batch_sizes.record_ns(batch as u64);
+    granii_telemetry::sketch_record_ns("serve.batch.size", batch as u64);
+    if batch == 1 {
+        let job = jobs.into_iter().next().expect("group of one");
+        let id = job.id;
+        let reply = job.reply.clone();
+        let result = process_job(inner, exec, job);
+        finish_job(inner, id, &reply, result);
+        return;
+    }
+    inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+    inner
+        .counters
+        .batched_requests
+        .fetch_add(batch as u64, Ordering::Relaxed);
+    granii_telemetry::counter_add("serve.batches", 1);
+    granii_telemetry::counter_add("serve.batched_requests", batch as u64);
+    if let Err(jobs) = process_batch(inner, exec, jobs) {
+        // Rare path (leader bind error, or a batched kernel error): fall
+        // back to serving each member serially so one member's failure
+        // cannot sink its whole group.
+        for job in jobs {
+            let id = job.id;
+            let reply = job.reply.clone();
+            let result = process_job(inner, exec, job);
+            finish_job(inner, id, &reply, result);
+        }
+    }
+}
+
+/// The multi-RHS batched path: one cache interaction for the group (leader
+/// lookup or miss-bind; followers accounted as shared hits), one
+/// `iterate_batched` over column-stacked RHS blocks, per-member result
+/// extraction and observability. Returns the jobs on failure so the caller
+/// can retry them serially.
+fn process_batch(
+    inner: &Inner,
+    exec: &Exec,
+    mut jobs: Vec<Job>,
+) -> std::result::Result<(), Vec<Job>> {
+    let key = jobs[0].key;
+    let batch = jobs.len();
+    let formed = Instant::now();
+    let _span = granii_telemetry::span!(
+        "serve.batch",
+        model = jobs[0].request.model.name(),
+        size = batch,
+    );
+    // Per-member dequeue bookkeeping. The deadline is re-checked here, at
+    // batch-formation time (not at ring pop): earlier groups from the same
+    // drain may have executed in between, and that wait counts.
+    let mut queue_seconds = Vec::with_capacity(batch);
+    let mut expired = Vec::with_capacity(batch);
+    for job in &mut jobs {
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.mark_dequeued();
+        }
+        let waited = formed.duration_since(job.enqueued).as_secs_f64();
+        granii_telemetry::histogram_record_seconds("serve.queue_wait", waited);
+        event!("serve.dequeue", id = job.id, queue_seconds = waited);
+        queue_seconds.push(waited);
+        let is_expired = job.deadline.is_some_and(|d| formed >= d);
+        if is_expired {
+            inner
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            granii_telemetry::counter_add("serve.deadline_expired", 1);
+        }
+        expired.push(is_expired);
+        inner.distinct_signatures.observe(key.1);
+        granii_telemetry::distinct_observe("serve.distinct_signatures", key.1);
+    }
+    let profiles: Vec<Option<InputProfile>> = jobs
+        .iter()
+        .map(|job| {
+            inner
+                .inspect
+                .config()
+                .enabled
+                .then(|| InputProfile::extract(&job.request.graph))
+        })
+        .collect();
+
+    // Leader resolves the entry; followers ride it as shared cache hits.
+    let (entry, leader_hit, leader_degraded, select_seconds) = match inner.cache.lookup(key) {
+        Some(entry) => (entry, true, false, 0.0),
+        None => {
+            let (leader, rest) = jobs.split_at_mut(1);
+            let leader = &mut leader[0];
+            let _ = rest;
+            match bind_miss(
+                inner,
+                exec,
+                leader.id,
+                &leader.request,
+                key,
+                expired[0],
+                &mut leader.trace,
+            ) {
+                Ok((entry, degraded, secs)) => {
+                    if let Some(p) = profiles[0] {
+                        inner.inspect.rebind(key, p);
+                    }
+                    (entry, false, degraded, secs)
+                }
+                Err(_) => return Err(jobs),
+            }
+        }
+    };
+    inner.cache.note_shared_hits(batch as u64 - 1);
+    if leader_hit {
+        granii_telemetry::counter_add("serve.cache_hits", batch as u64);
+    } else {
+        granii_telemetry::counter_add("serve.cache_misses", 1);
+        granii_telemetry::counter_add("serve.cache_hits", batch as u64 - 1);
+    }
+
+    // Execute: one multi-RHS iterate for the whole group when the plan has
+    // a batched lowering (every entry bound by this server pre-warmed its
+    // wide buffers at bind time), per-member serial iterates under the same
+    // entry lock otherwise (e.g. attention plans).
+    let t_execute = Instant::now();
+    for job in &mut jobs {
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.mark_execute_start();
+        }
+    }
+    let (composition, predicted_steady_seconds, outputs, charged, execute_seconds) = {
+        let mut cached = entry.lock().unwrap_or_else(PoisonError::into_inner);
+        let batched = cached.bound.batch_supported() && cached.bound.batch_capacity() >= batch;
+        if batched {
+            let observed = match cached.bound.iterate_batched_observed(exec, batch) {
+                Ok(observed) => observed,
+                Err(_) => {
+                    drop(cached);
+                    return Err(jobs);
+                }
+            };
+            let mut outputs = Vec::with_capacity(batch);
+            for t in 0..batch {
+                match cached.bound.output_block(t) {
+                    Ok(block) => outputs.push(block),
+                    Err(_) => {
+                        drop(cached);
+                        return Err(jobs);
+                    }
+                }
+            }
+            let wall = t_execute.elapsed().as_secs_f64();
+            (
+                cached.composition,
+                cached.predicted_steady_seconds,
+                outputs,
+                // Per-request modeled charge: the batched wrappers charge
+                // the full group, each member carries an equal share (equal
+                // to its serial charge — the drift lane sees no difference).
+                vec![observed.charged_seconds / batch as f64; batch],
+                vec![wall; batch],
+            )
+        } else {
+            let mut outputs = Vec::with_capacity(batch);
+            let mut charged = Vec::with_capacity(batch);
+            let mut walls = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                let t_member = Instant::now();
+                let observed = match cached.bound.iterate_observed(exec) {
+                    Ok(observed) => observed,
+                    Err(_) => {
+                        drop(cached);
+                        return Err(jobs);
+                    }
+                };
+                let output = match cached.bound.output() {
+                    Ok(output) => output.clone(),
+                    Err(_) => {
+                        drop(cached);
+                        return Err(jobs);
+                    }
+                };
+                outputs.push(output);
+                charged.push(observed.charged_seconds);
+                walls.push(t_member.elapsed().as_secs_f64());
+            }
+            (
+                cached.composition,
+                cached.predicted_steady_seconds,
+                outputs,
+                charged,
+                walls,
+            )
+        }
+    };
+    for job in &mut jobs {
+        if let Some(t) = job.trace.as_deref_mut() {
+            t.mark_execute_done();
+        }
+    }
+
+    // Per-member observability and replies.
+    for (i, job) in jobs.into_iter().enumerate() {
+        let Job {
+            id,
+            request,
+            enqueued,
+            mut trace,
+            reply,
+            ..
+        } = job;
+        if let Some(predicted) = predicted_steady_seconds {
+            observe_drift(inner, id, &request, key, charged[i], predicted);
+        }
+        if let Some(p) = profiles[i] {
+            observe_input(inner, id, &request, key, &p);
+        }
+        let cache_hit = leader_hit || i > 0;
+        let degraded = if i == 0 { leader_degraded } else { false };
+        if let Some(t) = trace.take() {
+            t.finish(request.model.name(), cache_hit, degraded);
+        }
+        let response = ServeResponse {
+            composition,
+            output: outputs[i].clone(),
+            timing: RequestTiming {
+                queue_seconds: queue_seconds[i],
+                select_seconds: if i == 0 { select_seconds } else { 0.0 },
+                execute_seconds: execute_seconds[i],
+                total_seconds: enqueued.elapsed().as_secs_f64(),
+            },
+            cache_hit,
+            degraded,
+            batch_size: batch,
+        };
+        finish_job(inner, id, &reply, Ok(response));
+    }
+    Ok(())
+}
+
+/// Per-result bookkeeping and the reply send: completion/failure counters,
+/// outcome-split latency sketches, SLO window accounting, and events.
+fn finish_job(
+    inner: &Inner,
+    id: u64,
+    reply: &mpsc::Sender<Result<ServeResponse>>,
+    result: Result<ServeResponse>,
+) {
+    match &result {
+        Ok(response) => {
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if response.degraded {
+                inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                granii_telemetry::counter_add("serve.degraded", 1);
+            }
+            granii_telemetry::counter_add("serve.completed", 1);
+            granii_telemetry::histogram_record_seconds(
+                "serve.request_latency",
+                response.timing.total_seconds,
+            );
+            // Outcome-split latency: a healthy hit rate can hide a
+            // pathological miss tail in the combined figures. The
+            // histogram is the legacy log₂ view; the sketch carries the
+            // SLO-grade quantiles (always recorded server-side, gated
+            // mirror into the telemetry registry under the same name).
+            let outcome = if response.degraded {
+                Outcome::Degraded
+            } else if response.cache_hit {
+                Outcome::Hit
+            } else {
+                Outcome::Miss
+            };
+            let metric = match outcome {
+                Outcome::Hit => "serve.latency.hit",
+                Outcome::Miss => "serve.latency.miss",
+                Outcome::Degraded => "serve.latency.degraded",
+            };
+            let latency_ns = if response.timing.total_seconds > 0.0 {
+                (response.timing.total_seconds * 1e9) as u64
+            } else {
+                0
+            };
+            granii_telemetry::histogram_record_seconds(metric, response.timing.total_seconds);
+            inner.latency.for_outcome(outcome).record_ns(latency_ns);
+            granii_telemetry::sketch_record_ns(metric, latency_ns);
+            match inner.slo.record(outcome, latency_ns) {
+                SloVerdict::Ok => {}
+                SloVerdict::WindowClosed {
+                    objective,
+                    burn_rate,
+                    crossed,
+                } => {
+                    let objective = &inner.slo.config().objectives[objective];
+                    let name = objective.outcome.name();
+                    granii_telemetry::gauge_set(&format!("serve.slo.burn.{name}"), burn_rate);
+                    match crossed {
+                        Some(true) => {
+                            granii_telemetry::counter_add("serve.slo_breached", 1);
+                            event!(
+                                "serve.slo_burn",
+                                outcome = name,
+                                burn_rate = burn_rate,
+                                threshold_ms = objective.threshold_ms,
+                                target = objective.target,
+                            );
+                        }
+                        Some(false) => {
+                            event!("serve.slo_recover", outcome = name, burn_rate = burn_rate,);
+                        }
+                        None => {}
+                    }
+                }
+            }
+            granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+            event!(
+                "serve.complete",
+                id = id,
+                total_seconds = response.timing.total_seconds,
+                cache_hit = u64::from(response.cache_hit),
+                degraded = u64::from(response.degraded),
+                batch_size = response.batch_size,
+            );
+        }
+        Err(_) => {
+            inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            granii_telemetry::counter_add("serve.failed", 1);
+            // The gauges must track reality on the failure path too —
+            // a failed request still consumed a queue slot and a cache
+            // lookup.
+            granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+            granii_telemetry::gauge_set("serve.queue_depth", inner.queue.len() as f64);
+            event!("serve.failed", id = id);
+        }
+    }
+    // Receiver may have given up; a dead ticket is not a worker error.
+    let _ = reply.send(result);
 }
 
 /// Picks the composition for a cache miss. Normal path: full cost-model
@@ -814,9 +1259,130 @@ fn choose_composition(
     Ok((first.composition, true))
 }
 
+/// The cache-miss slow path: select (or degrade), build, bind, pre-warm the
+/// multi-RHS batch buffers, and insert. Returns the cached entry, whether
+/// the degraded composition was used, and the select wall time.
+fn bind_miss(
+    inner: &Inner,
+    exec: &Exec,
+    id: u64,
+    request: &ServeRequest,
+    key: PlanKey,
+    expired: bool,
+    trace: &mut Option<Box<RequestTrace>>,
+) -> Result<(Arc<Mutex<CachedPlan>>, bool, f64)> {
+    let t_select = Instant::now();
+    if let Some(t) = trace.as_deref_mut() {
+        t.mark_select_start();
+    }
+    let cfg = LayerConfig::new(request.k1, request.k2);
+    let granii = inner.granii();
+    let (composition, degraded) = choose_composition(&granii, request, cfg, expired, id)?;
+    let plan = granii.compiled(request.model, cfg)?;
+    let candidate = plan
+        .candidates
+        .iter()
+        .find(|c| c.composition == composition)
+        .ok_or_else(|| {
+            CoreError::InvalidIr(format!(
+                "selected composition {} missing from compiled plan",
+                composition.name()
+            ))
+        })?;
+    // The drift detector's reference point: what the current cost
+    // models claim one steady-state iteration of this plan costs.
+    // Unpredictable (degraded path) → None, which opts the
+    // signature out of drift tracking.
+    let features = FeaturizedInput::extract(&request.graph, request.k1, request.k2);
+    let predicted_steady_seconds = granii
+        .cost_models()
+        .predict_steady_state(&candidate.program, &features)
+        .ok();
+    let ctx = GraphCtx::new(&request.graph).map_err(CoreError::from)?;
+    let h = DenseMatrix::random(request.graph.num_nodes(), request.k1, 1.0, SERVE_SEED);
+    let plan_inputs = PlanInputs::for_model(request.model, cfg, &ctx, h, SERVE_SEED + 1);
+    let exec_plan = ExecPlan::build(&candidate.program)?;
+    let mut bound = exec_plan.bind(exec, &plan_inputs.as_program_inputs())?;
+    if inner.config.max_batch > 1 {
+        // Pre-warm the wide multi-RHS buffers while the miss is already
+        // paying for allocation: steady-state batched hits then stay on the
+        // zero-alloc contract, exactly like serial hits.
+        bound.ensure_batch(inner.config.max_batch)?;
+    }
+    let entry = inner.cache.insert(
+        key,
+        CachedPlan {
+            composition,
+            bound,
+            predicted_steady_seconds,
+        },
+    );
+    if let Some(t) = trace.as_deref_mut() {
+        t.mark_select_done();
+    }
+    Ok((entry, degraded, t_select.elapsed().as_secs_f64()))
+}
+
+/// Online drift check: compare the engine-charged cost of the iteration
+/// just run (a member's equal share, for a batched group) against the cost
+/// model's steady-state promise for this plan.
+fn observe_drift(
+    inner: &Inner,
+    id: u64,
+    request: &ServeRequest,
+    key: PlanKey,
+    charged_seconds: f64,
+    predicted: f64,
+) {
+    if let DriftVerdict::Flagged { ewma_residual } =
+        inner.drift.observe(key, charged_seconds, predicted)
+    {
+        inner.cache.invalidate(key);
+        inner.counters.drift_flagged.fetch_add(1, Ordering::Relaxed);
+        granii_telemetry::counter_add("serve.drift_flagged", 1);
+        event!(
+            "serve.drift",
+            id = id,
+            model = request.model.name(),
+            fingerprint = format!("{:016x}", key.1),
+            k1 = request.k1,
+            k2 = request.k2,
+            ewma_residual = ewma_residual,
+        );
+    }
+}
+
+/// Input-drift check: fold this request's degree statistics into the
+/// signature's live profile and compare against what selection saw.
+/// Orthogonal to the residual lane above — a stale plan executes its
+/// *bound* graph, so its cost residual stays clean while the live input
+/// walks away.
+fn observe_input(inner: &Inner, id: u64, request: &ServeRequest, key: PlanKey, p: &InputProfile) {
+    if let InspectVerdict::Flagged { band_l1, cv_delta } = inner.inspect.observe(key, p) {
+        inner.cache.invalidate(key);
+        inner
+            .counters
+            .input_drift_flagged
+            .fetch_add(1, Ordering::Relaxed);
+        granii_telemetry::counter_add("serve.input_drift_flagged", 1);
+        event!(
+            "serve.input_drift",
+            id = id,
+            model = request.model.name(),
+            fingerprint = format!("{:016x}", key.1),
+            k1 = request.k1,
+            k2 = request.k2,
+            band_l1 = band_l1,
+            cv_delta = cv_delta,
+        );
+    }
+}
+
+/// The serial (group-of-one) path.
 fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
     let Job {
         id,
+        key,
         request,
         enqueued,
         deadline,
@@ -836,8 +1402,9 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
     granii_telemetry::histogram_record_seconds("serve.queue_wait", queue_seconds);
     event!("serve.dequeue", id = id, queue_seconds = queue_seconds);
 
-    // Deadline policy: checked once, at dequeue. An expired request is still
-    // served — a late answer beats none — but skips the cost models.
+    // Deadline policy: checked when the (singleton) group forms. An expired
+    // request is still served — a late answer beats none — but skips the
+    // cost models.
     let expired = deadline.is_some_and(|d| start >= d);
     if expired {
         inner
@@ -847,8 +1414,6 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         granii_telemetry::counter_add("serve.deadline_expired", 1);
     }
 
-    let cfg = LayerConfig::new(request.k1, request.k2);
-    let key = request.plan_key();
     inner.distinct_signatures.observe(key.1);
     granii_telemetry::distinct_observe("serve.distinct_signatures", key.1);
     // The input-drift lane inspects every request's graph (one O(nodes)
@@ -864,54 +1429,14 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         // request serves it at full quality.
         Some(entry) => (entry, true, false, 0.0),
         None => {
-            let t_select = Instant::now();
-            if let Some(t) = trace.as_deref_mut() {
-                t.mark_select_start();
-            }
-            let granii = inner.granii();
-            let (composition, degraded) = choose_composition(&granii, &request, cfg, expired, id)?;
-            let plan = granii.compiled(request.model, cfg)?;
-            let candidate = plan
-                .candidates
-                .iter()
-                .find(|c| c.composition == composition)
-                .ok_or_else(|| {
-                    CoreError::InvalidIr(format!(
-                        "selected composition {} missing from compiled plan",
-                        composition.name()
-                    ))
-                })?;
-            // The drift detector's reference point: what the current cost
-            // models claim one steady-state iteration of this plan costs.
-            // Unpredictable (degraded path) → None, which opts the
-            // signature out of drift tracking.
-            let features = FeaturizedInput::extract(&request.graph, request.k1, request.k2);
-            let predicted_steady_seconds = granii
-                .cost_models()
-                .predict_steady_state(&candidate.program, &features)
-                .ok();
-            let ctx = GraphCtx::new(&request.graph).map_err(CoreError::from)?;
-            let h = DenseMatrix::random(request.graph.num_nodes(), request.k1, 1.0, SERVE_SEED);
-            let plan_inputs = PlanInputs::for_model(request.model, cfg, &ctx, h, SERVE_SEED + 1);
-            let exec_plan = ExecPlan::build(&candidate.program)?;
-            let bound = exec_plan.bind(exec, &plan_inputs.as_program_inputs())?;
-            let entry = inner.cache.insert(
-                key,
-                CachedPlan {
-                    composition,
-                    bound,
-                    predicted_steady_seconds,
-                },
-            );
-            if let Some(t) = trace.as_deref_mut() {
-                t.mark_select_done();
-            }
+            let (entry, degraded, select_seconds) =
+                bind_miss(inner, exec, id, &request, key, expired, &mut trace)?;
             // Selection just inspected the graph as it is now: pin it as
             // the input-drift reference for this signature.
             if let Some(p) = profile {
                 inner.inspect.rebind(key, p);
             }
-            (entry, false, degraded, t_select.elapsed().as_secs_f64())
+            (entry, false, degraded, select_seconds)
         }
     };
 
@@ -943,53 +1468,18 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         1,
     );
 
-    // Online drift check: compare the engine-charged cost of the iteration
-    // just run against the cost model's steady-state promise for this plan.
     if let Some(predicted) = predicted_steady_seconds {
-        if let DriftVerdict::Flagged { ewma_residual } =
-            inner
-                .drift
-                .observe(key, observed.charged_seconds, predicted)
-        {
-            inner.cache.invalidate(key);
-            inner.counters.drift_flagged.fetch_add(1, Ordering::Relaxed);
-            granii_telemetry::counter_add("serve.drift_flagged", 1);
-            event!(
-                "serve.drift",
-                id = id,
-                model = request.model.name(),
-                fingerprint = format!("{:016x}", key.1),
-                k1 = request.k1,
-                k2 = request.k2,
-                ewma_residual = ewma_residual,
-            );
-        }
+        observe_drift(
+            inner,
+            id,
+            &request,
+            key,
+            observed.charged_seconds,
+            predicted,
+        );
     }
-
-    // Input-drift check: fold this request's degree statistics into the
-    // signature's live profile and compare against what selection saw.
-    // Orthogonal to the residual lane above — a stale plan executes its
-    // *bound* graph, so its cost residual stays clean while the live input
-    // walks away.
     if let Some(p) = profile {
-        if let InspectVerdict::Flagged { band_l1, cv_delta } = inner.inspect.observe(key, &p) {
-            inner.cache.invalidate(key);
-            inner
-                .counters
-                .input_drift_flagged
-                .fetch_add(1, Ordering::Relaxed);
-            granii_telemetry::counter_add("serve.input_drift_flagged", 1);
-            event!(
-                "serve.input_drift",
-                id = id,
-                model = request.model.name(),
-                fingerprint = format!("{:016x}", key.1),
-                k1 = request.k1,
-                k2 = request.k2,
-                band_l1 = band_l1,
-                cv_delta = cv_delta,
-            );
-        }
+        observe_input(inner, id, &request, key, &p);
     }
 
     if let Some(t) = trace.take() {
@@ -1007,5 +1497,6 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         },
         cache_hit,
         degraded,
+        batch_size: 1,
     })
 }

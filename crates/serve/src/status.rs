@@ -146,6 +146,95 @@ pub struct LatencySketchStatus {
     pub p999_ms: f64,
 }
 
+/// Continuous-batching state: how requests coalesced into signature-keyed
+/// batch groups.
+///
+/// `Deserialize` is hand-written (not derived): a missing/`null` section
+/// falls back to `Default`, so pre-batching status snapshots still parse.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BatchingStatus {
+    /// Configured batch bound (`1` disables batching).
+    pub max_batch: usize,
+    /// Batch groups formed, including groups of one — sequential traffic
+    /// honestly reports p50 size 1.
+    pub groups: u64,
+    /// Groups of two or more executed as a single multi-RHS iterate.
+    pub batches: u64,
+    /// Requests served inside such groups.
+    pub batched_requests: u64,
+    /// Mean group size.
+    pub mean_size: f64,
+    /// Median group size.
+    pub p50_size: f64,
+    /// 95th-percentile group size.
+    pub p95_size: f64,
+}
+
+/// One tenant's admission-fairness counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// Plan-signature fingerprint as a zero-padded hex string
+    /// (`0000000000000000` aggregates tenants that overflowed the fixed
+    /// tenant table).
+    pub fingerprint: String,
+    /// Requests currently queued for this tenant.
+    pub queued: u64,
+    /// Requests admitted over the server's lifetime.
+    pub admitted: u64,
+    /// Requests shed by the per-tenant bound.
+    pub shed: u64,
+}
+
+/// Per-tenant admission fairness: the bound and the per-tenant table.
+///
+/// Same hand-written `Deserialize` compatibility contract as
+/// [`BatchingStatus`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FairnessStatus {
+    /// Maximum queued requests any one tenant may hold.
+    pub tenant_queue_cap: u64,
+    /// Requests shed by the per-tenant bound (subset of total shed).
+    pub tenant_shed: u64,
+    /// Per-tenant counters, sorted by fingerprint.
+    pub tenants: Vec<TenantStatus>,
+}
+
+impl serde::Deserialize for BatchingStatus {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let m = match value {
+            serde::Value::Object(m) => m,
+            // Missing section in an older snapshot (the shim feeds `Null`
+            // for absent fields).
+            serde::Value::Null => return Ok(BatchingStatus::default()),
+            _ => return Err(serde::Error::custom("expected object for BatchingStatus")),
+        };
+        Ok(BatchingStatus {
+            max_batch: serde::get_field(m, "max_batch")?,
+            groups: serde::get_field(m, "groups")?,
+            batches: serde::get_field(m, "batches")?,
+            batched_requests: serde::get_field(m, "batched_requests")?,
+            mean_size: serde::get_field(m, "mean_size")?,
+            p50_size: serde::get_field(m, "p50_size")?,
+            p95_size: serde::get_field(m, "p95_size")?,
+        })
+    }
+}
+
+impl serde::Deserialize for FairnessStatus {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let m = match value {
+            serde::Value::Object(m) => m,
+            serde::Value::Null => return Ok(FairnessStatus::default()),
+            _ => return Err(serde::Error::custom("expected object for FairnessStatus")),
+        };
+        Ok(FairnessStatus {
+            tenant_queue_cap: serde::get_field(m, "tenant_queue_cap")?,
+            tenant_shed: serde::get_field(m, "tenant_shed")?,
+            tenants: serde::get_field(m, "tenants")?,
+        })
+    }
+}
+
 /// Point-in-time serving snapshot: everything an operator asks first.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerStatus {
@@ -178,6 +267,11 @@ pub struct ServerStatus {
     pub input_drift_flagged: u64,
     /// Estimated distinct plan signatures served (HyperLogLog).
     pub distinct_signatures: f64,
+    /// Continuous-batching state (defaults when absent, so pre-batching
+    /// snapshots still parse — see [`BatchingStatus`]).
+    pub batching: BatchingStatus,
+    /// Per-tenant admission fairness (same compatibility default).
+    pub fairness: FairnessStatus,
     /// Per-worker utilization, indexed by worker.
     pub workers: Vec<WorkerStatus>,
     /// Plan-cache counters.
@@ -253,6 +347,36 @@ impl fmt::Display for ServerStatus {
             "  inputs   ~{:.0} distinct signatures",
             self.distinct_signatures
         )?;
+        writeln!(
+            f,
+            "  batching max {} | groups {} | batches {} ({} requests) | size mean {:.2} p50 {:.0} p95 {:.0}",
+            self.batching.max_batch,
+            self.batching.groups,
+            self.batching.batches,
+            self.batching.batched_requests,
+            self.batching.mean_size,
+            self.batching.p50_size,
+            self.batching.p95_size
+        )?;
+        writeln!(
+            f,
+            "  fairness tenant cap {} | tenant shed {}",
+            self.fairness.tenant_queue_cap, self.fairness.tenant_shed
+        )?;
+        if !self.fairness.tenants.is_empty() {
+            writeln!(
+                f,
+                "           {:<18} {:>6} {:>9} {:>6}",
+                "tenant", "queued", "admitted", "shed"
+            )?;
+            for row in &self.fairness.tenants {
+                writeln!(
+                    f,
+                    "           {:<18} {:>6} {:>9} {:>6}",
+                    row.fingerprint, row.queued, row.admitted, row.shed
+                )?;
+            }
+        }
         if !self.latency.is_empty() {
             writeln!(
                 f,
@@ -385,6 +509,25 @@ mod tests {
             drift_flagged: 1,
             input_drift_flagged: 2,
             distinct_signatures: 4.0,
+            batching: BatchingStatus {
+                max_batch: 8,
+                groups: 40,
+                batches: 12,
+                batched_requests: 60,
+                mean_size: 2.4,
+                p50_size: 2.0,
+                p95_size: 7.0,
+            },
+            fairness: FairnessStatus {
+                tenant_queue_cap: 32,
+                tenant_shed: 3,
+                tenants: vec![TenantStatus {
+                    fingerprint: format!("{:016x}", 0xdead_beef_u64),
+                    queued: 2,
+                    admitted: 70,
+                    shed: 3,
+                }],
+            },
             workers: vec![WorkerStatus {
                 index: 0,
                 requests: 95,
@@ -475,6 +618,27 @@ mod tests {
         assert_eq!(parsed.latency.len(), 1);
         assert!((parsed.latency[0].p999_ms - 55.0).abs() < 1e-12);
         assert!((parsed.distinct_signatures - 4.0).abs() < 1e-12);
+        assert_eq!(parsed.batching.max_batch, 8);
+        assert_eq!(parsed.batching.batches, 12);
+        assert_eq!(parsed.batching.batched_requests, 60);
+        assert_eq!(parsed.fairness.tenant_queue_cap, 32);
+        assert_eq!(parsed.fairness.tenants.len(), 1);
+        assert_eq!(parsed.fairness.tenants[0].admitted, 70);
+    }
+
+    #[test]
+    fn pre_batching_snapshots_still_parse() {
+        // A snapshot from before the batching/fairness fields existed must
+        // deserialize with defaulted sections (rolling upgrades read old
+        // `--status-out` artifacts). The shim feeds `Null` for a missing
+        // field, which the hand-written impls map to `Default`.
+        let batching = <BatchingStatus as serde::Deserialize>::deserialize(&serde::Value::Null)
+            .expect("missing batching section defaults");
+        assert_eq!(batching.max_batch, 0);
+        assert_eq!(batching.batches, 0);
+        let fairness = <FairnessStatus as serde::Deserialize>::deserialize(&serde::Value::Null)
+            .expect("missing fairness section defaults");
+        assert_eq!(fairness.tenants.len(), 0);
     }
 
     #[test]
@@ -490,5 +654,7 @@ mod tests {
         assert!(text.contains("p999"));
         assert!(text.contains("BURNING"));
         assert!(text.contains("cv_live"));
+        assert!(text.contains("batching max 8"));
+        assert!(text.contains("tenant cap 32"));
     }
 }

@@ -76,6 +76,34 @@ fn unsampled_cache_hits_do_not_allocate() {
     );
     assert_eq!(status.input.len(), 1, "input-drift lane tracked the key");
 
+    // Batched hits ride the same contract: the wide multi-RHS buffers were
+    // pre-warmed when the miss bound the plan (`ensure_batch` at bind
+    // time), so signature-coalesced groups must not allocate either. Burst
+    // rounds until a real batch (≥2) formed; every round — batched or not —
+    // must stay at zero.
+    let mut batched_seen = false;
+    for _ in 0..50 {
+        let before = allocation_counter_total();
+        let tickets: Vec<_> = (0..12)
+            .map(|_| server.submit(request()).expect("burst submit"))
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait().expect("batched hit completes");
+            assert!(response.cache_hit, "warmed signature must hit");
+            batched_seen |= response.batch_size >= 2;
+        }
+        assert_eq!(
+            allocation_counter_total() - before,
+            0,
+            "batched cache hits allocated dense/sparse/workspace buffers"
+        );
+        if batched_seen {
+            break;
+        }
+    }
+    assert!(batched_seen, "no batch of two or more ever formed");
+    assert!(server.stats().batched_requests >= 2);
+
     server.shutdown();
     granii_telemetry::disable();
     granii_telemetry::reset();

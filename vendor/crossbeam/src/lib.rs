@@ -1,6 +1,163 @@
 //! Offline shim exposing the subset of `crossbeam` the workspace uses:
-//! `crossbeam::thread::scope` with spawn closures that receive the scope,
-//! backed by `std::thread::scope`.
+//! `crossbeam::thread::scope` with spawn closures that receive the scope
+//! (backed by `std::thread::scope`), and `crossbeam::queue::ArrayQueue`, a
+//! bounded lock-free MPMC queue (Vyukov's bounded MPMC algorithm, the same
+//! design the real crossbeam uses).
+
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// One ring-buffer cell. `seq` encodes the cell's lap state: `== tail`
+    /// means writable by the pusher claiming index `tail`; `== head + 1`
+    /// means readable by the popper claiming index `head`; anything else
+    /// means another thread is mid-transfer (full/empty from this caller's
+    /// perspective).
+    struct Slot<T> {
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue.
+    ///
+    /// `push` never blocks: a full queue returns the value to the caller
+    /// (shed-don't-block — exactly the admission semantics the serving
+    /// runtime needs). `pop` never blocks: an empty queue returns `None`.
+    /// Per-producer FIFO order is preserved.
+    pub struct ArrayQueue<T> {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        slots: Box<[Slot<T>]>,
+    }
+
+    // SAFETY: values move through `UnsafeCell`s, but every cell is owned by
+    // exactly one thread at a time (guarded by the `seq` protocol), so the
+    // queue is Sync whenever T can be sent between threads.
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` values.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero (a zero-capacity queue cannot hold
+        /// the in-flight cell the algorithm needs; callers wanting
+        /// "admit nothing" shed before pushing).
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "ArrayQueue capacity must be at least 1");
+            let slots = (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            ArrayQueue {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                slots,
+            }
+        }
+
+        /// Maximum number of values the queue can hold.
+        pub fn capacity(&self) -> usize {
+            self.slots.len()
+        }
+
+        /// Attempts to enqueue; on a full queue the value comes straight
+        /// back as `Err` so the caller can shed it.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let cap = self.slots.len();
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[tail % cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let dif = seq as isize - tail as isize;
+                if dif == 0 {
+                    // The slot is free on this lap: claim the index.
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS above gives this thread sole
+                            // ownership of the cell until the seq store.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(t) => tail = t,
+                    }
+                } else if dif < 0 {
+                    // The slot still holds last lap's value: full.
+                    return Err(value);
+                } else {
+                    // Another pusher claimed this index; reload and retry.
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue; `None` on an empty queue.
+        pub fn pop(&self) -> Option<T> {
+            let cap = self.slots.len();
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[head % cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let dif = seq as isize - head.wrapping_add(1) as isize;
+                if dif == 0 {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS gives this thread sole
+                            // ownership of the filled cell.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(head.wrapping_add(cap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(h) => head = h,
+                    }
+                } else if dif < 0 {
+                    // The slot was not yet filled on this lap: empty.
+                    return None;
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Number of values currently queued (exact when quiescent, a
+        /// point-in-time estimate under concurrent push/pop — fine for the
+        /// depth gauges it feeds).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            tail.wrapping_sub(head).min(self.slots.len())
+        }
+
+        /// Whether the queue is currently empty (same caveat as [`len`]).
+        ///
+        /// [`len`]: ArrayQueue::len
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            // Pop (and thereby drop) everything still queued.
+            while self.pop().is_some() {}
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;
@@ -50,6 +207,111 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use crate::queue::ArrayQueue;
+
+    #[test]
+    fn full_queue_returns_value_to_pusher() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3)); // shed, not blocked
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok()); // slot freed by the pop
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = ArrayQueue::<u32>::new(0);
+    }
+
+    #[test]
+    fn drain_after_producers_stop_returns_everything_in_fifo_order() {
+        // Drain-on-shutdown: once producers are done, sequential pops must
+        // surface every queued value, in order.
+        let q = ArrayQueue::new(64);
+        for i in 0..48 {
+            q.push(i).unwrap();
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_preserves_per_producer_order_and_loses_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 1000;
+        let q = ArrayQueue::new(8); // small ring: forces lap reuse under contention
+        let collected = Mutex::new(Vec::new());
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                let done = &done;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut item = (p, i);
+                        // Full queue: retry (producers here want delivery;
+                        // the serving layer is the one that sheds).
+                        while let Err(back) = q.push(item) {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            for _ in 0..PRODUCERS {
+                let q = &q;
+                let done = &done;
+                let collected = &collected;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match q.pop() {
+                            Some(item) => local.push(item),
+                            None if done.load(Ordering::SeqCst) == PRODUCERS && q.is_empty() => {
+                                break
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    collected.lock().unwrap().push(local);
+                });
+            }
+        });
+        let per_consumer = collected.into_inner().unwrap();
+        // Within one consumer's consumption order, each producer's sequence
+        // numbers must be strictly increasing (per-producer FIFO).
+        for local in &per_consumer {
+            let mut last = [None::<usize>; PRODUCERS];
+            for &(p, i) in local {
+                assert!(
+                    last[p].is_none_or(|prev| prev < i),
+                    "producer {p} reordered"
+                );
+                last[p] = Some(i);
+            }
+        }
+        // And globally: every item exactly once (no loss, no duplication).
+        let mut all: Vec<(usize, usize)> = per_consumer.into_iter().flatten().collect();
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+        all.sort_unstable();
+        let want: Vec<(usize, usize)> = (0..PRODUCERS)
+            .flat_map(|p| (0..PER_PRODUCER).map(move |i| (p, i)))
+            .collect();
+        assert_eq!(all, want);
+    }
+
     #[test]
     fn scoped_threads_join_and_return() {
         let data = [1u64, 2, 3, 4];
