@@ -18,9 +18,14 @@
 //!   cache-cold vs. cache-hot latency plus the server's counters; can dump a
 //!   live status snapshot (`--status-out`), per-request trace lanes
 //!   (`--trace-out` + `--trace-every`), and a structured event log
-//!   (`--events-out`),
+//!   (`--events-out`); `--incident-dir` arms automatic incident capture
+//!   with demo-tight SLO and shed thresholds and floods the queue so at
+//!   least one bundle lands in the directory,
 //! - `granii serve-status` — render a dumped status snapshot as a
-//!   human-readable table.
+//!   human-readable table,
+//! - `granii incident-show` — render an incident bundle (written by the
+//!   serving runtime's flight recorder on SLO burn / drift / shed storms)
+//!   as a human-readable timeline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -132,11 +137,18 @@ pub fn usage() -> String {
        serve-demo --models FILE (--graph FILE | --dataset CODE [--scale ...])\n\
                  [--model NAME] [--k1 N] [--k2 N] [--requests N] [--workers N]\n\
                  [--max-batch N] [--status-out FILE] [--trace-every N]\n\
+                 [--incident-dir DIR]\n\
                  --status-out writes a live ServerStatus snapshot as JSON;\n\
                  --trace-every samples every Nth request into its own trace\n\
-                 lane (needs --trace-out; default 1, 0 disables)\n\
+                 lane (needs --trace-out; default 1, 0 disables);\n\
+                 --incident-dir arms automatic incident capture with\n\
+                 demo-tight SLO/shed thresholds, floods the queue into a\n\
+                 shed storm, and writes the captured bundles to DIR\n\
        serve-status --status FILE\n\
                  render a serve-demo --status-out snapshot as a table\n\
+       incident-show --incident FILE\n\
+                 render an incident bundle (serve-demo --incident-dir) as\n\
+                 a human-readable timeline\n\
      global observability flags (any command):\n\
        --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
        --metrics-out FILE   write counters, latency histograms, quantile\n\
@@ -288,6 +300,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "bench" => cmd_bench(args),
         "serve-demo" => cmd_serve_demo(args),
         "serve-status" => cmd_serve_status(args),
+        "incident-show" => cmd_incident_show(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
@@ -543,7 +556,9 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
 /// Serving demo: replays one request signature through a multi-worker
 /// [`granii_serve::Server`] and reports cache-cold vs. cache-hot latency.
 fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
-    use granii_serve::{ServeConfig, ServeRequest, Server};
+    use granii_serve::{
+        IncidentConfig, LatencyObjective, Outcome, ServeConfig, ServeRequest, Server,
+    };
 
     let path = args.require("models")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -558,17 +573,36 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     // Per-request trace-lane sampling; only takes effect when telemetry is
     // on (i.e. --trace-out or a sibling flag was given).
     let trace_every = args.usize_or("trace-every", 1)? as u64;
+    let incident_dir = args.get("incident-dir").map(std::path::PathBuf::from);
     let graph = std::sync::Arc::new(load_graph(args)?);
 
-    let server = Server::start(
-        granii,
-        ServeConfig {
-            workers,
-            max_batch,
-            trace_sample_every: trace_every,
-            ..ServeConfig::default()
-        },
-    );
+    let mut config = ServeConfig {
+        workers,
+        max_batch,
+        trace_sample_every: trace_every,
+        ..ServeConfig::default()
+    };
+    if let Some(dir) = &incident_dir {
+        // Demo-tight thresholds: sub-microsecond SLOs make every request a
+        // violation (the first closed window burns), and a low shed-storm
+        // threshold plus zero capture cooldown lets the flood below
+        // deterministically trip at least one incident into DIR.
+        config.slo.objectives = vec![
+            LatencyObjective::new(Outcome::Hit, 0.0001, 0.99),
+            LatencyObjective::new(Outcome::Miss, 0.0001, 0.99),
+            LatencyObjective::new(Outcome::Degraded, 0.0001, 0.95),
+        ];
+        config.slo.window = 16;
+        config.incident = IncidentConfig {
+            dir: Some(dir.clone()),
+            cooldown: std::time::Duration::ZERO,
+            max_per_window: 64,
+            shed_threshold: 16,
+            ..IncidentConfig::default()
+        };
+    }
+    let queue_depth = config.queue_depth;
+    let server = Server::start(granii, config);
     let mut out = format!(
         "serving {model} {k1}x{k2} on {} ({} nodes, {} edges): {requests} requests, {workers} workers\n",
         graph.name(),
@@ -612,6 +646,32 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
             burst_batched += 1;
         }
     }
+    // Incident mode: flood the queue far past its depth in a tight loop.
+    // Admission (and single-tenant fairness) sheds the overflow, the shed
+    // storm trips the capturer, and the burning SLO windows from the
+    // requests above contribute their own bundles.
+    let mut flood_line = None;
+    if incident_dir.is_some() {
+        let mut flood_tickets = Vec::new();
+        let mut flood_shed = 0u64;
+        let flood_total = 8 * queue_depth;
+        for _ in 0..flood_total {
+            match server.submit(ServeRequest::new(model, graph.clone(), k1, k2)) {
+                Ok(ticket) => flood_tickets.push(ticket),
+                Err(_) => flood_shed += 1,
+            }
+        }
+        let mut flood_completed = 0u64;
+        for ticket in flood_tickets {
+            if ticket.wait().is_ok() {
+                flood_completed += 1;
+            }
+        }
+        flood_line = Some(format!(
+            "  flood: {flood_total} submits -> {flood_shed} shed, {flood_completed} completed"
+        ));
+    }
+    let bundles = server.incidents();
     let stats = server.stats();
     let status = server.status();
     server.shutdown();
@@ -622,6 +682,10 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         status.batching.groups
     )
     .expect("fmt");
+    if let Some(line) = flood_line {
+        out.push_str(&line);
+        out.push('\n');
+    }
     hot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     writeln!(
         out,
@@ -641,11 +705,42 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         stats.shed
     )
     .expect("fmt");
+    if let Some(dir) = &incident_dir {
+        writeln!(
+            out,
+            "  incidents: {} captured -> {}",
+            bundles.len(),
+            dir.display()
+        )
+        .expect("fmt");
+        for bundle in &bundles {
+            writeln!(
+                out,
+                "    incident #{} {}: {}",
+                bundle.seq, bundle.trigger.kind, bundle.trigger.detail
+            )
+            .expect("fmt");
+        }
+        if bundles.is_empty() {
+            return Err("incident mode armed but no incident was captured".to_string());
+        }
+    }
     if let Some(path) = args.get("status-out") {
         std::fs::write(path, status.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         writeln!(out, "  status -> {path}").expect("fmt");
     }
     Ok(out)
+}
+
+/// Renders an incident bundle (written by `serve-demo --incident-dir`, or
+/// by any server with `IncidentConfig::dir` set) as the human-readable
+/// timeline — the `incident-show` command.
+fn cmd_incident_show(args: &Args) -> Result<String, CliError> {
+    let path = args.require("incident")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let bundle =
+        granii_serve::IncidentBundle::from_json(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(bundle.to_string())
 }
 
 /// Renders a status snapshot (written by `serve-demo --status-out`) as the
@@ -799,6 +894,57 @@ mod tests {
         assert!(out.contains("cache-hot p50"), "{out}");
         assert!(out.contains("hit rate"), "{out}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_demo_incident_mode_writes_bundles_and_incident_show_renders() {
+        let dir = std::env::temp_dir().join("granii-cli-incident-demo");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let models = dir.join("models.json");
+        let models_s = models.to_str().unwrap();
+        run(&args(&[
+            "train", "--device", "h100", "--fast", "true", "--out", models_s,
+        ]))
+        .unwrap();
+        let incidents = dir.join("incidents");
+        let incidents_s = incidents.to_str().unwrap();
+        let out = run(&args(&[
+            "serve-demo",
+            "--models",
+            models_s,
+            "--dataset",
+            "MC",
+            "--requests",
+            "32",
+            "--incident-dir",
+            incidents_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("flood:"), "{out}");
+        assert!(out.contains("incidents:"), "{out}");
+        assert!(!out.contains("incidents: 0 captured"), "{out}");
+        let mut files: Vec<_> = std::fs::read_dir(&incidents)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert!(!files.is_empty(), "bundle files written");
+        let rendered = run(&args(&[
+            "incident-show",
+            "--incident",
+            files[0].to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(rendered.contains("incident #"), "{rendered}");
+        assert!(rendered.contains("trigger"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incident_show_requires_readable_bundle() {
+        let err = run(&args(&["incident-show", "--incident", "/missing.json"])).unwrap_err();
+        assert!(err.contains("read /missing.json"), "{err}");
     }
 
     #[test]

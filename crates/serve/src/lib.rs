@@ -50,6 +50,17 @@
 //! - **Live status surface** ([`ServerStatus`] from [`Server::status`]):
 //!   queue depth, per-worker utilization, cache counters, degradation
 //!   rates, and the drift table — as JSON and a human-readable table.
+//! - **Always-on flight recorder** ([`FlightRecorder`]): a fixed-slot,
+//!   lock-free ring every serve layer streams structured records into —
+//!   admission, shed, batch formation (group signature + member ids),
+//!   cache traffic, drift flags, SLO burn, completion. Writers never
+//!   block (collisions drop-and-count); readers snapshot without
+//!   destroying. When a detector fires, the [`IncidentCapturer`]
+//!   assembles a correlated [`IncidentBundle`] — ring excerpt, full
+//!   status, merged sketches, and the triggering signature's selection
+//!   audit (chosen composition, per-candidate predicted costs, and the
+//!   input statistics that keyed the choice) — as one JSON artifact,
+//!   rate-limited by cooldown + max-per-window.
 //!
 //! Outputs are deterministic: for a given request signature, cache hits,
 //! misses, and serial re-execution all produce bitwise-identical matrices
@@ -79,7 +90,9 @@ mod cache;
 mod drift;
 mod error;
 mod fairness;
+mod incident;
 mod inspect;
+mod recorder;
 mod server;
 mod slo;
 mod status;
@@ -89,15 +102,21 @@ pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use drift::{DriftConfig, DriftDetector, DriftRow, DriftVerdict};
 pub use error::{Result, ServeError};
 pub use fairness::{TenantRow, TenantTable};
+pub use incident::{
+    IncidentBundle, IncidentCapturer, IncidentConfig, IncidentTrigger, RingEntry, SelectionAudit,
+    SelectionAuditInfo, TriggerInfo, AUDIT_CAPACITY,
+};
 pub use inspect::{
     InputInspector, InputProfile, InputRow, InspectConfig, InspectVerdict, DEGREE_BANDS,
 };
+pub use recorder::{FlightRecord, FlightRecorder, RecordKind, RecorderConfig, MAX_BATCH_MEMBERS};
 pub use server::{
     RequestTiming, ServeConfig, ServeRequest, ServeResponse, ServeStats, Server, Ticket,
 };
 pub use slo::{LatencyObjective, Outcome, SloConfig, SloMonitor, SloRow, SloVerdict};
 pub use status::{
     BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
-    LatencySketchStatus, ServerStatus, SloObjectiveStatus, TenantStatus, WorkerStatus,
+    LatencySketchStatus, RecorderStatus, ServerStatus, SloObjectiveStatus, TenantStatus,
+    WorkerStatus,
 };
-pub use trace::{RequestTrace, TRACE_LANE_BASE};
+pub use trace::{RequestTrace, BATCH_TRACE_LANE, TRACE_LANE_BASE};

@@ -27,11 +27,17 @@ use granii_telemetry::{event, DistinctCounter, Sketch, SketchSnapshot, DEFAULT_S
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
 use crate::fairness::TenantTable;
+use crate::incident::{
+    render_events, IncidentBundle, IncidentCapturer, IncidentConfig, IncidentTrigger, RecorderInfo,
+    RingEntry, SelectionAudit, SelectionAuditInfo, SketchSummary,
+};
 use crate::inspect::{InputInspector, InputProfile, InspectConfig, InspectVerdict};
+use crate::recorder::{FlightRecorder, RecordKind, RecorderConfig, MAX_BATCH_MEMBERS};
 use crate::slo::{Outcome, SloConfig, SloMonitor, SloVerdict};
 use crate::status::{
     BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
-    LatencySketchStatus, ServerStatus, SloObjectiveStatus, TenantStatus, WorkerStatus,
+    LatencySketchStatus, RecorderStatus, ServerStatus, SloObjectiveStatus, TenantStatus,
+    WorkerStatus,
 };
 use crate::trace::{self, RequestTrace};
 use crate::{Result, ServeError};
@@ -75,6 +81,11 @@ pub struct ServeConfig {
     pub inspect: InspectConfig,
     /// Latency-SLO objectives and burn-rate monitoring tuning.
     pub slo: SloConfig,
+    /// Always-on flight-recorder ring sizing.
+    pub recorder: RecorderConfig,
+    /// Automatic incident-capture policy (triggers, rate limits, artifact
+    /// directory).
+    pub incident: IncidentConfig,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +100,8 @@ impl Default for ServeConfig {
             drift: DriftConfig::default(),
             inspect: InspectConfig::default(),
             slo: SloConfig::default(),
+            recorder: RecorderConfig::default(),
+            incident: IncidentConfig::default(),
         }
     }
 }
@@ -357,6 +370,15 @@ struct Inner {
     next_request_id: AtomicU64,
     started: Instant,
     workers: Vec<WorkerSlot>,
+    /// Always-on flight recorder: every layer streams structured records
+    /// into this lock-free ring, telemetry enabled or not.
+    recorder: FlightRecorder,
+    /// Incident policy + selection-audit table + captured bundles.
+    incidents: IncidentCapturer,
+    /// Monotone sequence for `serve.batch` spans on the batch trace lane
+    /// (two workers can finish groups simultaneously; the exporter needs
+    /// distinct seqs).
+    batch_trace_seq: AtomicU64,
 }
 
 impl Inner {
@@ -465,6 +487,9 @@ impl Server {
                 available: Condvar::new(),
                 sleepers: AtomicUsize::new(0),
             },
+            recorder: FlightRecorder::new(config.recorder),
+            incidents: IncidentCapturer::new(config.incident.clone()),
+            batch_trace_seq: AtomicU64::new(0),
             config: config.clone(),
             counters: Counters::default(),
             next_request_id: AtomicU64::new(0),
@@ -517,15 +542,17 @@ impl Server {
         if inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
+        // The key is computed before the depth gate so every shed record
+        // (and a shed-storm incident) names the signature it turned away.
+        let key = request.plan_key();
         let depth = inner.queue.len();
         if depth >= inner.config.queue_depth {
-            return Err(shed(inner, id, depth, "queue_full"));
+            return Err(shed(inner, id, key, depth, "queue_full"));
         }
-        let key = request.plan_key();
         if !inner.tenants.try_admit(key.1) {
             inner.counters.tenant_shed.fetch_add(1, Ordering::Relaxed);
             granii_telemetry::counter_add("serve.tenant_shed", 1);
-            return Err(shed(inner, id, depth, "tenant_cap"));
+            return Err(shed(inner, id, key, depth, "tenant_cap"));
         }
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -540,11 +567,19 @@ impl Server {
         if inner.queue.push(job).is_err() {
             // The ring filled between the depth gate and the push.
             inner.tenants.cancel_admit(key.1);
-            return Err(shed(inner, id, inner.queue.len(), "queue_full"));
+            return Err(shed(inner, id, key, inner.queue.len(), "queue_full"));
         }
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.submitted", 1);
         let depth = inner.queue.len();
+        inner.recorder.record(
+            id,
+            key.1,
+            key.0.name(),
+            RecordKind::Enqueue {
+                depth: depth as u32,
+            },
+        );
         granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
         event!("serve.enqueue", id = id, depth = depth);
         // Close the admission window before waking: the push must be
@@ -579,6 +614,15 @@ impl Server {
         self.inner.cache.clear();
         self.inner.drift.reset();
         self.inner.inspect.reset();
+        self.inner.recorder.record(
+            0,
+            0,
+            "",
+            RecordKind::CacheInvalidate {
+                cause: "model_swap",
+            },
+        );
+        self.inner.recorder.record(0, 0, "", RecordKind::ModelSwap);
         event!("serve.model_swap");
     }
 
@@ -600,7 +644,53 @@ impl Server {
 
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
-        let c = &self.inner.counters;
+        self.inner.stats()
+    }
+
+    /// Assembles the live status snapshot (see [`ServerStatus`]): queue and
+    /// worker utilization, cache counters, batching and fairness state,
+    /// degradation rates, the drift detector's per-signature residual
+    /// table, and flight-recorder health.
+    pub fn status(&self) -> ServerStatus {
+        self.inner.status()
+    }
+
+    /// The incident bundles captured so far and still retained in memory,
+    /// oldest-first (bounded by `IncidentConfig::keep_last`; every bundle
+    /// is also written to `IncidentConfig::dir` when one is configured).
+    pub fn incidents(&self) -> Vec<IncidentBundle> {
+        self.inner.incidents.recent()
+    }
+
+    /// A non-destructive snapshot of the flight-recorder ring, oldest
+    /// record first.
+    pub fn flight_records(&self) -> Vec<crate::recorder::FlightRecord> {
+        self.inner.recorder.snapshot()
+    }
+
+    /// Flight-recorder write/drop counters: `(written, dropped)`.
+    pub fn recorder_counters(&self) -> (u64, u64) {
+        (self.inner.recorder.written(), self.inner.recorder.dropped())
+    }
+
+    /// Shuts down gracefully: stops accepting requests, drains the queue,
+    /// joins every worker. Equivalent to dropping the server.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.wake_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> ServeStats {
+        let c = &self.counters;
         ServeStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -611,31 +701,29 @@ impl Server {
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
-            cache_hits: self.inner.cache.hits(),
-            cache_misses: self.inner.cache.misses(),
-            cache_evictions: self.inner.cache.evictions(),
-            cache_invalidations: self.inner.cache.invalidations(),
-            cache_len: self.inner.cache.len(),
-            cache_hit_rate: self.inner.cache.hit_rate(),
-            queue_depth: self.inner.queue.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_invalidations: self.cache.invalidations(),
+            cache_len: self.cache.len(),
+            cache_hit_rate: self.cache.hit_rate(),
+            queue_depth: self.queue.len(),
             drift_flagged: c.drift_flagged.load(Ordering::Relaxed),
             input_drift_flagged: c.input_drift_flagged.load(Ordering::Relaxed),
         }
     }
 
-    /// Assembles the live status snapshot (see [`ServerStatus`]): queue and
-    /// worker utilization, cache counters, batching and fairness state,
-    /// degradation rates, and the drift detector's per-signature residual
-    /// table.
-    pub fn status(&self) -> ServerStatus {
+    /// Status assembly lives on `Inner` (not [`Server`]) so worker threads
+    /// can embed a full snapshot in an incident bundle mid-request.
+    fn status(&self) -> ServerStatus {
         let stats = self.stats();
-        let uptime_seconds = self.inner.started.elapsed().as_secs_f64();
+        let uptime_seconds = self.started.elapsed().as_secs_f64();
         let completed = stats.completed.max(1) as f64;
-        let batch_sketch = self.batch_sketch();
+        let batch_sketch = self.batch_sizes.snapshot("serve.batch.size");
         ServerStatus {
             uptime_seconds,
             queue_depth: stats.queue_depth,
-            queue_capacity: self.inner.config.queue_depth,
+            queue_capacity: self.config.queue_depth,
             submitted: stats.submitted,
             completed: stats.completed,
             failed: stats.failed,
@@ -654,9 +742,9 @@ impl Server {
             },
             drift_flagged: stats.drift_flagged,
             input_drift_flagged: stats.input_drift_flagged,
-            distinct_signatures: self.inner.distinct_signatures.estimate(),
+            distinct_signatures: self.distinct_signatures.estimate(),
             batching: BatchingStatus {
-                max_batch: self.inner.config.max_batch,
+                max_batch: self.config.max_batch,
                 groups: batch_sketch.count,
                 batches: stats.batches,
                 batched_requests: stats.batched_requests,
@@ -665,10 +753,9 @@ impl Server {
                 p95_size: batch_sketch.p95_ns(),
             },
             fairness: FairnessStatus {
-                tenant_queue_cap: self.inner.tenants.cap(),
+                tenant_queue_cap: self.tenants.cap(),
                 tenant_shed: stats.tenant_shed,
                 tenants: self
-                    .inner
                     .tenants
                     .rows()
                     .into_iter()
@@ -681,7 +768,6 @@ impl Server {
                     .collect(),
             },
             workers: self
-                .inner
                 .workers
                 .iter()
                 .enumerate()
@@ -705,11 +791,11 @@ impl Server {
                 evictions: stats.cache_evictions,
                 invalidations: stats.cache_invalidations,
                 len: stats.cache_len,
-                capacity: self.inner.config.cache_capacity,
+                capacity: self.config.cache_capacity,
                 hit_rate: stats.cache_hit_rate,
             },
             drift: {
-                let mut rows = self.inner.drift.rows();
+                let mut rows = self.drift.rows();
                 // Fingerprint-first ordering so `--status-out` artifacts
                 // from different runs diff cleanly regardless of which
                 // model family hit the detector first.
@@ -732,7 +818,7 @@ impl Server {
                     .collect()
             },
             input: {
-                let mut rows = self.inner.inspect.rows();
+                let mut rows = self.inspect.rows();
                 rows.sort_by_key(|row| (row.key.1, row.key.0.name(), row.key.2, row.key.3));
                 rows.into_iter()
                     .map(|row| {
@@ -755,7 +841,6 @@ impl Server {
                     .collect()
             },
             slo: self
-                .inner
                 .slo
                 .rows()
                 .into_iter()
@@ -772,7 +857,6 @@ impl Server {
                 })
                 .collect(),
             latency: self
-                .inner
                 .latency
                 .snapshots()
                 .into_iter()
@@ -786,20 +870,15 @@ impl Server {
                     p999_ms: s.p999_ns() / 1e6,
                 })
                 .collect(),
-        }
-    }
-
-    /// Shuts down gracefully: stops accepting requests, drains the queue,
-    /// joins every worker. Equivalent to dropping the server.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.wake_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            recorder: RecorderStatus {
+                capacity: self.recorder.capacity() as u64,
+                written: self.recorder.written(),
+                dropped: self.recorder.dropped(),
+                incidents: self.incidents.captured(),
+                suppressed: self.incidents.suppressed(),
+                events_dropped: granii_telemetry::events_dropped(),
+                last_trigger: self.incidents.last_trigger(),
+            },
         }
     }
 }
@@ -811,13 +890,32 @@ impl Drop for Server {
 }
 
 /// Shed bookkeeping shared by every admission-reject path: counters, gauges
-/// (a shed must not leave them stale), and the shed event.
-fn shed(inner: &Inner, id: u64, depth: usize, reason: &str) -> ServeError {
+/// (a shed must not leave them stale), the shed event, the flight-recorder
+/// record, and the shed-storm incident trigger.
+fn shed(inner: &Inner, id: u64, key: PlanKey, depth: usize, reason: &'static str) -> ServeError {
     inner.counters.shed.fetch_add(1, Ordering::Relaxed);
     granii_telemetry::counter_add("serve.shed", 1);
     granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
     granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
+    inner.recorder.record(
+        id,
+        key.1,
+        key.0.name(),
+        RecordKind::Shed {
+            depth: depth as u32,
+            reason,
+        },
+    );
     event!("serve.shed", id = id, depth = depth, reason = reason);
+    if let Some(sheds) = inner.incidents.note_shed() {
+        capture_incident(
+            inner,
+            IncidentTrigger::ShedStorm {
+                sheds,
+                window_seconds: inner.incidents.config().shed_window.as_secs_f64(),
+            },
+        );
+    }
     ServeError::Overloaded {
         depth: inner.config.queue_depth,
     }
@@ -895,12 +993,31 @@ fn process_group(inner: &Inner, exec: &Exec, jobs: Vec<Job>) {
     let batch = jobs.len();
     inner.batch_sizes.record_ns(batch as u64);
     granii_telemetry::sketch_record_ns("serve.batch.size", batch as u64);
+    // Every formed group — including groups of one — leaves a ring record
+    // naming its signature and member ids: the incident timeline can always
+    // answer "which batch carried the triggering request".
+    let key = jobs[0].key;
+    let mut members = [0u64; MAX_BATCH_MEMBERS];
+    let tracked = batch.min(MAX_BATCH_MEMBERS);
+    for (slot, job) in members.iter_mut().zip(jobs.iter()) {
+        *slot = job.id;
+    }
+    inner.recorder.record(
+        jobs[0].id,
+        key.1,
+        key.0.name(),
+        RecordKind::BatchFormed {
+            size: batch as u32,
+            tracked: tracked as u32,
+            members,
+        },
+    );
     if batch == 1 {
         let job = jobs.into_iter().next().expect("group of one");
         let id = job.id;
         let reply = job.reply.clone();
         let result = process_job(inner, exec, job);
-        finish_job(inner, id, &reply, result);
+        finish_job(inner, id, key, &reply, result);
         return;
     }
     inner.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -918,7 +1035,7 @@ fn process_group(inner: &Inner, exec: &Exec, jobs: Vec<Job>) {
             let id = job.id;
             let reply = job.reply.clone();
             let result = process_job(inner, exec, job);
-            finish_job(inner, id, &reply, result);
+            finish_job(inner, id, key, &reply, result);
         }
     }
 }
@@ -961,6 +1078,9 @@ fn process_batch(
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
             granii_telemetry::counter_add("serve.deadline_expired", 1);
+            inner
+                .recorder
+                .record(job.id, key.1, key.0.name(), RecordKind::DeadlineExpired);
         }
         expired.push(is_expired);
         inner.distinct_signatures.observe(key.1);
@@ -991,6 +1111,7 @@ fn process_batch(
                 &leader.request,
                 key,
                 expired[0],
+                profiles[0],
                 &mut leader.trace,
             ) {
                 Ok((entry, degraded, secs)) => {
@@ -1006,6 +1127,14 @@ fn process_batch(
     inner.cache.note_shared_hits(batch as u64 - 1);
     if leader_hit {
         granii_telemetry::counter_add("serve.cache_hits", batch as u64);
+        inner.recorder.record(
+            jobs[0].id,
+            key.1,
+            key.0.name(),
+            RecordKind::CacheHit {
+                shared: batch as u32 - 1,
+            },
+        );
     } else {
         granii_telemetry::counter_add("serve.cache_misses", 1);
         granii_telemetry::counter_add("serve.cache_hits", batch as u64 - 1);
@@ -1016,6 +1145,7 @@ fn process_batch(
     // wide buffers at bind time), per-member serial iterates under the same
     // entry lock otherwise (e.g. attention plans).
     let t_execute = Instant::now();
+    let batch_start_us = granii_telemetry::now_us();
     for job in &mut jobs {
         if let Some(t) = job.trace.as_deref_mut() {
             t.mark_execute_start();
@@ -1089,7 +1219,22 @@ fn process_batch(
     for job in &mut jobs {
         if let Some(t) = job.trace.as_deref_mut() {
             t.mark_execute_done();
+            t.set_batch(key.1, batch as u64);
         }
+    }
+    // Batch-causal tracing: one `serve.batch` span per executed group on
+    // the dedicated lane, carrying the group signature and member ids;
+    // sampled members' execute children link back via `batch_group`.
+    if granii_telemetry::enabled() {
+        let member_ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        trace::record_batch_span(
+            key.1,
+            key.0.name(),
+            &member_ids,
+            batch_start_us,
+            granii_telemetry::now_us().saturating_sub(batch_start_us),
+            inner.batch_trace_seq.fetch_add(1, Ordering::Relaxed),
+        );
     }
 
     // Per-member observability and replies.
@@ -1126,16 +1271,18 @@ fn process_batch(
             degraded,
             batch_size: batch,
         };
-        finish_job(inner, id, &reply, Ok(response));
+        finish_job(inner, id, key, &reply, Ok(response));
     }
     Ok(())
 }
 
 /// Per-result bookkeeping and the reply send: completion/failure counters,
-/// outcome-split latency sketches, SLO window accounting, and events.
+/// outcome-split latency sketches, SLO window accounting, flight-recorder
+/// records (and the SLO-burn incident trigger), and events.
 fn finish_job(
     inner: &Inner,
     id: u64,
+    key: PlanKey,
     reply: &mpsc::Sender<Result<ServeResponse>>,
     result: Result<ServeResponse>,
 ) {
@@ -1176,6 +1323,17 @@ fn finish_job(
             granii_telemetry::histogram_record_seconds(metric, response.timing.total_seconds);
             inner.latency.for_outcome(outcome).record_ns(latency_ns);
             granii_telemetry::sketch_record_ns(metric, latency_ns);
+            inner.recorder.record(
+                id,
+                key.1,
+                key.0.name(),
+                RecordKind::Complete {
+                    outcome: outcome.name(),
+                    latency_us: latency_ns / 1_000,
+                    batch: response.batch_size as u32,
+                    degraded: response.degraded,
+                },
+            );
             match inner.slo.record(outcome, latency_ns) {
                 SloVerdict::Ok => {}
                 SloVerdict::WindowClosed {
@@ -1189,6 +1347,16 @@ fn finish_job(
                     match crossed {
                         Some(true) => {
                             granii_telemetry::counter_add("serve.slo_breached", 1);
+                            inner.recorder.record(
+                                id,
+                                key.1,
+                                key.0.name(),
+                                RecordKind::SloBurn {
+                                    outcome: name,
+                                    burn_rate,
+                                    threshold_ms: objective.threshold_ms,
+                                },
+                            );
                             event!(
                                 "serve.slo_burn",
                                 outcome = name,
@@ -1196,8 +1364,28 @@ fn finish_job(
                                 threshold_ms = objective.threshold_ms,
                                 target = objective.target,
                             );
+                            // The request that closed the burning window is
+                            // the incident's triggering signature.
+                            capture_incident(
+                                inner,
+                                IncidentTrigger::SloBurn {
+                                    outcome: name,
+                                    burn_rate,
+                                    threshold_ms: objective.threshold_ms,
+                                    key,
+                                },
+                            );
                         }
                         Some(false) => {
+                            inner.recorder.record(
+                                id,
+                                key.1,
+                                key.0.name(),
+                                RecordKind::SloRecover {
+                                    outcome: name,
+                                    burn_rate,
+                                },
+                            );
                             event!("serve.slo_recover", outcome = name, burn_rate = burn_rate,);
                         }
                         None => {}
@@ -1217,6 +1405,9 @@ fn finish_job(
         Err(_) => {
             inner.counters.failed.fetch_add(1, Ordering::Relaxed);
             granii_telemetry::counter_add("serve.failed", 1);
+            inner
+                .recorder
+                .record(id, key.1, key.0.name(), RecordKind::Failed);
             // The gauges must track reality on the failure path too —
             // a failed request still consumed a queue slot and a cache
             // lookup.
@@ -1229,20 +1420,30 @@ fn finish_job(
     let _ = reply.send(result);
 }
 
+/// What `choose_composition` decided: the winner, whether it is the
+/// degraded fallback, and every candidate's predicted cost (empty on the
+/// degraded path — nothing was predicted).
+type Chosen = (Composition, bool, Vec<(Composition, f64)>);
+
 /// Picks the composition for a cache miss. Normal path: full cost-model
-/// selection. Degraded path (expired deadline, or the cost models cannot
-/// predict a candidate): the plan's default composition — the first eligible
-/// candidate, which every compiled model is guaranteed to have.
+/// selection, returning every candidate's predicted cost alongside the
+/// winner (the selection audit an incident bundle replays). Degraded path
+/// (expired deadline, or the cost models cannot predict a candidate): the
+/// plan's default composition — the first eligible candidate, which every
+/// compiled model is guaranteed to have — with an empty prediction list
+/// (nothing was predicted).
 fn choose_composition(
     granii: &Granii,
     request: &ServeRequest,
     cfg: LayerConfig,
     expired: bool,
     id: u64,
-) -> Result<(Composition, bool)> {
+) -> Result<Chosen> {
     if !expired {
         match granii.select_with_config(request.model, &request.graph, cfg, request.iterations) {
-            Ok(selection) => return Ok((selection.composition, false)),
+            Ok(selection) => {
+                return Ok((selection.composition, false, selection.predicted));
+            }
             Err(CoreError::MissingCostModel { .. }) => {
                 event!("serve.degrade", id = id, reason = "missing_cost_model");
             }
@@ -1256,12 +1457,16 @@ fn choose_composition(
     let first = eligible.first().ok_or(CoreError::NoCandidates {
         model: request.model.name().to_owned(),
     })?;
-    Ok((first.composition, true))
+    Ok((first.composition, true, Vec::new()))
 }
 
 /// The cache-miss slow path: select (or degrade), build, bind, pre-warm the
-/// multi-RHS batch buffers, and insert. Returns the cached entry, whether
-/// the degraded composition was used, and the select wall time.
+/// multi-RHS batch buffers, and insert. Records the selection audit (chosen
+/// composition, every candidate's predicted cost, and the input profile
+/// that keyed the choice) so a later incident against this signature can
+/// replay the decision. Returns the cached entry, whether the degraded
+/// composition was used, and the select wall time.
+#[allow(clippy::too_many_arguments)]
 fn bind_miss(
     inner: &Inner,
     exec: &Exec,
@@ -1269,6 +1474,7 @@ fn bind_miss(
     request: &ServeRequest,
     key: PlanKey,
     expired: bool,
+    profile: Option<InputProfile>,
     trace: &mut Option<Box<RequestTrace>>,
 ) -> Result<(Arc<Mutex<CachedPlan>>, bool, f64)> {
     let t_select = Instant::now();
@@ -1277,7 +1483,8 @@ fn bind_miss(
     }
     let cfg = LayerConfig::new(request.k1, request.k2);
     let granii = inner.granii();
-    let (composition, degraded) = choose_composition(&granii, request, cfg, expired, id)?;
+    let (composition, degraded, predicted) =
+        choose_composition(&granii, request, cfg, expired, id)?;
     let plan = granii.compiled(request.model, cfg)?;
     let candidate = plan
         .candidates
@@ -1320,7 +1527,27 @@ fn bind_miss(
     if let Some(t) = trace.as_deref_mut() {
         t.mark_select_done();
     }
-    Ok((entry, degraded, t_select.elapsed().as_secs_f64()))
+    let select_seconds = t_select.elapsed().as_secs_f64();
+    inner.incidents.audits().record(
+        key,
+        SelectionAudit {
+            composition: composition.name(),
+            degraded,
+            predicted: predicted.into_iter().map(|(c, s)| (c.name(), s)).collect(),
+            profile,
+            captured_at_us: granii_telemetry::now_us(),
+        },
+    );
+    inner.recorder.record(
+        id,
+        key.1,
+        key.0.name(),
+        RecordKind::CacheMiss {
+            select_us: (select_seconds * 1e6) as u64,
+            degraded,
+        },
+    );
+    Ok((entry, degraded, select_seconds))
 }
 
 /// Online drift check: compare the engine-charged cost of the iteration
@@ -1340,6 +1567,20 @@ fn observe_drift(
         inner.cache.invalidate(key);
         inner.counters.drift_flagged.fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.drift_flagged", 1);
+        inner.recorder.record(
+            id,
+            key.1,
+            key.0.name(),
+            RecordKind::CacheInvalidate {
+                cause: "drift_flag",
+            },
+        );
+        inner.recorder.record(
+            id,
+            key.1,
+            key.0.name(),
+            RecordKind::DriftFlag { ewma_residual },
+        );
         event!(
             "serve.drift",
             id = id,
@@ -1349,6 +1590,7 @@ fn observe_drift(
             k2 = request.k2,
             ewma_residual = ewma_residual,
         );
+        capture_incident(inner, IncidentTrigger::Drift { key, ewma_residual });
     }
 }
 
@@ -1365,6 +1607,41 @@ fn observe_input(inner: &Inner, id: u64, request: &ServeRequest, key: PlanKey, p
             .input_drift_flagged
             .fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.input_drift_flagged", 1);
+        // The flag is the rare path: the row walk for the offending
+        // live-vs-reference deltas costs nothing in steady state.
+        let (live_avg_degree, live_cv, reference_cv) = inner
+            .inspect
+            .rows()
+            .into_iter()
+            .find(|row| row.key == key)
+            .map(|row| {
+                (
+                    row.live.avg_degree,
+                    row.live.degree_cv,
+                    row.reference.degree_cv,
+                )
+            })
+            .unwrap_or((p.avg_degree, p.degree_cv, 0.0));
+        inner.recorder.record(
+            id,
+            key.1,
+            key.0.name(),
+            RecordKind::CacheInvalidate {
+                cause: "input_drift_flag",
+            },
+        );
+        inner.recorder.record(
+            id,
+            key.1,
+            key.0.name(),
+            RecordKind::InputDriftFlag {
+                band_l1,
+                cv_delta,
+                live_cv,
+                reference_cv,
+                live_avg_degree,
+            },
+        );
         event!(
             "serve.input_drift",
             id = id,
@@ -1374,6 +1651,14 @@ fn observe_input(inner: &Inner, id: u64, request: &ServeRequest, key: PlanKey, p
             k2 = request.k2,
             band_l1 = band_l1,
             cv_delta = cv_delta,
+        );
+        capture_incident(
+            inner,
+            IncidentTrigger::InputDrift {
+                key,
+                band_l1,
+                cv_delta,
+            },
         );
     }
 }
@@ -1412,6 +1697,9 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
             .deadline_expired
             .fetch_add(1, Ordering::Relaxed);
         granii_telemetry::counter_add("serve.deadline_expired", 1);
+        inner
+            .recorder
+            .record(id, key.1, key.0.name(), RecordKind::DeadlineExpired);
     }
 
     inner.distinct_signatures.observe(key.1);
@@ -1427,10 +1715,15 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
     let (entry, cache_hit, degraded, select_seconds) = match inner.cache.lookup(key) {
         // Hit: the signature's plan is already bound — even an expired
         // request serves it at full quality.
-        Some(entry) => (entry, true, false, 0.0),
+        Some(entry) => {
+            inner
+                .recorder
+                .record(id, key.1, key.0.name(), RecordKind::CacheHit { shared: 0 });
+            (entry, true, false, 0.0)
+        }
         None => {
             let (entry, degraded, select_seconds) =
-                bind_miss(inner, exec, id, &request, key, expired, &mut trace)?;
+                bind_miss(inner, exec, id, &request, key, expired, profile, &mut trace)?;
             // Selection just inspected the graph as it is now: pin it as
             // the input-drift reference for this signature.
             if let Some(p) = profile {
@@ -1499,4 +1792,74 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         degraded,
         batch_size: 1,
     })
+}
+
+/// Assembles and stores one incident bundle for `trigger`, subject to the
+/// capturer's rate limits. Runs on whichever thread hit the trigger (a
+/// worker for SLO burn and drift, a submitter for a shed storm) — capture
+/// is rare by construction, so the status/sketch assembly cost never sits
+/// on the steady-state path.
+fn capture_incident(inner: &Inner, trigger: IncidentTrigger) {
+    if !inner.incidents.admit() {
+        return;
+    }
+    let seq = inner.incidents.next_seq();
+    granii_telemetry::counter_add("serve.incidents", 1);
+    event!("serve.incident", seq = seq, kind = trigger.kind());
+    // Ring excerpt: the newest `ring_tail` records, oldest-first.
+    let ring_all = inner.recorder.snapshot();
+    let tail = inner.incidents.config().ring_tail;
+    let ring: Vec<RingEntry> = ring_all[ring_all.len().saturating_sub(tail)..]
+        .iter()
+        .map(RingEntry::from_record)
+        .collect();
+    // The triggering signature's selection audit, when the table still
+    // holds it (the audit table is separate from the plan cache precisely
+    // because the flag invalidated the cache entry a moment ago).
+    let selection = trigger.key().and_then(|key| {
+        inner
+            .incidents
+            .audits()
+            .get(key)
+            .map(|audit| SelectionAuditInfo::from_audit(key, &audit))
+    });
+    // Sketches: the three per-outcome latency sketches, their merge (one
+    // whole-server latency distribution), and the batch-size sketch.
+    let mut sketches = Vec::new();
+    let latency = inner.latency.snapshots();
+    let mut merged = latency.first().cloned();
+    for snapshot in latency.iter().skip(1) {
+        if let Some(m) = merged.as_mut() {
+            m.merge(snapshot);
+        }
+    }
+    if let Some(mut m) = merged {
+        m.name = "serve.latency.all".to_owned();
+        sketches.push(SketchSummary::from_snapshot(&m));
+    }
+    sketches.extend(latency.iter().map(SketchSummary::from_snapshot));
+    sketches.push(SketchSummary::from_snapshot(
+        &inner.batch_sizes.snapshot("serve.batch.size"),
+    ));
+    let events = render_events(
+        &granii_telemetry::snapshot_events(),
+        inner.incidents.config().event_tail,
+    );
+    let bundle = IncidentBundle {
+        seq,
+        captured_at_us: granii_telemetry::now_us(),
+        trigger: trigger.info(),
+        recorder: RecorderInfo {
+            capacity: inner.recorder.capacity() as u64,
+            written: inner.recorder.written(),
+            dropped: inner.recorder.dropped(),
+        },
+        ring,
+        selection,
+        sketches,
+        events,
+        events_dropped: granii_telemetry::events_dropped(),
+        status: inner.status(),
+    };
+    inner.incidents.store(bundle);
 }

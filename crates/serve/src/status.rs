@@ -199,6 +199,48 @@ pub struct FairnessStatus {
     pub tenants: Vec<TenantStatus>,
 }
 
+/// Flight-recorder and incident-capture health.
+///
+/// Same hand-written `Deserialize` compatibility contract as
+/// [`BatchingStatus`]: snapshots from before the recorder existed parse
+/// with a defaulted section.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecorderStatus {
+    /// Ring capacity in records.
+    pub capacity: u64,
+    /// Records ever claimed by writers.
+    pub written: u64,
+    /// Records dropped on slot collision (writer never blocks).
+    pub dropped: u64,
+    /// Incident bundles captured.
+    pub incidents: u64,
+    /// Incident triggers suppressed by the rate limits.
+    pub suppressed: u64,
+    /// Telemetry events dropped by the bounded event sink.
+    pub events_dropped: u64,
+    /// Kind of the most recent captured trigger (`""` when none).
+    pub last_trigger: String,
+}
+
+impl serde::Deserialize for RecorderStatus {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let m = match value {
+            serde::Value::Object(m) => m,
+            serde::Value::Null => return Ok(RecorderStatus::default()),
+            _ => return Err(serde::Error::custom("expected object for RecorderStatus")),
+        };
+        Ok(RecorderStatus {
+            capacity: serde::get_field(m, "capacity")?,
+            written: serde::get_field(m, "written")?,
+            dropped: serde::get_field(m, "dropped")?,
+            incidents: serde::get_field(m, "incidents")?,
+            suppressed: serde::get_field(m, "suppressed")?,
+            events_dropped: serde::get_field(m, "events_dropped")?,
+            last_trigger: serde::get_field(m, "last_trigger")?,
+        })
+    }
+}
+
 impl serde::Deserialize for BatchingStatus {
     fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let m = match value {
@@ -285,6 +327,9 @@ pub struct ServerStatus {
     pub slo: Vec<SloObjectiveStatus>,
     /// Per-outcome latency quantiles from the sketches.
     pub latency: Vec<LatencySketchStatus>,
+    /// Flight-recorder ring and incident-capture health (defaults when
+    /// absent — see [`RecorderStatus`]).
+    pub recorder: RecorderStatus,
 }
 
 impl ServerStatus {
@@ -362,6 +407,21 @@ impl fmt::Display for ServerStatus {
             f,
             "  fairness tenant cap {} | tenant shed {}",
             self.fairness.tenant_queue_cap, self.fairness.tenant_shed
+        )?;
+        writeln!(
+            f,
+            "  recorder {} written | {} dropped (cap {}) | incidents {} (suppressed {}){} | events dropped {}",
+            self.recorder.written,
+            self.recorder.dropped,
+            self.recorder.capacity,
+            self.recorder.incidents,
+            self.recorder.suppressed,
+            if self.recorder.last_trigger.is_empty() {
+                String::new()
+            } else {
+                format!(" | last {}", self.recorder.last_trigger)
+            },
+            self.recorder.events_dropped
         )?;
         if !self.fairness.tenants.is_empty() {
             writeln!(
@@ -588,6 +648,15 @@ mod tests {
                 p99_ms: 41.0,
                 p999_ms: 55.0,
             }],
+            recorder: RecorderStatus {
+                capacity: 4096,
+                written: 321,
+                dropped: 2,
+                incidents: 1,
+                suppressed: 3,
+                events_dropped: 7,
+                last_trigger: "slo_burn".to_owned(),
+            },
         }
     }
 
@@ -624,6 +693,10 @@ mod tests {
         assert_eq!(parsed.fairness.tenant_queue_cap, 32);
         assert_eq!(parsed.fairness.tenants.len(), 1);
         assert_eq!(parsed.fairness.tenants[0].admitted, 70);
+        assert_eq!(parsed.recorder.written, 321);
+        assert_eq!(parsed.recorder.incidents, 1);
+        assert_eq!(parsed.recorder.events_dropped, 7);
+        assert_eq!(parsed.recorder.last_trigger, "slo_burn");
     }
 
     #[test]
@@ -639,6 +712,10 @@ mod tests {
         let fairness = <FairnessStatus as serde::Deserialize>::deserialize(&serde::Value::Null)
             .expect("missing fairness section defaults");
         assert_eq!(fairness.tenants.len(), 0);
+        let recorder = <RecorderStatus as serde::Deserialize>::deserialize(&serde::Value::Null)
+            .expect("missing recorder section defaults");
+        assert_eq!(recorder.written, 0);
+        assert_eq!(recorder.last_trigger, "");
     }
 
     #[test]
@@ -656,5 +733,7 @@ mod tests {
         assert!(text.contains("cv_live"));
         assert!(text.contains("batching max 8"));
         assert!(text.contains("tenant cap 32"));
+        assert!(text.contains("recorder 321 written"));
+        assert!(text.contains("last slo_burn"));
     }
 }

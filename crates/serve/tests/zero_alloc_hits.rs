@@ -50,6 +50,7 @@ fn unsampled_cache_hits_do_not_allocate() {
     assert!(!warm.cache_hit);
 
     let before = allocation_counter_total();
+    let (recorder_before, dropped_before) = server.recorder_counters();
     for _ in 0..10 {
         let response = server.process(request()).expect("hit completes");
         assert!(response.cache_hit, "warmed signature must hit");
@@ -59,6 +60,22 @@ fn unsampled_cache_hits_do_not_allocate() {
         after - before,
         0,
         "unsampled cache hits allocated dense/sparse/workspace buffers"
+    );
+    // The flight recorder is always-on — each hit streams enqueue, batch
+    // formation, cache-hit, and completion records through the ring — so
+    // the zero-alloc budget above already includes `record()`. Prove the
+    // recorder was actually live (not silently gated) across the loop.
+    let (recorder_after, dropped_after) = server.recorder_counters();
+    assert!(
+        recorder_after - recorder_before >= 40,
+        "recorder must stream >=4 records per hit while staying alloc-free \
+         ({} -> {})",
+        recorder_before,
+        recorder_after
+    );
+    assert_eq!(
+        dropped_after, dropped_before,
+        "single-worker serving must not collide on ring slots"
     );
     // The hits above flowed through the whole observability stack: confirm
     // the sketches and the distinct counter actually recorded (this test

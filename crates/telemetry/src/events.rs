@@ -69,6 +69,18 @@ pub fn take_events() -> Vec<EventRecord> {
     sink.events.drain(..).collect()
 }
 
+/// Copies every buffered event in record order **without draining**.
+///
+/// Incident capture snapshots the sink while a periodic `--events-out`
+/// export loop may be draining it with [`take_events`]; a destructive read
+/// from the capturer would make the exported log lose whatever the bundle
+/// happened to grab first. Both callers hold the same sink lock, so each
+/// sees a consistent prefix.
+pub fn snapshot_events() -> Vec<EventRecord> {
+    let sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    sink.events.iter().cloned().collect()
+}
+
 /// Events dropped (oldest-first) because the sink was at capacity.
 pub fn events_dropped() -> u64 {
     DROPPED.load(Ordering::Relaxed)
@@ -102,6 +114,23 @@ mod tests {
             AttrValue::U64(i) => assert_eq!(i as usize, EVENT_CAPACITY + 9),
             ref other => panic!("unexpected field {other:?}"),
         }
+        clear_events();
+        crate::disable();
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        crate::enable();
+        clear_events();
+        for i in 0..5u64 {
+            event_record("t.snapshot", vec![("i", AttrValue::U64(i))]);
+        }
+        let snap = snapshot_events();
+        assert_eq!(snap.iter().filter(|e| e.name == "t.snapshot").count(), 5);
+        // The drain still sees everything the snapshot saw.
+        let drained = take_events();
+        assert_eq!(drained.iter().filter(|e| e.name == "t.snapshot").count(), 5);
+        assert!(snapshot_events().is_empty());
         clear_events();
         crate::disable();
     }

@@ -122,7 +122,8 @@ pub fn chrome_trace_with_counters(spans: &[SpanRecord], report: &ProfileReport) 
 }
 
 /// Renders a metrics snapshot as a flat JSON object:
-/// `{"captured_at_ns": ..., "uptime_ns": ..., "counters": {name: value},
+/// `{"captured_at_ns": ..., "uptime_ns": ..., "events_dropped": ...,
+/// "counters": {name: value},
 /// "gauges": {name: value}, "histograms": {name: {count, sum_ns, ...}},
 /// "sketches": {name: {alpha, count, ..., p999_ns, buckets}},
 /// "distinct": {name: estimate}}`.
@@ -134,8 +135,8 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\n");
     let _ = write!(
         out,
-        "\"captured_at_ns\":{},\n\"uptime_ns\":{},\n",
-        snapshot.captured_at_ns, snapshot.uptime_ns
+        "\"captured_at_ns\":{},\n\"uptime_ns\":{},\n\"events_dropped\":{},\n",
+        snapshot.captured_at_ns, snapshot.uptime_ns, snapshot.events_dropped
     );
     out.push_str("\"counters\":{");
     for (i, (name, value)) in snapshot.counters.iter().enumerate() {

@@ -47,7 +47,9 @@ mod profile;
 pub mod sketch;
 mod span;
 
-pub use events::{event_record, events_dropped, take_events, EventRecord, EVENT_CAPACITY};
+pub use events::{
+    event_record, events_dropped, snapshot_events, take_events, EventRecord, EVENT_CAPACITY,
+};
 pub use metrics::{
     counter_add, distinct_handle, distinct_observe, gauge_set, histogram_record_ns,
     histogram_record_seconds, metrics_snapshot, sketch_handle, sketch_record_ns, HistogramSnapshot,

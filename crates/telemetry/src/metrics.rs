@@ -266,6 +266,9 @@ pub struct MetricsSnapshot {
     /// (process trace epoch if never reset). The CLI resets at startup, so
     /// for a served process this is its uptime.
     pub uptime_ns: u64,
+    /// Events dropped (oldest-first) because the bounded event sink was at
+    /// capacity — nonzero means `--events-out` artifacts have a hole.
+    pub events_dropped: u64,
     /// Counter name → accumulated value, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauge name → last set value, sorted by name.
@@ -288,6 +291,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         captured_at_ns,
         uptime_ns: captured_at_ns.saturating_sub(BASELINE_NS.load(Ordering::Relaxed)),
+        events_dropped: crate::events::events_dropped(),
         counters: registry
             .counters
             .iter()
