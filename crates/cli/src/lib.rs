@@ -25,7 +25,10 @@
 //!   human-readable table,
 //! - `granii incident-show` — render an incident bundle (written by the
 //!   serving runtime's flight recorder on SLO burn / drift / shed storms)
-//!   as a human-readable timeline.
+//!   as a human-readable timeline,
+//! - `granii kernels` — print the compiled-in kernel configuration (SIMD
+//!   on/off, lane width, tile sizes, scheduling constants) so bench
+//!   snapshots can be attributed to the build that produced them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -146,6 +149,8 @@ pub fn usage() -> String {
                  shed storm, and writes the captured bundles to DIR\n\
        serve-status --status FILE\n\
                  render a serve-demo --status-out snapshot as a table\n\
+       kernels   print the compiled-in kernel configuration (SIMD on/off,\n\
+                 lane width, tile sizes, scheduling constants, threads)\n\
        incident-show --incident FILE\n\
                  render an incident bundle (serve-demo --incident-dir) as\n\
                  a human-readable timeline\n\
@@ -300,6 +305,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "bench" => cmd_bench(args),
         "serve-demo" => cmd_serve_demo(args),
         "serve-status" => cmd_serve_status(args),
+        "kernels" => Ok(cmd_kernels()),
         "incident-show" => cmd_incident_show(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),
@@ -753,6 +759,15 @@ fn cmd_serve_status(args: &Args) -> Result<String, CliError> {
     Ok(status.to_string())
 }
 
+/// Prints the compiled-in kernel configuration — the `kernels` command.
+///
+/// One glance answers "is this binary running the SIMD paths, and with what
+/// tile/scheduling constants?", which matters when comparing bench snapshots
+/// recorded on different builds (see DESIGN.md §14).
+fn cmd_kernels() -> String {
+    granii_matrix::ops::kernel_config().to_string()
+}
+
 fn cmd_inspect(args: &Args) -> Result<String, CliError> {
     let graph = load_graph(args)?;
     let f = GraphFeatures::extract(&graph);
@@ -795,6 +810,22 @@ mod tests {
         assert!(parse_model("transformer").is_err());
         assert_eq!(parse_dataset("rd").unwrap(), Dataset::Reddit);
         assert!(parse_dataset("XX").is_err());
+    }
+
+    #[test]
+    fn kernels_command_reports_build_configuration() {
+        let out = run(&args(&["kernels"])).unwrap();
+        // The report must state the SIMD mode of the matrix crate actually
+        // linked in (feature unification can enable it without this crate's
+        // own `simd` feature) and the constants a bench snapshot depends on.
+        let mode = if granii_matrix::ops::kernel_config().simd {
+            "kernels: simd"
+        } else {
+            "kernels: scalar"
+        };
+        assert!(out.contains(mode), "{out}");
+        assert!(out.contains("threads"), "{out}");
+        assert!(usage().contains("kernels"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod error;
 pub mod ops;
 pub mod parallel;
 mod semiring;
+mod simd;
 pub mod stats;
 pub mod workspace;
 

@@ -18,9 +18,10 @@
 //! the parallel threshold earlier — small graphs that ran serially per
 //! request parallelize across the batch for free).
 
-use crate::parallel::par_rows;
-use crate::{CsrMatrix, DenseMatrix, MatrixError, ReduceOp, Result, Semiring};
+use crate::parallel::{par_rows, par_rows_weighted};
+use crate::{CsrMatrix, DenseMatrix, MatrixError, Result, Semiring};
 
+use super::rowkernel::{gemm_row, spmm_row};
 use super::BroadcastOp;
 
 fn check_wide(op: &'static str, want_rows: usize, want_cols: usize, m: &DenseMatrix) -> Result<()> {
@@ -61,18 +62,13 @@ pub fn gemm_rhs_blocks_into(
     par_rows(out.as_mut_slice(), rows, width, |i, out_row| {
         let a_row = a.row(i);
         for t in 0..batch {
-            let a_blk = &a_row[t * k1..(t + 1) * k1];
-            let out_blk = &mut out_row[t * k2..(t + 1) * k2];
-            out_blk.fill(0.0);
-            for (k, &aik) in a_blk.iter().enumerate().take(k1) {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k);
-                for j in 0..k2 {
-                    out_blk[j] += aik * b_row[j];
-                }
-            }
+            // The shared GEMM row kernel: same zero-skip, same k order, and
+            // the same SIMD column tiling as the serial `gemm_into` path.
+            gemm_row(
+                &a_row[t * k1..(t + 1) * k1],
+                b,
+                &mut out_row[t * k2..(t + 1) * k2],
+            );
         }
     });
     Ok(())
@@ -108,36 +104,25 @@ pub fn spmm_cols_into(
     check_wide("spmm_cols", feats.rows(), active, feats)?;
     check_wide("spmm_cols_into", adj.rows(), active, out)?;
     let width = out.cols();
-    let reduce = semiring.reduce;
-    let mul = semiring.mul;
-    par_rows(out.as_mut_slice(), adj.rows(), width, |i, full_row| {
-        let out_row = &mut full_row[..active];
-        let cols = adj.row_indices(i);
-        let vals = adj.row_values(i);
-        let count = cols.len();
-        if count == 0 {
-            for v in out_row.iter_mut() {
-                *v = reduce.finish(reduce.identity(), 0);
-            }
-            return;
-        }
-        let ident = reduce.identity();
-        for v in out_row.iter_mut() {
-            *v = ident;
-        }
-        for (e, &j) in cols.iter().enumerate() {
-            let edge = vals.map_or(1.0, |v| v[e]);
-            let frow = &feats.row(j as usize)[..active];
-            for (c, v) in out_row.iter_mut().enumerate() {
-                *v = reduce.fold(*v, mul.apply(edge, frow[c]));
-            }
-        }
-        if matches!(reduce, ReduceOp::Mean) {
-            for v in out_row.iter_mut() {
-                *v = reduce.finish(*v, count);
-            }
-        }
-    });
+    // The shared SpMM row kernel over the leading `active` columns, with the
+    // same nnz-weighted scheduling as the serial path: per column the fold
+    // order is identical to `spmm_into`, so each block stays bitwise equal
+    // to its serial result.
+    par_rows_weighted(
+        out.as_mut_slice(),
+        adj.rows(),
+        width,
+        adj.indptr(),
+        |i, full_row| {
+            spmm_row(
+                &mut full_row[..active],
+                adj.row_indices(i),
+                adj.row_values(i),
+                feats,
+                semiring,
+            );
+        },
+    );
     Ok(())
 }
 
@@ -166,14 +151,30 @@ pub fn row_broadcast_cols_into(
     }
     check_wide("row_broadcast_cols", m.rows(), active, m)?;
     check_wide("row_broadcast_cols_into", m.rows(), active, out)?;
+    // The op match is hoisted out of the element loop: each arm monomorphizes
+    // a branch-free (and autovectorizable) inner loop.
+    match op {
+        BroadcastOp::Mul => row_broadcast_cols_run(d, m, active, out, |di, mv| di * mv),
+        BroadcastOp::Add => row_broadcast_cols_run(d, m, active, out, |di, mv| di + mv),
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn row_broadcast_cols_run<F: Fn(f32, f32) -> f32 + Sync>(
+    d: &[f32],
+    m: &DenseMatrix,
+    active: usize,
+    out: &mut DenseMatrix,
+    f: F,
+) {
     let width = out.cols();
     par_rows(out.as_mut_slice(), m.rows(), width, |i, full_row| {
         let di = d[i];
         for (v, &mv) in full_row[..active].iter_mut().zip(&m.row(i)[..active]) {
-            *v = op.apply(di, mv);
+            *v = f(di, mv);
         }
     });
-    Ok(())
 }
 
 /// Block-batched column-broadcast: applies the shared per-column vector `d`
@@ -194,6 +195,22 @@ pub fn col_broadcast_blocks_into(
     let k = d.len();
     check_wide("col_broadcast_blocks", m.rows(), batch * k, m)?;
     check_wide("col_broadcast_blocks_into", m.rows(), batch * k, out)?;
+    match op {
+        BroadcastOp::Mul => col_broadcast_blocks_run(m, d, batch, out, |dj, mv| dj * mv),
+        BroadcastOp::Add => col_broadcast_blocks_run(m, d, batch, out, |dj, mv| dj + mv),
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn col_broadcast_blocks_run<F: Fn(f32, f32) -> f32 + Sync>(
+    m: &DenseMatrix,
+    d: &[f32],
+    batch: usize,
+    out: &mut DenseMatrix,
+    f: F,
+) {
+    let k = d.len();
     let width = out.cols();
     par_rows(out.as_mut_slice(), m.rows(), width, |i, full_row| {
         let m_row = m.row(i);
@@ -204,11 +221,10 @@ pub fn col_broadcast_blocks_into(
                 .zip(&m_row[base..base + k])
                 .zip(d)
             {
-                *v = op.apply(dj, mv);
+                *v = f(dj, mv);
             }
         }
     });
-    Ok(())
 }
 
 /// Multi-column element-wise map over the leading `active` columns

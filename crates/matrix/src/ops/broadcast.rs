@@ -12,16 +12,6 @@ pub enum BroadcastOp {
     Add,
 }
 
-impl BroadcastOp {
-    #[inline]
-    pub(crate) fn apply(self, d: f32, m: f32) -> f32 {
-        match self {
-            BroadcastOp::Mul => d * m,
-            BroadcastOp::Add => d + m,
-        }
-    }
-}
-
 /// Row-broadcast (paper Eq. 1): combines `d[i]` with every element of row `i`.
 ///
 /// This is the dense primitive GCN's dynamic normalization lowers to
@@ -87,14 +77,29 @@ pub fn row_broadcast_into(
             rhs: out.shape(),
         });
     }
+    // Hoisted op dispatch: each arm monomorphizes a branch-free inner loop
+    // that LLVM autovectorizes (same technique as `ops::rowkernel`).
+    match op {
+        BroadcastOp::Mul => row_broadcast_run(d, m, out, |di, mv| di * mv),
+        BroadcastOp::Add => row_broadcast_run(d, m, out, |di, mv| di + mv),
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn row_broadcast_run<F: Fn(f32, f32) -> f32 + Sync>(
+    d: &[f32],
+    m: &DenseMatrix,
+    out: &mut DenseMatrix,
+    f: F,
+) {
     let k = m.cols();
     par_rows(out.as_mut_slice(), m.rows(), k, |i, row| {
         let di = d[i];
         for (v, &mv) in row.iter_mut().zip(m.row(i)) {
-            *v = op.apply(di, mv);
+            *v = f(di, mv);
         }
     });
-    Ok(())
 }
 
 /// Column-broadcast: combines `d[j]` with every element of column `j`
@@ -142,13 +147,26 @@ pub fn col_broadcast_into(
             rhs: out.shape(),
         });
     }
+    match op {
+        BroadcastOp::Mul => col_broadcast_run(m, d, out, |dj, mv| dj * mv),
+        BroadcastOp::Add => col_broadcast_run(m, d, out, |dj, mv| dj + mv),
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn col_broadcast_run<F: Fn(f32, f32) -> f32 + Sync>(
+    m: &DenseMatrix,
+    d: &[f32],
+    out: &mut DenseMatrix,
+    f: F,
+) {
     let k = m.cols();
     par_rows(out.as_mut_slice(), m.rows(), k, |i, row| {
         for ((v, &mv), &dj) in row.iter_mut().zip(m.row(i)).zip(d) {
-            *v = op.apply(dj, mv);
+            *v = f(dj, mv);
         }
     });
-    Ok(())
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
-use crate::parallel::par_rows;
+use super::rowkernel::{gemm_block, GEMM_ROW_BLOCK};
+use crate::parallel::par_row_blocks;
 use crate::{DenseMatrix, MatrixError, Result};
 
 /// Dense matrix multiplication `A (n x k1) · B (k1 x k2) → n x k2`.
 ///
-/// Parallelized over output rows with an `i-k-j` loop order so each pass
-/// streams a row of `B` sequentially.
+/// Parallelized over blocks of output rows with an `i-k-j` loop order so
+/// each pass streams a row of `B` sequentially; with the `simd` feature the
+/// blocks run register-tiled (see `DESIGN.md` §14) with bitwise-identical
+/// results.
 ///
 /// # Errors
 ///
@@ -62,20 +65,14 @@ pub fn gemm_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) -> Res
             rhs: out.shape(),
         });
     }
-    let (k1, k2) = (a.cols(), b.cols());
+    let k2 = b.cols();
     let rows = a.rows();
-    par_rows(out.as_mut_slice(), rows, k2, |i, out_row| {
-        out_row.fill(0.0);
-        let a_row = a.row(i);
-        for (k, &aik) in a_row.iter().enumerate().take(k1) {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = b.row(k);
-            for j in 0..k2 {
-                out_row[j] += aik * b_row[j];
-            }
-        }
+    // Register-tiled blocks of GEMM_ROW_BLOCK consecutive output rows: each
+    // loaded B vector is reused across the whole row block. Accumulation
+    // order per element is unchanged (k ascending, zero-aik skipped), so
+    // results stay bitwise equal to the scalar row loop.
+    par_row_blocks(out.as_mut_slice(), rows, k2, GEMM_ROW_BLOCK, |r0, blk| {
+        gemm_block(a, r0, b, blk);
     });
     Ok(())
 }
@@ -94,6 +91,17 @@ mod tests {
     fn matches_naive_reference() {
         let a = DenseMatrix::random(17, 9, 1.0, 3);
         let b = DenseMatrix::random(9, 13, 1.0, 4);
+        let fast = gemm(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn wide_output_matches_naive_reference() {
+        // k2 = 41 exercises the full tile cascade: 2-vector strips, a
+        // 1-vector strip, and a scalar tail; zeros in A exercise the skip.
+        let a = DenseMatrix::random(11, 9, 1.0, 13).map(|v| if v.abs() < 0.2 { 0.0 } else { v });
+        let b = DenseMatrix::random(9, 41, 1.0, 14);
         let fast = gemm(&a, &b).unwrap();
         let slow = naive(&a, &b);
         assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);

@@ -22,6 +22,7 @@ mod batched;
 mod broadcast;
 mod edge;
 mod gemm;
+mod rowkernel;
 mod sddmm;
 mod spmm;
 
@@ -36,3 +37,75 @@ pub use edge::{degrees_by_binning, edge_softmax, edge_softmax_into, scale_csr, s
 pub use gemm::{gemm, gemm_into};
 pub use sddmm::{sddmm, sddmm_into, sddmm_u_add_v, sddmm_u_add_v_into};
 pub use spmm::{spmm, spmm_into};
+
+/// The compiled kernel configuration: which dispatch path the hot `_into`
+/// kernels take and the tile/banding/scheduling constants they use. Surfaced
+/// by the CLI's `kernels` command so a bench or serve run can record exactly
+/// which kernel build produced its numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Whether the `simd` feature's vectorized paths are the dispatch target.
+    pub simd: bool,
+    /// `f32` lanes per SIMD vector.
+    pub lanes: usize,
+    /// Hub-band SpMM column tile, in vectors.
+    pub spmm_col_tile: usize,
+    /// Stored-edge count at or below which a row takes the short-row band.
+    pub short_row_edges: usize,
+    /// Output rows per register-tiled GEMM block.
+    pub gemm_row_block: usize,
+    /// GEMM column tile, in vectors.
+    pub gemm_col_tile: usize,
+    /// nnz-equivalents per weighted scheduler chunk.
+    pub chunk_weight: u64,
+    /// Flat per-row cost the weighted schedulers add on top of nnz.
+    pub row_base_cost: u64,
+    /// Work threshold (elements) below which kernels stay serial.
+    pub parallel_threshold: usize,
+    /// Resolved worker-thread count (after `GRANII_THREADS` and the cap).
+    pub threads: usize,
+}
+
+impl std::fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "kernels: {} (f32x{})",
+            if self.simd { "simd" } else { "scalar" },
+            self.lanes
+        )?;
+        writeln!(
+            f,
+            "  spmm   : col tile {} vec, short-row band <= {} edges",
+            self.spmm_col_tile, self.short_row_edges
+        )?;
+        writeln!(
+            f,
+            "  gemm   : {} x {}-vec register tile",
+            self.gemm_row_block, self.gemm_col_tile
+        )?;
+        writeln!(
+            f,
+            "  sched  : nnz-weighted chunks of {} (+{}/row), serial under {} elems",
+            self.chunk_weight, self.row_base_cost, self.parallel_threshold
+        )?;
+        write!(f, "  threads: {}", self.threads)
+    }
+}
+
+/// Returns the kernel configuration compiled into this build (plus the
+/// runtime-resolved thread count).
+pub fn kernel_config() -> KernelConfig {
+    KernelConfig {
+        simd: rowkernel::simd_enabled(),
+        lanes: crate::simd::LANES,
+        spmm_col_tile: rowkernel::SPMM_COL_TILE,
+        short_row_edges: rowkernel::SHORT_ROW_EDGES,
+        gemm_row_block: rowkernel::GEMM_ROW_BLOCK,
+        gemm_col_tile: rowkernel::GEMM_COL_TILE,
+        chunk_weight: crate::parallel::CHUNK_WEIGHT,
+        row_base_cost: crate::parallel::ROW_BASE_COST,
+        parallel_threshold: crate::parallel::PARALLEL_THRESHOLD,
+        threads: crate::parallel::num_threads(),
+    }
+}

@@ -1,3 +1,5 @@
+use super::rowkernel::dot;
+use crate::parallel::par_sparse_rows;
 use crate::{CsrMatrix, DenseMatrix, MatrixError, Result};
 
 /// Generalized sampled dense-dense matrix multiplication (g-SDDMM, §II-B).
@@ -96,19 +98,34 @@ pub fn sddmm_into(
         });
     }
     check_out_pattern("sddmm_into", mask, out)?;
+    let k = u.cols();
+    let indptr = mask.indptr();
+    let indices = mask.indices();
+    let mvals = mask.values();
     let out_vals = out.values_mut().expect("checked weighted");
-    for i in 0..mask.rows() {
-        let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
+    // Rows own disjoint value slices, so the kernel parallelizes with the
+    // same nnz-weighted scheduling as SpMM; the mask's weighted/unweighted
+    // Option is tested once per matrix, not once per edge, and the dot
+    // product takes the SIMD path when the feature is on (within a few ulp
+    // of the scalar fold — see `ops::rowkernel::dot`).
+    par_sparse_rows(out_vals, indptr, k, |i, orow| {
+        let s = indptr[i] as usize;
         let urow = u.row(i);
-        let mvals = mask.row_values(i);
-        for (off, k) in (s..e).enumerate() {
-            let j = mask.indices()[k] as usize;
-            let vrow = v.row(j);
-            let dot: f32 = urow.iter().zip(vrow).map(|(a, b)| a * b).sum();
-            let m = mvals.map_or(1.0, |vs| vs[off]);
-            out_vals[k] = m * dot;
+        let cols = &indices[s..s + orow.len()];
+        match mvals {
+            Some(ms) => {
+                let mrow = &ms[s..s + orow.len()];
+                for ((o, &j), &m) in orow.iter_mut().zip(cols).zip(mrow) {
+                    *o = m * dot(urow, v.row(j as usize));
+                }
+            }
+            None => {
+                for (o, &j) in orow.iter_mut().zip(cols) {
+                    *o = dot(urow, v.row(j as usize));
+                }
+            }
         }
-    }
+    });
     Ok(())
 }
 
@@ -196,13 +213,17 @@ pub fn sddmm_u_add_v_into(
         });
     }
     check_out_pattern("sddmm_u_add_v_into", mask, out)?;
+    let indptr = mask.indptr();
+    let indices = mask.indices();
     let out_vals = out.values_mut().expect("checked weighted");
-    for (i, &ui) in ul.iter().enumerate() {
-        let (s, e) = (mask.indptr()[i] as usize, mask.indptr()[i + 1] as usize);
-        for (v, &j) in out_vals[s..e].iter_mut().zip(&mask.indices()[s..e]) {
+    par_sparse_rows(out_vals, indptr, 1, |i, orow| {
+        let s = indptr[i] as usize;
+        let e = s + orow.len();
+        let ui = ul[i];
+        for (v, &j) in orow.iter_mut().zip(&indices[s..e]) {
             *v = ui + vr[j as usize];
         }
-    }
+    });
     Ok(())
 }
 

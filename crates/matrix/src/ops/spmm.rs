@@ -1,5 +1,6 @@
-use crate::parallel::par_rows;
-use crate::{CsrMatrix, DenseMatrix, MatrixError, ReduceOp, Result, Semiring};
+use super::rowkernel::spmm_row;
+use crate::parallel::par_rows_weighted;
+use crate::{CsrMatrix, DenseMatrix, MatrixError, Result, Semiring};
 
 /// Generalized sparse-dense matrix multiplication (g-SpMM, paper §II-B).
 ///
@@ -77,43 +78,32 @@ pub fn spmm_into(
         });
     }
     let k = feats.cols();
-    let reduce = semiring.reduce;
-    let mul = semiring.mul;
-    par_rows(out.as_mut_slice(), adj.rows(), k, |i, out_row| {
-        let cols = adj.row_indices(i);
-        let vals = adj.row_values(i);
-        let count = cols.len();
-        if count == 0 {
-            // Identity-finished empty rows (0 for every reduce op).
-            for v in out_row.iter_mut() {
-                *v = reduce.finish(reduce.identity(), 0);
-            }
-            return;
-        }
-        let ident = reduce.identity();
-        for v in out_row.iter_mut() {
-            *v = ident;
-        }
-        for (e, &j) in cols.iter().enumerate() {
-            let edge = vals.map_or(1.0, |v| v[e]);
-            let frow = feats.row(j as usize);
-            for (c, v) in out_row.iter_mut().enumerate() {
-                *v = reduce.fold(*v, mul.apply(edge, frow[c]));
-            }
-        }
-        if matches!(reduce, ReduceOp::Mean) {
-            for v in out_row.iter_mut() {
-                *v = reduce.finish(*v, count);
-            }
-        }
-    });
+    // nnz-weighted scheduling: chunk boundaries follow the row-length
+    // distribution, so a hub row costs one chunk instead of skewing a
+    // 64-row chunk. The per-row kernel picks its band (short-row vs hub-row
+    // strategy) from the same distribution; see `ops::rowkernel`.
+    par_rows_weighted(
+        out.as_mut_slice(),
+        adj.rows(),
+        k,
+        adj.indptr(),
+        |i, out_row| {
+            spmm_row(
+                out_row,
+                adj.row_indices(i),
+                adj.row_values(i),
+                feats,
+                semiring,
+            );
+        },
+    );
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ops::gemm, CooMatrix, MulOp};
+    use crate::{ops::gemm, CooMatrix, MulOp, ReduceOp};
 
     fn sample_adj() -> CsrMatrix {
         CooMatrix::from_entries(3, 3, &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 1.0), (2, 2, 4.0)])
@@ -172,6 +162,110 @@ mod tests {
             let y = spmm(&adj, &x, s).unwrap();
             assert_eq!(y.get(1, 0), 0.0, "empty row must be 0 for {s:?}");
         }
+    }
+
+    /// Pins the Mean denominator semantics: `finish` divides by the
+    /// *stored-edge count*, explicit zero-weight edges included. This is the
+    /// GNN convention (degree = number of stored neighbors, whatever their
+    /// weight), not "count of edges that contributed a nonzero message".
+    #[test]
+    fn mean_counts_explicit_zero_weight_edges() {
+        let adj = CooMatrix::from_entries(1, 2, &[(0, 0, 0.0), (0, 1, 2.0)])
+            .unwrap()
+            .to_csr();
+        let x = DenseMatrix::from_rows(&[[3.0].as_slice(), [5.0].as_slice()]).unwrap();
+        let y = spmm(
+            &adj,
+            &x,
+            Semiring {
+                reduce: ReduceOp::Mean,
+                mul: MulOp::Mul,
+            },
+        )
+        .unwrap();
+        // (0.0*3.0 + 2.0*5.0) / 2 stored edges — NOT / 1 contributing edge.
+        assert_eq!(y.get(0, 0), 5.0);
+    }
+
+    /// Pins the Max/Min empty-row semantics: the `-inf`/`+inf` fold identity
+    /// must never leak into the output — empty rows finish to 0.0 (DGL's
+    /// masked-max convention, documented on [`ReduceOp::Max`]) — while
+    /// non-empty rows keep their true extremum even when it is negative
+    /// (i.e. the finish clamp applies only to degree-0 rows).
+    #[test]
+    fn max_min_identity_never_leaks_and_negatives_survive() {
+        // Row 0 has one neighbor with a negative feature; row 1 is empty.
+        let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)])
+            .unwrap()
+            .to_csr()
+            .drop_values();
+        let x = DenseMatrix::from_rows(&[[9.0].as_slice(), [-4.5].as_slice()]).unwrap();
+        for reduce in [ReduceOp::Max, ReduceOp::Min] {
+            let y = spmm(
+                &adj,
+                &x,
+                Semiring {
+                    reduce,
+                    mul: MulOp::CopyRhs,
+                },
+            )
+            .unwrap();
+            assert_eq!(y.get(0, 0), -4.5, "{reduce:?}: true extremum kept");
+            assert_eq!(y.get(1, 0), 0.0, "{reduce:?}: empty row is 0, not inf");
+            assert!(y.get(1, 0).is_finite());
+        }
+    }
+
+    /// Pins the Mean empty-row semantics: 0.0, not `0/0 = NaN`.
+    #[test]
+    fn mean_empty_row_is_zero_not_nan() {
+        let adj = CooMatrix::from_entries(2, 2, &[(0, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        let x = DenseMatrix::from_rows(&[[1.0].as_slice(), [2.0].as_slice()]).unwrap();
+        let y = spmm(&adj, &x, Semiring::mean_copy_rhs()).unwrap();
+        assert_eq!(y.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn min_reduce_and_empty_rows() {
+        let adj = CooMatrix::from_entries(2, 3, &[(0, 0, 1.0), (0, 2, 1.0)])
+            .unwrap()
+            .to_csr()
+            .drop_values();
+        let x = DenseMatrix::from_rows(&[[5.0].as_slice(), [1.0].as_slice(), [3.0].as_slice()])
+            .unwrap();
+        let y = spmm(
+            &adj,
+            &x,
+            Semiring {
+                reduce: ReduceOp::Min,
+                mul: MulOp::CopyRhs,
+            },
+        )
+        .unwrap();
+        assert_eq!(y.get(0, 0), 3.0); // min of neighbors 0, 2
+        assert_eq!(y.get(1, 0), 0.0); // empty row
+    }
+
+    /// A structurally skewed graph (hub + short + empty rows) exercising
+    /// both kernel bands and the weighted scheduler must agree with the
+    /// dense reference.
+    #[test]
+    fn skewed_degree_distribution_matches_dense() {
+        let n = 64;
+        let mut entries = Vec::new();
+        for j in 0..n {
+            entries.push((0usize, j, 1.0 + j as f32 / n as f32)); // hub row
+        }
+        for i in (2..n).step_by(3) {
+            entries.push((i, (i * 7) % n, 0.5)); // sparse short rows
+        }
+        let adj = CooMatrix::from_entries(n, n, &entries).unwrap().to_csr();
+        let x = DenseMatrix::random(n, 40, 1.0, 77);
+        let sparse = spmm(&adj, &x, Semiring::plus_mul()).unwrap();
+        let dense = gemm(&adj.to_dense().unwrap(), &x).unwrap();
+        assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-4);
     }
 
     #[test]

@@ -141,6 +141,263 @@ where
     .expect("kernel worker thread panicked");
 }
 
+/// Flat per-row cost (in nnz-equivalents) charged by the weighted schedulers
+/// on top of a row's stored-entry count: covers the fill of the output row
+/// and the loop setup. Keeps runs of empty rows from collapsing into a single
+/// unbounded chunk.
+pub(crate) const ROW_BASE_COST: u64 = 4;
+
+/// Work (in nnz-equivalents) per chunk claimed by the weighted schedulers.
+/// A hub row heavier than this gets a chunk of its own; leaf rows are grouped
+/// until their summed weight reaches it.
+pub(crate) const CHUNK_WEIGHT: u64 = 4096;
+
+/// First row `r` in `0..rows` whose cumulative weight
+/// `indptr[r] + ROW_BASE_COST * r` reaches `target`, or `rows` if none does.
+///
+/// The weight is strictly increasing in `r`, so a binary search finds chunk
+/// boundaries without materializing a prefix-sum vector — the weighted
+/// schedulers stay allocation-free on the steady-state path.
+fn weighted_bound(indptr: &[u64], target: u64) -> usize {
+    let rows = indptr.len() - 1;
+    let (mut lo, mut hi) = (0usize, rows);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if indptr[mid] + ROW_BASE_COST * mid as u64 >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// [`par_rows`] with nnz-weighted work partitioning for CSR-driven kernels.
+///
+/// `par_rows` hands out fixed 64-row chunks; on a power-law graph one chunk
+/// can hold a hub row costing thousands of leaf rows, so row-count chunks
+/// still skew badly. Here chunk boundaries are placed on the cumulative work
+/// estimate `indptr[r] + ROW_BASE_COST * r` instead: every chunk carries
+/// roughly [`CHUNK_WEIGHT`] nnz-equivalents, a hub row heavier than that gets
+/// its own chunk, and runs of empty rows are bounded by [`ROW_BASE_COST`].
+/// Boundaries are found by binary search over `indptr` — no allocation.
+///
+/// Each row is written by exactly one thread and the per-row computation is
+/// schedule-independent, so results are bitwise identical to serial
+/// execution. The serial threshold counts `nnz * width` (the true work), not
+/// just output elements.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * width`, `indptr.len() != rows + 1`, or a
+/// worker thread panics.
+pub fn par_rows_weighted<F>(out: &mut [f32], rows: usize, width: usize, indptr: &[u64], f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    assert_eq!(
+        out.len(),
+        rows * width,
+        "buffer length must equal rows * width ({rows} * {width})"
+    );
+    assert_eq!(
+        indptr.len(),
+        rows + 1,
+        "indptr length must equal rows + 1 ({rows} + 1)"
+    );
+    if rows == 0 || width == 0 {
+        return;
+    }
+    let nnz = indptr[rows];
+    let threads = num_threads();
+    let work = (nnz as usize)
+        .saturating_mul(width)
+        .saturating_add(out.len());
+    if threads <= 1 || work < PARALLEL_THRESHOLD {
+        for (r, row) in out.chunks_exact_mut(width).enumerate() {
+            f(r, row);
+        }
+        return;
+    }
+
+    let total = nnz + ROW_BASE_COST * rows as u64;
+    let num_chunks = total.div_ceil(CHUNK_WEIGHT) as usize;
+    let base = out.as_mut_ptr() as usize;
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(num_chunks) {
+            let f = &f;
+            let cursor = &cursor;
+            s.spawn(move |_| loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk >= num_chunks {
+                    return;
+                }
+                let start = weighted_bound(indptr, chunk as u64 * CHUNK_WEIGHT);
+                let end = weighted_bound(indptr, (chunk as u64 + 1) * CHUNK_WEIGHT);
+                for r in start..end {
+                    // SAFETY: the chunk ranges `[start, end)` partition the
+                    // rows (weighted_bound is monotone in the target), each
+                    // chunk index is claimed by exactly one worker, and the
+                    // scope keeps the buffer alive.
+                    let row = unsafe {
+                        std::slice::from_raw_parts_mut((base as *mut f32).add(r * width), width)
+                    };
+                    f(r, row);
+                }
+            });
+        }
+    })
+    .expect("kernel worker thread panicked");
+}
+
+/// Runs `f(first_row, block_slice)` over consecutive `block`-row blocks of a
+/// `rows x width` row-major buffer; the last block may be short.
+///
+/// This is the scheduler for register-tiled GEMM: the kernel wants several
+/// consecutive output rows at once so it can reuse a loaded RHS row across
+/// all of them. Blocks are aligned to multiples of `block` from row 0 in both
+/// the serial and parallel paths (steal chunks are rounded up to a block
+/// multiple), so the block grouping — and therefore any per-block code path —
+/// is identical regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `block == 0`, `out.len() != rows * width`, or a worker panics.
+pub fn par_row_blocks<F>(out: &mut [f32], rows: usize, width: usize, block: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    assert!(block >= 1, "block size must be at least 1");
+    assert_eq!(
+        out.len(),
+        rows * width,
+        "buffer length must equal rows * width ({rows} * {width})"
+    );
+    if rows == 0 || width == 0 {
+        return;
+    }
+    let threads = num_threads();
+    if threads <= 1 || out.len() < PARALLEL_THRESHOLD {
+        let mut r0 = 0;
+        while r0 < rows {
+            let end = (r0 + block).min(rows);
+            f(r0, &mut out[r0 * width..end * width]);
+            r0 = end;
+        }
+        return;
+    }
+
+    let chunk_rows = STEAL_CHUNK.div_ceil(block) * block;
+    let num_chunks = rows.div_ceil(chunk_rows);
+    let base = out.as_mut_ptr() as usize;
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(num_chunks) {
+            let f = &f;
+            let cursor = &cursor;
+            s.spawn(move |_| loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk >= num_chunks {
+                    return;
+                }
+                let chunk_start = chunk * chunk_rows;
+                let chunk_end = (chunk_start + chunk_rows).min(rows);
+                let mut r0 = chunk_start;
+                while r0 < chunk_end {
+                    let end = (r0 + block).min(chunk_end);
+                    // SAFETY: chunk boundaries are multiples of `block`, so
+                    // blocks never straddle chunks; each chunk is claimed by
+                    // exactly one worker and the scope keeps the buffer alive.
+                    let blk = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (base as *mut f32).add(r0 * width),
+                            (end - r0) * width,
+                        )
+                    };
+                    f(r0, blk);
+                    r0 = end;
+                }
+            });
+        }
+    })
+    .expect("kernel worker thread panicked");
+}
+
+/// Runs `f(row, row_values)` over the per-row value slices of a CSR matrix,
+/// with the same nnz-weighted dynamic partitioning as [`par_rows_weighted`].
+///
+/// This is the scheduler for SDDMM-style kernels whose output *is* the CSR
+/// value array: rows own disjoint `vals[indptr[r]..indptr[r+1]]` slices, so
+/// every value is written by exactly one thread. `width_hint` states the
+/// per-nonzero cost in flops (e.g. the dot-product length `k` for SDDMM) so
+/// the serial threshold reflects actual work, not just nnz.
+///
+/// # Panics
+///
+/// Panics if `indptr` is empty, `vals.len()` disagrees with the final
+/// `indptr` entry, or a worker thread panics.
+pub fn par_sparse_rows<F>(vals: &mut [f32], indptr: &[u64], width_hint: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    assert!(!indptr.is_empty(), "indptr must have at least one entry");
+    let rows = indptr.len() - 1;
+    assert_eq!(
+        vals.len() as u64,
+        indptr[rows],
+        "values length must equal the nnz recorded by indptr"
+    );
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let work = vals.len().saturating_mul(width_hint.max(1));
+    if threads <= 1 || work < PARALLEL_THRESHOLD {
+        for r in 0..rows {
+            f(r, &mut vals[indptr[r] as usize..indptr[r + 1] as usize]);
+        }
+        return;
+    }
+
+    let total = indptr[rows] + ROW_BASE_COST * rows as u64;
+    let num_chunks = total.div_ceil(CHUNK_WEIGHT) as usize;
+    let base = vals.as_mut_ptr() as usize;
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(num_chunks) {
+            let f = &f;
+            let cursor = &cursor;
+            s.spawn(move |_| loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk >= num_chunks {
+                    return;
+                }
+                let start = weighted_bound(indptr, chunk as u64 * CHUNK_WEIGHT);
+                let end = weighted_bound(indptr, (chunk as u64 + 1) * CHUNK_WEIGHT);
+                for r in start..end {
+                    let lo = indptr[r] as usize;
+                    let hi = indptr[r + 1] as usize;
+                    // SAFETY: rows own disjoint value ranges, chunk row
+                    // ranges partition the rows, and each chunk index is
+                    // claimed by exactly one worker.
+                    let slice = unsafe {
+                        std::slice::from_raw_parts_mut((base as *mut f32).add(lo), hi - lo)
+                    };
+                    f(r, slice);
+                }
+            });
+        }
+    })
+    .expect("kernel worker thread panicked");
+}
+
 /// Indices per chunk claimed by reduction workers. Larger than
 /// [`STEAL_CHUNK`] because chunk results are materialized (one `T` each):
 /// fewer chunks keep the result vector small while the atomic cursor still
@@ -302,6 +559,139 @@ mod tests {
         for (k, &v) in buf.iter().enumerate() {
             assert_eq!(v, (k / width) as f32);
         }
+    }
+
+    /// indptr for a synthetic power-law-ish shape: one hub row carrying most
+    /// of the nnz, a run of empty rows, and uniform leaf rows.
+    fn skewed_indptr(rows: usize) -> Vec<u64> {
+        let mut indptr = vec![0u64];
+        let mut nnz = 0u64;
+        for r in 0..rows {
+            nnz += match r {
+                0 => 50_000,            // hub
+                r if r % 7 == 3 => 0,   // empty rows
+                r if r % 11 == 0 => 40, // mid-degree
+                _ => 2,                 // leaves
+            };
+            indptr.push(nnz);
+        }
+        indptr
+    }
+
+    #[test]
+    fn weighted_bound_partitions_rows_exactly() {
+        let indptr = skewed_indptr(9_000);
+        let rows = indptr.len() - 1;
+        let total = indptr[rows] + ROW_BASE_COST * rows as u64;
+        let num_chunks = total.div_ceil(CHUNK_WEIGHT) as usize;
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for c in 0..num_chunks {
+            let start = weighted_bound(&indptr, c as u64 * CHUNK_WEIGHT);
+            let end = weighted_bound(&indptr, (c as u64 + 1) * CHUNK_WEIGHT);
+            assert_eq!(start, prev_end, "chunks must tile the row range");
+            assert!(end >= start);
+            // No chunk may exceed its weight budget by more than one row's
+            // worth of work (the row that crossed the boundary).
+            if end > start {
+                let weight = (indptr[end] - indptr[start]) + ROW_BASE_COST * (end - start) as u64;
+                let last_row = (indptr[end] - indptr[end - 1]) + ROW_BASE_COST;
+                assert!(
+                    weight <= CHUNK_WEIGHT + last_row,
+                    "chunk {c} weight {weight} exceeds budget"
+                );
+            }
+            covered += end - start;
+            prev_end = end;
+        }
+        assert_eq!(covered, rows, "every row assigned to exactly one chunk");
+        assert_eq!(prev_end, rows);
+    }
+
+    #[test]
+    fn par_rows_weighted_visits_every_row_once() {
+        let indptr = skewed_indptr(9_000);
+        let rows = indptr.len() - 1;
+        let width = 8;
+        let mut buf = vec![-1.0f32; rows * width];
+        par_rows_weighted(&mut buf, rows, width, &indptr, |r, row| {
+            assert_eq!(row.len(), width);
+            row.iter_mut().for_each(|v| *v = r as f32);
+        });
+        for (k, &v) in buf.iter().enumerate() {
+            assert_eq!(v, (k / width) as f32);
+        }
+    }
+
+    #[test]
+    fn par_rows_weighted_serial_small_input() {
+        let indptr = vec![0u64, 2, 2, 5];
+        let mut buf = vec![0.0f32; 9];
+        par_rows_weighted(&mut buf, 3, 3, &indptr, |r, row| {
+            row.iter_mut().for_each(|v| *v = r as f32)
+        });
+        assert_eq!(buf, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr length must equal rows + 1")]
+    fn par_rows_weighted_rejects_wrong_indptr() {
+        let mut buf = vec![0.0f32; 12];
+        par_rows_weighted(&mut buf, 4, 3, &[0, 1, 2], |_, _| {});
+    }
+
+    #[test]
+    fn par_row_blocks_covers_all_rows_with_aligned_blocks() {
+        let width = 4;
+        let rows = 10_001; // not a multiple of the block: short tail block
+        let block = 4;
+        let mut buf = vec![-1.0f32; rows * width];
+        par_row_blocks(&mut buf, rows, width, block, |r0, blk| {
+            assert_eq!(r0 % block, 0, "blocks must stay aligned to row 0");
+            let nrows = blk.len() / width;
+            assert!(nrows >= 1 && nrows <= block);
+            for (i, row) in blk.chunks_exact_mut(width).enumerate() {
+                row.iter_mut().for_each(|v| *v = (r0 + i) as f32);
+            }
+        });
+        for (k, &v) in buf.iter().enumerate() {
+            assert_eq!(v, (k / width) as f32);
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_serial_small_input() {
+        let mut buf = vec![0.0f32; 10];
+        par_row_blocks(&mut buf, 5, 2, 2, |r0, blk| {
+            for (i, row) in blk.chunks_exact_mut(2).enumerate() {
+                row.iter_mut().for_each(|v| *v = (r0 + i) as f32);
+            }
+        });
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn par_sparse_rows_writes_each_value_once() {
+        let indptr = skewed_indptr(9_000);
+        let rows = indptr.len() - 1;
+        let nnz = indptr[rows] as usize;
+        let mut vals = vec![-1.0f32; nnz];
+        par_sparse_rows(&mut vals, &indptr, 4, |r, slice| {
+            assert_eq!(slice.len() as u64, indptr[r + 1] - indptr[r]);
+            slice.iter_mut().for_each(|v| *v = r as f32);
+        });
+        for r in 0..rows {
+            for &v in &vals[indptr[r] as usize..indptr[r + 1] as usize] {
+                assert_eq!(v, r as f32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "values length must equal the nnz")]
+    fn par_sparse_rows_rejects_wrong_values_length() {
+        let mut vals = vec![0.0f32; 3];
+        par_sparse_rows(&mut vals, &[0u64, 2, 4], 1, |_, _| {});
     }
 
     #[test]

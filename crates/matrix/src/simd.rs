@@ -1,0 +1,159 @@
+//! Portable fixed-width SIMD vectors for the hot kernels.
+//!
+//! `std::simd` is still nightly-only, so this module provides the stable
+//! subset the kernels need: an 8-lane `f32` vector whose operations are
+//! written as exact-trip-count lane loops over a fixed-size array. With
+//! optimizations on, LLVM compiles every operation here to vector
+//! instructions for the target's widest available lanes (2×SSE `mulps`/
+//! `addps` on baseline x86-64, single AVX ops with `-C target-feature=+avx`,
+//! NEON on aarch64) — the codegen shape `std::simd::f32x8` would produce,
+//! without the nightly requirement.
+//!
+//! Numerical contract: every lane operation is the IEEE-754 scalar operation
+//! applied lane-wise, **without** fused multiply-add contraction (Rust never
+//! contracts `a * b + c`). A kernel that folds the same values in the same
+//! per-element order through these vectors is therefore *bitwise identical*
+//! to its scalar counterpart — the property the differential suite in
+//! `tests/kernel_differential.rs` pins down.
+
+use std::ops::{Add, Mul};
+
+/// Lane count of [`F32x8`]. Eight `f32`s = one AVX register, two SSE
+/// registers, or two NEON registers — wide enough to saturate any of them,
+/// narrow enough that a 4-vector register tile still fits the x86-64 baseline
+/// register file.
+pub const LANES: usize = 8;
+
+/// An 8-lane `f32` vector. See the module docs for the codegen and numerics
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct F32x8(pub [f32; LANES]);
+
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Loads the first [`LANES`] elements of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() < LANES`.
+    #[inline(always)]
+    pub fn load(s: &[f32]) -> Self {
+        let lanes: &[f32; LANES] = s[..LANES].try_into().expect("checked length");
+        Self(*lanes)
+    }
+
+    /// Stores the lanes into the first [`LANES`] elements of `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() < LANES`.
+    #[inline(always)]
+    pub fn store(self, d: &mut [f32]) {
+        d[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise `f32::max` (NaN-ignoring, like the scalar reduce path).
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut out = [0f32; LANES];
+        for ((v, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            *v = a.max(b);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise `f32::min` (NaN-ignoring, like the scalar reduce path).
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut out = [0f32; LANES];
+        for ((v, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            *v = a.min(b);
+        }
+        Self(out)
+    }
+
+    /// Sum of all lanes, reduced as a binary tree (`(0+1)+(2+3)…`); the
+    /// order is fixed but differs from a sequential left fold, which is why
+    /// SIMD dot products (SDDMM) are documented as ≤ a few ulp from the
+    /// scalar reference rather than bitwise equal.
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f32 {
+        let a = self.0;
+        let q = [a[0] + a[1], a[2] + a[3], a[4] + a[5], a[6] + a[7]];
+        (q[0] + q[1]) + (q[2] + q[3])
+    }
+}
+
+impl Add for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0f32; LANES];
+        for ((v, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            *v = a + b;
+        }
+        Self(out)
+    }
+}
+
+impl Mul for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0f32; LANES];
+        for ((v, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            *v = a * b;
+        }
+        Self(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_load_store_round_trip() {
+        let src: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = F32x8::load(&src);
+        let mut dst = vec![0f32; 9];
+        v.store(&mut dst);
+        assert_eq!(&dst[..8], &src[..8]);
+        assert_eq!(dst[8], 0.0, "store writes exactly LANES elements");
+        assert_eq!(F32x8::splat(2.5).0, [2.5; LANES]);
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_ops_bitwise() {
+        let a = F32x8([1.5, -0.0, 3.25, f32::INFINITY, -2.0, 0.1, 7.0, -9.5]);
+        let b = F32x8([0.5, 2.0, -1.25, 1.0, f32::NEG_INFINITY, 0.3, 0.0, 9.5]);
+        for l in 0..LANES {
+            assert_eq!((a + b).0[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!((a * b).0[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(a.max(b).0[l].to_bits(), a.0[l].max(b.0[l]).to_bits());
+            assert_eq!(a.min(b).0[l].to_bits(), a.0[l].min(b.0[l]).to_bits());
+        }
+    }
+
+    #[test]
+    fn horizontal_sum_is_a_fixed_tree() {
+        let v = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(v.horizontal_sum(), 36.0);
+        // The reduction order is the documented tree, not a left fold.
+        let w = F32x8([1e8, 1.0, -1e8, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let tree = ((1e8f32 + 1.0) + (-1e8f32 + 1.0)) + 0.0;
+        assert_eq!(w.horizontal_sum().to_bits(), tree.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn short_load_panics() {
+        let _ = F32x8::load(&[1.0; 7]);
+    }
+}
