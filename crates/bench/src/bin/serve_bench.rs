@@ -24,7 +24,8 @@
 //! from the client samples), the deep tail (p99/p999) from the server's
 //! per-outcome latency sketches merged into one distribution, the server's
 //! cache / shed / degradation counters, and (open loop) the batch-size
-//! distribution.
+//! distribution plus the per-tenant metering table (who consumed what under
+//! the skewed tenant mix, ranked by charged engine time).
 //!
 //! [`Server`]: granii_serve::Server
 
@@ -218,6 +219,7 @@ fn main() {
         );
         print_sketches(&report.latency_sketches);
         print_cache(&report.stats);
+        print_metering(&report.status.metering);
         if report.failed > 0 {
             eprintln!("serve_bench: FAILED — {} requests errored", report.failed);
             std::process::exit(1);
@@ -305,4 +307,33 @@ fn print_cache(stats: &ServeStats) {
         stats.cache_evictions,
         stats.cache_hit_rate * 100.0
     );
+}
+
+/// The per-tenant metering ledger under the zipf-skewed open-loop mix: who
+/// actually consumed the engine, ranked by charged time.
+fn print_metering(metering: &granii_serve::MeteringStatus) {
+    println!(
+        "  metering        {} requests  charged {:.2} ms  sheds {}  slo violations {}",
+        metering.total_requests,
+        metering.total_charged_ms,
+        metering.total_sheds,
+        metering.total_slo_violations
+    );
+    println!(
+        "    {:<16} {:>7} {:>8} {:>12} {:>10} {:>6} {:>6} {:>6}",
+        "tenant", "reqs", "batched", "charged-ms", "wait-ms", "share", "hit%", "shed"
+    );
+    for t in &metering.tenants {
+        println!(
+            "    {:<16} {:>7} {:>8} {:>12.3} {:>10.3} {:>6.2} {:>6.1} {:>6}",
+            t.fingerprint,
+            t.requests,
+            t.batched_requests,
+            t.charged_ms,
+            t.mean_queue_wait_ms,
+            t.mean_batch_share,
+            t.hit_rate * 100.0,
+            t.sheds
+        );
+    }
 }

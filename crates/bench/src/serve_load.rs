@@ -267,6 +267,10 @@ pub struct OpenLoopReport {
     pub stats: ServeStats,
     /// Per-outcome latency sketches, as in [`LoadReport`].
     pub latency_sketches: Vec<SketchSnapshot>,
+    /// Final live status snapshot; carries the per-tenant metering ledger
+    /// (`status.metering`) so the harness can report who consumed what
+    /// under the skewed open-loop tenant mix.
+    pub status: granii_serve::ServerStatus,
 }
 
 /// Pre-generates the Poisson arrival schedule: cumulative exponential gaps
@@ -378,6 +382,7 @@ pub fn run_open_loop(
     let stats = server.stats();
     let batch = server.batch_sketch();
     let latency_sketches = server.latency_sketches();
+    let status = server.status();
     server.shutdown();
 
     let mut all_latencies = Vec::new();
@@ -409,6 +414,7 @@ pub fn run_open_loop(
         batch,
         stats,
         latency_sketches,
+        status,
     }
 }
 

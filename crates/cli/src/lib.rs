@@ -23,6 +23,10 @@
 //!   least one bundle lands in the directory,
 //! - `granii serve-status` — render a dumped status snapshot as a
 //!   human-readable table,
+//! - `granii top` — the operator's per-tenant resource view: render the
+//!   metering ledger (requests, charged engine time, flops/bytes, queue
+//!   wait, batch share, hit rate, sheds, SLO violations) from a
+//!   `--status-out` snapshot, optionally re-polling the file,
 //! - `granii incident-show` — render an incident bundle (written by the
 //!   serving runtime's flight recorder on SLO burn / drift / shed storms)
 //!   as a human-readable timeline,
@@ -140,15 +144,25 @@ pub fn usage() -> String {
        serve-demo --models FILE (--graph FILE | --dataset CODE [--scale ...])\n\
                  [--model NAME] [--k1 N] [--k2 N] [--requests N] [--workers N]\n\
                  [--max-batch N] [--status-out FILE] [--trace-every N]\n\
-                 [--incident-dir DIR]\n\
+                 [--incident-dir DIR] [--scrape ADDR] [--scrape-hold-ms N]\n\
+                 [--timeline-out FILE]\n\
                  --status-out writes a live ServerStatus snapshot as JSON;\n\
                  --trace-every samples every Nth request into its own trace\n\
                  lane (needs --trace-out; default 1, 0 disables);\n\
                  --incident-dir arms automatic incident capture with\n\
                  demo-tight SLO/shed thresholds, floods the queue into a\n\
-                 shed storm, and writes the captured bundles to DIR\n\
+                 shed storm, and writes the captured bundles to DIR;\n\
+                 --scrape binds a Prometheus /metrics + /healthz + /readyz\n\
+                 listener on ADDR (e.g. 127.0.0.1:9464; port 0 picks one);\n\
+                 --scrape-hold-ms keeps the server (and listener) alive N ms\n\
+                 after the workload so an external scraper can poll it;\n\
+                 --timeline-out dumps the on-host time-series ring as JSON\n\
        serve-status --status FILE\n\
                  render a serve-demo --status-out snapshot as a table\n\
+       top       --status FILE [--watch N] [--interval-ms MS]\n\
+                 render the per-tenant metering table from a serve-demo\n\
+                 --status-out snapshot; --watch re-reads the file N more\n\
+                 times every MS milliseconds (default 1000)\n\
        kernels   print the compiled-in kernel configuration (SIMD on/off,\n\
                  lane width, tile sizes, scheduling constants, threads)\n\
        incident-show --incident FILE\n\
@@ -305,6 +319,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "bench" => cmd_bench(args),
         "serve-demo" => cmd_serve_demo(args),
         "serve-status" => cmd_serve_status(args),
+        "top" => cmd_top(args),
         "kernels" => Ok(cmd_kernels()),
         "incident-show" => cmd_incident_show(args),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -563,7 +578,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
 /// [`granii_serve::Server`] and reports cache-cold vs. cache-hot latency.
 fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     use granii_serve::{
-        IncidentConfig, LatencyObjective, Outcome, ServeConfig, ServeRequest, Server,
+        IncidentConfig, LatencyObjective, Outcome, ScrapeConfig, ServeConfig, ServeRequest, Server,
     };
 
     let path = args.require("models")?;
@@ -580,6 +595,7 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     // on (i.e. --trace-out or a sibling flag was given).
     let trace_every = args.usize_or("trace-every", 1)? as u64;
     let incident_dir = args.get("incident-dir").map(std::path::PathBuf::from);
+    let scrape_hold_ms = args.usize_or("scrape-hold-ms", 0)?;
     let graph = std::sync::Arc::new(load_graph(args)?);
 
     let mut config = ServeConfig {
@@ -588,6 +604,12 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         trace_sample_every: trace_every,
         ..ServeConfig::default()
     };
+    if let Some(addr) = args.get("scrape") {
+        config.scrape = ScrapeConfig {
+            enabled: true,
+            addr: addr.to_string(),
+        };
+    }
     if let Some(dir) = &incident_dir {
         // Demo-tight thresholds: sub-microsecond SLOs make every request a
         // violation (the first closed window burns), and a low shed-storm
@@ -608,7 +630,15 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
         };
     }
     let queue_depth = config.queue_depth;
+    let scrape_armed = args.get("scrape").is_some();
     let server = Server::start(granii, config);
+    let scrape_line = match (scrape_armed, server.scrape_addr()) {
+        (true, Some(addr)) => Some(format!(
+            "  scrape: http://{addr}/metrics (/healthz, /readyz)"
+        )),
+        (true, None) => return Err("--scrape: failed to bind the listener".to_string()),
+        _ => None,
+    };
     let mut out = format!(
         "serving {model} {k1}x{k2} on {} ({} nodes, {} edges): {requests} requests, {workers} workers\n",
         graph.name(),
@@ -677,10 +707,32 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
             "  flood: {flood_total} submits -> {flood_shed} shed, {flood_completed} completed"
         ));
     }
+    // CI / external scrapers: hold the server (and its /metrics listener)
+    // alive past the workload so they can poll a live endpoint.
+    if scrape_hold_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(scrape_hold_ms as u64));
+    }
     let bundles = server.incidents();
     let stats = server.stats();
     let status = server.status();
+    let timeline_line = match args.get("timeline-out") {
+        Some(path) => {
+            let snapshot = server.timeline_snapshot();
+            std::fs::write(path, granii_telemetry::timeseries_json(&snapshot))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            Some(format!(
+                "  timeline: {} frames x {} columns -> {path}",
+                snapshot.frames(),
+                snapshot.columns.len()
+            ))
+        }
+        None => None,
+    };
     server.shutdown();
+    if let Some(line) = &scrape_line {
+        out.push_str(line);
+        out.push('\n');
+    }
     writeln!(
         out,
         "  burst: {burst_completed} requests, {burst_batched} served in batch groups \
@@ -734,6 +786,81 @@ fn cmd_serve_demo(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.get("status-out") {
         std::fs::write(path, status.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         writeln!(out, "  status -> {path}").expect("fmt");
+    }
+    if let Some(line) = timeline_line {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Renders the per-tenant metering ledger from a status snapshot — the
+/// `top` command. With `--watch N` the file is re-read N more times (every
+/// `--interval-ms`, default 1000), so an operator can point it at a file a
+/// live server keeps rewriting.
+fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let path = args.require("status")?;
+    let watch = args.usize_or("watch", 0)?;
+    let interval_ms = args.usize_or("interval-ms", 1000)?;
+    let mut out = String::new();
+    for round in 0..=watch {
+        if round > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms as u64));
+            out.push('\n');
+        }
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let status = granii_serve::ServerStatus::from_json(&json)
+            .map_err(|e| format!("parse {path}: {e}"))?;
+        let m = &status.metering;
+        writeln!(
+            out,
+            "granii top — uptime {:.1}s | {} metered requests | charged {:.2} ms | \
+             {:.3e} flops | {:.3e} bytes | sheds {} | slo violations {}",
+            status.uptime_seconds,
+            m.total_requests,
+            m.total_charged_ms,
+            m.total_flops,
+            m.total_bytes,
+            m.total_sheds,
+            m.total_slo_violations
+        )
+        .expect("fmt");
+        if m.tenants.is_empty() {
+            out.push_str("  (no tenants metered yet)\n");
+            continue;
+        }
+        writeln!(
+            out,
+            "  {:<16} {:>7} {:>8} {:>12} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "tenant",
+            "reqs",
+            "batched",
+            "charged-ms",
+            "wait-ms",
+            "share",
+            "hit%",
+            "shed",
+            "degr",
+            "slo"
+        )
+        .expect("fmt");
+        for t in &m.tenants {
+            writeln!(
+                out,
+                "  {:<16} {:>7} {:>8} {:>12.3} {:>10.3} {:>6.2} {:>6.1} {:>6} {:>6} {:>6}",
+                t.fingerprint,
+                t.requests,
+                t.batched_requests,
+                t.charged_ms,
+                t.mean_queue_wait_ms,
+                t.mean_batch_share,
+                t.hit_rate * 100.0,
+                t.sheds,
+                t.degraded,
+                t.slo_violations
+            )
+            .expect("fmt");
+        }
     }
     Ok(out)
 }
@@ -970,6 +1097,52 @@ mod tests {
         assert!(rendered.contains("incident #"), "{rendered}");
         assert!(rendered.contains("trigger"), "{rendered}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_demo_scrape_timeline_and_top_round_trip() {
+        let dir = std::env::temp_dir().join("granii-cli-top-demo");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let models = dir.join("models.json");
+        let models_s = models.to_str().unwrap();
+        run(&args(&[
+            "train", "--device", "h100", "--fast", "true", "--out", models_s,
+        ]))
+        .unwrap();
+        let status = dir.join("status.json");
+        let timeline = dir.join("timeline.json");
+        let out = run(&args(&[
+            "serve-demo",
+            "--models",
+            models_s,
+            "--dataset",
+            "MC",
+            "--requests",
+            "4",
+            "--scrape",
+            "127.0.0.1:0",
+            "--status-out",
+            status.to_str().unwrap(),
+            "--timeline-out",
+            timeline.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("scrape: http://127.0.0.1:"), "{out}");
+        assert!(out.contains("timeline:"), "{out}");
+        let timeline_json = std::fs::read_to_string(&timeline).unwrap();
+        assert!(timeline_json.contains("serve.completed"), "{timeline_json}");
+        let rendered = run(&args(&["top", "--status", status.to_str().unwrap()])).unwrap();
+        assert!(rendered.contains("granii top"), "{rendered}");
+        assert!(rendered.contains("metered requests"), "{rendered}");
+        assert!(rendered.contains("tenant"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_requires_readable_status() {
+        let err = run(&args(&["top", "--status", "/missing.json"])).unwrap_err();
+        assert!(err.contains("read /missing.json"), "{err}");
     }
 
     #[test]

@@ -898,6 +898,10 @@ pub struct IterationObservation {
     pub host_seconds: f64,
     /// Engine-charged seconds for the iteration's kernels.
     pub charged_seconds: f64,
+    /// Floating-point operations the engine attributed to the iteration.
+    pub flops: u64,
+    /// Bytes (read + written) the engine attributed to the iteration.
+    pub bytes: u64,
 }
 
 /// Bind-time batched lowering: which physical slots get wide (multi-RHS)
@@ -967,6 +971,8 @@ impl BoundPlan {
         Ok(IterationObservation {
             host_seconds,
             charged_seconds: summary.charged_seconds,
+            flops: summary.flops,
+            bytes: summary.bytes,
         })
     }
 
@@ -1202,6 +1208,8 @@ impl BoundPlan {
         Ok(IterationObservation {
             host_seconds,
             charged_seconds: summary.charged_seconds,
+            flops: summary.flops,
+            bytes: summary.bytes,
         })
     }
 

@@ -250,7 +250,7 @@ impl AuditTable {
 }
 
 fn hex(fingerprint: u64) -> String {
-    format!("{fingerprint:016x}")
+    crate::status::hex_fp(fingerprint)
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +511,56 @@ pub struct RecorderInfo {
     pub dropped: u64,
 }
 
+/// One column of the on-host time-series ring, flattened for the artifact.
+/// `null` entries mark frames captured before the column first existed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineColumnInfo {
+    /// Column name (e.g. `serve.completed`, `tenant.<fp>.charged_ms`).
+    pub name: String,
+    /// `counter` or `gauge`.
+    pub kind: String,
+    /// One value per retained frame, oldest-first.
+    pub values: Vec<Option<f64>>,
+}
+
+/// The tail of the on-host time-series ring at capture: the last minutes
+/// of sampled counters/gauges leading up to the incident, so the artifact
+/// answers "what was trending before this fired" without an external TSDB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineInfo {
+    /// Frame timestamps, nanoseconds since the trace epoch, oldest-first.
+    pub at_ns: Vec<u64>,
+    /// Sampled columns, in registration order.
+    pub columns: Vec<TimelineColumnInfo>,
+}
+
+impl TimelineInfo {
+    /// Flattens a ring snapshot (NaN backfill becomes `null`).
+    pub fn from_snapshot(snap: &granii_telemetry::TimeSeriesSnapshot) -> Self {
+        TimelineInfo {
+            at_ns: snap.at_ns.clone(),
+            columns: snap
+                .columns
+                .iter()
+                .map(|c| TimelineColumnInfo {
+                    name: c.name.clone(),
+                    kind: c.kind.name().to_owned(),
+                    values: c
+                        .values
+                        .iter()
+                        .map(|v| if v.is_finite() { Some(*v) } else { None })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of retained frames.
+    pub fn frames(&self) -> usize {
+        self.at_ns.len()
+    }
+}
+
 /// One correlated incident artifact. Serializes to a single JSON object;
 /// `granii incident-show` renders it as a human-readable timeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -534,6 +584,9 @@ pub struct IncidentBundle {
     pub events: Vec<String>,
     /// Telemetry events dropped by the bounded sink so far.
     pub events_dropped: u64,
+    /// The time-series ring tail at capture (`None` in bundles captured
+    /// before the timeline existed, or when the sampler is disabled).
+    pub timeline: Option<TimelineInfo>,
     /// The full live status snapshot.
     pub status: ServerStatus,
 }
@@ -623,6 +676,14 @@ impl fmt::Display for IncidentBundle {
                 f,
                 "  sketch    {:<20} n={:<8} p50 {:.0} p95 {:.0} p99 {:.0} p999 {:.0}",
                 s.name, s.count, s.p50_ns, s.p95_ns, s.p99_ns, s.p999_ns
+            )?;
+        }
+        if let Some(timeline) = &self.timeline {
+            writeln!(
+                f,
+                "  timeline  {} frames x {} columns",
+                timeline.frames(),
+                timeline.columns.len()
             )?;
         }
         writeln!(
@@ -893,6 +954,7 @@ mod tests {
             slo: Vec::new(),
             latency: Vec::new(),
             recorder: crate::status::RecorderStatus::default(),
+            metering: crate::status::MeteringStatus::default(),
         }
     }
 
@@ -950,6 +1012,14 @@ mod tests {
             sketches: Vec::new(),
             events: vec!["serve.input_drift ts_us=1400000 id=7".to_owned()],
             events_dropped: 0,
+            timeline: Some(TimelineInfo {
+                at_ns: vec![1_000_000, 2_000_000],
+                columns: vec![TimelineColumnInfo {
+                    name: "serve.completed".to_owned(),
+                    kind: "counter".to_owned(),
+                    values: vec![None, Some(9.0)],
+                }],
+            }),
             status: zero_status(),
         }
     }
@@ -977,6 +1047,23 @@ mod tests {
         assert!((input.degree_cv - 0.8).abs() < 1e-12);
         assert_eq!(parsed.events.len(), 1);
         assert_eq!(parsed.status.submitted, 10);
+        let timeline = parsed.timeline.as_ref().expect("timeline attached");
+        assert_eq!(timeline.frames(), 2);
+        assert_eq!(timeline.columns[0].name, "serve.completed");
+        assert_eq!(timeline.columns[0].kind, "counter");
+        assert_eq!(timeline.columns[0].values, vec![None, Some(9.0)]);
+    }
+
+    #[test]
+    fn bundles_without_a_timeline_still_parse() {
+        // Bundles captured before the time-series ring existed carry no
+        // `timeline` key; the field must deserialize to None, not error.
+        let mut bundle = sample_bundle();
+        bundle.timeline = None;
+        let json = bundle.to_json();
+        assert!(!json.contains("\"at_ns\""));
+        let parsed = IncidentBundle::from_json(&json).unwrap();
+        assert!(parsed.timeline.is_none());
     }
 
     #[test]

@@ -61,6 +61,24 @@
 //!   audit (chosen composition, per-candidate predicted costs, and the
 //!   input statistics that keyed the choice) — as one JSON artifact,
 //!   rate-limited by cooldown + max-per-window.
+//! - **Per-tenant resource metering** ([`MeterTable`]): a lock-free
+//!   CAS-slot ledger keyed on tenant fingerprint accumulating engine
+//!   charges, flops/bytes, queue wait, batch share, cache traffic, sheds,
+//!   degradations, and SLO violations per tenant — with *exact* integer
+//!   attribution (the sum of per-tenant charges equals the server totals
+//!   bitwise, even for batched execution). Surfaces as a ranked
+//!   "top tenants" table in [`ServerStatus`] and per-tenant time-series
+//!   rows.
+//! - **On-host time-series ring** ([`TimelineConfig`]): a background
+//!   sampler captures periodic frames of the server's counters, gauges,
+//!   and sketch quantiles into a fixed-capacity
+//!   [`granii_telemetry::TimeSeriesRing`] — snapshotable as dashboard
+//!   JSON, and incident bundles carry the last minutes of timeline.
+//! - **Prometheus scrape endpoint** ([`ScrapeConfig`]): a std-only
+//!   `TcpListener` serving `/metrics` in the text exposition format
+//!   (per-tenant series labeled `tenant="<fingerprint>"`), plus
+//!   `/healthz` and `/readyz` (ready = workers up, queue below the shed
+//!   threshold, no SLO objective burning).
 //!
 //! Outputs are deterministic: for a given request signature, cache hits,
 //! misses, and serial re-execution all produce bitwise-identical matrices
@@ -92,7 +110,9 @@ mod error;
 mod fairness;
 mod incident;
 mod inspect;
+mod metering;
 mod recorder;
+mod scrape;
 mod server;
 mod slo;
 mod status;
@@ -104,19 +124,22 @@ pub use error::{Result, ServeError};
 pub use fairness::{TenantRow, TenantTable};
 pub use incident::{
     IncidentBundle, IncidentCapturer, IncidentConfig, IncidentTrigger, RingEntry, SelectionAudit,
-    SelectionAuditInfo, TriggerInfo, AUDIT_CAPACITY,
+    SelectionAuditInfo, TimelineColumnInfo, TimelineInfo, TriggerInfo, AUDIT_CAPACITY,
 };
 pub use inspect::{
     InputInspector, InputProfile, InputRow, InspectConfig, InspectVerdict, DEGREE_BANDS,
 };
+pub use metering::{exact_share, MeterCharge, MeterRow, MeterTable};
 pub use recorder::{FlightRecord, FlightRecorder, RecordKind, RecorderConfig, MAX_BATCH_MEMBERS};
+pub use scrape::{render_prometheus, start_scrape, ScrapeConfig, ScrapeHandle};
 pub use server::{
     RequestTiming, ServeConfig, ServeRequest, ServeResponse, ServeStats, Server, Ticket,
+    TimelineConfig,
 };
 pub use slo::{LatencyObjective, Outcome, SloConfig, SloMonitor, SloRow, SloVerdict};
 pub use status::{
     BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
-    LatencySketchStatus, RecorderStatus, ServerStatus, SloObjectiveStatus, TenantStatus,
-    WorkerStatus,
+    LatencySketchStatus, MeteringStatus, RecorderStatus, ServerStatus, SloObjectiveStatus,
+    TenantMeterStatus, TenantStatus, WorkerStatus,
 };
 pub use trace::{RequestTrace, BATCH_TRACE_LANE, TRACE_LANE_BASE};

@@ -1,0 +1,470 @@
+//! Per-tenant resource metering: who is burning the budget, exactly.
+//!
+//! GRANII's premise is that per-input inspection drives per-input cost —
+//! which means two tenants issuing the same request *rate* can consume
+//! wildly different engine time (SENSEi, arXiv:2306.15155). The
+//! [`MeterTable`] attributes every engine charge, flop, and byte back to
+//! the tenant fingerprint that caused it, alongside queue wait, batch
+//! share, cache behavior, sheds, degradations, and SLO violations.
+//!
+//! The table is lock-free and sits on the worker hot path, so it borrows
+//! the [`crate::fairness`] slot discipline: a fixed array of slots claimed
+//! by fingerprint CAS, linear-probed from `fp % slots`, with one shared
+//! overflow slot beyond the probe window. Every counter is a relaxed
+//! `AtomicU64` — recording a request is a handful of uncontended adds and
+//! never allocates, so the zero-alloc cache-hit contract survives with the
+//! ledger always on.
+//!
+//! **Attribution is exact, not approximate.** A coalesced batch's charge is
+//! converted to integer nanoseconds *once*; members receive `total / n`
+//! with the remainder folded into the group leader ([`exact_share`]), and
+//! the identical integers are added to both the tenant slot and the global
+//! totals slot. Because `u64` addition is exact and order-free, the sum of
+//! per-tenant charges equals the server-total charge *bitwise* — the
+//! invariant `crates/serve/tests/metering.rs` proptests across batched,
+//! serial, degraded, and shed paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed tenant-slot count (matches the fairness table: serving workloads
+/// have a small signature working set).
+const METER_SLOTS: usize = 64;
+
+/// Linear-probe distance before falling back to the overflow slot.
+const PROBE_LIMIT: usize = 8;
+
+/// One tenant's accumulated meters. `fp == 0` means unclaimed.
+#[derive(Default)]
+struct MeterSlot {
+    fp: AtomicU64,
+    requests: AtomicU64,
+    batched_requests: AtomicU64,
+    charged_ns: AtomicU64,
+    flops: AtomicU64,
+    bytes: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    batch_share_ppm: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sheds: AtomicU64,
+    degraded: AtomicU64,
+    slo_violations: AtomicU64,
+}
+
+impl MeterSlot {
+    fn row(&self, fingerprint: u64) -> MeterRow {
+        MeterRow {
+            fingerprint,
+            requests: self.requests.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            charged_ns: self.charged_ns.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            batch_share_ppm: self.batch_share_ppm.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            slo_violations: self.slo_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn saw_traffic(&self) -> bool {
+        self.requests.load(Ordering::Relaxed) > 0 || self.sheds.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// What one finished request cost its tenant (integer units so the ledger
+/// identity holds bitwise — see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeterCharge {
+    /// This member's exact share of the engine-charged nanoseconds.
+    pub charged_ns: u64,
+    /// This member's exact share of the attributed flops.
+    pub flops: u64,
+    /// This member's exact share of the attributed bytes (read + written).
+    pub bytes: u64,
+    /// Nanoseconds the request waited between admission and dequeue.
+    pub queue_wait_ns: u64,
+    /// Size of the coalesced group the request executed in (1 = serial).
+    pub batch: u32,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether the degraded (default-composition) path served it.
+    pub degraded: bool,
+}
+
+/// Point-in-time snapshot of one tenant's meters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeterRow {
+    /// The tenant's plan-signature fingerprint (`0` aggregates overflow
+    /// tenants; in [`MeterTable::totals`] it is the server-wide sum).
+    pub fingerprint: u64,
+    /// Requests completed for this tenant.
+    pub requests: u64,
+    /// Completed requests that executed inside a coalesced batch (size>1).
+    pub batched_requests: u64,
+    /// Exact engine-charged nanoseconds attributed to this tenant.
+    pub charged_ns: u64,
+    /// Exact flops attributed to this tenant.
+    pub flops: u64,
+    /// Exact bytes attributed to this tenant.
+    pub bytes: u64,
+    /// Total nanoseconds this tenant's requests spent queued.
+    pub queue_wait_ns: u64,
+    /// Accumulated `1e6 / batch` per request; divide by `requests` for the
+    /// mean fraction of an execute this tenant's requests occupied.
+    pub batch_share_ppm: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (selection + bind paid).
+    pub cache_misses: u64,
+    /// Requests shed before execution (queue full, tenant cap, ring race).
+    pub sheds: u64,
+    /// Requests served by the degraded path.
+    pub degraded: u64,
+    /// Completed requests that violated their SLO objective's threshold.
+    pub slo_violations: u64,
+}
+
+impl MeterRow {
+    /// Charged time in seconds.
+    pub fn charged_seconds(&self) -> f64 {
+        self.charged_ns as f64 / 1e9
+    }
+
+    /// Mean fraction of an execute occupied per request (1.0 = always
+    /// serial, 0.125 = always riding 8-wide batches).
+    pub fn mean_batch_share(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.batch_share_ppm as f64 / 1e6 / self.requests as f64
+        }
+    }
+
+    /// Mean queue wait in milliseconds per completed request.
+    pub fn mean_queue_wait_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns as f64 / 1e6 / self.requests as f64
+        }
+    }
+
+    /// Cache hit rate over completed requests.
+    pub fn hit_rate(&self) -> f64 {
+        let looked = self.cache_hits + self.cache_misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked as f64
+        }
+    }
+}
+
+/// Splits a group total exactly across `n` members: every member receives
+/// `total / n` and member 0 (the group leader) absorbs the remainder, so
+/// the shares always sum to `total` bitwise.
+pub fn exact_share(total: u64, n: usize, member: usize) -> u64 {
+    let n = n.max(1) as u64;
+    let base = total / n;
+    if member == 0 {
+        base + total % n
+    } else {
+        base
+    }
+}
+
+/// Lock-free per-tenant metering ledger (see module docs).
+pub struct MeterTable {
+    slots: Box<[MeterSlot]>,
+    overflow: MeterSlot,
+    /// Server-wide sums, fed the identical integers as the tenant slots.
+    totals: MeterSlot,
+}
+
+impl Default for MeterTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeterTable {
+    /// Builds an empty ledger.
+    pub fn new() -> Self {
+        MeterTable {
+            slots: (0..METER_SLOTS).map(|_| MeterSlot::default()).collect(),
+            overflow: MeterSlot::default(),
+            totals: MeterSlot::default(),
+        }
+    }
+
+    /// Finds (or CAS-claims) the slot for `fp`; overflow beyond the probe
+    /// window. Identical discipline to [`crate::fairness::TenantTable`].
+    fn slot(&self, fp: u64) -> &MeterSlot {
+        if fp == 0 {
+            return &self.overflow;
+        }
+        let n = self.slots.len();
+        let start = (fp % n as u64) as usize;
+        for probe in 0..PROBE_LIMIT {
+            let slot = &self.slots[(start + probe) % n];
+            match slot.fp.load(Ordering::Acquire) {
+                cur if cur == fp => return slot,
+                0 => match slot
+                    .fp
+                    .compare_exchange(0, fp, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => return slot,
+                    Err(winner) if winner == fp => return slot,
+                    Err(_) => {} // someone else's tenant; keep probing
+                },
+                _ => {}
+            }
+        }
+        &self.overflow
+    }
+
+    /// Meters one completed request for tenant `fp`. The same integers land
+    /// in the tenant slot and the totals slot, so the ledger identity
+    /// (sum of tenants == totals, bitwise) holds by construction.
+    pub fn record(&self, fp: u64, charge: &MeterCharge) {
+        let batch = charge.batch.max(1);
+        let share_ppm = 1_000_000 / u64::from(batch);
+        for slot in [self.slot(fp), &self.totals] {
+            slot.requests.fetch_add(1, Ordering::Relaxed);
+            if batch > 1 {
+                slot.batched_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.charged_ns
+                .fetch_add(charge.charged_ns, Ordering::Relaxed);
+            slot.flops.fetch_add(charge.flops, Ordering::Relaxed);
+            slot.bytes.fetch_add(charge.bytes, Ordering::Relaxed);
+            slot.queue_wait_ns
+                .fetch_add(charge.queue_wait_ns, Ordering::Relaxed);
+            slot.batch_share_ppm.fetch_add(share_ppm, Ordering::Relaxed);
+            if charge.cache_hit {
+                slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                slot.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            if charge.degraded {
+                slot.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Meters one shed for tenant `fp` (the request never executed).
+    pub fn note_shed(&self, fp: u64) {
+        self.slot(fp).sheds.fetch_add(1, Ordering::Relaxed);
+        self.totals.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Meters one SLO-threshold violation for tenant `fp`.
+    pub fn note_slo_violation(&self, fp: u64) {
+        self.slot(fp).slo_violations.fetch_add(1, Ordering::Relaxed);
+        self.totals.slo_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The server-wide sums (fingerprint reads 0).
+    pub fn totals(&self) -> MeterRow {
+        self.totals.row(0)
+    }
+
+    /// Visits every tenant that saw traffic (claimed slots, then the
+    /// overflow aggregate) without allocating — [`MeterRow`] is `Copy`.
+    /// Built for the sampler thread's per-tenant timeline columns.
+    pub fn for_each(&self, mut f: impl FnMut(MeterRow)) {
+        for slot in self.slots.iter() {
+            let fp = slot.fp.load(Ordering::Acquire);
+            if fp != 0 {
+                f(slot.row(fp));
+            }
+        }
+        if self.overflow.saw_traffic() {
+            f(self.overflow.row(0));
+        }
+    }
+
+    /// Snapshot of every tenant that saw traffic, ranked by charged time
+    /// descending (the "top tenants" order), fingerprint ascending on ties.
+    pub fn rows(&self) -> Vec<MeterRow> {
+        let mut rows = Vec::new();
+        self.for_each(|row| rows.push(row));
+        rows.sort_by(|a, b| {
+            b.charged_ns
+                .cmp(&a.charged_ns)
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_share_sums_to_total_for_awkward_divisions() {
+        for (total, n) in [
+            (0u64, 1),
+            (1, 3),
+            (7, 3),
+            (1_000_000_007, 8),
+            (u64::MAX, 17),
+        ] {
+            let sum: u64 = (0..n)
+                .map(|m| exact_share(total, n, m))
+                .fold(0u64, |acc, s| acc.wrapping_add(s));
+            assert_eq!(sum, total, "total {total} over {n} members");
+            // The leader absorbs the remainder; everyone else is equal.
+            for m in 1..n {
+                assert_eq!(exact_share(total, n, m), total / n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_sums_equal_totals_bitwise() {
+        let table = MeterTable::new();
+        // Three tenants, mixed batched/serial/degraded traffic with awkward
+        // charge figures that would lose bits through f64 averaging.
+        let mut expected_charged = 0u64;
+        for (i, fp) in [0xaaaa_u64, 0xbbbb, 0xcccc].into_iter().enumerate() {
+            for r in 0..5u64 {
+                let total = 1_000_000_007 * (i as u64 + 1) + r;
+                let n = [1usize, 3, 8][(r as usize) % 3];
+                for member in 0..n {
+                    let charge = MeterCharge {
+                        charged_ns: exact_share(total, n, member),
+                        flops: exact_share(total * 3, n, member),
+                        bytes: exact_share(total * 5, n, member),
+                        queue_wait_ns: r * 17,
+                        batch: n as u32,
+                        cache_hit: member % 2 == 0,
+                        degraded: r == 4,
+                    };
+                    table.record(fp, &charge);
+                }
+                expected_charged += total;
+            }
+        }
+        table.note_shed(0xaaaa);
+        table.note_slo_violation(0xbbbb);
+
+        let rows = table.rows();
+        let totals = table.totals();
+        assert_eq!(totals.charged_ns, expected_charged, "no charge lost");
+        for (sum, total) in [
+            (
+                rows.iter().map(|r| r.requests).sum::<u64>(),
+                totals.requests,
+            ),
+            (rows.iter().map(|r| r.charged_ns).sum(), totals.charged_ns),
+            (rows.iter().map(|r| r.flops).sum(), totals.flops),
+            (rows.iter().map(|r| r.bytes).sum(), totals.bytes),
+            (
+                rows.iter().map(|r| r.queue_wait_ns).sum(),
+                totals.queue_wait_ns,
+            ),
+            (
+                rows.iter().map(|r| r.batch_share_ppm).sum(),
+                totals.batch_share_ppm,
+            ),
+            (rows.iter().map(|r| r.cache_hits).sum(), totals.cache_hits),
+            (
+                rows.iter().map(|r| r.cache_misses).sum(),
+                totals.cache_misses,
+            ),
+            (rows.iter().map(|r| r.sheds).sum(), totals.sheds),
+            (rows.iter().map(|r| r.degraded).sum(), totals.degraded),
+            (
+                rows.iter().map(|r| r.slo_violations).sum(),
+                totals.slo_violations,
+            ),
+        ] {
+            assert_eq!(sum, total, "per-tenant sums equal server totals bitwise");
+        }
+    }
+
+    #[test]
+    fn rows_rank_by_charged_time_descending() {
+        let table = MeterTable::new();
+        for (fp, charged) in [(1u64, 10u64), (2, 30), (3, 20)] {
+            table.record(
+                fp,
+                &MeterCharge {
+                    charged_ns: charged,
+                    batch: 1,
+                    ..MeterCharge::default()
+                },
+            );
+        }
+        let order: Vec<u64> = table.rows().iter().map(|r| r.fingerprint).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn overflow_tenants_aggregate_and_stay_counted() {
+        let table = MeterTable::new();
+        for fp in 1..=500u64 {
+            table.record(
+                fp,
+                &MeterCharge {
+                    charged_ns: 7,
+                    batch: 1,
+                    ..MeterCharge::default()
+                },
+            );
+        }
+        let rows = table.rows();
+        assert!(
+            rows.len() <= METER_SLOTS + 1,
+            "bounded rows: {}",
+            rows.len()
+        );
+        assert_eq!(
+            rows.iter().map(|r| r.requests).sum::<u64>(),
+            500,
+            "overflow keeps every request counted"
+        );
+        assert_eq!(table.totals().charged_ns, 500 * 7);
+    }
+
+    #[test]
+    fn concurrent_recording_preserves_the_ledger_identity() {
+        let table = MeterTable::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let table = &table;
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        table.record(
+                            0x1000 + (i % 5),
+                            &MeterCharge {
+                                charged_ns: t * 1_000 + i,
+                                flops: i * 3,
+                                bytes: i * 5,
+                                queue_wait_ns: i,
+                                batch: ((i % 4) + 1) as u32,
+                                cache_hit: i % 2 == 0,
+                                degraded: i % 7 == 0,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let rows = table.rows();
+        let totals = table.totals();
+        assert_eq!(totals.requests, 1000);
+        assert_eq!(
+            rows.iter().map(|r| r.charged_ns).sum::<u64>(),
+            totals.charged_ns
+        );
+        assert_eq!(rows.iter().map(|r| r.flops).sum::<u64>(), totals.flops);
+        assert_eq!(rows.iter().map(|r| r.bytes).sum::<u64>(), totals.bytes);
+    }
+}

@@ -8,6 +8,7 @@
 //! `iterate_batched` (column-stacked blocks, bitwise identical to serial
 //! per-request execution — see DESIGN.md §12).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -22,22 +23,27 @@ use granii_gnn::{Exec, GraphCtx};
 use granii_graph::Graph;
 use granii_matrix::device::Engine;
 use granii_matrix::DenseMatrix;
-use granii_telemetry::{event, DistinctCounter, Sketch, SketchSnapshot, DEFAULT_SKETCH_ALPHA};
+use granii_telemetry::{
+    event, start_sampler, ColumnId, DistinctCounter, SampleKind, SamplerHandle, Sketch,
+    SketchSnapshot, TimeSeriesRing, TimeSeriesSnapshot, DEFAULT_SKETCH_ALPHA,
+};
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::drift::{DriftConfig, DriftDetector, DriftVerdict};
 use crate::fairness::TenantTable;
 use crate::incident::{
     render_events, IncidentBundle, IncidentCapturer, IncidentConfig, IncidentTrigger, RecorderInfo,
-    RingEntry, SelectionAudit, SelectionAuditInfo, SketchSummary,
+    RingEntry, SelectionAudit, SelectionAuditInfo, SketchSummary, TimelineInfo,
 };
 use crate::inspect::{InputInspector, InputProfile, InspectConfig, InspectVerdict};
+use crate::metering::{exact_share, MeterCharge, MeterRow, MeterTable};
 use crate::recorder::{FlightRecorder, RecordKind, RecorderConfig, MAX_BATCH_MEMBERS};
+use crate::scrape::{ScrapeConfig, ScrapeHandle};
 use crate::slo::{Outcome, SloConfig, SloMonitor, SloVerdict};
 use crate::status::{
-    BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus, InputSignatureStatus,
-    LatencySketchStatus, RecorderStatus, ServerStatus, SloObjectiveStatus, TenantStatus,
-    WorkerStatus,
+    hex_fp, BatchingStatus, CacheStatus, DriftSignatureStatus, FairnessStatus,
+    InputSignatureStatus, LatencySketchStatus, MeteringStatus, RecorderStatus, ServerStatus,
+    SloObjectiveStatus, TenantMeterStatus, TenantStatus, WorkerStatus,
 };
 use crate::trace::{self, RequestTrace};
 use crate::{Result, ServeError};
@@ -52,6 +58,33 @@ const SERVE_SEED: u64 = 41;
 /// protocol below normally wakes workers promptly; the timeout is the
 /// belt-and-braces bound on any missed wakeup.
 const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// On-host time-series ring tuning: a background sampler thread captures
+/// a frame of the server's counters, gauges, and sketch quantiles (plus a
+/// per-tenant lane from the metering ledger) every `interval` into a
+/// fixed-capacity [`granii_telemetry::TimeSeriesRing`]. With the defaults
+/// (240 frames x 250ms) the ring holds the last minute — enough for an
+/// incident bundle to answer "what was trending before this fired".
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Whether to run the sampler thread at all (the ring itself always
+    /// exists; disabled just means it stays empty).
+    pub enabled: bool,
+    /// Retained frames (ring capacity).
+    pub capacity: usize,
+    /// Sampling period.
+    pub interval: Duration,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            enabled: true,
+            capacity: 240,
+            interval: Duration::from_millis(250),
+        }
+    }
+}
 
 /// Serving runtime configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +119,12 @@ pub struct ServeConfig {
     /// Automatic incident-capture policy (triggers, rate limits, artifact
     /// directory).
     pub incident: IncidentConfig,
+    /// On-host time-series ring + sampler tuning.
+    pub timeline: TimelineConfig,
+    /// Prometheus-compatible scrape listener (`/metrics`, `/healthz`,
+    /// `/readyz`). Disabled by default — serving stays network-free unless
+    /// asked.
+    pub scrape: ScrapeConfig,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +141,8 @@ impl Default for ServeConfig {
             slo: SloConfig::default(),
             recorder: RecorderConfig::default(),
             incident: IncidentConfig::default(),
+            timeline: TimelineConfig::default(),
+            scrape: ScrapeConfig::default(),
         }
     }
 }
@@ -379,6 +420,11 @@ struct Inner {
     /// (two workers can finish groups simultaneously; the exporter needs
     /// distinct seqs).
     batch_trace_seq: AtomicU64,
+    /// Lock-free per-tenant resource ledger (see [`crate::metering`]).
+    metering: MeterTable,
+    /// On-host time-series ring (always present; populated by the sampler
+    /// thread when `TimelineConfig::enabled`).
+    timeline: Arc<TimeSeriesRing>,
 }
 
 impl Inner {
@@ -463,6 +509,11 @@ impl Ticket {
 pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// The timeline sampler thread, when `TimelineConfig::enabled`.
+    sampler: Option<SamplerHandle>,
+    /// The scrape listener, when `ScrapeConfig::enabled` and the bind
+    /// succeeded.
+    scrape: Option<ScrapeHandle>,
 }
 
 impl Server {
@@ -490,6 +541,8 @@ impl Server {
             recorder: FlightRecorder::new(config.recorder),
             incidents: IncidentCapturer::new(config.incident.clone()),
             batch_trace_seq: AtomicU64::new(0),
+            metering: MeterTable::new(),
+            timeline: Arc::new(TimeSeriesRing::new(config.timeline.capacity)),
             config: config.clone(),
             counters: Counters::default(),
             next_request_id: AtomicU64::new(0),
@@ -510,7 +563,22 @@ impl Server {
                     .expect("spawn serve worker")
             })
             .collect();
-        Server { inner, workers }
+        let sampler = inner
+            .config
+            .timeline
+            .enabled
+            .then(|| start_timeline_sampler(&inner));
+        let scrape = if inner.config.scrape.enabled {
+            start_scrape_listener(&inner)
+        } else {
+            None
+        };
+        Server {
+            inner,
+            workers,
+            sampler,
+            scrape,
+        }
     }
 
     /// Submits a request without blocking on its execution.
@@ -673,6 +741,31 @@ impl Server {
         (self.inner.recorder.written(), self.inner.recorder.dropped())
     }
 
+    /// Per-tenant meter rows, engine-charged time descending (the ranked
+    /// "top tenants" view; see [`crate::metering::MeterTable::rows`]).
+    pub fn metering_rows(&self) -> Vec<MeterRow> {
+        self.inner.metering.rows()
+    }
+
+    /// The server-wide metering totals row. The sum of every
+    /// [`Server::metering_rows`] counter equals this row exactly — the
+    /// ledger attributes integers, never averages.
+    pub fn metering_totals(&self) -> MeterRow {
+        self.inner.metering.totals()
+    }
+
+    /// A snapshot of the on-host time-series ring (empty when the sampler
+    /// is disabled). Render with [`granii_telemetry::timeseries_json`].
+    pub fn timeline_snapshot(&self) -> TimeSeriesSnapshot {
+        self.inner.timeline.snapshot()
+    }
+
+    /// The scrape listener's bound address, when one is running (resolves
+    /// a configured port 0 to the actual ephemeral port).
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape.as_ref().map(ScrapeHandle::addr)
+    }
+
     /// Shuts down gracefully: stops accepting requests, drains the queue,
     /// joins every worker. Equivalent to dropping the server.
     pub fn shutdown(mut self) {
@@ -681,6 +774,14 @@ impl Server {
 
     fn stop_and_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Stop the observers first: the sampler reads counters the workers
+        // are still writing (fine), but neither should outlive the server.
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        if let Some(scrape) = self.scrape.take() {
+            scrape.stop();
+        }
         self.inner.wake_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -713,6 +814,28 @@ impl Inner {
         }
     }
 
+    /// `/readyz` semantics: accepting traffic, queue below the shed
+    /// threshold, and no SLO objective actively burning its error budget.
+    fn readiness(&self) -> std::result::Result<(), String> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("shutting down".to_owned());
+        }
+        let depth = self.queue.len();
+        if depth >= self.config.queue_depth {
+            return Err(format!(
+                "queue saturated ({depth}/{})",
+                self.config.queue_depth
+            ));
+        }
+        if let Some(row) = self.slo.rows().into_iter().find(|row| row.burning) {
+            return Err(format!(
+                "slo burning for outcome {}",
+                row.objective.outcome.name()
+            ));
+        }
+        Ok(())
+    }
+
     /// Status assembly lives on `Inner` (not [`Server`]) so worker threads
     /// can embed a full snapshot in an incident bundle mid-request.
     fn status(&self) -> ServerStatus {
@@ -720,6 +843,16 @@ impl Inner {
         let uptime_seconds = self.started.elapsed().as_secs_f64();
         let completed = stats.completed.max(1) as f64;
         let batch_sketch = self.batch_sizes.snapshot("serve.batch.size");
+        // One ledger walk feeds the metering section AND the per-tenant
+        // request counts on the drift/input tables.
+        let meter_rows = self.metering.rows();
+        let meter_totals = self.metering.totals();
+        let requests_for = |fingerprint: u64| {
+            meter_rows
+                .iter()
+                .find(|row| row.fingerprint == fingerprint)
+                .map(|row| row.requests)
+        };
         ServerStatus {
             uptime_seconds,
             queue_depth: stats.queue_depth,
@@ -760,7 +893,7 @@ impl Inner {
                     .rows()
                     .into_iter()
                     .map(|row| TenantStatus {
-                        fingerprint: format!("{:016x}", row.fingerprint),
+                        fingerprint: hex_fp(row.fingerprint),
                         queued: row.queued,
                         admitted: row.admitted,
                         shed: row.shed,
@@ -805,7 +938,7 @@ impl Inner {
                         let (model, fingerprint, k1, k2) = row.key;
                         DriftSignatureStatus {
                             model: model.name().to_owned(),
-                            fingerprint: format!("{fingerprint:016x}"),
+                            fingerprint: hex_fp(fingerprint),
                             k1,
                             k2,
                             ewma_residual: row.ewma_residual,
@@ -813,6 +946,7 @@ impl Inner {
                             samples: row.samples,
                             flags: row.flags,
                             cooldown: u64::from(row.cooldown),
+                            tenant_requests: requests_for(fingerprint),
                         }
                     })
                     .collect()
@@ -825,7 +959,7 @@ impl Inner {
                         let (model, fingerprint, k1, k2) = row.key;
                         InputSignatureStatus {
                             model: model.name().to_owned(),
-                            fingerprint: format!("{fingerprint:016x}"),
+                            fingerprint: hex_fp(fingerprint),
                             k1,
                             k2,
                             band_l1: row.band_l1,
@@ -836,6 +970,7 @@ impl Inner {
                             samples: row.samples,
                             flags: row.flags,
                             cooldown: u64::from(row.cooldown),
+                            tenant_requests: requests_for(fingerprint),
                         }
                     })
                     .collect()
@@ -879,6 +1014,18 @@ impl Inner {
                 events_dropped: granii_telemetry::events_dropped(),
                 last_trigger: self.incidents.last_trigger(),
             },
+            metering: MeteringStatus {
+                total_requests: meter_totals.requests,
+                total_charged_ms: meter_totals.charged_ns as f64 / 1e6,
+                total_flops: meter_totals.flops as f64,
+                total_bytes: meter_totals.bytes as f64,
+                total_sheds: meter_totals.sheds,
+                total_slo_violations: meter_totals.slo_violations,
+                tenants: meter_rows
+                    .into_iter()
+                    .map(TenantMeterStatus::from)
+                    .collect(),
+            },
         }
     }
 }
@@ -889,11 +1036,116 @@ impl Drop for Server {
     }
 }
 
+/// Column handles for the global timeline lanes, registered once at
+/// startup so the sampler tick itself is lookup-free.
+struct TimelineCols {
+    submitted: ColumnId,
+    completed: ColumnId,
+    failed: ColumnId,
+    shed: ColumnId,
+    degraded: ColumnId,
+    cache_hits: ColumnId,
+    cache_misses: ColumnId,
+    queue_depth: ColumnId,
+    cache_entries: ColumnId,
+    charged_ms: ColumnId,
+    hit_p95_ms: ColumnId,
+    miss_p95_ms: ColumnId,
+}
+
+/// Spawns the timeline sampler: every tick captures one frame of global
+/// counters/gauges/quantiles plus a per-tenant lane
+/// (`tenant.<fingerprint>.charged_ms` / `.requests`) from the metering
+/// ledger. The thread is an observer — it reads atomics and pushes into
+/// the ring; nothing on the request path waits for it.
+fn start_timeline_sampler(inner: &Arc<Inner>) -> SamplerHandle {
+    let ring = Arc::clone(&inner.timeline);
+    let cols = TimelineCols {
+        submitted: ring.column("serve.submitted", SampleKind::Counter),
+        completed: ring.column("serve.completed", SampleKind::Counter),
+        failed: ring.column("serve.failed", SampleKind::Counter),
+        shed: ring.column("serve.shed", SampleKind::Counter),
+        degraded: ring.column("serve.degraded", SampleKind::Counter),
+        cache_hits: ring.column("serve.cache_hits", SampleKind::Counter),
+        cache_misses: ring.column("serve.cache_misses", SampleKind::Counter),
+        queue_depth: ring.column("serve.queue_depth", SampleKind::Gauge),
+        cache_entries: ring.column("serve.cache_entries", SampleKind::Gauge),
+        charged_ms: ring.column("serve.charged_ms", SampleKind::Counter),
+        hit_p95_ms: ring.column("serve.latency.hit.p95_ms", SampleKind::Gauge),
+        miss_p95_ms: ring.column("serve.latency.miss.p95_ms", SampleKind::Gauge),
+    };
+    let inner = Arc::clone(inner);
+    // Tenant columns register lazily, the first tick a tenant shows
+    // traffic; the map makes every later tick lookup-only.
+    let mut tenant_cols: HashMap<u64, (ColumnId, ColumnId)> = HashMap::new();
+    let mut samples: Vec<(ColumnId, f64)> = Vec::with_capacity(32);
+    start_sampler(inner.config.timeline.interval, move || {
+        samples.clear();
+        let stats = inner.stats();
+        samples.push((cols.submitted, stats.submitted as f64));
+        samples.push((cols.completed, stats.completed as f64));
+        samples.push((cols.failed, stats.failed as f64));
+        samples.push((cols.shed, stats.shed as f64));
+        samples.push((cols.degraded, stats.degraded as f64));
+        samples.push((cols.cache_hits, stats.cache_hits as f64));
+        samples.push((cols.cache_misses, stats.cache_misses as f64));
+        samples.push((cols.queue_depth, stats.queue_depth as f64));
+        samples.push((cols.cache_entries, stats.cache_len as f64));
+        samples.push((
+            cols.charged_ms,
+            inner.metering.totals().charged_ns as f64 / 1e6,
+        ));
+        samples.push((
+            cols.hit_p95_ms,
+            inner.latency.hit.snapshot("serve.latency.hit").p95_ns() / 1e6,
+        ));
+        samples.push((
+            cols.miss_p95_ms,
+            inner.latency.miss.snapshot("serve.latency.miss").p95_ns() / 1e6,
+        ));
+        inner.metering.for_each(|row| {
+            let (charged, requests) = *tenant_cols.entry(row.fingerprint).or_insert_with(|| {
+                let fp = hex_fp(row.fingerprint);
+                (
+                    ring.column(&format!("tenant.{fp}.charged_ms"), SampleKind::Counter),
+                    ring.column(&format!("tenant.{fp}.requests"), SampleKind::Counter),
+                )
+            });
+            samples.push((charged, row.charged_ns as f64 / 1e6));
+            samples.push((requests, row.requests as f64));
+        });
+        ring.push_now(&samples);
+    })
+}
+
+/// Binds the scrape listener. A bind failure (address in use, permission)
+/// is reported as an event and the server runs without the endpoint —
+/// observability must never take serving down.
+fn start_scrape_listener(inner: &Arc<Inner>) -> Option<ScrapeHandle> {
+    let metrics_inner = Arc::clone(inner);
+    let ready_inner = Arc::clone(inner);
+    match crate::scrape::start_scrape(
+        &inner.config.scrape.addr,
+        move || crate::scrape::render_prometheus(&metrics_inner.status()),
+        move || ready_inner.readiness(),
+    ) {
+        Ok(handle) => {
+            event!("serve.scrape_listen", addr = format!("{}", handle.addr()));
+            Some(handle)
+        }
+        Err(e) => {
+            event!("serve.scrape_bind_failed", error = format!("{e}"));
+            None
+        }
+    }
+}
+
 /// Shed bookkeeping shared by every admission-reject path: counters, gauges
 /// (a shed must not leave them stale), the shed event, the flight-recorder
 /// record, and the shed-storm incident trigger.
 fn shed(inner: &Inner, id: u64, key: PlanKey, depth: usize, reason: &'static str) -> ServeError {
     inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+    inner.metering.note_shed(key.1);
     granii_telemetry::counter_add("serve.shed", 1);
     granii_telemetry::gauge_set("serve.queue_depth", depth as f64);
     granii_telemetry::gauge_set("serve.cache_hit_rate", inner.cache.hit_rate());
@@ -1151,7 +1403,7 @@ fn process_batch(
             t.mark_execute_start();
         }
     }
-    let (composition, predicted_steady_seconds, outputs, charged, execute_seconds) = {
+    let (composition, predicted_steady_seconds, outputs, charged, shares, execute_seconds) = {
         let mut cached = entry.lock().unwrap_or_else(PoisonError::into_inner);
         let batched = cached.bound.batch_supported() && cached.bound.batch_capacity() >= batch;
         if batched {
@@ -1173,6 +1425,20 @@ fn process_batch(
                 }
             }
             let wall = t_execute.elapsed().as_secs_f64();
+            // Metering attribution: convert the group's engine charge to
+            // integers ONCE, then hand each member an exact integer share
+            // — the per-tenant ledger sums back to the group totals
+            // bitwise (see `crate::metering::exact_share`).
+            let group_charged_ns = (observed.charged_seconds * 1e9).round() as u64;
+            let shares: Vec<(u64, u64, u64)> = (0..batch)
+                .map(|member| {
+                    (
+                        exact_share(group_charged_ns, batch, member),
+                        exact_share(observed.flops, batch, member),
+                        exact_share(observed.bytes, batch, member),
+                    )
+                })
+                .collect();
             (
                 cached.composition,
                 cached.predicted_steady_seconds,
@@ -1181,11 +1447,13 @@ fn process_batch(
                 // the full group, each member carries an equal share (equal
                 // to its serial charge — the drift lane sees no difference).
                 vec![observed.charged_seconds / batch as f64; batch],
+                shares,
                 vec![wall; batch],
             )
         } else {
             let mut outputs = Vec::with_capacity(batch);
             let mut charged = Vec::with_capacity(batch);
+            let mut shares = Vec::with_capacity(batch);
             let mut walls = Vec::with_capacity(batch);
             for _ in 0..batch {
                 let t_member = Instant::now();
@@ -1205,6 +1473,11 @@ fn process_batch(
                 };
                 outputs.push(output);
                 charged.push(observed.charged_seconds);
+                shares.push((
+                    (observed.charged_seconds * 1e9).round() as u64,
+                    observed.flops,
+                    observed.bytes,
+                ));
                 walls.push(t_member.elapsed().as_secs_f64());
             }
             (
@@ -1212,6 +1485,7 @@ fn process_batch(
                 cached.predicted_steady_seconds,
                 outputs,
                 charged,
+                shares,
                 walls,
             )
         }
@@ -1258,6 +1532,19 @@ fn process_batch(
         if let Some(t) = trace.take() {
             t.finish(request.model.name(), cache_hit, degraded);
         }
+        let (charged_ns, flops, bytes) = shares[i];
+        inner.metering.record(
+            key.1,
+            &MeterCharge {
+                charged_ns,
+                flops,
+                bytes,
+                queue_wait_ns: (queue_seconds[i] * 1e9) as u64,
+                batch: batch as u32,
+                cache_hit,
+                degraded,
+            },
+        );
         let response = ServeResponse {
             composition,
             output: outputs[i].clone(),
@@ -1320,6 +1607,14 @@ fn finish_job(
             } else {
                 0
             };
+            // Per-tenant SLO accounting: a completed request over its
+            // outcome's objective threshold charges the tenant's
+            // violation meter (the monitor below keeps the window math).
+            if inner.slo.config().objectives.iter().any(|objective| {
+                objective.outcome == outcome && latency_ns as f64 > objective.threshold_ms * 1e6
+            }) {
+                inner.metering.note_slo_violation(key.1);
+            }
             granii_telemetry::histogram_record_seconds(metric, response.timing.total_seconds);
             inner.latency.for_outcome(outcome).record_ns(latency_ns);
             granii_telemetry::sketch_record_ns(metric, latency_ns);
@@ -1585,7 +1880,7 @@ fn observe_drift(
             "serve.drift",
             id = id,
             model = request.model.name(),
-            fingerprint = format!("{:016x}", key.1),
+            fingerprint = hex_fp(key.1),
             k1 = request.k1,
             k2 = request.k2,
             ewma_residual = ewma_residual,
@@ -1646,7 +1941,7 @@ fn observe_input(inner: &Inner, id: u64, request: &ServeRequest, key: PlanKey, p
             "serve.input_drift",
             id = id,
             model = request.model.name(),
-            fingerprint = format!("{:016x}", key.1),
+            fingerprint = hex_fp(key.1),
             k1 = request.k1,
             k2 = request.k2,
             band_l1 = band_l1,
@@ -1779,6 +2074,19 @@ fn process_job(inner: &Inner, exec: &Exec, job: Job) -> Result<ServeResponse> {
         t.finish(request.model.name(), cache_hit, degraded);
     }
 
+    inner.metering.record(
+        key.1,
+        &MeterCharge {
+            charged_ns: (observed.charged_seconds * 1e9).round() as u64,
+            flops: observed.flops,
+            bytes: observed.bytes,
+            queue_wait_ns: (queue_seconds * 1e9) as u64,
+            batch: 1,
+            cache_hit,
+            degraded,
+        },
+    );
+
     Ok(ServeResponse {
         composition,
         output,
@@ -1859,6 +2167,12 @@ fn capture_incident(inner: &Inner, trigger: IncidentTrigger) {
         sketches,
         events,
         events_dropped: granii_telemetry::events_dropped(),
+        // The last minutes of the sampled timeline — empty ring (sampler
+        // disabled, or the incident beat the first tick) attaches nothing.
+        timeline: {
+            let snap = inner.timeline.snapshot();
+            (snap.frames() > 0).then(|| TimelineInfo::from_snapshot(&snap))
+        },
         status: inner.status(),
     };
     inner.incidents.store(bundle);

@@ -15,6 +15,13 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Renders a graph fingerprint the one canonical way: zero-padded 16-hex.
+/// Every status row, event field, and scrape label goes through here so the
+/// formats can never skew apart (see module docs for why not a number).
+pub(crate) fn hex_fp(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
 /// One worker's utilization since server start.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerStatus {
@@ -69,6 +76,10 @@ pub struct DriftSignatureStatus {
     pub flags: u64,
     /// Remaining flag-suppression observations.
     pub cooldown: u64,
+    /// Completed requests the metering ledger attributes to this tenant
+    /// (`None` in snapshots from before the ledger existed) — lets an
+    /// operator correlate a drift flag with the tenant's traffic share.
+    pub tenant_requests: Option<u64>,
 }
 
 /// One row of the input table: a tracked plan signature and how far its
@@ -100,6 +111,9 @@ pub struct InputSignatureStatus {
     pub flags: u64,
     /// Remaining flag-suppression observations.
     pub cooldown: u64,
+    /// Completed requests the metering ledger attributes to this tenant
+    /// (`None` in pre-ledger snapshots).
+    pub tenant_requests: Option<u64>,
 }
 
 /// One row of the SLO table: an objective and its error-budget state.
@@ -241,6 +255,100 @@ impl serde::Deserialize for RecorderStatus {
     }
 }
 
+/// One tenant's resource meters, ranked into the "top tenants" table.
+/// Charged time is milliseconds and flops/bytes are f64 here (the JSON
+/// layer is f64-backed); the bitwise-exact integers live in the ledger
+/// itself ([`crate::MeterRow`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantMeterStatus {
+    /// Plan-signature fingerprint as a zero-padded hex string
+    /// (`0000000000000000` aggregates tenants beyond the fixed table).
+    pub fingerprint: String,
+    /// Requests completed for this tenant.
+    pub requests: u64,
+    /// Completed requests that rode a coalesced batch (size > 1).
+    pub batched_requests: u64,
+    /// Engine-charged milliseconds attributed to this tenant.
+    pub charged_ms: f64,
+    /// Flops attributed to this tenant.
+    pub flops: f64,
+    /// Bytes (read + written) attributed to this tenant.
+    pub bytes: f64,
+    /// Mean queue wait per completed request, milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Mean fraction of an execute occupied per request (1.0 = serial).
+    pub mean_batch_share: f64,
+    /// Plan-cache hit rate over completed requests.
+    pub hit_rate: f64,
+    /// Requests shed before execution.
+    pub sheds: u64,
+    /// Requests served by the degraded path.
+    pub degraded: u64,
+    /// Completed requests over their SLO objective's threshold.
+    pub slo_violations: u64,
+}
+
+impl From<crate::metering::MeterRow> for TenantMeterStatus {
+    fn from(row: crate::metering::MeterRow) -> Self {
+        TenantMeterStatus {
+            fingerprint: hex_fp(row.fingerprint),
+            requests: row.requests,
+            batched_requests: row.batched_requests,
+            charged_ms: row.charged_ns as f64 / 1e6,
+            flops: row.flops as f64,
+            bytes: row.bytes as f64,
+            mean_queue_wait_ms: row.mean_queue_wait_ms(),
+            mean_batch_share: row.mean_batch_share(),
+            hit_rate: row.hit_rate(),
+            sheds: row.sheds,
+            degraded: row.degraded,
+            slo_violations: row.slo_violations,
+        }
+    }
+}
+
+/// Per-tenant resource metering: server-wide totals and the ranked
+/// top-tenants table (charged time descending).
+///
+/// Same hand-written `Deserialize` compatibility contract as
+/// [`BatchingStatus`]: pre-ledger snapshots parse with a defaulted section.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MeteringStatus {
+    /// Requests the ledger has metered (equals `completed` at quiescence).
+    pub total_requests: u64,
+    /// Server-wide engine-charged milliseconds.
+    pub total_charged_ms: f64,
+    /// Server-wide attributed flops.
+    pub total_flops: f64,
+    /// Server-wide attributed bytes.
+    pub total_bytes: f64,
+    /// Server-wide sheds the ledger attributed to tenants.
+    pub total_sheds: u64,
+    /// Server-wide SLO-threshold violations.
+    pub total_slo_violations: u64,
+    /// Per-tenant meters, charged time descending.
+    pub tenants: Vec<TenantMeterStatus>,
+}
+
+impl serde::Deserialize for MeteringStatus {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let m = match value {
+            serde::Value::Object(m) => m,
+            serde::Value::Null => return Ok(MeteringStatus::default()),
+            _ => return Err(serde::Error::custom("expected object for MeteringStatus")),
+        };
+        Ok(MeteringStatus {
+            total_requests: serde::get_field(m, "total_requests")?,
+            total_charged_ms: serde::get_field(m, "total_charged_ms")?,
+            total_flops: serde::get_field(m, "total_flops")?,
+            total_bytes: serde::get_field(m, "total_bytes")?,
+            total_sheds: serde::get_field(m, "total_sheds")?,
+            total_slo_violations: serde::get_field(m, "total_slo_violations")?,
+            tenants: serde::get_field(m, "tenants")?,
+        })
+    }
+}
+
 impl serde::Deserialize for BatchingStatus {
     fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let m = match value {
@@ -330,6 +438,9 @@ pub struct ServerStatus {
     /// Flight-recorder ring and incident-capture health (defaults when
     /// absent — see [`RecorderStatus`]).
     pub recorder: RecorderStatus,
+    /// Per-tenant resource metering and the ranked top-tenants table
+    /// (defaults when absent — see [`MeteringStatus`]).
+    pub metering: MeteringStatus,
 }
 
 impl ServerStatus {
@@ -437,6 +548,48 @@ impl fmt::Display for ServerStatus {
                 )?;
             }
         }
+        writeln!(
+            f,
+            "  metering {} requests | charged {:.2}ms | {:.0} flops | {:.0} bytes | sheds {} | slo violations {}",
+            self.metering.total_requests,
+            self.metering.total_charged_ms,
+            self.metering.total_flops,
+            self.metering.total_bytes,
+            self.metering.total_sheds,
+            self.metering.total_slo_violations
+        )?;
+        if !self.metering.tenants.is_empty() {
+            writeln!(
+                f,
+                "           {:<18} {:>6} {:>7} {:>10} {:>6} {:>8} {:>5} {:>5} {:>5} {:>4}",
+                "top tenant",
+                "reqs",
+                "batched",
+                "charged",
+                "share",
+                "wait",
+                "hit%",
+                "shed",
+                "degr",
+                "slo"
+            )?;
+            for row in &self.metering.tenants {
+                writeln!(
+                    f,
+                    "           {:<18} {:>6} {:>7} {:>8.2}ms {:>6.2} {:>6.2}ms {:>5.1} {:>5} {:>5} {:>4}",
+                    row.fingerprint,
+                    row.requests,
+                    row.batched_requests,
+                    row.charged_ms,
+                    row.mean_batch_share,
+                    row.mean_queue_wait_ms,
+                    row.hit_rate * 100.0,
+                    row.sheds,
+                    row.degraded,
+                    row.slo_violations
+                )?;
+            }
+        }
         if !self.latency.is_empty() {
             writeln!(
                 f,
@@ -489,10 +642,17 @@ impl fmt::Display for ServerStatus {
                 w.utilization * 100.0
             )?;
         }
+        // Both drift tables carry the tenant's metered request count so an
+        // operator can correlate a flag with traffic share ("-" when the
+        // snapshot predates the ledger).
+        let reqs = |tenant_requests: Option<u64>| match tenant_requests {
+            Some(n) => n.to_string(),
+            None => "-".to_owned(),
+        };
         if !self.input.is_empty() {
             writeln!(
                 f,
-                "  input    {:<6} {:<18} {:>5} {:>5} {:>8} {:>8} {:>8} {:>7} {:>5} {:>8}",
+                "  input    {:<6} {:<18} {:>5} {:>5} {:>8} {:>8} {:>8} {:>7} {:>5} {:>8} {:>6}",
                 "model",
                 "fingerprint",
                 "k1",
@@ -502,12 +662,13 @@ impl fmt::Display for ServerStatus {
                 "cv_ref",
                 "samples",
                 "flags",
-                "cooldown"
+                "cooldown",
+                "reqs"
             )?;
             for row in &self.input {
                 writeln!(
                     f,
-                    "           {:<6} {:<18} {:>5} {:>5} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>5} {:>8}",
+                    "           {:<6} {:<18} {:>5} {:>5} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>5} {:>8} {:>6}",
                     row.model,
                     row.fingerprint,
                     row.k1,
@@ -517,7 +678,8 @@ impl fmt::Display for ServerStatus {
                     row.reference_degree_cv,
                     row.samples,
                     row.flags,
-                    row.cooldown
+                    row.cooldown,
+                    reqs(row.tenant_requests)
                 )?;
             }
         }
@@ -526,13 +688,22 @@ impl fmt::Display for ServerStatus {
         } else {
             writeln!(
                 f,
-                "  drift    {:<6} {:<18} {:>5} {:>5} {:>9} {:>9} {:>7} {:>5} {:>8}",
-                "model", "fingerprint", "k1", "k2", "ewma", "last", "samples", "flags", "cooldown"
+                "  drift    {:<6} {:<18} {:>5} {:>5} {:>9} {:>9} {:>7} {:>5} {:>8} {:>6}",
+                "model",
+                "fingerprint",
+                "k1",
+                "k2",
+                "ewma",
+                "last",
+                "samples",
+                "flags",
+                "cooldown",
+                "reqs"
             )?;
             for row in &self.drift {
                 writeln!(
                     f,
-                    "           {:<6} {:<18} {:>5} {:>5} {:>9.3} {:>9.3} {:>7} {:>5} {:>8}",
+                    "           {:<6} {:<18} {:>5} {:>5} {:>9.3} {:>9.3} {:>7} {:>5} {:>8} {:>6}",
                     row.model,
                     row.fingerprint,
                     row.k1,
@@ -541,7 +712,8 @@ impl fmt::Display for ServerStatus {
                     row.last_residual,
                     row.samples,
                     row.flags,
-                    row.cooldown
+                    row.cooldown,
+                    reqs(row.tenant_requests)
                 )?;
             }
         }
@@ -613,6 +785,7 @@ mod tests {
                 samples: 7,
                 flags: 1,
                 cooldown: 30,
+                tenant_requests: Some(70),
             }],
             input: vec![InputSignatureStatus {
                 model: "gcn".to_owned(),
@@ -627,6 +800,7 @@ mod tests {
                 samples: 12,
                 flags: 2,
                 cooldown: 20,
+                tenant_requests: Some(70),
             }],
             slo: vec![SloObjectiveStatus {
                 outcome: "hit".to_owned(),
@@ -656,6 +830,28 @@ mod tests {
                 suppressed: 3,
                 events_dropped: 7,
                 last_trigger: "slo_burn".to_owned(),
+            },
+            metering: MeteringStatus {
+                total_requests: 95,
+                total_charged_ms: 123.456,
+                total_flops: 9.0e9,
+                total_bytes: 4.5e9,
+                total_sheds: 4,
+                total_slo_violations: 3,
+                tenants: vec![TenantMeterStatus {
+                    fingerprint: hex_fp(0xdead_beef),
+                    requests: 70,
+                    batched_requests: 60,
+                    charged_ms: 100.25,
+                    flops: 7.0e9,
+                    bytes: 3.5e9,
+                    mean_queue_wait_ms: 0.08,
+                    mean_batch_share: 0.42,
+                    hit_rate: 0.938,
+                    sheds: 3,
+                    degraded: 5,
+                    slo_violations: 1,
+                }],
             },
         }
     }
@@ -697,6 +893,18 @@ mod tests {
         assert_eq!(parsed.recorder.incidents, 1);
         assert_eq!(parsed.recorder.events_dropped, 7);
         assert_eq!(parsed.recorder.last_trigger, "slo_burn");
+        assert_eq!(parsed.drift[0].tenant_requests, Some(70));
+        assert_eq!(parsed.input[0].tenant_requests, Some(70));
+        assert_eq!(parsed.metering.total_requests, 95);
+        assert!((parsed.metering.total_charged_ms - 123.456).abs() < 1e-9);
+        assert_eq!(parsed.metering.tenants.len(), 1);
+        assert_eq!(parsed.metering.tenants[0].requests, 70);
+        assert_eq!(
+            parsed.metering.tenants[0].fingerprint,
+            format!("{:016x}", 0xdead_beef_u64)
+        );
+        assert!((parsed.metering.tenants[0].mean_batch_share - 0.42).abs() < 1e-12);
+        assert_eq!(parsed.metering.tenants[0].slo_violations, 1);
     }
 
     #[test]
@@ -716,6 +924,10 @@ mod tests {
             .expect("missing recorder section defaults");
         assert_eq!(recorder.written, 0);
         assert_eq!(recorder.last_trigger, "");
+        let metering = <MeteringStatus as serde::Deserialize>::deserialize(&serde::Value::Null)
+            .expect("missing metering section defaults");
+        assert_eq!(metering.total_requests, 0);
+        assert!(metering.tenants.is_empty());
     }
 
     #[test]
@@ -735,5 +947,10 @@ mod tests {
         assert!(text.contains("tenant cap 32"));
         assert!(text.contains("recorder 321 written"));
         assert!(text.contains("last slo_burn"));
+        assert!(text.contains("metering 95 requests"));
+        assert!(text.contains("top tenant"));
+        assert!(text.contains("slo violations 3"));
+        // The drift and input tables carry the metered request count.
+        assert!(text.contains("reqs"));
     }
 }

@@ -33,11 +33,16 @@ fn unsampled_cache_hits_do_not_allocate() {
 
     granii_telemetry::reset();
     granii_telemetry::enable();
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         workers: 1,
         trace_sample_every: 0,
         ..ServeConfig::default()
     };
+    // Crank the timeline sampler so it provably ticks (and registers
+    // per-tenant columns) *during* the zero-alloc loops below: the sampler
+    // and the metering ledger must not perturb the hit path's contract.
+    assert!(config.timeline.enabled, "sampler must be on by default");
+    config.timeline.interval = std::time::Duration::from_millis(2);
     assert!(
         config.inspect.enabled,
         "the input-drift lane must be on so this test covers its per-request \
@@ -120,6 +125,31 @@ fn unsampled_cache_hits_do_not_allocate() {
     }
     assert!(batched_seen, "no batch of two or more ever formed");
     assert!(server.stats().batched_requests >= 2);
+
+    // The metering ledger rode every one of those requests (all-atomic
+    // recording inside the zero-alloc budget asserted above): its totals
+    // must match the completion counter, and the per-tenant rows must sum
+    // to the totals exactly.
+    let totals = server.metering_totals();
+    assert_eq!(
+        totals.requests,
+        server.stats().completed,
+        "ledger metered every completed request"
+    );
+    let tenant_sum: u64 = server.metering_rows().iter().map(|r| r.charged_ns).sum();
+    assert_eq!(
+        tenant_sum, totals.charged_ns,
+        "per-tenant charges sum to the totals bitwise"
+    );
+    assert!(totals.charged_ns > 0, "hits carried engine charges");
+    // And the sampler thread was live alongside the loops: the time-series
+    // ring holds frames including this tenant's lane.
+    let timeline = server.timeline_snapshot();
+    assert!(timeline.frames() > 0, "sampler captured frames");
+    assert!(
+        timeline.column("serve.completed").is_some(),
+        "global counter lane sampled"
+    );
 
     server.shutdown();
     granii_telemetry::disable();

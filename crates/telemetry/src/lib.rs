@@ -16,6 +16,10 @@
 //! - **Sketches** ([`sketch_handle`], [`Sketch`]): mergeable bounded-
 //!   relative-error quantile sketches (for SLO-grade p99/p999) and a
 //!   distinct-count estimator for unique request fingerprints.
+//! - **Time series** ([`timeseries`], [`TimeSeriesRing`], [`start_sampler`]):
+//!   a fixed-capacity on-host ring of periodic samples (counters, gauges,
+//!   sketch quantiles) with read-time delta/rate derivation — the
+//!   continuous timeline snapshots and post-mortems both lack.
 //! - **Exporters** ([`export::chrome_trace`], [`export::metrics_json`],
 //!   [`export::summary`]): Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`), a flat JSON metrics dump, and a human-readable
@@ -46,6 +50,7 @@ mod metrics;
 mod profile;
 pub mod sketch;
 mod span;
+pub mod timeseries;
 
 pub use events::{
     event_record, events_dropped, snapshot_events, take_events, EventRecord, EVENT_CAPACITY,
@@ -58,6 +63,10 @@ pub use metrics::{
 pub use profile::{ProfileReport, ProfileRow};
 pub use sketch::{DistinctCounter, DistinctSnapshot, Sketch, SketchSnapshot, DEFAULT_SKETCH_ALPHA};
 pub use span::{now_us, record_span, span, take_spans, AttrValue, SpanGuard, SpanRecord};
+pub use timeseries::{
+    start_sampler, timeseries_json, ColumnId, ColumnSeries, SampleKind, SamplerHandle,
+    TimeSeriesRing, TimeSeriesSnapshot,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -1,0 +1,498 @@
+//! On-host time-series ring: a fixed-capacity buffer of periodic metric
+//! samples — a mini-TSDB that needs no external collector.
+//!
+//! Snapshots ([`crate::metrics_snapshot`], `ServerStatus`) answer "what is
+//! the state *now*"; the flight recorder answers "what happened around this
+//! request". Neither answers "what did the last two minutes look like" —
+//! the question every dashboard and every incident review starts with. The
+//! [`TimeSeriesRing`] closes that gap: a sampler thread captures a frame of
+//! named columns (cumulative counters, point-in-time gauges, sketch
+//! quantiles) every interval into a pre-allocated ring, and readers turn
+//! counter columns into deltas and per-second rates *at read time* — the
+//! ring itself stores only raw cumulative values, so sampling never loses
+//! information to a rate window chosen too early.
+//!
+//! Steady-state sampling is allocation-free: frames are pre-sized at ring
+//! construction and column registration reuses slots; the only allocations
+//! after warm-up happen when a *new* column (e.g. a first-seen tenant)
+//! registers. The ring is a single mutex — the sampler writes one frame per
+//! interval and readers snapshot rarely, so there is nothing to contend.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How a column's samples are interpreted at read time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Monotone cumulative value; readers difference consecutive frames
+    /// into deltas and per-second rates.
+    Counter,
+    /// Point-in-time value (queue depth, quantile, hit rate).
+    Gauge,
+}
+
+impl SampleKind {
+    /// Stable lowercase name (`counter` / `gauge`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleKind::Counter => "counter",
+            SampleKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Opaque handle of a registered column, valid for the ring that issued it.
+/// Cache it outside the sampling loop: registration takes the ring lock and
+/// may allocate; recording through an id never does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnId(usize);
+
+struct Column {
+    name: String,
+    kind: SampleKind,
+}
+
+struct Frame {
+    at_ns: u64,
+    values: Vec<f64>,
+}
+
+struct RingInner {
+    columns: Vec<Column>,
+    frames: Vec<Frame>,
+    written: u64,
+}
+
+/// Fixed-capacity ring of periodic samples (see module docs).
+pub struct TimeSeriesRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TimeSeriesRing {
+    /// Creates a ring retaining the newest `capacity` frames (min 2 — a
+    /// single frame can never yield a delta).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        TimeSeriesRing {
+            capacity,
+            inner: Mutex::new(RingInner {
+                columns: Vec::new(),
+                frames: (0..capacity)
+                    .map(|_| Frame {
+                        at_ns: 0,
+                        values: Vec::new(),
+                    })
+                    .collect(),
+                written: 0,
+            }),
+        }
+    }
+
+    /// Registers (or finds) the column `name`, returning its id. The kind
+    /// of an existing column wins; re-registration never re-types it.
+    pub fn column(&self, name: &str, kind: SampleKind) -> ColumnId {
+        let mut inner = self.lock();
+        if let Some(idx) = inner.columns.iter().position(|c| c.name == name) {
+            return ColumnId(idx);
+        }
+        inner.columns.push(Column {
+            name: name.to_owned(),
+            kind,
+        });
+        ColumnId(inner.columns.len() - 1)
+    }
+
+    /// Appends one frame at `at_ns` (nanoseconds on the caller's monotonic
+    /// axis). Columns absent from `entries` — and columns registered after
+    /// older frames were written — read as NaN/missing. Ids from another
+    /// ring (out of range) are ignored.
+    pub fn push(&self, at_ns: u64, entries: &[(ColumnId, f64)]) {
+        let mut inner = self.lock();
+        let ncols = inner.columns.len();
+        let idx = (inner.written % self.capacity as u64) as usize;
+        inner.written += 1;
+        let frame = &mut inner.frames[idx];
+        frame.at_ns = at_ns;
+        frame.values.clear();
+        frame.values.resize(ncols, f64::NAN);
+        for &(ColumnId(col), value) in entries {
+            if col < ncols {
+                frame.values[col] = value;
+            }
+        }
+    }
+
+    /// [`TimeSeriesRing::push`] stamped with the process trace epoch clock
+    /// (monotonic `Instant` anchored — immune to NTP steps).
+    pub fn push_now(&self, entries: &[(ColumnId, f64)]) {
+        self.push(crate::span::now_ns(), entries);
+    }
+
+    /// Frames currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.written.min(self.capacity as u64) as usize
+    }
+
+    /// Whether no frame has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().written == 0
+    }
+
+    /// Frames ever written (wraparound = `written > capacity`).
+    pub fn written(&self) -> u64 {
+        self.lock().written
+    }
+
+    /// The ring capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Column-oriented copy of the retained frames, oldest-first.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        self.snapshot_tail(self.capacity)
+    }
+
+    /// Like [`TimeSeriesRing::snapshot`] but keeping only the newest
+    /// `max_frames` frames — the shape incident bundles embed.
+    pub fn snapshot_tail(&self, max_frames: usize) -> TimeSeriesSnapshot {
+        let inner = self.lock();
+        let retained = inner.written.min(self.capacity as u64) as usize;
+        let take = retained.min(max_frames);
+        // Oldest retained frame sits at `written % capacity` once wrapped.
+        let start = inner.written as usize - take;
+        let mut at_ns = Vec::with_capacity(take);
+        let mut columns: Vec<ColumnSeries> = inner
+            .columns
+            .iter()
+            .map(|c| ColumnSeries {
+                name: c.name.clone(),
+                kind: c.kind,
+                values: Vec::with_capacity(take),
+            })
+            .collect();
+        for i in 0..take {
+            let frame = &inner.frames[(start + i) % self.capacity];
+            at_ns.push(frame.at_ns);
+            for (col, series) in columns.iter_mut().enumerate() {
+                series
+                    .values
+                    .push(frame.values.get(col).copied().unwrap_or(f64::NAN));
+            }
+        }
+        TimeSeriesSnapshot {
+            capacity: self.capacity,
+            written: inner.written,
+            at_ns,
+            columns,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One column's raw samples, frame-aligned with
+/// [`TimeSeriesSnapshot::at_ns`] (NaN where the frame predates the column
+/// or skipped it).
+#[derive(Debug, Clone)]
+pub struct ColumnSeries {
+    /// Column name.
+    pub name: String,
+    /// Counter (differenced at read time) or gauge.
+    pub kind: SampleKind,
+    /// Raw per-frame samples, oldest-first.
+    pub values: Vec<f64>,
+}
+
+/// Point-in-time, column-oriented copy of the ring, oldest-first.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSnapshot {
+    /// Ring capacity in frames.
+    pub capacity: usize,
+    /// Frames ever written at snapshot time.
+    pub written: u64,
+    /// Per-frame timestamps (nanoseconds, monotonic axis), oldest-first.
+    pub at_ns: Vec<u64>,
+    /// Every registered column's frame-aligned samples.
+    pub columns: Vec<ColumnSeries>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Retained frame count.
+    pub fn frames(&self) -> usize {
+        self.at_ns.len()
+    }
+
+    /// Finds a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnSeries> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Per-frame deltas for column `col`: `values[i] - values[i-1]`. The
+    /// first frame, any frame adjoining a NaN, and negative steps (a
+    /// counter reset) read NaN. Gauges difference like counters — callers
+    /// decide whether a gauge derivative means anything.
+    pub fn deltas(&self, col: usize) -> Vec<f64> {
+        self.derive(col, |delta, _| delta)
+    }
+
+    /// Per-second rates for column `col`: delta over elapsed seconds
+    /// between the two frames (NaN wherever [`TimeSeriesSnapshot::deltas`]
+    /// is NaN or the frames share a timestamp).
+    pub fn rates_per_sec(&self, col: usize) -> Vec<f64> {
+        self.derive(col, |delta, dt_seconds| {
+            if dt_seconds > 0.0 {
+                delta / dt_seconds
+            } else {
+                f64::NAN
+            }
+        })
+    }
+
+    fn derive(&self, col: usize, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let values = match self.columns.get(col) {
+            Some(series) => &series.values,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(values.len());
+        for i in 0..values.len() {
+            if i == 0 {
+                out.push(f64::NAN);
+                continue;
+            }
+            let (prev, cur) = (values[i - 1], values[i]);
+            let delta = cur - prev;
+            if prev.is_nan() || cur.is_nan() || delta < 0.0 {
+                out.push(f64::NAN);
+            } else {
+                let dt_seconds = self.at_ns[i].saturating_sub(self.at_ns[i - 1]) as f64 / 1e9;
+                out.push(f(delta, dt_seconds));
+            }
+        }
+        out
+    }
+}
+
+/// Renders a snapshot as dashboard-ready JSON: frame timestamps plus one
+/// object per column carrying raw `values` and, for counters, read-time
+/// `delta` and `rate_per_s` series (NaN → `null`).
+pub fn timeseries_json(snapshot: &TimeSeriesSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "\"capacity\":{},\n\"written\":{},\n\"frames\":{},\n\"at_ns\":[",
+        snapshot.capacity,
+        snapshot.written,
+        snapshot.frames()
+    );
+    for (i, ts) in snapshot.at_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{ts}");
+    }
+    out.push_str("],\n\"columns\":[");
+    for (col, series) in snapshot.columns.iter().enumerate() {
+        if col > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":");
+        crate::export::push_json_string(&mut out, &series.name);
+        let _ = write!(out, ",\"kind\":\"{}\",\"values\":[", series.kind.name());
+        push_f64_list(&mut out, &series.values);
+        out.push(']');
+        if series.kind == SampleKind::Counter {
+            out.push_str(",\"delta\":[");
+            push_f64_list(&mut out, &snapshot.deltas(col));
+            out.push_str("],\"rate_per_s\":[");
+            push_f64_list(&mut out, &snapshot.rates_per_sec(col));
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn push_f64_list(out: &mut String, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::export::push_f64(out, *v);
+    }
+}
+
+/// Owns a running sampler thread; stops (and joins) on
+/// [`SamplerHandle::stop`] or drop.
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Signals the thread and joins it.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Spawns the sampler thread: calls `sample` once immediately, then every
+/// `interval` (floored at 1ms) until stopped. The closure owns whatever it
+/// samples — typically it reads counters/gauges/sketches and pushes one
+/// frame into a captured [`TimeSeriesRing`]. Stop latency is bounded at a
+/// few milliseconds regardless of interval.
+pub fn start_sampler<F>(interval: Duration, mut sample: F) -> SamplerHandle
+where
+    F: FnMut() + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let tick = interval.max(Duration::from_millis(1));
+    let thread = std::thread::Builder::new()
+        .name("granii-sampler".to_owned())
+        .spawn(move || loop {
+            sample();
+            let mut slept = Duration::ZERO;
+            while slept < tick {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                let step = (tick - slept).min(Duration::from_millis(5));
+                std::thread::sleep(step);
+                slept += step;
+            }
+        })
+        .expect("spawn granii-sampler thread");
+    SamplerHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let ring = TimeSeriesRing::new(4);
+        let c = ring.column("reqs", SampleKind::Counter);
+        for i in 0..10u64 {
+            ring.push(i * 1_000_000_000, &[(c, (i * 5) as f64)]);
+        }
+        assert_eq!(ring.written(), 10);
+        assert_eq!(ring.len(), 4);
+        let snap = ring.snapshot();
+        assert_eq!(snap.frames(), 4);
+        assert_eq!(
+            snap.at_ns,
+            vec![6_000_000_000, 7_000_000_000, 8_000_000_000, 9_000_000_000]
+        );
+        assert_eq!(snap.columns[0].values, vec![30.0, 35.0, 40.0, 45.0]);
+        let deltas = snap.deltas(0);
+        assert!(deltas[0].is_nan());
+        assert_eq!(&deltas[1..], &[5.0, 5.0, 5.0]);
+        let rates = snap.rates_per_sec(0);
+        assert!(rates[0].is_nan());
+        assert_eq!(&rates[1..], &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn late_columns_backfill_nan_and_counter_resets_read_nan() {
+        let ring = TimeSeriesRing::new(8);
+        let a = ring.column("a", SampleKind::Counter);
+        ring.push(0, &[(a, 10.0)]);
+        let b = ring.column("b", SampleKind::Gauge);
+        ring.push(1_000_000_000, &[(a, 4.0), (b, 0.5)]);
+        ring.push(2_000_000_000, &[(a, 6.0), (b, 0.25)]);
+        let snap = ring.snapshot();
+        assert_eq!(snap.columns.len(), 2);
+        assert!(
+            snap.column("b").unwrap().values[0].is_nan(),
+            "pre-registration frame is NaN"
+        );
+        let deltas = snap.deltas(0);
+        assert!(deltas[1].is_nan(), "negative step reads as a counter reset");
+        assert_eq!(deltas[2], 2.0);
+    }
+
+    #[test]
+    fn snapshot_tail_keeps_newest_frames() {
+        let ring = TimeSeriesRing::new(8);
+        let c = ring.column("x", SampleKind::Gauge);
+        for i in 0..6u64 {
+            ring.push(i, &[(c, i as f64)]);
+        }
+        let tail = ring.snapshot_tail(2);
+        assert_eq!(tail.at_ns, vec![4, 5]);
+        assert_eq!(tail.columns[0].values, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn json_export_is_structured_and_nan_is_null() {
+        let ring = TimeSeriesRing::new(4);
+        let c = ring.column("serve.completed", SampleKind::Counter);
+        let g = ring.column("queue_depth", SampleKind::Gauge);
+        ring.push(0, &[(c, 0.0), (g, 1.0)]);
+        ring.push(500_000_000, &[(c, 10.0), (g, 3.0)]);
+        let json = timeseries_json(&ring.snapshot());
+        assert!(json.contains("\"serve.completed\""));
+        assert!(json.contains("\"kind\":\"counter\""));
+        assert!(json.contains("\"kind\":\"gauge\""));
+        assert!(json.contains("\"rate_per_s\":[null,20]"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn foreign_column_ids_are_ignored() {
+        let ring = TimeSeriesRing::new(2);
+        ring.push(0, &[(ColumnId(7), 1.0)]);
+        assert_eq!(ring.snapshot().columns.len(), 0);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn sampler_ticks_and_stops() {
+        let ring = Arc::new(TimeSeriesRing::new(16));
+        let col = ring.column("tick", SampleKind::Counter);
+        let writer = Arc::clone(&ring);
+        let mut n = 0u64;
+        let handle = start_sampler(Duration::from_millis(2), move || {
+            n += 1;
+            writer.push_now(&[(col, n as f64)]);
+        });
+        while ring.written() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.stop();
+        let after = ring.written();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ring.written(), after, "stopped sampler writes nothing");
+        let snap = ring.snapshot();
+        let vals = &snap.column("tick").unwrap().values;
+        assert!(
+            vals.windows(2).all(|w| w[1] > w[0]),
+            "monotone ticks: {vals:?}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Regression test (ISSUE 10 satellite): `uptime_ns` must be derived from
+//! the monotonic `Instant` trace epoch, never wall-clock subtraction — an
+//! NTP step must not make timelines or rates go negative. Runs alone in its
+//! own binary so the global metrics registry is unpolluted.
+//!
+//! The properties that pin the monotonic anchor:
+//! - uptime never decreases across consecutive snapshots and grows by at
+//!   least the real elapsed time between them (a wall-clock source stepped
+//!   backwards would violate both);
+//! - `captured_at_ns` shares the same axis, so `captured - uptime` (the
+//!   baseline) is stable between snapshots of one epoch;
+//! - `reset()` re-stamps the baseline: uptime restarts near zero.
+
+use std::time::{Duration, Instant};
+
+#[test]
+fn uptime_is_monotonic_and_rebaselined_by_reset() {
+    granii_telemetry::enable();
+    granii_telemetry::reset();
+    granii_telemetry::counter_add("uptime.test", 1);
+
+    let first = granii_telemetry::metrics_snapshot();
+    let wall = Instant::now();
+    std::thread::sleep(Duration::from_millis(30));
+    let second = granii_telemetry::metrics_snapshot();
+    let elapsed = wall.elapsed();
+
+    assert!(
+        second.uptime_ns >= first.uptime_ns,
+        "uptime went backwards: {} -> {}",
+        first.uptime_ns,
+        second.uptime_ns
+    );
+    let grew = second.uptime_ns - first.uptime_ns;
+    assert!(
+        grew >= 25_000_000,
+        "uptime must track monotonic elapsed time (grew {grew}ns over ~30ms)"
+    );
+    assert!(
+        grew <= elapsed.as_nanos() as u64 + 25_000_000,
+        "uptime grew {grew}ns but only {}ns elapsed",
+        elapsed.as_nanos()
+    );
+    assert!(second.captured_at_ns >= second.uptime_ns);
+    let baseline_a = first.captured_at_ns - first.uptime_ns;
+    let baseline_b = second.captured_at_ns - second.uptime_ns;
+    assert_eq!(
+        baseline_a, baseline_b,
+        "captured_at and uptime share one monotonic baseline"
+    );
+
+    // The JSON export carries the same monotonic value.
+    let json = granii_telemetry::export::metrics_json(&second);
+    assert!(json.contains(&format!("\"uptime_ns\":{}", second.uptime_ns)));
+
+    // reset() re-stamps the baseline: a fresh epoch restarts near zero
+    // instead of inheriting the old span.
+    granii_telemetry::reset();
+    let rebased = granii_telemetry::metrics_snapshot();
+    assert!(
+        rebased.uptime_ns < second.uptime_ns,
+        "reset must re-baseline uptime ({} !< {})",
+        rebased.uptime_ns,
+        second.uptime_ns
+    );
+    granii_telemetry::disable();
+}
